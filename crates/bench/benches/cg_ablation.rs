@@ -1,0 +1,74 @@
+//! Ablation of the clock-gating stages (DESIGN.md design-choice study):
+//! measures stage runtimes, and prints a one-shot power ablation table
+//! (no CG / +common-enable / +M2 / +DDCG) to stderr during setup.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use triphase_bench::{drive_stimulus, Stimulus};
+use triphase_cells::Library;
+use triphase_circuits::iscas::{generate_iscas, iscas_profiles};
+use triphase_core::{run_flow_with, FlowConfig};
+use triphase_pnr::PnrOptions;
+
+fn ablation_table() {
+    let lib = Library::synthetic_28nm();
+    let profile = iscas_profiles().into_iter().find(|p| p.name == "s5378").unwrap();
+    let nl = generate_iscas(&profile, 42);
+    eprintln!("CG ablation on s5378-like (3-phase clock power, mW):");
+    for (tag, ce, m2, ddcg) in [
+        ("no p2 gating        ", false, false, false),
+        ("+common-enable (M1) ", true, false, false),
+        ("+M2 latch removal   ", true, true, false),
+        ("+multi-bit DDCG     ", true, true, true),
+    ] {
+        let cfg = FlowConfig {
+            sim_cycles: 96,
+            equiv_cycles: 0,
+            common_enable_cg: ce,
+            m2,
+            ddcg,
+            pnr: PnrOptions { moves_per_cell: 2, ..Default::default() },
+            ..FlowConfig::default()
+        };
+        let report = run_flow_with(&nl, &lib, &cfg, &|n, c| {
+            drive_stimulus(n, c, 42, Stimulus::Random)
+        })
+        .expect("flow");
+        eprintln!(
+            "  {tag}: clock {:.4}  total {:.4}  (gated: {} common-en, {} DDCG, {} M2)",
+            report.three_phase.power.clock.total(),
+            report.three_phase.power.total_mw(),
+            report.cg.common_enable_gated,
+            report.cg.ddcg_gated,
+            report.cg.m2_replaced,
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    ablation_table();
+    let lib = Library::synthetic_28nm();
+    let profile = iscas_profiles().into_iter().find(|p| p.name == "s1196").unwrap();
+    let nl = generate_iscas(&profile, 42);
+    let mut g = c.benchmark_group("cg_stages");
+    g.sample_size(10);
+    g.bench_function("full_flow_with_cg", |b| {
+        let cfg = FlowConfig {
+            sim_cycles: 32,
+            equiv_cycles: 0,
+            pnr: PnrOptions { moves_per_cell: 1, ..Default::default() },
+            ..FlowConfig::default()
+        };
+        b.iter(|| {
+            run_flow_with(&nl, &lib, &cfg, &|n, c| {
+                drive_stimulus(n, c, 42, Stimulus::Random)
+            })
+            .unwrap()
+            .three_phase
+            .registers()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Static timing analysis throughput: classic FF STA vs the SMO
+//! multi-phase latch analysis on the same design pre/post conversion.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use triphase_cells::Library;
+use triphase_circuits::iscas::{generate_iscas, iscas_profiles};
+use triphase_core::{assign_phases, extract_ff_graph, gated_clock_style, to_three_phase};
+use triphase_ilp::PhaseConfig;
+use triphase_timing::{analyze_ff, analyze_smo};
+
+fn bench(c: &mut Criterion) {
+    let lib = Library::synthetic_28nm();
+    let profile = iscas_profiles()
+        .into_iter()
+        .find(|p| p.name == "s5378")
+        .unwrap();
+    let mut ff_design = generate_iscas(&profile, 42);
+    gated_clock_style(&mut ff_design, 32).unwrap();
+    let idx = ff_design.index();
+    let graph = extract_ff_graph(&ff_design, &idx).unwrap();
+    let assignment = assign_phases(&graph, &PhaseConfig::default());
+    let (latch_design, _) = to_three_phase(&ff_design, &assignment).unwrap();
+    let latch_idx = latch_design.index();
+
+    let mut g = c.benchmark_group("sta_s5378");
+    g.sample_size(20);
+    g.bench_function("ff_sta", |b| {
+        b.iter(|| analyze_ff(&ff_design, &lib, &idx, None).unwrap().min_period_ps)
+    });
+    g.bench_function("smo_3phase", |b| {
+        b.iter(|| {
+            analyze_smo(&latch_design, &lib, &latch_idx, None)
+                .unwrap()
+                .worst_setup_slack_ps
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Regenerates the paper's §V **runtime discussion**: the ILP is a tiny
+//! fraction of the flow (the paper: ≤ 27 s, < 1% overall), while the
+//! 3-phase design's place-and-route — three clock trees — dominates the
+//! extra runtime (~3× CTS, ~35% more routing, 204%/44% more total runtime
+//! vs FF/M-S).
+
+use triphase_bench::{mean, run_suite, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let rows = run_suite(scale).unwrap_or_else(|e| {
+        eprintln!("flow failed: {e}");
+        std::process::exit(1);
+    });
+    println!("Flow runtime decomposition (seconds)");
+    println!(
+        "{:<9} | {:>8} {:>9} {:>9} | {:>9} {:>9} {:>9} | {:>8} {:>8}",
+        "Design", "ILP", "ILP opt?", "convert", "pnr(FF)", "pnr(M-S)", "pnr(3P)", "3P/FF", "ILP %"
+    );
+    let mut ratios = Vec::new();
+    let mut ilp_fracs = Vec::new();
+    for (b, r) in &rows {
+        let pnr_ff = r.ff.pnr_seconds;
+        let pnr_ms = r.ms.pnr_seconds;
+        let pnr_tp = r.three_phase.pnr_seconds;
+        let total_3p = r.ilp_seconds + r.convert_seconds + pnr_tp + r.three_phase.sim_seconds;
+        let ratio = if pnr_ff > 0.0 { pnr_tp / pnr_ff } else { 0.0 };
+        let ilp_frac = if total_3p > 0.0 {
+            r.ilp_seconds / total_3p * 100.0
+        } else {
+            0.0
+        };
+        println!(
+            "{:<9} | {:>8.3} {:>9} {:>9.3} | {:>9.3} {:>9.3} {:>9.3} | {:>8.2} {:>8.2}",
+            b.name,
+            r.ilp_seconds,
+            r.ilp_optimal,
+            r.convert_seconds,
+            pnr_ff,
+            pnr_ms,
+            pnr_tp,
+            ratio,
+            ilp_frac
+        );
+        ratios.push(ratio);
+        ilp_fracs.push(ilp_frac);
+    }
+    println!();
+    println!(
+        "Average 3-phase P&R runtime ratio vs FF: {:.2}x (paper: ~3x CTS, +35% routing)",
+        mean(&ratios)
+    );
+    println!(
+        "Average ILP share of the 3-phase flow:   {:.2}% (paper: < 1%, max 27 s)",
+        mean(&ilp_fracs)
+    );
+    let max_ilp = rows
+        .iter()
+        .map(|(_, r)| r.ilp_seconds)
+        .fold(0.0f64, f64::max);
+    println!("Max ILP solve time across the suite:    {max_ilp:.3} s");
+}

@@ -1,0 +1,88 @@
+//! Regenerates the paper's **Table I**: number of registers (FFs or
+//! latches) and total area (µm²) for the original FF-based, converted
+//! master-slave, and proposed 3-phase latch-based designs, with the
+//! paper's saving conventions (3-P registers vs **2×FF** and vs M-S;
+//! unweighted group and overall averages).
+
+use triphase_bench::{mean, run_suite, Group, Scale};
+use triphase_power::percent_saving;
+
+fn main() {
+    let scale = Scale::from_env();
+    let rows = run_suite(scale).unwrap_or_else(|e| {
+        eprintln!("flow failed: {e}");
+        std::process::exit(1);
+    });
+
+    println!("Table I: # of Regs and Total Area (um^2)");
+    println!(
+        "{:<8}{:<9} | {:>7} {:>7} {:>7} {:>8} {:>8} | {:>9} {:>9} {:>9} {:>8} {:>8}",
+        "Group", "Design", "FF", "M-S", "3-P", "Sv2FF%", "SvM-S%", "AreaFF", "AreaM-S", "Area3P",
+        "SvFF%", "SvM-S%"
+    );
+    let mut acc: Vec<(Group, [f64; 4])> = Vec::new();
+    for (b, r) in &rows {
+        let ff_regs = r.ff.stats.ffs;
+        let ms_regs = r.ms.registers();
+        let tp_regs = r.three_phase.registers();
+        let s2ff = percent_saving(2.0 * ff_regs as f64, tp_regs as f64);
+        let sms = percent_saving(ms_regs as f64, tp_regs as f64);
+        let a_ff = r.ff.area_um2;
+        let a_ms = r.ms.area_um2;
+        let a_tp = r.three_phase.area_um2;
+        let asff = percent_saving(a_ff, a_tp);
+        let asms = percent_saving(a_ms, a_tp);
+        println!(
+            "{:<8}{:<9} | {:>7} {:>7} {:>7} {:>8.1} {:>8.1} | {:>9.0} {:>9.0} {:>9.0} {:>8.1} {:>8.1}",
+            b.group.label(),
+            b.name,
+            ff_regs,
+            ms_regs,
+            tp_regs,
+            s2ff,
+            sms,
+            a_ff,
+            a_ms,
+            a_tp,
+            asff,
+            asms
+        );
+        acc.push((b.group, [s2ff, sms, asff, asms]));
+    }
+    for group in [Group::Iscas, Group::Cep, Group::Cpu] {
+        let sel: Vec<[f64; 4]> = acc
+            .iter()
+            .filter(|(g, _)| *g == group)
+            .map(|(_, v)| *v)
+            .collect();
+        if sel.is_empty() {
+            continue;
+        }
+        print_avg(&format!("{} avg", group.label()), &sel);
+    }
+    let all: Vec<[f64; 4]> = acc.iter().map(|(_, v)| *v).collect();
+    print_avg("Overall avg", &all);
+    println!();
+    println!(
+        "Paper Table I overall averages: regs saved 22.4% (vs 2xFF) / 21.3% (vs M-S); \
+         area saved 11.0% (vs FF) / 0.8% (vs M-S)."
+    );
+}
+
+fn print_avg(label: &str, rows: &[[f64; 4]]) {
+    let col = |i: usize| mean(&rows.iter().map(|r| r[i]).collect::<Vec<_>>());
+    println!(
+        "{:<17} | {:>7} {:>7} {:>7} {:>8.1} {:>8.1} | {:>9} {:>9} {:>9} {:>8.1} {:>8.1}",
+        label,
+        "",
+        "",
+        "",
+        col(0),
+        col(1),
+        "",
+        "",
+        "",
+        col(2),
+        col(3)
+    );
+}

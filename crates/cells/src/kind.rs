@@ -1,0 +1,547 @@
+//! Cell kinds and their pin interfaces.
+//!
+//! Every cell in a netlist is an instance of a [`CellKind`]. Pins are
+//! *positional*; the conventions are:
+//!
+//! - every kind has exactly one output, which is always the **last** pin
+//!   (except [`CellKind::Const0`]/[`CellKind::Const1`], whose only pin is
+//!   the output);
+//! - multi-input gates take their arity as payload, e.g. `And(4)`;
+//! - sequential and clock cells have fixed pin orders documented on each
+//!   variant.
+
+use std::fmt;
+
+/// Direction of a pin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PinDir {
+    /// The pin reads a value from its net.
+    Input,
+    /// The pin drives its net.
+    Output,
+}
+
+/// Functional class of a pin, used for clock-network tracing and for the
+/// power report's Clock/Seq/Comb grouping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PinClass {
+    /// Ordinary data input.
+    Data,
+    /// Clock input (FF `CK`, latch `G`, ICG `CK`/`P3`) or gated-clock output.
+    Clock,
+    /// Enable input of an enabled FF or a clock-gating cell.
+    Enable,
+    /// Select input of a mux.
+    Select,
+    /// Data output (`Q`/`Y`).
+    Out,
+}
+
+/// Static description of one pin of a [`CellKind`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PinDef {
+    /// Whether the pin reads or drives its net.
+    pub dir: PinDir,
+    /// Functional class of the pin.
+    pub class: PinClass,
+}
+
+impl PinDef {
+    const fn new(dir: PinDir, class: PinClass) -> Self {
+        PinDef { dir, class }
+    }
+}
+
+const IN_DATA: PinDef = PinDef::new(PinDir::Input, PinClass::Data);
+const IN_CLK: PinDef = PinDef::new(PinDir::Input, PinClass::Clock);
+const IN_EN: PinDef = PinDef::new(PinDir::Input, PinClass::Enable);
+const IN_SEL: PinDef = PinDef::new(PinDir::Input, PinClass::Select);
+const OUT: PinDef = PinDef::new(PinDir::Output, PinClass::Out);
+const OUT_CLK: PinDef = PinDef::new(PinDir::Output, PinClass::Clock);
+
+/// The kind of a cell: its logic function and pin interface.
+///
+/// Arities of multi-input gates must be in `2..=MAX_ARITY`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CellKind {
+    /// Constant logic 0. Pins: `Y`.
+    Const0,
+    /// Constant logic 1. Pins: `Y`.
+    Const1,
+    /// Buffer. Pins: `A`, `Y`.
+    Buf,
+    /// Dedicated clock-tree buffer (electrically a strong buffer; kept as a
+    /// separate kind so clock-network power can be attributed). Pins: `A`, `Y`.
+    ClkBuf,
+    /// Inverter. Pins: `A`, `Y`.
+    Inv,
+    /// N-input AND. Pins: `A0..A{n-1}`, `Y`.
+    And(u8),
+    /// N-input OR.
+    Or(u8),
+    /// N-input NAND.
+    Nand(u8),
+    /// N-input NOR.
+    Nor(u8),
+    /// N-input XOR (odd parity).
+    Xor(u8),
+    /// N-input XNOR (even parity).
+    Xnor(u8),
+    /// 2:1 multiplexer. Pins: `D0`, `D1`, `S`, `Y` — `Y = S ? D1 : D0`.
+    Mux2,
+    /// Rising-edge D flip-flop. Pins: `D`, `CK`, `Q`.
+    Dff,
+    /// Rising-edge D flip-flop with synchronous enable ("enabled clock",
+    /// paper Fig. 2(a)). Pins: `D`, `EN`, `CK`, `Q` — loads `D` when `EN`.
+    DffEn,
+    /// Active-high (transparent-high) D latch. Pins: `D`, `G`, `Q`.
+    LatchH,
+    /// Active-low (transparent-low) D latch. Pins: `D`, `G`, `Q`.
+    LatchL,
+    /// Conventional integrated clock-gating cell (paper Fig. 3(c0)):
+    /// an active-low latch on `EN` plus an AND.
+    /// Pins: `EN`, `CK`, `GCK` — `GCK = CK & latch(EN, transparent when !CK)`.
+    Icg,
+    /// Modified ICG for `p2` latches (paper Fig. 3(c1), modification M1):
+    /// the enable latch is clocked by `p3` instead of the inverted `p2`,
+    /// removing the internal inverter.
+    /// Pins: `EN`, `P3`, `CK`, `GCK` — `GCK = CK & latch(EN, transparent when P3)`.
+    IcgM1,
+    /// Latch-free ICG (paper Fig. 3(c2), modification M2), legal when the
+    /// enable cone guarantees stability during the gated phase.
+    /// Pins: `EN`, `CK`, `GCK` — `GCK = CK & EN`.
+    IcgM2,
+}
+
+/// Maximum supported arity of multi-input gates.
+pub const MAX_ARITY: u8 = 16;
+
+impl CellKind {
+    /// Arity payload for multi-input gates, `None` otherwise.
+    fn arity(self) -> Option<u8> {
+        match self {
+            CellKind::And(n)
+            | CellKind::Or(n)
+            | CellKind::Nand(n)
+            | CellKind::Nor(n)
+            | CellKind::Xor(n)
+            | CellKind::Xnor(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// Total number of pins (inputs + the single output).
+    pub fn pin_count(self) -> usize {
+        match self {
+            CellKind::Const0 | CellKind::Const1 => 1,
+            CellKind::Buf | CellKind::ClkBuf | CellKind::Inv => 2,
+            CellKind::Mux2 => 4,
+            CellKind::Dff => 3,
+            CellKind::DffEn => 4,
+            CellKind::LatchH | CellKind::LatchL => 3,
+            CellKind::Icg => 3,
+            CellKind::IcgM1 => 4,
+            CellKind::IcgM2 => 3,
+            k => k.arity().expect("arity kind") as usize + 1,
+        }
+    }
+
+    /// Index of the output pin (always the last pin).
+    pub fn output_pin(self) -> usize {
+        self.pin_count() - 1
+    }
+
+    /// Number of input pins.
+    pub fn input_count(self) -> usize {
+        self.pin_count() - 1
+    }
+
+    /// Static definition of pin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.pin_count()`.
+    pub fn pin_def(self, i: usize) -> PinDef {
+        let n = self.pin_count();
+        assert!(i < n, "pin index {i} out of range for {self:?}");
+        if i == n - 1 {
+            return match self {
+                CellKind::Icg | CellKind::IcgM1 | CellKind::IcgM2 | CellKind::ClkBuf => OUT_CLK,
+                _ => OUT,
+            };
+        }
+        match self {
+            CellKind::Mux2 => {
+                if i == 2 {
+                    IN_SEL
+                } else {
+                    IN_DATA
+                }
+            }
+            CellKind::Dff => {
+                if i == 1 {
+                    IN_CLK
+                } else {
+                    IN_DATA
+                }
+            }
+            CellKind::DffEn => match i {
+                1 => IN_EN,
+                2 => IN_CLK,
+                _ => IN_DATA,
+            },
+            CellKind::LatchH | CellKind::LatchL => {
+                if i == 1 {
+                    IN_CLK
+                } else {
+                    IN_DATA
+                }
+            }
+            CellKind::Icg | CellKind::IcgM2 => {
+                if i == 0 {
+                    IN_EN
+                } else {
+                    IN_CLK
+                }
+            }
+            CellKind::IcgM1 => {
+                if i == 0 {
+                    IN_EN
+                } else {
+                    IN_CLK
+                }
+            }
+            _ => IN_DATA,
+        }
+    }
+
+    /// Human-readable name of pin `i` (used by the Verilog writer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.pin_count()`.
+    pub fn pin_name(self, i: usize) -> String {
+        let n = self.pin_count();
+        assert!(i < n, "pin index {i} out of range for {self:?}");
+        match self {
+            CellKind::Const0 | CellKind::Const1 => "Y".to_owned(),
+            CellKind::Buf | CellKind::ClkBuf | CellKind::Inv => {
+                if i == 0 { "A" } else { "Y" }.to_owned()
+            }
+            CellKind::Mux2 => ["D0", "D1", "S", "Y"][i].to_owned(),
+            CellKind::Dff => ["D", "CK", "Q"][i].to_owned(),
+            CellKind::DffEn => ["D", "EN", "CK", "Q"][i].to_owned(),
+            CellKind::LatchH | CellKind::LatchL => ["D", "G", "Q"][i].to_owned(),
+            CellKind::Icg | CellKind::IcgM2 => ["EN", "CK", "GCK"][i].to_owned(),
+            CellKind::IcgM1 => ["EN", "P3", "CK", "GCK"][i].to_owned(),
+            _ => {
+                if i == n - 1 {
+                    "Y".to_owned()
+                } else {
+                    format!("A{i}")
+                }
+            }
+        }
+    }
+
+    /// Index of the clock pin for sequential and clock-gating cells.
+    ///
+    /// For [`CellKind::IcgM1`] this is the `CK` pin (the gated phase);
+    /// its auxiliary `P3` pin is index 1.
+    pub fn clock_pin(self) -> Option<usize> {
+        match self {
+            CellKind::Dff => Some(1),
+            CellKind::DffEn => Some(2),
+            CellKind::LatchH | CellKind::LatchL => Some(1),
+            CellKind::Icg | CellKind::IcgM2 => Some(1),
+            CellKind::IcgM1 => Some(2),
+            _ => None,
+        }
+    }
+
+    /// Index of the `D` data pin for storage cells.
+    pub fn data_pin(self) -> Option<usize> {
+        match self {
+            CellKind::Dff | CellKind::DffEn | CellKind::LatchH | CellKind::LatchL => Some(0),
+            _ => None,
+        }
+    }
+
+    /// Index of the enable pin for enabled FFs and clock-gating cells.
+    pub fn enable_pin(self) -> Option<usize> {
+        match self {
+            CellKind::DffEn => Some(1),
+            CellKind::Icg | CellKind::IcgM1 | CellKind::IcgM2 => Some(0),
+            _ => None,
+        }
+    }
+
+    /// `true` for purely combinational kinds (constants count as
+    /// combinational sources).
+    pub fn is_comb(self) -> bool {
+        !self.is_storage() && !self.is_clock_gate()
+    }
+
+    /// `true` for flip-flops.
+    pub fn is_ff(self) -> bool {
+        matches!(self, CellKind::Dff | CellKind::DffEn)
+    }
+
+    /// `true` for level-sensitive latches.
+    pub fn is_latch(self) -> bool {
+        matches!(self, CellKind::LatchH | CellKind::LatchL)
+    }
+
+    /// `true` for state-holding cells (FFs and latches).
+    pub fn is_storage(self) -> bool {
+        self.is_ff() || self.is_latch()
+    }
+
+    /// `true` for clock-gating cells.
+    pub fn is_clock_gate(self) -> bool {
+        matches!(self, CellKind::Icg | CellKind::IcgM1 | CellKind::IcgM2)
+    }
+
+    /// Evaluate a purely combinational kind on boolean inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kind is not combinational or if `inputs.len()` does not
+    /// match [`CellKind::input_count`].
+    pub fn eval_comb(self, inputs: &[bool]) -> bool {
+        assert!(self.is_comb(), "eval_comb on non-combinational {self:?}");
+        assert_eq!(
+            inputs.len(),
+            self.input_count(),
+            "wrong input count for {self:?}"
+        );
+        match self {
+            CellKind::Const0 => false,
+            CellKind::Const1 => true,
+            CellKind::Buf | CellKind::ClkBuf => inputs[0],
+            CellKind::Inv => !inputs[0],
+            CellKind::And(_) => inputs.iter().all(|&b| b),
+            CellKind::Or(_) => inputs.iter().any(|&b| b),
+            CellKind::Nand(_) => !inputs.iter().all(|&b| b),
+            CellKind::Nor(_) => !inputs.iter().any(|&b| b),
+            CellKind::Xor(_) => inputs.iter().fold(false, |a, &b| a ^ b),
+            CellKind::Xnor(_) => !inputs.iter().fold(false, |a, &b| a ^ b),
+            CellKind::Mux2 => {
+                if inputs[2] {
+                    inputs[1]
+                } else {
+                    inputs[0]
+                }
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    /// Check that the kind is well-formed (arities in range).
+    pub fn validate(self) -> bool {
+        match self.arity() {
+            Some(n) => (2..=MAX_ARITY).contains(&n),
+            None => true,
+        }
+    }
+
+    /// Canonical library cell name, e.g. `AND4_X1`, `DFF_X1`.
+    pub fn lib_name(self) -> String {
+        match self {
+            CellKind::Const0 => "TIELO".to_owned(),
+            CellKind::Const1 => "TIEHI".to_owned(),
+            CellKind::Buf => "BUF_X1".to_owned(),
+            CellKind::ClkBuf => "CLKBUF_X4".to_owned(),
+            CellKind::Inv => "INV_X1".to_owned(),
+            CellKind::And(n) => format!("AND{n}_X1"),
+            CellKind::Or(n) => format!("OR{n}_X1"),
+            CellKind::Nand(n) => format!("NAND{n}_X1"),
+            CellKind::Nor(n) => format!("NOR{n}_X1"),
+            CellKind::Xor(n) => format!("XOR{n}_X1"),
+            CellKind::Xnor(n) => format!("XNOR{n}_X1"),
+            CellKind::Mux2 => "MUX2_X1".to_owned(),
+            CellKind::Dff => "DFF_X1".to_owned(),
+            CellKind::DffEn => "DFFEN_X1".to_owned(),
+            CellKind::LatchH => "LATCHH_X1".to_owned(),
+            CellKind::LatchL => "LATCHL_X1".to_owned(),
+            CellKind::Icg => "ICG_X1".to_owned(),
+            CellKind::IcgM1 => "ICGM1_X1".to_owned(),
+            CellKind::IcgM2 => "ICGM2_X1".to_owned(),
+        }
+    }
+
+    /// Parse a canonical library cell name produced by [`CellKind::lib_name`].
+    pub fn from_lib_name(name: &str) -> Option<CellKind> {
+        let base = name.strip_suffix("_X1").or(name.strip_suffix("_X4")).unwrap_or(name);
+        let fixed = match base {
+            "TIELO" => Some(CellKind::Const0),
+            "TIEHI" => Some(CellKind::Const1),
+            "BUF" => Some(CellKind::Buf),
+            "CLKBUF" => Some(CellKind::ClkBuf),
+            "INV" => Some(CellKind::Inv),
+            "MUX2" => Some(CellKind::Mux2),
+            "DFF" => Some(CellKind::Dff),
+            "DFFEN" => Some(CellKind::DffEn),
+            "LATCHH" => Some(CellKind::LatchH),
+            "LATCHL" => Some(CellKind::LatchL),
+            "ICG" => Some(CellKind::Icg),
+            "ICGM1" => Some(CellKind::IcgM1),
+            "ICGM2" => Some(CellKind::IcgM2),
+            _ => None,
+        };
+        if fixed.is_some() {
+            return fixed;
+        }
+        for (prefix, ctor) in [
+            ("AND", CellKind::And as fn(u8) -> CellKind),
+            ("NAND", CellKind::Nand),
+            ("XNOR", CellKind::Xnor),
+            ("XOR", CellKind::Xor),
+            ("NOR", CellKind::Nor),
+            ("OR", CellKind::Or),
+        ] {
+            if let Some(rest) = base.strip_prefix(prefix) {
+                if let Ok(n) = rest.parse::<u8>() {
+                    let kind = ctor(n);
+                    if kind.validate() {
+                        return Some(kind);
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+impl fmt::Display for CellKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.lib_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pin_counts_and_output_last() {
+        for kind in [
+            CellKind::Const0,
+            CellKind::Const1,
+            CellKind::Buf,
+            CellKind::ClkBuf,
+            CellKind::Inv,
+            CellKind::And(3),
+            CellKind::Or(2),
+            CellKind::Nand(4),
+            CellKind::Nor(2),
+            CellKind::Xor(2),
+            CellKind::Xnor(5),
+            CellKind::Mux2,
+            CellKind::Dff,
+            CellKind::DffEn,
+            CellKind::LatchH,
+            CellKind::LatchL,
+            CellKind::Icg,
+            CellKind::IcgM1,
+            CellKind::IcgM2,
+        ] {
+            let n = kind.pin_count();
+            assert!(n >= 1);
+            assert_eq!(kind.output_pin(), n - 1);
+            assert_eq!(kind.pin_def(n - 1).dir, PinDir::Output);
+            for i in 0..n - 1 {
+                assert_eq!(kind.pin_def(i).dir, PinDir::Input, "{kind:?} pin {i}");
+            }
+            // Pin names must be unique.
+            let names: Vec<_> = (0..n).map(|i| kind.pin_name(i)).collect();
+            let mut dedup = names.clone();
+            dedup.sort();
+            dedup.dedup();
+            assert_eq!(dedup.len(), names.len(), "{kind:?} duplicate pin names");
+        }
+    }
+
+    #[test]
+    fn classification() {
+        assert!(CellKind::And(2).is_comb());
+        assert!(!CellKind::Dff.is_comb());
+        assert!(CellKind::Dff.is_ff());
+        assert!(CellKind::DffEn.is_ff());
+        assert!(CellKind::LatchH.is_latch());
+        assert!(!CellKind::LatchH.is_ff());
+        assert!(CellKind::Icg.is_clock_gate());
+        assert!(CellKind::IcgM1.is_clock_gate());
+        assert!(!CellKind::Icg.is_comb());
+        assert!(CellKind::Const0.is_comb());
+    }
+
+    #[test]
+    fn clock_data_enable_pins() {
+        assert_eq!(CellKind::Dff.clock_pin(), Some(1));
+        assert_eq!(CellKind::DffEn.clock_pin(), Some(2));
+        assert_eq!(CellKind::DffEn.enable_pin(), Some(1));
+        assert_eq!(CellKind::LatchL.clock_pin(), Some(1));
+        assert_eq!(CellKind::Icg.clock_pin(), Some(1));
+        assert_eq!(CellKind::IcgM1.clock_pin(), Some(2));
+        assert_eq!(CellKind::IcgM1.enable_pin(), Some(0));
+        assert_eq!(CellKind::Dff.data_pin(), Some(0));
+        assert_eq!(CellKind::And(2).clock_pin(), None);
+    }
+
+    #[test]
+    fn eval_gates() {
+        assert!(CellKind::And(3).eval_comb(&[true, true, true]));
+        assert!(!CellKind::And(3).eval_comb(&[true, false, true]));
+        assert!(CellKind::Nand(2).eval_comb(&[true, false]));
+        assert!(CellKind::Or(2).eval_comb(&[false, true]));
+        assert!(!CellKind::Nor(2).eval_comb(&[false, true]));
+        assert!(CellKind::Xor(3).eval_comb(&[true, true, true]));
+        assert!(!CellKind::Xor(2).eval_comb(&[true, true]));
+        assert!(CellKind::Xnor(2).eval_comb(&[true, true]));
+        assert!(CellKind::Inv.eval_comb(&[false]));
+        assert!(CellKind::Buf.eval_comb(&[true]));
+        assert!(!CellKind::Const0.eval_comb(&[]));
+        assert!(CellKind::Const1.eval_comb(&[]));
+        // Mux: Y = S ? D1 : D0
+        assert!(CellKind::Mux2.eval_comb(&[true, false, false]));
+        assert!(!CellKind::Mux2.eval_comb(&[true, false, true]));
+    }
+
+    #[test]
+    fn lib_name_roundtrip() {
+        for kind in [
+            CellKind::Const0,
+            CellKind::Buf,
+            CellKind::ClkBuf,
+            CellKind::Inv,
+            CellKind::And(8),
+            CellKind::Nor(3),
+            CellKind::Xnor(2),
+            CellKind::Or(2),
+            CellKind::Xor(4),
+            CellKind::Nand(2),
+            CellKind::Mux2,
+            CellKind::Dff,
+            CellKind::DffEn,
+            CellKind::LatchH,
+            CellKind::LatchL,
+            CellKind::Icg,
+            CellKind::IcgM1,
+            CellKind::IcgM2,
+        ] {
+            assert_eq!(CellKind::from_lib_name(&kind.lib_name()), Some(kind));
+        }
+        assert_eq!(CellKind::from_lib_name("FOO_X1"), None);
+        assert_eq!(CellKind::from_lib_name("AND99_X1"), None);
+    }
+
+    #[test]
+    fn validate_arity() {
+        assert!(CellKind::And(2).validate());
+        assert!(CellKind::And(16).validate());
+        assert!(!CellKind::And(1).validate());
+        assert!(!CellKind::And(17).validate());
+        assert!(CellKind::Dff.validate());
+    }
+}

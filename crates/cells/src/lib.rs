@@ -1,0 +1,33 @@
+//! Standard-cell library model for the `triphase` toolkit.
+//!
+//! This crate defines the *technology view* of a design: which cell kinds
+//! exist ([`CellKind`]), what pins they have ([`PinDef`]), and their
+//! electrical characteristics ([`LibCell`], [`Library`]).
+//!
+//! The paper evaluates on an industrial 28-nm FDSOI library which we cannot
+//! ship; [`Library::synthetic_28nm`] provides a synthetic library whose
+//! *relative* parameters encode the paper's premise — latches are roughly
+//! half the area and clock-pin capacitance of flip-flops — so the conversion
+//! results keep the same shape (see DESIGN.md §1).
+//!
+//! # Examples
+//!
+//! ```
+//! use triphase_cells::{CellKind, Library};
+//!
+//! let lib = Library::synthetic_28nm();
+//! let dff = lib.cell(CellKind::Dff);
+//! let latch = lib.cell(CellKind::LatchH);
+//! assert!(latch.area < dff.area);
+//! assert!(latch.clock_pin_cap() < dff.clock_pin_cap());
+//! ```
+
+mod kind;
+pub mod liberty;
+mod library;
+
+pub use kind::{CellKind, PinClass, PinDef, PinDir};
+pub use library::{LibCell, Library, TimingParams};
+
+/// Supply voltage (volts) assumed by the synthetic library.
+pub const VDD: f64 = 0.90;

@@ -1,0 +1,370 @@
+//! Electrical characterization of cells and the synthetic library.
+//!
+//! Delays use a linear load model: `delay_ps = intrinsic_ps + resistance *
+//! load_fF`. Power uses per-toggle internal energy (fJ) plus net switching
+//! energy computed by the power crate from capacitances (fF) at [`crate::VDD`].
+
+use crate::kind::{CellKind, PinClass, PinDir};
+
+/// Sequential timing parameters of a storage cell (picoseconds).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct TimingParams {
+    /// Setup time relative to the capturing clock edge.
+    pub setup_ps: f64,
+    /// Hold time relative to the capturing clock edge.
+    pub hold_ps: f64,
+    /// Clock-to-Q (or enable-to-Q for a transparent latch) delay.
+    pub clk_to_q_ps: f64,
+    /// D-to-Q delay while transparent (latches only; 0 for FFs).
+    pub d_to_q_ps: f64,
+}
+
+/// Electrical view of one library cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LibCell {
+    /// The logical kind this cell implements.
+    pub kind: CellKind,
+    /// Cell area in µm².
+    pub area: f64,
+    /// Capacitance of ordinary data/enable/select input pins (fF).
+    pub input_cap_ff: f64,
+    /// Capacitance of clock-class input pins (fF); falls back to
+    /// `input_cap_ff` for kinds without clock pins.
+    pub clock_cap_ff: f64,
+    /// Intrinsic delay of the input-to-output arc (ps).
+    pub intrinsic_ps: f64,
+    /// Output drive resistance (ps per fF of load).
+    pub res_ps_per_ff: f64,
+    /// Internal energy dissipated per output transition (fJ).
+    pub internal_energy_fj: f64,
+    /// Internal energy dissipated per *clock* transition even when the
+    /// output does not toggle (fJ); nonzero for sequential/clock cells.
+    pub clock_energy_fj: f64,
+    /// Leakage power (nW).
+    pub leakage_nw: f64,
+    /// Sequential constraints; zeroed for combinational cells.
+    pub timing: TimingParams,
+}
+
+impl LibCell {
+    /// Capacitance presented by input pin `pin` (fF).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pin` is out of range or is an output pin.
+    pub fn pin_cap(&self, pin: usize) -> f64 {
+        let def = self.kind.pin_def(pin);
+        assert_eq!(def.dir, PinDir::Input, "pin_cap on output pin");
+        match def.class {
+            PinClass::Clock => self.clock_cap_ff,
+            _ => self.input_cap_ff,
+        }
+    }
+
+    /// Clock-pin capacitance (fF); for cells without a clock pin this is the
+    /// plain input capacitance.
+    pub fn clock_pin_cap(&self) -> f64 {
+        self.clock_cap_ff
+    }
+
+    /// Worst-case gate delay driving `load_ff` femtofarads (ps).
+    pub fn delay_ps(&self, load_ff: f64) -> f64 {
+        self.intrinsic_ps + self.res_ps_per_ff * load_ff
+    }
+}
+
+/// A collection of characterized cells, one per [`CellKind`] instance used.
+///
+/// Kinds with arity payloads are characterized parametrically: caps, area,
+/// and delay grow with arity.
+#[derive(Debug, Clone)]
+pub struct Library {
+    /// Library name (appears in reports).
+    pub name: String,
+    params: SynthParams,
+}
+
+/// Knobs of the synthetic library generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct SynthParams {
+    inv_area: f64,
+    inv_cap: f64,
+    inv_delay: f64,
+    inv_res: f64,
+    inv_energy: f64,
+    inv_leak: f64,
+}
+
+impl Library {
+    /// Synthetic 28-nm-class library.
+    ///
+    /// Calibration targets (encoding the paper's premises):
+    /// - latch area ≈ 0.55 × DFF area,
+    /// - latch clock-pin cap ≈ 0.54 × DFF clock-pin cap,
+    /// - enabled FF (`DFFEN`) costs an extra internal mux,
+    /// - `ICGM1` saves the conventional ICG's inverter, `ICGM2` additionally
+    ///   drops the internal latch.
+    pub fn synthetic_28nm() -> Library {
+        Library {
+            name: "synth28".to_owned(),
+            params: SynthParams {
+                inv_area: 0.49,
+                inv_cap: 0.90,
+                inv_delay: 9.0,
+                inv_res: 4.0,
+                inv_energy: 0.12,
+                inv_leak: 1.4,
+            },
+        }
+    }
+
+    /// Characterization of `kind`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kind` fails [`CellKind::validate`].
+    pub fn cell(&self, kind: CellKind) -> LibCell {
+        assert!(kind.validate(), "invalid cell kind {kind:?}");
+        self.characterize(kind)
+    }
+
+    fn characterize(&self, kind: CellKind) -> LibCell {
+        let p = self.params;
+        // Helper to scale relative to the unit inverter.
+        let mk = |area_x: f64,
+                  cap_x: f64,
+                  delay_x: f64,
+                  res_x: f64,
+                  energy_x: f64,
+                  leak_x: f64| LibCell {
+            kind,
+            area: p.inv_area * area_x,
+            input_cap_ff: p.inv_cap * cap_x,
+            clock_cap_ff: p.inv_cap * cap_x,
+            intrinsic_ps: p.inv_delay * delay_x,
+            res_ps_per_ff: p.inv_res * res_x,
+            internal_energy_fj: p.inv_energy * energy_x,
+            clock_energy_fj: 0.0,
+            leakage_nw: p.inv_leak * leak_x,
+            timing: TimingParams::default(),
+        };
+        let narity = |n: u8| n as f64;
+        match kind {
+            CellKind::Const0 | CellKind::Const1 => {
+                let mut c = mk(0.5, 0.0, 0.0, 4.0, 0.0, 0.3);
+                c.input_cap_ff = 0.0;
+                c
+            }
+            CellKind::Inv => mk(1.0, 1.0, 1.0, 1.0, 1.0, 1.0),
+            CellKind::Buf => mk(1.6, 1.05, 2.0, 0.8, 1.6, 1.6),
+            // Clock buffer: strong drive, larger input cap.
+            CellKind::ClkBuf => mk(3.2, 1.6, 1.8, 0.25, 3.0, 3.4),
+            CellKind::And(n) | CellKind::Or(n) => {
+                let n = narity(n);
+                mk(
+                    1.2 + 0.45 * n,
+                    1.05,
+                    1.6 + 0.35 * n,
+                    1.1,
+                    1.2 + 0.25 * n,
+                    1.2 + 0.4 * n,
+                )
+            }
+            CellKind::Nand(n) | CellKind::Nor(n) => {
+                let n = narity(n);
+                mk(
+                    0.7 + 0.4 * n,
+                    1.1,
+                    1.0 + 0.3 * n,
+                    1.15,
+                    1.0 + 0.22 * n,
+                    0.9 + 0.38 * n,
+                )
+            }
+            CellKind::Xor(n) | CellKind::Xnor(n) => {
+                let n = narity(n);
+                mk(
+                    1.4 + 1.2 * n,
+                    2.0,
+                    2.2 + 1.1 * n,
+                    1.4,
+                    2.4 + 0.8 * n,
+                    1.6 + 0.9 * n,
+                )
+            }
+            CellKind::Mux2 => mk(3.1, 1.3, 2.9, 1.2, 2.2, 2.6),
+            CellKind::Dff => {
+                let mut c = mk(9.2, 1.1, 6.2, 1.1, 7.0, 8.6);
+                c.clock_cap_ff = 2.10;
+                c.clock_energy_fj = 0.85;
+                c.timing = TimingParams {
+                    setup_ps: 32.0,
+                    hold_ps: 8.0,
+                    clk_to_q_ps: 58.0,
+                    d_to_q_ps: 0.0,
+                };
+                c
+            }
+            CellKind::DffEn => {
+                // DFF plus internal recirculation mux.
+                let mut c = mk(12.4, 1.1, 6.6, 1.1, 7.6, 11.0);
+                c.clock_cap_ff = 2.20;
+                c.clock_energy_fj = 0.92;
+                c.timing = TimingParams {
+                    setup_ps: 40.0,
+                    hold_ps: 8.0,
+                    clk_to_q_ps: 58.0,
+                    d_to_q_ps: 0.0,
+                };
+                c
+            }
+            CellKind::LatchH | CellKind::LatchL => {
+                // A latch is half of a master-slave FF: internal energy
+                // lands well below half (no internal clock inverter pair,
+                // single stage) — this is what drives the paper's large
+                // "Seq" savings on the CPU rows.
+                let mut c = mk(5.05, 1.0, 4.6, 1.1, 2.8, 4.7);
+                c.clock_cap_ff = 1.10;
+                c.clock_energy_fj = 0.30;
+                c.timing = TimingParams {
+                    setup_ps: 24.0,
+                    hold_ps: 6.0,
+                    clk_to_q_ps: 44.0,
+                    d_to_q_ps: 36.0,
+                };
+                c
+            }
+            CellKind::Icg => {
+                // Latch + AND + inverter.
+                let mut c = mk(6.6, 0.95, 4.4, 0.5, 4.4, 6.2);
+                c.clock_cap_ff = 2.20;
+                c.clock_energy_fj = 0.95;
+                c.timing = TimingParams {
+                    setup_ps: 36.0,
+                    hold_ps: 6.0,
+                    clk_to_q_ps: 36.0,
+                    d_to_q_ps: 0.0,
+                };
+                c
+            }
+            CellKind::IcgM1 => {
+                // M1: conventional ICG minus the internal inverter; the
+                // enable latch clock comes in on the extra P3 pin.
+                let mut c = mk(5.9, 0.95, 4.1, 0.5, 4.0, 5.6);
+                c.clock_cap_ff = 2.00;
+                c.clock_energy_fj = 0.80;
+                c.timing = TimingParams {
+                    setup_ps: 36.0,
+                    hold_ps: 6.0,
+                    clk_to_q_ps: 34.0,
+                    d_to_q_ps: 0.0,
+                };
+                c
+            }
+            CellKind::IcgM2 => {
+                // M2: a bare AND gate used as a clock gate.
+                let mut c = mk(2.1, 0.95, 2.3, 0.55, 1.7, 2.0);
+                c.clock_cap_ff = 1.60;
+                c.clock_energy_fj = 0.30;
+                c.timing = TimingParams {
+                    setup_ps: 0.0,
+                    hold_ps: 0.0,
+                    clk_to_q_ps: 20.0,
+                    d_to_q_ps: 0.0,
+                };
+                c
+            }
+        }
+    }
+
+    /// Total area of a bag of kinds (µm²) — convenience for reports.
+    pub fn area_of<I: IntoIterator<Item = CellKind>>(&self, kinds: I) -> f64 {
+        kinds.into_iter().map(|k| self.cell(k).area).sum()
+    }
+}
+
+impl Default for Library {
+    fn default() -> Self {
+        Library::synthetic_28nm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latch_vs_ff_ratios_match_premise() {
+        let lib = Library::synthetic_28nm();
+        let dff = lib.cell(CellKind::Dff);
+        let latch = lib.cell(CellKind::LatchH);
+        let ratio_area = latch.area / dff.area;
+        let ratio_ckcap = latch.clock_cap_ff / dff.clock_cap_ff;
+        assert!(
+            (0.45..=0.65).contains(&ratio_area),
+            "latch/FF area ratio {ratio_area}"
+        );
+        assert!(
+            (0.45..=0.65).contains(&ratio_ckcap),
+            "latch/FF clock cap ratio {ratio_ckcap}"
+        );
+        // Two latches cost more than one FF (so master-slave loses on area).
+        assert!(2.0 * latch.area > dff.area);
+    }
+
+    #[test]
+    fn icg_modifications_get_cheaper() {
+        let lib = Library::synthetic_28nm();
+        let icg = lib.cell(CellKind::Icg);
+        let m1 = lib.cell(CellKind::IcgM1);
+        let m2 = lib.cell(CellKind::IcgM2);
+        assert!(m1.area < icg.area, "M1 drops the inverter");
+        assert!(m2.area < m1.area, "M2 additionally drops the latch");
+        assert!(m1.clock_energy_fj < icg.clock_energy_fj);
+        assert!(m2.clock_energy_fj < m1.clock_energy_fj);
+    }
+
+    #[test]
+    fn delay_monotone_in_load_and_arity() {
+        let lib = Library::synthetic_28nm();
+        let and2 = lib.cell(CellKind::And(2));
+        let and8 = lib.cell(CellKind::And(8));
+        assert!(and2.delay_ps(2.0) > and2.delay_ps(0.5));
+        assert!(and8.intrinsic_ps > and2.intrinsic_ps);
+        assert!(and8.area > and2.area);
+    }
+
+    #[test]
+    fn pin_caps_by_class() {
+        let lib = Library::synthetic_28nm();
+        let dff = lib.cell(CellKind::Dff);
+        // D pin is data, CK pin is clock.
+        assert_eq!(dff.pin_cap(0), dff.input_cap_ff);
+        assert_eq!(dff.pin_cap(1), dff.clock_cap_ff);
+        let icg = lib.cell(CellKind::IcgM1);
+        assert_eq!(icg.pin_cap(0), icg.input_cap_ff); // EN
+        assert_eq!(icg.pin_cap(1), icg.clock_cap_ff); // P3
+        assert_eq!(icg.pin_cap(2), icg.clock_cap_ff); // CK
+    }
+
+    #[test]
+    #[should_panic(expected = "pin_cap on output pin")]
+    fn pin_cap_rejects_output() {
+        let lib = Library::synthetic_28nm();
+        lib.cell(CellKind::Inv).pin_cap(1);
+    }
+
+    #[test]
+    fn dffen_costlier_than_dff() {
+        let lib = Library::synthetic_28nm();
+        assert!(lib.cell(CellKind::DffEn).area > lib.cell(CellKind::Dff).area);
+    }
+
+    #[test]
+    fn area_of_sums() {
+        let lib = Library::synthetic_28nm();
+        let total = lib.area_of([CellKind::Inv, CellKind::Dff]);
+        let expect = lib.cell(CellKind::Inv).area + lib.cell(CellKind::Dff).area;
+        assert!((total - expect).abs() < 1e-12);
+    }
+}

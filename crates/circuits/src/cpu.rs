@@ -1,0 +1,781 @@
+//! Parameterized pipelined CPU generator ("TinyRISC") with a
+//! cycle-accurate software golden model.
+//!
+//! Stands in for the paper's Plasma / RISC-V Rocket / ARM-M0 cores (see
+//! DESIGN.md §1): the conversion results on CPUs are driven by pipeline
+//! structure — few FFs with combinational feedback, a large register file
+//! behind write enables (clock-gating material), always-on counters — all
+//! of which this generator reproduces at three sizes.
+//!
+//! **Architecture = implementation.** The ISA semantics are *defined by
+//! the pipeline* (exposed branch delay slots, delayed register
+//! write-back); [`CpuModel`] replicates the pipeline cycle for cycle, and
+//! the gate level is equivalence-tested against it.
+//!
+//! The instruction ROM holds two program segments with different
+//! instruction mixes ("dhrystone-like" in the lower half,
+//! "coremark-like" in the upper half); the `mode` input pins the fetch
+//! address MSB, so the *same netlist* runs either workload — exactly what
+//! the paper's Fig. 4 needs.
+
+use crate::iscas::SplitMix;
+use triphase_netlist::{Builder, CellKind, ClockSpec, Netlist, NetId, Word};
+
+/// Opcodes (field `instr[3:0]`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+enum Op {
+    Add = 0,
+    Sub = 1,
+    And = 2,
+    Or = 3,
+    Xor = 4,
+    Slt = 5,
+    Shl1 = 6,
+    Shr1 = 7,
+    Addi = 8,
+    Ldi = 9,
+    In = 10,
+    Out = 11,
+    Beqz = 12,
+    Jmp = 13,
+    Nop = 15,
+}
+
+impl Op {
+    fn from_bits(bits: u32) -> Op {
+        match bits & 0xf {
+            0 => Op::Add,
+            1 => Op::Sub,
+            2 => Op::And,
+            3 => Op::Or,
+            4 => Op::Xor,
+            5 => Op::Slt,
+            6 => Op::Shl1,
+            7 => Op::Shr1,
+            8 => Op::Addi,
+            9 => Op::Ldi,
+            10 => Op::In,
+            11 => Op::Out,
+            12 => Op::Beqz,
+            13 => Op::Jmp,
+            _ => Op::Nop,
+        }
+    }
+
+    fn writes_rd(self) -> bool {
+        (self as u8) <= 10
+    }
+}
+
+/// CPU configuration.
+#[derive(Debug, Clone)]
+pub struct CpuConfig {
+    /// Design name.
+    pub name: &'static str,
+    /// Number of architectural registers (power of two, ≤ 32).
+    pub nregs: usize,
+    /// Register width in bits (≤ 32).
+    pub width: usize,
+    /// Pipeline depth: 3 (F/E/W) or 5 (F/D/E/M/W).
+    pub stages: usize,
+    /// Extra gated state registers (a write-gated shift chain), modeling
+    /// CSR/TLB-ish side state; good multi-bit DDCG material.
+    pub chain_regs: usize,
+    /// Clock period (ps).
+    pub period_ps: f64,
+}
+
+/// A 3-stage MIPS-class configuration (Plasma-like).
+pub fn plasma_like() -> CpuConfig {
+    CpuConfig {
+        name: "plasma",
+        nregs: 32,
+        width: 32,
+        stages: 3,
+        chain_regs: 12,
+        period_ps: 2000.0, // 500 MHz
+    }
+}
+
+/// A 5-stage RV-class configuration (Rocket-lite).
+pub fn rocket_lite() -> CpuConfig {
+    CpuConfig {
+        name: "riscv",
+        nregs: 32,
+        width: 32,
+        stages: 5,
+        chain_regs: 40,
+        period_ps: 3000.0, // 333 MHz
+    }
+}
+
+/// A compact 3-stage configuration (M0-like).
+pub fn m0_like() -> CpuConfig {
+    CpuConfig {
+        name: "armm0",
+        nregs: 16,
+        width: 32,
+        stages: 3,
+        chain_regs: 24,
+        period_ps: 3000.0, // 333 MHz
+    }
+}
+
+/// Instruction-mix workload kinds (Fig. 4's benchmark axis).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    /// Integer/branch heavy (the lower ROM segment).
+    DhrystoneLike,
+    /// Logic/shift/IO heavy (the upper ROM segment).
+    CoremarkLike,
+}
+
+impl Workload {
+    /// The `mode` input level selecting this workload's ROM segment.
+    pub fn mode_bit(self) -> bool {
+        matches!(self, Workload::CoremarkLike)
+    }
+}
+
+const ROM_WORDS: usize = 256;
+const PC_BITS: usize = 7; // plus the mode MSB
+
+fn encode(op: Op, rd: u32, rs1: u32, rs2: u32, imm: u32) -> u32 {
+    (op as u32 & 0xf)
+        | ((rd & 0x1f) << 4)
+        | ((rs1 & 0x1f) << 9)
+        | ((rs2 & 0x1f) << 14)
+        | ((imm & 0xff) << 24)
+}
+
+/// Generate the two-segment program ROM for a configuration.
+pub fn generate_program(cfg: &CpuConfig, seed: u64) -> Vec<u32> {
+    let mut rom = vec![encode(Op::Nop, 0, 0, 0, 0); ROM_WORDS];
+    let mut rng = SplitMix(seed ^ 0xC0DE_C0DE_0000_0001);
+    let half = ROM_WORDS / 2;
+    for (seg, workload) in [(0usize, Workload::DhrystoneLike), (1, Workload::CoremarkLike)] {
+        let base = seg * half;
+        for i in 0..half {
+            let pick = rng.below(100);
+            let rd = rng.below(cfg.nregs) as u32;
+            let rs1 = rng.below(cfg.nregs) as u32;
+            let rs2 = rng.below(cfg.nregs) as u32;
+            let imm = (rng.next() & 0xff) as u32;
+            // Branch target inside the segment (7-bit field; mode supplies
+            // the MSB).
+            let tgt = rng.below(half) as u32;
+            let instr = match workload {
+                Workload::DhrystoneLike => match pick {
+                    0..=24 => encode(Op::Add, rd, rs1, rs2, 0),
+                    25..=34 => encode(Op::Sub, rd, rs1, rs2, 0),
+                    35..=44 => encode(Op::And, rd, rs1, rs2, 0),
+                    45..=52 => encode(Op::Or, rd, rs1, rs2, 0),
+                    53..=64 => encode(Op::Beqz, 0, rs1, 0, tgt),
+                    65..=74 => encode(Op::Ldi, rd, 0, 0, imm),
+                    75..=84 => encode(Op::Addi, rd, rs1, 0, imm),
+                    85..=91 => encode(Op::In, rd, rs1, 0, 0),
+                    92..=95 => encode(Op::Out, 0, rs1, 0, 0),
+                    _ => encode(Op::Slt, rd, rs1, rs2, 0),
+                },
+                Workload::CoremarkLike => match pick {
+                    0..=19 => encode(Op::Xor, rd, rs1, rs2, 0),
+                    20..=31 => encode(Op::Add, rd, rs1, rs2, 0),
+                    32..=41 => encode(Op::Shl1, rd, rs1, 0, 0),
+                    42..=51 => encode(Op::Shr1, rd, rs1, 0, 0),
+                    52..=61 => encode(Op::Slt, rd, rs1, rs2, 0),
+                    62..=69 => encode(Op::Beqz, 0, rs1, 0, tgt),
+                    70..=79 => encode(Op::In, rd, rs1, 0, 0),
+                    80..=87 => encode(Op::And, rd, rs1, rs2, 0),
+                    88..=93 => encode(Op::Ldi, rd, 0, 0, imm),
+                    _ => encode(Op::Out, 0, rs1, 0, 0),
+                },
+            };
+            rom[base + i] = instr;
+        }
+        // Segment tail: jump back to the segment start.
+        rom[base + half - 1] = encode(Op::Jmp, 0, 0, 0, 0);
+    }
+    rom
+}
+
+// ---- golden model -----------------------------------------------------------
+
+/// Decoded fields used by both the model and the generator.
+#[derive(Debug, Clone, Copy)]
+struct Fields {
+    op: Op,
+    rd: usize,
+    rs1: usize,
+    rs2: usize,
+    imm: u32,
+    tgt: u32,
+}
+
+fn decode(instr: u32, nregs: usize) -> Fields {
+    Fields {
+        op: Op::from_bits(instr),
+        rd: ((instr >> 4) as usize) & (nregs - 1),
+        rs1: ((instr >> 9) as usize) & (nregs - 1),
+        rs2: ((instr >> 14) as usize) & (nregs - 1),
+        imm: (instr >> 24) & 0xff,
+        tgt: (instr >> 24) & 0x7f,
+    }
+}
+
+fn alu(op: Op, a: u32, b: u32, imm: u32, io_in: u32, mask: u32) -> u32 {
+    (match op {
+        Op::Add => a.wrapping_add(b),
+        Op::Sub => a.wrapping_sub(b),
+        Op::And => a & b,
+        Op::Or => a | b,
+        Op::Xor => a ^ b,
+        Op::Slt => u32::from((a & mask) < (b & mask)),
+        Op::Shl1 => a << 1,
+        Op::Shr1 => (a & mask) >> 1,
+        Op::Addi => a.wrapping_add(imm),
+        Op::Ldi => imm,
+        Op::In => a ^ io_in,
+        Op::Out => a,
+        _ => 0,
+    }) & mask
+}
+
+/// Cycle-accurate software model of the generated pipeline.
+#[derive(Debug, Clone)]
+pub struct CpuModel {
+    cfg: CpuConfig,
+    rom: Vec<u32>,
+    mask: u32,
+    /// Architectural + micro-architectural state.
+    regs: Vec<u32>,
+    pc: u32,
+    // 3-stage: ir_e; 5-stage: ir_d plus decoded E-stage registers.
+    ir_e: u32,
+    ir_d: u32,
+    e_a: u32,
+    e_b: u32,
+    e_instr: u32,
+    // M stage (5-stage only).
+    m_val: u32,
+    m_rd: usize,
+    m_wen: bool,
+    m_out: bool,
+    // WB stage.
+    wb_val: u32,
+    wb_rd: usize,
+    wb_wen: bool,
+    wb_out: bool,
+    io_out: u32,
+    cycle_ctr: u32,
+    chain: Vec<u32>,
+}
+
+impl CpuModel {
+    /// New model with all state zero (matching the simulator's reset).
+    pub fn new(cfg: &CpuConfig, rom: Vec<u32>) -> CpuModel {
+        assert!(cfg.nregs.is_power_of_two() && cfg.nregs <= 32);
+        assert!(cfg.width <= 32 && cfg.width >= 8);
+        assert!(cfg.stages == 3 || cfg.stages == 5);
+        assert_eq!(rom.len(), ROM_WORDS);
+        let mask = if cfg.width == 32 {
+            u32::MAX
+        } else {
+            (1u32 << cfg.width) - 1
+        };
+        CpuModel {
+            cfg: cfg.clone(),
+            rom,
+            mask,
+            regs: vec![0; cfg.nregs],
+            pc: 0,
+            ir_e: 0,
+            ir_d: 0,
+            e_a: 0,
+            e_b: 0,
+            e_instr: 0,
+            m_val: 0,
+            m_rd: 0,
+            m_wen: false,
+            m_out: false,
+            wb_val: 0,
+            wb_rd: 0,
+            wb_wen: false,
+            wb_out: false,
+            io_out: 0,
+            cycle_ctr: 0,
+            chain: vec![0; cfg.chain_regs],
+        }
+    }
+
+    /// The io_out register value.
+    pub fn io_out(&self) -> u32 {
+        self.io_out
+    }
+
+    /// Fetch program counter (7 bits, without the mode MSB).
+    pub fn pc(&self) -> u32 {
+        self.pc
+    }
+
+    /// Architectural registers.
+    pub fn regs(&self) -> &[u32] {
+        &self.regs
+    }
+
+    /// Advance one cycle with the given `io_in` and `mode` inputs.
+    pub fn step(&mut self, io_in: u32, mode: bool) {
+        let io_in = io_in & self.mask;
+        let rom_addr = (self.pc as usize & 0x7f) | (usize::from(mode) << PC_BITS);
+        let fetched = self.rom[rom_addr];
+
+        // E stage combinational results (from *current* registers).
+        let (e_fields, a, b) = if self.cfg.stages == 3 {
+            let f = decode(self.ir_e, self.cfg.nregs);
+            (f, self.regs[f.rs1], self.regs[f.rs2])
+        } else {
+            let f = decode(self.e_instr, self.cfg.nregs);
+            (f, self.e_a, self.e_b)
+        };
+        let result = alu(e_fields.op, a, b, e_fields.imm, io_in, self.mask);
+        let wen = e_fields.op.writes_rd();
+        let is_out = e_fields.op == Op::Out;
+        let taken = e_fields.op == Op::Jmp || (e_fields.op == Op::Beqz && a == 0);
+
+        // D stage (5-stage): regfile read.
+        let d_fields = decode(self.ir_d, self.cfg.nregs);
+        let (d_a, d_b) = (self.regs[d_fields.rs1], self.regs[d_fields.rs2]);
+
+        // ---- commit edge ----
+        // Register file write from the retiring stage.
+        if self.wb_wen {
+            self.regs[self.wb_rd] = self.wb_val;
+        }
+        if self.wb_out {
+            self.io_out = self.wb_val;
+        }
+        // Chain shifts on retiring writes.
+        if self.wb_wen {
+            let mut prev = self.wb_val;
+            for c in self.chain.iter_mut() {
+                std::mem::swap(c, &mut prev);
+            }
+        }
+        // WB <- (M for 5-stage, E for 3-stage).
+        if self.cfg.stages == 5 {
+            self.wb_val = self.m_val;
+            self.wb_rd = self.m_rd;
+            self.wb_wen = self.m_wen;
+            self.wb_out = self.m_out;
+            self.m_val = result;
+            self.m_rd = e_fields.rd;
+            self.m_wen = wen;
+            self.m_out = is_out;
+            self.e_instr = self.ir_d;
+            self.e_a = d_a;
+            self.e_b = d_b;
+            self.ir_d = fetched;
+        } else {
+            self.wb_val = result;
+            self.wb_rd = e_fields.rd;
+            self.wb_wen = wen;
+            self.wb_out = is_out;
+            self.ir_e = fetched;
+        }
+        self.pc = if taken {
+            e_fields.tgt
+        } else {
+            (self.pc + 1) & 0x7f
+        };
+        self.cycle_ctr = self.cycle_ctr.wrapping_add(1) & self.mask;
+    }
+}
+
+// ---- gate level --------------------------------------------------------------
+
+/// N:1 word mux with an LSB-first select word.
+fn mux_many(b: &mut Builder, words: &[Word], sel: &Word) -> Word {
+    assert_eq!(words.len(), 1 << sel.width());
+    let mut level: Vec<Word> = words.to_vec();
+    for s in 0..sel.width() {
+        let bit = sel.bit(s);
+        level = level
+            .chunks(2)
+            .map(|pair| b.mux_word(&pair[0], &pair[1], bit))
+            .collect();
+    }
+    level.pop().expect("one left")
+}
+
+fn zext(b: &mut Builder, w: &Word, width: usize) -> Word {
+    let zero = b.const0();
+    (0..width)
+        .map(|i| if i < w.width() { w.bit(i) } else { zero })
+        .collect()
+}
+
+fn shl1(b: &mut Builder, w: &Word) -> Word {
+    let zero = b.const0();
+    (0..w.width())
+        .map(|i| if i == 0 { zero } else { w.bit(i - 1) })
+        .collect()
+}
+
+fn shr1(b: &mut Builder, w: &Word) -> Word {
+    let zero = b.const0();
+    (0..w.width())
+        .map(|i| if i + 1 < w.width() { w.bit(i + 1) } else { zero })
+        .collect()
+}
+
+fn is_op(b: &mut Builder, op_field: &Word, op: Op) -> NetId {
+    b.eq_const(op_field, op as u64)
+}
+
+/// Generate the CPU netlist.
+///
+/// Ports: `ck`, `mode`, `io_in_0..W`; outputs `io_out_0..W`,
+/// `pc_out_0..7`.
+pub fn cpu_core(cfg: &CpuConfig, rom: &[u32]) -> Netlist {
+    assert_eq!(rom.len(), ROM_WORDS);
+    let w = cfg.width;
+    let rb = cfg.nregs.trailing_zeros() as usize;
+    let mut nl = Netlist::new(cfg.name);
+    let mut b = Builder::new(&mut nl, "c");
+    let (ckp, ck) = b.netlist().add_input("ck");
+    let (_, mode) = b.netlist().add_input("mode");
+    let io_in = b.word_input("io_in", w);
+
+    let mk_reg = |b: &mut Builder, name: &str, width: usize| -> Word {
+        (0..width)
+            .map(|i| b.netlist().add_net(format!("{name}{i}")))
+            .collect()
+    };
+    let dff_in = |b: &mut Builder, q: &Word, d: &Word, name: &str| {
+        for (i, (&qn, &dn)) in q.bits().iter().zip(d.bits()).enumerate() {
+            b.netlist()
+                .add_cell(format!("ff_{name}{i}"), CellKind::Dff, vec![dn, ck, qn]);
+        }
+    };
+
+    // State registers.
+    let pc = mk_reg(&mut b, "pc_", PC_BITS);
+    let regs: Vec<Word> = (0..cfg.nregs)
+        .map(|r| mk_reg(&mut b, &format!("x{r}_"), w))
+        .collect();
+    let ir_e = mk_reg(&mut b, "ire_", 32);
+    // 5-stage extras.
+    let five = cfg.stages == 5;
+    let ir_d = if five { mk_reg(&mut b, "ird_", 32) } else { Word(vec![]) };
+    let e_a = if five { mk_reg(&mut b, "ea_", w) } else { Word(vec![]) };
+    let e_b = if five { mk_reg(&mut b, "eb_", w) } else { Word(vec![]) };
+    let m_val = if five { mk_reg(&mut b, "mv_", w) } else { Word(vec![]) };
+    let m_rd = if five { mk_reg(&mut b, "mrd_", rb) } else { Word(vec![]) };
+    let m_flags = if five { mk_reg(&mut b, "mf_", 2) } else { Word(vec![]) }; // wen, out
+    let wb_val = mk_reg(&mut b, "wbv_", w);
+    let wb_rd = mk_reg(&mut b, "wbrd_", rb);
+    let wb_flags = mk_reg(&mut b, "wbf_", 2); // wen, out
+    let io_out = mk_reg(&mut b, "ioout_", w);
+    let cycle_ctr = mk_reg(&mut b, "cyc_", w);
+    let chain: Vec<Word> = (0..cfg.chain_regs)
+        .map(|i| mk_reg(&mut b, &format!("ch{i}_"), w))
+        .collect();
+
+    // ROM fetch.
+    let addr: Word = Word(
+        pc.bits()
+            .iter()
+            .copied()
+            .chain(std::iter::once(mode))
+            .collect(),
+    );
+    let rom_table: Vec<u64> = rom.iter().map(|&v| v as u64).collect();
+    let fetched = {
+        let mut padded = vec![0u64; 256];
+        padded.copy_from_slice(&rom_table);
+        b.sop(&addr, 32, &padded)
+    };
+
+    // Instruction in E (both depths stage it through `ir_e`).
+    let e_src = &ir_e;
+    let op_f = e_src.slice(0, 4);
+    let rd_f = e_src.slice(4, rb);
+    let rs1_f = e_src.slice(9, rb);
+    let rs2_f = e_src.slice(14, rb);
+    let imm_f = e_src.slice(24, 8);
+    let tgt_f = e_src.slice(24, PC_BITS);
+
+    // Operand read: 3-stage reads the regfile in E; 5-stage reads in D and
+    // uses registered operands.
+    let (a_val, b_val) = if five {
+        (e_a.clone(), e_b.clone())
+    } else {
+        let a = mux_many(&mut b, &regs, &rs1_f);
+        let bb = mux_many(&mut b, &regs, &rs2_f);
+        (a, bb)
+    };
+
+    // ALU.
+    let imm_w = zext(&mut b, &imm_f, w);
+    let add = b.add(&a_val, &b_val, None).0;
+    let (sub, no_borrow) = b.sub(&a_val, &b_val);
+    let and_w = b.and_word(&a_val, &b_val);
+    let or_w = b.or_word(&a_val, &b_val);
+    let xor_w = b.xor_word(&a_val, &b_val);
+    let borrow = b.not(no_borrow);
+    let slt = zext(&mut b, &Word(vec![borrow]), w);
+    let shl = shl1(&mut b, &a_val);
+    let shr = shr1(&mut b, &a_val);
+    let addi = b.add(&a_val, &imm_w, None).0;
+    let inw = b.xor_word(&a_val, &io_in);
+    let zero_w = b.const_word(0, w);
+    let candidates = vec![
+        add,
+        sub,
+        and_w,
+        or_w,
+        xor_w,
+        slt,
+        shl,
+        shr,
+        addi,
+        imm_w.clone(),
+        inw,
+        a_val.clone(),
+        zero_w.clone(),
+        zero_w.clone(),
+        zero_w.clone(),
+        zero_w.clone(),
+    ];
+    let result = mux_many(&mut b, &candidates, &op_f);
+
+    // Control.
+    let op3 = op_f.bit(3);
+    let op2 = op_f.bit(2);
+    let op1 = op_f.bit(1);
+    let op0 = op_f.bit(0);
+    // wen = !(op >= 11): 11..15 have op3 & (op2 | (op1 & op0)).
+    let t_1100 = b.and(&[op1, op0]);
+    let hi = b.or(&[op2, t_1100]);
+    let ge11 = b.and(&[op3, hi]);
+    let wen = b.not(ge11);
+    let is_out = is_op(&mut b, &op_f, Op::Out);
+    let is_jmp = is_op(&mut b, &op_f, Op::Jmp);
+    let is_beqz = is_op(&mut b, &op_f, Op::Beqz);
+    let a_zero = {
+        let any = b.or(a_val.bits());
+        b.not(any)
+    };
+    let beqz_taken = b.and(&[is_beqz, a_zero]);
+    let taken = b.or(&[is_jmp, beqz_taken]);
+
+    // Next PC.
+    let pc_inc = b.add_const(&pc, 1);
+    let pc_next = b.mux_word(&pc_inc.slice(0, PC_BITS), &tgt_f, taken);
+    dff_in(&mut b, &pc, &pc_next, "pc_");
+
+    // D stage reads (5-stage).
+    if five {
+        let d_rs1 = ir_d.slice(9, rb);
+        let d_rs2 = ir_d.slice(14, rb);
+        let da = mux_many(&mut b, &regs, &d_rs1);
+        let db = mux_many(&mut b, &regs, &d_rs2);
+        dff_in(&mut b, &e_a, &da, "ea_");
+        dff_in(&mut b, &e_b, &db, "eb_");
+        dff_in(&mut b, &ir_e, &ir_d, "ire_");
+        dff_in(&mut b, &ir_d, &fetched, "ird_");
+        // M pipeline.
+        dff_in(&mut b, &m_val, &result, "mv_");
+        dff_in(&mut b, &m_rd, &rd_f, "mrd_");
+        dff_in(&mut b, &m_flags, &Word(vec![wen, is_out]), "mf_");
+        dff_in(&mut b, &wb_val, &m_val, "wbv_");
+        dff_in(&mut b, &wb_rd, &m_rd, "wbrd_");
+        dff_in(&mut b, &wb_flags, &m_flags, "wbf_");
+    } else {
+        dff_in(&mut b, &ir_e, &fetched, "ire_");
+        dff_in(&mut b, &wb_val, &result, "wbv_");
+        dff_in(&mut b, &wb_rd, &rd_f, "wbrd_");
+        dff_in(&mut b, &wb_flags, &Word(vec![wen, is_out]), "wbf_");
+    }
+
+    // Register file write (enabled FFs: the flow's clock-gating fodder).
+    let wb_wen = wb_flags.bit(0);
+    let wb_out = wb_flags.bit(1);
+    let rd_dec = b.decoder(&wb_rd);
+    for (r, q) in regs.iter().enumerate() {
+        let en = b.and(&[rd_dec[r], wb_wen]);
+        for (i, &qn) in q.bits().iter().enumerate() {
+            b.netlist().add_cell(
+                format!("rf_x{r}_{i}"),
+                CellKind::DffEn,
+                vec![wb_val.bit(i), en, ck, qn],
+            );
+        }
+    }
+    // io_out register (enabled).
+    for (i, &qn) in io_out.bits().iter().enumerate() {
+        b.netlist().add_cell(
+            format!("ff_io{i}"),
+            CellKind::DffEn,
+            vec![wb_val.bit(i), wb_out, ck, qn],
+        );
+    }
+    // Chain registers (enabled by retiring writes).
+    let mut prev = wb_val.clone();
+    for (ci, c) in chain.iter().enumerate() {
+        for (i, &qn) in c.bits().iter().enumerate() {
+            b.netlist().add_cell(
+                format!("ff_ch{ci}_{i}"),
+                CellKind::DffEn,
+                vec![prev.bit(i), wb_wen, ck, qn],
+            );
+        }
+        prev = c.clone();
+    }
+    // Cycle counter (always on: a self-loop FF bank).
+    let cyc_next = b.add_const(&cycle_ctr, 1);
+    dff_in(&mut b, &cycle_ctr, &cyc_next, "cyc_");
+
+    b.word_output("io_out", &io_out);
+    b.word_output("pc_out", &pc);
+    nl.clock = Some(ClockSpec::single(ckp, cfg.period_ps));
+    nl
+}
+
+/// Convenience: generate a configured CPU with its seeded program.
+pub fn build_cpu(cfg: &CpuConfig, seed: u64) -> (Netlist, Vec<u32>) {
+    let rom = generate_program(cfg, seed);
+    (cpu_core(cfg, &rom), rom)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use triphase_sim::{Logic, Simulator};
+
+    fn run_and_compare(cfg: &CpuConfig, seed: u64, cycles: usize, mode: bool) {
+        let (nl, rom) = build_cpu(cfg, seed);
+        nl.validate().unwrap();
+        let mut model = CpuModel::new(cfg, rom);
+        let mut sim = Simulator::new(&nl).unwrap();
+        sim.reset_zero();
+        let mode_p = nl.find_port("mode").unwrap();
+        let io_ports: Vec<_> = (0..cfg.width)
+            .map(|i| nl.find_port(&format!("io_in_{i}")).unwrap())
+            .collect();
+        let out_ports: Vec<_> = (0..cfg.width)
+            .map(|i| nl.find_port(&format!("io_out_{i}")).unwrap())
+            .collect();
+        let pc_ports: Vec<_> = (0..PC_BITS)
+            .map(|i| nl.find_port(&format!("pc_out_{i}")).unwrap())
+            .collect();
+        let mut rng = SplitMix(seed ^ 0x10);
+        // Inputs are applied after the capture edge, so the edge inside
+        // step N commits the cycle that ran with the *previous* inputs.
+        let mut pending: (u32, bool) = (0, false);
+        for cycle in 0..cycles {
+            let io = (rng.next() as u32)
+                & (if cfg.width == 32 {
+                    u32::MAX
+                } else {
+                    (1 << cfg.width) - 1
+                });
+            sim.set_input(mode_p, Logic::from_bool(mode));
+            for (i, &p) in io_ports.iter().enumerate() {
+                sim.set_input(p, Logic::from_bool((io >> i) & 1 == 1));
+            }
+            sim.step_cycle();
+            model.step(pending.0, pending.1);
+            pending = (io, mode);
+            let got_pc: u32 = pc_ports
+                .iter()
+                .enumerate()
+                .map(|(i, &p)| u32::from(sim.output(p) == Logic::One) << i)
+                .sum();
+            assert_eq!(got_pc, model.pc(), "pc at cycle {cycle}");
+            let got_out: u32 = out_ports
+                .iter()
+                .enumerate()
+                .map(|(i, &p)| u32::from(sim.output(p) == Logic::One) << i)
+                .sum();
+            assert_eq!(got_out, model.io_out(), "io_out at cycle {cycle}");
+        }
+    }
+
+    #[test]
+    fn three_stage_matches_model_dhrystone() {
+        let mut cfg = m0_like();
+        cfg.chain_regs = 2; // keep the test light
+        run_and_compare(&cfg, 11, 120, false);
+    }
+
+    #[test]
+    fn three_stage_matches_model_coremark() {
+        let mut cfg = m0_like();
+        cfg.chain_regs = 2;
+        run_and_compare(&cfg, 11, 120, true);
+    }
+
+    #[test]
+    fn five_stage_matches_model() {
+        let mut cfg = rocket_lite();
+        cfg.chain_regs = 2;
+        run_and_compare(&cfg, 13, 120, false);
+    }
+
+    #[test]
+    fn ff_counts_in_profile_range() {
+        for (cfg, lo, hi) in [
+            (plasma_like(), 1300usize, 1900usize),
+            (rocket_lite(), 2400, 3200),
+            (m0_like(), 1100, 1700),
+        ] {
+            let (nl, _) = build_cpu(&cfg, 1);
+            let ffs = nl.stats().ffs;
+            assert!(
+                (lo..=hi).contains(&ffs),
+                "{}: {} FFs not in {lo}..={hi}",
+                cfg.name,
+                ffs
+            );
+        }
+    }
+
+    #[test]
+    fn program_segments_loop() {
+        let cfg = m0_like();
+        let rom = generate_program(&cfg, 5);
+        assert_eq!(rom.len(), ROM_WORDS);
+        // Both segment tails are JMPs.
+        assert_eq!(Op::from_bits(rom[127]), Op::Jmp);
+        assert_eq!(Op::from_bits(rom[255]), Op::Jmp);
+        // Segments differ (different mixes).
+        assert_ne!(&rom[..127], &rom[128..255]);
+    }
+
+    #[test]
+    fn workloads_have_distinct_activity() {
+        let mut cfg = m0_like();
+        cfg.chain_regs = 2;
+        let (nl, _) = build_cpu(&cfg, 3);
+        // Drive mode=0 vs mode=1 manually, compare io_out toggle totals.
+        let toggles = |mode: bool| -> u64 {
+            let mut sim = Simulator::new(&nl).unwrap();
+            sim.reset_zero();
+            let mode_p = nl.find_port("mode").unwrap();
+            let mut rng = SplitMix(99);
+            for _ in 0..200 {
+                sim.set_input(mode_p, Logic::from_bool(mode));
+                for i in 0..cfg.width {
+                    let p = nl.find_port(&format!("io_in_{i}")).unwrap();
+                    sim.set_input(p, Logic::from_bool(rng.next() & 1 == 1));
+                }
+                sim.step_cycle();
+            }
+            sim.activity().net_toggles.iter().sum()
+        };
+        let t0 = toggles(false);
+        let t1 = toggles(true);
+        assert_ne!(t0, t1, "workload mixes must differ in activity");
+    }
+}

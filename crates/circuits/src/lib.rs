@@ -1,0 +1,30 @@
+//! Benchmark circuit generators for the `triphase` toolkit.
+//!
+//! Everything the paper evaluates on, rebuilt or substituted (see
+//! DESIGN.md §1):
+//!
+//! - [`pipeline`]: linear FF pipelines (the paper's Fig. 1 special case);
+//! - [`iscas`]: the embedded real `s27` plus profile-matched synthetic
+//!   ISCAS89-class circuits for the eleven Table-I rows;
+//! - [`crypto`]: functionally real AES-128 / SHA-256 / MD5 cores and a
+//!   DES3-like Feistel network (the CEP submodules);
+//! - [`cpu`]: parameterized pipelined CPUs (Plasma-like / Rocket-lite /
+//!   M0-like) with a cycle-accurate golden model and two instruction-mix
+//!   workloads (the Fig. 4 axis).
+//!
+//! All generators are seeded and deterministic.
+//!
+//! # Examples
+//!
+//! ```
+//! use triphase_circuits::pipeline::linear_pipeline;
+//!
+//! let nl = linear_pipeline(4, 8, 2, 1000.0);
+//! assert_eq!(nl.stats().ffs, 32);
+//! nl.validate().unwrap();
+//! ```
+
+pub mod cpu;
+pub mod crypto;
+pub mod iscas;
+pub mod pipeline;

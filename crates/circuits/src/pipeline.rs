@@ -1,0 +1,78 @@
+//! Linear pipeline generator (the paper's Fig. 1 special case).
+
+use triphase_netlist::{Builder, ClockSpec, Netlist, Word};
+
+/// Generate a linear FF-based pipeline: `stages` register stages of
+/// `width` bits with `depth` levels of mixing logic (XOR/rotate) between
+/// consecutive stages.
+///
+/// The special case the paper analyzes: no combinational feedback, so the
+/// 3-phase conversion needs exactly one extra latch stage per two original
+/// stages.
+///
+/// # Panics
+///
+/// Panics if `stages == 0` or `width == 0`.
+pub fn linear_pipeline(stages: usize, width: usize, depth: usize, period_ps: f64) -> Netlist {
+    assert!(stages > 0 && width > 0, "degenerate pipeline");
+    let mut nl = Netlist::new(format!("pipe{stages}x{width}"));
+    let mut b = Builder::new(&mut nl, "u");
+    let (ckp, ck) = b.netlist().add_input("ck");
+    let mut data: Word = b.word_input("din", width);
+    for _ in 0..stages {
+        for _ in 0..depth {
+            let rot = data.rotl(1);
+            data = b.xor_word(&data, &rot);
+        }
+        data = b.dff_word(&data, ck);
+    }
+    b.word_output("dout", &data);
+    nl.clock = Some(ClockSpec::single(ckp, period_ps));
+    nl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_scale_with_parameters() {
+        let nl = linear_pipeline(4, 8, 2, 1000.0);
+        let s = nl.stats();
+        assert_eq!(s.ffs, 32);
+        assert_eq!(s.inputs, 9); // 8 data + clock
+        assert_eq!(s.outputs, 8);
+        nl.validate().unwrap();
+        // depth XOR layers * width * stages gates.
+        assert_eq!(s.comb, 4 * 2 * 8);
+    }
+
+    #[test]
+    fn zero_depth_pipeline_is_shift_register() {
+        let nl = linear_pipeline(3, 4, 0, 500.0);
+        assert_eq!(nl.stats().comb, 0);
+        assert_eq!(nl.stats().ffs, 12);
+        nl.validate().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn rejects_zero_stages() {
+        linear_pipeline(0, 4, 1, 1000.0);
+    }
+
+    #[test]
+    fn simulates_as_pipeline() {
+        use triphase_sim::{Logic, Simulator};
+        let nl = linear_pipeline(2, 4, 0, 1000.0);
+        let mut sim = Simulator::new(&nl).unwrap();
+        sim.reset_zero();
+        let din0 = nl.find_port("din_0").unwrap();
+        let dout0 = nl.find_port("dout_0").unwrap();
+        sim.set_input(din0, Logic::One);
+        sim.step_cycle(); // input applied after this cycle's edge
+        sim.step_cycle(); // captured into stage 1
+        sim.step_cycle(); // reaches the output register
+        assert_eq!(sim.output(dout0), Logic::One);
+    }
+}

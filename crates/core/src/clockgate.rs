@@ -1,0 +1,468 @@
+//! Clock gating of the inserted `p2` latches (paper §IV-D, Fig. 3).
+//!
+//! Three mechanisms, applied in the paper's order:
+//!
+//! 1. **Common-enable gating**: a `p2` latch whose fan-in latches are all
+//!    clock-gated by one shared enable `EN` is gated by the same `EN`,
+//!    using the modified `ICGM1` cell (Fig. 3(c1), modification M1: the
+//!    internal enable latch is clocked by `p3` instead of an inverted
+//!    `p2`, saving the inverter).
+//! 2. **M2 latch removal** (Fig. 3(c2)): a conventional ICG driving `p1`
+//!    or `p3` latches whose enable cone has *no start point of the same
+//!    phase* (primary inputs count as `p1`) can drop its internal latch —
+//!    the enable is naturally hazard-free during the gated phase.
+//! 3. **Multi-bit DDCG**: remaining ungated `p2` latches with low data
+//!    toggle rates are grouped (max fan-out per CG) behind a data-driven
+//!    enable `OR(XOR(D_i, Q_i))`, again with an `ICGM1` cell.
+
+use crate::error::{Error, Result};
+use std::collections::HashMap;
+use triphase_netlist::{graph, CellId, CellKind, NetId, Netlist};
+use triphase_sim::Activity;
+use triphase_timing::storage_phases;
+
+/// Statistics of the clock-gating stage.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CgReport {
+    /// `p2` latches gated by a shared upstream enable.
+    pub common_enable_gated: usize,
+    /// `ICGM1` cells inserted (common-enable + DDCG).
+    pub m1_cells: usize,
+    /// Conventional ICGs rewritten to latch-free `ICGM2`.
+    pub m2_replaced: usize,
+    /// DDCG groups formed.
+    pub ddcg_groups: usize,
+    /// `p2` latches gated by DDCG.
+    pub ddcg_gated: usize,
+}
+
+/// The `p2` phase index in converted designs.
+const P2: usize = 1;
+
+fn p2_port_net(nl: &Netlist) -> Result<NetId> {
+    let clock = nl
+        .clock
+        .as_ref()
+        .ok_or_else(|| Error::BadInput("no clock spec".into()))?;
+    if clock.phases.len() != 3 {
+        return Err(Error::BadInput("expected a 3-phase clock".into()));
+    }
+    Ok(nl.port(clock.phases[P2].port).net)
+}
+
+fn p3_port_net(nl: &Netlist) -> NetId {
+    let clock = nl.clock.as_ref().expect("checked");
+    nl.port(clock.phases[2].port).net
+}
+
+/// Gate `p2` latches whose fan-in latches share a common enable
+/// (mechanism 1). Returns the updated report.
+///
+/// # Errors
+///
+/// [`Error::BadInput`] on non-3-phase designs.
+pub fn gate_p2_common_enable(nl: &mut Netlist, max_fanout: usize) -> Result<CgReport> {
+    let p2n = p2_port_net(nl)?;
+    let p3n = p3_port_net(nl);
+    let idx = nl.index();
+    let phases = storage_phases(nl, &idx)?;
+
+    // Enable net of a gated latch (via its single ICG), if any.
+    let enable_of = |c: CellId| -> Option<NetId> {
+        let cell = nl.cell(c);
+        let trace = graph::trace_clock_root(nl, &idx, cell.pin(1)).ok()?;
+        match trace.gates.as_slice() {
+            [icg] => {
+                let g = nl.cell(*icg);
+                Some(g.pin(g.kind.enable_pin().expect("icg")))
+            }
+            _ => None,
+        }
+    };
+
+    // Candidate p2 latches: ungated, with all storage cone-starts gated
+    // by one shared EN and no PI/const starts.
+    let mut groups: HashMap<NetId, Vec<CellId>> = HashMap::new();
+    for (id, cell) in nl.cells() {
+        if !cell.kind.is_latch() || phases.get(&id) != Some(&P2) || cell.pin(1) != p2n {
+            continue;
+        }
+        let starts = graph::fanin_cone_starts(nl, &idx, cell.pin(0));
+        let mut common: Option<NetId> = None;
+        let mut ok = !starts.is_empty();
+        for start in starts {
+            match start {
+                graph::ConeStart::Storage(s) => match (enable_of(s), common) {
+                    (Some(en), None) => common = Some(en),
+                    (Some(en), Some(prev)) if en == prev => {}
+                    _ => {
+                        ok = false;
+                        break;
+                    }
+                },
+                graph::ConeStart::Constant(_) => {}
+                _ => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if ok {
+            if let Some(en) = common {
+                groups.entry(en).or_default().push(id);
+            }
+        }
+    }
+
+    let mut report = CgReport::default();
+    let mut ens: Vec<NetId> = groups.keys().copied().collect();
+    ens.sort();
+    for en in ens {
+        for chunk in groups[&en].chunks(max_fanout.max(1)) {
+            let gck = nl.add_net(format!("p2gck_{}", report.m1_cells));
+            nl.add_cell(
+                format!("p2cg_{}", report.m1_cells),
+                CellKind::IcgM1,
+                vec![en, p3n, p2n, gck],
+            );
+            report.m1_cells += 1;
+            for &latch in chunk {
+                nl.set_pin(latch, 1, gck);
+                report.common_enable_gated += 1;
+            }
+        }
+    }
+    Ok(report)
+}
+
+/// Replace conventional ICGs with latch-free `ICGM2` cells where legal
+/// (mechanism 2). Returns the number replaced.
+///
+/// # Errors
+///
+/// [`Error::BadInput`] on non-3-phase designs.
+pub fn apply_m2(nl: &mut Netlist) -> Result<usize> {
+    let _ = p2_port_net(nl)?; // shape check
+    let idx = nl.index();
+    let phases = storage_phases(nl, &idx)?;
+    let clock = nl.clock.as_ref().expect("checked").clone();
+    let phase_of_net: HashMap<NetId, usize> = clock
+        .phases
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (nl.port(p.port).net, i))
+        .collect();
+
+    let icgs: Vec<CellId> = nl
+        .cells()
+        .filter(|(_, c)| c.kind == CellKind::Icg)
+        .map(|(id, _)| id)
+        .collect();
+    let mut replaced = 0usize;
+    for icg in icgs {
+        let cell = nl.cell(icg);
+        let en = cell.pin(0);
+        let ck = cell.pin(1);
+        let gck = cell.output();
+        // Only ICGs rooted directly at p1 or p3.
+        let Some(&target_phase) = phase_of_net.get(&ck) else {
+            continue;
+        };
+        if target_phase == P2 {
+            continue;
+        }
+        // Enable cone start phases; PIs count as p1 (phase 0).
+        let mut removable = true;
+        for start in graph::fanin_cone_starts(nl, &idx, en) {
+            let start_phase = match start {
+                graph::ConeStart::Storage(s) => phases.get(&s).copied(),
+                graph::ConeStart::Port(_) => Some(0),
+                graph::ConeStart::Constant(_) => None,
+                graph::ConeStart::ClockGate(_) => Some(target_phase), // conservative
+            };
+            if start_phase == Some(target_phase) {
+                removable = false;
+                break;
+            }
+        }
+        if removable {
+            nl.replace_cell(icg, CellKind::IcgM2, vec![en, ck, gck]);
+            replaced += 1;
+        }
+    }
+    Ok(replaced)
+}
+
+/// Data-driven clock gating for the remaining ungated `p2` latches
+/// (mechanism 3).
+///
+/// Latches whose D-net toggle rate is below `threshold` toggles/cycle are
+/// sorted by rate and grouped (≤ `max_fanout`); each group gets
+/// `EN = OR(XOR(D_i, Q_i))` into a **conventional** ICG. The M1 cell is
+/// *not* legal here: its enable latch is only transparent while `p3` is
+/// high, but the `D != Q` comparison of a latch fed from `p1` only
+/// settles during `p1`'s window — the conventional cell (transparent
+/// whenever `p2` is low) samples it right up to the `p2` rising edge.
+///
+/// # Errors
+///
+/// [`Error::BadInput`] on non-3-phase designs.
+pub fn apply_ddcg(
+    nl: &mut Netlist,
+    activity: &Activity,
+    threshold: f64,
+    max_fanout: usize,
+) -> Result<CgReport> {
+    apply_ddcg_placed(nl, activity, threshold, max_fanout, None)
+}
+
+/// [`apply_ddcg`] with placement-aware grouping: when `positions` (per
+/// cell id, µm) from a trial placement are given, groups are formed
+/// within spatial tiles so each gated-clock subtree stays physically
+/// compact — physically-aware clock gating, the practice behind the
+/// paper's remark that grouped latches should be correlated.
+///
+/// # Errors
+///
+/// [`Error::BadInput`] on non-3-phase designs.
+pub fn apply_ddcg_placed(
+    nl: &mut Netlist,
+    activity: &Activity,
+    threshold: f64,
+    max_fanout: usize,
+    positions: Option<&[Option<(f64, f64)>]>,
+) -> Result<CgReport> {
+    let p2n = p2_port_net(nl)?;
+    let p3n = p3_port_net(nl);
+    let idx = nl.index();
+    let phases = storage_phases(nl, &idx)?;
+
+    let mut candidates: Vec<(CellId, f64)> = nl
+        .cells()
+        .filter(|(id, c)| {
+            c.kind.is_latch() && phases.get(id) == Some(&P2) && c.pin(1) == p2n
+        })
+        .map(|(id, c)| (id, activity.toggle_rate(c.pin(0))))
+        .filter(|&(_, rate)| rate < threshold)
+        .collect();
+    // Group by coarse toggle-rate bucket, then by spatial tile (when a
+    // trial placement is available) or instance name: each gated subtree
+    // must stay physically compact or its clock wiring erases the gating
+    // benefit — the paper's observation that grouped latches should be
+    // "low and highly correlated".
+    let tile = |c: CellId| -> u64 {
+        match positions.and_then(|p| p.get(c.index()).copied().flatten()) {
+            Some((x, y)) => {
+                // Interleave 16 µm tile coordinates (Morton-ish order).
+                let (tx, ty) = ((x / 16.0) as u64 & 0xffff, (y / 16.0) as u64 & 0xffff);
+                let mut z = 0u64;
+                for i in 0..16 {
+                    z |= ((tx >> i) & 1) << (2 * i) | ((ty >> i) & 1) << (2 * i + 1);
+                }
+                z
+            }
+            None => 0,
+        }
+    };
+    candidates.sort_by(|a, b| {
+        let bucket = |r: f64| (r / 0.01) as u64;
+        bucket(a.1)
+            .cmp(&bucket(b.1))
+            .then_with(|| tile(a.0).cmp(&tile(b.0)))
+            .then_with(|| nl.cell(a.0).name.cmp(&nl.cell(b.0).name))
+    });
+
+    let mut report = CgReport::default();
+    let mut counter = 0usize;
+    for chunk in candidates.chunks(max_fanout.max(1)) {
+        if chunk.is_empty() {
+            continue;
+        }
+        // EN = OR of per-latch D!=Q comparators.
+        let mut xor_nets = Vec::with_capacity(chunk.len());
+        for &(latch, _) in chunk {
+            let (d, q) = {
+                let c = nl.cell(latch);
+                (c.pin(0), c.output())
+            };
+            let x = nl.add_net(format!("ddcg_x{counter}"));
+            nl.add_cell(
+                format!("ddcg_xor{counter}"),
+                CellKind::Xor(2),
+                vec![d, q, x],
+            );
+            counter += 1;
+            xor_nets.push(x);
+        }
+        let en = or_tree(nl, &xor_nets, &mut counter);
+        let gck = nl.add_net(format!("ddcg_gck{counter}"));
+        nl.add_cell(
+            format!("ddcg_cg{counter}"),
+            CellKind::Icg,
+            vec![en, p2n, gck],
+        );
+        counter += 1;
+        for &(latch, _) in chunk {
+            nl.set_pin(latch, 1, gck);
+        }
+        report.ddcg_groups += 1;
+        report.ddcg_gated += chunk.len();
+    }
+    let _ = p3n;
+    Ok(report)
+}
+
+fn or_tree(nl: &mut Netlist, nets: &[NetId], counter: &mut usize) -> NetId {
+    let mut level: Vec<NetId> = nets.to_vec();
+    while level.len() > 1 {
+        let mut next = Vec::with_capacity(level.len().div_ceil(4));
+        for chunk in level.chunks(4) {
+            if chunk.len() == 1 {
+                next.push(chunk[0]);
+            } else {
+                let out = nl.add_net(format!("ddcg_or{counter}"));
+                let mut pins = chunk.to_vec();
+                pins.push(out);
+                nl.add_cell(
+                    format!("ddcg_org{counter}"),
+                    CellKind::Or(chunk.len() as u8),
+                    pins,
+                );
+                *counter += 1;
+                next.push(out);
+            }
+        }
+        level = next;
+    }
+    level[0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convert::to_three_phase;
+    use crate::ffgraph::{assign_phases, extract_ff_graph};
+    use crate::preprocess::gated_clock_style;
+    use triphase_ilp::PhaseConfig;
+    use triphase_netlist::Builder;
+    use triphase_sim::{equiv_stream, run_random};
+
+    /// Enabled FF pipeline: two banks behind one enable, chained.
+    fn gated_pipeline(width: usize) -> Netlist {
+        let mut nl = Netlist::new("gp");
+        let mut b = Builder::new(&mut nl, "u");
+        let (ckp, ck) = b.netlist().add_input("ck");
+        let (_, en) = b.netlist().add_input("en");
+        let d = b.word_input("d", width);
+        let q0 = b.dffen_word(&d, en, ck);
+        let x: Vec<_> = q0.bits().iter().map(|&n| b.not(n)).collect();
+        let q1 = b.dffen_word(&triphase_netlist::Word(x), en, ck);
+        b.word_output("q", &q1);
+        nl.clock = Some(triphase_netlist::ClockSpec::single(ckp, 900.0));
+        nl
+    }
+
+    fn convert(nl: &Netlist) -> Netlist {
+        let idx = nl.index();
+        let g = extract_ff_graph(nl, &idx).unwrap();
+        let a = assign_phases(&g, &PhaseConfig::default());
+        to_three_phase(nl, &a).unwrap().0
+    }
+
+    #[test]
+    fn common_enable_gates_p2_latches() {
+        let golden = gated_pipeline(8);
+        let mut pre = golden.clone();
+        gated_clock_style(&mut pre, 32).unwrap();
+        let mut tp = convert(&pre);
+        let before_cg = tp.stats().clock_gates;
+        let report = gate_p2_common_enable(&mut tp, 32).unwrap();
+        assert!(report.common_enable_gated > 0, "{report:?}");
+        assert!(report.m1_cells > 0);
+        assert_eq!(tp.stats().clock_gates, before_cg + report.m1_cells);
+        tp.validate().unwrap();
+        // Functionally identical to the original enabled design.
+        let r = equiv_stream(&golden, &tp, 11, 400).unwrap();
+        assert!(r.equivalent(), "{:?}", r.mismatch);
+    }
+
+    #[test]
+    fn m2_replaces_safe_icgs() {
+        let golden = gated_pipeline(6);
+        let mut pre = golden.clone();
+        gated_clock_style(&mut pre, 32).unwrap();
+        let mut tp = convert(&pre);
+        let replaced = apply_m2(&mut tp).unwrap();
+        // The enable comes from a PI (phase p1 by convention), so the
+        // p1-rooted ICG must keep its latch while a p3-rooted ICG (if the
+        // assignment made one) may drop it.
+        let m2_count = tp
+            .cells()
+            .filter(|(_, c)| c.kind == CellKind::IcgM2)
+            .count();
+        assert_eq!(replaced, m2_count);
+        tp.validate().unwrap();
+        let r = equiv_stream(&golden, &tp, 13, 400).unwrap();
+        assert!(r.equivalent(), "{:?}", r.mismatch);
+    }
+
+    #[test]
+    fn ddcg_gates_quiet_latches_and_preserves_function() {
+        // Ungated pipeline with a mostly-constant data path: DDCG should
+        // gate the p2 latches.
+        let mut nl = Netlist::new("quiet");
+        let mut b = Builder::new(&mut nl, "u");
+        let (ckp, ck) = b.netlist().add_input("ck");
+        let d = b.word_input("d", 6);
+        let s0 = b.dff_word(&d, ck);
+        let s1 = b.dff_word(&s0, ck);
+        b.word_output("q", &s1);
+        nl.clock = Some(triphase_netlist::ClockSpec::single(ckp, 900.0));
+
+        let mut tp = convert(&nl);
+        // Profile with an all-zero (quiet) input stream.
+        let activity = {
+            let mut s = triphase_sim::Simulator::new(&tp).unwrap();
+            s.reset_zero();
+            for _ in 0..64 {
+                s.step_cycle();
+            }
+            s.activity().clone()
+        };
+        let report = apply_ddcg(&mut tp, &activity, 0.02, 4).unwrap();
+        assert!(report.ddcg_gated > 0, "{report:?}");
+        assert!(report.ddcg_groups >= report.ddcg_gated / 4);
+        tp.validate().unwrap();
+        // Equivalence under *active* inputs (gating must be data-driven,
+        // not just "off").
+        let r = equiv_stream(&nl, &tp, 17, 400).unwrap();
+        assert!(r.equivalent(), "{:?}", r.mismatch);
+    }
+
+    #[test]
+    fn ddcg_respects_threshold() {
+        let nl = gated_pipeline(4);
+        let mut pre = nl.clone();
+        gated_clock_style(&mut pre, 32).unwrap();
+        let mut tp = convert(&pre);
+        let activity = run_random(&tp, 3, 64).unwrap().activity().clone();
+        // Threshold 0: nothing qualifies.
+        let report = apply_ddcg(&mut tp, &activity, 0.0, 8).unwrap();
+        assert_eq!(report.ddcg_gated, 0);
+    }
+
+    #[test]
+    fn full_cg_stack_is_equivalent() {
+        let golden = gated_pipeline(8);
+        let mut pre = golden.clone();
+        gated_clock_style(&mut pre, 32).unwrap();
+        let mut tp = convert(&pre);
+        gate_p2_common_enable(&mut tp, 32).unwrap();
+        apply_m2(&mut tp).unwrap();
+        let activity = run_random(&tp, 9, 64).unwrap().activity().clone();
+        apply_ddcg(&mut tp, &activity, 0.02, 32).unwrap();
+        tp.validate().unwrap();
+        let r = equiv_stream(&golden, &tp, 23, 500).unwrap();
+        assert!(r.equivalent(), "{:?}", r.mismatch);
+    }
+}

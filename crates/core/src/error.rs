@@ -1,0 +1,89 @@
+//! Error type of the conversion flow.
+
+use std::fmt;
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by the conversion flow.
+#[derive(Debug)]
+pub enum Error {
+    /// Underlying netlist problem.
+    Netlist(triphase_netlist::Error),
+    /// Timing analysis failed.
+    Timing(triphase_timing::Error),
+    /// Simulation failed.
+    Sim(triphase_sim::Error),
+    /// Retiming failed.
+    Retime(triphase_retime::Error),
+    /// Place-and-route failed.
+    Pnr(triphase_pnr::Error),
+    /// Power estimation failed.
+    Power(triphase_power::Error),
+    /// The design is not in the expected pre-conversion form (message
+    /// explains what is wrong).
+    BadInput(String),
+    /// Post-conversion validation failed (equivalence or constraint C2).
+    ValidationFailed(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Netlist(e) => write!(f, "netlist error: {e}"),
+            Error::Timing(e) => write!(f, "timing error: {e}"),
+            Error::Sim(e) => write!(f, "simulation error: {e}"),
+            Error::Retime(e) => write!(f, "retiming error: {e}"),
+            Error::Pnr(e) => write!(f, "place-and-route error: {e}"),
+            Error::Power(e) => write!(f, "power estimation error: {e}"),
+            Error::BadInput(m) => write!(f, "bad input design: {m}"),
+            Error::ValidationFailed(m) => write!(f, "validation failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Netlist(e) => Some(e),
+            Error::Timing(e) => Some(e),
+            Error::Sim(e) => Some(e),
+            Error::Retime(e) => Some(e),
+            Error::Pnr(e) => Some(e),
+            Error::Power(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+macro_rules! from_err {
+    ($variant:ident, $ty:ty) => {
+        impl From<$ty> for Error {
+            fn from(e: $ty) -> Self {
+                Error::$variant(e)
+            }
+        }
+    };
+}
+
+from_err!(Netlist, triphase_netlist::Error);
+from_err!(Timing, triphase_timing::Error);
+from_err!(Sim, triphase_sim::Error);
+from_err!(Retime, triphase_retime::Error);
+from_err!(Pnr, triphase_pnr::Error);
+from_err!(Power, triphase_power::Error);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = Error::BadInput("latches present".into());
+        assert!(e.to_string().contains("latches"));
+        let e: Error = triphase_netlist::Error::Invalid("x".into()).into();
+        assert!(std::error::Error::source(&e).is_some());
+        let e: Error = triphase_sim::Error::NoClock.into();
+        assert!(e.to_string().contains("clock"));
+    }
+}

@@ -1,0 +1,260 @@
+//! FF fan-out graph extraction — the input of the paper's ILP.
+//!
+//! Each flip-flop is a node `u`; `FO(u)` is the set of FFs reachable from
+//! `u`'s output through combinational logic only (paper §IV-A). Primary
+//! inputs are tracked as pseudo-nodes "as if clocked by `p1`".
+
+use crate::error::{Error, Result};
+use std::collections::HashMap;
+use triphase_ilp::{PhaseConfig, PhaseProblem, PhaseSolution};
+use triphase_netlist::{graph, CellId, ConnIndex, Netlist, PortId};
+
+/// The FF fan-out graph of a design.
+#[derive(Debug, Clone)]
+pub struct FfGraph {
+    /// The FF cells, in node order.
+    pub ffs: Vec<CellId>,
+    /// `FO(u)` as node indices (self-loops included).
+    pub fo: Vec<Vec<usize>>,
+    /// Data primary inputs and the FF nodes in their fan-out.
+    pub pi_fanout: Vec<(PortId, Vec<usize>)>,
+}
+
+impl FfGraph {
+    /// Node index of an FF cell.
+    pub fn node_of(&self, c: CellId) -> Option<usize> {
+        self.ffs.iter().position(|&f| f == c)
+    }
+
+    /// Number of FFs with combinational feedback (`u ∈ FO(u)`).
+    pub fn self_loop_count(&self) -> usize {
+        self.fo
+            .iter()
+            .enumerate()
+            .filter(|(u, fo)| fo.contains(u))
+            .count()
+    }
+
+    /// Lower the graph to the paper's ILP / phase-assignment problem.
+    pub fn to_phase_problem(&self) -> PhaseProblem {
+        let mut p = PhaseProblem::new(self.ffs.len());
+        for (u, fo) in self.fo.iter().enumerate() {
+            for &v in fo {
+                p.add_fanout(u, v);
+            }
+        }
+        for (_, fo) in &self.pi_fanout {
+            if !fo.is_empty() {
+                p.add_pi(fo.clone());
+            }
+        }
+        p
+    }
+}
+
+/// Extract the FF graph.
+///
+/// # Errors
+///
+/// [`Error::BadInput`] if the design still contains latches (conversion
+/// expects a pure FF design) or enabled FFs (run gated-clock
+/// preprocessing first).
+pub fn extract_ff_graph(nl: &Netlist, idx: &ConnIndex) -> Result<FfGraph> {
+    let stats = nl.stats();
+    if stats.latches > 0 {
+        return Err(Error::BadInput("design already contains latches".into()));
+    }
+    let ffs: Vec<CellId> = nl
+        .cells()
+        .filter(|(_, c)| c.kind.is_ff())
+        .map(|(id, _)| id)
+        .collect();
+    let node_of: HashMap<CellId, usize> =
+        ffs.iter().enumerate().map(|(i, &c)| (c, i)).collect();
+
+    let fo: Vec<Vec<usize>> = ffs
+        .iter()
+        .map(|&c| {
+            let reach = graph::reach_storage(nl, idx, nl.cell(c).output());
+            reach
+                .storage
+                .iter()
+                .filter_map(|s| node_of.get(s).copied())
+                .collect()
+        })
+        .collect();
+
+    let clock_ports: Vec<PortId> = nl
+        .clock
+        .iter()
+        .flat_map(|c| c.phases.iter().map(|p| p.port))
+        .collect();
+    let pi_fanout: Vec<(PortId, Vec<usize>)> = nl
+        .input_ports()
+        .into_iter()
+        .filter(|p| !clock_ports.contains(p))
+        .map(|p| {
+            let reach = graph::reach_storage(nl, idx, nl.port(p).net);
+            let nodes = reach
+                .storage
+                .iter()
+                .filter_map(|s| node_of.get(s).copied())
+                .collect();
+            (p, nodes)
+        })
+        .collect();
+
+    Ok(FfGraph { ffs, fo, pi_fanout })
+}
+
+/// Phase assignment decoded back to netlist entities.
+#[derive(Debug, Clone)]
+pub struct Assignment {
+    /// `K(u)`: `true` = phase `p1`, `false` = `p3`.
+    pub k: HashMap<CellId, bool>,
+    /// `G(u)`: `true` = back-to-back (insert a `p2` latch at the output).
+    pub g: HashMap<CellId, bool>,
+    /// Primary inputs needing a `p2` latch on their fan-out boundary.
+    pub pi_g: HashMap<PortId, bool>,
+    /// ILP objective value (number of `p2` insertions).
+    pub cost: usize,
+    /// Whether the solver proved optimality.
+    pub optimal: bool,
+    /// Seconds spent in the solver.
+    pub solve_seconds: f64,
+}
+
+impl Assignment {
+    /// Number of FFs converted to single latches.
+    pub fn singles(&self) -> usize {
+        self.g.values().filter(|&&g| !g).count()
+    }
+}
+
+/// Solve the phase-assignment ILP for a design.
+pub fn assign_phases(graph: &FfGraph, cfg: &PhaseConfig) -> Assignment {
+    let problem = graph.to_phase_problem();
+    let t0 = std::time::Instant::now();
+    let sol: PhaseSolution = problem.solve(cfg);
+    let solve_seconds = t0.elapsed().as_secs_f64();
+    let k = graph
+        .ffs
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| (c, sol.k[i]))
+        .collect();
+    let g = graph
+        .ffs
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| (c, sol.g[i]))
+        .collect();
+    // pi_g is indexed by the order PIs were added to the problem (only
+    // non-empty fan-outs were added).
+    let mut pi_g = HashMap::new();
+    let mut pi_idx = 0;
+    for (port, fo) in &graph.pi_fanout {
+        if fo.is_empty() {
+            pi_g.insert(*port, false);
+        } else {
+            pi_g.insert(*port, sol.pi_g[pi_idx]);
+            pi_idx += 1;
+        }
+    }
+    Assignment {
+        k,
+        g,
+        pi_g,
+        cost: sol.cost,
+        optimal: sol.optimal,
+        solve_seconds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use triphase_circuits::pipeline::linear_pipeline;
+    use triphase_netlist::{Builder, CellKind, ClockSpec};
+
+    #[test]
+    fn pipeline_graph_is_layered() {
+        let nl = linear_pipeline(4, 4, 1, 1000.0);
+        let idx = nl.index();
+        let g = extract_ff_graph(&nl, &idx).unwrap();
+        assert_eq!(g.ffs.len(), 16);
+        assert_eq!(g.self_loop_count(), 0);
+        // Every stage-i FF fans out only to stage-i+1 FFs (4 of them via
+        // the XOR mixing) — the last stage has none.
+        let total_edges: usize = g.fo.iter().map(|f| f.len()).sum();
+        assert!(total_edges > 0);
+        // PIs reach only the first stage.
+        for (_, fo) in &g.pi_fanout {
+            assert!(fo.len() <= 8);
+        }
+    }
+
+    #[test]
+    fn self_loop_detected() {
+        let mut nl = Netlist::new("loop");
+        let (ckp, ck) = nl.add_input("ck");
+        let mut b = Builder::new(&mut nl, "u");
+        let q = b.net("q");
+        let d = b.not(q);
+        b.netlist().add_cell("ff", CellKind::Dff, vec![d, ck, q]);
+        b.netlist().add_output("q", q);
+        nl.clock = Some(ClockSpec::single(ckp, 1000.0));
+        let idx = nl.index();
+        let g = extract_ff_graph(&nl, &idx).unwrap();
+        assert_eq!(g.self_loop_count(), 1);
+        let a = assign_phases(&g, &PhaseConfig::default());
+        assert!(a.g[&g.ffs[0]], "self-loop FF must be back-to-back");
+        assert!(a.optimal);
+    }
+
+    #[test]
+    fn rejects_latch_designs() {
+        let mut nl = Netlist::new("lat");
+        let (ckp, ck) = nl.add_input("ck");
+        let (_, d) = nl.add_input("d");
+        let q = nl.add_net("q");
+        nl.add_cell("l", CellKind::LatchH, vec![d, ck, q]);
+        nl.add_output("q", q);
+        nl.clock = Some(ClockSpec::single(ckp, 1000.0));
+        let idx = nl.index();
+        assert!(matches!(
+            extract_ff_graph(&nl, &idx),
+            Err(Error::BadInput(_))
+        ));
+    }
+
+    #[test]
+    fn linear_pipeline_alternation_matches_fig1() {
+        // Paper Fig. 1: for an n-stage linear pipeline (width 1, no
+        // mixing), singles and back-to-back groups alternate; the number
+        // of p2 insertions is about half the stages.
+        let nl = linear_pipeline(6, 1, 0, 1000.0);
+        let idx = nl.index();
+        let g = extract_ff_graph(&nl, &idx).unwrap();
+        let a = assign_phases(&g, &PhaseConfig::default());
+        assert!(a.optimal);
+        // 6 stages: at most 3 singles (independent set of a path with the
+        // PI penalty), so at least 3 back-to-back groups.
+        assert!(a.singles() >= 3, "singles = {}", a.singles());
+        assert!(a.cost <= 4, "cost = {}", a.cost);
+    }
+
+    #[test]
+    fn assignment_covers_all_ffs() {
+        let nl = linear_pipeline(3, 4, 1, 1000.0);
+        let idx = nl.index();
+        let g = extract_ff_graph(&nl, &idx).unwrap();
+        let a = assign_phases(&g, &PhaseConfig::default());
+        assert_eq!(a.k.len(), g.ffs.len());
+        assert_eq!(a.g.len(), g.ffs.len());
+        for &ff in &g.ffs {
+            // Paper constraint 1: G + K >= 1.
+            assert!(a.g[&ff] || a.k[&ff]);
+        }
+    }
+}

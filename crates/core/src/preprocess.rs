@@ -1,0 +1,132 @@
+//! Gated-clock preprocessing (paper §IV-B, Fig. 2).
+//!
+//! The flow prefers the *gated clock* style (Fig. 2(b)) over the *enabled
+//! clock* style (Fig. 2(a)): enabled FFs (`DFFEN`, whose synthesized form
+//! is a recirculation mux) would appear as FFs with combinational
+//! self-loops and "unduly constrain the optimization problem". This pass
+//! replaces groups of enabled FFs sharing an enable with an ICG cell and
+//! plain DFFs.
+
+use crate::error::Result;
+use std::collections::HashMap;
+use triphase_netlist::{CellId, CellKind, NetId, Netlist};
+
+/// Result of the preprocessing pass.
+#[derive(Debug, Clone, Default)]
+pub struct PreprocessReport {
+    /// Enabled FFs converted to plain FFs.
+    pub converted_ffs: usize,
+    /// ICG cells inserted.
+    pub icgs_inserted: usize,
+}
+
+/// Convert every `DFFEN` to a gated-clock `DFF`, sharing one ICG per
+/// `(enable net, clock net)` group, split at `max_fanout` sinks.
+///
+/// # Errors
+///
+/// Currently infallible; returns `Result` for interface stability.
+pub fn gated_clock_style(nl: &mut Netlist, max_fanout: usize) -> Result<PreprocessReport> {
+    let mut groups: HashMap<(NetId, NetId), Vec<CellId>> = HashMap::new();
+    for (id, cell) in nl.cells() {
+        if cell.kind == CellKind::DffEn {
+            let en = cell.pin(cell.kind.enable_pin().expect("dffen"));
+            let ck = cell.pin(cell.kind.clock_pin().expect("dffen"));
+            groups.entry((en, ck)).or_default().push(id);
+        }
+    }
+    let mut report = PreprocessReport::default();
+    let mut keys: Vec<(NetId, NetId)> = groups.keys().copied().collect();
+    keys.sort(); // deterministic order
+    for key in keys {
+        let members = &groups[&key];
+        let (en, ck) = key;
+        for chunk in members.chunks(max_fanout.max(1)) {
+            let gck = nl.add_net(format!("gck_{}_{}", en, report.icgs_inserted));
+            nl.add_cell(
+                format!("icg_pp{}", report.icgs_inserted),
+                CellKind::Icg,
+                vec![en, ck, gck],
+            );
+            report.icgs_inserted += 1;
+            for &ff in chunk {
+                let (d, q) = {
+                    let cell = nl.cell(ff);
+                    (cell.pin(0), cell.output())
+                };
+                nl.replace_cell(ff, CellKind::Dff, vec![d, gck, q]);
+                report.converted_ffs += 1;
+            }
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use triphase_netlist::{Builder, ClockSpec};
+    use triphase_sim::equiv_stream;
+
+    fn enabled_design(n: usize, groups: usize) -> Netlist {
+        let mut nl = Netlist::new("en");
+        let mut b = Builder::new(&mut nl, "u");
+        let (ckp, ck) = b.netlist().add_input("ck");
+        let ens: Vec<NetId> = (0..groups)
+            .map(|i| b.netlist().add_input(&format!("en{i}")).1)
+            .collect();
+        let d = b.word_input("d", n);
+        let q: Vec<NetId> = (0..n)
+            .map(|i| b.dffen(d.bit(i), ens[i % groups], ck))
+            .collect();
+        b.word_output("q", &triphase_netlist::Word(q));
+        nl.clock = Some(ClockSpec::single(ckp, 1000.0));
+        nl
+    }
+
+    #[test]
+    fn groups_share_icg() {
+        let mut nl = enabled_design(8, 2);
+        let report = gated_clock_style(&mut nl, 32).unwrap();
+        assert_eq!(report.converted_ffs, 8);
+        assert_eq!(report.icgs_inserted, 2, "one ICG per enable");
+        let s = nl.stats();
+        assert_eq!(s.ffs, 8);
+        assert_eq!(s.clock_gates, 2);
+        assert!(
+            nl.cells().all(|(_, c)| c.kind != CellKind::DffEn),
+            "no enabled FFs remain"
+        );
+        nl.validate().unwrap();
+    }
+
+    #[test]
+    fn max_fanout_splits_groups() {
+        let mut nl = enabled_design(40, 1);
+        let report = gated_clock_style(&mut nl, 16).unwrap();
+        assert_eq!(report.icgs_inserted, 3, "40 sinks at fanout 16");
+    }
+
+    #[test]
+    fn behaviour_is_preserved() {
+        let golden = enabled_design(6, 2);
+        let mut dut = enabled_design(6, 2);
+        gated_clock_style(&mut dut, 32).unwrap();
+        let r = equiv_stream(&golden, &dut, 1234, 300).unwrap();
+        assert!(r.equivalent(), "{:?}", r.mismatch);
+    }
+
+    #[test]
+    fn noop_on_plain_ffs() {
+        let mut nl = Netlist::new("plain");
+        let mut b = Builder::new(&mut nl, "u");
+        let (ckp, ck) = b.netlist().add_input("ck");
+        let (_, d) = b.netlist().add_input("d");
+        let q = b.dff(d, ck);
+        b.netlist().add_output("q", q);
+        nl.clock = Some(ClockSpec::single(ckp, 1000.0));
+        let report = gated_clock_style(&mut nl, 32).unwrap();
+        assert_eq!(report.converted_ffs, 0);
+        assert_eq!(report.icgs_inserted, 0);
+    }
+}

@@ -1,0 +1,509 @@
+//! Modified retiming of the converted 3-phase design (paper §IV-C).
+//!
+//! The paper emulates latch retiming with FF retiming: keep the cycle
+//! time, map `p1`/`p3` latches to FFs on `clk` and `p2` latches to FFs on
+//! `clkbar`, retime moving **only** the `clkbar` FFs so every half-stage
+//! can run at twice the frequency (`T_c/2`), then convert back.
+//!
+//! Two classes of `p2` latches are pinned in place (kept as immovable
+//! proxies):
+//!
+//! - latches inside clock-gate **enable cones** (moving them would shift
+//!   the gating decision by a phase);
+//! - latches on **sequential cycles** (moving a register inside a loop
+//!   requires initial-state recomputation — the classic retiming
+//!   equivalence problem; pinning them keeps the flow's conversion
+//!   cycle-exact from reset, which is how we validate designs).
+
+use crate::error::{Error, Result};
+use std::collections::{HashMap, HashSet};
+use triphase_cells::Library;
+use triphase_netlist::{graph, CellId, CellKind, Netlist};
+use triphase_retime::{retime_movable, RetimeOptions};
+use triphase_timing::storage_phases;
+
+/// Outcome statistics of the retiming stage.
+#[derive(Debug, Clone)]
+pub struct RetimeReport {
+    /// Whether retiming ran (false if no movable `p2` latches existed).
+    pub ran: bool,
+    /// True when the retimed result was discarded by the safety
+    /// post-check (a residual same-phase adjacency) and the un-retimed
+    /// design returned instead.
+    pub fell_back: bool,
+    /// Worst proxy stage delay before retiming (ps).
+    pub original_ps: f64,
+    /// Worst proxy stage delay after retiming (ps).
+    pub achieved_ps: f64,
+    /// Whether the `T_c/2` target was met.
+    pub met_target: bool,
+    /// Movable `p2` latches given to the retimer.
+    pub movable: usize,
+    /// `p2` latches pinned (enable cones + sequential cycles).
+    pub pinned: usize,
+    /// `p2` latches after retiming.
+    pub p2_after: usize,
+}
+
+/// Retime the `p2` latches of a converted 3-phase design toward balanced
+/// half-stages (`target_ratio` × period, the paper uses 0.5).
+///
+/// # Errors
+///
+/// [`Error::BadInput`] if the design does not carry a 3-phase clock;
+/// retiming and netlist errors are propagated.
+pub fn retime_three_phase(
+    nl: &Netlist,
+    lib: &Library,
+    target_ratio: f64,
+) -> Result<(Netlist, RetimeReport)> {
+    let clock = nl
+        .clock
+        .as_ref()
+        .ok_or_else(|| Error::BadInput("no clock spec".into()))?;
+    if clock.phases.len() != 3 {
+        return Err(Error::BadInput("expected a 3-phase clock".into()));
+    }
+    let period = clock.period_ps;
+    let p2_net = nl.port(clock.phases[1].port).net;
+    let idx = nl.index();
+    let phases = storage_phases(nl, &idx)?;
+
+    let latches: Vec<CellId> = nl
+        .cells()
+        .filter(|(_, c)| c.kind.is_latch())
+        .map(|(id, _)| id)
+        .collect();
+
+    // Latch-level graph for cycle detection.
+    let mut node_of: HashMap<CellId, usize> = HashMap::new();
+    for (i, &c) in latches.iter().enumerate() {
+        node_of.insert(c, i);
+    }
+    let adj: Vec<Vec<usize>> = latches
+        .iter()
+        .map(|&c| {
+            graph::reach_storage(nl, &idx, nl.cell(c).output())
+                .storage
+                .iter()
+                .filter_map(|s| node_of.get(s).copied())
+                .collect()
+        })
+        .collect();
+    let on_cycle = cyclic_nodes(&adj);
+
+    // Enable-cone exclusions.
+    let mut in_en_cone: HashSet<CellId> = HashSet::new();
+    for (_, cell) in nl.cells() {
+        if !cell.kind.is_clock_gate() {
+            continue;
+        }
+        let en = cell.pin(cell.kind.enable_pin().expect("icg"));
+        for start in graph::fanin_cone_starts(nl, &idx, en) {
+            if let graph::ConeStart::Storage(c) = start {
+                in_en_cone.insert(c);
+            }
+        }
+    }
+
+    // Partition p2 latches.
+    let mut movable_latches = Vec::new();
+    let mut pinned_latches: HashSet<CellId> = HashSet::new();
+    for &c in &latches {
+        if phases.get(&c) != Some(&1) {
+            continue;
+        }
+        if nl.cell(c).pin(1) != p2_net
+            || in_en_cone.contains(&c)
+            || on_cycle[node_of[&c]]
+        {
+            // Clock-gated, enable-cone, or loop latch: pinned in place.
+            pinned_latches.insert(c);
+        } else {
+            movable_latches.push(c);
+        }
+    }
+    let pinned = pinned_latches.len();
+
+    if movable_latches.is_empty() {
+        let p2_after = latches
+            .iter()
+            .filter(|c| phases.get(c) == Some(&1))
+            .count();
+        return Ok((
+            nl.clone(),
+            RetimeReport {
+                ran: false,
+                fell_back: false,
+                original_ps: 0.0,
+                achieved_ps: 0.0,
+                met_target: true,
+                movable: 0,
+                pinned,
+                p2_after,
+            },
+        ));
+    }
+
+    // Comb regions around pinned p2 latches: no movable register may be
+    // placed combinationally adjacent to them (same-phase adjacency).
+    let mut cap0_after: HashSet<CellId> = HashSet::new();
+    let mut cap0_before: HashSet<CellId> = HashSet::new();
+    for &p in &pinned_latches {
+        comb_fanout_region(nl, &idx, nl.cell(p).output(), &mut cap0_after);
+        comb_fanin_region(nl, &idx, nl.cell(p).pin(0), &mut cap0_before);
+    }
+
+    // Build the proxy: every latch becomes a DFF on its current clock
+    // net; names are preserved so positions can be restored.
+    let mut proxy = nl.clone();
+    let mut restore: HashMap<String, String> = HashMap::new(); // cell -> G net name
+    for &c in &latches {
+        let cell = nl.cell(c);
+        let (d, g, q) = (cell.pin(0), cell.pin(1), cell.output());
+        restore.insert(cell.name.clone(), nl.net(g).name.clone());
+        proxy.replace_cell(c, CellKind::Dff, vec![d, g, q]);
+    }
+    let movable_set: HashSet<CellId> = movable_latches.iter().copied().collect();
+
+    let outcome = retime_movable(
+        &proxy,
+        lib,
+        &movable_set,
+        &RetimeOptions {
+            target_period_ps: Some(period * target_ratio),
+            tol_ps: 1.0,
+            max_feas_iters: 64,
+            // Two p2 latches in series would be co-transparent (C2)...
+            max_movable_per_edge: Some(1),
+            // ...and so would a movable p2 next to a pinned one, even
+            // through the combinational regions around it.
+            no_adjacent: pinned_latches.clone(),
+            cap0_after,
+            cap0_before,
+        },
+    )?;
+
+    // Convert back: named survivors to their original latch+clock; new
+    // rt_ff* registers become plain p2 latches.
+    let mut out = outcome.netlist;
+    let net_by_name: HashMap<String, triphase_netlist::NetId> = out
+        .nets()
+        .map(|(id, n)| (n.name.clone(), id))
+        .collect();
+    let p2_net_name = nl.net(p2_net).name.clone();
+    let p2_new = *net_by_name
+        .get(&p2_net_name)
+        .ok_or_else(|| Error::BadInput("p2 net lost during retiming".into()))?;
+    let cells: Vec<(CellId, String, CellKind)> = out
+        .cells()
+        .map(|(id, c)| (id, c.name.clone(), c.kind))
+        .collect();
+    let mut p2_after = 0usize;
+    for (id, name, kind) in cells {
+        if kind != CellKind::Dff {
+            continue;
+        }
+        let (d, q) = {
+            let c = out.cell(id);
+            (c.pin(0), c.output())
+        };
+        if let Some(gname) = restore.get(&name) {
+            let g = *net_by_name
+                .get(gname)
+                .ok_or_else(|| Error::BadInput(format!("clock net {gname} lost")))?;
+            out.replace_cell(id, CellKind::LatchH, vec![d, g, q]);
+            if g == p2_new || gname == &p2_net_name {
+                p2_after += 1;
+            }
+        } else if name.starts_with("rt_ff") {
+            out.replace_cell(id, CellKind::LatchH, vec![d, p2_new, q]);
+            p2_after += 1;
+        } else {
+            return Err(Error::BadInput(format!(
+                "unexpected FF {name} after retiming"
+            )));
+        }
+    }
+    // Gated p2 latches kept their (non-p2) G nets; count them too.
+    let out_idx = out.index();
+    let out_phases = storage_phases(&out, &out_idx)?;
+    let p2_total = out
+        .cells()
+        .filter(|(id, c)| c.kind.is_latch() && out_phases.get(id) == Some(&1))
+        .count();
+    let _ = p2_after;
+    out.validate()?;
+
+    // Safety post-check: retiming must not have produced any same-phase
+    // latch adjacency (constraint C2). The barriers above prevent this by
+    // construction; if anything slipped through, discard the retimed
+    // result rather than ship an illegal design.
+    if !triphase_timing::check_c2(&out, lib, &out_idx)?.is_empty() {
+        return Ok((
+            nl.clone(),
+            RetimeReport {
+                ran: false,
+                fell_back: true,
+                original_ps: outcome.original_period_ps,
+                achieved_ps: outcome.original_period_ps,
+                met_target: false,
+                movable: movable_set.len(),
+                pinned,
+                p2_after: latches
+                    .iter()
+                    .filter(|c| phases.get(c) == Some(&1))
+                    .count(),
+            },
+        ));
+    }
+
+    Ok((
+        out,
+        RetimeReport {
+            ran: true,
+            fell_back: false,
+            original_ps: outcome.original_period_ps,
+            achieved_ps: outcome.achieved_period_ps,
+            met_target: outcome.met_target,
+            movable: movable_set.len(),
+            pinned,
+            p2_after: p2_total,
+        },
+    ))
+}
+
+/// Collect the combinational cells reachable forward from `net` without
+/// crossing storage or clock gates.
+fn comb_fanout_region(
+    nl: &Netlist,
+    idx: &triphase_netlist::ConnIndex,
+    net: triphase_netlist::NetId,
+    out: &mut HashSet<CellId>,
+) {
+    let mut stack = vec![net];
+    let mut seen: HashSet<triphase_netlist::NetId> = HashSet::new();
+    seen.insert(net);
+    while let Some(n) = stack.pop() {
+        for pin in idx.loads(n) {
+            let cell = nl.cell(pin.cell);
+            if cell.kind.is_comb() && cell.kind != CellKind::ClkBuf && out.insert(pin.cell) {
+                let o = cell.output();
+                if seen.insert(o) {
+                    stack.push(o);
+                }
+            }
+        }
+    }
+}
+
+/// Collect the combinational cells in the fan-in cone of `net` without
+/// crossing storage or clock gates.
+fn comb_fanin_region(
+    nl: &Netlist,
+    idx: &triphase_netlist::ConnIndex,
+    net: triphase_netlist::NetId,
+    out: &mut HashSet<CellId>,
+) {
+    let mut stack = vec![net];
+    let mut seen: HashSet<triphase_netlist::NetId> = HashSet::new();
+    seen.insert(net);
+    while let Some(n) = stack.pop() {
+        let Some(drv) = idx.driver(n) else { continue };
+        let cell = nl.cell(drv.cell);
+        if cell.kind.is_comb() && cell.kind != CellKind::ClkBuf && out.insert(drv.cell) {
+            for &input in cell.inputs() {
+                if seen.insert(input) {
+                    stack.push(input);
+                }
+            }
+        }
+    }
+}
+
+/// Nodes that lie on a directed cycle (including self-loops), via
+/// iterative Tarjan SCC.
+fn cyclic_nodes(adj: &[Vec<usize>]) -> Vec<bool> {
+    let n = adj.len();
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut result = vec![false; n];
+    let mut counter = 0usize;
+
+    // Iterative Tarjan with an explicit call stack.
+    #[derive(Clone, Copy)]
+    struct Frame {
+        v: usize,
+        child: usize,
+    }
+    for start in 0..n {
+        if index[start] != usize::MAX {
+            continue;
+        }
+        let mut call: Vec<Frame> = vec![Frame { v: start, child: 0 }];
+        index[start] = counter;
+        low[start] = counter;
+        counter += 1;
+        stack.push(start);
+        on_stack[start] = true;
+        while let Some(frame) = call.last_mut() {
+            let v = frame.v;
+            if frame.child < adj[v].len() {
+                let w = adj[v][frame.child];
+                frame.child += 1;
+                if index[w] == usize::MAX {
+                    index[w] = counter;
+                    low[w] = counter;
+                    counter += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    call.push(Frame { v: w, child: 0 });
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                if low[v] == index[v] {
+                    // Root of an SCC.
+                    let mut members = Vec::new();
+                    while let Some(w) = stack.pop() {
+                        on_stack[w] = false;
+                        members.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    let cyclic = members.len() > 1
+                        || members.iter().any(|&m| adj[m].contains(&m));
+                    if cyclic {
+                        for &m in &members {
+                            result[m] = true;
+                        }
+                    }
+                }
+                let finished = *frame;
+                call.pop();
+                if let Some(parent) = call.last() {
+                    let pv = parent.v;
+                    low[pv] = low[pv].min(low[finished.v]);
+                }
+            }
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convert::to_three_phase;
+    use crate::ffgraph::{assign_phases, extract_ff_graph};
+    use triphase_ilp::PhaseConfig;
+    use triphase_netlist::Builder;
+    use triphase_sim::equiv_stream;
+
+    /// An unbalanced FF pipeline: deep logic in stage 1, shallow in 2.
+    fn unbalanced_pipeline(depth1: usize, depth2: usize) -> Netlist {
+        let mut nl = Netlist::new("unb");
+        let mut b = Builder::new(&mut nl, "u");
+        let (ckp, ck) = b.netlist().add_input("ck");
+        let d = b.word_input("d", 4);
+        let s0 = b.dff_word(&d, ck);
+        let mut x = s0;
+        for _ in 0..depth1 {
+            let r = x.rotl(1);
+            x = b.xor_word(&x, &r);
+        }
+        let s1 = b.dff_word(&x, ck);
+        let mut y = s1;
+        for _ in 0..depth2 {
+            let r = y.rotl(1);
+            y = b.xor_word(&y, &r);
+        }
+        let s2 = b.dff_word(&y, ck);
+        b.word_output("q", &s2);
+        nl.clock = Some(triphase_netlist::ClockSpec::single(ckp, 900.0));
+        nl
+    }
+
+    fn convert(nl: &Netlist) -> Netlist {
+        let idx = nl.index();
+        let g = extract_ff_graph(nl, &idx).unwrap();
+        let a = assign_phases(&g, &PhaseConfig::default());
+        to_three_phase(nl, &a).unwrap().0
+    }
+
+    #[test]
+    fn retiming_improves_half_stage_delay() {
+        let lib = Library::synthetic_28nm();
+        let nl = unbalanced_pipeline(8, 0);
+        let tp = convert(&nl);
+        let (rt, report) = retime_three_phase(&tp, &lib, 0.5).unwrap();
+        assert!(report.ran);
+        assert!(report.movable > 0);
+        assert!(
+            report.achieved_ps <= report.original_ps,
+            "{} -> {}",
+            report.original_ps,
+            report.achieved_ps
+        );
+        rt.validate().unwrap();
+        // Latch kinds and phases intact.
+        assert_eq!(rt.stats().ffs, 0);
+        assert!(rt.stats().latches > 0);
+        assert_eq!(report.p2_after >= 1, true);
+    }
+
+    #[test]
+    fn retimed_design_equivalent_after_warmup() {
+        let lib = Library::synthetic_28nm();
+        let nl = unbalanced_pipeline(6, 0);
+        let tp = convert(&nl);
+        let (rt, _) = retime_three_phase(&tp, &lib, 0.5).unwrap();
+        // Movable p2 latches are only on feed-forward paths, so zero-init
+        // transients flush; with all-zero reset and XOR logic the designs
+        // actually agree from cycle 0.
+        let r = equiv_stream(&nl, &rt, 21, 300).unwrap();
+        assert!(r.equivalent(), "{:?}", r.mismatch);
+    }
+
+    #[test]
+    fn feedback_latches_are_pinned() {
+        // A self-loop FF: its p2 latch sits on a sequential cycle and
+        // must not move.
+        let lib = Library::synthetic_28nm();
+        let mut nl = Netlist::new("fsm");
+        let mut b = Builder::new(&mut nl, "u");
+        let (ckp, ck) = b.netlist().add_input("ck");
+        let (_, din) = b.netlist().add_input("d");
+        let q = b.net("q");
+        let x = b.gate(CellKind::Xor(2), &[q, din]);
+        b.netlist().add_cell("ff", CellKind::Dff, vec![x, ck, q]);
+        b.netlist().add_output("q", q);
+        nl.clock = Some(triphase_netlist::ClockSpec::single(ckp, 900.0));
+        let tp = convert(&nl);
+        let (rt, report) = retime_three_phase(&tp, &lib, 0.5).unwrap();
+        assert!(!report.ran || report.movable == 0 || report.pinned > 0);
+        let r = equiv_stream(&nl, &rt, 5, 200).unwrap();
+        assert!(r.equivalent(), "{:?}", r.mismatch);
+    }
+
+    #[test]
+    fn cyclic_nodes_detector() {
+        // 0 -> 1 -> 2 -> 0 cycle; 3 -> 4 path; 5 self-loop.
+        let adj = vec![vec![1], vec![2], vec![0], vec![4], vec![], vec![5]];
+        let c = cyclic_nodes(&adj);
+        assert_eq!(c, vec![true, true, true, false, false, true]);
+    }
+
+    #[test]
+    fn non_three_phase_rejected() {
+        let lib = Library::synthetic_28nm();
+        let nl = unbalanced_pipeline(2, 2);
+        assert!(matches!(
+            retime_three_phase(&nl, &lib, 0.5),
+            Err(Error::BadInput(_))
+        ));
+    }
+}

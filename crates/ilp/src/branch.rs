@@ -1,0 +1,236 @@
+//! Branch-and-bound on top of the LP relaxation.
+
+use crate::model::{Model, Solution, Status};
+use crate::simplex::{solve_lp, LpResult};
+
+/// Knobs of the branch-and-bound search.
+#[derive(Debug, Clone, Copy)]
+pub struct IlpConfig {
+    /// Maximum number of explored nodes before giving up on proving
+    /// optimality.
+    pub max_nodes: usize,
+    /// Integrality tolerance.
+    pub int_tol: f64,
+}
+
+impl Default for IlpConfig {
+    fn default() -> Self {
+        IlpConfig {
+            max_nodes: 200_000,
+            int_tol: 1e-6,
+        }
+    }
+}
+
+/// Solve `model` to integer optimality (within `cfg.max_nodes`).
+///
+/// Returns [`Status::Optimal`] when the search space was exhausted,
+/// [`Status::Feasible`] when an incumbent exists but the node limit was
+/// hit, and [`Status::Infeasible`]/[`Status::Unbounded`] as reported by the
+/// root relaxation.
+pub fn solve(model: &Model, cfg: &IlpConfig) -> Solution {
+    let n = model.num_vars();
+    let root = solve_lp(model, &vec![None; n]);
+    let (root_x, root_obj) = match root {
+        LpResult::Infeasible => {
+            return Solution {
+                status: Status::Infeasible,
+                values: Vec::new(),
+                objective: f64::INFINITY,
+                bound: f64::INFINITY,
+                nodes: 1,
+            }
+        }
+        LpResult::Unbounded => {
+            return Solution {
+                status: Status::Unbounded,
+                values: Vec::new(),
+                objective: f64::NEG_INFINITY,
+                bound: f64::NEG_INFINITY,
+                nodes: 1,
+            }
+        }
+        LpResult::Optimal(x, obj) => (x, obj),
+    };
+
+    let mut best: Option<(Vec<f64>, f64)> = None;
+    // Rounding heuristic for a quick incumbent.
+    let rounded: Vec<f64> = root_x.iter().map(|v| v.round()).collect();
+    if model.is_feasible(&rounded, cfg.int_tol) {
+        let obj = model.objective.eval(&rounded);
+        best = Some((rounded, obj));
+    }
+
+    let mut nodes = 0usize;
+    let mut exhausted = true;
+    // DFS stack of bound-override vectors.
+    let mut stack: Vec<Vec<Option<(f64, f64)>>> = vec![vec![None; n]];
+    while let Some(overrides) = stack.pop() {
+        if nodes >= cfg.max_nodes {
+            exhausted = false;
+            break;
+        }
+        nodes += 1;
+        let (x, obj) = match solve_lp(model, &overrides) {
+            LpResult::Infeasible => continue,
+            LpResult::Unbounded => {
+                // Bounded-variable MILPs can't be unbounded below a
+                // feasible node unless continuous vars are unbounded —
+                // treat as a dead end for integer search purposes.
+                exhausted = false;
+                continue;
+            }
+            LpResult::Optimal(x, obj) => (x, obj),
+        };
+        if let Some((_, incumbent)) = &best {
+            if obj >= incumbent - 1e-9 {
+                continue; // pruned by bound
+            }
+        }
+        // Pick the most fractional integer variable.
+        let mut branch_var = None;
+        let mut best_frac = cfg.int_tol;
+        for (i, var) in model.vars.iter().enumerate() {
+            if !var.integer {
+                continue;
+            }
+            let f = (x[i] - x[i].round()).abs();
+            if f > best_frac {
+                best_frac = f;
+                branch_var = Some(i);
+            }
+        }
+        match branch_var {
+            None => {
+                // Integral: new incumbent (bound check above ensures improvement).
+                let xi: Vec<f64> = x
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &v)| if model.vars[i].integer { v.round() } else { v })
+                    .collect();
+                if model.is_feasible(&xi, 1e-6) {
+                    best = Some((xi, obj));
+                }
+            }
+            Some(i) => {
+                let floor = x[i].floor();
+                let (lo0, hi0) = overrides[i].unwrap_or((model.vars[i].lb, model.vars[i].ub));
+                let mut down = overrides.clone();
+                down[i] = Some((lo0, floor.min(hi0)));
+                let mut up = overrides.clone();
+                up[i] = Some(((floor + 1.0).max(lo0), hi0));
+                // Explore the side nearer the LP value first (pushed last).
+                if x[i] - floor > 0.5 {
+                    stack.push(down);
+                    stack.push(up);
+                } else {
+                    stack.push(up);
+                    stack.push(down);
+                }
+            }
+        }
+    }
+
+    match best {
+        Some((values, objective)) => Solution {
+            status: if exhausted {
+                Status::Optimal
+            } else {
+                Status::Feasible
+            },
+            values,
+            objective,
+            bound: if exhausted { objective } else { root_obj },
+            nodes,
+        },
+        None => Solution {
+            // No integer point found. If the search was exhausted the
+            // model is integer-infeasible.
+            status: if exhausted {
+                Status::Infeasible
+            } else {
+                Status::Feasible
+            },
+            values: Vec::new(),
+            objective: f64::INFINITY,
+            bound: root_obj,
+            nodes,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{LinExpr, Model, Sense};
+
+    #[test]
+    fn knapsack_exact() {
+        // max 10a + 13b + 7c s.t. 3a + 4b + 2c <= 6  => min of negative
+        let mut m = Model::new();
+        let a = m.add_binary("a");
+        let b = m.add_binary("b");
+        let c = m.add_binary("c");
+        m.add_constraint(
+            LinExpr::new().plus(a, 3.0).plus(b, 4.0).plus(c, 2.0),
+            Sense::Le,
+            6.0,
+        );
+        m.set_objective(LinExpr::new().plus(a, -10.0).plus(b, -13.0).plus(c, -7.0));
+        let sol = solve(&m, &IlpConfig::default());
+        assert_eq!(sol.status, Status::Optimal);
+        // Best is b + c = 20 (weight 6).
+        assert!((sol.objective + 20.0).abs() < 1e-6, "{sol}");
+        assert!(sol.bool_value(b) && sol.bool_value(c) && !sol.bool_value(a));
+    }
+
+    #[test]
+    fn integer_infeasible() {
+        // 2x = 1 with x binary has LP solution x=0.5 but no integer one.
+        let mut m = Model::new();
+        let x = m.add_binary("x");
+        m.add_constraint(LinExpr::new().plus(x, 2.0), Sense::Eq, 1.0);
+        m.set_objective(LinExpr::new().plus(x, 1.0));
+        let sol = solve(&m, &IlpConfig::default());
+        assert_eq!(sol.status, Status::Infeasible);
+    }
+
+    #[test]
+    fn mixed_integer() {
+        // min y s.t. y >= 1.3 x, x binary forced to 1 by x >= 0.5.
+        let mut m = Model::new();
+        let x = m.add_binary("x");
+        let y = m.add_var("y", 0.0, 10.0);
+        m.add_constraint(LinExpr::new().plus(x, 1.0), Sense::Ge, 0.5);
+        m.add_constraint(LinExpr::new().plus(y, 1.0).plus(x, -1.3), Sense::Ge, 0.0);
+        m.set_objective(LinExpr::new().plus(y, 1.0));
+        let sol = solve(&m, &IlpConfig::default());
+        assert_eq!(sol.status, Status::Optimal);
+        assert_eq!(sol.int_value(x), 1);
+        assert!((sol.values[y.index()] - 1.3).abs() < 1e-6);
+    }
+
+    #[test]
+    fn node_limit_reports_feasible() {
+        // A small set-cover-ish instance with a tiny node budget.
+        let mut m = Model::new();
+        let vars: Vec<_> = (0..6).map(|i| m.add_binary(format!("x{i}"))).collect();
+        for i in 0..5 {
+            m.add_constraint(
+                LinExpr::new().plus(vars[i], 1.0).plus(vars[i + 1], 1.0),
+                Sense::Ge,
+                1.0,
+            );
+        }
+        m.set_objective(vars.iter().map(|&v| (v, 1.0)).collect());
+        let sol = solve(&m, &IlpConfig { max_nodes: 1, int_tol: 1e-6 });
+        // With one node we may or may not have an incumbent, but never a
+        // spurious optimality claim unless the root was integral.
+        if sol.status == Status::Optimal {
+            assert!(sol.nodes <= 1);
+        }
+        let full = solve(&m, &IlpConfig::default());
+        assert_eq!(full.status, Status::Optimal);
+        assert!((full.objective - 3.0).abs() < 1e-6, "{full}");
+    }
+}

@@ -1,0 +1,35 @@
+//! Integer linear programming for the `triphase` toolkit.
+//!
+//! The paper formulates FF phase assignment as a 0-1 ILP and solves it with
+//! Gurobi. This crate provides the from-scratch substitute:
+//!
+//! - [`Model`]/[`solve`]: a generic minimization (M)ILP — two-phase primal
+//!   simplex ([`simplex`]) under branch-and-bound ([`solve`]);
+//! - [`PhaseProblem`]: the paper's specific ILP, both as a literal model
+//!   ([`PhaseProblem::to_ilp_model`]) and via an exact combinatorial
+//!   solver ([`PhaseProblem::solve`]) that scales to the benchmark sizes.
+//!
+//! # Examples
+//!
+//! ```
+//! use triphase_ilp::{Model, LinExpr, Sense, IlpConfig, solve, Status};
+//!
+//! // max x + y  s.t.  x + 2y <= 3, binaries.
+//! let mut m = Model::new();
+//! let x = m.add_binary("x");
+//! let y = m.add_binary("y");
+//! m.add_constraint(LinExpr::new().plus(x, 1.0).plus(y, 2.0), Sense::Le, 3.0);
+//! m.set_objective(LinExpr::new().plus(x, -1.0).plus(y, -1.0));
+//! let sol = solve(&m, &IlpConfig::default());
+//! assert_eq!(sol.status, Status::Optimal);
+//! assert_eq!(sol.objective, -2.0);
+//! ```
+
+mod branch;
+mod model;
+mod phase;
+pub mod simplex;
+
+pub use branch::{solve, IlpConfig};
+pub use model::{Constraint, LinExpr, Model, Sense, Solution, Status, VarId};
+pub use phase::{PhaseConfig, PhaseProblem, PhaseSolution};

@@ -1,0 +1,248 @@
+//! Linear/integer program model builder.
+
+use std::fmt;
+
+/// Identifier of a model variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub(crate) u32);
+
+impl VarId {
+    /// Raw index of the variable.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Comparison sense of a constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sense {
+    /// `expr ≤ rhs`
+    Le,
+    /// `expr ≥ rhs`
+    Ge,
+    /// `expr = rhs`
+    Eq,
+}
+
+/// A linear expression: `Σ coeff·var`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LinExpr {
+    /// `(variable, coefficient)` terms; duplicates are summed on use.
+    pub terms: Vec<(VarId, f64)>,
+}
+
+impl LinExpr {
+    /// Empty expression.
+    pub fn new() -> LinExpr {
+        LinExpr::default()
+    }
+
+    /// Add `coeff·var`, returning `self` for chaining.
+    pub fn plus(mut self, var: VarId, coeff: f64) -> LinExpr {
+        self.terms.push((var, coeff));
+        self
+    }
+
+    /// Evaluate the expression for an assignment indexed by variable.
+    pub fn eval(&self, values: &[f64]) -> f64 {
+        self.terms
+            .iter()
+            .map(|&(v, c)| c * values[v.index()])
+            .sum()
+    }
+}
+
+impl FromIterator<(VarId, f64)> for LinExpr {
+    fn from_iter<T: IntoIterator<Item = (VarId, f64)>>(iter: T) -> Self {
+        LinExpr {
+            terms: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Variable {
+    pub name: String,
+    pub lb: f64,
+    pub ub: f64,
+    pub integer: bool,
+}
+
+/// One linear constraint.
+#[derive(Debug, Clone)]
+pub struct Constraint {
+    /// Left-hand side.
+    pub expr: LinExpr,
+    /// Comparison sense.
+    pub sense: Sense,
+    /// Right-hand side constant.
+    pub rhs: f64,
+}
+
+/// A minimization (M)ILP: variables with bounds and optional integrality,
+/// linear constraints, and a linear objective.
+#[derive(Debug, Clone, Default)]
+pub struct Model {
+    pub(crate) vars: Vec<Variable>,
+    pub(crate) constraints: Vec<Constraint>,
+    pub(crate) objective: LinExpr,
+}
+
+impl Model {
+    /// Empty model (minimization).
+    pub fn new() -> Model {
+        Model::default()
+    }
+
+    /// Add a continuous variable with bounds `[lb, ub]`.
+    pub fn add_var(&mut self, name: impl Into<String>, lb: f64, ub: f64) -> VarId {
+        assert!(lb <= ub, "lb > ub");
+        let id = VarId(self.vars.len() as u32);
+        self.vars.push(Variable {
+            name: name.into(),
+            lb,
+            ub,
+            integer: false,
+        });
+        id
+    }
+
+    /// Add a 0-1 variable.
+    pub fn add_binary(&mut self, name: impl Into<String>) -> VarId {
+        let id = self.add_var(name, 0.0, 1.0);
+        self.vars[id.index()].integer = true;
+        id
+    }
+
+    /// Add a constraint `expr sense rhs`.
+    pub fn add_constraint(&mut self, expr: LinExpr, sense: Sense, rhs: f64) {
+        self.constraints.push(Constraint { expr, sense, rhs });
+    }
+
+    /// Set the minimization objective.
+    pub fn set_objective(&mut self, obj: LinExpr) {
+        self.objective = obj;
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Number of constraints.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Name of a variable (for diagnostics).
+    pub fn var_name(&self, v: VarId) -> &str {
+        &self.vars[v.index()].name
+    }
+
+    /// Check a candidate assignment against all constraints and bounds.
+    pub fn is_feasible(&self, values: &[f64], tol: f64) -> bool {
+        if values.len() != self.vars.len() {
+            return false;
+        }
+        for (i, var) in self.vars.iter().enumerate() {
+            let x = values[i];
+            if x < var.lb - tol || x > var.ub + tol {
+                return false;
+            }
+            if var.integer && (x - x.round()).abs() > tol {
+                return false;
+            }
+        }
+        self.constraints.iter().all(|c| {
+            let lhs = c.expr.eval(values);
+            match c.sense {
+                Sense::Le => lhs <= c.rhs + tol,
+                Sense::Ge => lhs >= c.rhs - tol,
+                Sense::Eq => (lhs - c.rhs).abs() <= tol,
+            }
+        })
+    }
+}
+
+/// Why a solve ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// Proven optimal.
+    Optimal,
+    /// Feasible but optimality not proven (node/time limit hit).
+    Feasible,
+    /// No feasible point exists.
+    Infeasible,
+    /// Objective unbounded below.
+    Unbounded,
+}
+
+/// Result of an (M)ILP solve.
+#[derive(Debug, Clone)]
+pub struct Solution {
+    /// Termination status.
+    pub status: Status,
+    /// Variable values (empty when infeasible/unbounded).
+    pub values: Vec<f64>,
+    /// Objective value of `values`.
+    pub objective: f64,
+    /// Best proven lower bound on the optimum.
+    pub bound: f64,
+    /// Branch-and-bound nodes explored (0 for pure LPs).
+    pub nodes: usize,
+}
+
+impl Solution {
+    /// Value of `v` rounded to the nearest integer.
+    pub fn int_value(&self, v: VarId) -> i64 {
+        self.values[v.index()].round() as i64
+    }
+
+    /// Value of a 0-1 variable as a bool.
+    pub fn bool_value(&self, v: VarId) -> bool {
+        self.int_value(v) == 1
+    }
+}
+
+impl fmt::Display for Solution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:?} obj={:.6} bound={:.6} nodes={}",
+            self.status, self.objective, self.bound, self.nodes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_eval() {
+        let mut m = Model::new();
+        let x = m.add_var("x", 0.0, 10.0);
+        let y = m.add_binary("y");
+        m.add_constraint(LinExpr::new().plus(x, 1.0).plus(y, 2.0), Sense::Le, 5.0);
+        m.set_objective(LinExpr::new().plus(x, -1.0));
+        assert_eq!(m.num_vars(), 2);
+        assert_eq!(m.num_constraints(), 1);
+        assert_eq!(m.var_name(y), "y");
+        assert!(m.is_feasible(&[3.0, 1.0], 1e-9));
+        assert!(!m.is_feasible(&[4.0, 1.0], 1e-9), "constraint violated");
+        assert!(!m.is_feasible(&[1.0, 0.5], 1e-9), "y must be integral");
+        assert!(!m.is_feasible(&[-1.0, 0.0], 1e-9), "bound violated");
+    }
+
+    #[test]
+    fn expr_eval() {
+        let e = LinExpr::new().plus(VarId(0), 2.0).plus(VarId(1), -1.0);
+        assert_eq!(e.eval(&[3.0, 4.0]), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "lb > ub")]
+    fn bad_bounds_panic() {
+        Model::new().add_var("x", 1.0, 0.0);
+    }
+}

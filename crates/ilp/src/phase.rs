@@ -1,0 +1,629 @@
+//! Specialized exact solver for the paper's phase-assignment ILP.
+//!
+//! The ILP of §IV-A assigns every FF `u` a phase bit `K(u)` (1 = `p1`,
+//! 0 = `p3`) and a group bit `G(u)` (1 = back-to-back, i.e. a `p2` latch is
+//! inserted at its output), minimizing `Σ G` subject to
+//!
+//! ```text
+//! G(u) + K(u) ≥ 1                      ∀u ∈ V
+//! G(u) ≥ K(u) + K(v) − 1              ∀u ∈ V, v ∈ FO(u)
+//! G(p) ≥ K(v)                          ∀p ∈ PI, v ∈ FO(p)
+//! ```
+//!
+//! At any optimum, the set `T = {u : G(u) = 0}` of single-latch FFs is an
+//! independent set of the *undirected* FF fan-out graph (self-loop FFs can
+//! never be in `T`), and the cost is `|V| − |T|` plus one per primary input
+//! whose fan-out intersects `T`. [`PhaseProblem::solve`] exploits this:
+//! connected components are solved independently by branch-and-bound with a
+//! greedy-matching upper bound, warm-started by a greedy + local-search
+//! incumbent. [`PhaseProblem::to_ilp_model`] emits the literal ILP instead,
+//! for cross-checking against the generic solver (our stand-in for Gurobi).
+
+use crate::model::{LinExpr, Model, Sense, Status, VarId};
+use crate::{solve as ilp_solve, IlpConfig};
+
+/// Instance of the phase-assignment problem.
+#[derive(Debug, Clone, Default)]
+pub struct PhaseProblem {
+    n: usize,
+    /// Undirected adjacency (deduplicated, no self entries).
+    adj: Vec<Vec<usize>>,
+    /// Directed fan-out (the literal `FO(u)` relation, self entries kept).
+    fo: Vec<Vec<usize>>,
+    self_loop: Vec<bool>,
+    /// Per primary input: FF nodes in its combinational fan-out.
+    pi_fanout: Vec<Vec<usize>>,
+}
+
+/// Result of a phase-assignment solve.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseSolution {
+    /// Phase bit per FF: `true` = `p1`, `false` = `p3`.
+    pub k: Vec<bool>,
+    /// Group bit per FF: `true` = back-to-back (a `p2` latch is inserted).
+    pub g: Vec<bool>,
+    /// Group bit per primary input: `true` = a `p2` latch is inserted on
+    /// the input's fan-out boundary.
+    pub pi_g: Vec<bool>,
+    /// Objective value `Σ G` (FFs plus PI insertions).
+    pub cost: usize,
+    /// Whether optimality was proven within the node budget.
+    pub optimal: bool,
+}
+
+/// Search budget.
+#[derive(Debug, Clone, Copy)]
+pub struct PhaseConfig {
+    /// Maximum branch-and-bound nodes across all components.
+    pub max_nodes: usize,
+}
+
+impl Default for PhaseConfig {
+    fn default() -> Self {
+        PhaseConfig { max_nodes: 2_000_000 }
+    }
+}
+
+impl PhaseProblem {
+    /// Problem over `n` FF nodes.
+    pub fn new(n: usize) -> PhaseProblem {
+        PhaseProblem {
+            n,
+            adj: vec![Vec::new(); n],
+            fo: vec![Vec::new(); n],
+            self_loop: vec![false; n],
+            pi_fanout: Vec::new(),
+        }
+    }
+
+    /// Number of FF nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Record `v ∈ FO(u)`; `u == v` marks a combinational self-loop.
+    pub fn add_fanout(&mut self, u: usize, v: usize) {
+        assert!(u < self.n && v < self.n, "node out of range");
+        if !self.fo[u].contains(&v) {
+            self.fo[u].push(v);
+        }
+        if u == v {
+            self.self_loop[u] = true;
+            return;
+        }
+        if !self.adj[u].contains(&v) {
+            self.adj[u].push(v);
+            self.adj[v].push(u);
+        }
+    }
+
+    /// Record a primary input whose combinational fan-out reaches `nodes`.
+    pub fn add_pi(&mut self, nodes: Vec<usize>) {
+        assert!(nodes.iter().all(|&v| v < self.n), "node out of range");
+        self.pi_fanout.push(nodes);
+    }
+
+    /// `true` if node `u` has a combinational self-loop.
+    pub fn has_self_loop(&self, u: usize) -> bool {
+        self.self_loop[u]
+    }
+
+    /// Reference objective evaluator: cost of an arbitrary `K` assignment
+    /// with the implied optimal `G`, following the ILP literally (`u` is
+    /// single iff `K(u)=1` and no `v ∈ FO(u)` has `K(v)=1`). Used by tests
+    /// and brute-force cross-checks.
+    ///
+    /// Although the search in [`PhaseProblem::solve`] works on the
+    /// *undirected* fan-out graph, the optima coincide: any directed
+    /// singles-set is undirected-independent (if `u→w` with both single,
+    /// `u`'s condition forbids `K(w)=1`), and any undirected independent
+    /// set is realized exactly by setting `K` on it alone.
+    pub fn cost_of(&self, k: &[bool]) -> usize {
+        assert_eq!(k.len(), self.n);
+        let mut cost = 0usize;
+        for u in 0..self.n {
+            let single = k[u] && self.fo[u].iter().all(|&v| !k[v]);
+            if !single {
+                cost += 1;
+            }
+        }
+        for fo in &self.pi_fanout {
+            if fo.iter().any(|&v| k[v]) {
+                cost += 1;
+            }
+        }
+        cost
+    }
+
+    /// Solve using component decomposition + branch-and-bound.
+    pub fn solve(&self, cfg: &PhaseConfig) -> PhaseSolution {
+        let cand: Vec<bool> = (0..self.n).map(|u| !self.self_loop[u]).collect();
+
+        // Union components over edges and PI groups.
+        let mut dsu = Dsu::new(self.n);
+        for u in 0..self.n {
+            for &v in &self.adj[u] {
+                dsu.union(u, v);
+            }
+        }
+        for fo in &self.pi_fanout {
+            for w in fo.windows(2) {
+                dsu.union(w[0], w[1]);
+            }
+        }
+        let mut comps: std::collections::HashMap<usize, Vec<usize>> = Default::default();
+        for (u, &is_cand) in cand.iter().enumerate() {
+            if is_cand {
+                comps.entry(dsu.find(u)).or_default().push(u);
+            }
+        }
+        let mut comp_list: Vec<Vec<usize>> = comps.into_values().collect();
+        comp_list.sort_by_key(|c| std::cmp::Reverse(c.len()));
+
+        let mut in_t = vec![false; self.n];
+        let mut optimal = true;
+        let mut budget = cfg.max_nodes;
+        for comp in &comp_list {
+            // Each search node costs O(|comp|) work; cap per-component
+            // nodes so wall-clock stays bounded on huge components (the
+            // greedy incumbent is still returned, flagged non-optimal).
+            let per_comp = budget.min(50_000_000 / (comp.len() + 1));
+            let (t, opt, used) = self.solve_component(comp, per_comp);
+            budget = budget.saturating_sub(used);
+            optimal &= opt;
+            for u in t {
+                in_t[u] = true;
+            }
+        }
+        self.decode(&in_t, optimal)
+    }
+
+    fn decode(&self, in_t: &[bool], optimal: bool) -> PhaseSolution {
+        let k: Vec<bool> = in_t.to_vec();
+        let g: Vec<bool> = (0..self.n).map(|u| !in_t[u]).collect();
+        let pi_g: Vec<bool> = self
+            .pi_fanout
+            .iter()
+            .map(|fo| fo.iter().any(|&v| in_t[v]))
+            .collect();
+        let cost = g.iter().filter(|&&b| b).count() + pi_g.iter().filter(|&&b| b).count();
+        PhaseSolution {
+            k,
+            g,
+            pi_g,
+            cost,
+            optimal,
+        }
+    }
+
+    /// Per-component exact search. Returns `(chosen, proven_optimal,
+    /// nodes_used)`.
+    ///
+    /// The PI penalties are folded into the graph: each primary input
+    /// becomes a weight-1 *pseudo-vertex* adjacent to its fan-out nodes
+    /// (maximizing `|T| + #unhit PIs` is a pure maximum-independent-set
+    /// problem on the augmented graph), so the matching bound accounts
+    /// for penalties. Degree-0/1 reductions solve tree-like regions
+    /// (e.g. pipelines) without branching.
+    fn solve_component(&self, comp: &[usize], budget: usize) -> (Vec<usize>, bool, usize) {
+        // Local index mapping for real nodes.
+        let mut local_of = std::collections::HashMap::new();
+        for (i, &u) in comp.iter().enumerate() {
+            local_of.insert(u, i);
+        }
+        let n_real = comp.len();
+        // Augmented adjacency: real nodes first, then one pseudo-vertex
+        // per PI group intersecting this component.
+        let mut adj: Vec<Vec<usize>> = comp
+            .iter()
+            .map(|&u| {
+                self.adj[u]
+                    .iter()
+                    .filter_map(|v| local_of.get(v).copied())
+                    .collect()
+            })
+            .collect();
+        for fo in &self.pi_fanout {
+            let members: Vec<usize> = fo
+                .iter()
+                .filter_map(|v| local_of.get(v).copied())
+                .filter(|&v| !self.self_loop[comp[v]])
+                .collect();
+            // A PI whose entire component fan-out is self-loop nodes can
+            // never be hit (canonical solutions leave them K=0): no
+            // pseudo-vertex needed.
+            if members.is_empty() {
+                continue;
+            }
+            let pv = adj.len();
+            adj.push(members.clone());
+            for v in members {
+                adj[v].push(pv);
+            }
+        }
+        let n = adj.len();
+
+        // Greedy MIS incumbent (min-degree order) + add-pass.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by_key(|&u| adj[u].len());
+        let mut chosen = vec![false; n];
+        let mut blocked = vec![false; n];
+        for &u in &order {
+            if !blocked[u] {
+                chosen[u] = true;
+                blocked[u] = true;
+                for &v in &adj[u] {
+                    blocked[v] = true;
+                }
+            }
+        }
+        let mut best: Vec<bool> = chosen;
+        let mut best_score = best.iter().filter(|&&b| b).count() as i64;
+
+        // Branch and bound on the augmented graph.
+        struct Ctx<'a> {
+            adj: &'a [Vec<usize>],
+            best_score: i64,
+            best: Vec<bool>,
+            nodes: usize,
+            budget: usize,
+            complete: bool,
+        }
+        fn greedy_matching(adj: &[Vec<usize>], alive: &[bool]) -> i64 {
+            let mut matched = vec![false; adj.len()];
+            let mut m = 0i64;
+            for u in 0..adj.len() {
+                if !alive[u] || matched[u] {
+                    continue;
+                }
+                for &v in &adj[u] {
+                    if alive[v] && !matched[v] && v != u {
+                        matched[u] = true;
+                        matched[v] = true;
+                        m += 1;
+                        break;
+                    }
+                }
+            }
+            m
+        }
+        fn bb(ctx: &mut Ctx, mut alive: Vec<bool>, mut chosen: Vec<bool>, mut score: i64) {
+            ctx.nodes += 1;
+            if ctx.nodes > ctx.budget {
+                ctx.complete = false;
+                return;
+            }
+            // Reductions: take isolated vertices; take leaves (dominance:
+            // a leaf is always at least as good as its only neighbour).
+            loop {
+                let mut changed = false;
+                for v in 0..alive.len() {
+                    if !alive[v] {
+                        continue;
+                    }
+                    let mut deg = 0;
+                    let mut nb = usize::MAX;
+                    for &w in &ctx.adj[v] {
+                        if alive[w] {
+                            deg += 1;
+                            nb = w;
+                        }
+                    }
+                    if deg == 0 {
+                        alive[v] = false;
+                        chosen[v] = true;
+                        score += 1;
+                        changed = true;
+                    } else if deg == 1 {
+                        alive[v] = false;
+                        alive[nb] = false;
+                        chosen[v] = true;
+                        score += 1;
+                        changed = true;
+                    }
+                }
+                if !changed {
+                    break;
+                }
+            }
+            let remaining = alive.iter().filter(|&&a| a).count() as i64;
+            if remaining == 0 {
+                if score > ctx.best_score {
+                    ctx.best_score = score;
+                    ctx.best = chosen;
+                }
+                return;
+            }
+            // Matching bound: α(P) ≤ |P| − |M|.
+            let ub = score + remaining - greedy_matching(ctx.adj, &alive);
+            if ub <= ctx.best_score {
+                return;
+            }
+            // Branch on the max-degree vertex.
+            let v = (0..alive.len())
+                .filter(|&u| alive[u])
+                .max_by_key(|&u| ctx.adj[u].iter().filter(|&&w| alive[w]).count())
+                .expect("nonempty");
+            // Include v.
+            {
+                let mut a2 = alive.clone();
+                let mut c2 = chosen.clone();
+                a2[v] = false;
+                for &w in &ctx.adj[v] {
+                    a2[w] = false;
+                }
+                c2[v] = true;
+                bb(ctx, a2, c2, score + 1);
+            }
+            // Exclude v.
+            alive[v] = false;
+            bb(ctx, alive, chosen, score);
+        }
+
+        let mut ctx = Ctx {
+            adj: &adj,
+            best_score,
+            best: best.clone(),
+            nodes: 0,
+            budget,
+            complete: true,
+        };
+        bb(&mut ctx, vec![true; n], vec![false; n], 0);
+        best = ctx.best;
+        best_score = ctx.best_score;
+        let _ = best_score;
+
+        let chosen_global: Vec<usize> = best
+            .iter()
+            .take(n_real)
+            .enumerate()
+            .filter(|(_, &b)| b)
+            .map(|(i, _)| comp[i])
+            .collect();
+        (chosen_global, ctx.complete, ctx.nodes)
+    }
+
+    /// Build the literal §IV-A ILP.
+    ///
+    /// Returns the model plus the `K` variables (per FF), `G` variables
+    /// (per FF), and `G` variables for the primary inputs, in order.
+    pub fn to_ilp_model(&self) -> (Model, Vec<VarId>, Vec<VarId>, Vec<VarId>) {
+        let mut m = Model::new();
+        let k: Vec<VarId> = (0..self.n).map(|u| m.add_binary(format!("K{u}"))).collect();
+        let g: Vec<VarId> = (0..self.n).map(|u| m.add_binary(format!("G{u}"))).collect();
+        let pi_g: Vec<VarId> = (0..self.pi_fanout.len())
+            .map(|p| m.add_binary(format!("Gpi{p}")))
+            .collect();
+        for u in 0..self.n {
+            // G(u) + K(u) >= 1
+            m.add_constraint(
+                LinExpr::new().plus(g[u], 1.0).plus(k[u], 1.0),
+                Sense::Ge,
+                1.0,
+            );
+            // G(u) >= K(u) + K(v) - 1 for v in FO(u) (directed, as in the
+            // paper; a self-loop contributes G(u) >= 2K(u) - 1).
+            for &v in &self.fo[u] {
+                let expr = if v == u {
+                    LinExpr::new().plus(g[u], 1.0).plus(k[u], -2.0)
+                } else {
+                    LinExpr::new().plus(g[u], 1.0).plus(k[u], -1.0).plus(k[v], -1.0)
+                };
+                m.add_constraint(expr, Sense::Ge, -1.0);
+            }
+        }
+        for (p, fo) in self.pi_fanout.iter().enumerate() {
+            for &v in fo {
+                m.add_constraint(
+                    LinExpr::new().plus(pi_g[p], 1.0).plus(k[v], -1.0),
+                    Sense::Ge,
+                    0.0,
+                );
+            }
+        }
+        let mut obj = LinExpr::new();
+        for &gv in g.iter().chain(pi_g.iter()) {
+            obj = obj.plus(gv, 1.0);
+        }
+        m.set_objective(obj);
+        (m, k, g, pi_g)
+    }
+
+    /// Solve via the generic branch-and-bound ILP (the "Gurobi path").
+    /// Practical only for small instances; used for cross-validation.
+    pub fn solve_via_ilp(&self, cfg: &IlpConfig) -> Option<PhaseSolution> {
+        let (model, k, g, pi_g) = self.to_ilp_model();
+        let sol = ilp_solve(&model, cfg);
+        if !matches!(sol.status, Status::Optimal | Status::Feasible) {
+            return None;
+        }
+        Some(PhaseSolution {
+            k: k.iter().map(|&v| sol.bool_value(v)).collect(),
+            g: g.iter().map(|&v| sol.bool_value(v)).collect(),
+            pi_g: pi_g.iter().map(|&v| sol.bool_value(v)).collect(),
+            cost: sol.objective.round() as usize,
+            optimal: sol.status == Status::Optimal,
+        })
+    }
+}
+
+struct Dsu {
+    parent: Vec<usize>,
+}
+
+impl Dsu {
+    fn new(n: usize) -> Dsu {
+        Dsu {
+            parent: (0..n).collect(),
+        }
+    }
+    fn find(&mut self, x: usize) -> usize {
+        if self.parent[x] != x {
+            let r = self.find(self.parent[x]);
+            self.parent[x] = r;
+        }
+        self.parent[x]
+    }
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra] = rb;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exhaustive reference: minimum cost over all 2^n K assignments.
+    fn brute_force(p: &PhaseProblem) -> usize {
+        let n = p.num_nodes();
+        assert!(n <= 16);
+        (0..1u32 << n)
+            .map(|mask| {
+                let k: Vec<bool> = (0..n).map(|i| (mask >> i) & 1 == 1).collect();
+                p.cost_of(&k)
+            })
+            .min()
+            .unwrap()
+    }
+
+    #[test]
+    fn linear_pipeline_matches_paper_fig1() {
+        // A 6-stage linear pipeline: FF_i -> FF_{i+1}. The minimum number
+        // of back-to-back groups is floor(stages/2): alternating
+        // single-p1 / back-to-back.
+        for stages in 2..=9usize {
+            let mut p = PhaseProblem::new(stages);
+            for i in 0..stages - 1 {
+                p.add_fanout(i, i + 1);
+            }
+            // PI feeds the first stage.
+            p.add_pi(vec![0]);
+            let sol = p.solve(&PhaseConfig::default());
+            assert!(sol.optimal);
+            assert_eq!(sol.cost, brute_force(&p), "stages={stages}");
+            // Paper Fig. 1: one extra latch stage per two original stages.
+            // Cost counts back-to-back groups incl. possible PI insertion.
+            let t = sol.k.iter().filter(|&&b| b).count();
+            assert!(t >= stages / 2, "selected singles {t} of {stages}");
+        }
+    }
+
+    #[test]
+    fn self_loops_forced_back_to_back() {
+        let mut p = PhaseProblem::new(3);
+        p.add_fanout(0, 0); // self loop
+        p.add_fanout(0, 1);
+        p.add_fanout(1, 2);
+        let sol = p.solve(&PhaseConfig::default());
+        assert!(sol.g[0], "self-loop FF must be back-to-back");
+        assert!(sol.optimal);
+        assert_eq!(sol.cost, brute_force(&p));
+    }
+
+    #[test]
+    fn pi_penalty_respected() {
+        // One FF fed by 3 PIs: making it single costs 3 PI insertions;
+        // back-to-back costs 1. Optimum: back-to-back.
+        let mut p = PhaseProblem::new(1);
+        p.add_pi(vec![0]);
+        p.add_pi(vec![0]);
+        p.add_pi(vec![0]);
+        let sol = p.solve(&PhaseConfig::default());
+        assert_eq!(sol.cost, 1);
+        assert!(sol.g[0]);
+        assert_eq!(sol.cost, brute_force(&p));
+    }
+
+    #[test]
+    fn pi_penalty_worth_paying() {
+        // One PI feeding one FF with no other constraints: single latch
+        // costs 1 PI insertion, back-to-back costs 1 group. Equal cost 1.
+        let mut p = PhaseProblem::new(1);
+        p.add_pi(vec![0]);
+        let sol = p.solve(&PhaseConfig::default());
+        assert_eq!(sol.cost, 1);
+        assert_eq!(sol.cost, brute_force(&p));
+    }
+
+    #[test]
+    fn matches_generic_ilp_on_small_graphs() {
+        // Deterministic pseudo-random digraphs, cross-check all three
+        // solvers (brute force, specialized, generic ILP).
+        let mut seed = 0x9E3779B97F4A7C15u64;
+        let mut rnd = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for trial in 0..12 {
+            let n = 3 + (rnd() % 8) as usize;
+            let mut p = PhaseProblem::new(n);
+            for u in 0..n {
+                for v in 0..n {
+                    if rnd() % 100 < 22 {
+                        p.add_fanout(u, v);
+                    }
+                }
+            }
+            let npis = (rnd() % 3) as usize;
+            for _ in 0..npis {
+                let fo: Vec<usize> = (0..n).filter(|_| rnd() % 100 < 30).collect();
+                if !fo.is_empty() {
+                    p.add_pi(fo);
+                }
+            }
+            let want = brute_force(&p);
+            let fast = p.solve(&PhaseConfig::default());
+            assert!(fast.optimal, "trial {trial}");
+            assert_eq!(fast.cost, want, "trial {trial} specialized");
+            assert_eq!(fast.cost, p.cost_of(&fast.k), "decode consistent");
+            let ilp = p.solve_via_ilp(&IlpConfig::default()).unwrap();
+            assert_eq!(ilp.cost, want, "trial {trial} generic ILP");
+        }
+    }
+
+    #[test]
+    fn solution_is_ilp_feasible() {
+        let mut p = PhaseProblem::new(5);
+        p.add_fanout(0, 1);
+        p.add_fanout(1, 2);
+        p.add_fanout(2, 3);
+        p.add_fanout(3, 4);
+        p.add_fanout(4, 0);
+        p.add_pi(vec![0, 2]);
+        let sol = p.solve(&PhaseConfig::default());
+        let (model, k, g, pig) = p.to_ilp_model();
+        let mut values = vec![0.0; model.num_vars()];
+        for (i, &b) in sol.k.iter().enumerate() {
+            values[k[i].index()] = b as u8 as f64;
+        }
+        for (i, &b) in sol.g.iter().enumerate() {
+            values[g[i].index()] = b as u8 as f64;
+        }
+        for (i, &b) in sol.pi_g.iter().enumerate() {
+            values[pig[i].index()] = b as u8 as f64;
+        }
+        assert!(model.is_feasible(&values, 1e-9));
+    }
+
+    #[test]
+    fn large_sparse_instance_closes() {
+        // A 400-node ring of 4-node clusters: must finish optimal quickly.
+        let n = 400;
+        let mut p = PhaseProblem::new(n);
+        for u in 0..n {
+            p.add_fanout(u, (u + 1) % n);
+            if u % 4 == 0 {
+                p.add_fanout(u, (u + 2) % n);
+            }
+        }
+        let sol = p.solve(&PhaseConfig::default());
+        assert!(sol.optimal);
+        // A ring of n nodes has independence number floor(n/2).
+        assert!(sol.cost <= n - n / 2 + 5);
+    }
+}

@@ -1,0 +1,394 @@
+//! Two-phase dense primal simplex with Bland's anti-cycling rule.
+//!
+//! Solves `min c'x  s.t.  Ax {≤,≥,=} b,  lb ≤ x ≤ ub` with `lb ≥ 0`.
+//! Upper bounds and positive lower bounds are lowered to explicit rows;
+//! this keeps the implementation simple and is fine for the model sizes
+//! the generic path is used on (the scalable path is `phase::solve`).
+
+use crate::model::{Model, Sense};
+
+/// Outcome of an LP solve.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpResult {
+    /// Optimal basic solution: `(values, objective)`.
+    Optimal(Vec<f64>, f64),
+    /// No feasible point.
+    Infeasible,
+    /// Objective unbounded below.
+    Unbounded,
+}
+
+const TOL: f64 = 1e-9;
+
+/// Solve the LP relaxation of `model`, with per-variable bound overrides
+/// (used by branch-and-bound to fix binaries). `overrides[i]` replaces the
+/// model bounds of variable `i` when `Some((lb, ub))`.
+///
+/// # Panics
+///
+/// Panics if any effective lower bound is negative (the toolkit only
+/// builds nonnegative models).
+pub fn solve_lp(model: &Model, overrides: &[Option<(f64, f64)>]) -> LpResult {
+    let n = model.num_vars();
+    // Effective bounds.
+    let mut lb = vec![0.0f64; n];
+    let mut ub = vec![f64::INFINITY; n];
+    for i in 0..n {
+        let v = &model.vars[i];
+        let (l, u) = overrides
+            .get(i)
+            .copied()
+            .flatten()
+            .unwrap_or((v.lb, v.ub));
+        assert!(l >= -TOL, "negative lower bound unsupported");
+        lb[i] = l.max(0.0);
+        ub[i] = u;
+        if l > u + TOL {
+            return LpResult::Infeasible;
+        }
+    }
+
+    // Gather rows: model constraints plus bound rows.
+    struct Row {
+        coeffs: Vec<(usize, f64)>,
+        sense: Sense,
+        rhs: f64,
+    }
+    let mut rows: Vec<Row> = Vec::with_capacity(model.num_constraints() + n);
+    for c in &model.constraints {
+        let coeffs = c.expr.terms.iter().map(|&(v, k)| (v.index(), k)).collect();
+        rows.push(Row {
+            coeffs,
+            sense: c.sense,
+            rhs: c.rhs,
+        });
+    }
+    for i in 0..n {
+        if ub[i].is_finite() {
+            rows.push(Row {
+                coeffs: vec![(i, 1.0)],
+                sense: Sense::Le,
+                rhs: ub[i],
+            });
+        }
+        if lb[i] > TOL {
+            rows.push(Row {
+                coeffs: vec![(i, 1.0)],
+                sense: Sense::Ge,
+                rhs: lb[i],
+            });
+        }
+    }
+
+    let m = rows.len();
+    // Normalize rhs >= 0 by flipping rows; slack/artificial counts are
+    // derived afterwards (Le rows get a slack, Ge/Eq rows also get an
+    // artificial).
+    let mut senses = Vec::with_capacity(m);
+    let mut rhs = Vec::with_capacity(m);
+    let mut coeffs: Vec<Vec<(usize, f64)>> = Vec::with_capacity(m);
+    for r in rows {
+        if r.rhs < 0.0 {
+            let flipped = r.coeffs.iter().map(|&(i, k)| (i, -k)).collect();
+            coeffs.push(flipped);
+            rhs.push(-r.rhs);
+            senses.push(match r.sense {
+                Sense::Le => Sense::Ge,
+                Sense::Ge => Sense::Le,
+                Sense::Eq => Sense::Eq,
+            });
+        } else {
+            coeffs.push(r.coeffs);
+            rhs.push(r.rhs);
+            senses.push(r.sense);
+        }
+    }
+    let n_slack = senses.iter().filter(|&&s| s != Sense::Eq).count();
+    let n_art = senses.iter().filter(|&&s| s != Sense::Le).count();
+    let total = n + n_slack + n_art;
+
+    // Dense tableau: m rows × (total + 1) columns (last = rhs).
+    let width = total + 1;
+    let mut t = vec![0.0f64; m * width];
+    let mut basis = vec![usize::MAX; m];
+    let mut slack_idx = 0usize;
+    let mut art_idx = 0usize;
+    let mut artificial_cols = Vec::new();
+    for (r, row_coeffs) in coeffs.iter().enumerate() {
+        for &(i, k) in row_coeffs {
+            t[r * width + i] += k;
+        }
+        t[r * width + total] = rhs[r];
+        match senses[r] {
+            Sense::Le => {
+                let col = n + slack_idx;
+                slack_idx += 1;
+                t[r * width + col] = 1.0;
+                basis[r] = col;
+            }
+            Sense::Ge => {
+                let scol = n + slack_idx;
+                slack_idx += 1;
+                t[r * width + scol] = -1.0;
+                let acol = n + n_slack + art_idx;
+                art_idx += 1;
+                t[r * width + acol] = 1.0;
+                basis[r] = acol;
+                artificial_cols.push(acol);
+            }
+            Sense::Eq => {
+                let acol = n + n_slack + art_idx;
+                art_idx += 1;
+                t[r * width + acol] = 1.0;
+                basis[r] = acol;
+                artificial_cols.push(acol);
+            }
+        }
+    }
+
+    // Phase 1: minimize sum of artificials.
+    if !artificial_cols.is_empty() {
+        let mut cost = vec![0.0f64; total];
+        for &a in &artificial_cols {
+            cost[a] = 1.0;
+        }
+        match run_simplex(&mut t, &mut basis, m, width, &cost) {
+            SimplexEnd::Optimal(obj) => {
+                if obj > 1e-6 {
+                    return LpResult::Infeasible;
+                }
+            }
+            SimplexEnd::Unbounded => unreachable!("phase-1 objective bounded below by 0"),
+        }
+        // Drive remaining artificials out of the basis.
+        for r in 0..m {
+            if basis[r] >= n + n_slack {
+                let mut pivoted = false;
+                for j in 0..n + n_slack {
+                    if t[r * width + j].abs() > 1e-7 {
+                        pivot(&mut t, &mut basis, m, width, r, j);
+                        pivoted = true;
+                        break;
+                    }
+                }
+                if !pivoted {
+                    // Redundant row; zero it out (keeps the basis valid
+                    // because its rhs is ~0 after phase 1).
+                    for j in 0..width {
+                        t[r * width + j] = 0.0;
+                    }
+                }
+            }
+        }
+    }
+
+    // Phase 2: original objective (artificial columns pinned at 0 by
+    // giving them prohibitive cost).
+    let mut cost = vec![0.0f64; total];
+    for &(v, k) in &model.objective.terms {
+        cost[v.index()] += k;
+    }
+    let big = 1e12;
+    for &a in &artificial_cols {
+        cost[a] = big;
+    }
+    match run_simplex(&mut t, &mut basis, m, width, &cost) {
+        SimplexEnd::Unbounded => LpResult::Unbounded,
+        SimplexEnd::Optimal(_) => {
+            let mut x = vec![0.0f64; n];
+            for r in 0..m {
+                if basis[r] < n {
+                    x[basis[r]] = t[r * width + total];
+                }
+            }
+            let obj = model.objective.eval(&x);
+            LpResult::Optimal(x, obj)
+        }
+    }
+}
+
+enum SimplexEnd {
+    Optimal(f64),
+    Unbounded,
+}
+
+/// Run primal simplex on the current basic feasible tableau.
+fn run_simplex(
+    t: &mut [f64],
+    basis: &mut [usize],
+    m: usize,
+    width: usize,
+    cost: &[f64],
+) -> SimplexEnd {
+    let total = width - 1;
+    loop {
+        // Reduced costs: c_j - c_B' * B^{-1} A_j (computed row-wise).
+        let mut entering = None;
+        for j in 0..total {
+            let mut red = cost[j];
+            for r in 0..m {
+                let b = basis[r];
+                if b != usize::MAX && cost[b] != 0.0 {
+                    red -= cost[b] * t[r * width + j];
+                }
+            }
+            if red < -1e-7 {
+                entering = Some(j); // Bland: first (smallest) index
+                break;
+            }
+        }
+        let Some(j) = entering else {
+            let mut obj = 0.0;
+            for r in 0..m {
+                let b = basis[r];
+                if b != usize::MAX {
+                    obj += cost[b] * t[r * width + total];
+                }
+            }
+            return SimplexEnd::Optimal(obj);
+        };
+        // Ratio test (Bland tie-break on basis index).
+        let mut leave: Option<(usize, f64)> = None;
+        for r in 0..m {
+            let a = t[r * width + j];
+            if a > 1e-9 {
+                let ratio = t[r * width + total] / a;
+                match leave {
+                    None => leave = Some((r, ratio)),
+                    Some((lr, lratio)) => {
+                        if ratio < lratio - 1e-12
+                            || ((ratio - lratio).abs() <= 1e-12 && basis[r] < basis[lr])
+                        {
+                            leave = Some((r, ratio));
+                        }
+                    }
+                }
+            }
+        }
+        let Some((r, _)) = leave else {
+            return SimplexEnd::Unbounded;
+        };
+        pivot(t, basis, m, width, r, j);
+    }
+}
+
+fn pivot(t: &mut [f64], basis: &mut [usize], m: usize, width: usize, r: usize, j: usize) {
+    let p = t[r * width + j];
+    debug_assert!(p.abs() > 1e-12);
+    for x in &mut t[r * width..(r + 1) * width] {
+        *x /= p;
+    }
+    for rr in 0..m {
+        if rr == r {
+            continue;
+        }
+        let f = t[rr * width + j];
+        if f.abs() > 1e-12 {
+            for c in 0..width {
+                t[rr * width + c] -= f * t[r * width + c];
+            }
+        }
+    }
+    basis[r] = j;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{LinExpr, Model};
+
+    fn lp(model: &Model) -> LpResult {
+        solve_lp(model, &vec![None; model.num_vars()])
+    }
+
+    #[test]
+    fn simple_max_as_min() {
+        // min -(x+y) s.t. x + 2y <= 4, 3x + y <= 6, x,y in [0, inf)
+        let mut m = Model::new();
+        let x = m.add_var("x", 0.0, f64::INFINITY);
+        let y = m.add_var("y", 0.0, f64::INFINITY);
+        m.add_constraint(LinExpr::new().plus(x, 1.0).plus(y, 2.0), Sense::Le, 4.0);
+        m.add_constraint(LinExpr::new().plus(x, 3.0).plus(y, 1.0), Sense::Le, 6.0);
+        m.set_objective(LinExpr::new().plus(x, -1.0).plus(y, -1.0));
+        match lp(&m) {
+            LpResult::Optimal(v, obj) => {
+                assert!((v[0] - 1.6).abs() < 1e-6, "x = {}", v[0]);
+                assert!((v[1] - 1.2).abs() < 1e-6, "y = {}", v[1]);
+                assert!((obj + 2.8).abs() < 1e-6);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn equality_and_ge() {
+        // min x + y s.t. x + y = 3, x >= 1, y >= 0.5
+        let mut m = Model::new();
+        let x = m.add_var("x", 1.0, f64::INFINITY);
+        let y = m.add_var("y", 0.5, f64::INFINITY);
+        m.add_constraint(LinExpr::new().plus(x, 1.0).plus(y, 1.0), Sense::Eq, 3.0);
+        m.set_objective(LinExpr::new().plus(x, 1.0).plus(y, 1.0));
+        match lp(&m) {
+            LpResult::Optimal(v, obj) => {
+                assert!((obj - 3.0).abs() < 1e-6);
+                assert!(v[0] >= 1.0 - 1e-6 && v[1] >= 0.5 - 1e-6);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut m = Model::new();
+        let x = m.add_var("x", 0.0, 1.0);
+        m.add_constraint(LinExpr::new().plus(x, 1.0), Sense::Ge, 2.0);
+        m.set_objective(LinExpr::new().plus(x, 1.0));
+        assert_eq!(lp(&m), LpResult::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let mut m = Model::new();
+        let x = m.add_var("x", 0.0, f64::INFINITY);
+        m.set_objective(LinExpr::new().plus(x, -1.0));
+        assert_eq!(lp(&m), LpResult::Unbounded);
+    }
+
+    #[test]
+    fn bound_overrides_respected() {
+        let mut m = Model::new();
+        let x = m.add_var("x", 0.0, 10.0);
+        m.set_objective(LinExpr::new().plus(x, -1.0)); // maximize x
+        match solve_lp(&m, &[Some((0.0, 3.5))]) {
+            LpResult::Optimal(v, _) => assert!((v[0] - 3.5).abs() < 1e-6),
+            other => panic!("{other:?}"),
+        }
+        // Contradictory override -> infeasible.
+        assert_eq!(solve_lp(&m, &[Some((2.0, 1.0))]), LpResult::Infeasible);
+    }
+
+    #[test]
+    fn degenerate_does_not_cycle() {
+        // Classic degenerate LP; Bland's rule must terminate.
+        let mut m = Model::new();
+        let x1 = m.add_var("x1", 0.0, f64::INFINITY);
+        let x2 = m.add_var("x2", 0.0, f64::INFINITY);
+        let x3 = m.add_var("x3", 0.0, f64::INFINITY);
+        m.add_constraint(
+            LinExpr::new().plus(x1, 0.5).plus(x2, -5.5).plus(x3, -2.5),
+            Sense::Le,
+            0.0,
+        );
+        m.add_constraint(
+            LinExpr::new().plus(x1, 0.5).plus(x2, -1.5).plus(x3, -0.5),
+            Sense::Le,
+            0.0,
+        );
+        m.add_constraint(LinExpr::new().plus(x1, 1.0), Sense::Le, 1.0);
+        m.set_objective(LinExpr::new().plus(x1, -10.0).plus(x2, 57.0).plus(x3, 9.0));
+        match lp(&m) {
+            LpResult::Optimal(_, obj) => assert!(obj <= -1.0 + 1e-6),
+            other => panic!("{other:?}"),
+        }
+    }
+}

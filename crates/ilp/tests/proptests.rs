@@ -1,0 +1,91 @@
+//! Property tests: the specialized phase solver agrees with brute force
+//! and with the literal ILP on arbitrary small instances.
+
+use proptest::prelude::*;
+use triphase_ilp::{IlpConfig, PhaseConfig, PhaseProblem};
+
+fn brute_force(p: &PhaseProblem) -> usize {
+    let n = p.num_nodes();
+    assert!(n <= 12);
+    (0..1u32 << n)
+        .map(|mask| {
+            let k: Vec<bool> = (0..n).map(|i| (mask >> i) & 1 == 1).collect();
+            p.cost_of(&k)
+        })
+        .min()
+        .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn specialized_solver_is_exact(
+        n in 1usize..10,
+        edges in prop::collection::vec((0usize..10, 0usize..10), 0..24),
+        pis in prop::collection::vec(prop::collection::vec(0usize..10, 1..5), 0..3),
+    ) {
+        let mut p = PhaseProblem::new(n);
+        for (u, v) in edges {
+            if u < n && v < n {
+                p.add_fanout(u, v);
+            }
+        }
+        for fo in pis {
+            let fo: Vec<usize> = fo.into_iter().filter(|&v| v < n).collect();
+            if !fo.is_empty() {
+                p.add_pi(fo);
+            }
+        }
+        let want = brute_force(&p);
+        let sol = p.solve(&PhaseConfig::default());
+        prop_assert!(sol.optimal);
+        prop_assert_eq!(sol.cost, want);
+        // The decoded assignment must evaluate to its claimed cost.
+        prop_assert_eq!(p.cost_of(&sol.k), sol.cost);
+    }
+
+    #[test]
+    fn literal_ilp_agrees(
+        n in 1usize..7,
+        edges in prop::collection::vec((0usize..7, 0usize..7), 0..12),
+    ) {
+        let mut p = PhaseProblem::new(n);
+        for (u, v) in edges {
+            if u < n && v < n {
+                p.add_fanout(u, v);
+            }
+        }
+        let want = brute_force(&p);
+        let ilp = p.solve_via_ilp(&IlpConfig::default()).expect("solvable");
+        prop_assert_eq!(ilp.cost, want);
+    }
+
+    #[test]
+    fn solution_satisfies_paper_constraints(
+        n in 1usize..10,
+        edges in prop::collection::vec((0usize..10, 0usize..10), 0..20),
+    ) {
+        let mut p = PhaseProblem::new(n);
+        let mut fo = vec![vec![]; n];
+        for (u, v) in edges {
+            if u < n && v < n {
+                p.add_fanout(u, v);
+                if !fo[u].contains(&v) {
+                    fo[u].push(v);
+                }
+            }
+        }
+        let sol = p.solve(&PhaseConfig::default());
+        for u in 0..n {
+            // G(u) + K(u) >= 1
+            prop_assert!(sol.g[u] || sol.k[u]);
+            // G(u) >= K(u) + K(v) - 1
+            for &v in &fo[u] {
+                if sol.k[u] && sol.k[v] {
+                    prop_assert!(sol.g[u], "u={u} v={v}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! ISCAS89 `.bench` format parser.
+//!
+//! The `.bench` format describes a sequential circuit as:
+//!
+//! ```text
+//! # comment
+//! INPUT(G0)
+//! OUTPUT(G17)
+//! G10 = NAND(G0, G1)
+//! G7  = DFF(G14)
+//! ```
+//!
+//! DFFs have an implicit global clock; the parser adds a `CK` input port
+//! and a single-phase [`crate::ClockSpec`] (period supplied by the caller).
+
+use crate::error::{Error, Result};
+use crate::id::NetId;
+use crate::netlist::{ClockSpec, Netlist, PortDir};
+use std::collections::HashMap;
+use triphase_cells::CellKind;
+
+/// Parse `.bench` text into a netlist with clock period `period_ps`.
+///
+/// # Errors
+///
+/// [`Error::Parse`] on malformed lines or unknown gate types;
+/// [`Error::Invalid`] if the resulting netlist fails validation.
+pub fn from_bench(text: &str, name: &str, period_ps: f64) -> Result<Netlist> {
+    let mut nl = Netlist::new(name);
+    let mut nets: HashMap<String, NetId> = HashMap::new();
+    let mut outputs: Vec<(usize, String)> = Vec::new();
+    let (ck_port, ck_net) = nl.add_input("CK");
+
+    let mut get_net = |nl: &mut Netlist, name: &str| -> NetId {
+        if let Some(&n) = nets.get(name) {
+            n
+        } else {
+            let id = nl.add_net(name);
+            nets.insert(name.to_owned(), id);
+            id
+        }
+    };
+
+    let mut ncell = 0usize;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let lno = lineno + 1;
+        if let Some(rest) = line.strip_prefix("INPUT") {
+            let n = paren_arg(rest, lno)?;
+            let net = get_net(&mut nl, n);
+            nl.add_port(n, PortDir::Input, net);
+        } else if let Some(rest) = line.strip_prefix("OUTPUT") {
+            outputs.push((lno, paren_arg(rest, lno)?.to_owned()));
+        } else if let Some((lhs, rhs)) = line.split_once('=') {
+            let target = lhs.trim();
+            let rhs = rhs.trim();
+            let (func, args) = rhs
+                .split_once('(')
+                .ok_or_else(|| Error::Parse(lno, format!("expected GATE(...), got `{rhs}`")))?;
+            let args = args
+                .strip_suffix(')')
+                .ok_or_else(|| Error::Parse(lno, "missing `)`".into()))?;
+            let ins: Vec<NetId> = args
+                .split(',')
+                .map(|a| get_net(&mut nl, a.trim()))
+                .collect();
+            let out = get_net(&mut nl, target);
+            let func_up = func.trim().to_ascii_uppercase();
+            let n = ins.len() as u8;
+            let kind = match func_up.as_str() {
+                "AND" => CellKind::And(n),
+                "OR" => CellKind::Or(n),
+                "NAND" => CellKind::Nand(n),
+                "NOR" => CellKind::Nor(n),
+                "XOR" => CellKind::Xor(n),
+                "XNOR" => CellKind::Xnor(n),
+                "NOT" => CellKind::Inv,
+                "BUF" | "BUFF" => CellKind::Buf,
+                "DFF" => CellKind::Dff,
+                other => {
+                    return Err(Error::Parse(lno, format!("unknown gate `{other}`")));
+                }
+            };
+            if kind == CellKind::Dff {
+                if ins.len() != 1 {
+                    return Err(Error::Parse(lno, "DFF takes one input".into()));
+                }
+                nl.add_cell(format!("ff_{target}"), CellKind::Dff, vec![ins[0], ck_net, out]);
+            } else if kind.is_comb() && !kind.validate() {
+                return Err(Error::Parse(lno, format!("bad arity {n} for {func_up}")));
+            } else {
+                let mut pins = ins;
+                pins.push(out);
+                nl.add_cell(format!("g{ncell}_{target}"), kind, pins);
+            }
+            ncell += 1;
+        } else {
+            return Err(Error::Parse(lno, format!("unrecognized line `{line}`")));
+        }
+    }
+    for (lno, name) in outputs {
+        let net = *nets
+            .get(&name)
+            .ok_or_else(|| Error::Parse(lno, format!("OUTPUT({name}) never defined")))?;
+        nl.add_port(&name, PortDir::Output, net);
+    }
+    nl.clock = Some(ClockSpec::single(ck_port, period_ps));
+    nl.validate()?;
+    Ok(nl)
+}
+
+fn paren_arg(rest: &str, lno: usize) -> Result<&str> {
+    rest.trim()
+        .strip_prefix('(')
+        .and_then(|s| s.strip_suffix(')'))
+        .map(str::trim)
+        .ok_or_else(|| Error::Parse(lno, "expected (NAME)".into()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const S27_LIKE: &str = "\
+# tiny sample in bench format
+INPUT(G0)
+INPUT(G1)
+OUTPUT(G17)
+G5 = DFF(G10)
+G10 = NAND(G0, G1)
+G11 = NOT(G5)
+G17 = AND(G11, G1)
+";
+
+    #[test]
+    fn parses_structure() {
+        let nl = from_bench(S27_LIKE, "s27like", 1000.0).unwrap();
+        let s = nl.stats();
+        assert_eq!(s.ffs, 1);
+        assert_eq!(s.comb, 3);
+        assert_eq!(s.inputs, 3, "two PIs plus implicit CK");
+        assert_eq!(s.outputs, 1);
+        let clock = nl.clock.as_ref().unwrap();
+        assert_eq!(clock.period_ps, 1000.0);
+        assert_eq!(nl.port(clock.phases[0].port).name, "CK");
+    }
+
+    #[test]
+    fn forward_references_allowed() {
+        // G5 = DFF(G10) references G10 before its definition — must work.
+        let nl = from_bench(S27_LIKE, "t", 500.0).unwrap();
+        nl.validate().unwrap();
+    }
+
+    #[test]
+    fn unknown_gate_rejected() {
+        let err = from_bench("INPUT(a)\nb = FROB(a)\nOUTPUT(b)\n", "t", 1.0).unwrap_err();
+        assert!(matches!(err, Error::Parse(2, _)), "{err}");
+    }
+
+    #[test]
+    fn undefined_output_rejected() {
+        let err = from_bench("INPUT(a)\nOUTPUT(nowhere)\n", "t", 1.0).unwrap_err();
+        assert!(err.to_string().contains("nowhere"));
+    }
+
+    #[test]
+    fn multi_input_gates() {
+        let nl = from_bench(
+            "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\ny = OR(a, b, c)\n",
+            "t",
+            1.0,
+        )
+        .unwrap();
+        let (_, cell) = nl.cells().next().unwrap();
+        assert_eq!(cell.kind, CellKind::Or(3));
+    }
+}

@@ -1,0 +1,588 @@
+//! Word-level construction helpers.
+//!
+//! [`Builder`] wraps a mutable [`Netlist`] and provides gate- and word-level
+//! primitives with automatic unique naming. [`Word`] is a little-endian
+//! (LSB-first) bundle of nets. The benchmark generators in
+//! `triphase-circuits` are written entirely against this API.
+//!
+//! # Examples
+//!
+//! ```
+//! use triphase_netlist::{Builder, Netlist};
+//!
+//! let mut nl = Netlist::new("adder8");
+//! let mut b = Builder::new(&mut nl, "u");
+//! let a = b.word_input("a", 8);
+//! let c = b.word_input("b", 8);
+//! let (sum, _carry) = b.add(&a, &c, None);
+//! b.word_output("sum", &sum);
+//! nl.validate().unwrap();
+//! ```
+
+use crate::id::NetId;
+use crate::netlist::Netlist;
+use triphase_cells::CellKind;
+
+/// Maximum gate arity emitted by tree reductions.
+const TREE_ARITY: usize = 4;
+
+/// An LSB-first bundle of nets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Word(pub Vec<NetId>);
+
+impl Word {
+    /// Number of bits.
+    pub fn width(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Net of bit `i` (LSB = 0).
+    pub fn bit(&self, i: usize) -> NetId {
+        self.0[i]
+    }
+
+    /// Bits of the word.
+    pub fn bits(&self) -> &[NetId] {
+        &self.0
+    }
+
+    /// Sub-word `[lo, lo+len)`.
+    pub fn slice(&self, lo: usize, len: usize) -> Word {
+        Word(self.0[lo..lo + len].to_vec())
+    }
+
+    /// Concatenate `self` (low bits) with `hi` (high bits).
+    pub fn concat(&self, hi: &Word) -> Word {
+        let mut bits = self.0.clone();
+        bits.extend_from_slice(&hi.0);
+        Word(bits)
+    }
+
+    /// Rotate left by `k` (constant rotation, pure rewiring):
+    /// result bit `i` = source bit `(i - k) mod w`.
+    pub fn rotl(&self, k: usize) -> Word {
+        let w = self.width();
+        let k = k % w;
+        Word((0..w).map(|i| self.0[(i + w - k) % w]).collect())
+    }
+
+    /// Rotate right by `k`.
+    pub fn rotr(&self, k: usize) -> Word {
+        let w = self.width();
+        self.rotl(w - (k % w))
+    }
+}
+
+impl FromIterator<NetId> for Word {
+    fn from_iter<T: IntoIterator<Item = NetId>>(iter: T) -> Self {
+        Word(iter.into_iter().collect())
+    }
+}
+
+/// Gate- and word-level netlist construction with automatic naming.
+#[derive(Debug)]
+pub struct Builder<'a> {
+    nl: &'a mut Netlist,
+    prefix: String,
+    counter: usize,
+    const0: Option<NetId>,
+    const1: Option<NetId>,
+}
+
+impl<'a> Builder<'a> {
+    /// Wrap `nl`; generated names start with `prefix`.
+    pub fn new(nl: &'a mut Netlist, prefix: impl Into<String>) -> Builder<'a> {
+        Builder {
+            nl,
+            prefix: prefix.into(),
+            counter: 0,
+            const0: None,
+            const1: None,
+        }
+    }
+
+    /// The wrapped netlist.
+    pub fn netlist(&mut self) -> &mut Netlist {
+        self.nl
+    }
+
+    fn fresh(&mut self, hint: &str) -> String {
+        let name = format!("{}_{}{}", self.prefix, hint, self.counter);
+        self.counter += 1;
+        name
+    }
+
+    /// A new unnamed internal net.
+    pub fn net(&mut self, hint: &str) -> NetId {
+        let name = self.fresh(hint);
+        self.nl.add_net(name)
+    }
+
+    // ---- gate level --------------------------------------------------------
+
+    /// Instantiate `kind` with the given inputs; returns the output net.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the kind's input count.
+    pub fn gate(&mut self, kind: CellKind, inputs: &[NetId]) -> NetId {
+        let out = self.net("w");
+        let name = self.fresh("g");
+        let mut pins = inputs.to_vec();
+        pins.push(out);
+        self.nl.add_cell(name, kind, pins);
+        out
+    }
+
+    /// Constant-0 net (one `TIELO` cell shared per builder).
+    pub fn const0(&mut self) -> NetId {
+        if let Some(n) = self.const0 {
+            return n;
+        }
+        let n = self.gate(CellKind::Const0, &[]);
+        self.const0 = Some(n);
+        n
+    }
+
+    /// Constant-1 net.
+    pub fn const1(&mut self) -> NetId {
+        if let Some(n) = self.const1 {
+            return n;
+        }
+        let n = self.gate(CellKind::Const1, &[]);
+        self.const1 = Some(n);
+        n
+    }
+
+    /// Inverter.
+    pub fn not(&mut self, a: NetId) -> NetId {
+        self.gate(CellKind::Inv, &[a])
+    }
+
+    /// Buffer.
+    pub fn buf(&mut self, a: NetId) -> NetId {
+        self.gate(CellKind::Buf, &[a])
+    }
+
+    fn tree(&mut self, mk: fn(u8) -> CellKind, inputs: &[NetId]) -> NetId {
+        assert!(!inputs.is_empty(), "empty reduction");
+        if inputs.len() == 1 {
+            return inputs[0];
+        }
+        let mut level: Vec<NetId> = inputs.to_vec();
+        while level.len() > 1 {
+            let mut next = Vec::with_capacity(level.len().div_ceil(TREE_ARITY));
+            for chunk in level.chunks(TREE_ARITY) {
+                if chunk.len() == 1 {
+                    next.push(chunk[0]);
+                } else {
+                    next.push(self.gate(mk(chunk.len() as u8), chunk));
+                }
+            }
+            level = next;
+        }
+        level[0]
+    }
+
+    /// AND reduction (tree of ≤4-input gates).
+    pub fn and(&mut self, inputs: &[NetId]) -> NetId {
+        self.tree(CellKind::And, inputs)
+    }
+
+    /// OR reduction.
+    pub fn or(&mut self, inputs: &[NetId]) -> NetId {
+        self.tree(CellKind::Or, inputs)
+    }
+
+    /// XOR reduction (parity).
+    pub fn xor(&mut self, inputs: &[NetId]) -> NetId {
+        self.tree(CellKind::Xor, inputs)
+    }
+
+    /// 2-input NAND.
+    pub fn nand2(&mut self, a: NetId, b: NetId) -> NetId {
+        self.gate(CellKind::Nand(2), &[a, b])
+    }
+
+    /// 2-input NOR.
+    pub fn nor2(&mut self, a: NetId, b: NetId) -> NetId {
+        self.gate(CellKind::Nor(2), &[a, b])
+    }
+
+    /// 2-input XNOR.
+    pub fn xnor2(&mut self, a: NetId, b: NetId) -> NetId {
+        self.gate(CellKind::Xnor(2), &[a, b])
+    }
+
+    /// 2:1 mux: `s ? d1 : d0`.
+    pub fn mux(&mut self, d0: NetId, d1: NetId, s: NetId) -> NetId {
+        self.gate(CellKind::Mux2, &[d0, d1, s])
+    }
+
+    // ---- ports -------------------------------------------------------------
+
+    /// Declare a `width`-bit input bus `name[0..width)`.
+    pub fn word_input(&mut self, name: &str, width: usize) -> Word {
+        (0..width)
+            .map(|i| self.nl.add_input(&format!("{name}_{i}")).1)
+            .collect()
+    }
+
+    /// Declare output ports `name[0..width)` observing `w`.
+    pub fn word_output(&mut self, name: &str, w: &Word) {
+        for (i, &bit) in w.bits().iter().enumerate() {
+            self.nl.add_output(&format!("{name}_{i}"), bit);
+        }
+    }
+
+    // ---- word level ----------------------------------------------------------
+
+    /// Constant word of `width` bits with value `value`.
+    pub fn const_word(&mut self, value: u64, width: usize) -> Word {
+        (0..width)
+            .map(|i| {
+                if (value >> i) & 1 == 1 {
+                    self.const1()
+                } else {
+                    self.const0()
+                }
+            })
+            .collect()
+    }
+
+    /// Bitwise map of two words.
+    fn zip2(&mut self, a: &Word, b: &Word, mut f: impl FnMut(&mut Self, NetId, NetId) -> NetId) -> Word {
+        assert_eq!(a.width(), b.width(), "width mismatch");
+        (0..a.width())
+            .map(|i| f(self, a.bit(i), b.bit(i)))
+            .collect::<Vec<_>>()
+            .into_iter()
+            .collect()
+    }
+
+    /// Bitwise XOR of two equal-width words.
+    pub fn xor_word(&mut self, a: &Word, b: &Word) -> Word {
+        self.zip2(a, b, |s, x, y| s.gate(CellKind::Xor(2), &[x, y]))
+    }
+
+    /// Bitwise AND.
+    pub fn and_word(&mut self, a: &Word, b: &Word) -> Word {
+        self.zip2(a, b, |s, x, y| s.gate(CellKind::And(2), &[x, y]))
+    }
+
+    /// Bitwise OR.
+    pub fn or_word(&mut self, a: &Word, b: &Word) -> Word {
+        self.zip2(a, b, |s, x, y| s.gate(CellKind::Or(2), &[x, y]))
+    }
+
+    /// Bitwise NOT.
+    pub fn not_word(&mut self, a: &Word) -> Word {
+        a.bits().to_vec().iter().map(|&b| self.not(b)).collect()
+    }
+
+    /// Word-wide 2:1 mux.
+    pub fn mux_word(&mut self, d0: &Word, d1: &Word, s: NetId) -> Word {
+        self.zip2(d0, d1, |b, x, y| b.mux(x, y, s))
+    }
+
+    /// Ripple-carry addition; returns `(sum, carry_out)`.
+    pub fn add(&mut self, a: &Word, b: &Word, cin: Option<NetId>) -> (Word, NetId) {
+        assert_eq!(a.width(), b.width(), "width mismatch");
+        let mut carry = match cin {
+            Some(c) => c,
+            None => self.const0(),
+        };
+        let mut sum = Vec::with_capacity(a.width());
+        for i in 0..a.width() {
+            let (x, y) = (a.bit(i), b.bit(i));
+            let axy = self.gate(CellKind::Xor(2), &[x, y]);
+            let s = self.gate(CellKind::Xor(2), &[axy, carry]);
+            let t1 = self.gate(CellKind::And(2), &[x, y]);
+            let t2 = self.gate(CellKind::And(2), &[axy, carry]);
+            carry = self.gate(CellKind::Or(2), &[t1, t2]);
+            sum.push(s);
+        }
+        (Word(sum), carry)
+    }
+
+    /// Two's-complement subtraction `a - b`; returns `(difference, borrow-free flag)`.
+    pub fn sub(&mut self, a: &Word, b: &Word) -> (Word, NetId) {
+        let nb = self.not_word(b);
+        let one = self.const1();
+        self.add(a, &nb, Some(one))
+    }
+
+    /// Increment by a constant (cheaply via [`Builder::add`] with a constant word).
+    pub fn add_const(&mut self, a: &Word, k: u64) -> Word {
+        let kw = self.const_word(k, a.width());
+        self.add(a, &kw, None).0
+    }
+
+    /// Equality comparator against a constant: 1 iff `a == k`.
+    pub fn eq_const(&mut self, a: &Word, k: u64) -> NetId {
+        let lits: Vec<NetId> = (0..a.width())
+            .map(|i| {
+                if (k >> i) & 1 == 1 {
+                    a.bit(i)
+                } else {
+                    self.not(a.bit(i))
+                }
+            })
+            .collect();
+        self.and(&lits)
+    }
+
+    /// Full binary decoder: returns the `2^sel.width()` minterm nets.
+    ///
+    /// Built as a shared two-level structure (recursive halving), so wide
+    /// decoders reuse sub-decoders.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sel.width() > 16`.
+    pub fn decoder(&mut self, sel: &Word) -> Vec<NetId> {
+        let w = sel.width();
+        assert!(w <= 16, "decoder too wide");
+        if w == 0 {
+            return vec![self.const1()];
+        }
+        if w <= 4 {
+            let mut lits_pos = Vec::with_capacity(w);
+            let mut lits_neg = Vec::with_capacity(w);
+            for i in 0..w {
+                lits_pos.push(sel.bit(i));
+                lits_neg.push(self.not(sel.bit(i)));
+            }
+            return (0..1usize << w)
+                .map(|m| {
+                    let terms: Vec<NetId> = (0..w)
+                        .map(|i| {
+                            if (m >> i) & 1 == 1 {
+                                lits_pos[i]
+                            } else {
+                                lits_neg[i]
+                            }
+                        })
+                        .collect();
+                    self.and(&terms)
+                })
+                .collect();
+        }
+        let half = w / 2;
+        let lo = self.decoder(&sel.slice(0, half));
+        let hi = self.decoder(&sel.slice(half, w - half));
+        let mut out = Vec::with_capacity(1 << w);
+        for h in &hi {
+            for l in &lo {
+                out.push(self.gate(CellKind::And(2), &[*l, *h]));
+            }
+        }
+        out
+    }
+
+    /// Multi-output sum-of-products lookup: `table[input]` gives the output
+    /// word value for each input combination (`table.len() == 2^inputs.width()`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on table-size mismatch or output width > 64.
+    pub fn sop(&mut self, inputs: &Word, out_width: usize, table: &[u64]) -> Word {
+        assert_eq!(table.len(), 1 << inputs.width(), "table size mismatch");
+        assert!(out_width <= 64);
+        let minterms = self.decoder(inputs);
+        let mut out = Vec::with_capacity(out_width);
+        for bit in 0..out_width {
+            let ones: Vec<NetId> = minterms
+                .iter()
+                .enumerate()
+                .filter(|(m, _)| (table[*m] >> bit) & 1 == 1)
+                .map(|(_, &n)| n)
+                .collect();
+            out.push(if ones.is_empty() {
+                self.const0()
+            } else if ones.len() == minterms.len() {
+                self.const1()
+            } else {
+                self.or(&ones)
+            });
+        }
+        Word(out)
+    }
+
+    // ---- sequential ----------------------------------------------------------
+
+    /// One plain DFF; returns its Q net.
+    pub fn dff(&mut self, d: NetId, ck: NetId) -> NetId {
+        let q = self.net("q");
+        let name = self.fresh("ff");
+        self.nl.add_cell(name, CellKind::Dff, vec![d, ck, q]);
+        q
+    }
+
+    /// One enabled DFF (`Q <= EN ? D : Q`); returns its Q net.
+    pub fn dffen(&mut self, d: NetId, en: NetId, ck: NetId) -> NetId {
+        let q = self.net("q");
+        let name = self.fresh("ffe");
+        self.nl.add_cell(name, CellKind::DffEn, vec![d, en, ck, q]);
+        q
+    }
+
+    /// Register a word with plain DFFs.
+    pub fn dff_word(&mut self, d: &Word, ck: NetId) -> Word {
+        d.bits().to_vec().iter().map(|&b| self.dff(b, ck)).collect()
+    }
+
+    /// Register a word with enabled DFFs sharing `en`.
+    pub fn dffen_word(&mut self, d: &Word, en: NetId, ck: NetId) -> Word {
+        d.bits()
+            .to_vec()
+            .iter()
+            .map(|&b| self.dffen(b, en, ck))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fresh() -> Netlist {
+        Netlist::new("t")
+    }
+
+    #[test]
+    fn tree_reduction_shape() {
+        let mut nl = fresh();
+        let mut b = Builder::new(&mut nl, "u");
+        let ins: Vec<NetId> = (0..9).map(|i| nl_input(b.netlist(), i)).collect();
+        let _y = b.or(&ins);
+        // 9 inputs -> level 1: OR4 + OR4 (+1 passthrough) -> level 2: OR3.
+        assert_eq!(nl.cell_count(), 3);
+        nl_validate_with_out(nl);
+    }
+
+    fn nl_input(nl: &mut Netlist, i: usize) -> NetId {
+        nl.add_input(&format!("in{i}")).1
+    }
+
+    fn nl_validate_with_out(mut nl: Netlist) {
+        // Tie any undriven-observed situation: give every net a reader via output ports
+        // only for the final gate; simply validate drivers here.
+        let last = nl
+            .cells()
+            .map(|(_, c)| c.output())
+            .last()
+            .expect("has cells");
+        nl.add_output("y", last);
+        nl.validate().unwrap();
+    }
+
+    #[test]
+    fn word_ops_widths() {
+        let mut nl = fresh();
+        let mut b = Builder::new(&mut nl, "u");
+        let a = b.word_input("a", 8);
+        let c = b.word_input("b", 8);
+        let x = b.xor_word(&a, &c);
+        let (s, _) = b.add(&a, &c, None);
+        let m = b.mux_word(&x, &s, a.bit(0));
+        assert_eq!(m.width(), 8);
+        b.word_output("m", &m);
+        nl.validate().unwrap();
+    }
+
+    #[test]
+    fn rotation_is_rewiring() {
+        let mut nl = fresh();
+        let mut b = Builder::new(&mut nl, "u");
+        let a = b.word_input("a", 8);
+        let before = nl.cell_count();
+        let r = a.rotl(3);
+        assert_eq!(nl.cell_count(), before, "no gates for rotation");
+        // rotl(3): result bit 3 is source bit 0.
+        assert_eq!(r.bit(3), a.bit(0));
+        assert_eq!(r.bit(0), a.bit(5));
+        assert_eq!(a.rotr(3).bit(0), a.bit(3));
+        assert_eq!(a.rotl(8), a, "full rotation is identity");
+    }
+
+    #[test]
+    fn slice_concat() {
+        let mut nl = fresh();
+        let mut b = Builder::new(&mut nl, "u");
+        let a = b.word_input("a", 8);
+        let lo = a.slice(0, 4);
+        let hi = a.slice(4, 4);
+        assert_eq!(lo.concat(&hi), a);
+    }
+
+    #[test]
+    fn decoder_counts() {
+        let mut nl = fresh();
+        let mut b = Builder::new(&mut nl, "u");
+        let sel = b.word_input("s", 6);
+        let outs = b.decoder(&sel);
+        assert_eq!(outs.len(), 64);
+        // Uses shared halves: 8 + 8 sub-minterms + 64 AND2 + inverters.
+        assert!(nl.cell_count() < 64 * 6, "decoder must share logic");
+    }
+
+    #[test]
+    fn sop_const_rows() {
+        let mut nl = fresh();
+        let mut b = Builder::new(&mut nl, "u");
+        let sel = b.word_input("s", 2);
+        // out bit0 = always 1; out bit1 = (input == 2).
+        let w = b.sop(&sel, 2, &[0b01, 0b01, 0b11, 0b01]);
+        assert_eq!(w.width(), 2);
+        b.word_output("y", &w);
+        nl.validate().unwrap();
+    }
+
+    #[test]
+    fn eq_const_literals() {
+        let mut nl = fresh();
+        let mut b = Builder::new(&mut nl, "u");
+        let a = b.word_input("a", 4);
+        let y = b.eq_const(&a, 0b1010);
+        nl.add_output("y", y);
+        nl.validate().unwrap();
+    }
+
+    #[test]
+    fn seq_helpers() {
+        let mut nl = fresh();
+        let mut b = Builder::new(&mut nl, "u");
+        let (_, ck) = b.netlist().add_input("ck");
+        let (_, en) = b.netlist().add_input("en");
+        let d = b.word_input("d", 4);
+        let q = b.dffen_word(&d, en, ck);
+        let q2 = b.dff_word(&q, ck);
+        b.word_output("q", &q2);
+        nl.validate().unwrap();
+        let stats = nl.stats();
+        assert_eq!(stats.ffs, 8);
+    }
+
+    #[test]
+    fn constants_shared() {
+        let mut nl = fresh();
+        let mut b = Builder::new(&mut nl, "u");
+        let c0 = b.const0();
+        let c0b = b.const0();
+        assert_eq!(c0, c0b);
+        let w = b.const_word(0b101, 3);
+        assert_eq!(w.bit(0), b.const1());
+        assert_eq!(w.bit(1), c0);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn width_mismatch_panics() {
+        let mut nl = fresh();
+        let mut b = Builder::new(&mut nl, "u");
+        let a = b.word_input("a", 4);
+        let c = b.word_input("b", 5);
+        let _ = b.xor_word(&a, &c);
+    }
+}

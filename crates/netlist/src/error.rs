@@ -1,0 +1,46 @@
+//! Error type of the netlist crate.
+
+use std::fmt;
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced while building, validating, or parsing netlists.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A structural invariant is violated (message explains which).
+    Invalid(String),
+    /// Combinational cycle found; the payload names a cell on the cycle.
+    CombLoop(String),
+    /// Parse error: `(line, message)`.
+    Parse(usize, String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Invalid(msg) => write!(f, "invalid netlist: {msg}"),
+            Error::CombLoop(cell) => {
+                write!(f, "combinational cycle through cell {cell}")
+            }
+            Error::Parse(line, msg) => write!(f, "parse error at line {line}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            Error::Invalid("x".into()).to_string(),
+            "invalid netlist: x"
+        );
+        assert!(Error::CombLoop("u1".into()).to_string().contains("u1"));
+        assert!(Error::Parse(3, "bad token".into()).to_string().contains("line 3"));
+    }
+}

@@ -1,0 +1,391 @@
+//! Structural graph queries over a netlist: topological order of the
+//! combinational fabric, storage-to-storage reachability (the paper's
+//! `FO(u)` sets), fan-in cone tracing, and clock-network tracing.
+
+use crate::error::{Error, Result};
+use crate::id::{CellId, NetId, PortId};
+use crate::netlist::{ConnIndex, Netlist, PortDir};
+use std::collections::VecDeque;
+use triphase_cells::{CellKind, PinClass};
+
+/// Topological order of the combinational cells.
+///
+/// Sequential cells, clock gates, and clock buffers are treated as graph
+/// sources/sinks and excluded from the returned order.
+///
+/// # Errors
+///
+/// [`Error::CombLoop`] if the combinational fabric contains a cycle.
+pub fn comb_topo_order(nl: &Netlist, idx: &ConnIndex) -> Result<Vec<CellId>> {
+    let cap = nl.cell_capacity();
+    let mut indegree: Vec<u32> = vec![0; cap];
+    let mut is_comb: Vec<bool> = vec![false; cap];
+    let mut total = 0usize;
+    for (id, cell) in nl.cells() {
+        if !comb_for_topo(cell.kind) {
+            continue;
+        }
+        is_comb[id.index()] = true;
+        total += 1;
+        let mut deg = 0;
+        for &input in cell.inputs() {
+            if let Some(drv) = idx.driver(input) {
+                if comb_for_topo(nl.cell(drv.cell).kind) {
+                    deg += 1;
+                }
+            }
+        }
+        indegree[id.index()] = deg;
+    }
+    let mut queue: VecDeque<CellId> = nl
+        .cells()
+        .filter(|(id, _)| is_comb[id.index()] && indegree[id.index()] == 0)
+        .map(|(id, _)| id)
+        .collect();
+    let mut order = Vec::with_capacity(total);
+    while let Some(id) = queue.pop_front() {
+        order.push(id);
+        let out = nl.cell(id).output();
+        for load in idx.loads(out) {
+            if is_comb[load.cell.index()] {
+                let d = &mut indegree[load.cell.index()];
+                *d -= 1;
+                if *d == 0 {
+                    queue.push_back(load.cell);
+                }
+            }
+        }
+    }
+    if order.len() != total {
+        let stuck = nl
+            .cells()
+            .find(|(id, _)| is_comb[id.index()] && indegree[id.index()] > 0)
+            .map(|(_, c)| c.name.clone())
+            .unwrap_or_default();
+        return Err(Error::CombLoop(stuck));
+    }
+    Ok(order)
+}
+
+/// Treat clock buffers as part of the clock network, not the comb fabric.
+fn comb_for_topo(kind: CellKind) -> bool {
+    kind.is_comb() && kind != CellKind::ClkBuf
+}
+
+/// Storage cells whose data/enable inputs are reachable from `net` through
+/// combinational logic only (BFS forwards). Clock-gate `EN` pins do **not**
+/// terminate the walk into storage — they are reported separately.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReachResult {
+    /// Storage cells reached (deduplicated, in discovery order).
+    pub storage: Vec<CellId>,
+    /// Clock-gating cells whose `EN` pin was reached.
+    pub clock_gate_enables: Vec<CellId>,
+    /// Output ports reached.
+    pub ports: Vec<PortId>,
+}
+
+/// Forward reachability from `net` through combinational cells.
+pub fn reach_storage(nl: &Netlist, idx: &ConnIndex, net: NetId) -> ReachResult {
+    let mut res = ReachResult::default();
+    let mut seen_net = vec![false; nl.net_capacity()];
+    let mut seen_cell = vec![false; nl.cell_capacity()];
+    let mut queue = VecDeque::new();
+    queue.push_back(net);
+    seen_net[net.index()] = true;
+    while let Some(n) = queue.pop_front() {
+        for &port in idx.observers(n) {
+            if !res.ports.contains(&port) {
+                res.ports.push(port);
+            }
+        }
+        for load in idx.loads(n) {
+            let cell = nl.cell(load.cell);
+            let class = cell.kind.pin_def(load.pin).class;
+            if cell.kind.is_storage() {
+                // Reached a register's D pin (or an enabled FF's EN pin —
+                // that is still a synchronous data dependency).
+                if !seen_cell[load.cell.index()] {
+                    seen_cell[load.cell.index()] = true;
+                    res.storage.push(load.cell);
+                }
+            } else if cell.kind.is_clock_gate() {
+                if class == PinClass::Enable && !res.clock_gate_enables.contains(&load.cell) {
+                    res.clock_gate_enables.push(load.cell);
+                }
+            } else if comb_for_topo(cell.kind) {
+                let out = cell.output();
+                if !seen_net[out.index()] {
+                    seen_net[out.index()] = true;
+                    queue.push_back(out);
+                }
+            }
+        }
+    }
+    res
+}
+
+/// A start point of a fan-in cone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ConeStart {
+    /// The cone starts at a storage cell's output.
+    Storage(CellId),
+    /// The cone starts at a primary input port.
+    Port(PortId),
+    /// The cone starts at a constant cell.
+    Constant(CellId),
+    /// The cone starts at a clock-gate output (unusual for data logic).
+    ClockGate(CellId),
+}
+
+/// Trace the fan-in cone of `net` backwards through combinational cells,
+/// returning the deduplicated start points.
+pub fn fanin_cone_starts(nl: &Netlist, idx: &ConnIndex, net: NetId) -> Vec<ConeStart> {
+    let mut starts = Vec::new();
+    let mut seen = vec![false; nl.net_capacity()];
+    let mut stack = vec![net];
+    seen[net.index()] = true;
+    while let Some(n) = stack.pop() {
+        if let Some(port) = idx.driving_port(n) {
+            if nl.port(port).dir == PortDir::Input {
+                push_unique(&mut starts, ConeStart::Port(port));
+            }
+            continue;
+        }
+        let Some(drv) = idx.driver(n) else { continue };
+        let cell = nl.cell(drv.cell);
+        if cell.kind.is_storage() {
+            push_unique(&mut starts, ConeStart::Storage(drv.cell));
+        } else if cell.kind.is_clock_gate() {
+            push_unique(&mut starts, ConeStart::ClockGate(drv.cell));
+        } else if matches!(cell.kind, CellKind::Const0 | CellKind::Const1) {
+            push_unique(&mut starts, ConeStart::Constant(drv.cell));
+        } else {
+            for &input in cell.inputs() {
+                if !seen[input.index()] {
+                    seen[input.index()] = true;
+                    stack.push(input);
+                }
+            }
+        }
+    }
+    starts
+}
+
+fn push_unique<T: PartialEq>(v: &mut Vec<T>, x: T) {
+    if !v.contains(&x) {
+        v.push(x);
+    }
+}
+
+/// Result of tracing a clock pin back to its root.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClockTrace {
+    /// The input port at the root of the clock path.
+    pub root: PortId,
+    /// Clock-gating cells on the path, nearest-to-sink first.
+    pub gates: Vec<CellId>,
+    /// Clock buffers on the path, nearest-to-sink first.
+    pub buffers: Vec<CellId>,
+}
+
+/// Follow the driver chain of a clock net backwards through clock buffers
+/// and clock-gating cells (via their `CK` pins) to the clock input port.
+///
+/// # Errors
+///
+/// [`Error::Invalid`] if the chain ends anywhere other than an input port
+/// (e.g. a data gate drives the clock).
+pub fn trace_clock_root(nl: &Netlist, idx: &ConnIndex, net: NetId) -> Result<ClockTrace> {
+    let mut gates = Vec::new();
+    let mut buffers = Vec::new();
+    let mut n = net;
+    for _ in 0..nl.cell_capacity() + 1 {
+        if let Some(port) = idx.driving_port(n) {
+            return Ok(ClockTrace {
+                root: port,
+                gates,
+                buffers,
+            });
+        }
+        let Some(drv) = idx.driver(n) else {
+            return Err(Error::Invalid(format!("clock net {n} has no driver")));
+        };
+        let cell = nl.cell(drv.cell);
+        if cell.kind.is_clock_gate() {
+            gates.push(drv.cell);
+            let ck = cell.kind.clock_pin().expect("icg has clock pin");
+            n = cell.pin(ck);
+        } else if matches!(cell.kind, CellKind::ClkBuf | CellKind::Buf) {
+            buffers.push(drv.cell);
+            n = cell.pin(0);
+        } else {
+            return Err(Error::Invalid(format!(
+                "clock path blocked by non-clock cell {}",
+                cell.name
+            )));
+        }
+    }
+    Err(Error::Invalid("clock path loops".to_owned()))
+}
+
+/// Maximum logic depth (in cells) of the combinational fabric; a coarse
+/// structural complexity measure used by generators and reports.
+pub fn comb_depth(nl: &Netlist, idx: &ConnIndex) -> Result<usize> {
+    let order = comb_topo_order(nl, idx)?;
+    let mut depth = vec![0usize; nl.cell_capacity()];
+    let mut max = 0;
+    for id in order {
+        let cell = nl.cell(id);
+        let mut d = 0;
+        for &input in cell.inputs() {
+            if let Some(drv) = idx.driver(input) {
+                if comb_for_topo(nl.cell(drv.cell).kind) {
+                    d = d.max(depth[drv.cell.index()] + 1);
+                }
+            }
+        }
+        depth[id.index()] = d;
+        max = max.max(d);
+    }
+    Ok(max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::Netlist;
+
+    /// a --AND-- x --INV-- y --> FF(d=y) --q--> AND(a, q)
+    fn sample() -> (Netlist, CellId, CellId) {
+        let mut nl = Netlist::new("sample");
+        let (_, a) = nl.add_input("a");
+        let (_, b) = nl.add_input("b");
+        let (_, ck) = nl.add_input("ck");
+        let x = nl.add_net("x");
+        let y = nl.add_net("y");
+        let q = nl.add_net("q");
+        let z = nl.add_net("z");
+        nl.add_cell("u_and", CellKind::And(2), vec![a, b, x]);
+        nl.add_cell("u_inv", CellKind::Inv, vec![x, y]);
+        let ff = nl.add_cell("ff0", CellKind::Dff, vec![y, ck, q]);
+        let g2 = nl.add_cell("u_and2", CellKind::And(2), vec![a, q, z]);
+        nl.add_output("z", z);
+        nl.validate().unwrap();
+        (nl, ff, g2)
+    }
+
+    #[test]
+    fn topo_order_is_causal() {
+        let (nl, _, _) = sample();
+        let idx = nl.index();
+        let order = comb_topo_order(&nl, &idx).unwrap();
+        assert_eq!(order.len(), 3);
+        let pos = |name: &str| {
+            order
+                .iter()
+                .position(|&id| nl.cell(id).name == name)
+                .unwrap()
+        };
+        assert!(pos("u_and") < pos("u_inv"));
+    }
+
+    #[test]
+    fn comb_loop_detected() {
+        let mut nl = Netlist::new("loop");
+        let (_, a) = nl.add_input("a");
+        let x = nl.add_net("x");
+        let y = nl.add_net("y");
+        nl.add_cell("u1", CellKind::And(2), vec![a, y, x]);
+        nl.add_cell("u2", CellKind::Inv, vec![x, y]);
+        nl.add_output("y", y);
+        let idx = nl.index();
+        assert!(matches!(
+            comb_topo_order(&nl, &idx),
+            Err(Error::CombLoop(_))
+        ));
+    }
+
+    #[test]
+    fn reachability_finds_ff_and_port() {
+        let (nl, ff, _) = sample();
+        let idx = nl.index();
+        let a = nl.port(nl.find_port("a").unwrap()).net;
+        let r = reach_storage(&nl, &idx, a);
+        assert_eq!(r.storage, vec![ff]);
+        assert_eq!(r.ports.len(), 1); // z through u_and2
+        // From the FF's Q: reaches the output port but no storage.
+        let q = nl.cell(ff).output();
+        let r2 = reach_storage(&nl, &idx, q);
+        assert!(r2.storage.is_empty());
+        assert_eq!(r2.ports.len(), 1);
+    }
+
+    #[test]
+    fn reachability_selfloop() {
+        let mut nl = Netlist::new("self");
+        let (_, ck) = nl.add_input("ck");
+        let q = nl.add_net("q");
+        let d = nl.add_net("d");
+        nl.add_cell("u_inv", CellKind::Inv, vec![q, d]);
+        let ff = nl.add_cell("ff", CellKind::Dff, vec![d, ck, q]);
+        nl.add_output("q", q);
+        let idx = nl.index();
+        let r = reach_storage(&nl, &idx, q);
+        assert_eq!(r.storage, vec![ff], "FF reaches itself through the inverter");
+    }
+
+    #[test]
+    fn cone_starts() {
+        let (nl, ff, g2) = sample();
+        let idx = nl.index();
+        let z = nl.cell(g2).output();
+        let starts = fanin_cone_starts(&nl, &idx, z);
+        assert!(starts.contains(&ConeStart::Storage(ff)));
+        let a_port = nl.find_port("a").unwrap();
+        assert!(starts.contains(&ConeStart::Port(a_port)));
+        assert_eq!(starts.len(), 2);
+    }
+
+    #[test]
+    fn clock_trace_through_icg_and_buffer() {
+        let mut nl = Netlist::new("clk");
+        let (ckp, ck) = nl.add_input("ck");
+        let (_, en) = nl.add_input("en");
+        let (_, d) = nl.add_input("d");
+        let bufd = nl.add_net("ckb");
+        let gck = nl.add_net("gck");
+        let q = nl.add_net("q");
+        let b = nl.add_cell("cb", CellKind::ClkBuf, vec![ck, bufd]);
+        let icg = nl.add_cell("icg", CellKind::Icg, vec![en, bufd, gck]);
+        nl.add_cell("ff", CellKind::Dff, vec![d, gck, q]);
+        nl.add_output("q", q);
+        let idx = nl.index();
+        let trace = trace_clock_root(&nl, &idx, gck).unwrap();
+        assert_eq!(trace.root, ckp);
+        assert_eq!(trace.gates, vec![icg]);
+        assert_eq!(trace.buffers, vec![b]);
+    }
+
+    #[test]
+    fn clock_trace_rejects_data_gate() {
+        let mut nl = Netlist::new("bad");
+        let (_, a) = nl.add_input("a");
+        let (_, b) = nl.add_input("b");
+        let (_, d) = nl.add_input("d");
+        let x = nl.add_net("x");
+        let q = nl.add_net("q");
+        nl.add_cell("u1", CellKind::And(2), vec![a, b, x]);
+        nl.add_cell("ff", CellKind::Dff, vec![d, x, q]);
+        nl.add_output("q", q);
+        let idx = nl.index();
+        assert!(trace_clock_root(&nl, &idx, x).is_err());
+    }
+
+    #[test]
+    fn depth_measured() {
+        let (nl, _, _) = sample();
+        let idx = nl.index();
+        assert_eq!(comb_depth(&nl, &idx).unwrap(), 1); // and -> inv
+    }
+}

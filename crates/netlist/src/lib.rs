@@ -1,0 +1,49 @@
+//! Gate-level netlist intermediate representation for the `triphase`
+//! toolkit.
+//!
+//! A [`Netlist`] is a flat single-module design: an arena of [`Cell`]
+//! instances (kinds from [`triphase_cells`]), an arena of single-driver
+//! [`Net`]s, top-level [`Port`]s, and an optional multi-phase [`ClockSpec`].
+//!
+//! Submodules provide:
+//! - [`Builder`]/[`Word`]: word-level construction (adders, muxes,
+//!   decoders, SOP lookup tables) used by the benchmark generators;
+//! - [`graph`]: combinational topological order, storage-to-storage
+//!   reachability (the paper's `FO(u)`), fan-in cone and clock tracing;
+//! - [`verilog`]: structural Verilog writer/parser;
+//! - [`bench_fmt`]: ISCAS89 `.bench` parser.
+//!
+//! # Examples
+//!
+//! ```
+//! use triphase_netlist::{Netlist, Builder};
+//!
+//! let mut nl = Netlist::new("counter");
+//! let mut b = Builder::new(&mut nl, "u");
+//! let (_, ck) = b.netlist().add_input("ck");
+//! let d = b.word_input("d", 4);
+//! let q = b.dff_word(&d, ck);
+//! let (next, _) = b.add(&q, &d, None);
+//! b.word_output("q", &next);
+//! nl.validate()?;
+//! assert_eq!(nl.stats().ffs, 4);
+//! # Ok::<(), triphase_netlist::Error>(())
+//! ```
+
+mod build;
+mod error;
+pub mod graph;
+mod id;
+mod netlist;
+pub mod opt;
+
+pub mod bench_fmt;
+pub mod verilog;
+
+pub use build::{Builder, Word};
+pub use triphase_cells::CellKind;
+pub use error::{Error, Result};
+pub use id::{CellId, NetId, PortId};
+pub use netlist::{
+    Cell, ClockSpec, ConnIndex, Net, Netlist, NetlistStats, PhaseDef, Pin, Port, PortDir,
+};

@@ -1,0 +1,731 @@
+//! The gate-level netlist data model.
+
+use crate::error::{Error, Result};
+use crate::id::{CellId, NetId, PortId};
+use std::collections::HashMap;
+use triphase_cells::{CellKind, Library, PinDir};
+
+/// Direction of a top-level port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PortDir {
+    /// Primary input (drives its net).
+    Input,
+    /// Primary output (observes its net).
+    Output,
+}
+
+/// A cell instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cell {
+    /// Instance name, unique within the netlist.
+    pub name: String,
+    /// The cell's kind (logic function + pin interface).
+    pub kind: CellKind,
+    pins: Vec<NetId>,
+}
+
+impl Cell {
+    /// Net connected to pin `i`.
+    pub fn pin(&self, i: usize) -> NetId {
+        self.pins[i]
+    }
+
+    /// All pin connections in pin order.
+    pub fn pins(&self) -> &[NetId] {
+        &self.pins
+    }
+
+    /// Net driven by this cell's output pin.
+    pub fn output(&self) -> NetId {
+        self.pins[self.kind.output_pin()]
+    }
+
+    /// Nets read by this cell's input pins, in pin order.
+    pub fn inputs(&self) -> &[NetId] {
+        &self.pins[..self.kind.output_pin()]
+    }
+}
+
+/// A net (single-driver wire).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Net {
+    /// Net name, unique within the netlist.
+    pub name: String,
+}
+
+/// A top-level port bound to a net.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Port {
+    /// Port name.
+    pub name: String,
+    /// Port direction.
+    pub dir: PortDir,
+    /// The net the port connects to.
+    pub net: NetId,
+}
+
+/// Multi-phase clock description attached to a netlist.
+///
+/// Phase `i` is high during `[rise_ps, fall_ps)` within each cycle
+/// (`fall_ps` may be ≤ `rise_ps` for phases wrapping the cycle boundary —
+/// not used by the 3-phase scheme but supported).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClockSpec {
+    /// Common cycle time, picoseconds.
+    pub period_ps: f64,
+    /// The phases, in `p1..pk` order.
+    pub phases: Vec<PhaseDef>,
+}
+
+/// One clock phase of a [`ClockSpec`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseDef {
+    /// The top-level input port carrying this phase.
+    pub port: PortId,
+    /// Rising edge time within the cycle (ps).
+    pub rise_ps: f64,
+    /// Falling edge time within the cycle (ps); this is the SMO closing
+    /// time `e_i` of the phase.
+    pub fall_ps: f64,
+}
+
+impl ClockSpec {
+    /// Single-phase clock with 50% duty cycle on `port`.
+    pub fn single(port: PortId, period_ps: f64) -> ClockSpec {
+        ClockSpec {
+            period_ps,
+            phases: vec![PhaseDef {
+                port,
+                rise_ps: 0.0,
+                fall_ps: period_ps / 2.0,
+            }],
+        }
+    }
+
+    /// `k` equal non-overlapping phases: phase `i` high in
+    /// `[i·T/k, (i+1)·T/k)`.
+    pub fn equal_phases(ports: &[PortId], period_ps: f64) -> ClockSpec {
+        let k = ports.len() as f64;
+        ClockSpec {
+            period_ps,
+            phases: ports
+                .iter()
+                .enumerate()
+                .map(|(i, &port)| PhaseDef {
+                    port,
+                    rise_ps: period_ps * i as f64 / k,
+                    fall_ps: period_ps * (i + 1) as f64 / k,
+                })
+                .collect(),
+        }
+    }
+
+    /// Index of the phase carried by `port`, if any.
+    pub fn phase_of_port(&self, port: PortId) -> Option<usize> {
+        self.phases.iter().position(|p| p.port == port)
+    }
+}
+
+/// A flat, single-module gate-level netlist.
+///
+/// Cells and nets live in append-only arenas; removal leaves a tombstone
+/// that [`Netlist::compact`] erases (invalidating outstanding ids).
+#[derive(Debug, Clone, Default)]
+pub struct Netlist {
+    /// Design name.
+    pub name: String,
+    cells: Vec<Option<Cell>>,
+    nets: Vec<Option<Net>>,
+    ports: Vec<Port>,
+    /// Clock description, if the design is sequential.
+    pub clock: Option<ClockSpec>,
+    live_cells: usize,
+}
+
+impl Netlist {
+    /// Empty netlist named `name`.
+    pub fn new(name: impl Into<String>) -> Netlist {
+        Netlist {
+            name: name.into(),
+            ..Netlist::default()
+        }
+    }
+
+    // ---- construction ----------------------------------------------------
+
+    /// Create a net.
+    pub fn add_net(&mut self, name: impl Into<String>) -> NetId {
+        let id = NetId(self.nets.len() as u32);
+        self.nets.push(Some(Net { name: name.into() }));
+        id
+    }
+
+    /// Create a cell connected to `pins` (in pin order, output last).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pins.len()` does not match the kind's pin count or the
+    /// kind is invalid.
+    pub fn add_cell(
+        &mut self,
+        name: impl Into<String>,
+        kind: CellKind,
+        pins: Vec<NetId>,
+    ) -> CellId {
+        assert!(kind.validate(), "invalid kind {kind:?}");
+        assert_eq!(
+            pins.len(),
+            kind.pin_count(),
+            "pin count mismatch for {kind:?}"
+        );
+        let id = CellId(self.cells.len() as u32);
+        self.cells.push(Some(Cell {
+            name: name.into(),
+            kind,
+            pins,
+        }));
+        self.live_cells += 1;
+        id
+    }
+
+    /// Declare a top-level port on an existing net.
+    pub fn add_port(&mut self, name: impl Into<String>, dir: PortDir, net: NetId) -> PortId {
+        let id = PortId(self.ports.len() as u32);
+        self.ports.push(Port {
+            name: name.into(),
+            dir,
+            net,
+        });
+        id
+    }
+
+    /// Convenience: create a net and an input port driving it.
+    pub fn add_input(&mut self, name: &str) -> (PortId, NetId) {
+        let net = self.add_net(name);
+        (self.add_port(name, PortDir::Input, net), net)
+    }
+
+    /// Convenience: declare `net` as observed by a new output port.
+    pub fn add_output(&mut self, name: &str, net: NetId) -> PortId {
+        self.add_port(name, PortDir::Output, net)
+    }
+
+    // ---- mutation ---------------------------------------------------------
+
+    /// Remove a cell, leaving a tombstone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell was already removed.
+    pub fn remove_cell(&mut self, id: CellId) {
+        let slot = &mut self.cells[id.index()];
+        assert!(slot.is_some(), "cell {id} already removed");
+        *slot = None;
+        self.live_cells -= 1;
+    }
+
+    /// Reconnect pin `pin` of cell `id` to `net`.
+    pub fn set_pin(&mut self, id: CellId, pin: usize, net: NetId) {
+        let cell = self.cells[id.index()].as_mut().expect("dead cell");
+        cell.pins[pin] = net;
+    }
+
+    /// Replace a cell in place (same id) with a new kind and pin list.
+    ///
+    /// # Panics
+    ///
+    /// Panics on pin-count mismatch or dead cell.
+    pub fn replace_cell(&mut self, id: CellId, kind: CellKind, pins: Vec<NetId>) {
+        assert_eq!(pins.len(), kind.pin_count(), "pin count mismatch");
+        let cell = self.cells[id.index()].as_mut().expect("dead cell");
+        cell.kind = kind;
+        cell.pins = pins;
+    }
+
+    /// Rename a cell.
+    pub fn rename_cell(&mut self, id: CellId, name: impl Into<String>) {
+        self.cells[id.index()].as_mut().expect("dead cell").name = name.into();
+    }
+
+    // ---- access -----------------------------------------------------------
+
+    /// The cell `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if removed or out of range.
+    pub fn cell(&self, id: CellId) -> &Cell {
+        self.cells[id.index()].as_ref().expect("dead cell")
+    }
+
+    /// The cell `id` if it is alive.
+    pub fn try_cell(&self, id: CellId) -> Option<&Cell> {
+        self.cells.get(id.index()).and_then(|c| c.as_ref())
+    }
+
+    /// The net `id`.
+    pub fn net(&self, id: NetId) -> &Net {
+        self.nets[id.index()].as_ref().expect("dead net")
+    }
+
+    /// The port `id`.
+    pub fn port(&self, id: PortId) -> &Port {
+        &self.ports[id.index()]
+    }
+
+    /// All ports.
+    pub fn ports(&self) -> &[Port] {
+        &self.ports
+    }
+
+    /// Ids of input ports.
+    pub fn input_ports(&self) -> Vec<PortId> {
+        self.ports_with_dir(PortDir::Input)
+    }
+
+    /// Ids of output ports.
+    pub fn output_ports(&self) -> Vec<PortId> {
+        self.ports_with_dir(PortDir::Output)
+    }
+
+    fn ports_with_dir(&self, dir: PortDir) -> Vec<PortId> {
+        self.ports
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.dir == dir)
+            .map(|(i, _)| PortId(i as u32))
+            .collect()
+    }
+
+    /// Find a port by name.
+    pub fn find_port(&self, name: &str) -> Option<PortId> {
+        self.ports
+            .iter()
+            .position(|p| p.name == name)
+            .map(|i| PortId(i as u32))
+    }
+
+    /// Iterate live cells.
+    pub fn cells(&self) -> impl Iterator<Item = (CellId, &Cell)> {
+        self.cells
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| c.as_ref().map(|c| (CellId(i as u32), c)))
+    }
+
+    /// Iterate all nets.
+    pub fn nets(&self) -> impl Iterator<Item = (NetId, &Net)> {
+        self.nets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, n)| n.as_ref().map(|n| (NetId(i as u32), n)))
+    }
+
+    /// Number of live cells.
+    pub fn cell_count(&self) -> usize {
+        self.live_cells
+    }
+
+    /// Number of nets (including any orphaned by cell removal).
+    pub fn net_count(&self) -> usize {
+        self.nets.iter().filter(|n| n.is_some()).count()
+    }
+
+    /// Upper bound of cell ids ever allocated (for index-by-id vectors).
+    pub fn cell_capacity(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Upper bound of net ids ever allocated.
+    pub fn net_capacity(&self) -> usize {
+        self.nets.len()
+    }
+
+    // ---- derived ----------------------------------------------------------
+
+    /// Build the connectivity index (drivers and loads per net).
+    pub fn index(&self) -> ConnIndex {
+        ConnIndex::build(self)
+    }
+
+    /// Category counts.
+    pub fn stats(&self) -> NetlistStats {
+        let mut s = NetlistStats::default();
+        for (_, c) in self.cells() {
+            if c.kind.is_ff() {
+                s.ffs += 1;
+            } else if c.kind.is_latch() {
+                s.latches += 1;
+            } else if c.kind.is_clock_gate() {
+                s.clock_gates += 1;
+            } else if c.kind == CellKind::ClkBuf {
+                s.clock_buffers += 1;
+            } else {
+                s.comb += 1;
+            }
+        }
+        s.cells = self.live_cells;
+        s.inputs = self.input_ports().len();
+        s.outputs = self.output_ports().len();
+        s
+    }
+
+    /// Total cell area under `lib` (µm²), excluding wires.
+    pub fn cell_area(&self, lib: &Library) -> f64 {
+        self.cells().map(|(_, c)| lib.cell(c.kind).area).sum()
+    }
+
+    /// Check structural invariants:
+    /// every net has exactly one driver (cell output or input port),
+    /// every pin references a live net, instance names are unique.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found.
+    pub fn validate(&self) -> Result<()> {
+        let mut drivers: Vec<u32> = vec![0; self.nets.len()];
+        let mut used: Vec<bool> = vec![false; self.nets.len()];
+        for port in &self.ports {
+            if self.nets.get(port.net.index()).and_then(|n| n.as_ref()).is_none() {
+                return Err(Error::Invalid(format!(
+                    "port {} references dead net {}",
+                    port.name, port.net
+                )));
+            }
+            used[port.net.index()] = true;
+            if port.dir == PortDir::Input {
+                drivers[port.net.index()] += 1;
+            }
+        }
+        let mut names: HashMap<&str, CellId> = HashMap::new();
+        for (id, cell) in self.cells() {
+            if let Some(prev) = names.insert(cell.name.as_str(), id) {
+                return Err(Error::Invalid(format!(
+                    "duplicate instance name {} ({prev} and {id})",
+                    cell.name
+                )));
+            }
+            for (pin, &net) in cell.pins.iter().enumerate() {
+                if self.nets.get(net.index()).and_then(|n| n.as_ref()).is_none() {
+                    return Err(Error::Invalid(format!(
+                        "cell {} pin {pin} references dead net {net}",
+                        cell.name
+                    )));
+                }
+                used[net.index()] = true;
+                if cell.kind.pin_def(pin).dir == PinDir::Output {
+                    drivers[net.index()] += 1;
+                }
+            }
+        }
+        for (i, net) in self.nets.iter().enumerate() {
+            let Some(net) = net else { continue };
+            if !used[i] {
+                continue; // dangling nets are tolerated (removed by compact)
+            }
+            if drivers[i] == 0 {
+                return Err(Error::Invalid(format!("net {} has no driver", net.name)));
+            }
+            if drivers[i] > 1 {
+                return Err(Error::Invalid(format!(
+                    "net {} has {} drivers",
+                    net.name, drivers[i]
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Drop ports not selected by `keep`, preserving the relative order
+    /// of the remaining ports. **Invalidates all outstanding [`PortId`]s**
+    /// (including those inside `self.clock` — callers must rebuild the
+    /// clock spec afterwards).
+    pub fn retain_ports(&mut self, mut keep: impl FnMut(PortId, &Port) -> bool) {
+        let mut i = 0u32;
+        self.ports.retain(|p| {
+            let id = PortId(i);
+            i += 1;
+            keep(id, p)
+        });
+    }
+
+    /// Rebuild the netlist without tombstones or unused nets.
+    ///
+    /// All previously held [`CellId`]/[`NetId`] values are invalidated;
+    /// ports keep their order (so [`PortId`]s remain valid) and the clock
+    /// spec is carried over.
+    pub fn compact(&self) -> Netlist {
+        let mut used_net = vec![false; self.nets.len()];
+        for p in &self.ports {
+            used_net[p.net.index()] = true;
+        }
+        for (_, c) in self.cells() {
+            for &n in c.pins() {
+                used_net[n.index()] = true;
+            }
+        }
+        let mut out = Netlist::new(self.name.clone());
+        let mut net_map: Vec<Option<NetId>> = vec![None; self.nets.len()];
+        for (i, net) in self.nets.iter().enumerate() {
+            if let Some(net) = net {
+                if used_net[i] {
+                    net_map[i] = Some(out.add_net(net.name.clone()));
+                }
+            }
+        }
+        for (_, cell) in self.cells() {
+            let pins = cell
+                .pins()
+                .iter()
+                .map(|n| net_map[n.index()].expect("used net mapped"))
+                .collect();
+            out.add_cell(cell.name.clone(), cell.kind, pins);
+        }
+        for port in &self.ports {
+            out.add_port(
+                port.name.clone(),
+                port.dir,
+                net_map[port.net.index()].expect("port net mapped"),
+            );
+        }
+        out.clock = self.clock.clone();
+        out
+    }
+}
+
+/// Connectivity index: per-net driver and loads, computed from a snapshot
+/// of the netlist. Invalidated by any mutation.
+#[derive(Debug, Clone)]
+pub struct ConnIndex {
+    driver: Vec<Option<Pin>>,
+    input_port: Vec<Option<PortId>>,
+    loads: Vec<Vec<Pin>>,
+    output_ports: Vec<Vec<PortId>>,
+}
+
+/// A (cell, pin-index) pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Pin {
+    /// The cell.
+    pub cell: CellId,
+    /// Pin index within the cell.
+    pub pin: usize,
+}
+
+impl ConnIndex {
+    fn build(nl: &Netlist) -> ConnIndex {
+        let n = nl.nets.len();
+        let mut idx = ConnIndex {
+            driver: vec![None; n],
+            input_port: vec![None; n],
+            loads: vec![Vec::new(); n],
+            output_ports: vec![Vec::new(); n],
+        };
+        for (i, port) in nl.ports.iter().enumerate() {
+            match port.dir {
+                PortDir::Input => idx.input_port[port.net.index()] = Some(PortId(i as u32)),
+                PortDir::Output => idx.output_ports[port.net.index()].push(PortId(i as u32)),
+            }
+        }
+        for (id, cell) in nl.cells() {
+            for (pin, &net) in cell.pins().iter().enumerate() {
+                let p = Pin { cell: id, pin };
+                if cell.kind.pin_def(pin).dir == PinDir::Output {
+                    idx.driver[net.index()] = Some(p);
+                } else {
+                    idx.loads[net.index()].push(p);
+                }
+            }
+        }
+        idx
+    }
+
+    /// The cell pin driving `net`, if a cell (rather than a port) drives it.
+    pub fn driver(&self, net: NetId) -> Option<Pin> {
+        self.driver[net.index()]
+    }
+
+    /// The input port driving `net`, if any.
+    pub fn driving_port(&self, net: NetId) -> Option<PortId> {
+        self.input_port[net.index()]
+    }
+
+    /// Cell pins reading `net`.
+    pub fn loads(&self, net: NetId) -> &[Pin] {
+        &self.loads[net.index()]
+    }
+
+    /// Output ports observing `net`.
+    pub fn observers(&self, net: NetId) -> &[PortId] {
+        &self.output_ports[net.index()]
+    }
+
+    /// Number of cell loads plus observing ports on `net`.
+    pub fn fanout_count(&self, net: NetId) -> usize {
+        self.loads[net.index()].len() + self.output_ports[net.index()].len()
+    }
+}
+
+/// Cell-category counts of a netlist.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetlistStats {
+    /// Total live cells.
+    pub cells: usize,
+    /// Flip-flops (`DFF`, `DFFEN`).
+    pub ffs: usize,
+    /// Level-sensitive latches.
+    pub latches: usize,
+    /// Clock-gating cells.
+    pub clock_gates: usize,
+    /// Clock-tree buffers.
+    pub clock_buffers: usize,
+    /// Combinational cells.
+    pub comb: usize,
+    /// Primary inputs.
+    pub inputs: usize,
+    /// Primary outputs.
+    pub outputs: usize,
+}
+
+impl NetlistStats {
+    /// Registers = FFs + latches (the paper's "# of Regs" column).
+    pub fn registers(&self) -> usize {
+        self.ffs + self.latches
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> (Netlist, CellId, NetId) {
+        let mut nl = Netlist::new("tiny");
+        let (_, a) = nl.add_input("a");
+        let (_, b) = nl.add_input("b");
+        let y = nl.add_net("y");
+        let g = nl.add_cell("u1", CellKind::And(2), vec![a, b, y]);
+        nl.add_output("y", y);
+        (nl, g, y)
+    }
+
+    #[test]
+    fn build_and_query() {
+        let (nl, g, y) = tiny();
+        assert_eq!(nl.cell_count(), 1);
+        assert_eq!(nl.cell(g).kind, CellKind::And(2));
+        assert_eq!(nl.cell(g).output(), y);
+        assert_eq!(nl.cell(g).inputs().len(), 2);
+        nl.validate().unwrap();
+        let idx = nl.index();
+        assert_eq!(idx.driver(y), Some(Pin { cell: g, pin: 2 }));
+        assert_eq!(idx.loads(y).len(), 0);
+        assert_eq!(idx.observers(y).len(), 1);
+        assert_eq!(idx.fanout_count(y), 1);
+        let a = nl.port(nl.find_port("a").unwrap()).net;
+        assert_eq!(idx.loads(a), &[Pin { cell: g, pin: 0 }]);
+        assert!(idx.driving_port(a).is_some());
+    }
+
+    #[test]
+    fn validate_catches_multiple_drivers() {
+        let (mut nl, _, y) = tiny();
+        let x = nl.add_net("x");
+        nl.add_cell("u2", CellKind::Inv, vec![x, y]); // y now double-driven
+        // x has no driver but is used.
+        let err = nl.validate().unwrap_err().to_string();
+        assert!(err.contains("no driver") || err.contains("2 drivers"), "{err}");
+    }
+
+    #[test]
+    fn validate_catches_duplicate_names() {
+        let (mut nl, _, y) = tiny();
+        let z = nl.add_net("z");
+        nl.add_cell("u1", CellKind::Inv, vec![y, z]);
+        nl.add_output("z", z);
+        let err = nl.validate().unwrap_err().to_string();
+        assert!(err.contains("duplicate"), "{err}");
+    }
+
+    #[test]
+    fn remove_and_compact() {
+        let (mut nl, g, y) = tiny();
+        let z = nl.add_net("z");
+        let inv = nl.add_cell("u2", CellKind::Inv, vec![y, z]);
+        nl.add_output("z", z);
+        nl.remove_cell(inv);
+        assert_eq!(nl.cell_count(), 1);
+        assert!(nl.try_cell(inv).is_none());
+        assert!(nl.try_cell(g).is_some());
+        // z is still observed by a port but now undriven -> invalid.
+        assert!(nl.validate().is_err());
+        // Reconnect the port's net by re-adding a driver, then compact.
+        nl.add_cell("u3", CellKind::Buf, vec![y, z]);
+        nl.validate().unwrap();
+        let compacted = nl.compact();
+        assert_eq!(compacted.cell_count(), 2);
+        compacted.validate().unwrap();
+        // Port order preserved.
+        assert_eq!(
+            nl.ports().iter().map(|p| &p.name).collect::<Vec<_>>(),
+            compacted.ports().iter().map(|p| &p.name).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn compact_drops_orphan_nets() {
+        let (mut nl, _, _) = tiny();
+        nl.add_net("orphan");
+        let c = nl.compact();
+        assert!(c.nets().all(|(_, n)| n.name != "orphan"));
+    }
+
+    #[test]
+    fn stats_counts_categories() {
+        let (mut nl, _, y) = tiny();
+        let ck = nl.add_input("ck").1;
+        let q = nl.add_net("q");
+        nl.add_cell("ff", CellKind::Dff, vec![y, ck, q]);
+        nl.add_output("q", q);
+        let s = nl.stats();
+        assert_eq!(s.ffs, 1);
+        assert_eq!(s.comb, 1);
+        assert_eq!(s.registers(), 1);
+        assert_eq!(s.inputs, 3);
+        assert_eq!(s.outputs, 2);
+    }
+
+    #[test]
+    fn clock_spec_phases() {
+        let mut nl = Netlist::new("clk");
+        let (p1, _) = nl.add_input("p1");
+        let (p2, _) = nl.add_input("p2");
+        let (p3, _) = nl.add_input("p3");
+        let spec = ClockSpec::equal_phases(&[p1, p2, p3], 900.0);
+        assert_eq!(spec.phases.len(), 3);
+        assert_eq!(spec.phases[0].rise_ps, 0.0);
+        assert_eq!(spec.phases[0].fall_ps, 300.0);
+        assert_eq!(spec.phases[2].fall_ps, 900.0);
+        assert_eq!(spec.phase_of_port(p2), Some(1));
+        let single = ClockSpec::single(p1, 1000.0);
+        assert_eq!(single.phases[0].fall_ps, 500.0);
+    }
+
+    #[test]
+    fn replace_and_set_pin() {
+        let (mut nl, g, y) = tiny();
+        let a = nl.port(nl.find_port("a").unwrap()).net;
+        nl.replace_cell(g, CellKind::Or(2), vec![a, a, y]);
+        assert_eq!(nl.cell(g).kind, CellKind::Or(2));
+        let b = nl.port(nl.find_port("b").unwrap()).net;
+        nl.set_pin(g, 1, b);
+        assert_eq!(nl.cell(g).pin(1), b);
+        nl.validate().unwrap();
+    }
+
+    #[test]
+    fn cell_area_accumulates() {
+        let (nl, _, _) = tiny();
+        let lib = Library::synthetic_28nm();
+        assert!(nl.cell_area(&lib) > 0.0);
+    }
+}

@@ -1,0 +1,270 @@
+//! Post-conversion netlist cleanup: constant folding, dead-logic
+//! sweeping, and buffer removal.
+//!
+//! The paper triggers a re-optimization of the design after retiming
+//! (§IV-C); these passes are the technology-independent part of that
+//! step, applied to every design variant equally so comparisons stay
+//! fair.
+
+use crate::id::{CellId, NetId};
+use crate::netlist::Netlist;
+use triphase_cells::CellKind;
+
+/// Statistics of an optimization run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OptReport {
+    /// Cells replaced by constants or simplified by constant inputs.
+    pub folded: usize,
+    /// Dead cells removed (no observable fan-out).
+    pub swept: usize,
+    /// Buffers removed by rewiring their loads.
+    pub buffers_removed: usize,
+}
+
+impl OptReport {
+    /// Total cells eliminated.
+    pub fn removed(&self) -> usize {
+        self.swept + self.buffers_removed
+    }
+}
+
+/// Run constant folding, buffer sweeping, and dead-logic removal to a
+/// fixpoint. Sequential cells, clock gates, and anything observable from
+/// a primary output are preserved; behaviour is unchanged (covered by
+/// equivalence tests).
+pub fn optimize(nl: &mut Netlist) -> OptReport {
+    let mut report = OptReport::default();
+    loop {
+        let folded = fold_constants(nl);
+        let buffers = sweep_buffers(nl);
+        let swept = sweep_dead(nl);
+        report.folded += folded;
+        report.buffers_removed += buffers;
+        report.swept += swept;
+        if folded + buffers + swept == 0 {
+            return report;
+        }
+    }
+}
+
+/// Replace combinational cells whose output is decided by constant inputs
+/// (all-constant inputs, or an absorbing constant like `AND(x, 0)`).
+/// Returns the number of cells folded.
+pub fn fold_constants(nl: &mut Netlist) -> usize {
+    let idx = nl.index();
+    // Constant value per net, if driven by a constant cell.
+    let mut const_of = vec![None::<bool>; nl.net_capacity()];
+    for (_, cell) in nl.cells() {
+        match cell.kind {
+            CellKind::Const0 => const_of[cell.output().index()] = Some(false),
+            CellKind::Const1 => const_of[cell.output().index()] = Some(true),
+            _ => {}
+        }
+    }
+    let mut folds: Vec<(CellId, bool)> = Vec::new();
+    for (id, cell) in nl.cells() {
+        if !cell.kind.is_comb()
+            || matches!(
+                cell.kind,
+                CellKind::Const0 | CellKind::Const1 | CellKind::ClkBuf
+            )
+        {
+            continue;
+        }
+        let ins: Vec<Option<bool>> = cell
+            .inputs()
+            .iter()
+            .map(|n| const_of[n.index()])
+            .collect();
+        let value = if ins.iter().all(|v| v.is_some()) {
+            let bits: Vec<bool> = ins.iter().map(|v| v.unwrap()).collect();
+            Some(cell.kind.eval_comb(&bits))
+        } else {
+            // Absorbing constants.
+            match cell.kind {
+                CellKind::And(_) if ins.contains(&Some(false)) => Some(false),
+                CellKind::Nand(_) if ins.contains(&Some(false)) => Some(true),
+                CellKind::Or(_) if ins.contains(&Some(true)) => Some(true),
+                CellKind::Nor(_) if ins.contains(&Some(true)) => Some(false),
+                _ => None,
+            }
+        };
+        if let Some(v) = value {
+            folds.push((id, v));
+        }
+    }
+    let _ = idx;
+    let n = folds.len();
+    for (id, v) in folds {
+        let out = nl.cell(id).output();
+        let kind = if v { CellKind::Const1 } else { CellKind::Const0 };
+        nl.replace_cell(id, kind, vec![out]);
+    }
+    n
+}
+
+/// Remove plain data buffers by rewiring their loads to the buffer input.
+/// Buffers whose output is observed by a port are kept (ports cannot be
+/// rebound). Returns the number removed.
+pub fn sweep_buffers(nl: &mut Netlist) -> usize {
+    let idx = nl.index();
+    // out-net -> input-net for every removable buffer; chains are
+    // resolved transitively so loads always land on a surviving driver.
+    let mut alias: std::collections::HashMap<NetId, NetId> = std::collections::HashMap::new();
+    let mut removals: Vec<(CellId, NetId)> = Vec::new();
+    for (id, cell) in nl.cells() {
+        if cell.kind != CellKind::Buf {
+            continue;
+        }
+        let out = cell.output();
+        if !idx.observers(out).is_empty() {
+            continue;
+        }
+        alias.insert(out, cell.pin(0));
+        removals.push((id, out));
+    }
+    let resolve = |mut net: NetId| -> NetId {
+        let mut hops = 0;
+        while let Some(&next) = alias.get(&net) {
+            net = next;
+            hops += 1;
+            if hops > alias.len() {
+                break; // defensive: a buffer loop would be a comb cycle anyway
+            }
+        }
+        net
+    };
+    let n = removals.len();
+    for (id, out) in &removals {
+        let target = resolve(*out);
+        for load in idx.loads(*out) {
+            if nl.try_cell(load.cell).is_some() {
+                nl.set_pin(load.cell, load.pin, target);
+            }
+        }
+        nl.remove_cell(*id);
+    }
+    n
+}
+
+/// Remove combinational cells whose output drives nothing. Returns the
+/// number removed.
+pub fn sweep_dead(nl: &mut Netlist) -> usize {
+    let mut total = 0usize;
+    loop {
+        let idx = nl.index();
+        let dead: Vec<CellId> = nl
+            .cells()
+            .filter(|(_, c)| c.kind.is_comb() && c.kind != CellKind::ClkBuf)
+            .filter(|(_, c)| {
+                let out = c.output();
+                idx.loads(out).is_empty() && idx.observers(out).is_empty()
+            })
+            .map(|(id, _)| id)
+            .collect();
+        if dead.is_empty() {
+            return total;
+        }
+        total += dead.len();
+        for id in dead {
+            nl.remove_cell(id);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::Builder;
+    use crate::netlist::ClockSpec;
+
+    #[test]
+    fn folds_constant_cones() {
+        let mut nl = Netlist::new("c");
+        let mut b = Builder::new(&mut nl, "u");
+        let (_, a) = b.netlist().add_input("a");
+        let zero = b.const0();
+        let dead_and = b.gate(CellKind::And(2), &[a, zero]); // = 0
+        let y = b.gate(CellKind::Or(2), &[dead_and, a]); // = a
+        b.netlist().add_output("y", y);
+        let report = optimize(&mut nl);
+        assert!(report.folded >= 1, "{report:?}");
+        nl.validate().unwrap();
+        // The AND is now a constant; the OR survives (not all-const).
+        assert!(nl
+            .cells()
+            .all(|(_, c)| c.kind != CellKind::And(2)));
+    }
+
+    #[test]
+    fn sweeps_unobservable_logic() {
+        let mut nl = Netlist::new("d");
+        let mut b = Builder::new(&mut nl, "u");
+        let (_, a) = b.netlist().add_input("a");
+        let (_, c) = b.netlist().add_input("b");
+        let _unused = b.gate(CellKind::Xor(2), &[a, c]); // drives nothing
+        let kept = b.gate(CellKind::And(2), &[a, c]);
+        b.netlist().add_output("y", kept);
+        let report = optimize(&mut nl);
+        assert_eq!(report.swept, 1);
+        assert_eq!(nl.cell_count(), 1);
+        nl.validate().unwrap();
+    }
+
+    #[test]
+    fn buffer_chains_collapse() {
+        let mut nl = Netlist::new("b");
+        let mut b = Builder::new(&mut nl, "u");
+        let (_, a) = b.netlist().add_input("a");
+        let b1 = b.buf(a);
+        let b2 = b.buf(b1);
+        let y = b.gate(CellKind::Inv, &[b2]);
+        b.netlist().add_output("y", y);
+        let report = optimize(&mut nl);
+        assert_eq!(report.buffers_removed, 2);
+        nl.validate().unwrap();
+        // The inverter now reads the input net directly.
+        let (_, inv) = nl.cells().find(|(_, c)| c.kind == CellKind::Inv).unwrap();
+        assert_eq!(inv.pin(0), a);
+    }
+
+    #[test]
+    fn port_observed_buffers_kept() {
+        let mut nl = Netlist::new("pb");
+        let mut b = Builder::new(&mut nl, "u");
+        let (_, a) = b.netlist().add_input("a");
+        let y = b.buf(a);
+        b.netlist().add_output("y", y);
+        let report = optimize(&mut nl);
+        assert_eq!(report.buffers_removed, 0);
+        assert_eq!(nl.cell_count(), 1);
+        nl.validate().unwrap();
+    }
+
+    #[test]
+    fn sequential_fabric_untouched() {
+        // A realistic mix: constants, buffers, dead logic around FFs.
+        // (Behavioural equivalence of `optimize` is covered by the
+        // simulation-based integration test in `tests/proptests.rs`.)
+        let mut nl = Netlist::new("seq");
+        let mut b = Builder::new(&mut nl, "u");
+        let (ckp, ck) = b.netlist().add_input("ck");
+        let d = b.word_input("d", 4);
+        let zero = b.const0();
+        let masked: Vec<_> = d
+            .bits()
+            .iter()
+            .map(|&x| b.gate(CellKind::Or(2), &[x, zero]))
+            .collect();
+        let q = b.dff_word(&crate::build::Word(masked), ck);
+        let buffered: Vec<_> = q.bits().iter().map(|&x| b.buf(x)).collect();
+        let _dead = b.gate(CellKind::Xor(2), &[q.bit(0), q.bit(1)]);
+        b.word_output("q", &crate::build::Word(buffered));
+        nl.clock = Some(ClockSpec::single(ckp, 1000.0));
+
+        let report = optimize(&mut nl);
+        assert!(report.swept >= 1);
+        assert_eq!(nl.stats().ffs, 4, "FFs untouched");
+        nl.validate().unwrap();
+    }
+}

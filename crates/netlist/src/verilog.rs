@@ -1,0 +1,422 @@
+//! Structural Verilog writer and parser (subset).
+//!
+//! The supported subset is exactly what the writer emits: one flat module,
+//! scalar `input`/`output`/`wire` declarations, cell instances of the
+//! `triphase` library with named pin connections, and `assign a = b;`
+//! aliases (parsed back as buffers).
+
+use crate::error::{Error, Result};
+use crate::id::NetId;
+use crate::netlist::{Netlist, PortDir};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use triphase_cells::CellKind;
+
+/// Render `nl` as structural Verilog.
+///
+/// Net and instance names are sanitized to Verilog identifiers; collisions
+/// after sanitization get numeric suffixes. Ports keep their (sanitized)
+/// names and their nets are named after them.
+pub fn to_verilog(nl: &Netlist) -> String {
+    let mut out = String::new();
+    let mut names = NameTable::default();
+
+    // Port nets take the port's name.
+    let mut net_names: Vec<Option<String>> = vec![None; nl.net_capacity()];
+    let mut port_decls = Vec::new();
+    for port in nl.ports() {
+        let name = names.unique(&port.name);
+        let dir = match port.dir {
+            PortDir::Input => "input",
+            PortDir::Output => "output",
+        };
+        port_decls.push((dir, name.clone(), port.net));
+        if net_names[port.net.index()].is_none() && port.dir == PortDir::Input {
+            net_names[port.net.index()] = Some(name);
+        }
+    }
+    for (id, net) in nl.nets() {
+        if net_names[id.index()].is_none() {
+            net_names[id.index()] = Some(names.unique(&net.name));
+        }
+    }
+    let net_name = |id: NetId| net_names[id.index()].as_deref().expect("net named");
+
+    let module = sanitize(&nl.name);
+    let port_list: Vec<&str> = port_decls.iter().map(|(_, n, _)| n.as_str()).collect();
+    let _ = writeln!(out, "module {module} ({});", port_list.join(", "));
+    for (dir, name, _) in &port_decls {
+        let _ = writeln!(out, "  {dir} {name};");
+    }
+    for (id, _) in nl.nets() {
+        let _ = writeln!(out, "  wire {};", net_name(id));
+    }
+    // Output ports alias their nets.
+    for (dir, name, net) in &port_decls {
+        if *dir == "output" {
+            let _ = writeln!(out, "  assign {name} = {};", net_name(*net));
+        }
+    }
+    let mut inst_names = NameTable::default();
+    for (_, cell) in nl.cells() {
+        let inst = inst_names.unique(&cell.name);
+        let conns: Vec<String> = (0..cell.kind.pin_count())
+            .map(|i| format!(".{}({})", cell.kind.pin_name(i), net_name(cell.pin(i))))
+            .collect();
+        let _ = writeln!(out, "  {} {inst} ({});", cell.kind.lib_name(), conns.join(", "));
+    }
+    let _ = writeln!(out, "endmodule");
+    out
+}
+
+#[derive(Default)]
+struct NameTable {
+    used: HashMap<String, usize>,
+}
+
+impl NameTable {
+    fn unique(&mut self, raw: &str) -> String {
+        let base = sanitize(raw);
+        match self.used.get_mut(&base) {
+            None => {
+                self.used.insert(base.clone(), 0);
+                base
+            }
+            Some(n) => {
+                *n += 1;
+                let name = format!("{base}__{n}");
+                self.used.insert(name.clone(), 0);
+                name
+            }
+        }
+    }
+}
+
+fn sanitize(raw: &str) -> String {
+    let mut s: String = raw
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .collect();
+    if s.is_empty() || s.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        s.insert(0, 'n');
+    }
+    s
+}
+
+/// Parse structural Verilog (the subset produced by [`to_verilog`]).
+///
+/// # Errors
+///
+/// Returns [`Error::Parse`] with a line number on any syntax problem or
+/// unknown cell name, and [`Error::Invalid`] if the result fails
+/// validation.
+pub fn from_verilog(text: &str) -> Result<Netlist> {
+    let mut p = Parser::new(text);
+    let nl = p.parse()?;
+    nl.validate()?;
+    Ok(nl)
+}
+
+struct Parser<'a> {
+    tokens: Vec<(usize, String)>,
+    pos: usize,
+    _text: &'a str,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Parser<'a> {
+        let mut tokens = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.split("//").next().unwrap_or("");
+            let mut cur = String::new();
+            for ch in line.chars() {
+                if ch.is_ascii_alphanumeric() || ch == '_' || ch == '$' {
+                    cur.push(ch);
+                } else {
+                    if !cur.is_empty() {
+                        tokens.push((lineno + 1, std::mem::take(&mut cur)));
+                    }
+                    if !ch.is_whitespace() {
+                        tokens.push((lineno + 1, ch.to_string()));
+                    }
+                }
+            }
+            if !cur.is_empty() {
+                tokens.push((lineno + 1, cur));
+            }
+        }
+        Parser {
+            tokens,
+            pos: 0,
+            _text: text,
+        }
+    }
+
+    fn peek(&self) -> Option<&str> {
+        self.tokens.get(self.pos).map(|(_, t)| t.as_str())
+    }
+
+    fn line(&self) -> usize {
+        self.tokens
+            .get(self.pos.min(self.tokens.len().saturating_sub(1)))
+            .map_or(0, |(l, _)| *l)
+    }
+
+    fn next(&mut self) -> Result<String> {
+        let tok = self
+            .tokens
+            .get(self.pos)
+            .ok_or_else(|| Error::Parse(self.line(), "unexpected end of input".into()))?;
+        self.pos += 1;
+        Ok(tok.1.clone())
+    }
+
+    fn expect(&mut self, tok: &str) -> Result<()> {
+        let line = self.line();
+        let got = self.next()?;
+        if got == tok {
+            Ok(())
+        } else {
+            Err(Error::Parse(line, format!("expected `{tok}`, got `{got}`")))
+        }
+    }
+
+    fn parse(&mut self) -> Result<Netlist> {
+        self.expect("module")?;
+        let name = self.next()?;
+        let mut nl = Netlist::new(name);
+        self.expect("(")?;
+        // Skip the port list: directions come from the declarations.
+        while self.peek() != Some(")") {
+            self.next()?;
+        }
+        self.expect(")")?;
+        self.expect(";")?;
+
+        let mut nets: HashMap<String, NetId> = HashMap::new();
+        let mut outputs: Vec<String> = Vec::new();
+        let mut assigns: Vec<(usize, String, String)> = Vec::new();
+        let mut ncell = 0usize;
+
+        loop {
+            let line = self.line();
+            let tok = self.next()?;
+            match tok.as_str() {
+                "endmodule" => break,
+                "input" => {
+                    for name in self.name_list()? {
+                        let net = *nets
+                            .entry(name.clone())
+                            .or_insert_with(|| nl.add_net(name.clone()));
+                        nl.add_port(name, PortDir::Input, net);
+                    }
+                }
+                "output" => {
+                    // Output ports are bound after assigns are known.
+                    outputs.extend(self.name_list()?);
+                }
+                "wire" => {
+                    for name in self.name_list()? {
+                        nets.entry(name.clone())
+                            .or_insert_with(|| nl.add_net(name));
+                    }
+                }
+                "assign" => {
+                    let lhs = self.next()?;
+                    self.expect("=")?;
+                    let rhs = self.next()?;
+                    self.expect(";")?;
+                    assigns.push((line, lhs, rhs));
+                }
+                cellname => {
+                    let kind = CellKind::from_lib_name(cellname).ok_or_else(|| {
+                        Error::Parse(line, format!("unknown cell `{cellname}`"))
+                    })?;
+                    let inst = self.next()?;
+                    self.expect("(")?;
+                    let mut pins: Vec<Option<NetId>> = vec![None; kind.pin_count()];
+                    loop {
+                        self.expect(".")?;
+                        let pin_name = self.next()?;
+                        self.expect("(")?;
+                        let net_name = self.next()?;
+                        self.expect(")")?;
+                        let pin_idx = (0..kind.pin_count())
+                            .find(|&i| kind.pin_name(i) == pin_name)
+                            .ok_or_else(|| {
+                                Error::Parse(
+                                    line,
+                                    format!("cell {cellname} has no pin `{pin_name}`"),
+                                )
+                            })?;
+                        let net = *nets
+                            .entry(net_name.clone())
+                            .or_insert_with(|| nl.add_net(net_name));
+                        pins[pin_idx] = Some(net);
+                        match self.next()?.as_str() {
+                            "," => continue,
+                            ")" => break,
+                            other => {
+                                return Err(Error::Parse(
+                                    line,
+                                    format!("expected `,` or `)`, got `{other}`"),
+                                ))
+                            }
+                        }
+                    }
+                    self.expect(";")?;
+                    let pins: Vec<NetId> = pins
+                        .into_iter()
+                        .enumerate()
+                        .map(|(i, p)| {
+                            p.ok_or_else(|| {
+                                Error::Parse(line, format!("pin {i} of {inst} unconnected"))
+                            })
+                        })
+                        .collect::<Result<_>>()?;
+                    nl.add_cell(inst, kind, pins);
+                    ncell += 1;
+                }
+            }
+        }
+
+        // Resolve assigns: if the LHS is an output-port alias of an existing
+        // net, bind the port straight to the RHS net; otherwise emit a buffer.
+        let mut alias: HashMap<String, String> = HashMap::new();
+        for (line, lhs, rhs) in assigns {
+            if outputs.contains(&lhs) && !nets.contains_key(&lhs) {
+                alias.insert(lhs, rhs);
+            } else {
+                let l = *nets
+                    .entry(lhs.clone())
+                    .or_insert_with(|| nl.add_net(lhs.clone()));
+                let r = nets.get(&rhs).copied().ok_or_else(|| {
+                    Error::Parse(line, format!("assign from undeclared net `{rhs}`"))
+                })?;
+                nl.add_cell(format!("assign_buf{ncell}"), CellKind::Buf, vec![r, l]);
+                ncell += 1;
+            }
+        }
+        for name in outputs {
+            let target = alias.get(&name).unwrap_or(&name);
+            let net = nets.get(target).copied().ok_or_else(|| {
+                Error::Parse(0, format!("output `{name}` references undeclared net"))
+            })?;
+            nl.add_port(name, PortDir::Output, net);
+        }
+        Ok(nl)
+    }
+
+    fn name_list(&mut self) -> Result<Vec<String>> {
+        let mut names = vec![self.next()?];
+        loop {
+            match self.next()?.as_str() {
+                "," => names.push(self.next()?),
+                ";" => return Ok(names),
+                other => {
+                    return Err(Error::Parse(
+                        self.line(),
+                        format!("expected `,` or `;`, got `{other}`"),
+                    ))
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::Builder;
+
+    fn sample() -> Netlist {
+        let mut nl = Netlist::new("samp!le"); // name needs sanitizing
+        let mut b = Builder::new(&mut nl, "u");
+        let (_, ck) = b.netlist().add_input("ck");
+        let a = b.word_input("a", 2);
+        let x = b.xor_word(&a, &a.rotl(1));
+        let q = b.dff_word(&x, ck);
+        b.word_output("q", &q);
+        nl
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        let nl = sample();
+        nl.validate().unwrap();
+        let text = to_verilog(&nl);
+        let back = from_verilog(&text).unwrap();
+        assert_eq!(back.cell_count(), nl.cell_count());
+        assert_eq!(back.stats(), nl.stats());
+        assert_eq!(back.ports().len(), nl.ports().len());
+        // Second roundtrip is a fixpoint (same text).
+        let text2 = to_verilog(&back.compact());
+        let back2 = from_verilog(&text2).unwrap();
+        assert_eq!(back2.stats(), back.stats());
+    }
+
+    #[test]
+    fn writer_sanitizes_names() {
+        let mut nl = Netlist::new("1bad name");
+        let (_, a) = nl.add_input("a");
+        let y = nl.add_net("net with space");
+        nl.add_cell("inst.dot", CellKind::Inv, vec![a, y]);
+        nl.add_output("y", y);
+        let text = to_verilog(&nl);
+        assert!(text.contains("module n1bad_name"));
+        assert!(text.contains("net_with_space"));
+        assert!(text.contains("inst_dot"));
+        from_verilog(&text).unwrap();
+    }
+
+    #[test]
+    fn writer_handles_name_collisions() {
+        let mut nl = Netlist::new("m");
+        let (_, a) = nl.add_input("a");
+        let x = nl.add_net("n x"); // sanitizes to n_x
+        let y = nl.add_net("n_x"); // collides
+        nl.add_cell("u1", CellKind::Inv, vec![a, x]);
+        nl.add_cell("u2", CellKind::Inv, vec![x, y]);
+        nl.add_output("o", y);
+        let text = to_verilog(&nl);
+        let back = from_verilog(&text).unwrap();
+        assert_eq!(back.cell_count(), 2);
+    }
+
+    #[test]
+    fn parse_error_reports_line() {
+        let text = "module m (a);\n  input a;\n  FROB_X1 u (.A(a));\nendmodule\n";
+        let err = from_verilog(text).unwrap_err();
+        match err {
+            Error::Parse(line, msg) => {
+                assert_eq!(line, 3);
+                assert!(msg.contains("FROB"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_rejects_unconnected_pin() {
+        let text = "module m (a, y);\n input a;\n output y;\n wire w;\n \
+                    AND2_X1 u (.A0(a), .Y(w));\n assign y = w;\nendmodule\n";
+        assert!(from_verilog(text).is_err());
+    }
+
+    #[test]
+    fn icg_cells_roundtrip() {
+        let mut nl = Netlist::new("cg");
+        let (_, ck) = nl.add_input("ck");
+        let (_, p3) = nl.add_input("p3");
+        let (_, en) = nl.add_input("en");
+        let (_, d) = nl.add_input("d");
+        let gck = nl.add_net("gck");
+        let q = nl.add_net("q");
+        nl.add_cell("cg1", CellKind::IcgM1, vec![en, p3, ck, gck]);
+        nl.add_cell("l1", CellKind::LatchH, vec![d, gck, q]);
+        nl.add_output("q", q);
+        let back = from_verilog(&to_verilog(&nl)).unwrap();
+        assert_eq!(back.stats().clock_gates, 1);
+        assert_eq!(back.stats().latches, 1);
+    }
+}

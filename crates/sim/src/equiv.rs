@@ -1,0 +1,304 @@
+//! Equivalence checking by input streaming (the paper's validation
+//! methodology: "streaming inputs to the FF-based and latch-based designs
+//! and compare output streams").
+
+use crate::error::{Error, Result};
+use crate::logic::Logic;
+use crate::sim::Simulator;
+use triphase_netlist::{Netlist, PortId};
+
+/// First divergence found between two designs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mismatch {
+    /// Cycle at which outputs diverged (0-based).
+    pub cycle: u64,
+    /// Name of the diverging output port.
+    pub port: String,
+    /// Value produced by the reference design.
+    pub expected: Logic,
+    /// Value produced by the design under test.
+    pub actual: Logic,
+}
+
+/// Result of an equivalence stream run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EquivReport {
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// First mismatch, if any.
+    pub mismatch: Option<Mismatch>,
+}
+
+impl EquivReport {
+    /// `true` when no mismatch was observed.
+    pub fn equivalent(&self) -> bool {
+        self.mismatch.is_none()
+    }
+}
+
+/// Deterministic stream generator (splitmix64), independent of any
+/// external RNG crate so results are stable forever.
+#[derive(Debug, Clone)]
+pub struct Stream {
+    state: u64,
+}
+
+impl Stream {
+    /// New stream from a seed.
+    pub fn new(seed: u64) -> Stream {
+        Stream { state: seed }
+    }
+
+    /// Next pseudo-random bit.
+    pub fn next_bit(&mut self) -> bool {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        (z ^ (z >> 31)) & 1 == 1
+    }
+
+    /// Next pseudo-random u64.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Data ports of a design: inputs excluding clock phases, sorted by name.
+pub fn data_inputs(nl: &Netlist) -> Vec<PortId> {
+    let mut ports: Vec<PortId> = nl
+        .input_ports()
+        .into_iter()
+        .filter(|&p| {
+            nl.clock
+                .as_ref()
+                .is_none_or(|c| c.phase_of_port(p).is_none())
+        })
+        .collect();
+    ports.sort_by(|&a, &b| nl.port(a).name.cmp(&nl.port(b).name));
+    ports
+}
+
+/// Output ports sorted by name.
+pub fn data_outputs(nl: &Netlist) -> Vec<PortId> {
+    let mut ports = nl.output_ports();
+    ports.sort_by(|&a, &b| nl.port(a).name.cmp(&nl.port(b).name));
+    ports
+}
+
+/// Stream `cycles` pseudo-random input vectors (from `seed`) into both
+/// designs and compare their output streams cycle by cycle.
+///
+/// Data ports are matched by name; both designs are reset to all-zero
+/// state first.
+///
+/// # Errors
+///
+/// [`Error::PortMismatch`] if the designs' data port names differ;
+/// simulator construction errors are propagated.
+pub fn equiv_stream(
+    golden: &Netlist,
+    dut: &Netlist,
+    seed: u64,
+    cycles: u64,
+) -> Result<EquivReport> {
+    equiv_stream_warmup(golden, dut, seed, cycles, 0)
+}
+
+/// [`equiv_stream`] that ignores mismatches during the first `warmup`
+/// cycles — used after retiming, whose relocated registers start from
+/// reset values that flush through feed-forward logic within a few
+/// cycles.
+///
+/// # Errors
+///
+/// Same as [`equiv_stream`].
+pub fn equiv_stream_warmup(
+    golden: &Netlist,
+    dut: &Netlist,
+    seed: u64,
+    cycles: u64,
+    warmup: u64,
+) -> Result<EquivReport> {
+    let g_in = data_inputs(golden);
+    let d_in = data_inputs(dut);
+    let g_out = data_outputs(golden);
+    let d_out = data_outputs(dut);
+    let names = |nl: &Netlist, ps: &[PortId]| -> Vec<String> {
+        ps.iter().map(|&p| nl.port(p).name.clone()).collect()
+    };
+    if names(golden, &g_in) != names(dut, &d_in) {
+        return Err(Error::PortMismatch("input ports differ".into()));
+    }
+    if names(golden, &g_out) != names(dut, &d_out) {
+        return Err(Error::PortMismatch("output ports differ".into()));
+    }
+
+    let mut gsim = Simulator::new(golden)?;
+    let mut dsim = Simulator::new(dut)?;
+    gsim.reset_zero();
+    dsim.reset_zero();
+    let mut stream = Stream::new(seed);
+    for cycle in 0..cycles {
+        for (&gp, &dp) in g_in.iter().zip(&d_in) {
+            let v = Logic::from_bool(stream.next_bit());
+            gsim.set_input(gp, v);
+            dsim.set_input(dp, v);
+        }
+        gsim.step_cycle();
+        dsim.step_cycle();
+        if cycle < warmup {
+            continue;
+        }
+        for (&gp, &dp) in g_out.iter().zip(&d_out) {
+            let (e, a) = (gsim.output(gp), dsim.output(dp));
+            if e != a {
+                return Ok(EquivReport {
+                    cycles: cycle + 1,
+                    mismatch: Some(Mismatch {
+                        cycle,
+                        port: golden.port(gp).name.clone(),
+                        expected: e,
+                        actual: a,
+                    }),
+                });
+            }
+        }
+    }
+    Ok(EquivReport {
+        cycles,
+        mismatch: None,
+    })
+}
+
+/// Run `cycles` of pseudo-random stimulus on a single design and return
+/// its simulator (with accumulated [`crate::Activity`]); the standard way
+/// the flow gathers switching statistics.
+///
+/// # Errors
+///
+/// Simulator construction errors.
+pub fn run_random<'a>(nl: &'a Netlist, seed: u64, cycles: u64) -> Result<Simulator<'a>> {
+    let inputs = data_inputs(nl);
+    let mut sim = Simulator::new(nl)?;
+    sim.reset_zero();
+    let mut stream = Stream::new(seed);
+    for _ in 0..cycles {
+        for &p in &inputs {
+            sim.set_input(p, Logic::from_bool(stream.next_bit()));
+        }
+        sim.step_cycle();
+    }
+    Ok(sim)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use triphase_cells::CellKind;
+    use triphase_netlist::{Builder, ClockSpec};
+
+    /// FF pipeline: din -> FF -> INV -> FF -> dout.
+    fn ff_design() -> Netlist {
+        let mut nl = Netlist::new("ff");
+        let mut b = Builder::new(&mut nl, "u");
+        let (ckp, ck) = b.netlist().add_input("ck");
+        let (_, din) = b.netlist().add_input("din");
+        let q0 = b.dff(din, ck);
+        let x = b.not(q0);
+        let q1 = b.dff(x, ck);
+        b.netlist().add_output("dout", q1);
+        nl.clock = Some(ClockSpec::single(ckp, 1000.0));
+        nl
+    }
+
+    /// Hand-converted master-slave version of [`ff_design`].
+    fn ms_design() -> Netlist {
+        let mut nl = Netlist::new("ms");
+        let mut b = Builder::new(&mut nl, "u");
+        let (ckp, ck) = b.netlist().add_input("ck");
+        let (_, din) = b.netlist().add_input("din");
+        let m0 = b.net("m0");
+        let s0 = b.net("s0");
+        let m1 = b.net("m1");
+        let s1 = b.net("s1");
+        b.netlist()
+            .add_cell("l_m0", CellKind::LatchL, vec![din, ck, m0]);
+        b.netlist()
+            .add_cell("l_s0", CellKind::LatchH, vec![m0, ck, s0]);
+        let x = b.not(s0);
+        b.netlist()
+            .add_cell("l_m1", CellKind::LatchL, vec![x, ck, m1]);
+        b.netlist()
+            .add_cell("l_s1", CellKind::LatchH, vec![m1, ck, s1]);
+        b.netlist().add_output("dout", s1);
+        nl.clock = Some(ClockSpec::single(ckp, 1000.0));
+        nl
+    }
+
+    #[test]
+    fn ff_equals_master_slave() {
+        let golden = ff_design();
+        let dut = ms_design();
+        let r = equiv_stream(&golden, &dut, 42, 200).unwrap();
+        assert!(r.equivalent(), "{:?}", r.mismatch);
+        assert_eq!(r.cycles, 200);
+    }
+
+    #[test]
+    fn detects_real_difference() {
+        let golden = ff_design();
+        // A DUT with the inverter missing.
+        let mut nl = Netlist::new("bad");
+        let mut b = Builder::new(&mut nl, "u");
+        let (ckp, ck) = b.netlist().add_input("ck");
+        let (_, din) = b.netlist().add_input("din");
+        let q0 = b.dff(din, ck);
+        let q1 = b.dff(q0, ck);
+        b.netlist().add_output("dout", q1);
+        nl.clock = Some(ClockSpec::single(ckp, 1000.0));
+        let r = equiv_stream(&golden, &nl, 42, 50).unwrap();
+        assert!(!r.equivalent());
+        let m = r.mismatch.unwrap();
+        assert_eq!(m.port, "dout");
+    }
+
+    #[test]
+    fn port_mismatch_rejected() {
+        let golden = ff_design();
+        let mut nl = Netlist::new("other");
+        let (ckp, _ck) = nl.add_input("ck");
+        let (_, a) = nl.add_input("other_in");
+        nl.add_output("dout", a);
+        nl.clock = Some(ClockSpec::single(ckp, 1000.0));
+        assert!(matches!(
+            equiv_stream(&golden, &nl, 1, 10),
+            Err(Error::PortMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn stream_is_deterministic() {
+        let mut a = Stream::new(7);
+        let mut b = Stream::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_bit(), b.next_bit());
+        }
+        let mut c = Stream::new(8);
+        let differs = (0..64).any(|_| a.next_u64() != c.next_u64());
+        assert!(differs);
+    }
+
+    #[test]
+    fn run_random_accumulates_activity() {
+        let nl = ff_design();
+        let sim = run_random(&nl, 5, 64).unwrap();
+        assert_eq!(sim.activity().cycles, 64);
+        let din = nl.find_port("din").unwrap();
+        assert!(sim.activity().net_toggles[nl.port(din).net.index()] > 10);
+    }
+}

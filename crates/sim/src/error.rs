@@ -1,0 +1,53 @@
+//! Error type of the simulation crate.
+
+use std::fmt;
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// The netlist has no clock specification.
+    NoClock,
+    /// Underlying netlist problem (combinational loop etc.).
+    Netlist(triphase_netlist::Error),
+    /// Equivalence streaming: the two designs' data ports differ.
+    PortMismatch(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::NoClock => write!(f, "netlist has no clock specification"),
+            Error::Netlist(e) => write!(f, "netlist error: {e}"),
+            Error::PortMismatch(msg) => write!(f, "port mismatch: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Netlist(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<triphase_netlist::Error> for Error {
+    fn from(e: triphase_netlist::Error) -> Self {
+        Error::Netlist(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(Error::NoClock.to_string().contains("clock"));
+        assert!(Error::PortMismatch("x".into()).to_string().contains("x"));
+    }
+}

@@ -1,0 +1,182 @@
+//! Three-valued logic.
+
+use std::fmt;
+use triphase_cells::CellKind;
+
+/// A 3-valued logic level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Logic {
+    /// Logic low.
+    Zero,
+    /// Logic high.
+    One,
+    /// Unknown.
+    #[default]
+    X,
+}
+
+impl Logic {
+    /// From a bool.
+    pub fn from_bool(b: bool) -> Logic {
+        if b {
+            Logic::One
+        } else {
+            Logic::Zero
+        }
+    }
+
+    /// To a bool if known.
+    pub fn to_bool(self) -> Option<bool> {
+        match self {
+            Logic::Zero => Some(false),
+            Logic::One => Some(true),
+            Logic::X => None,
+        }
+    }
+
+    /// `true` if known (not X).
+    pub fn is_known(self) -> bool {
+        self != Logic::X
+    }
+
+    /// 3-valued NOT.
+    #[allow(clippy::should_implement_trait)] // deliberate: mirrors and()/or()/xor()
+    pub fn not(self) -> Logic {
+        match self {
+            Logic::Zero => Logic::One,
+            Logic::One => Logic::Zero,
+            Logic::X => Logic::X,
+        }
+    }
+
+    /// 3-valued AND.
+    pub fn and(self, other: Logic) -> Logic {
+        match (self, other) {
+            (Logic::Zero, _) | (_, Logic::Zero) => Logic::Zero,
+            (Logic::One, Logic::One) => Logic::One,
+            _ => Logic::X,
+        }
+    }
+
+    /// 3-valued OR.
+    pub fn or(self, other: Logic) -> Logic {
+        match (self, other) {
+            (Logic::One, _) | (_, Logic::One) => Logic::One,
+            (Logic::Zero, Logic::Zero) => Logic::Zero,
+            _ => Logic::X,
+        }
+    }
+
+    /// 3-valued XOR.
+    pub fn xor(self, other: Logic) -> Logic {
+        match (self, other) {
+            (Logic::X, _) | (_, Logic::X) => Logic::X,
+            (a, b) => Logic::from_bool(a != b),
+        }
+    }
+}
+
+impl fmt::Display for Logic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Logic::Zero => "0",
+            Logic::One => "1",
+            Logic::X => "x",
+        })
+    }
+}
+
+/// Evaluate a combinational [`CellKind`] over 3-valued inputs.
+///
+/// # Panics
+///
+/// Panics if `kind` is not combinational or the input count mismatches.
+pub fn eval_kind(kind: CellKind, inputs: &[Logic]) -> Logic {
+    assert!(kind.is_comb(), "eval_kind on {kind:?}");
+    assert_eq!(inputs.len(), kind.input_count());
+    match kind {
+        CellKind::Const0 => Logic::Zero,
+        CellKind::Const1 => Logic::One,
+        CellKind::Buf | CellKind::ClkBuf => inputs[0],
+        CellKind::Inv => inputs[0].not(),
+        CellKind::And(_) => inputs.iter().fold(Logic::One, |a, &b| a.and(b)),
+        CellKind::Or(_) => inputs.iter().fold(Logic::Zero, |a, &b| a.or(b)),
+        CellKind::Nand(_) => inputs.iter().fold(Logic::One, |a, &b| a.and(b)).not(),
+        CellKind::Nor(_) => inputs.iter().fold(Logic::Zero, |a, &b| a.or(b)).not(),
+        CellKind::Xor(_) => inputs.iter().fold(Logic::Zero, |a, &b| a.xor(b)),
+        CellKind::Xnor(_) => inputs.iter().fold(Logic::Zero, |a, &b| a.xor(b)).not(),
+        CellKind::Mux2 => match inputs[2] {
+            Logic::Zero => inputs[0],
+            Logic::One => inputs[1],
+            Logic::X => {
+                if inputs[0] == inputs[1] {
+                    inputs[0]
+                } else {
+                    Logic::X
+                }
+            }
+        },
+        _ => unreachable!(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truth_tables() {
+        use Logic::{One, X, Zero};
+        assert_eq!(Zero.and(X), Zero, "0 AND x = 0");
+        assert_eq!(One.and(X), X);
+        assert_eq!(One.or(X), One, "1 OR x = 1");
+        assert_eq!(Zero.or(X), X);
+        assert_eq!(One.xor(X), X);
+        assert_eq!(X.not(), X);
+        assert_eq!(One.xor(One), Zero);
+        assert_eq!(One.xor(Zero), One);
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Logic::from_bool(true), Logic::One);
+        assert_eq!(Logic::One.to_bool(), Some(true));
+        assert_eq!(Logic::X.to_bool(), None);
+        assert!(Logic::Zero.is_known());
+        assert!(!Logic::X.is_known());
+        assert_eq!(format!("{}{}{}", Logic::Zero, Logic::One, Logic::X), "01x");
+    }
+
+    #[test]
+    fn kind_eval_matches_bool_eval() {
+        for kind in [
+            CellKind::And(3),
+            CellKind::Or(2),
+            CellKind::Nand(2),
+            CellKind::Nor(3),
+            CellKind::Xor(2),
+            CellKind::Xnor(4),
+            CellKind::Inv,
+            CellKind::Buf,
+            CellKind::Mux2,
+        ] {
+            let n = kind.input_count();
+            for m in 0..1u32 << n {
+                let bools: Vec<bool> = (0..n).map(|i| (m >> i) & 1 == 1).collect();
+                let logics: Vec<Logic> = bools.iter().map(|&b| Logic::from_bool(b)).collect();
+                assert_eq!(
+                    eval_kind(kind, &logics),
+                    Logic::from_bool(kind.eval_comb(&bools)),
+                    "{kind:?} {bools:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mux_x_select_resolves_when_equal() {
+        use Logic::{One, X, Zero};
+        assert_eq!(eval_kind(CellKind::Mux2, &[One, One, X]), One);
+        assert_eq!(eval_kind(CellKind::Mux2, &[Zero, One, X]), X);
+    }
+}

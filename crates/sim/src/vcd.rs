@@ -1,0 +1,204 @@
+//! Value-change-dump (VCD) export of simulation runs.
+//!
+//! Standard four-state VCD, one sample per call (typically per clock
+//! event or per cycle). Viewable in GTKWave and friends.
+//!
+//! # Examples
+//!
+//! ```
+//! use triphase_netlist::{Netlist, Builder, ClockSpec};
+//! use triphase_sim::{Simulator, VcdWriter, Logic};
+//!
+//! let mut nl = Netlist::new("d");
+//! let mut b = Builder::new(&mut nl, "u");
+//! let (ckp, ck) = b.netlist().add_input("ck");
+//! let (_, d) = b.netlist().add_input("d");
+//! let q = b.dff(d, ck);
+//! b.netlist().add_output("q", q);
+//! nl.clock = Some(ClockSpec::single(ckp, 1000.0));
+//! let dp = nl.find_port("d").unwrap();
+//!
+//! let mut sim = Simulator::new(&nl)?;
+//! sim.reset_zero();
+//! let mut vcd = VcdWriter::new(Vec::new(), &nl).unwrap();
+//! for cycle in 0..4 {
+//!     sim.set_input(dp, Logic::from_bool(cycle % 2 == 0));
+//!     sim.step_cycle();
+//!     vcd.sample(&sim, cycle * 1000).unwrap();
+//! }
+//! let text = String::from_utf8(vcd.into_inner()).unwrap();
+//! assert!(text.contains("$enddefinitions"));
+//! # Ok::<(), triphase_sim::Error>(())
+//! ```
+
+use crate::logic::Logic;
+use crate::sim::Simulator;
+use std::io::{self, Write};
+use triphase_netlist::{NetId, Netlist};
+
+/// Streams net value changes in VCD format.
+#[derive(Debug)]
+pub struct VcdWriter<W: Write> {
+    out: W,
+    nets: Vec<(NetId, String)>,
+    last: Vec<Option<Logic>>,
+    header_done: bool,
+}
+
+/// Short printable identifier for variable `i` (VCD id characters).
+fn ident(mut i: usize) -> String {
+    let mut s = String::new();
+    loop {
+        s.push((b'!' + (i % 94) as u8) as char);
+        i /= 94;
+        if i == 0 {
+            return s;
+        }
+    }
+}
+
+fn logic_char(v: Logic) -> char {
+    match v {
+        Logic::Zero => '0',
+        Logic::One => '1',
+        Logic::X => 'x',
+    }
+}
+
+impl<W: Write> VcdWriter<W> {
+    /// Create a writer tracking **all** nets of `nl` and emit the header.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the sink.
+    pub fn new(out: W, nl: &Netlist) -> io::Result<VcdWriter<W>> {
+        let nets = nl
+            .nets()
+            .map(|(id, n)| (id, n.name.clone()))
+            .collect();
+        Self::with_nets(out, nl, nets)
+    }
+
+    /// Create a writer tracking a chosen subset of nets.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the sink.
+    pub fn with_nets(
+        mut out: W,
+        nl: &Netlist,
+        nets: Vec<(NetId, String)>,
+    ) -> io::Result<VcdWriter<W>> {
+        writeln!(out, "$version triphase-sim $end")?;
+        writeln!(out, "$timescale 1ps $end")?;
+        writeln!(out, "$scope module {} $end", sanitize(&nl.name))?;
+        for (i, (_, name)) in nets.iter().enumerate() {
+            writeln!(out, "$var wire 1 {} {} $end", ident(i), sanitize(name))?;
+        }
+        writeln!(out, "$upscope $end")?;
+        writeln!(out, "$enddefinitions $end")?;
+        let n = nets.len();
+        Ok(VcdWriter {
+            out,
+            nets,
+            last: vec![None; n],
+            header_done: true,
+        })
+    }
+
+    /// Record the current net values at `time_ps`; only changes are
+    /// emitted (the first sample dumps everything).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the sink.
+    pub fn sample(&mut self, sim: &Simulator<'_>, time_ps: u64) -> io::Result<()> {
+        debug_assert!(self.header_done);
+        let mut stamped = false;
+        for (i, (net, _)) in self.nets.iter().enumerate() {
+            let v = sim.net_value(*net);
+            if self.last[i] != Some(v) {
+                if !stamped {
+                    writeln!(self.out, "#{time_ps}")?;
+                    stamped = true;
+                }
+                writeln!(self.out, "{}{}", logic_char(v), ident(i))?;
+                self.last[i] = Some(v);
+            }
+        }
+        Ok(())
+    }
+
+    /// Finish and return the underlying sink.
+    pub fn into_inner(self) -> W {
+        self.out
+    }
+}
+
+fn sanitize(raw: &str) -> String {
+    raw.chars()
+        .map(|c| if c.is_ascii_graphic() { c } else { '_' })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use triphase_netlist::{Builder, ClockSpec};
+
+    fn counter() -> Netlist {
+        let mut nl = Netlist::new("cnt");
+        let mut b = Builder::new(&mut nl, "u");
+        let (ckp, ck) = b.netlist().add_input("ck");
+        let q = b.netlist().add_net("q");
+        let d = b.not(q);
+        b.netlist()
+            .add_cell("ff", triphase_netlist::CellKind::Dff, vec![d, ck, q]);
+        b.netlist().add_output("q", q);
+        nl.clock = Some(ClockSpec::single(ckp, 1000.0));
+        nl
+    }
+
+    #[test]
+    fn emits_header_and_changes() {
+        let nl = counter();
+        let mut sim = Simulator::new(&nl).unwrap();
+        sim.reset_zero();
+        let mut vcd = VcdWriter::new(Vec::new(), &nl).unwrap();
+        for cycle in 0..4u64 {
+            sim.step_cycle();
+            vcd.sample(&sim, cycle * 1000).unwrap();
+        }
+        let text = String::from_utf8(vcd.into_inner()).unwrap();
+        assert!(text.contains("$timescale 1ps $end"));
+        assert!(text.contains("$var wire 1"));
+        assert!(text.contains("$enddefinitions $end"));
+        // The toggle FF flips every cycle: at least 4 timestamps.
+        assert!(text.matches('#').count() >= 4, "{text}");
+    }
+
+    #[test]
+    fn only_changes_are_emitted() {
+        let nl = counter();
+        let mut sim = Simulator::new(&nl).unwrap();
+        sim.reset_zero();
+        let q = nl.find_port("q").unwrap();
+        let qnet = nl.port(q).net;
+        let mut vcd = VcdWriter::with_nets(Vec::new(), &nl, vec![(qnet, "q".into())]).unwrap();
+        sim.step_cycle();
+        vcd.sample(&sim, 0).unwrap();
+        vcd.sample(&sim, 500).unwrap(); // no change -> no new timestamp
+        let text = String::from_utf8(vcd.into_inner()).unwrap();
+        assert_eq!(text.matches('#').count(), 1, "{text}");
+    }
+
+    #[test]
+    fn idents_are_unique_and_printable() {
+        let ids: Vec<String> = (0..200).map(ident).collect();
+        let mut dedup = ids.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), ids.len());
+        assert!(ids.iter().all(|s| s.chars().all(|c| c.is_ascii_graphic())));
+    }
+}

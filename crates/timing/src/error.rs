@@ -1,0 +1,66 @@
+//! Error type of the timing crate.
+
+use std::fmt;
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by timing analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// The netlist carries no clock specification.
+    NoClock,
+    /// The design mixes storage kinds the requested analysis cannot handle
+    /// (e.g. latches given to the FF analyzer).
+    WrongAnalysis(String),
+    /// An underlying netlist problem (combinational loop, bad clock path).
+    Netlist(triphase_netlist::Error),
+    /// Latch departure times failed to converge: the design cannot meet
+    /// the cycle time regardless of borrowing.
+    NoConvergence {
+        /// Iterations performed before giving up.
+        iterations: usize,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::NoClock => write!(f, "netlist has no clock specification"),
+            Error::WrongAnalysis(msg) => write!(f, "wrong analysis: {msg}"),
+            Error::Netlist(e) => write!(f, "netlist error: {e}"),
+            Error::NoConvergence { iterations } => {
+                write!(f, "latch timing did not converge after {iterations} iterations")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Netlist(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<triphase_netlist::Error> for Error {
+    fn from(e: triphase_netlist::Error) -> Self {
+        Error::Netlist(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(Error::NoClock.to_string().contains("clock"));
+        assert!(Error::NoConvergence { iterations: 7 }.to_string().contains('7'));
+        let e = Error::Netlist(triphase_netlist::Error::Invalid("x".into()));
+        assert!(e.to_string().contains("x"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

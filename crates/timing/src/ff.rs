@@ -1,0 +1,191 @@
+//! Conventional edge-triggered static timing analysis.
+
+use crate::error::{Error, Result};
+use crate::graph::{extract_seq_graph, SeqGraph, SeqNode};
+use triphase_cells::Library;
+use triphase_netlist::{ConnIndex, Netlist};
+
+/// Result of FF-based STA.
+#[derive(Debug, Clone)]
+pub struct FfReport {
+    /// Clock period analyzed (ps).
+    pub period_ps: f64,
+    /// Worst setup slack over all endpoints (ps, negative = violated).
+    pub worst_setup_slack_ps: f64,
+    /// Worst hold slack (ps, negative = violated).
+    pub worst_hold_slack_ps: f64,
+    /// Smallest period at which all setup checks pass (ps).
+    pub min_period_ps: f64,
+    /// Endpoint node index of the critical (worst-setup) path.
+    pub critical_endpoint: Option<usize>,
+    /// The extracted sequential graph (for inspection).
+    pub graph: SeqGraph,
+}
+
+impl FfReport {
+    /// `true` when both setup and hold are met.
+    pub fn clean(&self) -> bool {
+        self.worst_setup_slack_ps >= 0.0 && self.worst_hold_slack_ps >= 0.0
+    }
+}
+
+/// Analyze a single-clock FF design at its declared clock period.
+///
+/// Primary inputs launch at the active clock edge; primary outputs must be
+/// reached within one period.
+///
+/// # Errors
+///
+/// [`Error::WrongAnalysis`] if the design contains latches;
+/// [`Error::NoClock`] if no clock spec is attached.
+pub fn analyze_ff(
+    nl: &Netlist,
+    lib: &Library,
+    idx: &ConnIndex,
+    wire_cap: Option<&[f64]>,
+) -> Result<FfReport> {
+    let clock = nl.clock.as_ref().ok_or(Error::NoClock)?;
+    let period = clock.period_ps;
+    if nl.stats().latches > 0 {
+        return Err(Error::WrongAnalysis(
+            "design contains latches; use the SMO analyzer".into(),
+        ));
+    }
+    let graph = extract_seq_graph(nl, lib, idx, wire_cap)?;
+
+    let mut worst_setup = f64::INFINITY;
+    let mut worst_hold = f64::INFINITY;
+    let mut min_period: f64 = 0.0;
+    let mut critical = None;
+    for edge in &graph.edges {
+        // Hold on PI-launched paths is the interface's responsibility
+        // (equivalent to an input-delay constraint ≥ hold); skip it, as
+        // sign-off flows do without explicit `set_input_delay -min`.
+        let (launch, check_hold) = match graph.nodes[edge.from] {
+            SeqNode::Storage(c) => (lib.cell(nl.cell(c).kind).timing.clk_to_q_ps, true),
+            SeqNode::Input(_) => (0.0, false),
+            SeqNode::Output(_) => unreachable!("outputs never launch"),
+        };
+        let (setup, hold) = match graph.nodes[edge.to] {
+            SeqNode::Storage(c) => {
+                let t = lib.cell(nl.cell(c).kind).timing;
+                (t.setup_ps, t.hold_ps)
+            }
+            SeqNode::Output(_) => (0.0, 0.0),
+            SeqNode::Input(_) => unreachable!("inputs never capture"),
+        };
+        let arr_max = launch + edge.max_ps;
+        let arr_min = launch + edge.min_ps;
+        let setup_slack = period - setup - arr_max;
+        if setup_slack < worst_setup {
+            worst_setup = setup_slack;
+            critical = Some(edge.to);
+        }
+        if check_hold {
+            worst_hold = worst_hold.min(arr_min - hold);
+        }
+        min_period = min_period.max(arr_max + setup);
+    }
+    if graph.edges.is_empty() {
+        worst_setup = period;
+    }
+    if worst_hold == f64::INFINITY {
+        worst_hold = 0.0;
+    }
+    Ok(FfReport {
+        period_ps: period,
+        worst_setup_slack_ps: worst_setup,
+        worst_hold_slack_ps: worst_hold,
+        min_period_ps: min_period,
+        critical_endpoint: critical,
+        graph,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use triphase_cells::CellKind;
+    use triphase_netlist::{Builder, ClockSpec};
+
+    fn chain(n_inv: usize, period: f64) -> Netlist {
+        let mut nl = Netlist::new("chain");
+        let mut b = Builder::new(&mut nl, "u");
+        let (ckp, ck) = b.netlist().add_input("ck");
+        let (_, din) = b.netlist().add_input("d");
+        let q0 = b.dff(din, ck);
+        let mut x = q0;
+        for _ in 0..n_inv {
+            x = b.not(x);
+        }
+        let q1 = b.dff(x, ck);
+        b.netlist().add_output("q", q1);
+        nl.clock = Some(ClockSpec::single(ckp, period));
+        nl
+    }
+
+    #[test]
+    fn slack_decreases_with_depth() {
+        let lib = Library::synthetic_28nm();
+        let shallow = chain(2, 1000.0);
+        let deep = chain(40, 1000.0);
+        let r1 = analyze_ff(&shallow, &lib, &shallow.index(), None).unwrap();
+        let r2 = analyze_ff(&deep, &lib, &deep.index(), None).unwrap();
+        assert!(r1.clean());
+        assert!(r1.worst_setup_slack_ps > r2.worst_setup_slack_ps);
+        assert!(r2.min_period_ps > r1.min_period_ps);
+    }
+
+    #[test]
+    fn violation_detected() {
+        let lib = Library::synthetic_28nm();
+        // 100 inverters at ~13 ps each cannot fit in 200 ps.
+        let nl = chain(100, 200.0);
+        let r = analyze_ff(&nl, &lib, &nl.index(), None).unwrap();
+        assert!(r.worst_setup_slack_ps < 0.0);
+        assert!(!r.clean());
+        assert!(r.min_period_ps > 200.0);
+        assert!(r.critical_endpoint.is_some());
+    }
+
+    #[test]
+    fn hold_met_with_logic() {
+        let lib = Library::synthetic_28nm();
+        let nl = chain(2, 1000.0);
+        let r = analyze_ff(&nl, &lib, &nl.index(), None).unwrap();
+        assert!(r.worst_hold_slack_ps >= 0.0);
+    }
+
+    #[test]
+    fn direct_ff_to_ff_hold() {
+        // Zero-logic FF->FF path: hold met because clk_to_q > hold.
+        let lib = Library::synthetic_28nm();
+        let mut nl = Netlist::new("b2b");
+        let mut b = Builder::new(&mut nl, "u");
+        let (ckp, ck) = b.netlist().add_input("ck");
+        let (_, din) = b.netlist().add_input("d");
+        let q0 = b.dff(din, ck);
+        let q1 = b.dff(q0, ck);
+        b.netlist().add_output("q", q1);
+        nl.clock = Some(ClockSpec::single(ckp, 1000.0));
+        let r = analyze_ff(&nl, &lib, &nl.index(), None).unwrap();
+        assert!(r.worst_hold_slack_ps >= 0.0);
+        assert!(r.clean());
+    }
+
+    #[test]
+    fn rejects_latches() {
+        let lib = Library::synthetic_28nm();
+        let mut nl = Netlist::new("l");
+        let (ckp, ck) = nl.add_input("ck");
+        let (_, d) = nl.add_input("d");
+        let q = nl.add_net("q");
+        nl.add_cell("lat", CellKind::LatchH, vec![d, ck, q]);
+        nl.add_output("q", q);
+        nl.clock = Some(ClockSpec::single(ckp, 1000.0));
+        assert!(matches!(
+            analyze_ff(&nl, &lib, &nl.index(), None),
+            Err(Error::WrongAnalysis(_))
+        ));
+    }
+}

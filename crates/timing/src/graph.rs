@@ -1,0 +1,382 @@
+//! Sequential timing graph extraction.
+//!
+//! Collapses the combinational fabric into min/max path delays between
+//! sequential endpoints (storage cells, primary inputs, primary outputs).
+//! Delays use the library's linear load model; per-net wire capacitance can
+//! be back-annotated from place-and-route.
+
+use crate::error::{Error, Result};
+use std::collections::HashMap;
+use triphase_cells::{CellKind, Library, PinClass, PinDir};
+use triphase_netlist::{graph, CellId, ConnIndex, NetId, Netlist, PortDir, PortId};
+
+/// A sequential endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SeqNode {
+    /// A storage cell (FF or latch).
+    Storage(CellId),
+    /// A primary input (data launch point).
+    Input(PortId),
+    /// A primary output (data capture point).
+    Output(PortId),
+}
+
+/// A collapsed combinational path between two sequential endpoints.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeqEdge {
+    /// Index of the launching node in [`SeqGraph::nodes`].
+    pub from: usize,
+    /// Index of the capturing node.
+    pub to: usize,
+    /// Longest combinational delay (ps), excluding the launch cell's
+    /// intrinsic clock-to-Q but *including* its load-dependent drive delay.
+    pub max_ps: f64,
+    /// Shortest combinational delay (ps), same convention.
+    pub min_ps: f64,
+}
+
+/// Sequential timing graph: endpoints plus min/max collapsed edges.
+#[derive(Debug, Clone)]
+pub struct SeqGraph {
+    /// Endpoints. Storage nodes first, then inputs, then outputs.
+    pub nodes: Vec<SeqNode>,
+    /// Collapsed edges.
+    pub edges: Vec<SeqEdge>,
+    node_of_cell: HashMap<CellId, usize>,
+}
+
+impl SeqGraph {
+    /// Index of the node for storage cell `c`.
+    pub fn node_of(&self, c: CellId) -> Option<usize> {
+        self.node_of_cell.get(&c).copied()
+    }
+
+    /// Edges grouped by capturing node.
+    pub fn in_edges(&self) -> Vec<Vec<usize>> {
+        let mut by_to = vec![Vec::new(); self.nodes.len()];
+        for (i, e) in self.edges.iter().enumerate() {
+            by_to[e.to].push(i);
+        }
+        by_to
+    }
+}
+
+/// Effective capacitive load of `net` (fF): sink pin caps plus optional
+/// wire capacitance.
+pub fn net_load(
+    nl: &Netlist,
+    lib: &Library,
+    idx: &ConnIndex,
+    wire_cap: Option<&[f64]>,
+    net: NetId,
+) -> f64 {
+    let mut load = 0.0;
+    for pin in idx.loads(net) {
+        load += lib.cell(nl.cell(pin.cell).kind).pin_cap(pin.pin);
+    }
+    if let Some(w) = wire_cap {
+        load += w.get(net.index()).copied().unwrap_or(0.0);
+    }
+    load
+}
+
+/// Extract the sequential graph of `nl`.
+///
+/// Clock pins are excluded from data traversal; clock-gate enables are
+/// treated as capture endpoints only when `include_cg_enables` is set
+/// (they then appear as extra `Output`-less sinks folded onto the ICG's
+/// downstream latches — not needed for the paper's analyses, so the
+/// default path ignores them).
+///
+/// # Errors
+///
+/// Propagates [`triphase_netlist::Error::CombLoop`] (wrapped in
+/// [`Error::Netlist`]) from topological ordering.
+pub fn extract_seq_graph(
+    nl: &Netlist,
+    lib: &Library,
+    idx: &ConnIndex,
+    wire_cap: Option<&[f64]>,
+) -> Result<SeqGraph> {
+    let order = graph::comb_topo_order(nl, idx).map_err(Error::Netlist)?;
+
+    let mut nodes = Vec::new();
+    let mut node_of_cell = HashMap::new();
+    for (id, cell) in nl.cells() {
+        if cell.kind.is_storage() {
+            node_of_cell.insert(id, nodes.len());
+            nodes.push(SeqNode::Storage(id));
+        }
+    }
+    let mut node_of_port = HashMap::new();
+    for (i, port) in nl.ports().iter().enumerate() {
+        let pid = PortId::from_index(i);
+        // Skip clock ports — they are not data launch points.
+        if let Some(clock) = &nl.clock {
+            if clock.phase_of_port(pid).is_some() {
+                continue;
+            }
+        }
+        match port.dir {
+            PortDir::Input => {
+                node_of_port.insert(pid, nodes.len());
+                nodes.push(SeqNode::Input(pid));
+            }
+            PortDir::Output => {
+                node_of_port.insert(pid, nodes.len());
+                nodes.push(SeqNode::Output(pid));
+            }
+        }
+    }
+
+    // Per-source forward propagation of (max, min) arrival over the
+    // combinational fabric.
+    let mut edges: Vec<SeqEdge> = Vec::new();
+    let mut edge_index: HashMap<(usize, usize), usize> = HashMap::new();
+    let mut arr_max: Vec<f64> = vec![f64::NEG_INFINITY; nl.net_capacity()];
+    let mut arr_min: Vec<f64> = vec![f64::INFINITY; nl.net_capacity()];
+    let mut touched: Vec<NetId> = Vec::new();
+
+    let sources: Vec<(usize, NetId, f64)> = nodes
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &n)| match n {
+            SeqNode::Storage(c) => {
+                let cell = nl.cell(c);
+                let q = cell.output();
+                // Load-dependent part of the launch delay.
+                let drive =
+                    lib.cell(cell.kind).res_ps_per_ff * net_load(nl, lib, idx, wire_cap, q);
+                Some((i, q, drive))
+            }
+            SeqNode::Input(p) => Some((i, nl.port(p).net, 0.0)),
+            SeqNode::Output(_) => None,
+        })
+        .collect();
+
+    for (src_node, src_net, launch) in sources {
+        // Reset touched nets.
+        for &n in &touched {
+            arr_max[n.index()] = f64::NEG_INFINITY;
+            arr_min[n.index()] = f64::INFINITY;
+        }
+        touched.clear();
+        arr_max[src_net.index()] = launch;
+        arr_min[src_net.index()] = launch;
+        touched.push(src_net);
+
+        for &cid in &order {
+            let cell = nl.cell(cid);
+            let mut mx = f64::NEG_INFINITY;
+            let mut mn = f64::INFINITY;
+            for &input in cell.inputs() {
+                mx = mx.max(arr_max[input.index()]);
+                mn = mn.min(arr_min[input.index()]);
+            }
+            if mx == f64::NEG_INFINITY {
+                continue; // not reached from this source
+            }
+            let out = cell.output();
+            let lc = lib.cell(cell.kind);
+            let d = lc.intrinsic_ps + lc.res_ps_per_ff * net_load(nl, lib, idx, wire_cap, out);
+            let (new_max, new_min) = (mx + d, mn + d);
+            if arr_max[out.index()] == f64::NEG_INFINITY {
+                touched.push(out);
+            }
+            arr_max[out.index()] = arr_max[out.index()].max(new_max);
+            arr_min[out.index()] = arr_min[out.index()].min(new_min);
+        }
+
+        // Collect captures: storage D/EN pins and output ports.
+        let mut record = |to_node: usize, mx: f64, mn: f64| {
+            let key = (src_node, to_node);
+            match edge_index.get(&key) {
+                Some(&i) => {
+                    edges[i].max_ps = edges[i].max_ps.max(mx);
+                    edges[i].min_ps = edges[i].min_ps.min(mn);
+                }
+                None => {
+                    edge_index.insert(key, edges.len());
+                    edges.push(SeqEdge {
+                        from: src_node,
+                        to: to_node,
+                        max_ps: mx,
+                        min_ps: mn,
+                    });
+                }
+            }
+        };
+        for &net in &touched {
+            let mx = arr_max[net.index()];
+            let mn = arr_min[net.index()];
+            for pin in idx.loads(net) {
+                let cell = nl.cell(pin.cell);
+                if !cell.kind.is_storage() {
+                    continue;
+                }
+                let def = cell.kind.pin_def(pin.pin);
+                if def.dir != PinDir::Input || def.class == PinClass::Clock {
+                    continue;
+                }
+                let to = node_of_cell[&pin.cell];
+                record(to, mx, mn);
+            }
+            for &port in idx.observers(net) {
+                if let Some(&to) = node_of_port.get(&port) {
+                    record(to, mx, mn);
+                }
+            }
+        }
+    }
+
+    Ok(SeqGraph {
+        nodes,
+        edges,
+        node_of_cell,
+    })
+}
+
+/// The clock phase driving each storage cell, traced through clock gates
+/// and buffers to a root port of the design's [`triphase_netlist::ClockSpec`].
+///
+/// # Errors
+///
+/// [`Error::NoClock`] if the netlist has no clock spec;
+/// [`Error::Netlist`] if a clock pin does not trace to a declared phase.
+pub fn storage_phases(nl: &Netlist, idx: &ConnIndex) -> Result<HashMap<CellId, usize>> {
+    let clock = nl.clock.as_ref().ok_or(Error::NoClock)?;
+    let mut phases = HashMap::new();
+    for (id, cell) in nl.cells() {
+        if !cell.kind.is_storage() {
+            continue;
+        }
+        let ck_pin = cell.kind.clock_pin().expect("storage has clock pin");
+        let trace =
+            graph::trace_clock_root(nl, idx, cell.pin(ck_pin)).map_err(Error::Netlist)?;
+        let phase = clock.phase_of_port(trace.root).ok_or_else(|| {
+            Error::Netlist(triphase_netlist::Error::Invalid(format!(
+                "clock of {} traces to non-phase port {}",
+                cell.name,
+                nl.port(trace.root).name
+            )))
+        })?;
+        phases.insert(id, phase);
+    }
+    Ok(phases)
+}
+
+/// `true` if `kind` is transparent-high for its phase window (latches);
+/// FFs return `false`.
+pub fn transparent_high(kind: CellKind) -> bool {
+    kind == CellKind::LatchH
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use triphase_netlist::{Builder, ClockSpec};
+
+    fn pipeline2() -> Netlist {
+        let mut nl = Netlist::new("pipe2");
+        let mut b = Builder::new(&mut nl, "u");
+        let (ckp, ck) = b.netlist().add_input("ck");
+        let (_, din) = b.netlist().add_input("din");
+        let q0 = b.dff(din, ck);
+        let x = b.not(q0);
+        let y = b.not(x);
+        let q1 = b.dff(y, ck);
+        b.netlist().add_output("dout", q1);
+        nl.clock = Some(ClockSpec::single(ckp, 1000.0));
+        nl.validate().unwrap();
+        nl
+    }
+
+    #[test]
+    fn extracts_nodes_and_edges() {
+        let nl = pipeline2();
+        let lib = Library::synthetic_28nm();
+        let idx = nl.index();
+        let g = extract_seq_graph(&nl, &lib, &idx, None).unwrap();
+        // Nodes: 2 FFs + din input + dout output (ck excluded as clock).
+        assert_eq!(g.nodes.len(), 4);
+        // Edges: din->ff0, ff0->ff1 (through two inverters), ff1->dout.
+        assert_eq!(g.edges.len(), 3);
+        let e = g
+            .edges
+            .iter()
+            .find(|e| {
+                matches!(g.nodes[e.from], SeqNode::Storage(_))
+                    && matches!(g.nodes[e.to], SeqNode::Storage(_))
+            })
+            .unwrap();
+        assert!(e.max_ps > 0.0);
+        assert!(e.min_ps <= e.max_ps);
+        // Two inverter delays plus launch drive: must exceed 2x intrinsic.
+        let inv = lib.cell(CellKind::Inv);
+        assert!(e.max_ps >= 2.0 * inv.intrinsic_ps);
+    }
+
+    #[test]
+    fn min_max_differ_on_reconvergence() {
+        let mut nl = Netlist::new("reconv");
+        let mut b = Builder::new(&mut nl, "u");
+        let (ckp, ck) = b.netlist().add_input("ck");
+        let (_, din) = b.netlist().add_input("d");
+        let q0 = b.dff(din, ck);
+        // Short path: direct; long path: 3 inverters.
+        let a = b.not(q0);
+        let c = b.not(a);
+        let d2 = b.not(c);
+        let y = b.gate(CellKind::And(2), &[q0, d2]);
+        let q1 = b.dff(y, ck);
+        b.netlist().add_output("q", q1);
+        nl.clock = Some(ClockSpec::single(ckp, 1000.0));
+        let lib = Library::synthetic_28nm();
+        let idx = nl.index();
+        let g = extract_seq_graph(&nl, &lib, &idx, None).unwrap();
+        let e = g
+            .edges
+            .iter()
+            .find(|e| {
+                matches!(g.nodes[e.from], SeqNode::Storage(_))
+                    && matches!(g.nodes[e.to], SeqNode::Storage(_))
+            })
+            .unwrap();
+        assert!(
+            e.max_ps > e.min_ps + 2.0,
+            "long path {} vs short {}",
+            e.max_ps,
+            e.min_ps
+        );
+    }
+
+    #[test]
+    fn wire_caps_increase_delay() {
+        let nl = pipeline2();
+        let lib = Library::synthetic_28nm();
+        let idx = nl.index();
+        let bare = extract_seq_graph(&nl, &lib, &idx, None).unwrap();
+        let caps = vec![10.0; nl.net_capacity()];
+        let loaded = extract_seq_graph(&nl, &lib, &idx, Some(&caps)).unwrap();
+        let sum_bare: f64 = bare.edges.iter().map(|e| e.max_ps).sum();
+        let sum_loaded: f64 = loaded.edges.iter().map(|e| e.max_ps).sum();
+        assert!(sum_loaded > sum_bare);
+    }
+
+    #[test]
+    fn phases_traced() {
+        let nl = pipeline2();
+        let idx = nl.index();
+        let phases = storage_phases(&nl, &idx).unwrap();
+        assert_eq!(phases.len(), 2);
+        assert!(phases.values().all(|&p| p == 0));
+    }
+
+    #[test]
+    fn no_clock_error() {
+        let mut nl = pipeline2();
+        nl.clock = None;
+        let idx = nl.index();
+        assert!(matches!(storage_phases(&nl, &idx), Err(Error::NoClock)));
+    }
+}

@@ -1,0 +1,47 @@
+//! Static timing analysis for the `triphase` toolkit.
+//!
+//! Two analyses over the same collapsed sequential graph ([`graph`]):
+//!
+//! - [`analyze_ff`]: conventional edge-triggered STA for the original
+//!   FF-based designs;
+//! - [`analyze_smo`]: the SMO multi-phase latch model (paper §II, Eq. 1–2)
+//!   with time borrowing, used for master-slave and 3-phase designs, plus
+//!   [`check_c2`] (structural no-co-transparency check of conversion
+//!   constraint C2) and [`min_period_smo`].
+//!
+//! # Examples
+//!
+//! ```
+//! use triphase_netlist::{Netlist, Builder, ClockSpec};
+//! use triphase_cells::Library;
+//! use triphase_timing::analyze_ff;
+//!
+//! let mut nl = Netlist::new("d");
+//! let mut b = Builder::new(&mut nl, "u");
+//! let (ckp, ck) = b.netlist().add_input("ck");
+//! let (_, d) = b.netlist().add_input("d");
+//! let q0 = b.dff(d, ck);
+//! let x = b.not(q0);
+//! let q1 = b.dff(x, ck);
+//! b.netlist().add_output("q", q1);
+//! nl.clock = Some(ClockSpec::single(ckp, 1000.0));
+//! let lib = Library::synthetic_28nm();
+//! let report = analyze_ff(&nl, &lib, &nl.index(), None)?;
+//! assert!(report.clean());
+//! # Ok::<(), triphase_timing::Error>(())
+//! ```
+
+mod error;
+mod ff;
+pub mod graph;
+mod paths;
+mod smo;
+
+pub use error::{Error, Result};
+pub use ff::{analyze_ff, FfReport};
+pub use paths::{worst_path, CriticalPath, PathStep};
+pub use graph::{extract_seq_graph, net_load, storage_phases, SeqEdge, SeqGraph, SeqNode};
+pub use smo::{
+    analyze_smo, analyze_smo_with_clock, check_c2, min_period_smo, scale_clock, NodeTiming,
+    SmoReport,
+};

@@ -1,0 +1,540 @@
+//! SMO multi-phase latch timing (Sakallah–Mudge–Olukotun model).
+//!
+//! Implements the General System Timing Constraints the paper quotes as
+//! Eq. (1)–(2): phases with closing times `e_i`, the forward phase shift
+//! matrix `E_ij`, and per-latch worst-case setup/hold checks with time
+//! borrowing via a departure-time fixed point.
+//!
+//! Every node is analyzed in its **local frame**: time `T` is the node's
+//! capture instant (closing edge for latches, active edge for FFs) and
+//! time 0 is the previous one. Arrival `A_i` must satisfy
+//! `A_i ≤ T − S_i` (setup, Eq. 2 top) and the earliest arrival `a_i ≥ H_i`
+//! (hold, Eq. 2 bottom). Latch departures borrow time:
+//! `q_j = max(open_j + clk2q, A_j + d2q)`.
+
+use crate::error::{Error, Result};
+use crate::graph::{extract_seq_graph, storage_phases, SeqGraph, SeqNode};
+use triphase_cells::{CellKind, Library};
+use triphase_netlist::{CellId, ClockSpec, ConnIndex, Netlist};
+
+/// Timing of one sequential node in its local frame.
+#[derive(Debug, Clone, Copy)]
+pub struct NodeTiming {
+    /// Latest data arrival (ps, local frame; `-inf` if unconstrained).
+    pub arrival_max_ps: f64,
+    /// Earliest data arrival (ps; `+inf` if unconstrained).
+    pub arrival_min_ps: f64,
+    /// Setup slack `(T − S) − A` (ps; `+inf` if unconstrained).
+    pub setup_slack_ps: f64,
+    /// Hold slack `a − H` (ps; `+inf` if unconstrained).
+    pub hold_slack_ps: f64,
+    /// Time borrowed past the opening edge (ps, latches only).
+    pub borrowed_ps: f64,
+}
+
+/// Result of an SMO analysis.
+#[derive(Debug, Clone)]
+pub struct SmoReport {
+    /// Cycle time analyzed (ps).
+    pub period_ps: f64,
+    /// Worst setup slack over all constrained nodes (ps).
+    pub worst_setup_slack_ps: f64,
+    /// Worst hold slack (ps).
+    pub worst_hold_slack_ps: f64,
+    /// Fixed-point iterations used.
+    pub iterations: usize,
+    /// Per-node detail, indexed like [`SmoReport::graph`]'s nodes.
+    pub per_node: Vec<NodeTiming>,
+    /// Total borrowed time across latches (ps) — a time-borrowing measure.
+    pub total_borrowed_ps: f64,
+    /// The sequential graph analyzed.
+    pub graph: SeqGraph,
+}
+
+impl SmoReport {
+    /// `true` when all setup and hold checks pass.
+    pub fn clean(&self) -> bool {
+        self.worst_setup_slack_ps >= 0.0 && self.worst_hold_slack_ps >= 0.0
+    }
+}
+
+/// Per-node clocking view derived from the clock spec.
+#[derive(Debug, Clone, Copy)]
+struct NodeClock {
+    /// Transparency width (ps); 0 for edge-triggered capture.
+    width: f64,
+    /// Capture instant within the cycle, in `[0, T)`.
+    chi: f64,
+    setup: f64,
+    hold: f64,
+    clk_to_q: f64,
+    d_to_q: f64,
+    checked: bool,
+}
+
+fn node_clocks(
+    nl: &Netlist,
+    lib: &Library,
+    clock: &ClockSpec,
+    graph: &SeqGraph,
+    phases: &std::collections::HashMap<CellId, usize>,
+) -> Result<Vec<NodeClock>> {
+    let t = clock.period_ps;
+    let p0 = &clock.phases[0];
+    graph
+        .nodes
+        .iter()
+        .map(|&node| match node {
+            SeqNode::Input(_) | SeqNode::Output(_) => Ok(NodeClock {
+                width: 0.0,
+                chi: p0.rise_ps.rem_euclid(t),
+                setup: 0.0,
+                hold: 0.0,
+                clk_to_q: 0.0,
+                d_to_q: 0.0,
+                checked: matches!(node, SeqNode::Output(_)),
+            }),
+            SeqNode::Storage(c) => {
+                let kind = nl.cell(c).kind;
+                let lc = lib.cell(kind);
+                let phase = *phases.get(&c).ok_or(Error::NoClock)?;
+                let ph = &clock.phases[phase];
+                let (open, close) = match kind {
+                    CellKind::LatchH => (ph.rise_ps, ph.fall_ps),
+                    CellKind::LatchL => (ph.fall_ps, ph.rise_ps + t),
+                    _ => (ph.rise_ps, ph.rise_ps), // FFs: zero-width at edge
+                };
+                Ok(NodeClock {
+                    width: close - open,
+                    chi: close.rem_euclid(t),
+                    setup: lc.timing.setup_ps,
+                    hold: lc.timing.hold_ps,
+                    clk_to_q: lc.timing.clk_to_q_ps,
+                    d_to_q: lc.timing.d_to_q_ps,
+                    checked: true,
+                })
+            }
+        })
+        .collect()
+}
+
+/// Forward phase shift `E` from node `j`'s capture to node `i`'s capture
+/// (Eq. 1 generalized to capture instants): in `(0, T]`.
+fn phase_shift(t: f64, chi_j: f64, chi_i: f64) -> f64 {
+    let d = (chi_i - chi_j).rem_euclid(t);
+    if d <= 1e-9 {
+        t
+    } else {
+        d
+    }
+}
+
+/// Analyze a (possibly multi-phase, latch-based) design at its declared
+/// clock. Also valid for pure FF designs (reduces to classic STA).
+///
+/// # Errors
+///
+/// [`Error::NoClock`] without a clock spec; [`Error::NoConvergence`] if
+/// departure times diverge (a transparent loop borrows unboundedly).
+pub fn analyze_smo(
+    nl: &Netlist,
+    lib: &Library,
+    idx: &ConnIndex,
+    wire_cap: Option<&[f64]>,
+) -> Result<SmoReport> {
+    let clock = nl.clock.as_ref().ok_or(Error::NoClock)?.clone();
+    analyze_smo_with_clock(nl, lib, idx, wire_cap, &clock)
+}
+
+/// [`analyze_smo`] with an explicit clock spec (used by period search).
+pub fn analyze_smo_with_clock(
+    nl: &Netlist,
+    lib: &Library,
+    idx: &ConnIndex,
+    wire_cap: Option<&[f64]>,
+    clock: &ClockSpec,
+) -> Result<SmoReport> {
+    let t = clock.period_ps;
+    let graph = extract_seq_graph(nl, lib, idx, wire_cap)?;
+    let phases = storage_phases(nl, idx)?;
+    let clocks = node_clocks(nl, lib, clock, &graph, &phases)?;
+    let n = graph.nodes.len();
+    let in_edges = graph.in_edges();
+
+    let mut arr_max = vec![f64::NEG_INFINITY; n];
+    let mut arr_min = vec![f64::INFINITY; n];
+    let max_iters = 2 * n + 16;
+    let mut iterations = 0;
+    let mut converged = false;
+    while iterations < max_iters {
+        iterations += 1;
+        // Departures from current arrivals.
+        let q_max: Vec<f64> = (0..n)
+            .map(|j| {
+                let c = &clocks[j];
+                if c.width <= 0.0 {
+                    t + c.clk_to_q
+                } else {
+                    let from_open = (t - c.width) + c.clk_to_q;
+                    let from_data = arr_max[j] + c.d_to_q;
+                    from_open.max(from_data)
+                }
+            })
+            .collect();
+        let q_min: Vec<f64> = (0..n)
+            .map(|j| {
+                let c = &clocks[j];
+                if c.width <= 0.0 {
+                    t + c.clk_to_q
+                } else if arr_min[j] <= t - c.width {
+                    (t - c.width) + c.clk_to_q
+                } else {
+                    arr_min[j] + c.d_to_q
+                }
+            })
+            .collect();
+        let mut changed = false;
+        for i in 0..n {
+            let mut mx = f64::NEG_INFINITY;
+            let mut mn = f64::INFINITY;
+            for &ei in &in_edges[i] {
+                let e = &graph.edges[ei];
+                let shift = phase_shift(t, clocks[e.from].chi, clocks[i].chi);
+                mx = mx.max(q_max[e.from] + e.max_ps - shift);
+                // PI-launched paths carry no hold obligation (interface
+                // input-delay responsibility), matching the FF analyzer.
+                if !matches!(graph.nodes[e.from], SeqNode::Input(_)) {
+                    mn = mn.min(q_min[e.from] + e.min_ps - shift);
+                }
+            }
+            if (mx - arr_max[i]).abs() > 1e-6 && mx.is_finite() {
+                changed = true;
+            }
+            if (mn - arr_min[i]).abs() > 1e-6 && mn.is_finite() {
+                changed = true;
+            }
+            arr_max[i] = mx;
+            arr_min[i] = mn;
+            // Divergence guard: borrowing beyond several cycles.
+            if arr_max[i] > 10.0 * t {
+                return Err(Error::NoConvergence { iterations });
+            }
+        }
+        if !changed {
+            converged = true;
+            break;
+        }
+    }
+    if !converged {
+        return Err(Error::NoConvergence { iterations });
+    }
+
+    let mut per_node = Vec::with_capacity(n);
+    let mut worst_setup = f64::INFINITY;
+    let mut worst_hold = f64::INFINITY;
+    let mut total_borrowed = 0.0;
+    for i in 0..n {
+        let c = &clocks[i];
+        let (setup_slack, hold_slack, borrowed) =
+            if !c.checked || arr_max[i] == f64::NEG_INFINITY {
+                (f64::INFINITY, f64::INFINITY, 0.0)
+            } else {
+                let s = (t - c.setup) - arr_max[i];
+                let h = arr_min[i] - c.hold;
+                let b = (arr_max[i] - (t - c.width)).max(0.0);
+                (s, h, if c.width > 0.0 { b } else { 0.0 })
+            };
+        worst_setup = worst_setup.min(setup_slack);
+        worst_hold = worst_hold.min(hold_slack);
+        total_borrowed += borrowed;
+        per_node.push(NodeTiming {
+            arrival_max_ps: arr_max[i],
+            arrival_min_ps: arr_min[i],
+            setup_slack_ps: setup_slack,
+            hold_slack_ps: hold_slack,
+            borrowed_ps: borrowed,
+        });
+    }
+    if worst_setup == f64::INFINITY {
+        worst_setup = t;
+    }
+    if worst_hold == f64::INFINITY {
+        worst_hold = t;
+    }
+    Ok(SmoReport {
+        period_ps: t,
+        worst_setup_slack_ps: worst_setup,
+        worst_hold_slack_ps: worst_hold,
+        iterations,
+        per_node,
+        total_borrowed_ps: total_borrowed,
+        graph,
+    })
+}
+
+/// Scale a clock spec to a new period, preserving phase proportions.
+pub fn scale_clock(spec: &ClockSpec, period_ps: f64) -> ClockSpec {
+    let f = period_ps / spec.period_ps;
+    ClockSpec {
+        period_ps,
+        phases: spec
+            .phases
+            .iter()
+            .map(|p| triphase_netlist::PhaseDef {
+                port: p.port,
+                rise_ps: p.rise_ps * f,
+                fall_ps: p.fall_ps * f,
+            })
+            .collect(),
+    }
+}
+
+/// Minimum period (ps) at which setup converges and passes, found by
+/// binary search over proportionally scaled phases.
+///
+/// # Errors
+///
+/// Propagates analysis errors; returns [`Error::NoConvergence`] if even
+/// `hi_ps` fails.
+pub fn min_period_smo(
+    nl: &Netlist,
+    lib: &Library,
+    idx: &ConnIndex,
+    wire_cap: Option<&[f64]>,
+    hi_ps: f64,
+    tol_ps: f64,
+) -> Result<f64> {
+    let spec = nl.clock.as_ref().ok_or(Error::NoClock)?.clone();
+    let feasible = |t: f64| -> bool {
+        let c = scale_clock(&spec, t);
+        matches!(
+            analyze_smo_with_clock(nl, lib, idx, wire_cap, &c),
+            Ok(r) if r.worst_setup_slack_ps >= 0.0
+        )
+    };
+    if !feasible(hi_ps) {
+        return Err(Error::NoConvergence { iterations: 0 });
+    }
+    let (mut lo, mut hi) = (0.0, hi_ps);
+    while hi - lo > tol_ps {
+        let mid = 0.5 * (lo + hi);
+        if feasible(mid) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    Ok(hi)
+}
+
+/// Structural check of conversion constraint C2: adjacent latches
+/// (connected through combinational logic) must never be simultaneously
+/// transparent. Returns the violating pairs.
+///
+/// # Errors
+///
+/// Propagates graph-extraction and clock-tracing errors.
+pub fn check_c2(
+    nl: &Netlist,
+    lib: &Library,
+    idx: &ConnIndex,
+) -> Result<Vec<(CellId, CellId)>> {
+    let clock = nl.clock.as_ref().ok_or(Error::NoClock)?;
+    let t = clock.period_ps;
+    let graph = extract_seq_graph(nl, lib, idx, None)?;
+    let phases = storage_phases(nl, idx)?;
+    let window = |c: CellId| -> Option<(f64, f64)> {
+        let kind = nl.cell(c).kind;
+        let ph = &clock.phases[phases[&c]];
+        match kind {
+            CellKind::LatchH => Some((ph.rise_ps, ph.fall_ps)),
+            CellKind::LatchL => Some((ph.fall_ps, ph.rise_ps + t)),
+            _ => None,
+        }
+    };
+    let mut violations = Vec::new();
+    for e in &graph.edges {
+        let (SeqNode::Storage(a), SeqNode::Storage(b)) =
+            (graph.nodes[e.from], graph.nodes[e.to])
+        else {
+            continue;
+        };
+        let (Some(w1), Some(w2)) = (window(a), window(b)) else {
+            continue;
+        };
+        if circular_overlap(t, w1, w2) {
+            violations.push((a, b));
+        }
+    }
+    Ok(violations)
+}
+
+/// Do two half-open intervals on a circle of circumference `t` overlap?
+fn circular_overlap(t: f64, (o1, c1): (f64, f64), (o2, c2): (f64, f64)) -> bool {
+    for k in [-1.0, 0.0, 1.0] {
+        let (a, b) = (o2 + k * t, c2 + k * t);
+        if o1 < b - 1e-9 && a < c1 - 1e-9 {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use triphase_netlist::{Builder, Netlist};
+
+    /// FF -> n inverters -> FF, single phase: must match classic STA.
+    fn ff_chain(n_inv: usize, period: f64) -> Netlist {
+        let mut nl = Netlist::new("c");
+        let mut b = Builder::new(&mut nl, "u");
+        let (ckp, ck) = b.netlist().add_input("ck");
+        let (_, d) = b.netlist().add_input("d");
+        let q0 = b.dff(d, ck);
+        let mut x = q0;
+        for _ in 0..n_inv {
+            x = b.not(x);
+        }
+        let q1 = b.dff(x, ck);
+        b.netlist().add_output("q", q1);
+        nl.clock = Some(ClockSpec::single(ckp, period));
+        nl
+    }
+
+    /// 3-phase latch pipeline: p1 -> logic -> p2 -> logic -> p3 -> p1 ...
+    fn latch3(period: f64, inv_per_stage: usize) -> Netlist {
+        let mut nl = Netlist::new("l3");
+        let mut b = Builder::new(&mut nl, "u");
+        let (p1, c1) = b.netlist().add_input("p1");
+        let (p2, c2) = b.netlist().add_input("p2");
+        let (p3, c3) = b.netlist().add_input("p3");
+        let (_, d) = b.netlist().add_input("d");
+        let mut x = d;
+        for (i, g) in [c1, c2, c3, c1].iter().enumerate() {
+            let q = b.net(&format!("q{i}"));
+            let name = format!("lat{i}");
+            b.netlist()
+                .add_cell(name, CellKind::LatchH, vec![x, *g, q]);
+            x = q;
+            for _ in 0..inv_per_stage {
+                x = b.not(x);
+            }
+        }
+        b.netlist().add_output("q", x);
+        nl.clock = Some(ClockSpec::equal_phases(&[p1, p2, p3], period));
+        nl
+    }
+
+    #[test]
+    fn reduces_to_classic_sta_for_ffs() {
+        let lib = Library::synthetic_28nm();
+        let nl = ff_chain(4, 1000.0);
+        let idx = nl.index();
+        let smo = analyze_smo(&nl, &lib, &idx, None).unwrap();
+        let ff = crate::ff::analyze_ff(&nl, &lib, &idx, None).unwrap();
+        assert!(
+            (smo.worst_setup_slack_ps - ff.worst_setup_slack_ps).abs() < 1.0,
+            "SMO {} vs FF {}",
+            smo.worst_setup_slack_ps,
+            ff.worst_setup_slack_ps
+        );
+        assert!((smo.worst_hold_slack_ps - ff.worst_hold_slack_ps).abs() < 1.0);
+    }
+
+    #[test]
+    fn three_phase_pipeline_meets_timing() {
+        let lib = Library::synthetic_28nm();
+        let nl = latch3(900.0, 4);
+        let idx = nl.index();
+        let r = analyze_smo(&nl, &lib, &idx, None).unwrap();
+        assert!(r.clean(), "setup {} hold {}", r.worst_setup_slack_ps, r.worst_hold_slack_ps);
+    }
+
+    #[test]
+    fn borrowing_accrues_with_unbalanced_logic() {
+        let lib = Library::synthetic_28nm();
+        // Deep logic in one stage borrows into the next phase window.
+        let deep = latch3(900.0, 22);
+        let idx = deep.index();
+        let r = analyze_smo(&deep, &lib, &idx, None).unwrap();
+        assert!(r.total_borrowed_ps > 0.0, "expected borrowing");
+        let shallow = latch3(900.0, 1);
+        let idx2 = shallow.index();
+        let r2 = analyze_smo(&shallow, &lib, &idx2, None).unwrap();
+        assert!(r2.total_borrowed_ps <= r.total_borrowed_ps);
+    }
+
+    #[test]
+    fn divergence_detected() {
+        let lib = Library::synthetic_28nm();
+        // Way too much logic per stage at a tiny period: borrowing diverges
+        // around the latch loop or setup fails without convergence issues.
+        let nl = latch3(120.0, 30);
+        let idx = nl.index();
+        match analyze_smo(&nl, &lib, &idx, None) {
+            Err(Error::NoConvergence { .. }) => {}
+            Ok(r) => assert!(r.worst_setup_slack_ps < 0.0, "must fail timing"),
+            Err(e) => panic!("unexpected {e}"),
+        }
+    }
+
+    #[test]
+    fn min_period_bisection() {
+        let lib = Library::synthetic_28nm();
+        let nl = latch3(900.0, 4);
+        let idx = nl.index();
+        let tmin = min_period_smo(&nl, &lib, &idx, None, 4000.0, 1.0).unwrap();
+        assert!(tmin > 50.0 && tmin < 900.0, "tmin = {tmin}");
+        // Analyzing right at tmin is clean; 10% below is not.
+        let spec = nl.clock.as_ref().unwrap();
+        let ok = analyze_smo_with_clock(&nl, &lib, &idx, None, &scale_clock(spec, tmin * 1.01))
+            .unwrap();
+        assert!(ok.worst_setup_slack_ps >= 0.0);
+        let bad = analyze_smo_with_clock(&nl, &lib, &idx, None, &scale_clock(spec, tmin * 0.85));
+        match bad {
+            Ok(r) => assert!(r.worst_setup_slack_ps < 0.0),
+            Err(Error::NoConvergence { .. }) => {}
+            Err(e) => panic!("unexpected {e}"),
+        }
+    }
+
+    #[test]
+    fn c2_clean_on_proper_3_phase() {
+        let lib = Library::synthetic_28nm();
+        let nl = latch3(900.0, 2);
+        let idx = nl.index();
+        assert!(check_c2(&nl, &lib, &idx).unwrap().is_empty());
+    }
+
+    #[test]
+    fn c2_flags_same_phase_adjacency() {
+        let lib = Library::synthetic_28nm();
+        let mut nl = Netlist::new("bad");
+        let mut b = Builder::new(&mut nl, "u");
+        let (p1, c1) = b.netlist().add_input("p1");
+        let (p2, _c2) = b.netlist().add_input("p2");
+        let (_, d) = b.netlist().add_input("d");
+        let q0 = b.net("q0");
+        let q1 = b.net("q1");
+        b.netlist()
+            .add_cell("l0", CellKind::LatchH, vec![d, c1, q0]);
+        let x = b.not(q0);
+        b.netlist()
+            .add_cell("l1", CellKind::LatchH, vec![x, c1, q1]);
+        b.netlist().add_output("q", q1);
+        nl.clock = Some(ClockSpec::equal_phases(&[p1, p2], 1000.0));
+        let idx = nl.index();
+        let v = check_c2(&nl, &lib, &idx).unwrap();
+        assert_eq!(v.len(), 1, "same-phase latch pair must be flagged");
+    }
+
+    #[test]
+    fn circular_overlap_cases() {
+        let t = 900.0;
+        assert!(circular_overlap(t, (0.0, 300.0), (0.0, 300.0)));
+        assert!(!circular_overlap(t, (0.0, 300.0), (300.0, 600.0)));
+        assert!(circular_overlap(t, (600.0, 1000.0), (0.0, 200.0)), "wraps");
+        assert!(!circular_overlap(t, (600.0, 900.0), (0.0, 300.0)));
+    }
+}

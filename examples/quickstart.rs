@@ -1,0 +1,68 @@
+//! Quickstart: convert an FF pipeline to 3-phase latches and compare the
+//! three design styles.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use triphase::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // An 8-bit, 5-stage FF pipeline with two levels of mixing logic per
+    // stage, clocked at 1.11 GHz.
+    let design = linear_pipeline(5, 8, 2, 900.0);
+    println!(
+        "input design `{}`: {} FFs, {} gates",
+        design.name,
+        design.stats().ffs,
+        design.stats().comb
+    );
+
+    let lib = Library::synthetic_28nm();
+    let report = run_flow(&design, &lib, &FlowConfig::default())?;
+
+    println!("\n=== conversion ===");
+    println!(
+        "ILP: {} p2 insertions ({} singles, {} back-to-back), optimal: {}, {:.3}s",
+        report.ilp_cost,
+        report.convert.singles,
+        report.convert.back_to_back,
+        report.ilp_optimal,
+        report.ilp_seconds
+    );
+    if let Some(rt) = &report.retime {
+        println!(
+            "retiming: worst half-stage {:.0} ps -> {:.0} ps (target met: {})",
+            rt.original_ps, rt.achieved_ps, rt.met_target
+        );
+    }
+    println!(
+        "validation: M-S equivalent = {:?}, 3-phase equivalent = {:?}",
+        report.equiv_ms, report.equiv_3p
+    );
+
+    println!("\n=== results (paper Tables I & II shape) ===");
+    for (style, v) in [
+        ("FF  ", &report.ff),
+        ("M-S ", &report.ms),
+        ("3-P ", &report.three_phase),
+    ] {
+        println!(
+            "{style}: {:>4} regs, {:>7.0} um^2, {}",
+            v.registers(),
+            v.area_um2,
+            v.power
+        );
+    }
+    println!(
+        "\n3-phase saves {:.1}% registers vs 2xFF, {:.1}% vs M-S",
+        report.reg_saving_vs_2ff(),
+        report.reg_saving_vs_ms()
+    );
+    println!(
+        "3-phase power: {:+.1}% vs FF, {:+.1}% vs M-S",
+        report.power_saving_vs_ff(),
+        report.power_saving_vs_ms()
+    );
+    Ok(())
+}

@@ -1,0 +1,67 @@
+//! Debugging workflow: dump a VCD waveform of a converted design and
+//! trace its critical path.
+//!
+//! ```sh
+//! cargo run --release --example waveform_debug
+//! ```
+
+use triphase::cells::liberty::to_liberty;
+use triphase::prelude::*;
+use triphase::sim::VcdWriter;
+use triphase::timing::worst_path;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Convert a small pipeline.
+    let nl = linear_pipeline(3, 4, 2, 900.0);
+    let idx = nl.index();
+    let graph = triphase::core::extract_ff_graph(&nl, &idx)?;
+    let assignment = assign_phases(&graph, &PhaseConfig::default());
+    let (tp, _) = to_three_phase(&nl, &assignment)?;
+
+    // 1. Waveform dump of 8 cycles (viewable in GTKWave).
+    let mut sim = Simulator::new(&tp)?;
+    sim.reset_zero();
+    let inputs = triphase::sim::data_inputs(&tp);
+    let mut vcd = VcdWriter::new(Vec::new(), &tp)?;
+    let mut stream = triphase::sim::Stream::new(3);
+    for cycle in 0..8u64 {
+        for &p in &inputs {
+            sim.set_input(p, Logic::from_bool(stream.next_bit()));
+        }
+        sim.step_cycle();
+        vcd.sample(&sim, cycle * 900)?;
+    }
+    let vcd_text = String::from_utf8(vcd.into_inner())?;
+    let vcd_path = std::env::temp_dir().join("pipe_3phase.vcd");
+    std::fs::write(&vcd_path, &vcd_text)?;
+    println!(
+        "wrote {} ({} value changes over 8 cycles)",
+        vcd_path.display(),
+        vcd_text.lines().filter(|l| !l.starts_with('$')).count()
+    );
+
+    // 2. Critical path of the converted design.
+    let lib = Library::synthetic_28nm();
+    let tp_idx = tp.index();
+    if let Some(path) = worst_path(&tp, &lib, &tp_idx, None)? {
+        println!(
+            "critical path: {:.0} ps over {} cells",
+            path.delay_ps,
+            path.steps.len()
+        );
+        for step in path.steps.iter().take(6) {
+            println!("  {:>8.1} ps  {}", step.arrival_ps, step.name);
+        }
+    }
+
+    // 3. Export the synthetic library in Liberty format.
+    let lib_text = to_liberty(&lib);
+    let lib_path = std::env::temp_dir().join("synth28.lib");
+    std::fs::write(&lib_path, &lib_text)?;
+    println!(
+        "wrote {} ({} lines of Liberty)",
+        lib_path.display(),
+        lib_text.lines().count()
+    );
+    Ok(())
+}

@@ -1,0 +1,87 @@
+//! # triphase — FF-to-3-phase latch conversion toolkit
+//!
+//! A from-scratch Rust reproduction of *"Saving Power by Converting
+//! Flip-Flop to 3-Phase Latch-Based Designs"* (DATE 2020): an automatic
+//! flow that converts single-clock-domain flip-flop designs into 3-phase
+//! latch-based designs using an ILP that minimizes latch count, followed
+//! by modified retiming and clock gating — plus every substrate the paper
+//! relies on (netlist IR, cell library, ILP solver, multi-phase STA,
+//! gate-level simulation, retiming, place-and-route, power estimation,
+//! and benchmark generators).
+//!
+//! This crate is a facade re-exporting the workspace members:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`cells`] | `triphase-cells` | cell kinds + synthetic 28nm library |
+//! | [`netlist`] | `triphase-netlist` | gate-level IR, builder, Verilog/.bench IO |
+//! | [`ilp`] | `triphase-ilp` | simplex + branch&bound, phase-assignment solver |
+//! | [`timing`] | `triphase-timing` | FF STA + SMO multi-phase latch timing |
+//! | [`sim`] | `triphase-sim` | multi-phase simulation, activity, equivalence |
+//! | [`retime`] | `triphase-retime` | constrained min-period retiming |
+//! | [`pnr`] | `triphase-pnr` | placement, CTS, wire estimation |
+//! | [`power`] | `triphase-power` | grouped Clock/Seq/Comb power model |
+//! | [`circuits`] | `triphase-circuits` | ISCAS/CEP/CPU benchmark generators |
+//! | [`core`] | `triphase-core` | **the paper's flow**: ILP → convert → retime → CG |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use triphase::prelude::*;
+//!
+//! // A small FF pipeline at 1.11 GHz.
+//! let design = linear_pipeline(4, 8, 2, 900.0);
+//! let lib = Library::synthetic_28nm();
+//! let cfg = FlowConfig {
+//!     sim_cycles: 32,
+//!     equiv_cycles: 64,
+//!     ..FlowConfig::default()
+//! };
+//! let report = run_flow(&design, &lib, &cfg)?;
+//! assert_eq!(report.equiv_3p, Some(true)); // cycle-exact equivalence
+//! assert!(report.three_phase.registers() < report.ms.registers());
+//! println!(
+//!     "regs: FF {} | M-S {} | 3-phase {} ({:+.1}% vs 2xFF)",
+//!     report.ff.stats.ffs,
+//!     report.ms.registers(),
+//!     report.three_phase.registers(),
+//!     report.reg_saving_vs_2ff(),
+//! );
+//! # Ok::<(), triphase::core::Error>(())
+//! ```
+
+pub use triphase_cells as cells;
+pub use triphase_circuits as circuits;
+pub use triphase_core as core;
+pub use triphase_ilp as ilp;
+pub use triphase_netlist as netlist;
+pub use triphase_pnr as pnr;
+pub use triphase_power as power;
+pub use triphase_retime as retime;
+pub use triphase_sim as sim;
+pub use triphase_timing as timing;
+
+/// Commonly used items in one import.
+pub mod prelude {
+    pub use triphase_cells::{CellKind, Library};
+    pub use triphase_circuits::cpu::{
+        build_cpu, m0_like, plasma_like, rocket_lite, CpuConfig, Workload,
+    };
+    pub use triphase_circuits::crypto::aes::aes128_pipelined;
+    pub use triphase_circuits::crypto::des3::{des3_core, Des3Spec};
+    pub use triphase_circuits::crypto::md5::md5_core;
+    pub use triphase_circuits::crypto::sha256::sha256_core;
+    pub use triphase_circuits::iscas::{generate_iscas, iscas_profiles, s27, IscasProfile};
+    pub use triphase_circuits::pipeline::linear_pipeline;
+    pub use triphase_core::{
+        apply_ddcg, apply_m2, assign_phases, extract_ff_graph, gate_p2_common_enable,
+        gated_clock_style, retime_three_phase, run_flow, run_flow_with, to_master_slave,
+        to_three_phase, FlowConfig, FlowReport,
+    };
+    pub use triphase_ilp::{PhaseConfig, PhaseProblem};
+    pub use triphase_netlist::{Builder, ClockSpec, Netlist, Word};
+    pub use triphase_pnr::{place_and_route, PnrOptions};
+    pub use triphase_power::{estimate_power, percent_saving, PowerReport};
+    pub use triphase_sim::{equiv_stream, run_random, Logic, Simulator};
+    pub use triphase_timing::{analyze_ff, analyze_smo, check_c2, min_period_smo};
+}

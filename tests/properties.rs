@@ -1,0 +1,141 @@
+//! Property-based tests over the conversion invariants (proptest).
+
+use proptest::prelude::*;
+use triphase::prelude::*;
+use triphase::sim::equiv_stream_warmup;
+use triphase::timing::storage_phases;
+
+/// Build a random FF design from a compact recipe: a few layers of FFs
+/// with random mixing logic, optional feedback and enables.
+fn random_design(
+    widths: &[usize],
+    feedback: &[bool],
+    enables: bool,
+    seed: u64,
+) -> triphase::netlist::Netlist {
+    use triphase::netlist::{CellKind, Netlist, Word};
+    let mut nl = Netlist::new("rand");
+    let mut b = Builder::new(&mut nl, "u");
+    let (ckp, ck) = b.netlist().add_input("ck");
+    let en = if enables {
+        Some(b.netlist().add_input("en").1)
+    } else {
+        None
+    };
+    let mut prev: Word = b.word_input("din", widths[0].max(1));
+    let mut salt = seed;
+    for (l, (&w, &fb)) in widths.iter().zip(feedback).enumerate() {
+        let w = w.max(1);
+        // Mix previous data to the layer's width.
+        let mut bits = Vec::with_capacity(w);
+        for i in 0..w {
+            salt = salt.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let a = prev.bit((salt as usize) % prev.width());
+            let bnet = prev.bit((salt as usize >> 8) % prev.width());
+            bits.push(b.gate(CellKind::Xor(2), &[a, bnet]));
+        }
+        let d = Word(bits);
+        let q: Word = if fb {
+            // Feedback layer: q <= d ^ q.
+            let qnets: Word = (0..w)
+                .map(|i| b.netlist().add_net(format!("fbq{l}_{i}")))
+                .collect();
+            let mixed = b.xor_word(&d, &qnets);
+            for (i, (&qn, &dn)) in qnets.0.iter().zip(mixed.0.iter()).enumerate() {
+                let name = format!("fb{l}_{i}");
+                match en {
+                    Some(en) => {
+                        b.netlist()
+                            .add_cell(name, CellKind::DffEn, vec![dn, en, ck, qn]);
+                    }
+                    None => {
+                        b.netlist().add_cell(name, CellKind::Dff, vec![dn, ck, qn]);
+                    }
+                }
+            }
+            qnets
+        } else {
+            match en {
+                Some(en) if l % 2 == 0 => b.dffen_word(&d, en, ck),
+                _ => b.dff_word(&d, ck),
+            }
+        };
+        prev = q;
+    }
+    b.word_output("dout", &prev);
+    nl.clock = Some(ClockSpec::single(ckp, 1000.0));
+    nl
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any generated FF design converts to an equivalent 3-phase design
+    /// with a legal phase assignment (constraint C2 holds, all original
+    /// FF positions are latched — C1 — and throughput is unchanged, which
+    /// equivalence streaming checks implicitly — C3).
+    #[test]
+    fn conversion_is_equivalence_preserving(
+        widths in prop::collection::vec(1usize..6, 1..4),
+        feedback in prop::collection::vec(any::<bool>(), 4),
+        enables in any::<bool>(),
+        seed in 0u64..1000,
+    ) {
+        let lib = Library::synthetic_28nm();
+        let nl = random_design(&widths, &feedback[..widths.len()], enables, seed);
+        nl.validate().unwrap();
+        let mut pre = nl.clone();
+        gated_clock_style(&mut pre, 32).unwrap();
+        let idx = pre.index();
+        let graph = extract_ff_graph(&pre, &idx).unwrap();
+        let assignment = assign_phases(&graph, &PhaseConfig::default());
+        let (tp, report) = to_three_phase(&pre, &assignment).unwrap();
+
+        // C1: every original FF position still holds a latch.
+        prop_assert_eq!(report.singles + report.back_to_back, graph.ffs.len());
+        prop_assert_eq!(tp.stats().ffs, 0);
+
+        // C2: no co-transparent adjacency.
+        let tp_idx = tp.index();
+        prop_assert!(check_c2(&tp, &lib, &tp_idx).unwrap().is_empty());
+
+        // Equivalence (cycle-exact, no warmup needed before retiming).
+        let r = equiv_stream(&nl, &tp, seed, 150).unwrap();
+        prop_assert!(r.equivalent(), "mismatch: {:?}", r.mismatch);
+
+        // Never worse than master-slave on latch count.
+        prop_assert!(tp.stats().latches <= 2 * pre.stats().ffs + 1);
+    }
+
+    /// Retiming preserves behaviour (after a warm-up for relocated
+    /// registers) and never moves p1/p3 latches.
+    #[test]
+    fn retiming_preserves_behaviour(
+        widths in prop::collection::vec(1usize..5, 2..4),
+        seed in 0u64..500,
+    ) {
+        let lib = Library::synthetic_28nm();
+        let feedback = vec![false; widths.len()];
+        let nl = random_design(&widths, &feedback, false, seed);
+        let mut pre = nl.clone();
+        gated_clock_style(&mut pre, 32).unwrap();
+        let idx = pre.index();
+        let graph = extract_ff_graph(&pre, &idx).unwrap();
+        let assignment = assign_phases(&graph, &PhaseConfig::default());
+        let (tp, _) = to_three_phase(&pre, &assignment).unwrap();
+        let p13_before = count_phase(&tp, 0) + count_phase(&tp, 2);
+        let (rt, _) = retime_three_phase(&tp, &lib, 0.5).unwrap();
+        let p13_after = count_phase(&rt, 0) + count_phase(&rt, 2);
+        prop_assert_eq!(p13_before, p13_after, "p1/p3 latches are immovable");
+        let r = equiv_stream_warmup(&nl, &rt, seed, 200, 16).unwrap();
+        prop_assert!(r.equivalent(), "mismatch: {:?}", r.mismatch);
+    }
+}
+
+fn count_phase(nl: &triphase::netlist::Netlist, phase: usize) -> usize {
+    let idx = nl.index();
+    let phases = storage_phases(nl, &idx).unwrap();
+    nl.cells()
+        .filter(|(id, c)| c.kind.is_latch() && phases.get(id) == Some(&phase))
+        .count()
+}
