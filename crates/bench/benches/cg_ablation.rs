@@ -2,7 +2,7 @@
 //! measures stage runtimes, and prints a one-shot power ablation table
 //! (no CG / +common-enable / +M2 / +DDCG) to stderr during setup.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use triphase_bench::microbench::{samples, time};
 use triphase_bench::{drive_stimulus, Stimulus};
 use triphase_cells::Library;
 use triphase_circuits::iscas::{generate_iscas, iscas_profiles};
@@ -11,7 +11,10 @@ use triphase_pnr::PnrOptions;
 
 fn ablation_table() {
     let lib = Library::synthetic_28nm();
-    let profile = iscas_profiles().into_iter().find(|p| p.name == "s5378").unwrap();
+    let profile = iscas_profiles()
+        .into_iter()
+        .find(|p| p.name == "s5378")
+        .unwrap();
     let nl = generate_iscas(&profile, 42);
     eprintln!("CG ablation on s5378-like (3-phase clock power, mW):");
     for (tag, ce, m2, ddcg) in [
@@ -26,7 +29,10 @@ fn ablation_table() {
             common_enable_cg: ce,
             m2,
             ddcg,
-            pnr: PnrOptions { moves_per_cell: 2, ..Default::default() },
+            pnr: PnrOptions {
+                moves_per_cell: 2,
+                ..Default::default()
+            },
             ..FlowConfig::default()
         };
         let report = run_flow_with(&nl, &lib, &cfg, &|n, c| {
@@ -44,31 +50,29 @@ fn ablation_table() {
     }
 }
 
-fn bench(c: &mut Criterion) {
+fn main() {
     ablation_table();
     let lib = Library::synthetic_28nm();
-    let profile = iscas_profiles().into_iter().find(|p| p.name == "s1196").unwrap();
+    let profile = iscas_profiles()
+        .into_iter()
+        .find(|p| p.name == "s1196")
+        .unwrap();
     let nl = generate_iscas(&profile, 42);
-    let mut g = c.benchmark_group("cg_stages");
-    g.sample_size(10);
-    g.bench_function("full_flow_with_cg", |b| {
-        let cfg = FlowConfig {
-            sim_cycles: 32,
-            equiv_cycles: 0,
-            pnr: PnrOptions { moves_per_cell: 1, ..Default::default() },
-            ..FlowConfig::default()
-        };
-        b.iter(|| {
-            run_flow_with(&nl, &lib, &cfg, &|n, c| {
-                drive_stimulus(n, c, 42, Stimulus::Random)
-            })
-            .unwrap()
-            .three_phase
-            .registers()
+    let cfg = FlowConfig {
+        sim_cycles: 32,
+        equiv_cycles: 0,
+        pnr: PnrOptions {
+            moves_per_cell: 1,
+            ..Default::default()
+        },
+        ..FlowConfig::default()
+    };
+    time("cg_stages/full_flow_with_cg", samples(10), || {
+        run_flow_with(&nl, &lib, &cfg, &|n, c| {
+            drive_stimulus(n, c, 42, Stimulus::Random)
         })
+        .unwrap()
+        .three_phase
+        .registers()
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

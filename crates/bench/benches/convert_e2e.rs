@@ -1,30 +1,26 @@
 //! End-to-end conversion runtime (FF graph extraction + ILP + rewrite),
 //! the core of the paper's flow, per benchmark size.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use triphase_bench::microbench::{samples, time};
 use triphase_circuits::iscas::{generate_iscas, iscas_profiles};
 use triphase_core::{assign_phases, extract_ff_graph, gated_clock_style, to_three_phase};
 use triphase_ilp::PhaseConfig;
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("convert");
-    g.sample_size(10);
+fn main() {
+    let n_samples = samples(10);
     for name in ["s1196", "s5378", "s13207"] {
-        let profile = iscas_profiles().into_iter().find(|p| p.name == name).unwrap();
+        let profile = iscas_profiles()
+            .into_iter()
+            .find(|p| p.name == name)
+            .unwrap();
         let mut nl = generate_iscas(&profile, 42);
         gated_clock_style(&mut nl, 32).unwrap();
-        g.bench_with_input(BenchmarkId::from_parameter(name), &nl, |b, nl| {
-            b.iter(|| {
-                let idx = nl.index();
-                let graph = extract_ff_graph(nl, &idx).unwrap();
-                let assignment = assign_phases(&graph, &PhaseConfig::default());
-                let (tp, _) = to_three_phase(nl, &assignment).unwrap();
-                tp.stats().latches
-            })
+        time(&format!("convert/{name}"), n_samples, || {
+            let idx = nl.index();
+            let graph = extract_ff_graph(&nl, &idx).unwrap();
+            let assignment = assign_phases(&graph, &PhaseConfig::default());
+            let (tp, _) = to_three_phase(&nl, &assignment).unwrap();
+            tp.stats().latches
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -2,7 +2,7 @@
 //! layered pipeline FF graphs of growing size. The paper reports the ILP
 //! is at most 27 s and <1% of flow runtime.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use triphase_bench::microbench::{samples, time};
 use triphase_circuits::pipeline::linear_pipeline;
 use triphase_core::extract_ff_graph;
 use triphase_ilp::{PhaseConfig, PhaseProblem};
@@ -15,34 +15,22 @@ fn problems(n_ffs: usize) -> PhaseProblem {
     extract_ff_graph(&nl, &idx).unwrap().to_phase_problem()
 }
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("phase_assignment");
-    g.sample_size(10);
+fn main() {
+    let n_samples = samples(10);
     for n in [64usize, 256, 1024] {
         let p = problems(n);
-        g.bench_with_input(BenchmarkId::from_parameter(n), &p, |b, p| {
-            b.iter(|| {
-                let sol = p.solve(&PhaseConfig::default());
-                assert!(sol.cost > 0);
-                sol.cost
-            })
+        time(&format!("phase_assignment/{n}"), n_samples, || {
+            let sol = p.solve(&PhaseConfig::default());
+            assert!(sol.cost > 0);
+            sol.cost
         });
     }
-    g.finish();
 
     // The generic simplex+B&B path (the literal ILP) on a small instance.
-    let mut g = c.benchmark_group("generic_ilp");
-    g.sample_size(10);
     let p = problems(32);
-    g.bench_function("literal_ilp_32ff", |b| {
-        b.iter(|| {
-            p.solve_via_ilp(&triphase_ilp::IlpConfig::default())
-                .expect("solvable")
-                .cost
-        })
+    time("generic_ilp/literal_ilp_32ff", n_samples, || {
+        p.solve_via_ilp(&triphase_ilp::IlpConfig::default())
+            .expect("solvable")
+            .cost
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,30 +1,23 @@
 //! Constrained retiming runtime on converted 3-phase designs.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use triphase_bench::microbench::{samples, time};
 use triphase_cells::Library;
 use triphase_circuits::pipeline::linear_pipeline;
 use triphase_core::{assign_phases, extract_ff_graph, retime_three_phase, to_three_phase};
 use triphase_ilp::PhaseConfig;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let lib = Library::synthetic_28nm();
-    let mut g = c.benchmark_group("retime_3phase");
-    g.sample_size(10);
+    let n_samples = samples(10);
     for stages in [4usize, 8, 16] {
         let nl = linear_pipeline(stages, 8, 3, 900.0);
         let idx = nl.index();
         let graph = extract_ff_graph(&nl, &idx).unwrap();
         let assignment = assign_phases(&graph, &PhaseConfig::default());
         let (tp, _) = to_three_phase(&nl, &assignment).unwrap();
-        g.bench_with_input(BenchmarkId::from_parameter(stages), &tp, |b, tp| {
-            b.iter(|| {
-                let (_, report) = retime_three_phase(tp, &lib, 0.5).unwrap();
-                report.achieved_ps
-            })
+        time(&format!("retime_3phase/{stages}"), n_samples, || {
+            let (_, report) = retime_three_phase(&tp, &lib, 0.5).unwrap();
+            report.achieved_ps
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

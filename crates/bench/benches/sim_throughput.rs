@@ -1,13 +1,13 @@
 //! Gate-level simulation throughput (cycles/second) on an ISCAS-class
 //! circuit, FF-based vs converted 3-phase (three clock events per cycle).
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use triphase_bench::microbench::{samples, time_throughput};
 use triphase_circuits::iscas::{generate_iscas, iscas_profiles};
 use triphase_core::{assign_phases, extract_ff_graph, gated_clock_style, to_three_phase};
 use triphase_ilp::PhaseConfig;
 use triphase_sim::run_random;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let profile = iscas_profiles()
         .into_iter()
         .find(|p| p.name == "s5378")
@@ -20,17 +20,11 @@ fn bench(c: &mut Criterion) {
     let (latch_design, _) = to_three_phase(&ff_design, &assignment).unwrap();
 
     const CYCLES: u64 = 64;
-    let mut g = c.benchmark_group("sim_s5378");
-    g.sample_size(10);
-    g.throughput(Throughput::Elements(CYCLES));
-    g.bench_function("ff_design", |b| {
-        b.iter(|| run_random(&ff_design, 1, CYCLES).unwrap().cycles())
+    let n_samples = samples(10);
+    time_throughput("sim_s5378/ff_design", n_samples, CYCLES, || {
+        run_random(&ff_design, 1, CYCLES).unwrap().cycles()
     });
-    g.bench_function("three_phase", |b| {
-        b.iter(|| run_random(&latch_design, 1, CYCLES).unwrap().cycles())
+    time_throughput("sim_s5378/three_phase", n_samples, CYCLES, || {
+        run_random(&latch_design, 1, CYCLES).unwrap().cycles()
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,14 +1,14 @@
 //! Static timing analysis throughput: classic FF STA vs the SMO
 //! multi-phase latch analysis on the same design pre/post conversion.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use triphase_bench::microbench::{samples, time};
 use triphase_cells::Library;
 use triphase_circuits::iscas::{generate_iscas, iscas_profiles};
 use triphase_core::{assign_phases, extract_ff_graph, gated_clock_style, to_three_phase};
 use triphase_ilp::PhaseConfig;
 use triphase_timing::{analyze_ff, analyze_smo};
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let lib = Library::synthetic_28nm();
     let profile = iscas_profiles()
         .into_iter()
@@ -22,20 +22,15 @@ fn bench(c: &mut Criterion) {
     let (latch_design, _) = to_three_phase(&ff_design, &assignment).unwrap();
     let latch_idx = latch_design.index();
 
-    let mut g = c.benchmark_group("sta_s5378");
-    g.sample_size(20);
-    g.bench_function("ff_sta", |b| {
-        b.iter(|| analyze_ff(&ff_design, &lib, &idx, None).unwrap().min_period_ps)
+    let n_samples = samples(20);
+    time("sta_s5378/ff_sta", n_samples, || {
+        analyze_ff(&ff_design, &lib, &idx, None)
+            .unwrap()
+            .min_period_ps
     });
-    g.bench_function("smo_3phase", |b| {
-        b.iter(|| {
-            analyze_smo(&latch_design, &lib, &latch_idx, None)
-                .unwrap()
-                .worst_setup_slack_ps
-        })
+    time("sta_s5378/smo_3phase", n_samples, || {
+        analyze_smo(&latch_design, &lib, &latch_idx, None)
+            .unwrap()
+            .worst_setup_slack_ps
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

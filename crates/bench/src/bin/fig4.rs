@@ -71,8 +71,14 @@ fn main() {
                 "{:<8} {:<12} 3-P saves {:+.1}% vs FF, {:+.1}% vs M-S",
                 cfg.name,
                 wname,
-                percent_saving(report.ff.power.total_mw(), report.three_phase.power.total_mw()),
-                percent_saving(report.ms.power.total_mw(), report.three_phase.power.total_mw()),
+                percent_saving(
+                    report.ff.power.total_mw(),
+                    report.three_phase.power.total_mw()
+                ),
+                percent_saving(
+                    report.ms.power.total_mw(),
+                    report.three_phase.power.total_mw()
+                ),
             );
         }
     }

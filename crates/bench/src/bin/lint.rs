@@ -1,0 +1,129 @@
+//! Static-analysis CLI: run the `triphase-lint` rule registry over the
+//! registered benchmark generators or over a structural Verilog file.
+//!
+//! ```text
+//! lint                      # lint every registered benchmark (summary)
+//! lint s5378                # lint one benchmark by name
+//! lint --three-phase s5378  # convert first, lint at the convert stage
+//! lint --verilog f.v        # lint a structural Verilog file
+//! lint --json [...]         # print machine-readable JSON reports
+//! ```
+//!
+//! Exits nonzero when any error-severity diagnostic is reported.
+
+use std::process::ExitCode;
+use triphase_bench::benchmarks;
+use triphase_core::{assign_phases, extract_ff_graph, gated_clock_style, to_three_phase};
+use triphase_ilp::PhaseConfig;
+use triphase_lint::{LintStage, Linter, Report};
+use triphase_netlist::{verilog, Netlist};
+
+struct Options {
+    json: bool,
+    three_phase: bool,
+    verilog: Option<String>,
+    names: Vec<String>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        json: false,
+        three_phase: false,
+        verilog: None,
+        names: Vec::new(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => opts.json = true,
+            "--three-phase" => opts.three_phase = true,
+            "--verilog" => {
+                let path = args.next().ok_or("--verilog requires a file path")?;
+                opts.verilog = Some(path);
+            }
+            "--help" | "-h" => {
+                return Err(
+                    "usage: lint [--json] [--three-phase] [--verilog FILE | NAME...]".to_owned(),
+                )
+            }
+            name => opts.names.push(name.to_owned()),
+        }
+    }
+    Ok(opts)
+}
+
+/// Convert a benchmark to 3-phase so the phase-legality rules apply.
+fn convert(nl: &Netlist) -> Result<Netlist, String> {
+    let mut pre = nl.clone();
+    gated_clock_style(&mut pre, 32).map_err(|e| e.to_string())?;
+    let pre = pre.compact();
+    let idx = pre.index();
+    let graph = extract_ff_graph(&pre, &idx).map_err(|e| e.to_string())?;
+    let assignment = assign_phases(&graph, &PhaseConfig::default());
+    let (tp, _) = to_three_phase(&pre, &assignment).map_err(|e| e.to_string())?;
+    Ok(tp)
+}
+
+fn lint_one(nl: &Netlist, stage: LintStage, json: bool) -> Report {
+    let report = Linter::new().run(nl, stage);
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        print!("{report}");
+    }
+    report
+}
+
+fn run() -> Result<bool, String> {
+    let opts = parse_args()?;
+    let linted: Vec<Report> = if let Some(path) = &opts.verilog {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let nl = verilog::from_verilog(&text).map_err(|e| format!("{path}: {e}"))?;
+        let nl = if opts.three_phase { convert(&nl)? } else { nl };
+        let stage = if opts.three_phase {
+            LintStage::Convert
+        } else {
+            LintStage::Input
+        };
+        vec![lint_one(&nl, stage, opts.json)]
+    } else {
+        let all = benchmarks();
+        let selected: Vec<_> = if opts.names.is_empty() {
+            all.iter().collect()
+        } else {
+            opts.names
+                .iter()
+                .map(|n| {
+                    all.iter().find(|b| b.name == n).ok_or_else(|| {
+                        let known: Vec<_> = all.iter().map(|b| b.name).collect();
+                        format!("unknown benchmark {n:?}; known: {known:?}")
+                    })
+                })
+                .collect::<Result<_, String>>()?
+        };
+        selected
+            .iter()
+            .map(|b| {
+                let nl = b.build();
+                let (nl, stage) = if opts.three_phase {
+                    (convert(&nl)?, LintStage::Convert)
+                } else {
+                    (nl, LintStage::Input)
+                };
+                Ok(lint_one(&nl, stage, opts.json))
+            })
+            .collect::<Result<_, String>>()?
+    };
+    Ok(linted.iter().all(Report::is_clean))
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

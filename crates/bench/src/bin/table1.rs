@@ -17,8 +17,18 @@ fn main() {
     println!("Table I: # of Regs and Total Area (um^2)");
     println!(
         "{:<8}{:<9} | {:>7} {:>7} {:>7} {:>8} {:>8} | {:>9} {:>9} {:>9} {:>8} {:>8}",
-        "Group", "Design", "FF", "M-S", "3-P", "Sv2FF%", "SvM-S%", "AreaFF", "AreaM-S", "Area3P",
-        "SvFF%", "SvM-S%"
+        "Group",
+        "Design",
+        "FF",
+        "M-S",
+        "3-P",
+        "Sv2FF%",
+        "SvM-S%",
+        "AreaFF",
+        "AreaM-S",
+        "Area3P",
+        "SvFF%",
+        "SvM-S%"
     );
     let mut acc: Vec<(Group, [f64; 4])> = Vec::new();
     for (b, r) in &rows {

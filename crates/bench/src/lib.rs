@@ -13,6 +13,8 @@
 //! reduced configuration for smoke testing; the full configuration is the
 //! EXPERIMENTS.md reference.
 
+pub mod microbench;
+
 use triphase_cells::Library;
 use triphase_circuits::cpu::{self, CpuConfig, Workload};
 use triphase_circuits::crypto::{aes, des3, md5, sha256};
@@ -354,6 +356,31 @@ pub fn mean(values: &[f64]) -> f64 {
     }
 }
 
+/// Run the whole suite at a scale, printing per-row progress to stderr.
+///
+/// # Errors
+///
+/// Fails fast on the first benchmark whose flow fails validation.
+pub fn run_suite(scale: Scale) -> triphase_core::Result<Vec<(Benchmark, FlowReport)>> {
+    let lib = Library::synthetic_28nm();
+    let mut out = Vec::new();
+    for b in suite(scale) {
+        let t0 = std::time::Instant::now();
+        eprint!("[{}] {:>8} ... ", b.group.label(), b.name);
+        let report = b.run(&lib, scale)?;
+        eprintln!(
+            "done in {:.1}s (equiv {})",
+            t0.elapsed().as_secs_f64(),
+            match (report.equiv_ms, report.equiv_3p) {
+                (Some(true), Some(true)) => "ok",
+                _ => "SKIPPED/FAILED",
+            }
+        );
+        out.push((b, report));
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -393,29 +420,4 @@ mod tests {
         assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
         assert_eq!(mean(&[]), 0.0);
     }
-}
-
-/// Run the whole suite at a scale, printing per-row progress to stderr.
-///
-/// # Errors
-///
-/// Fails fast on the first benchmark whose flow fails validation.
-pub fn run_suite(scale: Scale) -> triphase_core::Result<Vec<(Benchmark, FlowReport)>> {
-    let lib = Library::synthetic_28nm();
-    let mut out = Vec::new();
-    for b in suite(scale) {
-        let t0 = std::time::Instant::now();
-        eprint!("[{}] {:>8} ... ", b.group.label(), b.name);
-        let report = b.run(&lib, scale)?;
-        eprintln!(
-            "done in {:.1}s (equiv {})",
-            t0.elapsed().as_secs_f64(),
-            match (report.equiv_ms, report.equiv_3p) {
-                (Some(true), Some(true)) => "ok",
-                _ => "SKIPPED/FAILED",
-            }
-        );
-        out.push((b, report));
-    }
-    Ok(out)
 }

@@ -1,0 +1,59 @@
+//! Minimal wall-clock micro-benchmark harness for the `benches/` targets.
+//!
+//! The container builds hermetically (no external registry), so the bench
+//! targets are plain `harness = false` mains timed with `std::time`:
+//! median-of-N wall-clock samples after one warm-up iteration. Invoke via
+//! `cargo bench` (full samples) or with `--quick` for a single sample.
+
+use std::time::Instant;
+
+/// Number of timed samples, honouring `--quick` / `TRIPHASE_SCALE=quick`.
+pub fn samples(full: usize) -> usize {
+    let quick = std::env::args().any(|a| a == "--quick")
+        || std::env::var("TRIPHASE_SCALE").is_ok_and(|v| v == "quick");
+    if quick {
+        1
+    } else {
+        full
+    }
+}
+
+/// Time `f` for `samples` iterations (after one warm-up) and print the
+/// median/best wall-clock time. The closure's result is black-boxed so
+/// the optimizer cannot elide the work.
+pub fn time<T>(name: &str, samples: usize, mut f: impl FnMut() -> T) {
+    let _ = std::hint::black_box(f());
+    let mut secs = Vec::with_capacity(samples.max(1));
+    for _ in 0..samples.max(1) {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        secs.push(t0.elapsed().as_secs_f64());
+    }
+    secs.sort_by(f64::total_cmp);
+    let median = secs[secs.len() / 2];
+    println!(
+        "{name:<44} median {:>9.3} ms  best {:>9.3} ms  ({} samples)",
+        median * 1e3,
+        secs[0] * 1e3,
+        secs.len()
+    );
+}
+
+/// [`time`] with a throughput annotation (elements per iteration).
+pub fn time_throughput<T>(name: &str, samples: usize, elements: u64, mut f: impl FnMut() -> T) {
+    let _ = std::hint::black_box(f());
+    let mut secs = Vec::with_capacity(samples.max(1));
+    for _ in 0..samples.max(1) {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        secs.push(t0.elapsed().as_secs_f64());
+    }
+    secs.sort_by(f64::total_cmp);
+    let median = secs[secs.len() / 2];
+    println!(
+        "{name:<44} median {:>9.3} ms  {:>12.0} elem/s  ({} samples)",
+        median * 1e3,
+        elements as f64 / median,
+        secs.len()
+    );
+}

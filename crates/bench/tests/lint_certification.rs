@@ -1,0 +1,145 @@
+//! Lint certification: the analyzer reports zero errors on every circuit
+//! generator (no false positives), `LintPolicy::Deny` flows pass end to
+//! end, and deliberately corrupted netlists are rejected with the right
+//! rule codes.
+
+use triphase_bench::{benchmarks, quick_benchmarks, Scale};
+use triphase_cells::{CellKind, Library};
+use triphase_circuits::iscas::s27;
+use triphase_circuits::pipeline::linear_pipeline;
+use triphase_core::{
+    assign_phases, extract_ff_graph, gated_clock_style, run_flow, to_three_phase, Error, LintPolicy,
+};
+use triphase_ilp::PhaseConfig;
+use triphase_lint::{LintStage, Linter};
+use triphase_netlist::Netlist;
+
+/// Every registered benchmark generator (all ISCAS89 profiles, the CEP
+/// crypto cores, and the CPUs) plus the free-standing generators produce
+/// structurally clean netlists.
+#[test]
+fn every_generator_is_lint_clean() {
+    let linter = Linter::new();
+    for b in benchmarks() {
+        let report = linter.run(&b.build(), LintStage::Input);
+        assert!(
+            report.errors().is_empty(),
+            "{}: false positives:\n{report}",
+            b.name
+        );
+    }
+    for (name, nl) in [
+        ("linear_pipeline", linear_pipeline(5, 8, 2, 900.0)),
+        ("s27", s27(1000.0)),
+    ] {
+        let report = linter.run(&nl, LintStage::Input);
+        assert!(
+            report.errors().is_empty(),
+            "{name}: false positives:\n{report}"
+        );
+    }
+}
+
+/// The full flow under `LintPolicy::Deny` succeeds on the quick benchmark
+/// set — every per-stage checkpoint is clean on real designs.
+#[test]
+fn deny_policy_flows_pass_on_quick_benchmarks() {
+    let lib = Library::synthetic_28nm();
+    for b in quick_benchmarks() {
+        let mut cfg = b.flow_config(Scale::Quick);
+        cfg.lint = LintPolicy::Deny;
+        let report = run_flow(&b.build(), &lib, &cfg)
+            .unwrap_or_else(|e| panic!("{}: deny flow failed: {e}", b.name));
+        assert_eq!(report.lint.len(), 4, "{}: one report per stage", b.name);
+        assert!(
+            report.lint.iter().all(|r| r.errors().is_empty()),
+            "{}: checkpoint errors slipped past Deny",
+            b.name
+        );
+    }
+}
+
+/// An injected combinational loop aborts a `Deny` flow at the first
+/// checkpoint with the loop rule code.
+#[test]
+fn injected_comb_loop_fails_deny_flow_with_s001() {
+    let mut nl = linear_pipeline(4, 4, 1, 900.0);
+    let x = nl.add_net("loop_x");
+    let y = nl.add_net("loop_y");
+    nl.add_cell("loop_i1", CellKind::Inv, vec![x, y]);
+    nl.add_cell("loop_i2", CellKind::Inv, vec![y, x]);
+    nl.add_output("loop_out", y);
+    let lib = Library::synthetic_28nm();
+    let cfg = triphase_core::FlowConfig {
+        lint: LintPolicy::Deny,
+        ..triphase_core::FlowConfig::default()
+    };
+    match run_flow(&nl, &lib, &cfg) {
+        Err(Error::Lint(report)) => {
+            assert!(report.has("S001"), "want S001 in: {report}");
+            assert_eq!(report.stage, Some(LintStage::Preprocess));
+        }
+        other => panic!("expected lint rejection, got {other:?}"),
+    }
+}
+
+/// A net shorted between two drivers is rejected with the multi-driver code.
+#[test]
+fn injected_multi_driven_net_is_rejected_with_s002() {
+    let mut nl = linear_pipeline(4, 4, 1, 900.0);
+    let victim = nl
+        .cells()
+        .find(|(_, c)| !c.kind.is_storage() && c.kind != CellKind::Const0)
+        .map(|(_, c)| c.output())
+        .expect("pipeline has comb gates");
+    let (_, a) = nl.add_input("short_a");
+    nl.add_cell("short_buf", CellKind::Buf, vec![a, victim]);
+    let report = Linter::new().run(&nl, LintStage::Input);
+    assert!(report.has("S002"), "want S002 in: {report}");
+    assert!(!report.is_clean());
+}
+
+/// Rewiring a converted latch onto its predecessor's phase recreates the
+/// co-transparency hazard and is rejected with the phase-order code.
+#[test]
+fn injected_same_phase_latch_pair_is_rejected_with_p001() {
+    // Convert a pipeline for real, then corrupt one latch's gate.
+    let mut pre = linear_pipeline(4, 4, 1, 900.0);
+    gated_clock_style(&mut pre, 32).unwrap();
+    let pre = pre.compact();
+    let idx = pre.index();
+    let graph = extract_ff_graph(&pre, &idx).unwrap();
+    let assignment = assign_phases(&graph, &PhaseConfig::default());
+    let (mut tp, _) = to_three_phase(&pre, &assignment).unwrap();
+
+    assert!(
+        Linter::new()
+            .run(&tp, LintStage::Convert)
+            .errors()
+            .is_empty(),
+        "converted pipeline must start clean"
+    );
+    let (victim, gate_net) = latch_fed_by_latch(&tp).expect("latch pair exists");
+    tp.set_pin(victim, 1, gate_net); // G pin: same phase as the feeder
+    let report = Linter::new().run(&tp, LintStage::Convert);
+    assert!(report.has("P001"), "want P001 in: {report}");
+}
+
+/// Find a latch whose `D` is driven by another latch; return it and the
+/// feeder's gate net.
+fn latch_fed_by_latch(nl: &Netlist) -> Option<(triphase_netlist::CellId, triphase_netlist::NetId)> {
+    let idx = nl.index();
+    for (id, cell) in nl.cells() {
+        if !cell.kind.is_latch() {
+            continue;
+        }
+        let d = cell.pin(cell.kind.data_pin().expect("latch has D"));
+        if let Some(driver) = idx.driver(d) {
+            let feeder = nl.cell(driver.cell);
+            if feeder.kind.is_latch() {
+                return Some((id, feeder.pin(1)));
+            }
+        }
+    }
+    None
+}

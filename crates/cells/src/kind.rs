@@ -372,7 +372,10 @@ impl CellKind {
 
     /// Parse a canonical library cell name produced by [`CellKind::lib_name`].
     pub fn from_lib_name(name: &str) -> Option<CellKind> {
-        let base = name.strip_suffix("_X1").or(name.strip_suffix("_X4")).unwrap_or(name);
+        let base = name
+            .strip_suffix("_X1")
+            .or(name.strip_suffix("_X4"))
+            .unwrap_or(name);
         let fixed = match base {
             "TIELO" => Some(CellKind::Const0),
             "TIEHI" => Some(CellKind::Const1),

@@ -55,9 +55,15 @@ pub fn to_liberty(lib: &Library) -> String {
         let _ = writeln!(out, "    area : {:.3};", cell.area);
         let _ = writeln!(out, "    cell_leakage_power : {:.3};", cell.leakage_nw);
         if kind.is_ff() {
-            let _ = writeln!(out, "    ff (IQ, IQN) {{ clocked_on : \"CK\"; next_state : \"D\"; }}");
+            let _ = writeln!(
+                out,
+                "    ff (IQ, IQN) {{ clocked_on : \"CK\"; next_state : \"D\"; }}"
+            );
         } else if kind.is_latch() {
-            let _ = writeln!(out, "    latch (IQ, IQN) {{ enable : \"G\"; data_in : \"D\"; }}");
+            let _ = writeln!(
+                out,
+                "    latch (IQ, IQN) {{ enable : \"G\"; data_in : \"D\"; }}"
+            );
         } else if kind.is_clock_gate() {
             let _ = writeln!(out, "    clock_gating_integrated_cell : \"latch_posedge\";");
         }

@@ -131,22 +131,19 @@ impl Library {
     fn characterize(&self, kind: CellKind) -> LibCell {
         let p = self.params;
         // Helper to scale relative to the unit inverter.
-        let mk = |area_x: f64,
-                  cap_x: f64,
-                  delay_x: f64,
-                  res_x: f64,
-                  energy_x: f64,
-                  leak_x: f64| LibCell {
-            kind,
-            area: p.inv_area * area_x,
-            input_cap_ff: p.inv_cap * cap_x,
-            clock_cap_ff: p.inv_cap * cap_x,
-            intrinsic_ps: p.inv_delay * delay_x,
-            res_ps_per_ff: p.inv_res * res_x,
-            internal_energy_fj: p.inv_energy * energy_x,
-            clock_energy_fj: 0.0,
-            leakage_nw: p.inv_leak * leak_x,
-            timing: TimingParams::default(),
+        let mk = |area_x: f64, cap_x: f64, delay_x: f64, res_x: f64, energy_x: f64, leak_x: f64| {
+            LibCell {
+                kind,
+                area: p.inv_area * area_x,
+                input_cap_ff: p.inv_cap * cap_x,
+                clock_cap_ff: p.inv_cap * cap_x,
+                intrinsic_ps: p.inv_delay * delay_x,
+                res_ps_per_ff: p.inv_res * res_x,
+                internal_energy_fj: p.inv_energy * energy_x,
+                clock_energy_fj: 0.0,
+                leakage_nw: p.inv_leak * leak_x,
+                timing: TimingParams::default(),
+            }
         };
         let narity = |n: u8| n as f64;
         match kind {

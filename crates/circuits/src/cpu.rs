@@ -19,7 +19,7 @@
 //! the paper's Fig. 4 needs.
 
 use crate::iscas::SplitMix;
-use triphase_netlist::{Builder, CellKind, ClockSpec, Netlist, NetId, Word};
+use triphase_netlist::{Builder, CellKind, ClockSpec, NetId, Netlist, Word};
 
 /// Opcodes (field `instr[3:0]`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -154,7 +154,10 @@ pub fn generate_program(cfg: &CpuConfig, seed: u64) -> Vec<u32> {
     let mut rom = vec![encode(Op::Nop, 0, 0, 0, 0); ROM_WORDS];
     let mut rng = SplitMix(seed ^ 0xC0DE_C0DE_0000_0001);
     let half = ROM_WORDS / 2;
-    for (seg, workload) in [(0usize, Workload::DhrystoneLike), (1, Workload::CoremarkLike)] {
+    for (seg, workload) in [
+        (0usize, Workload::DhrystoneLike),
+        (1, Workload::CoremarkLike),
+    ] {
         let base = seg * half;
         for i in 0..half {
             let pick = rng.below(100);
@@ -424,7 +427,13 @@ fn shl1(b: &mut Builder, w: &Word) -> Word {
 fn shr1(b: &mut Builder, w: &Word) -> Word {
     let zero = b.const0();
     (0..w.width())
-        .map(|i| if i + 1 < w.width() { w.bit(i + 1) } else { zero })
+        .map(|i| {
+            if i + 1 < w.width() {
+                w.bit(i + 1)
+            } else {
+                zero
+            }
+        })
         .collect()
 }
 
@@ -466,12 +475,36 @@ pub fn cpu_core(cfg: &CpuConfig, rom: &[u32]) -> Netlist {
     let ir_e = mk_reg(&mut b, "ire_", 32);
     // 5-stage extras.
     let five = cfg.stages == 5;
-    let ir_d = if five { mk_reg(&mut b, "ird_", 32) } else { Word(vec![]) };
-    let e_a = if five { mk_reg(&mut b, "ea_", w) } else { Word(vec![]) };
-    let e_b = if five { mk_reg(&mut b, "eb_", w) } else { Word(vec![]) };
-    let m_val = if five { mk_reg(&mut b, "mv_", w) } else { Word(vec![]) };
-    let m_rd = if five { mk_reg(&mut b, "mrd_", rb) } else { Word(vec![]) };
-    let m_flags = if five { mk_reg(&mut b, "mf_", 2) } else { Word(vec![]) }; // wen, out
+    let ir_d = if five {
+        mk_reg(&mut b, "ird_", 32)
+    } else {
+        Word(vec![])
+    };
+    let e_a = if five {
+        mk_reg(&mut b, "ea_", w)
+    } else {
+        Word(vec![])
+    };
+    let e_b = if five {
+        mk_reg(&mut b, "eb_", w)
+    } else {
+        Word(vec![])
+    };
+    let m_val = if five {
+        mk_reg(&mut b, "mv_", w)
+    } else {
+        Word(vec![])
+    };
+    let m_rd = if five {
+        mk_reg(&mut b, "mrd_", rb)
+    } else {
+        Word(vec![])
+    };
+    let m_flags = if five {
+        mk_reg(&mut b, "mf_", 2)
+    } else {
+        Word(vec![])
+    }; // wen, out
     let wb_val = mk_reg(&mut b, "wbv_", w);
     let wb_rd = mk_reg(&mut b, "wbrd_", rb);
     let wb_flags = mk_reg(&mut b, "wbf_", 2); // wen, out

@@ -12,7 +12,7 @@
 //! Bit conventions: port `pt_{8·i+j}` is bit `j` (LSB first) of plaintext
 //! byte `i` in FIPS byte order; likewise `key_*` and `ct_*`.
 
-use triphase_netlist::{Builder, ClockSpec, Netlist, NetId, Word};
+use triphase_netlist::{Builder, ClockSpec, NetId, Netlist, Word};
 
 /// AES irreducible polynomial x⁸+x⁴+x³+x+1.
 const POLY: u16 = 0x11b;
@@ -209,12 +209,7 @@ fn shift_rows(state: &[ByteW; 16]) -> [ByteW; 16] {
     out.try_into().expect("16 bytes")
 }
 
-fn key_expand_gate(
-    b: &mut Builder,
-    rk: &[ByteW; 16],
-    rcon: u8,
-    table: &[u64; 256],
-) -> [ByteW; 16] {
+fn key_expand_gate(b: &mut Builder, rk: &[ByteW; 16], rcon: u8, table: &[u64; 256]) -> [ByteW; 16] {
     let s13 = sbox_gate(b, &rk[13], table);
     let s14 = sbox_gate(b, &rk[14], table);
     let s15 = sbox_gate(b, &rk[15], table);
@@ -274,7 +269,9 @@ pub fn aes128_pipelined(period_ps: f64) -> Netlist {
     // Every stage's data registers are enabled by the valid bit entering
     // the stage.
     let mut state: [ByteW; 16] = {
-        let mixed: Vec<ByteW> = (0..16).map(|i| xor_bytes(&mut b, &pt[i], &key[i])).collect();
+        let mixed: Vec<ByteW> = (0..16)
+            .map(|i| xor_bytes(&mut b, &pt[i], &key[i]))
+            .collect();
         let arr: [ByteW; 16] = mixed.try_into().expect("16 bytes");
         reg_block(&mut b, &arr, ck)
     };
@@ -332,16 +329,16 @@ mod tests {
     #[test]
     fn software_matches_fips197() {
         let key: [u8; 16] = [
-            0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0a, 0x0b, 0x0c,
-            0x0d, 0x0e, 0x0f,
+            0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d,
+            0x0e, 0x0f,
         ];
         let pt: [u8; 16] = [
-            0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99, 0xaa, 0xbb, 0xcc,
-            0xdd, 0xee, 0xff,
+            0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd,
+            0xee, 0xff,
         ];
         let expect: [u8; 16] = [
-            0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80, 0x70,
-            0xb4, 0xc5, 0x5a,
+            0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4,
+            0xc5, 0x5a,
         ];
         assert_eq!(aes128_encrypt_sw(&key, &pt), expect);
     }
@@ -384,12 +381,12 @@ mod tests {
         let mut sim = Simulator::new(&nl).unwrap();
         sim.reset_zero();
         let key: [u8; 16] = [
-            0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0a, 0x0b, 0x0c,
-            0x0d, 0x0e, 0x0f,
+            0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d,
+            0x0e, 0x0f,
         ];
         let pt: [u8; 16] = [
-            0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99, 0xaa, 0xbb, 0xcc,
-            0xdd, 0xee, 0xff,
+            0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd,
+            0xee, 0xff,
         ];
         set_block(&mut sim, &nl, "pt", &pt);
         set_block(&mut sim, &nl, "key", &key);
@@ -401,7 +398,11 @@ mod tests {
             sim.step_cycle();
         }
         let vout = nl.find_port("valid_out").unwrap();
-        assert_eq!(sim.output(vout), Logic::One, "valid 11 cycles after capture");
+        assert_eq!(
+            sim.output(vout),
+            Logic::One,
+            "valid 11 cycles after capture"
+        );
         let ct = read_block(&sim, &nl, "ct");
         assert_eq!(ct, aes128_encrypt_sw(&key, &pt), "FIPS-197 vector");
     }

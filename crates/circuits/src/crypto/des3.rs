@@ -171,8 +171,11 @@ pub fn des3_core(spec: &Des3Spec, period_ps: f64) -> Netlist {
     let clock_in = |b: &mut Builder, q: &Word, next: &Word, loadv: &Word, name: &str| {
         let d = b.mux_word(next, loadv, load_d);
         for (i, (&qn, &dn)) in q.bits().iter().zip(d.bits()).enumerate() {
-            b.netlist()
-                .add_cell(format!("ff_{name}{i}"), CellKind::DffEn, vec![dn, en, ck, qn]);
+            b.netlist().add_cell(
+                format!("ff_{name}{i}"),
+                CellKind::DffEn,
+                vec![dn, en, ck, qn],
+            );
         }
     };
     clock_in(&mut b, &l_reg.clone(), &new_l, &block_r.slice(0, 32), "l_");
@@ -234,7 +237,11 @@ mod tests {
         let spec = Des3Spec::new(7);
         let nl = des3_core(&spec, 2000.0);
         nl.validate().unwrap();
-        assert_eq!(nl.stats().ffs, 32 + 32 + 64 + 6 + 128 + 1, "core + bus capture + load delay");
+        assert_eq!(
+            nl.stats().ffs,
+            32 + 32 + 64 + 6 + 128 + 1,
+            "core + bus capture + load delay"
+        );
         let key = 0x0123_4567_89ab_cdefu64;
         let block = 0xdead_beef_cafe_f00du64;
         let expect = spec.encrypt_sw(key, block);

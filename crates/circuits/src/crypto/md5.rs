@@ -138,7 +138,9 @@ pub fn md5_core(period_ps: f64) -> Netlist {
             .map(|i| b.netlist().add_net(format!("{name}{i}")))
             .collect()
     };
-    let m_regs: Vec<Word> = (0..16).map(|i| mk_reg(&mut b, &format!("m{i}_"), 32)).collect();
+    let m_regs: Vec<Word> = (0..16)
+        .map(|i| mk_reg(&mut b, &format!("m{i}_"), 32))
+        .collect();
     let va = mk_reg(&mut b, "a_", 32);
     let vb = mk_reg(&mut b, "b_", 32);
     let vc = mk_reg(&mut b, "c_", 32);
@@ -215,16 +217,22 @@ pub fn md5_core(period_ps: f64) -> Netlist {
     let clock_in = |b: &mut Builder, q: &Word, next: &Word, loadv: &Word, name: &str| {
         let d = b.mux_word(next, loadv, load_d);
         for (i, (&qn, &dn)) in q.bits().iter().zip(d.bits()).enumerate() {
-            b.netlist()
-                .add_cell(format!("ff_{name}{i}"), CellKind::DffEn, vec![dn, en, ck, qn]);
+            b.netlist().add_cell(
+                format!("ff_{name}{i}"),
+                CellKind::DffEn,
+                vec![dn, en, ck, qn],
+            );
         }
     };
     // Message registers only ever change on load.
     for (i, m) in m_regs.iter().enumerate() {
         let loadv = block_r.slice(32 * i, 32);
         for (j, (&qn, &dn)) in m.bits().iter().zip(loadv.bits()).enumerate() {
-            b.netlist()
-                .add_cell(format!("ff_m{i}_{j}"), CellKind::DffEn, vec![dn, load_d, ck, qn]);
+            b.netlist().add_cell(
+                format!("ff_m{i}_{j}"),
+                CellKind::DffEn,
+                vec![dn, load_d, ck, qn],
+            );
         }
     }
     // (a, b, c, d) <- (d, b + rot, b, c)
@@ -273,16 +281,16 @@ mod tests {
         assert_eq!(
             empty,
             [
-                0xd4, 0x1d, 0x8c, 0xd9, 0x8f, 0x00, 0xb2, 0x04, 0xe9, 0x80, 0x09, 0x98,
-                0xec, 0xf8, 0x42, 0x7e
+                0xd4, 0x1d, 0x8c, 0xd9, 0x8f, 0x00, 0xb2, 0x04, 0xe9, 0x80, 0x09, 0x98, 0xec, 0xf8,
+                0x42, 0x7e
             ]
         );
         let abc = md5_sw(b"abc");
         assert_eq!(
             abc,
             [
-                0x90, 0x01, 0x50, 0x98, 0x3c, 0xd2, 0x4f, 0xb0, 0xd6, 0x96, 0x3f, 0x7d,
-                0x28, 0xe1, 0x7f, 0x72
+                0x90, 0x01, 0x50, 0x98, 0x3c, 0xd2, 0x4f, 0xb0, 0xd6, 0x96, 0x3f, 0x7d, 0x28, 0xe1,
+                0x7f, 0x72
             ]
         );
     }
@@ -307,7 +315,11 @@ mod tests {
     fn gate_level_matches_software() {
         let nl = md5_core(2000.0);
         nl.validate().unwrap();
-        assert_eq!(nl.stats().ffs, 512 + 128 + 7 + 512 + 1, "core + bus capture + load delay");
+        assert_eq!(
+            nl.stats().ffs,
+            512 + 128 + 7 + 512 + 1,
+            "core + bus capture + load delay"
+        );
         // Compress the padded empty-message block.
         let mut padded = vec![0x80u8];
         while padded.len() % 64 != 56 {

@@ -9,7 +9,7 @@
 //! Bit conventions: port `block_{32·w+j}` is bit `j` (LSB first) of
 //! big-endian message word `W_w`; `digest_{32·w+j}` likewise.
 
-use triphase_netlist::{Builder, CellKind, ClockSpec, Netlist, NetId, Word};
+use triphase_netlist::{Builder, CellKind, ClockSpec, NetId, Netlist, Word};
 
 fn primes(n: usize) -> Vec<u64> {
     let mut out = Vec::with_capacity(n);
@@ -201,8 +201,12 @@ pub fn sha256_core(period_ps: f64) -> Netlist {
             .map(|i| b.netlist().add_net(format!("{name}{i}")))
             .collect()
     };
-    let w_regs: Vec<Word> = (0..16).map(|i| mk_reg(&mut b, &format!("w{i}_"), 32)).collect();
-    let vars: Vec<Word> = (0..8).map(|i| mk_reg(&mut b, &format!("v{i}_"), 32)).collect();
+    let w_regs: Vec<Word> = (0..16)
+        .map(|i| mk_reg(&mut b, &format!("w{i}_"), 32))
+        .collect();
+    let vars: Vec<Word> = (0..8)
+        .map(|i| mk_reg(&mut b, &format!("v{i}_"), 32))
+        .collect();
     let t_reg: Word = mk_reg(&mut b, "t_", 7);
 
     let (a, e) = (vars[0].clone(), vars[4].clone());
@@ -259,8 +263,11 @@ pub fn sha256_core(period_ps: f64) -> Netlist {
     let clock_in = |b: &mut Builder, q: &Word, next: &Word, loadv: &Word, name: &str| {
         let d = b.mux_word(next, loadv, load_d);
         for (i, (&qn, &dn)) in q.bits().iter().zip(d.bits()).enumerate() {
-            b.netlist()
-                .add_cell(format!("ff_{name}{i}"), CellKind::DffEn, vec![dn, en, ck, qn]);
+            b.netlist().add_cell(
+                format!("ff_{name}{i}"),
+                CellKind::DffEn,
+                vec![dn, en, ck, qn],
+            );
         }
     };
     // W shift register.
@@ -332,9 +339,9 @@ mod tests {
     fn software_digest_of_abc() {
         let d = sha256_sw(b"abc");
         let expect: [u8; 32] = [
-            0xba, 0x78, 0x16, 0xbf, 0x8f, 0x01, 0xcf, 0xea, 0x41, 0x41, 0x40, 0xde, 0x5d,
-            0xae, 0x22, 0x23, 0xb0, 0x03, 0x61, 0xa3, 0x96, 0x17, 0x7a, 0x9c, 0xb4, 0x10,
-            0xff, 0x61, 0xf2, 0x00, 0x15, 0xad,
+            0xba, 0x78, 0x16, 0xbf, 0x8f, 0x01, 0xcf, 0xea, 0x41, 0x41, 0x40, 0xde, 0x5d, 0xae,
+            0x22, 0x23, 0xb0, 0x03, 0x61, 0xa3, 0x96, 0x17, 0x7a, 0x9c, 0xb4, 0x10, 0xff, 0x61,
+            0xf2, 0x00, 0x15, 0xad,
         ];
         assert_eq!(d, expect);
     }
@@ -344,7 +351,11 @@ mod tests {
         let nl = sha256_core(2000.0);
         nl.validate().unwrap();
         let s = nl.stats();
-        assert_eq!(s.ffs, 512 + 256 + 7 + 512 + 1, "core + bus capture + load delay");
+        assert_eq!(
+            s.ffs,
+            512 + 256 + 7 + 512 + 1,
+            "core + bus capture + load delay"
+        );
         // Compress the padded "abc" block.
         let mut block = [0u32; 16];
         let mut padded = b"abc".to_vec();

@@ -13,7 +13,7 @@
 //!   re-synthesized controller, is generated fully feedback-dominated and
 //!   shows no latch-count benefit, as in the paper).
 
-use triphase_netlist::{bench_fmt, Builder, CellKind, ClockSpec, Netlist, NetId};
+use triphase_netlist::{bench_fmt, Builder, CellKind, ClockSpec, NetId, Netlist};
 
 pub use triphase_cells::CellKind as GateKind;
 
@@ -86,14 +86,7 @@ pub struct IscasProfile {
 /// controllers dominated by FF feedback, the large circuits are more
 /// pipeline-like).
 pub fn iscas_profiles() -> Vec<IscasProfile> {
-    let p = |name,
-             n_ff,
-             n_pi,
-             n_po,
-             n_gates,
-             selfloop_frac,
-             enable_frac,
-             n_layers| IscasProfile {
+    let p = |name, n_ff, n_pi, n_po, n_gates, selfloop_frac, enable_frac, n_layers| IscasProfile {
         name,
         n_ff,
         n_pi,
@@ -352,8 +345,7 @@ mod tests {
             assert_eq!(s.outputs, p.n_po, "{}", p.name);
             // Gate count within 20% (enable logic and feedback mixers add).
             assert!(
-                s.comb as f64 >= p.n_gates as f64 * 0.9
-                    && s.comb as f64 <= p.n_gates as f64 * 1.35,
+                s.comb as f64 >= p.n_gates as f64 * 0.9 && s.comb as f64 <= p.n_gates as f64 * 1.35,
                 "{}: {} vs {}",
                 p.name,
                 s.comb,
@@ -406,7 +398,10 @@ mod tests {
                 }
             }
         }
-        assert!(selfloops >= 5, "at least the designed self-loops: {selfloops}");
+        assert!(
+            selfloops >= 5,
+            "at least the designed self-loops: {selfloops}"
+        );
     }
 
     #[test]

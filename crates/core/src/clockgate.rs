@@ -239,9 +239,7 @@ pub fn apply_ddcg_placed(
 
     let mut candidates: Vec<(CellId, f64)> = nl
         .cells()
-        .filter(|(id, c)| {
-            c.kind.is_latch() && phases.get(id) == Some(&P2) && c.pin(1) == p2n
-        })
+        .filter(|(id, c)| c.kind.is_latch() && phases.get(id) == Some(&P2) && c.pin(1) == p2n)
         .map(|(id, c)| (id, activity.toggle_rate(c.pin(0))))
         .filter(|&(_, rate)| rate < threshold)
         .collect();

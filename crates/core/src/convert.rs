@@ -74,6 +74,14 @@ pub fn to_three_phase(nl: &Netlist, assignment: &Assignment) -> Result<(Netlist,
         .filter(|(_, c)| c.kind.is_ff())
         .map(|(id, _)| id)
         .collect();
+    if assignment.k.len() != ffs.len() || assignment.g.len() != ffs.len() {
+        return Err(Error::BadInput(format!(
+            "assignment covers {} (K) / {} (G) FFs but the design has {}",
+            assignment.k.len(),
+            assignment.g.len(),
+            ffs.len()
+        )));
+    }
     for &ff in &ffs {
         let cell = nl.cell(ff);
         if cell.kind != CellKind::Dff {
@@ -276,6 +284,22 @@ mod tests {
         let g = extract_ff_graph(nl, &idx).unwrap();
         let a = assign_phases(&g, &PhaseConfig::default());
         to_three_phase(nl, &a).unwrap()
+    }
+
+    #[test]
+    fn assignment_length_mismatch_is_bad_input() {
+        let nl = linear_pipeline(3, 2, 1, 900.0);
+        let idx = nl.index();
+        let g = extract_ff_graph(&nl, &idx).unwrap();
+        let mut a = assign_phases(&g, &PhaseConfig::default());
+        // Drop one FF's K entry: the assignment no longer covers the design.
+        let victim = *a.k.keys().next().unwrap();
+        a.k.remove(&victim);
+        let err = to_three_phase(&nl, &a).unwrap_err();
+        assert!(
+            matches!(&err, Error::BadInput(m) if m.contains("assignment covers")),
+            "{err}"
+        );
     }
 
     #[test]

@@ -25,6 +25,9 @@ pub enum Error {
     BadInput(String),
     /// Post-conversion validation failed (equivalence or constraint C2).
     ValidationFailed(String),
+    /// A lint checkpoint found error-severity violations while the flow
+    /// ran with [`crate::LintPolicy::Deny`]. The full report is attached.
+    Lint(Box<triphase_lint::Report>),
 }
 
 impl fmt::Display for Error {
@@ -38,6 +41,18 @@ impl fmt::Display for Error {
             Error::Power(e) => write!(f, "power estimation error: {e}"),
             Error::BadInput(m) => write!(f, "bad input design: {m}"),
             Error::ValidationFailed(m) => write!(f, "validation failed: {m}"),
+            Error::Lint(report) => {
+                let stage = report.stage.map_or("-", |s| s.as_str());
+                write!(
+                    f,
+                    "lint failed at stage {stage}: {} error(s)",
+                    report.errors().len()
+                )?;
+                if let Some(first) = report.errors().first() {
+                    write!(f, "; first: {first}")?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -85,5 +100,25 @@ mod tests {
         assert!(std::error::Error::source(&e).is_some());
         let e: Error = triphase_sim::Error::NoClock.into();
         assert!(e.to_string().contains("clock"));
+    }
+
+    #[test]
+    fn lint_error_displays_stage_and_first_finding() {
+        use triphase_lint::{Diagnostic, LintStage, Location, Report, Severity};
+        let e = Error::Lint(Box::new(Report {
+            design: "d".into(),
+            stage: Some(LintStage::Convert),
+            diagnostics: vec![Diagnostic {
+                code: "P004",
+                rule: "residual-ff",
+                severity: Severity::Error,
+                location: Location::Design,
+                message: "ff left".into(),
+            }],
+        }));
+        let text = e.to_string();
+        assert!(text.contains("stage convert"), "{text}");
+        assert!(text.contains("1 error(s)"), "{text}");
+        assert!(text.contains("P004"), "{text}");
     }
 }

@@ -69,8 +69,7 @@ pub fn extract_ff_graph(nl: &Netlist, idx: &ConnIndex) -> Result<FfGraph> {
         .filter(|(_, c)| c.kind.is_ff())
         .map(|(id, _)| id)
         .collect();
-    let node_of: HashMap<CellId, usize> =
-        ffs.iter().enumerate().map(|(i, &c)| (c, i)).collect();
+    let node_of: HashMap<CellId, usize> = ffs.iter().enumerate().map(|(i, &c)| (c, i)).collect();
 
     let fo: Vec<Vec<usize>> = ffs
         .iter()

@@ -12,6 +12,7 @@ use crate::retiming::{retime_three_phase, RetimeReport};
 use std::time::Instant;
 use triphase_cells::Library;
 use triphase_ilp::PhaseConfig;
+use triphase_lint::{LintStage, Linter};
 use triphase_netlist::{Netlist, NetlistStats};
 use triphase_pnr::{place_and_route, Layout, PnrOptions};
 use triphase_power::{estimate_power, PowerReport};
@@ -22,6 +23,25 @@ use triphase_timing::analyze_smo;
 /// variant. The default drives seeded pseudo-random inputs; CPU
 /// benchmarks substitute a closure that pins the workload-select input.
 pub type Drive<'a> = dyn Fn(&Netlist, u64) -> triphase_sim::Result<Activity> + 'a;
+
+/// How the per-stage static-analysis checkpoints behave during the flow.
+///
+/// With [`LintPolicy::Warn`] (the default) or [`LintPolicy::Deny`], the
+/// full [`Linter`] registry runs after preprocessing, conversion,
+/// retiming, and clock gating; the reports are collected in
+/// [`FlowReport::lint`]. `Deny` additionally aborts the flow with
+/// [`Error::Lint`] as soon as a checkpoint reports an error-severity
+/// finding (warnings never fail a flow).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LintPolicy {
+    /// Skip the checkpoints entirely.
+    Off,
+    /// Run the checkpoints and collect reports; never fail.
+    #[default]
+    Warn,
+    /// Run the checkpoints and fail on any error-severity finding.
+    Deny,
+}
 
 /// Flow configuration.
 #[derive(Debug, Clone)]
@@ -51,6 +71,8 @@ pub struct FlowConfig {
     pub pnr: PnrOptions,
     /// ILP search budget.
     pub phase_cfg: PhaseConfig,
+    /// Static-analysis checkpoint policy.
+    pub lint: LintPolicy,
 }
 
 impl Default for FlowConfig {
@@ -68,8 +90,30 @@ impl Default for FlowConfig {
             cg_max_fanout: 32,
             pnr: PnrOptions::default(),
             phase_cfg: PhaseConfig::default(),
+            lint: LintPolicy::default(),
         }
     }
+}
+
+/// Run one lint checkpoint under `policy`, appending the report to
+/// `reports` and failing on error findings under [`LintPolicy::Deny`].
+fn lint_checkpoint(
+    linter: Option<&Linter>,
+    policy: LintPolicy,
+    nl: &Netlist,
+    stage: LintStage,
+    reports: &mut Vec<triphase_lint::Report>,
+) -> Result<()> {
+    let Some(linter) = linter else {
+        return Ok(());
+    };
+    let report = linter.run(nl, stage);
+    let deny = policy == LintPolicy::Deny && !report.is_clean();
+    if deny {
+        return Err(Error::Lint(Box::new(report)));
+    }
+    reports.push(report);
+    Ok(())
 }
 
 /// Evaluation of one design variant after P&R.
@@ -137,6 +181,10 @@ pub struct FlowReport {
     pub equiv_ms: Option<bool>,
     /// FF vs 3-phase equivalence.
     pub equiv_3p: Option<bool>,
+    /// Per-stage lint reports (empty when [`FlowConfig::lint`] is
+    /// [`LintPolicy::Off`]), in checkpoint order: preprocess, convert,
+    /// retime (if run), clockgate.
+    pub lint: Vec<triphase_lint::Report>,
 }
 
 impl FlowReport {
@@ -191,9 +239,19 @@ pub fn run_flow_with(
 ) -> Result<FlowReport> {
     // Shared preprocessing: the FF baseline also uses gated clocks (the
     // paper lets the tool pick the best CG style for every variant).
+    let linter = (cfg.lint != LintPolicy::Off).then(Linter::new);
+    let mut lint_reports = Vec::new();
+
     let mut pre = nl.clone();
     let preprocess = gated_clock_style(&mut pre, cfg.cg_max_fanout)?;
     let pre = pre.compact();
+    lint_checkpoint(
+        linter.as_ref(),
+        cfg.lint,
+        &pre,
+        LintStage::Preprocess,
+        &mut lint_reports,
+    )?;
 
     // Master-slave baseline.
     let ms_nl = to_master_slave(&pre)?;
@@ -205,11 +263,25 @@ pub fn run_flow_with(
     let assignment = assign_phases(&graph, &cfg.phase_cfg);
     let ilp_seconds = assignment.solve_seconds;
     let (mut tp, convert_report) = to_three_phase(&pre, &assignment)?;
+    lint_checkpoint(
+        linter.as_ref(),
+        cfg.lint,
+        &tp,
+        LintStage::Convert,
+        &mut lint_reports,
+    )?;
     let mut retime_report = None;
     if cfg.retime {
         let (rt, rr) = retime_three_phase(&tp, lib, cfg.retime_target_ratio)?;
         tp = rt;
         retime_report = Some(rr);
+        lint_checkpoint(
+            linter.as_ref(),
+            cfg.lint,
+            &tp,
+            LintStage::Retime,
+            &mut lint_reports,
+        )?;
     }
     let mut cg = CgReport::default();
     if cfg.common_enable_cg {
@@ -236,6 +308,13 @@ pub fn run_flow_with(
         cg.ddcg_gated = r.ddcg_gated;
     }
     let tp = tp.compact();
+    lint_checkpoint(
+        linter.as_ref(),
+        cfg.lint,
+        &tp,
+        LintStage::ClockGate,
+        &mut lint_reports,
+    )?;
     let convert_seconds = t0.elapsed().as_secs_f64() - ilp_seconds;
 
     // Constraint C2 must hold structurally.
@@ -286,6 +365,7 @@ pub fn run_flow_with(
         convert_seconds,
         equiv_ms,
         equiv_3p,
+        lint: lint_reports,
     })
 }
 
@@ -420,6 +500,36 @@ mod tests {
         assert_eq!(report.equiv_ms, Some(true));
         assert!(report.preprocess.icgs_inserted > 0);
         assert!(report.three_phase.registers() <= report.ms.registers());
+    }
+
+    #[test]
+    fn lint_checkpoints_run_per_stage_and_deny_passes() {
+        let lib = Library::synthetic_28nm();
+        let nl = linear_pipeline(4, 4, 1, 900.0);
+        let cfg = FlowConfig {
+            lint: LintPolicy::Deny,
+            ..quick_cfg()
+        };
+        let report = run_flow(&nl, &lib, &cfg).unwrap();
+        // preprocess, convert, retime, clockgate.
+        assert_eq!(report.lint.len(), 4);
+        assert!(report.lint.iter().all(|r| r.is_clean()));
+        let stages: Vec<_> = report.lint.iter().filter_map(|r| r.stage).collect();
+        assert_eq!(
+            stages,
+            vec![
+                LintStage::Preprocess,
+                LintStage::Convert,
+                LintStage::Retime,
+                LintStage::ClockGate
+            ]
+        );
+
+        let cfg = FlowConfig {
+            lint: LintPolicy::Off,
+            ..quick_cfg()
+        };
+        assert!(run_flow(&nl, &lib, &cfg).unwrap().lint.is_empty());
     }
 
     #[test]

@@ -223,7 +223,13 @@ mod tests {
             );
         }
         m.set_objective(vars.iter().map(|&v| (v, 1.0)).collect());
-        let sol = solve(&m, &IlpConfig { max_nodes: 1, int_tol: 1e-6 });
+        let sol = solve(
+            &m,
+            &IlpConfig {
+                max_nodes: 1,
+                int_tol: 1e-6,
+            },
+        );
         // With one node we may or may not have an incumbent, but never a
         // spurious optimality claim unless the root was integral.
         if sol.status == Status::Optimal {

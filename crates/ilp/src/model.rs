@@ -45,10 +45,7 @@ impl LinExpr {
 
     /// Evaluate the expression for an assignment indexed by variable.
     pub fn eval(&self, values: &[f64]) -> f64 {
-        self.terms
-            .iter()
-            .map(|&(v, c)| c * values[v.index()])
-            .sum()
+        self.terms.iter().map(|&(v, c)| c * values[v.index()]).sum()
     }
 }
 

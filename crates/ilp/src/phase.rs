@@ -60,7 +60,9 @@ pub struct PhaseConfig {
 
 impl Default for PhaseConfig {
     fn default() -> Self {
-        PhaseConfig { max_nodes: 2_000_000 }
+        PhaseConfig {
+            max_nodes: 2_000_000,
+        }
     }
 }
 
@@ -407,7 +409,10 @@ impl PhaseProblem {
                 let expr = if v == u {
                     LinExpr::new().plus(g[u], 1.0).plus(k[u], -2.0)
                 } else {
-                    LinExpr::new().plus(g[u], 1.0).plus(k[u], -1.0).plus(k[v], -1.0)
+                    LinExpr::new()
+                        .plus(g[u], 1.0)
+                        .plus(k[u], -1.0)
+                        .plus(k[v], -1.0)
                 };
                 m.add_constraint(expr, Sense::Ge, -1.0);
             }

@@ -35,11 +35,7 @@ pub fn solve_lp(model: &Model, overrides: &[Option<(f64, f64)>]) -> LpResult {
     let mut ub = vec![f64::INFINITY; n];
     for i in 0..n {
         let v = &model.vars[i];
-        let (l, u) = overrides
-            .get(i)
-            .copied()
-            .flatten()
-            .unwrap_or((v.lb, v.ub));
+        let (l, u) = overrides.get(i).copied().flatten().unwrap_or((v.lb, v.ub));
         assert!(l >= -TOL, "negative lower bound unsupported");
         lb[i] = l.max(0.0);
         ub[i] = u;

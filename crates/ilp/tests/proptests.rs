@@ -1,8 +1,25 @@
-//! Property tests: the specialized phase solver agrees with brute force
-//! and with the literal ILP on arbitrary small instances.
+//! Property-style tests: the specialized phase solver agrees with brute
+//! force and with the literal ILP on randomized small instances drawn
+//! from a deterministic stream.
 
-use proptest::prelude::*;
 use triphase_ilp::{IlpConfig, PhaseConfig, PhaseProblem};
+
+/// Deterministic splitmix64 stream for generating test instances.
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next_u64() as usize) % (hi - lo)
+    }
+}
 
 fn brute_force(p: &PhaseProblem) -> usize {
     let n = p.num_nodes();
@@ -16,74 +33,70 @@ fn brute_force(p: &PhaseProblem) -> usize {
         .unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+/// Random instance: `n` nodes, up to `max_edges` fan-out entries, up to
+/// `max_pis` primary inputs with small fan-out sets.
+fn random_problem(rng: &mut Rng, max_n: usize, max_edges: usize, max_pis: usize) -> PhaseProblem {
+    let n = rng.below(1, max_n);
+    let mut p = PhaseProblem::new(n);
+    for _ in 0..rng.below(0, max_edges) {
+        p.add_fanout(rng.below(0, n), rng.below(0, n));
+    }
+    for _ in 0..rng.below(0, max_pis + 1) {
+        let fo: Vec<usize> = (0..rng.below(1, 5)).map(|_| rng.below(0, n)).collect();
+        if !fo.is_empty() {
+            p.add_pi(fo);
+        }
+    }
+    p
+}
 
-    #[test]
-    fn specialized_solver_is_exact(
-        n in 1usize..10,
-        edges in prop::collection::vec((0usize..10, 0usize..10), 0..24),
-        pis in prop::collection::vec(prop::collection::vec(0usize..10, 1..5), 0..3),
-    ) {
-        let mut p = PhaseProblem::new(n);
-        for (u, v) in edges {
-            if u < n && v < n {
-                p.add_fanout(u, v);
-            }
-        }
-        for fo in pis {
-            let fo: Vec<usize> = fo.into_iter().filter(|&v| v < n).collect();
-            if !fo.is_empty() {
-                p.add_pi(fo);
-            }
-        }
+#[test]
+fn specialized_solver_is_exact() {
+    let mut rng = Rng(101);
+    for case in 0..32 {
+        let p = random_problem(&mut rng, 10, 24, 3);
         let want = brute_force(&p);
         let sol = p.solve(&PhaseConfig::default());
-        prop_assert!(sol.optimal);
-        prop_assert_eq!(sol.cost, want);
+        assert!(sol.optimal, "case {case}");
+        assert_eq!(sol.cost, want, "case {case}");
         // The decoded assignment must evaluate to its claimed cost.
-        prop_assert_eq!(p.cost_of(&sol.k), sol.cost);
+        assert_eq!(p.cost_of(&sol.k), sol.cost, "case {case}");
     }
+}
 
-    #[test]
-    fn literal_ilp_agrees(
-        n in 1usize..7,
-        edges in prop::collection::vec((0usize..7, 0usize..7), 0..12),
-    ) {
-        let mut p = PhaseProblem::new(n);
-        for (u, v) in edges {
-            if u < n && v < n {
-                p.add_fanout(u, v);
-            }
-        }
+#[test]
+fn literal_ilp_agrees() {
+    let mut rng = Rng(202);
+    for case in 0..16 {
+        let p = random_problem(&mut rng, 7, 12, 0);
         let want = brute_force(&p);
         let ilp = p.solve_via_ilp(&IlpConfig::default()).expect("solvable");
-        prop_assert_eq!(ilp.cost, want);
+        assert_eq!(ilp.cost, want, "case {case}");
     }
+}
 
-    #[test]
-    fn solution_satisfies_paper_constraints(
-        n in 1usize..10,
-        edges in prop::collection::vec((0usize..10, 0usize..10), 0..20),
-    ) {
+#[test]
+fn solution_satisfies_paper_constraints() {
+    let mut rng = Rng(303);
+    for case in 0..32 {
+        let n = rng.below(1, 10);
         let mut p = PhaseProblem::new(n);
         let mut fo = vec![vec![]; n];
-        for (u, v) in edges {
-            if u < n && v < n {
-                p.add_fanout(u, v);
-                if !fo[u].contains(&v) {
-                    fo[u].push(v);
-                }
+        for _ in 0..rng.below(0, 20) {
+            let (u, v) = (rng.below(0, n), rng.below(0, n));
+            p.add_fanout(u, v);
+            if !fo[u].contains(&v) {
+                fo[u].push(v);
             }
         }
         let sol = p.solve(&PhaseConfig::default());
-        for u in 0..n {
+        for (u, fo_u) in fo.iter().enumerate() {
             // G(u) + K(u) >= 1
-            prop_assert!(sol.g[u] || sol.k[u]);
+            assert!(sol.g[u] || sol.k[u], "case {case} u={u}");
             // G(u) >= K(u) + K(v) - 1
-            for &v in &fo[u] {
+            for &v in fo_u {
                 if sol.k[u] && sol.k[v] {
-                    prop_assert!(sol.g[u], "u={u} v={v}");
+                    assert!(sol.g[u], "case {case} u={u} v={v}");
                 }
             }
         }

@@ -1,0 +1,255 @@
+//! Rule-based static analyzer for triphase netlists.
+//!
+//! The linter runs a registry of [`Rule`]s over a
+//! [`Netlist`](triphase_netlist::Netlist) and produces a structured
+//! [`Report`] of [`Diagnostic`]s (rule code, [`Severity`], [`Location`],
+//! message) that can be printed for humans or serialized to JSON.
+//!
+//! Two rule families are built in:
+//!
+//! - **Structural DRC** (`S0xx`, [`structural`]): combinational loops,
+//!   multi-driven and undriven nets, dangling pins, dead logic, clock nets
+//!   leaking into data pins, name collisions. These apply at every flow
+//!   stage.
+//! - **Phase legality** (`P0xx`, [`phase`]): the 3-phase invariants of the
+//!   paper's conversion — every latch-to-latch combinational path advances
+//!   to a legal successor phase in the `p1 → p2 → p3` cycle, clock gates
+//!   are rooted at declared phases and never nested, every storage cell
+//!   resolves to a phase of the attached `ClockSpec`, and no flip-flops
+//!   survive conversion. These apply only at post-conversion stages
+//!   ([`LintStage::post_conversion`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use triphase_lint::{LintStage, Linter};
+//! use triphase_netlist::{CellKind, Netlist};
+//!
+//! let mut nl = Netlist::new("loop");
+//! let (_, a) = nl.add_input("a");
+//! let x = nl.add_net("x");
+//! let y = nl.add_net("y");
+//! nl.add_cell("u1", CellKind::And(2), vec![a, y, x]);
+//! nl.add_cell("u2", CellKind::Inv, vec![x, y]);
+//! nl.add_output("y", y);
+//! let report = Linter::new().run(&nl, LintStage::Input);
+//! assert!(report.has("S001")); // combinational loop
+//! ```
+
+pub mod phase;
+mod report;
+pub mod structural;
+
+use std::collections::HashMap;
+use triphase_netlist::{graph, CellId, ConnIndex, Netlist};
+
+pub use report::{Diagnostic, Location, Report, Severity};
+
+/// The flow stage a netlist is linted at. Rules can opt out of stages
+/// where their invariant is not yet (or no longer) meaningful.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LintStage {
+    /// Raw input design (FF-based, single-phase clock).
+    Input,
+    /// After preprocessing (`gated_clock_style` + compaction).
+    Preprocess,
+    /// After FF-to-3-phase-latch conversion.
+    Convert,
+    /// After constrained retiming of `p2` latches.
+    Retime,
+    /// After the clock-gating stages (common-enable, M2, DDCG).
+    ClockGate,
+}
+
+impl LintStage {
+    /// Lower-case stage name used in reports and JSON.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            LintStage::Input => "input",
+            LintStage::Preprocess => "preprocess",
+            LintStage::Convert => "convert",
+            LintStage::Retime => "retime",
+            LintStage::ClockGate => "clockgate",
+        }
+    }
+
+    /// `true` for stages where the design is 3-phase latch-based.
+    pub fn post_conversion(self) -> bool {
+        matches!(
+            self,
+            LintStage::Convert | LintStage::Retime | LintStage::ClockGate
+        )
+    }
+}
+
+/// Everything a rule may inspect, computed once per linter run.
+pub struct LintContext<'a> {
+    /// The netlist under analysis.
+    pub nl: &'a Netlist,
+    /// Connectivity index of `nl`.
+    pub idx: ConnIndex,
+    /// The flow stage being checked.
+    pub stage: LintStage,
+    /// Storage cell → clock phase index, for cells whose clock pin traces
+    /// to a declared phase port. Cells with an untraceable clock or a root
+    /// that is not a phase port are absent (rule `P003` reports them).
+    pub phases: HashMap<CellId, usize>,
+}
+
+impl<'a> LintContext<'a> {
+    /// Build the context (index + storage phase map) for one run.
+    pub fn new(nl: &'a Netlist, stage: LintStage) -> LintContext<'a> {
+        let idx = nl.index();
+        let mut phases = HashMap::new();
+        if let Some(clock) = &nl.clock {
+            for (id, cell) in nl.cells() {
+                let Some(ck) = cell.kind.clock_pin() else {
+                    continue;
+                };
+                if !cell.kind.is_storage() {
+                    continue;
+                }
+                if let Ok(trace) = graph::trace_clock_root(nl, &idx, cell.pin(ck)) {
+                    if let Some(p) = clock.phase_of_port(trace.root) {
+                        phases.insert(id, p);
+                    }
+                }
+            }
+        }
+        LintContext {
+            nl,
+            idx,
+            stage,
+            phases,
+        }
+    }
+}
+
+/// One named, coded check over a netlist.
+pub trait Rule {
+    /// Stable code, e.g. `S001`.
+    fn code(&self) -> &'static str;
+    /// Kebab-case name, e.g. `comb-loop`.
+    fn name(&self) -> &'static str;
+    /// One-line description for the rule catalog.
+    fn description(&self) -> &'static str;
+    /// Whether the rule runs at `stage` (default: every stage).
+    fn applies(&self, stage: LintStage) -> bool {
+        let _ = stage;
+        true
+    }
+    /// Append findings for this rule to `out`.
+    fn check(&self, cx: &LintContext<'_>, out: &mut Vec<Diagnostic>);
+}
+
+/// A rule registry: run all registered rules over a netlist.
+pub struct Linter {
+    rules: Vec<Box<dyn Rule>>,
+}
+
+impl Linter {
+    /// The full registry: structural DRC plus phase legality.
+    pub fn new() -> Linter {
+        let mut l = Linter::empty();
+        for r in structural::all() {
+            l.rules.push(r);
+        }
+        for r in phase::all() {
+            l.rules.push(r);
+        }
+        l
+    }
+
+    /// Structural DRC rules only.
+    pub fn structural() -> Linter {
+        Linter {
+            rules: structural::all(),
+        }
+    }
+
+    /// Phase-legality rules only.
+    pub fn phase() -> Linter {
+        Linter {
+            rules: phase::all(),
+        }
+    }
+
+    /// An empty registry; combine with [`Linter::with_rule`].
+    pub fn empty() -> Linter {
+        Linter { rules: Vec::new() }
+    }
+
+    /// Add one rule to the registry.
+    pub fn with_rule(mut self, rule: Box<dyn Rule>) -> Linter {
+        self.rules.push(rule);
+        self
+    }
+
+    /// The registered rules, in execution order.
+    pub fn rules(&self) -> &[Box<dyn Rule>] {
+        &self.rules
+    }
+
+    /// Run every applicable rule over `nl` at `stage`.
+    pub fn run(&self, nl: &Netlist, stage: LintStage) -> Report {
+        let cx = LintContext::new(nl, stage);
+        let mut diagnostics = Vec::new();
+        for rule in &self.rules {
+            if rule.applies(stage) {
+                rule.check(&cx, &mut diagnostics);
+            }
+        }
+        Report {
+            design: nl.name.clone(),
+            stage: Some(stage),
+            diagnostics,
+        }
+    }
+}
+
+impl Default for Linter {
+    fn default() -> Self {
+        Linter::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_both_families_with_unique_codes() {
+        let l = Linter::new();
+        assert!(l.rules().len() >= 8, "rule catalog too small");
+        let mut codes: Vec<_> = l.rules().iter().map(|r| r.code()).collect();
+        assert!(codes.iter().any(|c| c.starts_with('S')));
+        assert!(codes.iter().any(|c| c.starts_with('P')));
+        codes.sort_unstable();
+        let n = codes.len();
+        codes.dedup();
+        assert_eq!(codes.len(), n, "duplicate rule codes");
+        for r in l.rules() {
+            assert!(!r.name().is_empty());
+            assert!(!r.description().is_empty());
+        }
+    }
+
+    #[test]
+    fn family_registries_are_disjoint_subsets() {
+        let s = Linter::structural().rules().len();
+        let p = Linter::phase().rules().len();
+        assert_eq!(s + p, Linter::new().rules().len());
+        assert_eq!(Linter::empty().rules().len(), 0);
+    }
+
+    #[test]
+    fn stage_names_and_post_conversion() {
+        assert_eq!(LintStage::Input.as_str(), "input");
+        assert_eq!(LintStage::ClockGate.as_str(), "clockgate");
+        assert!(!LintStage::Input.post_conversion());
+        assert!(!LintStage::Preprocess.post_conversion());
+        assert!(LintStage::Convert.post_conversion());
+        assert!(LintStage::Retime.post_conversion());
+        assert!(LintStage::ClockGate.post_conversion());
+    }
+}

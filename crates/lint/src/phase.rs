@@ -1,0 +1,304 @@
+//! Phase-legality rules (`P0xx`): the 3-phase invariants of the paper's
+//! FF-to-latch conversion. They run only at post-conversion stages
+//! ([`LintStage::post_conversion`]).
+//!
+//! # Legal phase adjacency
+//!
+//! With the ILP constraints `G(u)+K(u) ≥ 1` and `G(u) ≥ K(u)+K(v)−1`,
+//! converted designs only ever contain these latch-to-latch combinational
+//! adjacencies:
+//!
+//! - `p1 → p2` and `p3 → p2` (a `G = 1` register feeds its inserted `p2`
+//!   output latch),
+//! - `p2 → p1` and `p2 → p3` (an inserted `p2` latch feeds the fanout
+//!   registers),
+//! - `p1 → p3` (a `G = 0` register: `K(u) = 1`, all fanout `K(v) = 0`).
+//!
+//! Same-phase pairs would be co-transparent (constraint C2 violation) and
+//! `p3 → p1` would cross the cycle boundary backwards; both are illegal.
+
+use crate::{Diagnostic, LintContext, LintStage, Location, Rule, Severity};
+use triphase_netlist::{graph, CellId, Netlist};
+
+/// All phase-legality rules, in code order.
+pub fn all() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(PhaseOrder),
+        Box::new(IcgPhase),
+        Box::new(UnassignedPhase),
+        Box::new(ResidualFf),
+    ]
+}
+
+fn cell_loc(nl: &Netlist, id: CellId) -> Location {
+    Location::Cell {
+        id,
+        name: nl.cell(id).name.clone(),
+    }
+}
+
+/// Phases (as a bitmask) a latch of phase `p` may legally feed through
+/// combinational logic. Indices are phase positions in the `ClockSpec`
+/// (`0 = p1`, `1 = p2`, `2 = p3`).
+const LEGAL_SUCCESSORS: [u8; 3] = [
+    0b110, // p1 → {p2, p3}
+    0b101, // p2 → {p1, p3}
+    0b010, // p3 → {p2}
+];
+
+fn phase_name(p: usize) -> String {
+    format!("p{}", p + 1)
+}
+
+fn mask_names(mask: u8) -> String {
+    (0..3)
+        .filter(|i| mask & (1 << i) != 0)
+        .map(phase_name)
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// `P001`: every latch-to-latch combinational path advances to a legal
+/// successor phase of the `p1 → p2 → p3` cycle.
+pub struct PhaseOrder;
+
+impl Rule for PhaseOrder {
+    fn code(&self) -> &'static str {
+        "P001"
+    }
+    fn name(&self) -> &'static str {
+        "phase-order"
+    }
+    fn description(&self) -> &'static str {
+        "latch-to-latch paths must advance one legal phase (no same-phase or p3→p1 pairs)"
+    }
+    fn applies(&self, stage: LintStage) -> bool {
+        stage.post_conversion()
+    }
+    fn check(&self, cx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        if cx.nl.clock.as_ref().is_none_or(|c| c.phases.len() != 3) {
+            return; // not a 3-phase design; P003 reports a missing spec
+        }
+        // Which source-latch phases reach each net through comb logic.
+        let Ok(order) = graph::comb_topo_order(cx.nl, &cx.idx) else {
+            return; // S001 reports the loop; propagation is undefined
+        };
+        let mut mask: Vec<u8> = vec![0; cx.nl.net_capacity()];
+        for (id, cell) in cx.nl.cells() {
+            if cell.kind.is_latch() {
+                if let Some(&p) = cx.phases.get(&id) {
+                    mask[cell.output().index()] |= 1 << p;
+                }
+            }
+        }
+        for id in order {
+            let cell = cx.nl.cell(id);
+            let mut m = 0u8;
+            for &input in cell.inputs() {
+                m |= mask[input.index()];
+            }
+            mask[cell.output().index()] |= m;
+        }
+        for (id, cell) in cx.nl.cells() {
+            if !cell.kind.is_latch() {
+                continue;
+            }
+            let Some(&pv) = cx.phases.get(&id) else {
+                continue; // P003 reports unassigned latches
+            };
+            let d = cell.pin(cell.kind.data_pin().expect("latch has D"));
+            let arriving = mask[d.index()];
+            for (ps, &legal) in LEGAL_SUCCESSORS.iter().enumerate() {
+                if arriving & (1 << ps) == 0 {
+                    continue;
+                }
+                if legal & (1 << pv) == 0 {
+                    out.push(Diagnostic {
+                        code: self.code(),
+                        rule: self.name(),
+                        severity: Severity::Error,
+                        location: cell_loc(cx.nl, id),
+                        message: format!(
+                            "{} latch is fed combinationally from a {} latch \
+                             (legal successors of {} are {})",
+                            phase_name(pv),
+                            phase_name(ps),
+                            phase_name(ps),
+                            mask_names(legal)
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// `P002`: clock gates are rooted at declared phases, never nested, and an
+/// `IcgM1`'s auxiliary `P3` pin carries the successor of its gated phase.
+pub struct IcgPhase;
+
+impl Rule for IcgPhase {
+    fn code(&self) -> &'static str {
+        "P002"
+    }
+    fn name(&self) -> &'static str {
+        "icg-phase"
+    }
+    fn description(&self) -> &'static str {
+        "clock gates must gate a declared phase directly (no nesting, correct M1 aux phase)"
+    }
+    fn applies(&self, stage: LintStage) -> bool {
+        stage.post_conversion()
+    }
+    fn check(&self, cx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        let Some(clock) = &cx.nl.clock else {
+            return;
+        };
+        let k = clock.phases.len();
+        for (id, cell) in cx.nl.cells() {
+            if !cell.kind.is_clock_gate() {
+                continue;
+            }
+            let ck = cell.pin(cell.kind.clock_pin().expect("icg has CK"));
+            let ck_phase = match graph::trace_clock_root(cx.nl, &cx.idx, ck) {
+                Err(e) => {
+                    out.push(self.diag(cx.nl, id, format!("clock pin untraceable: {e}")));
+                    continue;
+                }
+                Ok(trace) => {
+                    if !trace.gates.is_empty() {
+                        let inner = cx.nl.cell(trace.gates[0]).name.clone();
+                        out.push(self.diag(
+                            cx.nl,
+                            id,
+                            format!("nested clock gating (clock passes through {inner})"),
+                        ));
+                    }
+                    match clock.phase_of_port(trace.root) {
+                        None => {
+                            let root = cx.nl.port(trace.root).name.clone();
+                            out.push(self.diag(
+                                cx.nl,
+                                id,
+                                format!("clock root {root} is not a declared phase"),
+                            ));
+                            continue;
+                        }
+                        Some(p) => p,
+                    }
+                }
+            };
+            // M1's enable latch is clocked by the successor phase (p3 for
+            // the paper's p2 gating).
+            if cell.kind == triphase_cells::CellKind::IcgM1 {
+                let aux = cell.pin(1);
+                let aux_phase = graph::trace_clock_root(cx.nl, &cx.idx, aux)
+                    .ok()
+                    .and_then(|t| clock.phase_of_port(t.root));
+                let want = (ck_phase + 1) % k.max(1);
+                if aux_phase != Some(want) {
+                    out.push(self.diag(
+                        cx.nl,
+                        id,
+                        format!(
+                            "M1 aux pin carries {}, expected {} (successor of {})",
+                            aux_phase.map_or_else(|| "no phase".to_owned(), phase_name),
+                            phase_name(want),
+                            phase_name(ck_phase)
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+impl IcgPhase {
+    fn diag(&self, nl: &Netlist, id: CellId, message: String) -> Diagnostic {
+        Diagnostic {
+            code: self.code(),
+            rule: self.name(),
+            severity: Severity::Error,
+            location: cell_loc(nl, id),
+            message,
+        }
+    }
+}
+
+/// `P003`: every storage cell's clock resolves to a declared phase of the
+/// attached `ClockSpec`.
+pub struct UnassignedPhase;
+
+impl Rule for UnassignedPhase {
+    fn code(&self) -> &'static str {
+        "P003"
+    }
+    fn name(&self) -> &'static str {
+        "unassigned-phase"
+    }
+    fn description(&self) -> &'static str {
+        "every sequential cell must be clocked by a declared phase"
+    }
+    fn applies(&self, stage: LintStage) -> bool {
+        stage.post_conversion()
+    }
+    fn check(&self, cx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        if cx.nl.clock.is_none() {
+            if cx.nl.cells().any(|(_, c)| c.kind.is_storage()) {
+                out.push(Diagnostic {
+                    code: self.code(),
+                    rule: self.name(),
+                    severity: Severity::Error,
+                    location: Location::Design,
+                    message: "sequential design has no clock spec attached".to_owned(),
+                });
+            }
+            return;
+        }
+        for (id, cell) in cx.nl.cells() {
+            if cell.kind.is_storage() && !cx.phases.contains_key(&id) {
+                out.push(Diagnostic {
+                    code: self.code(),
+                    rule: self.name(),
+                    severity: Severity::Error,
+                    location: cell_loc(cx.nl, id),
+                    message: format!(
+                        "{} clock does not trace to a declared phase port",
+                        cell.kind
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// `P004`: no flip-flops survive the FF-to-latch conversion.
+pub struct ResidualFf;
+
+impl Rule for ResidualFf {
+    fn code(&self) -> &'static str {
+        "P004"
+    }
+    fn name(&self) -> &'static str {
+        "residual-ff"
+    }
+    fn description(&self) -> &'static str {
+        "post-conversion designs must contain latches only, no flip-flops"
+    }
+    fn applies(&self, stage: LintStage) -> bool {
+        stage.post_conversion()
+    }
+    fn check(&self, cx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        for (id, cell) in cx.nl.cells() {
+            if cell.kind.is_ff() {
+                out.push(Diagnostic {
+                    code: self.code(),
+                    rule: self.name(),
+                    severity: Severity::Error,
+                    location: cell_loc(cx.nl, id),
+                    message: format!("{} survived conversion", cell.kind),
+                });
+            }
+        }
+    }
+}

@@ -1,0 +1,319 @@
+//! Diagnostics and reports produced by the linter.
+
+use std::fmt;
+use triphase_netlist::{CellId, NetId, PortId};
+
+use crate::LintStage;
+
+/// How serious a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational note; never fails a flow.
+    Info,
+    /// Suspicious but tolerated structure (e.g. dead logic).
+    Warn,
+    /// A structural or phase-legality violation; fails a `Deny` flow.
+    Error,
+}
+
+impl Severity {
+    /// Lower-case name used in reports and JSON.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warn => "warn",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Where in the netlist a diagnostic points.
+///
+/// The object's name is captured at diagnosis time so the location stays
+/// meaningful even after the netlist is compacted (ids are not stable).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Location {
+    /// A cell instance.
+    Cell {
+        /// Arena id at diagnosis time.
+        id: CellId,
+        /// Instance name.
+        name: String,
+    },
+    /// A net.
+    Net {
+        /// Arena id at diagnosis time.
+        id: NetId,
+        /// Net name.
+        name: String,
+    },
+    /// A top-level port.
+    Port {
+        /// Arena id at diagnosis time.
+        id: PortId,
+        /// Port name.
+        name: String,
+    },
+    /// The design as a whole (e.g. a missing clock spec).
+    Design,
+}
+
+impl Location {
+    /// The `cell` / `net` / `port` / `design` kind tag.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Location::Cell { .. } => "cell",
+            Location::Net { .. } => "net",
+            Location::Port { .. } => "port",
+            Location::Design => "design",
+        }
+    }
+
+    /// The located object's name (empty for [`Location::Design`]).
+    pub fn name(&self) -> &str {
+        match self {
+            Location::Cell { name, .. }
+            | Location::Net { name, .. }
+            | Location::Port { name, .. } => name,
+            Location::Design => "",
+        }
+    }
+}
+
+impl fmt::Display for Location {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Location::Cell { id, name } => write!(f, "cell {name} ({id})"),
+            Location::Net { id, name } => write!(f, "net {name} ({id})"),
+            Location::Port { id, name } => write!(f, "port {name} ({id})"),
+            Location::Design => f.write_str("design"),
+        }
+    }
+}
+
+/// One finding of one rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable rule code, e.g. `S001` or `P002`.
+    pub code: &'static str,
+    /// Kebab-case rule name, e.g. `comb-loop`.
+    pub rule: &'static str,
+    /// Severity of this finding.
+    pub severity: Severity,
+    /// Where the finding points.
+    pub location: Location,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{} {}] {}: {}",
+            self.severity, self.code, self.rule, self.location, self.message
+        )
+    }
+}
+
+/// The result of one linter run over one netlist at one flow stage.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Report {
+    /// Design name of the linted netlist.
+    pub design: String,
+    /// The flow stage the netlist was linted at.
+    pub stage: Option<LintStage>,
+    /// All findings, in rule-registry order.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// Findings at [`Severity::Error`].
+    pub fn errors(&self) -> Vec<&Diagnostic> {
+        self.with_severity(Severity::Error)
+    }
+
+    /// Findings at [`Severity::Warn`].
+    pub fn warnings(&self) -> Vec<&Diagnostic> {
+        self.with_severity(Severity::Warn)
+    }
+
+    fn with_severity(&self, s: Severity) -> Vec<&Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == s)
+            .collect()
+    }
+
+    /// Number of findings at `severity`.
+    pub fn count(&self, severity: Severity) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == severity)
+            .count()
+    }
+
+    /// `true` when the report contains no error-severity findings.
+    pub fn is_clean(&self) -> bool {
+        self.count(Severity::Error) == 0
+    }
+
+    /// Codes of all findings, in order (convenient for asserting).
+    pub fn codes(&self) -> Vec<&'static str> {
+        self.diagnostics.iter().map(|d| d.code).collect()
+    }
+
+    /// `true` if any finding carries `code`.
+    pub fn has(&self, code: &str) -> bool {
+        self.diagnostics.iter().any(|d| d.code == code)
+    }
+
+    /// Serialize the report as a machine-readable JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!("\"design\":{},", json_str(&self.design)));
+        out.push_str(&format!(
+            "\"stage\":{},",
+            self.stage
+                .map_or("null".to_owned(), |s| json_str(s.as_str()))
+        ));
+        out.push_str(&format!(
+            "\"summary\":{{\"errors\":{},\"warnings\":{},\"infos\":{}}},",
+            self.count(Severity::Error),
+            self.count(Severity::Warn),
+            self.count(Severity::Info)
+        ));
+        out.push_str("\"diagnostics\":[");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"code\":{},\"rule\":{},\"severity\":{},\"location\":{{\"kind\":{},\"name\":{}}},\"message\":{}}}",
+                json_str(d.code),
+                json_str(d.rule),
+                json_str(d.severity.as_str()),
+                json_str(d.location.kind()),
+                json_str(d.location.name()),
+                json_str(&d.message)
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let stage = self.stage.map_or("-", |s| s.as_str());
+        writeln!(
+            f,
+            "lint {} @{stage}: {} error(s), {} warning(s)",
+            self.design,
+            self.count(Severity::Error),
+            self.count(Severity::Warn)
+        )?;
+        for d in &self.diagnostics {
+            writeln!(f, "  {d}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Minimal JSON string encoder (the toolkit has no serializer dependency).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        Report {
+            design: "d\"x".to_owned(),
+            stage: Some(LintStage::Convert),
+            diagnostics: vec![
+                Diagnostic {
+                    code: "S001",
+                    rule: "comb-loop",
+                    severity: Severity::Error,
+                    location: Location::Cell {
+                        id: CellId::from_index(3),
+                        name: "u\t1".to_owned(),
+                    },
+                    message: "loop".to_owned(),
+                },
+                Diagnostic {
+                    code: "S005",
+                    rule: "dead-logic",
+                    severity: Severity::Warn,
+                    location: Location::Net {
+                        id: NetId::from_index(0),
+                        name: "n".to_owned(),
+                    },
+                    message: "dead".to_owned(),
+                },
+                Diagnostic {
+                    code: "X000",
+                    rule: "note",
+                    severity: Severity::Info,
+                    location: Location::Design,
+                    message: "fyi".to_owned(),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn severity_filters_and_counts() {
+        let r = sample();
+        assert_eq!(r.errors().len(), 1);
+        assert_eq!(r.warnings().len(), 1);
+        assert_eq!(r.count(Severity::Info), 1);
+        assert!(!r.is_clean());
+        assert!(r.has("S001"));
+        assert!(!r.has("S002"));
+        assert_eq!(r.codes(), vec!["S001", "S005", "X000"]);
+    }
+
+    #[test]
+    fn json_escapes_and_summarizes() {
+        let j = sample().to_json();
+        assert!(j.contains("\"design\":\"d\\\"x\""), "{j}");
+        assert!(j.contains("\"stage\":\"convert\""), "{j}");
+        assert!(j.contains("\"errors\":1,\"warnings\":1,\"infos\":1"), "{j}");
+        assert!(j.contains("\"name\":\"u\\t1\""), "{j}");
+        assert!(j.contains("\"kind\":\"design\""), "{j}");
+        // Balanced braces/brackets (cheap well-formedness check).
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn display_is_line_oriented() {
+        let text = sample().to_string();
+        assert!(text.contains("1 error(s), 1 warning(s)"), "{text}");
+        assert!(text.contains("error [S001 comb-loop]"), "{text}");
+    }
+}

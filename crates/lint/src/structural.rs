@@ -1,0 +1,318 @@
+//! Structural DRC rules (`S0xx`): netlist well-formedness checks that
+//! apply at every flow stage.
+
+use crate::{Diagnostic, LintContext, Location, Rule, Severity};
+use triphase_cells::{CellKind, PinClass, PinDir};
+use triphase_netlist::{graph, CellId, Error, NetId, Netlist, PortDir};
+
+/// All structural rules, in code order.
+pub fn all() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(CombLoop),
+        Box::new(MultiDrivenNet),
+        Box::new(UndrivenNet),
+        Box::new(DanglingPin),
+        Box::new(DeadLogic),
+        Box::new(ClockFeedsData),
+        Box::new(NameCollision),
+    ]
+}
+
+fn cell_loc(nl: &Netlist, id: CellId) -> Location {
+    Location::Cell {
+        id,
+        name: nl.cell(id).name.clone(),
+    }
+}
+
+fn net_loc(nl: &Netlist, id: NetId) -> Location {
+    Location::Net {
+        id,
+        name: nl
+            .try_net(id)
+            .map_or_else(|| format!("{id}"), |n| n.name.clone()),
+    }
+}
+
+/// `S001`: the combinational fabric must be acyclic.
+pub struct CombLoop;
+
+impl Rule for CombLoop {
+    fn code(&self) -> &'static str {
+        "S001"
+    }
+    fn name(&self) -> &'static str {
+        "comb-loop"
+    }
+    fn description(&self) -> &'static str {
+        "combinational logic must be acyclic (no latch/FF-free cycles)"
+    }
+    fn check(&self, cx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        if let Err(Error::CombLoop(name)) = graph::comb_topo_order(cx.nl, &cx.idx) {
+            let location = cx
+                .nl
+                .cells()
+                .find(|(_, c)| c.name == name)
+                .map(|(id, _)| cell_loc(cx.nl, id))
+                .unwrap_or(Location::Design);
+            out.push(Diagnostic {
+                code: self.code(),
+                rule: self.name(),
+                severity: Severity::Error,
+                location,
+                message: format!("combinational cycle through cell {name}"),
+            });
+        }
+    }
+}
+
+/// `S002`: every net has at most one driver.
+pub struct MultiDrivenNet;
+
+impl Rule for MultiDrivenNet {
+    fn code(&self) -> &'static str {
+        "S002"
+    }
+    fn name(&self) -> &'static str {
+        "multi-driven-net"
+    }
+    fn description(&self) -> &'static str {
+        "a net must be driven by exactly one cell output or input port"
+    }
+    fn check(&self, cx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        for (net, count) in driver_counts(cx.nl) {
+            if count > 1 {
+                out.push(Diagnostic {
+                    code: self.code(),
+                    rule: self.name(),
+                    severity: Severity::Error,
+                    location: net_loc(cx.nl, net),
+                    message: format!("net has {count} drivers (expected 1)"),
+                });
+            }
+        }
+    }
+}
+
+/// `S003`: a net with fanout must have a driver.
+pub struct UndrivenNet;
+
+impl Rule for UndrivenNet {
+    fn code(&self) -> &'static str {
+        "S003"
+    }
+    fn name(&self) -> &'static str {
+        "undriven-net"
+    }
+    fn description(&self) -> &'static str {
+        "a net read by any pin or output port must have a driver"
+    }
+    fn check(&self, cx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        for (net, count) in driver_counts(cx.nl) {
+            if count == 0 && cx.idx.fanout_count(net) > 0 {
+                let readers = cx.idx.fanout_count(net);
+                out.push(Diagnostic {
+                    code: self.code(),
+                    rule: self.name(),
+                    severity: Severity::Error,
+                    location: net_loc(cx.nl, net),
+                    message: format!("net has no driver but {readers} reader(s)"),
+                });
+            }
+        }
+    }
+}
+
+/// Drivers per live net: cell output pins plus input ports.
+fn driver_counts(nl: &Netlist) -> Vec<(NetId, u32)> {
+    let mut counts: Vec<u32> = vec![0; nl.net_capacity()];
+    for port in nl.ports() {
+        if port.dir == PortDir::Input {
+            if let Some(c) = counts.get_mut(port.net.index()) {
+                *c += 1;
+            }
+        }
+    }
+    for (_, cell) in nl.cells() {
+        for (pin, &net) in cell.pins().iter().enumerate() {
+            if cell.kind.pin_def(pin).dir == PinDir::Output {
+                if let Some(c) = counts.get_mut(net.index()) {
+                    *c += 1;
+                }
+            }
+        }
+    }
+    nl.nets().map(|(id, _)| (id, counts[id.index()])).collect()
+}
+
+/// `S004`: every cell pin must reference a live net.
+pub struct DanglingPin;
+
+impl Rule for DanglingPin {
+    fn code(&self) -> &'static str {
+        "S004"
+    }
+    fn name(&self) -> &'static str {
+        "dangling-pin"
+    }
+    fn description(&self) -> &'static str {
+        "cell pins and ports must connect to live (non-removed) nets"
+    }
+    fn check(&self, cx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        for (id, cell) in cx.nl.cells() {
+            for (pin, &net) in cell.pins().iter().enumerate() {
+                if cx.nl.try_net(net).is_none() {
+                    out.push(Diagnostic {
+                        code: self.code(),
+                        rule: self.name(),
+                        severity: Severity::Error,
+                        location: cell_loc(cx.nl, id),
+                        message: format!(
+                            "pin {} ({}) references dead net {net}",
+                            cell.kind.pin_name(pin),
+                            pin
+                        ),
+                    });
+                }
+            }
+        }
+        for port in cx.nl.ports() {
+            if cx.nl.try_net(port.net).is_none() {
+                out.push(Diagnostic {
+                    code: self.code(),
+                    rule: self.name(),
+                    severity: Severity::Error,
+                    location: Location::Design,
+                    message: format!("port {} references dead net {}", port.name, port.net),
+                });
+            }
+        }
+    }
+}
+
+/// `S005`: a cell whose output reaches neither a pin nor a port is dead.
+pub struct DeadLogic;
+
+impl Rule for DeadLogic {
+    fn code(&self) -> &'static str {
+        "S005"
+    }
+    fn name(&self) -> &'static str {
+        "dead-logic"
+    }
+    fn description(&self) -> &'static str {
+        "cells with unused outputs are dead and should be swept"
+    }
+    fn check(&self, cx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        for (id, cell) in cx.nl.cells() {
+            let net = cell.output();
+            if cx.nl.try_net(net).is_some() && cx.idx.fanout_count(net) == 0 {
+                out.push(Diagnostic {
+                    code: self.code(),
+                    rule: self.name(),
+                    severity: Severity::Warn,
+                    location: cell_loc(cx.nl, id),
+                    message: format!("{} output {} has no readers", cell.kind, net),
+                });
+            }
+        }
+    }
+}
+
+/// `S006`: clock-network nets must not feed data, select, or enable pins.
+pub struct ClockFeedsData;
+
+impl Rule for ClockFeedsData {
+    fn code(&self) -> &'static str {
+        "S006"
+    }
+    fn name(&self) -> &'static str {
+        "clock-feeds-data"
+    }
+    fn description(&self) -> &'static str {
+        "clock nets may only drive clock pins, clock buffers, and clock gates"
+    }
+    fn check(&self, cx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        let cone = graph::clock_cone(cx.nl, &cx.idx);
+        for (net, _) in cx.nl.nets() {
+            if !cone[net.index()] {
+                continue;
+            }
+            for load in cx.idx.loads(net) {
+                let cell = cx.nl.cell(load.cell);
+                if cell.kind == CellKind::ClkBuf {
+                    continue; // clock-tree fabric, not a data consumer
+                }
+                let class = cell.kind.pin_def(load.pin).class;
+                if matches!(class, PinClass::Data | PinClass::Select | PinClass::Enable) {
+                    out.push(Diagnostic {
+                        code: self.code(),
+                        rule: self.name(),
+                        severity: Severity::Error,
+                        location: cell_loc(cx.nl, load.cell),
+                        message: format!(
+                            "clock net {} drives non-clock pin {} of {}",
+                            cx.nl.net(net).name,
+                            cell.kind.pin_name(load.pin),
+                            cell.kind
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// `S007`: instance, port, and net names must not collide.
+pub struct NameCollision;
+
+impl Rule for NameCollision {
+    fn code(&self) -> &'static str {
+        "S007"
+    }
+    fn name(&self) -> &'static str {
+        "name-collision"
+    }
+    fn description(&self) -> &'static str {
+        "duplicate instance/port names are errors; duplicate net names warn"
+    }
+    fn check(&self, cx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        use std::collections::HashMap;
+        let mut cells: HashMap<&str, CellId> = HashMap::new();
+        for (id, cell) in cx.nl.cells() {
+            if cells.insert(cell.name.as_str(), id).is_some() {
+                out.push(Diagnostic {
+                    code: self.code(),
+                    rule: self.name(),
+                    severity: Severity::Error,
+                    location: cell_loc(cx.nl, id),
+                    message: format!("duplicate instance name {}", cell.name),
+                });
+            }
+        }
+        let mut ports: HashMap<&str, PortDir> = HashMap::new();
+        for port in cx.nl.ports() {
+            if ports.insert(port.name.as_str(), port.dir).is_some() {
+                out.push(Diagnostic {
+                    code: self.code(),
+                    rule: self.name(),
+                    severity: Severity::Error,
+                    location: Location::Design,
+                    message: format!("duplicate port name {}", port.name),
+                });
+            }
+        }
+        let mut nets: HashMap<&str, NetId> = HashMap::new();
+        for (id, net) in cx.nl.nets() {
+            if nets.insert(net.name.as_str(), id).is_some() {
+                out.push(Diagnostic {
+                    code: self.code(),
+                    rule: self.name(),
+                    severity: Severity::Warn,
+                    location: net_loc(cx.nl, id),
+                    message: format!("duplicate net name {}", net.name),
+                });
+            }
+        }
+    }
+}

@@ -1,0 +1,397 @@
+//! One positive and one negative test per lint rule.
+//!
+//! Structural rules (`S0xx`) are exercised at [`LintStage::Input`];
+//! phase-legality rules (`P0xx`) at [`LintStage::Convert`], where they
+//! become active.
+
+use triphase_cells::CellKind;
+use triphase_lint::{LintStage, Linter, Report, Severity};
+use triphase_netlist::{ClockSpec, NetId, Netlist};
+
+fn lint(nl: &Netlist, stage: LintStage) -> Report {
+    Linter::new().run(nl, stage)
+}
+
+/// Three clock-phase input ports with an attached 3-phase `ClockSpec`.
+fn three_phase(nl: &mut Netlist, period: f64) -> [NetId; 3] {
+    let (pp1, p1) = nl.add_input("p1");
+    let (pp2, p2) = nl.add_input("p2");
+    let (pp3, p3) = nl.add_input("p3");
+    nl.clock = Some(ClockSpec::equal_phases(&[pp1, pp2, pp3], period));
+    [p1, p2, p3]
+}
+
+/// Transparent-high latch `name` with data `d` gated by `g`; returns `Q`.
+fn latch(nl: &mut Netlist, name: &str, d: NetId, g: NetId) -> NetId {
+    let q = nl.add_net(format!("{name}_q"));
+    nl.add_cell(name, CellKind::LatchH, vec![d, g, q]);
+    q
+}
+
+fn inv(nl: &mut Netlist, name: &str, a: NetId) -> NetId {
+    let y = nl.add_net(format!("{name}_y"));
+    nl.add_cell(name, CellKind::Inv, vec![a, y]);
+    y
+}
+
+// ---- S001 comb-loop -------------------------------------------------------
+
+#[test]
+fn s001_flags_combinational_cycle() {
+    let mut nl = Netlist::new("loop");
+    let a = nl.add_net("a");
+    let b = nl.add_net("b");
+    nl.add_cell("i1", CellKind::Inv, vec![a, b]);
+    nl.add_cell("i2", CellKind::Inv, vec![b, a]);
+    let report = lint(&nl, LintStage::Input);
+    assert!(report.has("S001"), "missing S001 in: {report}");
+}
+
+#[test]
+fn s001_accepts_latch_broken_cycle() {
+    // The same topological cycle, but a latch in the feedback path makes
+    // the *combinational* fabric acyclic.
+    let mut nl = Netlist::new("seq-loop");
+    let [p1, _, _] = three_phase(&mut nl, 900.0);
+    let a = nl.add_net("a");
+    let b = inv(&mut nl, "i1", a);
+    let q = latch(&mut nl, "l1", b, p1);
+    nl.add_cell("i2", CellKind::Inv, vec![q, a]);
+    nl.add_output("out", q);
+    let report = lint(&nl, LintStage::Input);
+    assert!(!report.has("S001"), "spurious S001 in: {report}");
+    assert!(report.errors().is_empty(), "unexpected errors: {report}");
+}
+
+// ---- S002 multi-driven-net ------------------------------------------------
+
+#[test]
+fn s002_flags_two_drivers_on_one_net() {
+    let mut nl = Netlist::new("short");
+    let (_, a) = nl.add_input("a");
+    let y = nl.add_net("y");
+    nl.add_cell("i1", CellKind::Inv, vec![a, y]);
+    nl.add_cell("b1", CellKind::Buf, vec![a, y]);
+    nl.add_output("out", y);
+    let report = lint(&nl, LintStage::Input);
+    assert!(report.has("S002"), "missing S002 in: {report}");
+}
+
+#[test]
+fn s002_accepts_single_driver_with_high_fanout() {
+    let mut nl = Netlist::new("fanout");
+    let (_, a) = nl.add_input("a");
+    let y = inv(&mut nl, "i1", a);
+    for k in 0..4 {
+        let z = inv(&mut nl, &format!("sink{k}"), y);
+        nl.add_output(&format!("out{k}"), z);
+    }
+    let report = lint(&nl, LintStage::Input);
+    assert!(!report.has("S002"), "spurious S002 in: {report}");
+}
+
+// ---- S003 undriven-net ----------------------------------------------------
+
+#[test]
+fn s003_flags_floating_net_with_readers() {
+    let mut nl = Netlist::new("float");
+    let x = nl.add_net("x"); // no driver, no port
+    let y = inv(&mut nl, "i1", x);
+    nl.add_output("out", y);
+    let report = lint(&nl, LintStage::Input);
+    assert!(report.has("S003"), "missing S003 in: {report}");
+}
+
+#[test]
+fn s003_ignores_floating_net_with_no_readers() {
+    let mut nl = Netlist::new("orphan");
+    let (_, a) = nl.add_input("a");
+    nl.add_net("unused"); // floating but unread: not a hazard
+    let y = inv(&mut nl, "i1", a);
+    nl.add_output("out", y);
+    let report = lint(&nl, LintStage::Input);
+    assert!(!report.has("S003"), "spurious S003 in: {report}");
+    assert!(report.errors().is_empty(), "unexpected errors: {report}");
+}
+
+// ---- S004 dangling-pin ----------------------------------------------------
+
+#[test]
+fn s004_flags_pin_on_removed_net() {
+    let mut nl = Netlist::new("dangle");
+    let (_, a) = nl.add_input("a");
+    let mid = inv(&mut nl, "i1", a);
+    let y = inv(&mut nl, "i2", mid);
+    nl.add_output("out", y);
+    nl.remove_net(mid); // i1's output and i2's input now dangle
+    let report = lint(&nl, LintStage::Input);
+    assert!(report.has("S004"), "missing S004 in: {report}");
+}
+
+#[test]
+fn s004_accepts_all_live_connections() {
+    let mut nl = Netlist::new("live");
+    let (_, a) = nl.add_input("a");
+    let y = inv(&mut nl, "i1", a);
+    nl.add_output("out", y);
+    let report = lint(&nl, LintStage::Input);
+    assert!(!report.has("S004"), "spurious S004 in: {report}");
+}
+
+// ---- S005 dead-logic ------------------------------------------------------
+
+#[test]
+fn s005_warns_on_unread_output() {
+    let mut nl = Netlist::new("dead");
+    let (_, a) = nl.add_input("a");
+    let y = inv(&mut nl, "i1", a);
+    let _unread = inv(&mut nl, "i2", a);
+    nl.add_output("out", y);
+    let report = lint(&nl, LintStage::Input);
+    assert!(report.has("S005"), "missing S005 in: {report}");
+    assert!(
+        report.errors().is_empty(),
+        "S005 must be warn-level: {report}"
+    );
+    assert_eq!(report.count(Severity::Warn), 1);
+}
+
+#[test]
+fn s005_counts_output_ports_as_readers() {
+    let mut nl = Netlist::new("observed");
+    let (_, a) = nl.add_input("a");
+    let y = inv(&mut nl, "i1", a);
+    nl.add_output("out", y); // port observation keeps i1 alive
+    let report = lint(&nl, LintStage::Input);
+    assert!(!report.has("S005"), "spurious S005 in: {report}");
+}
+
+// ---- S006 clock-feeds-data ------------------------------------------------
+
+#[test]
+fn s006_flags_clock_net_on_data_pin() {
+    let mut nl = Netlist::new("ck-data");
+    let (pck, ck) = nl.add_input("ck");
+    nl.clock = Some(ClockSpec::single(pck, 1000.0));
+    let (_, a) = nl.add_input("a");
+    let y = nl.add_net("y");
+    nl.add_cell("g1", CellKind::And(2), vec![ck, a, y]);
+    nl.add_output("out", y);
+    let report = lint(&nl, LintStage::Input);
+    assert!(report.has("S006"), "missing S006 in: {report}");
+}
+
+#[test]
+fn s006_accepts_clock_on_clock_pins_only() {
+    let mut nl = Netlist::new("ck-clean");
+    let (pck, ck) = nl.add_input("ck");
+    nl.clock = Some(ClockSpec::single(pck, 1000.0));
+    let (_, d) = nl.add_input("d");
+    let buffered = nl.add_net("ckb");
+    nl.add_cell("cb1", CellKind::ClkBuf, vec![ck, buffered]);
+    let q = nl.add_net("q");
+    nl.add_cell("ff1", CellKind::Dff, vec![d, buffered, q]);
+    nl.add_output("out", q);
+    let report = lint(&nl, LintStage::Input);
+    assert!(!report.has("S006"), "spurious S006 in: {report}");
+    assert!(report.errors().is_empty(), "unexpected errors: {report}");
+}
+
+// ---- S007 name-collision --------------------------------------------------
+
+#[test]
+fn s007_flags_duplicate_instance_and_port_names() {
+    let mut nl = Netlist::new("dups");
+    let (_, a) = nl.add_input("a");
+    let y1 = inv(&mut nl, "dup", a);
+    let y2 = inv(&mut nl, "dup", a);
+    nl.add_output("out", y1);
+    nl.add_output("out", y2);
+    let report = lint(&nl, LintStage::Input);
+    let dups: Vec<_> = report
+        .errors()
+        .into_iter()
+        .filter(|d| d.code == "S007")
+        .collect();
+    assert_eq!(dups.len(), 2, "want instance + port collisions: {report}");
+}
+
+#[test]
+fn s007_duplicate_net_names_only_warn() {
+    let mut nl = Netlist::new("net-dups");
+    let (_, a) = nl.add_input("a");
+    let y1 = nl.add_net("n");
+    let y2 = nl.add_net("n");
+    nl.add_cell("i1", CellKind::Inv, vec![a, y1]);
+    nl.add_cell("i2", CellKind::Inv, vec![a, y2]);
+    nl.add_output("o1", y1);
+    nl.add_output("o2", y2);
+    let report = lint(&nl, LintStage::Input);
+    assert!(report.has("S007"), "missing S007 in: {report}");
+    assert!(
+        report.errors().is_empty(),
+        "net dup must be warn-level: {report}"
+    );
+}
+
+// ---- P001 phase-order -----------------------------------------------------
+
+/// `d -> latch(pa) -> inv -> latch(pb) -> out` with phases by index.
+fn latch_pair(pa: usize, pb: usize) -> Netlist {
+    let mut nl = Netlist::new(format!("pair-{pa}-{pb}"));
+    let phases = three_phase(&mut nl, 900.0);
+    let (_, d) = nl.add_input("d");
+    let qa = latch(&mut nl, "la", d, phases[pa]);
+    let mid = inv(&mut nl, "i1", qa);
+    let qb = latch(&mut nl, "lb", mid, phases[pb]);
+    nl.add_output("out", qb);
+    nl
+}
+
+#[test]
+fn p001_flags_same_phase_latch_pair() {
+    let report = lint(&latch_pair(0, 0), LintStage::Convert);
+    assert!(report.has("P001"), "missing P001 in: {report}");
+}
+
+#[test]
+fn p001_flags_p3_to_p1_wraparound() {
+    let report = lint(&latch_pair(2, 0), LintStage::Convert);
+    assert!(report.has("P001"), "missing P001 in: {report}");
+}
+
+#[test]
+fn p001_accepts_all_legal_adjacencies() {
+    for (pa, pb) in [(0, 1), (0, 2), (1, 0), (1, 2), (2, 1)] {
+        let report = lint(&latch_pair(pa, pb), LintStage::Convert);
+        assert!(
+            report.errors().is_empty(),
+            "p{}->p{} should be legal: {report}",
+            pa + 1,
+            pb + 1
+        );
+    }
+}
+
+#[test]
+fn p001_is_inactive_before_conversion() {
+    let report = lint(&latch_pair(0, 0), LintStage::Input);
+    assert!(!report.has("P001"), "P001 must not run at input: {report}");
+}
+
+// ---- P002 icg-phase -------------------------------------------------------
+
+#[test]
+fn p002_flags_icg_rooted_off_phase() {
+    let mut nl = Netlist::new("icg-bad-root");
+    let phases = three_phase(&mut nl, 900.0);
+    let (_, en) = nl.add_input("en");
+    let (_, ck) = nl.add_input("free_ck"); // not a declared phase
+    let gck = nl.add_net("gck");
+    nl.add_cell("cg1", CellKind::Icg, vec![en, ck, gck]);
+    let (_, d) = nl.add_input("d");
+    let q = latch(&mut nl, "l1", d, gck);
+    let q2 = latch(&mut nl, "l2", q, phases[2]);
+    nl.add_output("out", q2);
+    let report = lint(&nl, LintStage::Convert);
+    assert!(report.has("P002"), "missing P002 in: {report}");
+}
+
+#[test]
+fn p002_flags_wrong_m1_aux_phase() {
+    let mut nl = Netlist::new("icg-bad-aux");
+    let phases = three_phase(&mut nl, 900.0);
+    let (_, en) = nl.add_input("en");
+    let gck = nl.add_net("gck");
+    // Gates p2, so the enable latch must be clocked by p3 — wire p1 instead.
+    nl.add_cell("cg1", CellKind::IcgM1, vec![en, phases[0], phases[1], gck]);
+    let (_, d) = nl.add_input("d");
+    let q = latch(&mut nl, "l1", d, gck);
+    let q2 = latch(&mut nl, "l2", q, phases[2]);
+    nl.add_output("out", q2);
+    let report = lint(&nl, LintStage::Convert);
+    assert!(report.has("P002"), "missing P002 in: {report}");
+}
+
+#[test]
+fn p002_accepts_well_rooted_gates() {
+    let mut nl = Netlist::new("icg-ok");
+    let phases = three_phase(&mut nl, 900.0);
+    let (_, en) = nl.add_input("en");
+    let gck = nl.add_net("gck");
+    nl.add_cell("cg1", CellKind::IcgM1, vec![en, phases[2], phases[1], gck]);
+    let (_, d) = nl.add_input("d");
+    let q = latch(&mut nl, "l1", d, gck);
+    let q2 = latch(&mut nl, "l2", q, phases[2]);
+    nl.add_output("out", q2);
+    let report = lint(&nl, LintStage::Convert);
+    assert!(report.errors().is_empty(), "unexpected errors: {report}");
+}
+
+// ---- P003 unassigned-phase ------------------------------------------------
+
+#[test]
+fn p003_flags_latch_clocked_off_spec() {
+    let mut nl = Netlist::new("stray-gate");
+    let _ = three_phase(&mut nl, 900.0);
+    let (_, g) = nl.add_input("free_g"); // not a declared phase
+    let (_, d) = nl.add_input("d");
+    let q = latch(&mut nl, "l1", d, g);
+    nl.add_output("out", q);
+    let report = lint(&nl, LintStage::Convert);
+    assert!(report.has("P003"), "missing P003 in: {report}");
+}
+
+#[test]
+fn p003_flags_sequential_design_without_clock_spec() {
+    let mut nl = Netlist::new("no-spec");
+    let (_, g) = nl.add_input("g");
+    let (_, d) = nl.add_input("d");
+    let q = latch(&mut nl, "l1", d, g);
+    nl.add_output("out", q);
+    let report = lint(&nl, LintStage::Convert);
+    assert!(report.has("P003"), "missing P003 in: {report}");
+}
+
+#[test]
+fn p003_accepts_combinational_design_without_clock_spec() {
+    let mut nl = Netlist::new("comb-only");
+    let (_, a) = nl.add_input("a");
+    let y = inv(&mut nl, "i1", a);
+    nl.add_output("out", y);
+    let report = lint(&nl, LintStage::Convert);
+    assert!(report.is_clean(), "comb design needs no clock: {report}");
+}
+
+// ---- P004 residual-ff -----------------------------------------------------
+
+#[test]
+fn p004_flags_surviving_ff_after_conversion() {
+    let mut nl = Netlist::new("residual");
+    let phases = three_phase(&mut nl, 900.0);
+    let (_, d) = nl.add_input("d");
+    let q = nl.add_net("q");
+    nl.add_cell("ff1", CellKind::Dff, vec![d, phases[0], q]);
+    nl.add_output("out", q);
+    let report = lint(&nl, LintStage::Convert);
+    assert!(report.has("P004"), "missing P004 in: {report}");
+}
+
+#[test]
+fn p004_allows_ffs_before_conversion() {
+    let mut nl = Netlist::new("pre-conversion");
+    let (pck, ck) = nl.add_input("ck");
+    nl.clock = Some(ClockSpec::single(pck, 1000.0));
+    let (_, d) = nl.add_input("d");
+    let q = nl.add_net("q");
+    nl.add_cell("ff1", CellKind::Dff, vec![d, ck, q]);
+    nl.add_output("out", q);
+    for stage in [LintStage::Input, LintStage::Preprocess] {
+        let report = lint(&nl, stage);
+        assert!(!report.has("P004"), "spurious P004 at {stage:?}: {report}");
+        assert!(
+            report.is_clean(),
+            "FF design is clean pre-conversion: {report}"
+        );
+    }
+}

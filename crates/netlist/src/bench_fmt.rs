@@ -88,7 +88,11 @@ pub fn from_bench(text: &str, name: &str, period_ps: f64) -> Result<Netlist> {
                 if ins.len() != 1 {
                     return Err(Error::Parse(lno, "DFF takes one input".into()));
                 }
-                nl.add_cell(format!("ff_{target}"), CellKind::Dff, vec![ins[0], ck_net, out]);
+                nl.add_cell(
+                    format!("ff_{target}"),
+                    CellKind::Dff,
+                    vec![ins[0], ck_net, out],
+                );
             } else if kind.is_comb() && !kind.validate() {
                 return Err(Error::Parse(lno, format!("bad arity {n} for {func_up}")));
             } else {

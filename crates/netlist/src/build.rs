@@ -251,7 +251,12 @@ impl<'a> Builder<'a> {
     }
 
     /// Bitwise map of two words.
-    fn zip2(&mut self, a: &Word, b: &Word, mut f: impl FnMut(&mut Self, NetId, NetId) -> NetId) -> Word {
+    fn zip2(
+        &mut self,
+        a: &Word,
+        b: &Word,
+        mut f: impl FnMut(&mut Self, NetId, NetId) -> NetId,
+    ) -> Word {
         assert_eq!(a.width(), b.width(), "width mismatch");
         (0..a.width())
             .map(|i| f(self, a.bit(i), b.bit(i)))

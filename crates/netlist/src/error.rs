@@ -36,11 +36,10 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert_eq!(
-            Error::Invalid("x".into()).to_string(),
-            "invalid netlist: x"
-        );
+        assert_eq!(Error::Invalid("x".into()).to_string(), "invalid netlist: x");
         assert!(Error::CombLoop("u1".into()).to_string().contains("u1"));
-        assert!(Error::Parse(3, "bad token".into()).to_string().contains("line 3"));
+        assert!(Error::Parse(3, "bad token".into())
+            .to_string()
+            .contains("line 3"));
     }
 }

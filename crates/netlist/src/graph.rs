@@ -229,6 +229,42 @@ pub fn trace_clock_root(nl: &Netlist, idx: &ConnIndex, net: NetId) -> Result<Clo
     Err(Error::Invalid("clock path loops".to_owned()))
 }
 
+/// Nets belonging to the clock network, as a by-[`NetId`] membership mask.
+///
+/// Seeds are the nets of the ports named in the netlist's [`crate::ClockSpec`];
+/// the cone expands through clock buffers and through clock-gating cells
+/// entered via their `CK` pin (an ICG reached only on `EN` does not extend
+/// the cone). Returns an all-`false` mask when no clock spec is attached.
+pub fn clock_cone(nl: &Netlist, idx: &ConnIndex) -> Vec<bool> {
+    let mut in_cone = vec![false; nl.net_capacity()];
+    let Some(clock) = &nl.clock else {
+        return in_cone;
+    };
+    let mut queue: VecDeque<NetId> = VecDeque::new();
+    for phase in &clock.phases {
+        let net = nl.port(phase.port).net;
+        if !in_cone[net.index()] {
+            in_cone[net.index()] = true;
+            queue.push_back(net);
+        }
+    }
+    while let Some(n) = queue.pop_front() {
+        for load in idx.loads(n) {
+            let cell = nl.cell(load.cell);
+            let out = match cell.kind {
+                CellKind::ClkBuf => cell.output(),
+                k if k.is_clock_gate() && Some(load.pin) == k.clock_pin() => cell.output(),
+                _ => continue,
+            };
+            if !in_cone[out.index()] {
+                in_cone[out.index()] = true;
+                queue.push_back(out);
+            }
+        }
+    }
+    in_cone
+}
+
 /// Maximum logic depth (in cells) of the combinational fabric; a coarse
 /// structural complexity measure used by generators and reports.
 pub fn comb_depth(nl: &Netlist, idx: &ConnIndex) -> Result<usize> {
@@ -314,7 +350,7 @@ mod tests {
         let r = reach_storage(&nl, &idx, a);
         assert_eq!(r.storage, vec![ff]);
         assert_eq!(r.ports.len(), 1); // z through u_and2
-        // From the FF's Q: reaches the output port but no storage.
+                                      // From the FF's Q: reaches the output port but no storage.
         let q = nl.cell(ff).output();
         let r2 = reach_storage(&nl, &idx, q);
         assert!(r2.storage.is_empty());
@@ -332,7 +368,11 @@ mod tests {
         nl.add_output("q", q);
         let idx = nl.index();
         let r = reach_storage(&nl, &idx, q);
-        assert_eq!(r.storage, vec![ff], "FF reaches itself through the inverter");
+        assert_eq!(
+            r.storage,
+            vec![ff],
+            "FF reaches itself through the inverter"
+        );
     }
 
     #[test]
@@ -380,6 +420,36 @@ mod tests {
         nl.add_output("q", q);
         let idx = nl.index();
         assert!(trace_clock_root(&nl, &idx, x).is_err());
+    }
+
+    #[test]
+    fn clock_cone_marks_buffered_and_gated_nets() {
+        use crate::netlist::ClockSpec;
+        let mut nl = Netlist::new("cone");
+        let (ckp, ck) = nl.add_input("ck");
+        let (_, en) = nl.add_input("en");
+        let (_, d) = nl.add_input("d");
+        let bufd = nl.add_net("ckb");
+        let gck = nl.add_net("gck");
+        let q = nl.add_net("q");
+        let nd = nl.add_net("nd");
+        nl.add_cell("cb", CellKind::ClkBuf, vec![ck, bufd]);
+        nl.add_cell("icg", CellKind::Icg, vec![en, bufd, gck]);
+        nl.add_cell("ff", CellKind::Dff, vec![d, gck, q]);
+        nl.add_cell("u1", CellKind::Inv, vec![d, nd]);
+        nl.add_output("q", q);
+        nl.add_output("nd", nd);
+        nl.clock = Some(ClockSpec::single(ckp, 1000.0));
+        let idx = nl.index();
+        let cone = clock_cone(&nl, &idx);
+        assert!(cone[ck.index()]);
+        assert!(cone[bufd.index()]);
+        assert!(cone[gck.index()]);
+        assert!(!cone[d.index()]);
+        assert!(!cone[nd.index()]);
+        // Without a clock spec the cone is empty.
+        nl.clock = None;
+        assert!(!clock_cone(&nl, &idx).iter().any(|&b| b));
     }
 
     #[test]

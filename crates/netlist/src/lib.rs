@@ -41,9 +41,9 @@ pub mod bench_fmt;
 pub mod verilog;
 
 pub use build::{Builder, Word};
-pub use triphase_cells::CellKind;
 pub use error::{Error, Result};
 pub use id::{CellId, NetId, PortId};
 pub use netlist::{
     Cell, ClockSpec, ConnIndex, Net, Netlist, NetlistStats, PhaseDef, Pin, Port, PortDir,
 };
+pub use triphase_cells::CellKind;

@@ -224,6 +224,19 @@ impl Netlist {
         self.live_cells -= 1;
     }
 
+    /// Remove a net, leaving a tombstone. Pins or ports still referencing
+    /// it become dangling (callers are expected to reconnect them; the
+    /// `triphase-lint` `S004` rule reports any that remain).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the net was already removed.
+    pub fn remove_net(&mut self, id: NetId) {
+        let slot = &mut self.nets[id.index()];
+        assert!(slot.is_some(), "net {id} already removed");
+        *slot = None;
+    }
+
     /// Reconnect pin `pin` of cell `id` to `net`.
     pub fn set_pin(&mut self, id: CellId, pin: usize, net: NetId) {
         let cell = self.cells[id.index()].as_mut().expect("dead cell");
@@ -266,6 +279,11 @@ impl Netlist {
     /// The net `id`.
     pub fn net(&self, id: NetId) -> &Net {
         self.nets[id.index()].as_ref().expect("dead net")
+    }
+
+    /// The net `id` if it is alive.
+    pub fn try_net(&self, id: NetId) -> Option<&Net> {
+        self.nets.get(id.index()).and_then(|n| n.as_ref())
     }
 
     /// The port `id`.
@@ -386,7 +404,12 @@ impl Netlist {
         let mut drivers: Vec<u32> = vec![0; self.nets.len()];
         let mut used: Vec<bool> = vec![false; self.nets.len()];
         for port in &self.ports {
-            if self.nets.get(port.net.index()).and_then(|n| n.as_ref()).is_none() {
+            if self
+                .nets
+                .get(port.net.index())
+                .and_then(|n| n.as_ref())
+                .is_none()
+            {
                 return Err(Error::Invalid(format!(
                     "port {} references dead net {}",
                     port.name, port.net
@@ -406,7 +429,12 @@ impl Netlist {
                 )));
             }
             for (pin, &net) in cell.pins.iter().enumerate() {
-                if self.nets.get(net.index()).and_then(|n| n.as_ref()).is_none() {
+                if self
+                    .nets
+                    .get(net.index())
+                    .and_then(|n| n.as_ref())
+                    .is_none()
+                {
                     return Err(Error::Invalid(format!(
                         "cell {} pin {pin} references dead net {net}",
                         cell.name
@@ -631,9 +659,12 @@ mod tests {
         let (mut nl, _, y) = tiny();
         let x = nl.add_net("x");
         nl.add_cell("u2", CellKind::Inv, vec![x, y]); // y now double-driven
-        // x has no driver but is used.
+                                                      // x has no driver but is used.
         let err = nl.validate().unwrap_err().to_string();
-        assert!(err.contains("no driver") || err.contains("2 drivers"), "{err}");
+        assert!(
+            err.contains("no driver") || err.contains("2 drivers"),
+            "{err}"
+        );
     }
 
     #[test]
@@ -667,7 +698,11 @@ mod tests {
         // Port order preserved.
         assert_eq!(
             nl.ports().iter().map(|p| &p.name).collect::<Vec<_>>(),
-            compacted.ports().iter().map(|p| &p.name).collect::<Vec<_>>()
+            compacted
+                .ports()
+                .iter()
+                .map(|p| &p.name)
+                .collect::<Vec<_>>()
         );
     }
 

@@ -71,11 +71,7 @@ pub fn fold_constants(nl: &mut Netlist) -> usize {
         {
             continue;
         }
-        let ins: Vec<Option<bool>> = cell
-            .inputs()
-            .iter()
-            .map(|n| const_of[n.index()])
-            .collect();
+        let ins: Vec<Option<bool>> = cell.inputs().iter().map(|n| const_of[n.index()]).collect();
         let value = if ins.iter().all(|v| v.is_some()) {
             let bits: Vec<bool> = ins.iter().map(|v| v.unwrap()).collect();
             Some(cell.kind.eval_comb(&bits))
@@ -97,7 +93,11 @@ pub fn fold_constants(nl: &mut Netlist) -> usize {
     let n = folds.len();
     for (id, v) in folds {
         let out = nl.cell(id).output();
-        let kind = if v { CellKind::Const1 } else { CellKind::Const0 };
+        let kind = if v {
+            CellKind::Const1
+        } else {
+            CellKind::Const0
+        };
         nl.replace_cell(id, kind, vec![out]);
     }
     n
@@ -191,9 +191,7 @@ mod tests {
         assert!(report.folded >= 1, "{report:?}");
         nl.validate().unwrap();
         // The AND is now a constant; the OR survives (not all-const).
-        assert!(nl
-            .cells()
-            .all(|(_, c)| c.kind != CellKind::And(2)));
+        assert!(nl.cells().all(|(_, c)| c.kind != CellKind::And(2)));
     }
 
     #[test]

@@ -63,7 +63,12 @@ pub fn to_verilog(nl: &Netlist) -> String {
         let conns: Vec<String> = (0..cell.kind.pin_count())
             .map(|i| format!(".{}({})", cell.kind.pin_name(i), net_name(cell.pin(i))))
             .collect();
-        let _ = writeln!(out, "  {} {inst} ({});", cell.kind.lib_name(), conns.join(", "));
+        let _ = writeln!(
+            out,
+            "  {} {inst} ({});",
+            cell.kind.lib_name(),
+            conns.join(", ")
+        );
     }
     let _ = writeln!(out, "endmodule");
     out
@@ -95,7 +100,13 @@ impl NameTable {
 fn sanitize(raw: &str) -> String {
     let mut s: String = raw
         .chars()
-        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect();
     if s.is_empty() || s.chars().next().is_some_and(|c| c.is_ascii_digit()) {
         s.insert(0, 'n');
@@ -217,8 +228,7 @@ impl<'a> Parser<'a> {
                 }
                 "wire" => {
                     for name in self.name_list()? {
-                        nets.entry(name.clone())
-                            .or_insert_with(|| nl.add_net(name));
+                        nets.entry(name.clone()).or_insert_with(|| nl.add_net(name));
                     }
                 }
                 "assign" => {
@@ -229,9 +239,8 @@ impl<'a> Parser<'a> {
                     assigns.push((line, lhs, rhs));
                 }
                 cellname => {
-                    let kind = CellKind::from_lib_name(cellname).ok_or_else(|| {
-                        Error::Parse(line, format!("unknown cell `{cellname}`"))
-                    })?;
+                    let kind = CellKind::from_lib_name(cellname)
+                        .ok_or_else(|| Error::Parse(line, format!("unknown cell `{cellname}`")))?;
                     let inst = self.next()?;
                     self.expect("(")?;
                     let mut pins: Vec<Option<NetId>> = vec![None; kind.pin_count()];

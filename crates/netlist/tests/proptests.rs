@@ -1,8 +1,24 @@
-//! Property tests: Verilog round-trips and structural invariants on
-//! randomly built netlists.
+//! Property-style tests: Verilog round-trips and structural invariants on
+//! randomly built netlists, driven by a deterministic recipe stream.
 
-use proptest::prelude::*;
 use triphase_netlist::{verilog, Builder, ClockSpec, Netlist, Word};
+
+/// Deterministic splitmix64 stream for generating test recipes.
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next_u64() as usize) % (hi - lo)
+    }
+}
 
 /// Build a random netlist from a recipe of word operations.
 fn build(ops: &[u8], width: usize, seed: u64) -> Netlist {
@@ -39,63 +55,78 @@ fn build(ops: &[u8], width: usize, seed: u64) -> Netlist {
     nl
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+/// Draw `(ops, width, seed)` recipes from a named stream.
+fn recipes(tag: u64, cases: usize, max_ops: usize, max_width: usize) -> Vec<(Vec<u8>, usize, u64)> {
+    let mut rng = Rng(tag);
+    (0..cases)
+        .map(|_| {
+            let ops: Vec<u8> = (0..rng.below(1, max_ops))
+                .map(|_| rng.next_u64() as u8)
+                .collect();
+            (ops, rng.below(1, max_width), rng.next_u64() % 100)
+        })
+        .collect()
+}
 
-    #[test]
-    fn random_netlists_validate(ops in prop::collection::vec(any::<u8>(), 1..12),
-                                width in 1usize..8, seed in 0u64..100) {
+#[test]
+fn random_netlists_validate() {
+    for (ops, width, seed) in recipes(11, 24, 12, 8) {
         let nl = build(&ops, width, seed);
-        prop_assert!(nl.validate().is_ok());
+        assert!(nl.validate().is_ok(), "ops {ops:?} width {width}");
         let idx = nl.index();
-        prop_assert!(triphase_netlist::graph::comb_topo_order(&nl, &idx).is_ok());
+        assert!(triphase_netlist::graph::comb_topo_order(&nl, &idx).is_ok());
     }
+}
 
-    #[test]
-    fn verilog_roundtrip_preserves_stats(ops in prop::collection::vec(any::<u8>(), 1..10),
-                                         width in 1usize..6, seed in 0u64..100) {
+#[test]
+fn verilog_roundtrip_preserves_stats() {
+    for (ops, width, seed) in recipes(22, 24, 10, 6) {
         let nl = build(&ops, width, seed);
         let text = verilog::to_verilog(&nl);
         let back = verilog::from_verilog(&text).unwrap();
-        prop_assert_eq!(back.stats(), nl.stats());
-        // Idempotent: a second round-trip produces identical text.
+        assert_eq!(back.stats(), nl.stats(), "ops {ops:?} width {width}");
+        // Idempotent: a second round-trip produces identical stats.
         let text2 = verilog::to_verilog(&back);
         let back2 = verilog::from_verilog(&text2).unwrap();
-        prop_assert_eq!(back2.stats(), back.stats());
+        assert_eq!(back2.stats(), back.stats());
     }
+}
 
-    #[test]
-    fn compact_preserves_structure(ops in prop::collection::vec(any::<u8>(), 1..10),
-                                   width in 1usize..6, seed in 0u64..100) {
+#[test]
+fn compact_preserves_structure() {
+    for (ops, width, seed) in recipes(33, 24, 10, 6) {
         let nl = build(&ops, width, seed);
         let c = nl.compact();
-        prop_assert_eq!(c.stats(), nl.stats());
-        prop_assert!(c.validate().is_ok());
-        prop_assert_eq!(c.ports().len(), nl.ports().len());
+        assert_eq!(c.stats(), nl.stats(), "ops {ops:?} width {width}");
+        assert!(c.validate().is_ok());
+        assert_eq!(c.ports().len(), nl.ports().len());
     }
+}
 
-    #[test]
-    fn word_rotations_compose(width in 1usize..16, a in 0usize..32, b in 0usize..32) {
+#[test]
+fn word_rotations_compose() {
+    let mut rng = Rng(44);
+    for _ in 0..32 {
+        let width = rng.below(1, 16);
+        let a = rng.below(0, 32);
+        let b = rng.below(0, 32);
         let mut nl = Netlist::new("rot");
         let mut bld = Builder::new(&mut nl, "u");
         let w = bld.word_input("w", width);
         let both = w.rotl(a).rotl(b);
         let once = w.rotl((a + b) % width.max(1));
-        prop_assert_eq!(both, once);
+        assert_eq!(both, once, "width {width} a {a} b {b}");
         let inv = w.rotl(a).rotr(a);
-        prop_assert_eq!(inv, w);
+        assert_eq!(inv, w);
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    /// `opt::optimize` never changes behaviour (simulation equivalence on
-    /// random netlists seeded with constants, buffers, and dead logic).
-    #[test]
-    fn optimize_preserves_behaviour(ops in prop::collection::vec(any::<u8>(), 1..10),
-                                    width in 1usize..6, seed in 0u64..100) {
-        use triphase_sim::equiv_stream;
+/// `opt::optimize` never changes behaviour (simulation equivalence on
+/// random netlists seeded with constants, buffers, and dead logic).
+#[test]
+fn optimize_preserves_behaviour() {
+    use triphase_sim::equiv_stream;
+    for (ops, width, seed) in recipes(55, 16, 10, 6) {
         let golden = build(&ops, width, seed);
         let mut opt = golden.clone();
         // Sprinkle removable structure: a buffer chain and dead gate.
@@ -106,9 +137,9 @@ proptest! {
             let _dead = b.not(b1);
         }
         triphase_netlist::opt::optimize(&mut opt);
-        prop_assert!(opt.validate().is_ok());
+        assert!(opt.validate().is_ok(), "ops {ops:?} width {width}");
         let r = equiv_stream(&golden, &opt, seed, 100).unwrap();
-        prop_assert!(r.equivalent(), "mismatch: {:?}", r.mismatch);
+        assert!(r.equivalent(), "ops {ops:?}: mismatch {:?}", r.mismatch);
     }
 }
 
@@ -117,7 +148,7 @@ fn sop_matches_truth_table_in_simulation() {
     use triphase_sim::{Logic, Simulator};
     // A random-ish 4-in/3-out truth table lowered to gates must agree
     // with direct table lookup for every input combination.
-    let table: Vec<u64> = (0..16u64).map(|i| (i * 0x9E37 >> 3) & 0b111).collect();
+    let table: Vec<u64> = (0..16u64).map(|i| ((i * 0x9E37) >> 3) & 0b111).collect();
     let mut nl = Netlist::new("sop");
     let mut b = Builder::new(&mut nl, "u");
     let (ckp, _ck) = b.netlist().add_input("ck");
@@ -127,7 +158,7 @@ fn sop_matches_truth_table_in_simulation() {
     nl.clock = Some(ClockSpec::single(ckp, 1000.0));
     let mut sim = Simulator::new(&nl).unwrap();
     sim.reset_zero();
-    for value in 0..16usize {
+    for (value, &want) in table.iter().enumerate() {
         for bit in 0..4 {
             let p = nl.find_port(&format!("s_{bit}")).unwrap();
             sim.set_input(p, Logic::from_bool((value >> bit) & 1 == 1));
@@ -139,7 +170,7 @@ fn sop_matches_truth_table_in_simulation() {
                 u64::from(sim.output(p) == Logic::One) << bit
             })
             .sum();
-        assert_eq!(got, table[value], "input {value:04b}");
+        assert_eq!(got, want, "input {value:04b}");
     }
 }
 

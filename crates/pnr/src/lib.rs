@@ -369,9 +369,9 @@ fn seed_order(nl: &Netlist, idx: &ConnIndex, cells: &[CellId]) -> Vec<CellId> {
     let mut seen = vec![false; nl.cell_capacity()];
     let mut queue = std::collections::VecDeque::new();
     let bfs_from = |start: CellId,
-                        order: &mut Vec<CellId>,
-                        seen: &mut Vec<bool>,
-                        queue: &mut std::collections::VecDeque<CellId>| {
+                    order: &mut Vec<CellId>,
+                    seen: &mut Vec<bool>,
+                    queue: &mut std::collections::VecDeque<CellId>| {
         if seen[start.index()] {
             return;
         }
@@ -449,9 +449,8 @@ fn synthesize_clock_trees(
             let mut wire = 0.0f64;
             cluster(&sinks, opts.cts_max_fanout, &mut buffers, &mut wire);
             let sink_cap: f64 = sinks.iter().map(|s| s.2).sum();
-            let total_cap = wire * opts.clock_wire_cap_per_um
-                + buffers as f64 * buf.input_cap_ff
-                + sink_cap;
+            let total_cap =
+                wire * opts.clock_wire_cap_per_um + buffers as f64 * buf.input_cap_ff + sink_cap;
             ClockTreeReport {
                 root_net: nl.net(net).name.clone(),
                 net,

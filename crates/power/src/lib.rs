@@ -219,12 +219,7 @@ pub fn estimate_power_with(
     };
 
     let toggles = |net: NetId| -> f64 {
-        activity
-            .net_toggles
-            .get(net.index())
-            .copied()
-            .unwrap_or(0) as f64
-            / activity.cycles as f64
+        activity.net_toggles.get(net.index()).copied().unwrap_or(0) as f64 / activity.cycles as f64
     };
 
     let mut report = PowerReport::default();

@@ -637,7 +637,11 @@ fn apply(
     }
     for (orig, tap) in port_rewires {
         // The original PO net lost its (movable) driver; bridge it.
-        out.add_cell(format!("rt_obuf{}", orig.index()), CellKind::Buf, vec![tap, orig]);
+        out.add_cell(
+            format!("rt_obuf{}", orig.index()),
+            CellKind::Buf,
+            vec![tap, orig],
+        );
     }
     out.compact()
 }
@@ -919,6 +923,9 @@ mod tests {
             .1;
         let ridx = rebuilt.index();
         let drv = ridx.driver(icg.pin(0)).expect("enable driven");
-        assert!(rebuilt.cell(drv.cell).kind.is_comb(), "no register on enable");
+        assert!(
+            rebuilt.cell(drv.cell).kind.is_comb(),
+            "no register on enable"
+        );
     }
 }

@@ -126,7 +126,7 @@ mod tests {
 
     #[test]
     fn truth_tables() {
-        use Logic::{One, X, Zero};
+        use Logic::{One, Zero, X};
         assert_eq!(Zero.and(X), Zero, "0 AND x = 0");
         assert_eq!(One.and(X), X);
         assert_eq!(One.or(X), One, "1 OR x = 1");
@@ -175,7 +175,7 @@ mod tests {
 
     #[test]
     fn mux_x_select_resolves_when_equal() {
-        use Logic::{One, X, Zero};
+        use Logic::{One, Zero, X};
         assert_eq!(eval_kind(CellKind::Mux2, &[One, One, X]), One);
         assert_eq!(eval_kind(CellKind::Mux2, &[Zero, One, X]), X);
     }

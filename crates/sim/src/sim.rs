@@ -412,8 +412,7 @@ impl<'a> Simulator<'a> {
 
 /// Topological order of the clock network (buffers driving gates etc.).
 fn clock_network_order(nl: &Netlist, idx: &ConnIndex) -> Result<Vec<CellId>> {
-    let is_clock_cell =
-        |k: CellKind| k.is_clock_gate() || k == CellKind::ClkBuf;
+    let is_clock_cell = |k: CellKind| k.is_clock_gate() || k == CellKind::ClkBuf;
     let mut order = Vec::new();
     let mut state: HashMap<CellId, u8> = HashMap::new(); // 1=visiting, 2=done
     let mut stack: Vec<(CellId, bool)> = nl
@@ -430,9 +429,10 @@ fn clock_network_order(nl: &Netlist, idx: &ConnIndex) -> Result<Vec<CellId>> {
         match state.get(&c) {
             Some(2) => continue,
             Some(1) => {
-                return Err(Error::Netlist(triphase_netlist::Error::Invalid(
-                    format!("clock network cycle at {}", nl.cell(c).name),
-                )))
+                return Err(Error::Netlist(triphase_netlist::Error::Invalid(format!(
+                    "clock network cycle at {}",
+                    nl.cell(c).name
+                ))))
             }
             _ => {}
         }
@@ -452,9 +452,10 @@ fn clock_network_order(nl: &Netlist, idx: &ConnIndex) -> Result<Vec<CellId>> {
                     match state.get(&drv.cell).copied() {
                         Some(2) => {}
                         Some(_) => {
-                            return Err(Error::Netlist(triphase_netlist::Error::Invalid(
-                                format!("clock network cycle at {}", nl.cell(drv.cell).name),
-                            )))
+                            return Err(Error::Netlist(triphase_netlist::Error::Invalid(format!(
+                                "clock network cycle at {}",
+                                nl.cell(drv.cell).name
+                            ))))
                         }
                         None => stack.push((drv.cell, false)),
                     }
@@ -600,7 +601,7 @@ mod tests {
         let gck = b.net("gck");
         b.netlist()
             .add_cell("icg", CellKind::Icg, vec![en, ck, gck]);
-        let q_gated = b.dff(d, gck, );
+        let q_gated = b.dff(d, gck);
         let q_free = b.dff(d, ck);
         b.netlist().add_output("qg", q_gated);
         b.netlist().add_output("qf", q_free);

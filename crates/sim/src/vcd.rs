@@ -72,10 +72,7 @@ impl<W: Write> VcdWriter<W> {
     ///
     /// I/O errors from the sink.
     pub fn new(out: W, nl: &Netlist) -> io::Result<VcdWriter<W>> {
-        let nets = nl
-            .nets()
-            .map(|(id, n)| (id, n.name.clone()))
-            .collect();
+        let nets = nl.nets().map(|(id, n)| (id, n.name.clone())).collect();
         Self::with_nets(out, nl, nets)
     }
 

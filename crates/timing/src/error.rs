@@ -30,7 +30,10 @@ impl fmt::Display for Error {
             Error::WrongAnalysis(msg) => write!(f, "wrong analysis: {msg}"),
             Error::Netlist(e) => write!(f, "netlist error: {e}"),
             Error::NoConvergence { iterations } => {
-                write!(f, "latch timing did not converge after {iterations} iterations")
+                write!(
+                    f,
+                    "latch timing did not converge after {iterations} iterations"
+                )
             }
         }
     }
@@ -58,7 +61,9 @@ mod tests {
     #[test]
     fn display() {
         assert!(Error::NoClock.to_string().contains("clock"));
-        assert!(Error::NoConvergence { iterations: 7 }.to_string().contains('7'));
+        assert!(Error::NoConvergence { iterations: 7 }
+            .to_string()
+            .contains('7'));
         let e = Error::Netlist(triphase_netlist::Error::Invalid("x".into()));
         assert!(e.to_string().contains("x"));
         assert!(std::error::Error::source(&e).is_some());

@@ -145,8 +145,7 @@ pub fn extract_seq_graph(
                 let cell = nl.cell(c);
                 let q = cell.output();
                 // Load-dependent part of the launch delay.
-                let drive =
-                    lib.cell(cell.kind).res_ps_per_ff * net_load(nl, lib, idx, wire_cap, q);
+                let drive = lib.cell(cell.kind).res_ps_per_ff * net_load(nl, lib, idx, wire_cap, q);
                 Some((i, q, drive))
             }
             SeqNode::Input(p) => Some((i, nl.port(p).net, 0.0)),
@@ -251,8 +250,7 @@ pub fn storage_phases(nl: &Netlist, idx: &ConnIndex) -> Result<HashMap<CellId, u
             continue;
         }
         let ck_pin = cell.kind.clock_pin().expect("storage has clock pin");
-        let trace =
-            graph::trace_clock_root(nl, idx, cell.pin(ck_pin)).map_err(Error::Netlist)?;
+        let trace = graph::trace_clock_root(nl, idx, cell.pin(ck_pin)).map_err(Error::Netlist)?;
         let phase = clock.phase_of_port(trace.root).ok_or_else(|| {
             Error::Netlist(triphase_netlist::Error::Invalid(format!(
                 "clock of {} traces to non-phase port {}",

@@ -235,15 +235,14 @@ pub fn analyze_smo_with_clock(
     let mut total_borrowed = 0.0;
     for i in 0..n {
         let c = &clocks[i];
-        let (setup_slack, hold_slack, borrowed) =
-            if !c.checked || arr_max[i] == f64::NEG_INFINITY {
-                (f64::INFINITY, f64::INFINITY, 0.0)
-            } else {
-                let s = (t - c.setup) - arr_max[i];
-                let h = arr_min[i] - c.hold;
-                let b = (arr_max[i] - (t - c.width)).max(0.0);
-                (s, h, if c.width > 0.0 { b } else { 0.0 })
-            };
+        let (setup_slack, hold_slack, borrowed) = if !c.checked || arr_max[i] == f64::NEG_INFINITY {
+            (f64::INFINITY, f64::INFINITY, 0.0)
+        } else {
+            let s = (t - c.setup) - arr_max[i];
+            let h = arr_min[i] - c.hold;
+            let b = (arr_max[i] - (t - c.width)).max(0.0);
+            (s, h, if c.width > 0.0 { b } else { 0.0 })
+        };
         worst_setup = worst_setup.min(setup_slack);
         worst_hold = worst_hold.min(hold_slack);
         total_borrowed += borrowed;
@@ -334,11 +333,7 @@ pub fn min_period_smo(
 /// # Errors
 ///
 /// Propagates graph-extraction and clock-tracing errors.
-pub fn check_c2(
-    nl: &Netlist,
-    lib: &Library,
-    idx: &ConnIndex,
-) -> Result<Vec<(CellId, CellId)>> {
+pub fn check_c2(nl: &Netlist, lib: &Library, idx: &ConnIndex) -> Result<Vec<(CellId, CellId)>> {
     let clock = nl.clock.as_ref().ok_or(Error::NoClock)?;
     let t = clock.period_ps;
     let graph = extract_seq_graph(nl, lib, idx, None)?;
@@ -354,8 +349,7 @@ pub fn check_c2(
     };
     let mut violations = Vec::new();
     for e in &graph.edges {
-        let (SeqNode::Storage(a), SeqNode::Storage(b)) =
-            (graph.nodes[e.from], graph.nodes[e.to])
+        let (SeqNode::Storage(a), SeqNode::Storage(b)) = (graph.nodes[e.from], graph.nodes[e.to])
         else {
             continue;
         };
@@ -414,8 +408,7 @@ mod tests {
         for (i, g) in [c1, c2, c3, c1].iter().enumerate() {
             let q = b.net(&format!("q{i}"));
             let name = format!("lat{i}");
-            b.netlist()
-                .add_cell(name, CellKind::LatchH, vec![x, *g, q]);
+            b.netlist().add_cell(name, CellKind::LatchH, vec![x, *g, q]);
             x = q;
             for _ in 0..inv_per_stage {
                 x = b.not(x);
@@ -448,7 +441,12 @@ mod tests {
         let nl = latch3(900.0, 4);
         let idx = nl.index();
         let r = analyze_smo(&nl, &lib, &idx, None).unwrap();
-        assert!(r.clean(), "setup {} hold {}", r.worst_setup_slack_ps, r.worst_hold_slack_ps);
+        assert!(
+            r.clean(),
+            "setup {} hold {}",
+            r.worst_setup_slack_ps,
+            r.worst_hold_slack_ps
+        );
     }
 
     #[test]
@@ -488,8 +486,8 @@ mod tests {
         assert!(tmin > 50.0 && tmin < 900.0, "tmin = {tmin}");
         // Analyzing right at tmin is clean; 10% below is not.
         let spec = nl.clock.as_ref().unwrap();
-        let ok = analyze_smo_with_clock(&nl, &lib, &idx, None, &scale_clock(spec, tmin * 1.01))
-            .unwrap();
+        let ok =
+            analyze_smo_with_clock(&nl, &lib, &idx, None, &scale_clock(spec, tmin * 1.01)).unwrap();
         assert!(ok.worst_setup_slack_ps >= 0.0);
         let bad = analyze_smo_with_clock(&nl, &lib, &idx, None, &scale_clock(spec, tmin * 0.85));
         match bad {

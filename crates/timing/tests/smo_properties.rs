@@ -46,7 +46,10 @@ fn borrowing_grows_with_imbalance() {
         rb.total_borrowed_ps
     );
     assert!(rs.total_borrowed_ps > 0.0);
-    assert!(rb.clean() && rs.clean(), "both fit with borrowing at 450 ps");
+    assert!(
+        rb.clean() && rs.clean(),
+        "both fit with borrowing at 450 ps"
+    );
 }
 
 #[test]

@@ -24,7 +24,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mixed = b.xor_word(&s0, &rot);
     let s1 = b.dff_word(&mixed, ck);
     // Accumulator: acc <= acc + s1 (self-loop FFs).
-    let acc_q: Word = (0..8).map(|i| b.netlist().add_net(format!("acc{i}"))).collect();
+    let acc_q: Word = (0..8)
+        .map(|i| b.netlist().add_net(format!("acc{i}")))
+        .collect();
     let (sum, _) = b.add(&acc_q, &s1, None);
     for (i, (&q, &d)) in acc_q.bits().iter().zip(sum.bits()).enumerate() {
         let name = format!("acc_ff{i}");

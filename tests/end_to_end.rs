@@ -1,7 +1,7 @@
 //! Cross-crate integration tests: full flows over the facade crate.
 
-use triphase::prelude::*;
 use triphase::pnr::PnrOptions;
+use triphase::prelude::*;
 
 fn quick_cfg() -> FlowConfig {
     FlowConfig {
@@ -80,7 +80,10 @@ fn des3_core_full_flow_equivalent() {
     let nl = des3_core(&spec, 2000.0);
     let report = run_flow(&nl, &lib, &quick_cfg()).unwrap();
     assert_eq!(report.equiv_3p, Some(true), "real Feistel core converts");
-    assert!(report.reg_saving_vs_2ff() > 5.0, "bus-attached core saves latches");
+    assert!(
+        report.reg_saving_vs_2ff() > 5.0,
+        "bus-attached core saves latches"
+    );
 }
 
 #[test]
@@ -112,7 +115,10 @@ fn cpu_flow_under_both_workloads() {
         })
         .unwrap();
         assert_eq!(report.equiv_3p, Some(true), "{workload:?}");
-        assert!(report.reg_saving_vs_2ff() > 20.0, "pipelined CPUs convert well");
+        assert!(
+            report.reg_saving_vs_2ff() > 20.0,
+            "pipelined CPUs convert well"
+        );
     }
 }
 

@@ -1,9 +1,35 @@
-//! Property-based tests over the conversion invariants (proptest).
+//! Property-style tests over the conversion invariants.
+//!
+//! Cases are drawn from a deterministic splitmix64 stream instead of an
+//! external property-testing framework so the suite runs hermetically;
+//! every failure reproduces from the printed recipe.
 
-use proptest::prelude::*;
+use triphase::lint::{LintStage, Linter};
 use triphase::prelude::*;
 use triphase::sim::equiv_stream_warmup;
 use triphase::timing::storage_phases;
+
+/// Deterministic splitmix64 stream for generating test recipes.
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[lo, hi)`.
+    fn below(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next_u64() as usize) % (hi - lo)
+    }
+
+    fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
 
 /// Build a random FF design from a compact recipe: a few layers of FFs
 /// with random mixing logic, optional feedback and enables.
@@ -28,7 +54,7 @@ fn random_design(
         let w = w.max(1);
         // Mix previous data to the layer's width.
         let mut bits = Vec::with_capacity(w);
-        for i in 0..w {
+        for _ in 0..w {
             salt = salt.wrapping_mul(6364136223846793005).wrapping_add(1);
             let a = prev.bit((salt as usize) % prev.width());
             let bnet = prev.bit((salt as usize >> 8) % prev.width());
@@ -67,54 +93,69 @@ fn random_design(
     nl
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
+/// One conversion-invariant check (C1, C2, equivalence, latch budget).
+fn check_conversion(widths: &[usize], feedback: &[bool], enables: bool, seed: u64) {
+    let recipe = format!("widths {widths:?} feedback {feedback:?} enables {enables} seed {seed}");
+    let lib = Library::synthetic_28nm();
+    let nl = random_design(widths, feedback, enables, seed);
+    nl.validate().unwrap();
+    let mut pre = nl.clone();
+    gated_clock_style(&mut pre, 32).unwrap();
+    let idx = pre.index();
+    let graph = extract_ff_graph(&pre, &idx).unwrap();
+    let assignment = assign_phases(&graph, &PhaseConfig::default());
+    let (tp, report) = to_three_phase(&pre, &assignment).unwrap();
 
-    /// Any generated FF design converts to an equivalent 3-phase design
-    /// with a legal phase assignment (constraint C2 holds, all original
-    /// FF positions are latched — C1 — and throughput is unchanged, which
-    /// equivalence streaming checks implicitly — C3).
-    #[test]
-    fn conversion_is_equivalence_preserving(
-        widths in prop::collection::vec(1usize..6, 1..4),
-        feedback in prop::collection::vec(any::<bool>(), 4),
-        enables in any::<bool>(),
-        seed in 0u64..1000,
-    ) {
-        let lib = Library::synthetic_28nm();
-        let nl = random_design(&widths, &feedback[..widths.len()], enables, seed);
-        nl.validate().unwrap();
-        let mut pre = nl.clone();
-        gated_clock_style(&mut pre, 32).unwrap();
-        let idx = pre.index();
-        let graph = extract_ff_graph(&pre, &idx).unwrap();
-        let assignment = assign_phases(&graph, &PhaseConfig::default());
-        let (tp, report) = to_three_phase(&pre, &assignment).unwrap();
+    // C1: every original FF position still holds a latch.
+    assert_eq!(
+        report.singles + report.back_to_back,
+        graph.ffs.len(),
+        "{recipe}"
+    );
+    assert_eq!(tp.stats().ffs, 0, "{recipe}");
 
-        // C1: every original FF position still holds a latch.
-        prop_assert_eq!(report.singles + report.back_to_back, graph.ffs.len());
-        prop_assert_eq!(tp.stats().ffs, 0);
+    // C2: no co-transparent adjacency.
+    let tp_idx = tp.index();
+    assert!(check_c2(&tp, &lib, &tp_idx).unwrap().is_empty(), "{recipe}");
 
-        // C2: no co-transparent adjacency.
-        let tp_idx = tp.index();
-        prop_assert!(check_c2(&tp, &lib, &tp_idx).unwrap().is_empty());
+    // Equivalence (cycle-exact, no warmup needed before retiming).
+    let r = equiv_stream(&nl, &tp, seed, 150).unwrap();
+    assert!(r.equivalent(), "{recipe}: mismatch {:?}", r.mismatch);
 
-        // Equivalence (cycle-exact, no warmup needed before retiming).
-        let r = equiv_stream(&nl, &tp, seed, 150).unwrap();
-        prop_assert!(r.equivalent(), "mismatch: {:?}", r.mismatch);
+    // Never worse than master-slave on latch count.
+    assert!(tp.stats().latches <= 2 * pre.stats().ffs + 1, "{recipe}");
 
-        // Never worse than master-slave on latch count.
-        prop_assert!(tp.stats().latches <= 2 * pre.stats().ffs + 1);
+    // The converted design is certified clean by the static analyzer.
+    let lint = Linter::new().run(&tp, LintStage::Convert);
+    assert!(lint.errors().is_empty(), "{recipe}: lint {lint:?}");
+}
+
+/// Any generated FF design converts to an equivalent 3-phase design
+/// with a legal phase assignment (constraint C2 holds, all original
+/// FF positions are latched — C1 — and throughput is unchanged, which
+/// equivalence streaming checks implicitly — C3).
+#[test]
+fn conversion_is_equivalence_preserving() {
+    let mut rng = Rng(0xC0FFEE);
+    for _ in 0..12 {
+        let widths: Vec<usize> = (0..rng.below(1, 4)).map(|_| rng.below(1, 6)).collect();
+        let feedback: Vec<bool> = (0..widths.len()).map(|_| rng.bool()).collect();
+        let enables = rng.bool();
+        let seed = rng.next_u64() % 1000;
+        check_conversion(&widths, &feedback, enables, seed);
     }
+}
 
-    /// Retiming preserves behaviour (after a warm-up for relocated
-    /// registers) and never moves p1/p3 latches.
-    #[test]
-    fn retiming_preserves_behaviour(
-        widths in prop::collection::vec(1usize..5, 2..4),
-        seed in 0u64..500,
-    ) {
-        let lib = Library::synthetic_28nm();
+/// Retiming preserves behaviour (after a warm-up for relocated
+/// registers) and never moves p1/p3 latches.
+#[test]
+fn retiming_preserves_behaviour() {
+    let lib = Library::synthetic_28nm();
+    let mut rng = Rng(0xFEED);
+    for _ in 0..6 {
+        let widths: Vec<usize> = (0..rng.below(2, 4)).map(|_| rng.below(1, 5)).collect();
+        let seed = rng.next_u64() % 500;
+        let recipe = format!("widths {widths:?} seed {seed}");
         let feedback = vec![false; widths.len()];
         let nl = random_design(&widths, &feedback, false, seed);
         let mut pre = nl.clone();
@@ -126,9 +167,59 @@ proptest! {
         let p13_before = count_phase(&tp, 0) + count_phase(&tp, 2);
         let (rt, _) = retime_three_phase(&tp, &lib, 0.5).unwrap();
         let p13_after = count_phase(&rt, 0) + count_phase(&rt, 2);
-        prop_assert_eq!(p13_before, p13_after, "p1/p3 latches are immovable");
+        assert_eq!(p13_before, p13_after, "{recipe}: p1/p3 latches moved");
         let r = equiv_stream_warmup(&nl, &rt, seed, 200, 16).unwrap();
-        prop_assert!(r.equivalent(), "mismatch: {:?}", r.mismatch);
+        assert!(r.equivalent(), "{recipe}: mismatch {:?}", r.mismatch);
+
+        // Retimed designs stay lint-clean (phase legality is preserved by
+        // the p2-only movement rule).
+        let lint = Linter::new().run(&rt, LintStage::Retime);
+        assert!(lint.errors().is_empty(), "{recipe}: lint {lint:?}");
+    }
+}
+
+/// Random DAG netlists from the builder DSL are structurally clean: the
+/// structural rule family reports zero diagnostics at Error severity.
+#[test]
+fn random_dag_netlists_are_structurally_clean() {
+    use triphase::netlist::{Netlist, Word};
+    let mut rng = Rng(0xDA6);
+    for case in 0..24 {
+        let width = rng.below(1, 8);
+        let n_ops = rng.below(1, 12);
+        let mut nl = Netlist::new(format!("dag{case}"));
+        let mut b = Builder::new(&mut nl, "u");
+        let (ckp, ck) = b.netlist().add_input("ck");
+        let mut w: Word = b.word_input("in", width.max(1));
+        for i in 0..n_ops {
+            w = match rng.below(0, 7) {
+                0 => {
+                    let r = w.rotl(1 + i % 3);
+                    b.xor_word(&w, &r)
+                }
+                1 => {
+                    let r = w.rotr(1);
+                    b.and_word(&w, &r)
+                }
+                2 => {
+                    let r = w.rotl(2);
+                    b.or_word(&w, &r)
+                }
+                3 => b.not_word(&w),
+                4 => b.add_const(&w, rng.next_u64() & 0xff),
+                5 => b.dff_word(&w, ck),
+                _ => {
+                    let s = w.bit(0);
+                    let r = w.rotl(1);
+                    b.mux_word(&w, &r, s)
+                }
+            };
+        }
+        b.word_output("out", &w);
+        nl.clock = Some(ClockSpec::single(ckp, 1000.0));
+        nl.validate().unwrap();
+        let report = Linter::structural().run(&nl, LintStage::Input);
+        assert!(report.errors().is_empty(), "case {case}: {report:?}");
     }
 }
 
