@@ -1,0 +1,162 @@
+//! Formal equivalence CLI: certify registered benchmark generators with
+//! the SAT-based checker from `triphase-equiv`.
+//!
+//! For every selected benchmark the tool proves two stages:
+//!
+//! - `conversion` — the preprocessed FF design against its pristine
+//!   3-phase conversion (phase-collapsing chain induction);
+//! - `retime` — the converted design against its retimed version
+//!   (simulation-seeded signal correspondence), skipped with
+//!   `--no-retime`.
+//!
+//! ```text
+//! equiv                     # certify every registered benchmark
+//! equiv s1423 DES3          # certify selected benchmarks by name
+//! equiv --quick             # the reduced quick suite
+//! equiv --no-retime [...]   # conversion proofs only
+//! equiv --json [...]        # machine-readable JSON reports
+//! ```
+//!
+//! Exit codes (stable): `0` every check proven, `1` at least one check
+//! not proven (counterexample or bound exhausted), `2` usage error.
+
+use std::process::ExitCode;
+use triphase_bench::{benchmarks, quick_benchmarks, Benchmark};
+use triphase_cells::Library;
+use triphase_core::{
+    assign_phases, extract_ff_graph, gated_clock_style, retime_three_phase, to_three_phase,
+};
+use triphase_equiv::{check_conversion, check_sequential, report, Method, Options, Verdict};
+use triphase_ilp::PhaseConfig;
+use triphase_netlist::Netlist;
+
+struct CliOptions {
+    json: bool,
+    quick: bool,
+    retime: bool,
+    names: Vec<String>,
+}
+
+fn parse_args() -> Result<CliOptions, String> {
+    let mut opts = CliOptions {
+        json: false,
+        quick: false,
+        retime: true,
+        names: Vec::new(),
+    };
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => opts.json = true,
+            "--quick" => opts.quick = true,
+            "--no-retime" => opts.retime = false,
+            "--help" | "-h" => {
+                return Err("usage: equiv [--json] [--quick] [--no-retime] [NAME...]".to_owned())
+            }
+            flag if flag.starts_with('-') => return Err(format!("unknown flag {flag:?}")),
+            name => opts.names.push(name.to_owned()),
+        }
+    }
+    Ok(opts)
+}
+
+/// The flow's preprocessing + conversion, kept in lockstep with
+/// `run_flow_with` (gated-clock style, compact, ILP phases, convert).
+fn prepare(nl: &Netlist) -> Result<(Netlist, Netlist), String> {
+    let mut pre = nl.clone();
+    gated_clock_style(&mut pre, 32).map_err(|e| e.to_string())?;
+    let pre = pre.compact();
+    let idx = pre.index();
+    let graph = extract_ff_graph(&pre, &idx).map_err(|e| e.to_string())?;
+    let assignment = assign_phases(&graph, &PhaseConfig::default());
+    let (tp, _) = to_three_phase(&pre, &assignment).map_err(|e| e.to_string())?;
+    Ok((pre, tp))
+}
+
+fn describe(outcome: &triphase_equiv::EquivOutcome) -> String {
+    match &outcome.verdict {
+        Verdict::Equivalent {
+            method,
+            structural,
+            from_cycle,
+        } => format!(
+            "equivalent ({}, {} SAT calls, from cycle {from_cycle})",
+            match method {
+                Method::ChainInduction =>
+                    if *structural {
+                        "chain induction, structural"
+                    } else {
+                        "chain induction"
+                    },
+                Method::SignalCorrespondence => "signal correspondence",
+            },
+            outcome.stats.sat_calls
+        ),
+        Verdict::NotEquivalent { mismatch, .. } => format!(
+            "NOT EQUIVALENT (cycle {} port {} expected {:?} got {:?})",
+            mismatch.cycle, mismatch.port, mismatch.expected, mismatch.actual
+        ),
+        Verdict::Unknown { reason, depth } => format!("UNKNOWN ({reason}; depth {depth})"),
+    }
+}
+
+fn run_check(name: &str, check: &str, outcome: triphase_equiv::EquivOutcome, json: bool) -> bool {
+    if json {
+        println!("{}", report::to_json(name, check, &outcome));
+    } else {
+        println!("[{check:>10}] {name:>8}: {}", describe(&outcome));
+    }
+    outcome.verdict.is_equivalent()
+}
+
+fn certify(b: &Benchmark, lib: &Library, opts: &CliOptions) -> Result<bool, String> {
+    let nl = b.build();
+    let (pre, tp) = prepare(&nl)?;
+    let eq_opts = Options::default();
+    let conv = check_conversion(&pre, &tp, &eq_opts).map_err(|e| e.to_string())?;
+    let mut ok = run_check(b.name, "conversion", conv, opts.json);
+    if opts.retime {
+        let (rt, _) = retime_three_phase(&tp, lib, 0.5).map_err(|e| e.to_string())?;
+        let seq = check_sequential(&tp, &rt, &eq_opts).map_err(|e| e.to_string())?;
+        ok &= run_check(b.name, "retime", seq, opts.json);
+    }
+    Ok(ok)
+}
+
+fn run() -> Result<bool, String> {
+    let opts = parse_args()?;
+    let all = if opts.quick {
+        quick_benchmarks()
+    } else {
+        benchmarks()
+    };
+    let selected: Vec<&Benchmark> = if opts.names.is_empty() {
+        all.iter().collect()
+    } else {
+        opts.names
+            .iter()
+            .map(|n| {
+                all.iter().find(|b| b.name == n).ok_or_else(|| {
+                    let known: Vec<_> = all.iter().map(|b| b.name).collect();
+                    format!("unknown benchmark {n:?}; known: {known:?}")
+                })
+            })
+            .collect::<Result<_, String>>()?
+    };
+    let lib = Library::synthetic_28nm();
+    let mut all_ok = true;
+    for b in selected {
+        all_ok &= certify(b, &lib, &opts)?;
+    }
+    Ok(all_ok)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -9,7 +9,9 @@
 //! lint --json [...]         # print machine-readable JSON reports
 //! ```
 //!
-//! Exits nonzero when any error-severity diagnostic is reported.
+//! Exit codes (stable): `0` all reports clean, `1` at least one
+//! diagnostic reported, `2` usage error (bad flag, unknown benchmark,
+//! unreadable or unparsable file).
 
 use std::process::ExitCode;
 use triphase_bench::benchmarks;
@@ -123,7 +125,7 @@ fn main() -> ExitCode {
         Ok(false) => ExitCode::FAILURE,
         Err(msg) => {
             eprintln!("{msg}");
-            ExitCode::FAILURE
+            ExitCode::from(2)
         }
     }
 }

@@ -1,0 +1,83 @@
+//! Formal equivalence certification over the registered benchmark
+//! generators: every conversion in the quick suite is proven cycle-exact
+//! by chain induction, and retiming is proven function-preserving by
+//! signal correspondence on a representative design. `TRIPHASE_SCALE=full`
+//! extends conversion certification to all 18 registered benchmarks (the
+//! `equiv` CLI and CI run the same checks at scale).
+
+use triphase_bench::{benchmarks, quick_benchmarks, Benchmark};
+use triphase_cells::Library;
+use triphase_core::{
+    assign_phases, extract_ff_graph, gated_clock_style, retime_three_phase, to_three_phase,
+};
+use triphase_equiv::{check_conversion, check_sequential, Method, Options, Verdict};
+use triphase_ilp::PhaseConfig;
+use triphase_netlist::Netlist;
+
+/// The flow's preprocessing + conversion (same recipe as `run_flow_with`
+/// and the `equiv` bin).
+fn prepare(nl: &Netlist) -> (Netlist, Netlist) {
+    let mut pre = nl.clone();
+    gated_clock_style(&mut pre, 32).unwrap();
+    let pre = pre.compact();
+    let idx = pre.index();
+    let graph = extract_ff_graph(&pre, &idx).unwrap();
+    let assignment = assign_phases(&graph, &PhaseConfig::default());
+    let (tp, _) = to_three_phase(&pre, &assignment).unwrap();
+    (pre, tp)
+}
+
+fn certify_conversion(b: &Benchmark) {
+    let (pre, tp) = prepare(&b.build());
+    let outcome = check_conversion(&pre, &tp, &Options::default())
+        .unwrap_or_else(|e| panic!("{}: checker error: {e}", b.name));
+    match outcome.verdict {
+        Verdict::Equivalent {
+            method: Method::ChainInduction,
+            from_cycle: 0,
+            ..
+        } => {}
+        other => panic!("{}: conversion not certified: {other:?}", b.name),
+    }
+}
+
+#[test]
+fn quick_suite_conversions_are_certified() {
+    for b in quick_benchmarks() {
+        certify_conversion(&b);
+    }
+}
+
+#[test]
+fn full_suite_conversions_are_certified() {
+    if std::env::var("TRIPHASE_SCALE").as_deref() != Ok("full") {
+        return; // the release `equiv` bin and CI cover the full suite
+    }
+    for b in benchmarks() {
+        certify_conversion(&b);
+    }
+}
+
+/// Retiming certification on a representative design: the modified
+/// retiming must preserve function, proven by simulation-seeded signal
+/// correspondence from the flush depth onward.
+#[test]
+fn retimed_s1423_is_certified_by_signal_correspondence() {
+    let b = benchmarks()
+        .into_iter()
+        .find(|b| b.name == "s1423")
+        .unwrap();
+    let (_, tp) = prepare(&b.build());
+    let lib = Library::synthetic_28nm();
+    let (rt, report) = retime_three_phase(&tp, &lib, 0.5).unwrap();
+    assert!(report.ran, "retiming must actually run on s1423");
+    let outcome = check_sequential(&tp, &rt, &Options::default()).unwrap();
+    match outcome.verdict {
+        Verdict::Equivalent {
+            method: Method::SignalCorrespondence,
+            from_cycle,
+            ..
+        } => assert!(from_cycle <= 16, "flush depth bounded by warmup cap"),
+        other => panic!("retime not certified: {other:?}"),
+    }
+}

@@ -164,7 +164,7 @@ pub fn generate_program(cfg: &CpuConfig, seed: u64) -> Vec<u32> {
             let rd = rng.below(cfg.nregs) as u32;
             let rs1 = rng.below(cfg.nregs) as u32;
             let rs2 = rng.below(cfg.nregs) as u32;
-            let imm = (rng.next() & 0xff) as u32;
+            let imm = (rng.next_u64() & 0xff) as u32;
             // Branch target inside the segment (7-bit field; mode supplies
             // the MSB).
             let tgt = rng.below(half) as u32;
@@ -707,7 +707,7 @@ mod tests {
         // step N commits the cycle that ran with the *previous* inputs.
         let mut pending: (u32, bool) = (0, false);
         for cycle in 0..cycles {
-            let io = (rng.next() as u32)
+            let io = (rng.next_u64() as u32)
                 & (if cfg.width == 32 {
                     u32::MAX
                 } else {
@@ -801,7 +801,7 @@ mod tests {
                 sim.set_input(mode_p, Logic::from_bool(mode));
                 for i in 0..cfg.width {
                     let p = nl.find_port(&format!("io_in_{i}")).unwrap();
-                    sim.set_input(p, Logic::from_bool(rng.next() & 1 == 1));
+                    sim.set_input(p, Logic::from_bool(rng.next_u64() & 1 == 1));
                 }
                 sim.step_cycle();
             }

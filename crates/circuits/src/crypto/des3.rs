@@ -48,7 +48,7 @@ impl Des3Spec {
             .map(|_| {
                 let mut t = [0u8; 64];
                 for e in t.iter_mut() {
-                    *e = (rng.next() & 0xf) as u8;
+                    *e = (rng.next_u64() & 0xf) as u8;
                 }
                 t
             })

@@ -271,22 +271,8 @@ pub fn generate_iscas(profile: &IscasProfile, seed: u64) -> Netlist {
     nl
 }
 
-/// Deterministic splitmix64-style generator.
-#[derive(Debug, Clone)]
-pub(crate) struct SplitMix(pub u64);
-
-impl SplitMix {
-    pub fn next(&mut self) -> u64 {
-        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
-        let mut z = self.0;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
-        z ^ (z >> 31)
-    }
-    pub fn below(&mut self, n: usize) -> usize {
-        (self.next() % n.max(1) as u64) as usize
-    }
-}
+/// Deterministic splitmix64-style generator (shared workspace RNG).
+pub(crate) use triphase_netlist::rng::SplitMix64 as SplitMix;
 
 #[cfg(test)]
 mod tests {

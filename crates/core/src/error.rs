@@ -28,6 +28,10 @@ pub enum Error {
     /// A lint checkpoint found error-severity violations while the flow
     /// ran with [`crate::LintPolicy::Deny`]. The full report is attached.
     Lint(Box<triphase_lint::Report>),
+    /// A formal equivalence checkpoint failed to prove a stage while the
+    /// flow ran with [`crate::EquivPolicy::Deny`] (message carries the
+    /// stage and verdict details).
+    Equiv(String),
 }
 
 impl fmt::Display for Error {
@@ -53,6 +57,7 @@ impl fmt::Display for Error {
                 }
                 Ok(())
             }
+            Error::Equiv(m) => write!(f, "formal equivalence failed: {m}"),
         }
     }
 }

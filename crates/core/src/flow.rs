@@ -43,6 +43,29 @@ pub enum LintPolicy {
     Deny,
 }
 
+/// How the formal equivalence checkpoints behave during the flow.
+///
+/// With [`EquivPolicy::Warn`] or [`EquivPolicy::Deny`], the SAT-based
+/// checker ([`triphase_equiv`]) runs after conversion (FF design vs the
+/// pristine 3-phase netlist, via the phase-collapsing chain induction)
+/// and after retiming (pre- vs post-retiming netlist, via signal
+/// correspondence); the outcomes are collected in
+/// [`FlowReport::equiv_formal`]. `Deny` additionally aborts the flow
+/// with [`Error::Equiv`] when a checkpoint does not end in a proof —
+/// including `Unknown` verdicts, so a denied flow certifies every stage.
+/// The default is `Off`: the streaming comparison remains the flow's
+/// baseline validation and the formal pass is opt-in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EquivPolicy {
+    /// Skip the formal checkpoints entirely.
+    #[default]
+    Off,
+    /// Run the checkpoints and collect outcomes; never fail.
+    Warn,
+    /// Run the checkpoints and fail unless every stage is proven.
+    Deny,
+}
+
 /// Flow configuration.
 #[derive(Debug, Clone)]
 pub struct FlowConfig {
@@ -73,6 +96,8 @@ pub struct FlowConfig {
     pub phase_cfg: PhaseConfig,
     /// Static-analysis checkpoint policy.
     pub lint: LintPolicy,
+    /// Formal equivalence checkpoint policy.
+    pub equiv: EquivPolicy,
 }
 
 impl Default for FlowConfig {
@@ -91,6 +116,7 @@ impl Default for FlowConfig {
             pnr: PnrOptions::default(),
             phase_cfg: PhaseConfig::default(),
             lint: LintPolicy::default(),
+            equiv: EquivPolicy::default(),
         }
     }
 }
@@ -113,6 +139,26 @@ fn lint_checkpoint(
         return Err(Error::Lint(Box::new(report)));
     }
     reports.push(report);
+    Ok(())
+}
+
+/// Run one formal equivalence checkpoint under `policy`, appending the
+/// outcome to `outcomes` and failing under [`EquivPolicy::Deny`] unless
+/// the stage is proven.
+fn equiv_checkpoint(
+    policy: EquivPolicy,
+    stage: &str,
+    check: impl FnOnce() -> triphase_equiv::Result<triphase_equiv::EquivOutcome>,
+    outcomes: &mut Vec<(String, triphase_equiv::EquivOutcome)>,
+) -> Result<()> {
+    if policy == EquivPolicy::Off {
+        return Ok(());
+    }
+    let outcome = check().map_err(|e| Error::Equiv(format!("{stage}: {e}")))?;
+    if policy == EquivPolicy::Deny && !outcome.verdict.is_equivalent() {
+        return Err(Error::Equiv(format!("{stage}: {:?}", outcome.verdict)));
+    }
+    outcomes.push((stage.to_owned(), outcome));
     Ok(())
 }
 
@@ -185,6 +231,11 @@ pub struct FlowReport {
     /// [`LintPolicy::Off`]), in checkpoint order: preprocess, convert,
     /// retime (if run), clockgate.
     pub lint: Vec<triphase_lint::Report>,
+    /// Formal equivalence outcomes per stage (empty when
+    /// [`FlowConfig::equiv`] is [`EquivPolicy::Off`]), in checkpoint
+    /// order: `"conversion"` (FF vs pristine 3-phase), `"retime"`
+    /// (pre- vs post-retiming, if retiming ran).
+    pub equiv_formal: Vec<(String, triphase_equiv::EquivOutcome)>,
 }
 
 impl FlowReport {
@@ -270,8 +321,19 @@ pub fn run_flow_with(
         LintStage::Convert,
         &mut lint_reports,
     )?;
+    // Formal conversion proof runs on the pristine 3-phase netlist,
+    // before retiming and clock gating rewrite it.
+    let mut equiv_formal = Vec::new();
+    let equiv_opts = triphase_equiv::Options::default();
+    equiv_checkpoint(
+        cfg.equiv,
+        "conversion",
+        || triphase_equiv::check_conversion(&pre, &tp, &equiv_opts),
+        &mut equiv_formal,
+    )?;
     let mut retime_report = None;
     if cfg.retime {
+        let before = (cfg.equiv != EquivPolicy::Off).then(|| tp.clone());
         let (rt, rr) = retime_three_phase(&tp, lib, cfg.retime_target_ratio)?;
         tp = rt;
         retime_report = Some(rr);
@@ -282,6 +344,14 @@ pub fn run_flow_with(
             LintStage::Retime,
             &mut lint_reports,
         )?;
+        if let Some(before) = before {
+            equiv_checkpoint(
+                cfg.equiv,
+                "retime",
+                || triphase_equiv::check_sequential(&before, &tp, &equiv_opts),
+                &mut equiv_formal,
+            )?;
+        }
     }
     let mut cg = CgReport::default();
     if cfg.common_enable_cg {
@@ -366,6 +436,7 @@ pub fn run_flow_with(
         equiv_ms,
         equiv_3p,
         lint: lint_reports,
+        equiv_formal,
     })
 }
 
@@ -530,6 +601,31 @@ mod tests {
             ..quick_cfg()
         };
         assert!(run_flow(&nl, &lib, &cfg).unwrap().lint.is_empty());
+    }
+
+    #[test]
+    fn formal_equiv_checkpoints_prove_conversion_and_retime() {
+        let lib = Library::synthetic_28nm();
+        let nl = linear_pipeline(3, 5, 1, 900.0);
+        let cfg = FlowConfig {
+            equiv: EquivPolicy::Deny,
+            ..quick_cfg()
+        };
+        let report = run_flow(&nl, &lib, &cfg).unwrap();
+        let stages: Vec<&str> = report
+            .equiv_formal
+            .iter()
+            .map(|(s, _)| s.as_str())
+            .collect();
+        assert_eq!(stages, ["conversion", "retime"]);
+        assert!(report
+            .equiv_formal
+            .iter()
+            .all(|(_, o)| o.verdict.is_equivalent()));
+
+        // Off (the default) skips the formal pass entirely.
+        let report = run_flow(&nl, &lib, &quick_cfg()).unwrap();
+        assert!(report.equiv_formal.is_empty());
     }
 
     #[test]

@@ -54,6 +54,8 @@ pub use clockgate::{apply_ddcg, apply_ddcg_placed, apply_m2, gate_p2_common_enab
 pub use convert::{latch_phases, phase_census, to_master_slave, to_three_phase, ConvertReport};
 pub use error::{Error, Result};
 pub use ffgraph::{assign_phases, extract_ff_graph, Assignment, FfGraph};
-pub use flow::{run_flow, run_flow_with, Drive, FlowConfig, FlowReport, LintPolicy, VariantResult};
+pub use flow::{
+    run_flow, run_flow_with, Drive, EquivPolicy, FlowConfig, FlowReport, LintPolicy, VariantResult,
+};
 pub use preprocess::{gated_clock_style, PreprocessReport};
 pub use retiming::{retime_three_phase, RetimeReport};

@@ -1,0 +1,265 @@
+//! And-Inverter Graph with structural hashing and constant folding.
+//!
+//! All symbolic reasoning in this crate — the symbolic cycle stepper, the
+//! induction miters, and BMC unrollings — is expressed over one shared AIG.
+//! Structural hashing is what makes the "hash-identical cone" fast path
+//! work: when the golden and converted design compute the same function
+//! over shared entry variables, both sides reduce to the *same* literal and
+//! the equivalence miter folds to constant false without any SAT call.
+
+use std::collections::HashMap;
+
+/// A literal: AIG node index shifted left once, LSB = negation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Lit(pub u32);
+
+/// Constant false (node 0, positive).
+pub const FALSE: Lit = Lit(0);
+/// Constant true (node 0, negated).
+pub const TRUE: Lit = Lit(1);
+
+impl Lit {
+    /// Node index this literal refers to.
+    pub fn node(self) -> u32 {
+        self.0 >> 1
+    }
+    /// Whether the literal is negated.
+    #[allow(clippy::should_implement_trait)] // predicate, not arithmetic negation
+    pub fn neg(self) -> bool {
+        self.0 & 1 == 1
+    }
+    /// The complemented literal.
+    #[allow(clippy::should_implement_trait)] // kept as a method so call sites chain
+    pub fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+    /// True if this is one of the two constant literals.
+    pub fn is_const(self) -> bool {
+        self.node() == 0
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+pub enum Node {
+    /// The constant-false node (index 0 only).
+    Const,
+    /// A free variable.
+    Var,
+    /// Conjunction of two literals.
+    And(Lit, Lit),
+}
+
+/// The AIG manager.
+pub struct Aig {
+    nodes: Vec<Node>,
+    strash: HashMap<(Lit, Lit), u32>,
+}
+
+impl Default for Aig {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Aig {
+    pub fn new() -> Self {
+        Aig {
+            nodes: vec![Node::Const],
+            strash: HashMap::new(),
+        }
+    }
+
+    /// Number of nodes, including the constant node.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    pub fn node(&self, idx: u32) -> Node {
+        self.nodes[idx as usize]
+    }
+
+    /// Create a fresh free variable and return its positive literal.
+    pub fn var(&mut self) -> Lit {
+        let idx = self.nodes.len() as u32;
+        self.nodes.push(Node::Var);
+        Lit(idx << 1)
+    }
+
+    /// Conjunction with constant folding, idempotence/complement rules,
+    /// and structural hashing.
+    pub fn and(&mut self, a: Lit, b: Lit) -> Lit {
+        if a == FALSE || b == FALSE || a == b.not() {
+            return FALSE;
+        }
+        if a == TRUE || a == b {
+            return b;
+        }
+        if b == TRUE {
+            return a;
+        }
+        let key = if a.0 <= b.0 { (a, b) } else { (b, a) };
+        if let Some(&idx) = self.strash.get(&key) {
+            return Lit(idx << 1);
+        }
+        let idx = self.nodes.len() as u32;
+        self.nodes.push(Node::And(key.0, key.1));
+        self.strash.insert(key, idx);
+        Lit(idx << 1)
+    }
+
+    pub fn or(&mut self, a: Lit, b: Lit) -> Lit {
+        self.and(a.not(), b.not()).not()
+    }
+
+    pub fn xor(&mut self, a: Lit, b: Lit) -> Lit {
+        let n0 = self.and(a, b.not());
+        let n1 = self.and(a.not(), b);
+        self.or(n0, n1)
+    }
+
+    /// `if s then d1 else d0`.
+    pub fn mux(&mut self, s: Lit, d1: Lit, d0: Lit) -> Lit {
+        if d1 == d0 {
+            return d1;
+        }
+        let hi = self.and(s, d1);
+        let lo = self.and(s.not(), d0);
+        self.or(hi, lo)
+    }
+
+    pub fn and_many(&mut self, lits: &[Lit]) -> Lit {
+        lits.iter().fold(TRUE, |acc, &l| self.and(acc, l))
+    }
+
+    pub fn or_many(&mut self, lits: &[Lit]) -> Lit {
+        lits.iter().fold(FALSE, |acc, &l| self.or(acc, l))
+    }
+
+    pub fn xor_many(&mut self, lits: &[Lit]) -> Lit {
+        lits.iter().fold(FALSE, |acc, &l| self.xor(acc, l))
+    }
+
+    /// Evaluate every node under a variable assignment (`var_value` is
+    /// consulted for `Var` nodes by node index). Returns one bool per node.
+    pub fn eval_all(&self, var_value: &dyn Fn(u32) -> bool) -> Vec<bool> {
+        let mut out = vec![false; self.nodes.len()];
+        for (i, n) in self.nodes.iter().enumerate() {
+            out[i] = match *n {
+                Node::Const => false,
+                Node::Var => var_value(i as u32),
+                Node::And(a, b) => {
+                    (out[a.node() as usize] ^ a.neg()) && (out[b.node() as usize] ^ b.neg())
+                }
+            };
+        }
+        out
+    }
+
+    /// Value of a literal given a node-value table from [`Aig::eval_all`].
+    pub fn lit_value(values: &[bool], l: Lit) -> bool {
+        values[l.node() as usize] ^ l.neg()
+    }
+
+    /// Collect the transitive fanin node set of `roots` (excluding the
+    /// constant node), in ascending node order.
+    pub fn cone(&self, roots: &[Lit]) -> Vec<u32> {
+        let mut mark = vec![false; self.nodes.len()];
+        let mut stack: Vec<u32> = roots.iter().map(|l| l.node()).collect();
+        while let Some(n) = stack.pop() {
+            if n == 0 || mark[n as usize] {
+                continue;
+            }
+            mark[n as usize] = true;
+            if let Node::And(a, b) = self.nodes[n as usize] {
+                stack.push(a.node());
+                stack.push(b.node());
+            }
+        }
+        (1..self.nodes.len() as u32)
+            .filter(|&n| mark[n as usize])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_folding() {
+        let mut g = Aig::new();
+        let a = g.var();
+        assert_eq!(g.and(a, FALSE), FALSE);
+        assert_eq!(g.and(TRUE, a), a);
+        assert_eq!(g.and(a, a), a);
+        assert_eq!(g.and(a, a.not()), FALSE);
+        assert_eq!(g.or(a, TRUE), TRUE);
+        assert_eq!(g.xor(a, a), FALSE);
+        assert_eq!(g.xor(a, a.not()), TRUE);
+        assert_eq!(g.mux(a, TRUE, TRUE), TRUE);
+    }
+
+    #[test]
+    fn structural_hashing_dedups() {
+        let mut g = Aig::new();
+        let a = g.var();
+        let b = g.var();
+        let x = g.and(a, b);
+        let y = g.and(b, a);
+        assert_eq!(x, y);
+        let before = g.len();
+        let _ = g.and(a, b);
+        assert_eq!(g.len(), before);
+        // XOR built twice collapses to the same literal.
+        let x1 = g.xor(a, b);
+        let x2 = g.xor(a, b);
+        assert_eq!(x1, x2);
+    }
+
+    #[test]
+    fn eval_matches_semantics() {
+        let mut g = Aig::new();
+        let a = g.var();
+        let b = g.var();
+        let c = g.var();
+        let f = g.mux(a, b, c); // a ? b : c
+        let x = g.xor(b, c);
+        for bits in 0..8u32 {
+            let va = bits & 1 == 1;
+            let vb = bits & 2 == 2;
+            let vc = bits & 4 == 4;
+            let vals = g.eval_all(&|n| {
+                if n == a.node() {
+                    va
+                } else if n == b.node() {
+                    vb
+                } else {
+                    vc
+                }
+            });
+            assert_eq!(Aig::lit_value(&vals, f), if va { vb } else { vc });
+            assert_eq!(Aig::lit_value(&vals, x), vb ^ vc);
+            assert!(!Aig::lit_value(&vals, FALSE));
+            assert!(Aig::lit_value(&vals, TRUE));
+        }
+    }
+
+    #[test]
+    fn cone_collects_fanin() {
+        let mut g = Aig::new();
+        let a = g.var();
+        let b = g.var();
+        let c = g.var();
+        let ab = g.and(a, b);
+        let _unused = g.and(b, c);
+        let cone = g.cone(&[ab]);
+        assert!(cone.contains(&a.node()));
+        assert!(cone.contains(&b.node()));
+        assert!(cone.contains(&ab.node()));
+        assert!(!cone.contains(&c.node()));
+    }
+}

@@ -1,0 +1,284 @@
+//! The phase-collapsing model: structural correspondence between an
+//! FF-based golden design and its 3-phase latch-based conversion.
+//!
+//! Every original flip-flop maps to a latch chain in the converted
+//! design: a lead latch on `p1` (K=1) or `p3` (K=0) — possibly behind a
+//! re-rooted or duplicated clock gate — plus, for back-to-back (G=1)
+//! FFs, a trailing `p2` latch that drives the FF's original output net.
+//! Flagged primary inputs grow a `p2` sampling latch. The model collapses
+//! each chain to a single state variable equal to the FF's `q`, which is
+//! exactly the induction invariant under which one symbolic cycle of the
+//! converted design must reproduce the FF design's next-state and output
+//! functions:
+//!
+//! * the chain's externally visible `q` net equals the golden FF's `q`
+//!   at every cycle boundary;
+//! * a `p1` lead's intermediate `q_pre` net also equals `q` at
+//!   boundaries (its `p2` trail is always transparent mid-cycle, so a
+//!   stale `q_pre` would leak into `q`);
+//! * a `p3` lead is transparent at the boundary itself, so its `q_pre`
+//!   holds the *next* state `F(s, x)`; its held value matters only while
+//!   its clock gate is disabled, where it must equal `q` — a guarded
+//!   obligation;
+//! * each converted clock gate's enable latch agrees with the golden
+//!   gate's enable latch at boundaries;
+//! * each flagged PI's `p2` latch holds the previous input value, which
+//!   is what the raw PI net still carries at the boundary.
+
+use crate::engine::{CopyInit, Group, GuardedCheck, Member, Side, Sig, Spec};
+use crate::error::{Error, Result};
+use std::collections::{HashMap, HashSet};
+use triphase_cells::CellKind;
+use triphase_netlist::{graph, CellId, Netlist, PortDir};
+
+/// Summary of the structural correspondence (for reports).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ChainInfo {
+    /// Original FFs matched to latch chains.
+    pub ffs: usize,
+    /// Chains with a single lead latch (G=0, `p1`).
+    pub singles: usize,
+    /// Chains with a `p2` trail latch.
+    pub trailed: usize,
+    /// `p3`-lead chains (always trailed).
+    pub p3_leads: usize,
+    /// Primary-input sampling latches.
+    pub pi_latches: usize,
+    /// Clock-gate pairs (including duplicated gates).
+    pub icg_pairs: usize,
+}
+
+fn unsupported(msg: impl Into<String>) -> Error {
+    Error::Unsupported(msg.into())
+}
+
+/// Build the induction [`Spec`] encoding the phase-collapsing model.
+///
+/// Side `A` is the golden FF design, side `B` the converted design. A
+/// structural mismatch (a latch that fits no chain role, a missing trail,
+/// nested gating, a non-`Dff` golden cell) yields
+/// [`Error::Unsupported`] — callers fall back to bounded refutation,
+/// since such designs are not valid conversions in the first place.
+///
+/// # Errors
+///
+/// [`Error::Unsupported`] as described; [`Error::Timing`] if the
+/// converted design's latch phases cannot be classified.
+pub fn build_conversion_spec(golden: &Netlist, dut: &Netlist) -> Result<(Spec, ChainInfo)> {
+    let d_idx = dut.index();
+    let phases = triphase_timing::storage_phases(dut, &d_idx)?;
+
+    // Golden storage must be plain FFs (preprocessing lowers DffEn).
+    for (_, cell) in golden.cells() {
+        if cell.kind.is_storage() && cell.kind != CellKind::Dff {
+            return Err(unsupported(format!(
+                "golden storage {} is {:?}, expected Dff",
+                cell.name, cell.kind
+            )));
+        }
+    }
+    // Converted storage must be transparent-high latches.
+    for (_, cell) in dut.cells() {
+        if cell.kind.is_storage() && cell.kind != CellKind::LatchH {
+            return Err(unsupported(format!(
+                "converted storage {} is {:?}, expected LatchH",
+                cell.name, cell.kind
+            )));
+        }
+    }
+
+    let dut_by_name: HashMap<&str, CellId> =
+        dut.cells().map(|(id, c)| (c.name.as_str(), id)).collect();
+
+    let mut spec = Spec::default();
+    let mut info = ChainInfo::default();
+    let mut used_p2: HashSet<CellId> = HashSet::new();
+
+    // 1. FF chains.
+    for (_, cell) in golden.cells().filter(|(_, c)| c.kind.is_ff()) {
+        let golden_q = cell.output();
+        let &lead = dut_by_name
+            .get(cell.name.as_str())
+            .ok_or_else(|| unsupported(format!("FF {} has no converted latch", cell.name)))?;
+        let lead_cell = dut.cell(lead);
+        let phase = *phases
+            .get(&lead)
+            .ok_or_else(|| unsupported(format!("lead {} has no phase", lead_cell.name)))?;
+        if phase == 1 {
+            return Err(unsupported(format!(
+                "lead {} sits on p2; conversion places leads on p1/p3 only",
+                lead_cell.name
+            )));
+        }
+        let lead_q = lead_cell.output();
+
+        // A trailing p2 latch, if any, loads the lead's output at pin 0.
+        let mut trail = None;
+        for load in d_idx.loads(lead_q) {
+            let lc = dut.cell(load.cell);
+            if lc.kind == CellKind::LatchH && phases.get(&load.cell) == Some(&1) && load.pin == 0 {
+                if trail.is_some() {
+                    return Err(unsupported(format!(
+                        "lead {} feeds two p2 latches",
+                        lead_cell.name
+                    )));
+                }
+                trail = Some(load.cell);
+            }
+        }
+        if phase == 2 && trail.is_none() {
+            return Err(unsupported(format!(
+                "p3 lead {} has no p2 trail latch",
+                lead_cell.name
+            )));
+        }
+        if let Some(t) = trail {
+            used_p2.insert(t);
+        }
+        let dut_q = trail.map_or(lead_q, |t| dut.cell(t).output());
+
+        // The clock gate (if any) driving the lead's transparency window.
+        let trace = graph::trace_clock_root(dut, &d_idx, lead_cell.pin(1))
+            .map_err(|e| unsupported(format!("lead {} clock untraceable: {e}", lead_cell.name)))?;
+        if trace.gates.len() > 1 {
+            return Err(unsupported(format!(
+                "nested clock gating on lead {}",
+                lead_cell.name
+            )));
+        }
+        let guard = trace.gates.first().copied();
+
+        let mut group = Group::default();
+        group
+            .members
+            .push(Member::full(Sig::Net(Side::A, golden_q)));
+        group.members.push(Member::full(Sig::Net(Side::B, dut_q)));
+        if trail.is_some() {
+            info.trailed += 1;
+            if phase == 0 {
+                // p1 lead: q_pre is opaque at boundaries and must equal q.
+                group.members.push(Member::full(Sig::Net(Side::B, lead_q)));
+            } else {
+                info.p3_leads += 1;
+                // p3 lead: transparent at the boundary. Substitute its held
+                // value with the chain state but neither assume nor check
+                // the settled literal (it computes F(s, x), not s).
+                group
+                    .members
+                    .push(Member::substitute_only(Sig::Net(Side::B, lead_q)));
+                if let Some(g) = guard {
+                    spec.guarded.push(GuardedCheck {
+                        unless: Sig::Icg(Side::B, g),
+                        a: Sig::Net(Side::B, lead_q),
+                        b: Sig::Net(Side::A, golden_q),
+                    });
+                }
+            }
+        } else {
+            info.singles += 1;
+        }
+        spec.groups.push(group);
+        info.ffs += 1;
+    }
+
+    // 2. Remaining p2 latches: primary-input samplers (or junk).
+    for (id, cell) in dut.cells() {
+        if cell.kind != CellKind::LatchH || phases.get(&id) != Some(&1) || used_p2.contains(&id) {
+            continue;
+        }
+        let d_net = cell.pin(0);
+        let port = d_idx
+            .driving_port(d_net)
+            .filter(|&p| dut.port(p).dir == PortDir::Input)
+            .ok_or_else(|| {
+                unsupported(format!(
+                    "p2 latch {} is neither trail nor PI sampler",
+                    cell.name
+                ))
+            })?;
+        let name = &dut.port(port).name;
+        let g_port = golden
+            .find_port(name)
+            .filter(|&p| golden.port(p).dir == PortDir::Input)
+            .ok_or_else(|| {
+                unsupported(format!(
+                    "PI latch {} samples unknown port {name}",
+                    cell.name
+                ))
+            })?;
+        let mut group = Group::default();
+        group
+            .members
+            .push(Member::full(Sig::Net(Side::A, golden.port(g_port).net)));
+        group
+            .members
+            .push(Member::full(Sig::Net(Side::B, cell.output())));
+        spec.groups.push(group);
+        info.pi_latches += 1;
+    }
+
+    // 3. Clock-gate pairs: every converted gate (including `_dupN`
+    // duplicates) mirrors a golden gate's enable latch.
+    for (id, cell) in dut.cells() {
+        match cell.kind {
+            CellKind::Icg => {}
+            CellKind::IcgM1 | CellKind::IcgM2 => {
+                return Err(unsupported(format!(
+                    "converted gate {} is {:?}; conversion-time checking expects plain Icg",
+                    cell.name, cell.kind
+                )))
+            }
+            _ => continue,
+        }
+        let base = match cell.name.rfind("_dup") {
+            Some(i)
+                if cell.name[i + 4..].chars().all(|c| c.is_ascii_digit())
+                    && !cell.name[i + 4..].is_empty() =>
+            {
+                &cell.name[..i]
+            }
+            _ => cell.name.as_str(),
+        };
+        let golden_icg = golden
+            .cells()
+            .find(|(_, c)| c.kind == CellKind::Icg && c.name == base)
+            .map(|(gid, _)| gid)
+            .ok_or_else(|| {
+                unsupported(format!("converted gate {} has no golden gate", cell.name))
+            })?;
+        let mut group = Group::default();
+        group
+            .members
+            .push(Member::full(Sig::Icg(Side::A, golden_icg)));
+        group.members.push(Member::full(Sig::Icg(Side::B, id)));
+        spec.groups.push(group);
+        spec.copies.push(CopyInit {
+            from_a: Sig::Icg(Side::A, golden_icg),
+            to_b: Sig::Icg(Side::B, id),
+        });
+        info.icg_pairs += 1;
+    }
+
+    // 4. Output pairs by port name.
+    let g_out = triphase_sim::data_outputs(golden);
+    let d_out = triphase_sim::data_outputs(dut);
+    if g_out.len() != d_out.len() {
+        return Err(unsupported("output port counts differ"));
+    }
+    for (&gp, &dp) in g_out.iter().zip(&d_out) {
+        if golden.port(gp).name != dut.port(dp).name {
+            return Err(unsupported("output port names differ"));
+        }
+        let mut group = Group::default();
+        group
+            .members
+            .push(Member::full(Sig::Net(Side::A, golden.port(gp).net)));
+        group
+            .members
+            .push(Member::full(Sig::Net(Side::B, dut.port(dp).net)));
+        spec.po_pairs.push((golden.port(gp).net, dut.port(dp).net));
+        spec.groups.push(group);
+    }
+
+    Ok((spec, info))
+}

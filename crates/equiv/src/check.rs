@@ -1,0 +1,296 @@
+//! Public entry points: prove or refute equivalence of a design pair.
+
+use crate::chain;
+use crate::engine::{self, Base, EngineStats, Induction, Spec};
+use crate::error::{Error, Result};
+use crate::sigcorr::{self, SeedOptions};
+use triphase_netlist::{NetId, Netlist};
+use triphase_sim::Mismatch;
+
+/// Tunables for the equivalence engines.
+#[derive(Debug, Clone, Copy)]
+pub struct Options {
+    /// BMC unroll depth for refutation (extended to cover warmup).
+    pub refute_depth: usize,
+    /// Maximum class-refinement rounds for signal correspondence.
+    pub max_refinements: u32,
+    /// Lockstep simulation runs used to seed candidate classes.
+    pub sim_seeds: u64,
+    /// Cycles per seeding run.
+    pub sim_cycles: usize,
+    /// Boundary from which seeding samples count (earlier cycles probe
+    /// the post-retiming flush depth).
+    pub warmup_cap: usize,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            refute_depth: 10,
+            max_refinements: 4096,
+            sim_seeds: 4,
+            sim_cycles: 96,
+            warmup_cap: 16,
+        }
+    }
+}
+
+/// How an equivalence was established.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// Structural chain map + 1-step induction (FF vs converted).
+    ChainInduction,
+    /// Simulation-seeded signal correspondence (converted vs retimed).
+    SignalCorrespondence,
+}
+
+/// Final verdict of an equivalence check.
+#[derive(Debug, Clone)]
+pub enum Verdict {
+    /// Outputs proven equal for every cycle `>= from_cycle` under any
+    /// input sequence. `structural` means the proof closed without any
+    /// SAT call (every miter folded in the hashed AIG).
+    Equivalent {
+        method: Method,
+        structural: bool,
+        from_cycle: usize,
+    },
+    /// A concrete counterexample, confirmed by replaying `vectors`
+    /// through the cycle-accurate simulator.
+    NotEquivalent {
+        mismatch: Mismatch,
+        vectors: Vec<Vec<bool>>,
+        frames: usize,
+    },
+    /// Neither proven nor refuted within the configured bounds.
+    Unknown { reason: String, depth: usize },
+}
+
+impl Verdict {
+    /// `true` only for a completed equivalence proof.
+    pub fn is_equivalent(&self) -> bool {
+        matches!(self, Verdict::Equivalent { .. })
+    }
+}
+
+/// Verdict plus engine statistics.
+#[derive(Debug, Clone)]
+pub struct EquivOutcome {
+    pub verdict: Verdict,
+    pub stats: EngineStats,
+    /// Correspondence classes in the final invariant attempt.
+    pub groups: usize,
+}
+
+fn po_pairs(a: &Netlist, b: &Netlist) -> Result<Vec<(NetId, NetId)>> {
+    let pa = triphase_sim::data_outputs(a);
+    let pb = triphase_sim::data_outputs(b);
+    if pa.len() != pb.len()
+        || pa
+            .iter()
+            .zip(&pb)
+            .any(|(&x, &y)| a.port(x).name != b.port(y).name)
+    {
+        return Err(Error::Unsupported("output ports differ".into()));
+    }
+    Ok(pa
+        .iter()
+        .zip(&pb)
+        .map(|(&x, &y)| (a.port(x).net, b.port(y).net))
+        .collect())
+}
+
+fn refute(
+    a: &Netlist,
+    b: &Netlist,
+    opts: &Options,
+    warmup: usize,
+    reason: &str,
+    mut stats: EngineStats,
+    groups: usize,
+) -> Result<EquivOutcome> {
+    let po = po_pairs(a, b)?;
+    let depth = opts.refute_depth.max(warmup + 4);
+    let verdict = match engine::bmc_refute(a, b, &po, depth, warmup, &mut stats)? {
+        Some(r) => {
+            let rep = triphase_sim::replay_vectors(a, b, &r.vectors, warmup as u64)?;
+            match rep.mismatch {
+                Some(mismatch) => Verdict::NotEquivalent {
+                    mismatch,
+                    vectors: r.vectors,
+                    frames: r.frames,
+                },
+                None => Verdict::Unknown {
+                    reason: format!("{reason}; symbolic counterexample did not replay concretely"),
+                    depth,
+                },
+            }
+        }
+        None => Verdict::Unknown {
+            reason: format!("{reason}; no output mismatch within {depth} cycles"),
+            depth,
+        },
+    };
+    Ok(EquivOutcome {
+        verdict,
+        stats,
+        groups,
+    })
+}
+
+/// Check an FF design against its 3-phase conversion.
+///
+/// The phase-collapsing chain map supplies the invariant; 1-step
+/// induction plus a reset base case proves cycle-exact equivalence from
+/// cycle 0. If the converted design does not structurally fit a
+/// conversion (corruption) or the induction fails, bounded model
+/// checking searches for a concrete, simulator-confirmed counterexample.
+///
+/// # Errors
+///
+/// Simulator/netlist construction failures and mismatched data ports;
+/// an inequivalent-but-well-formed pair is a [`Verdict`], not an error.
+pub fn check_conversion(golden: &Netlist, dut: &Netlist, opts: &Options) -> Result<EquivOutcome> {
+    let mut stats = EngineStats::default();
+    let spec = match chain::build_conversion_spec(golden, dut) {
+        Ok((spec, _info)) => spec,
+        Err(Error::Unsupported(msg)) => {
+            return refute(
+                golden,
+                dut,
+                opts,
+                0,
+                &format!("no chain map ({msg})"),
+                stats,
+                0,
+            )
+        }
+        Err(Error::Timing(e)) => {
+            return refute(
+                golden,
+                dut,
+                opts,
+                0,
+                &format!("no chain map ({e})"),
+                stats,
+                0,
+            )
+        }
+        Err(e) => return Err(e),
+    };
+    let groups = spec.groups.len();
+    match engine::induction_step(golden, dut, &spec, &mut stats)? {
+        Induction::Proven { structural } => {
+            match engine::bmc_base(golden, dut, &spec, 0, &mut stats)? {
+                Base::Holds => Ok(EquivOutcome {
+                    verdict: Verdict::Equivalent {
+                        method: Method::ChainInduction,
+                        structural,
+                        from_cycle: 0,
+                    },
+                    stats,
+                    groups,
+                }),
+                Base::Fails { .. } => {
+                    refute(golden, dut, opts, 0, "base case failed", stats, groups)
+                }
+            }
+        }
+        Induction::Violated { .. } => refute(
+            golden,
+            dut,
+            opts,
+            0,
+            "induction step violated",
+            stats,
+            groups,
+        ),
+    }
+}
+
+/// Check two sequential designs (typically the converted design against
+/// its retimed version) by simulation-seeded signal correspondence.
+///
+/// Outputs are proven equal from the flush depth `W` onward — retimed
+/// registers start from reset values that flush through feed-forward
+/// logic, so the designs may legitimately differ for the first few
+/// cycles (the same allowance the flow's streaming validation makes).
+///
+/// # Errors
+///
+/// As [`check_conversion`].
+pub fn check_sequential(a: &Netlist, b: &Netlist, opts: &Options) -> Result<EquivOutcome> {
+    let mut stats = EngineStats::default();
+    let seed_opts = SeedOptions {
+        seeds: opts.sim_seeds.max(1),
+        cycles: opts.sim_cycles.max(opts.warmup_cap + 8),
+        warmup_cap: opts.warmup_cap,
+    };
+    let (mut groups, w) = sigcorr::seed_classes(a, b, &seed_opts)?;
+    let po = po_pairs(a, b)?;
+
+    for _ in 0..=opts.max_refinements {
+        if !po_classed(&groups, &po) {
+            return refute(
+                a,
+                b,
+                opts,
+                w,
+                "outputs fell out of correspondence",
+                stats,
+                groups.len(),
+            );
+        }
+        let spec = Spec {
+            groups: groups.clone(),
+            guarded: Vec::new(),
+            copies: Vec::new(),
+            po_pairs: po.clone(),
+        };
+        let exit_values = match engine::induction_step(a, b, &spec, &mut stats)? {
+            Induction::Proven { structural } => {
+                match engine::bmc_base(a, b, &spec, w, &mut stats)? {
+                    Base::Holds => {
+                        return Ok(EquivOutcome {
+                            verdict: Verdict::Equivalent {
+                                method: Method::SignalCorrespondence,
+                                structural,
+                                from_cycle: w,
+                            },
+                            stats,
+                            groups: groups.len(),
+                        })
+                    }
+                    Base::Fails { exit_values } => exit_values,
+                }
+            }
+            Induction::Violated { exit_values } => exit_values,
+        };
+        stats.refinements += 1;
+        if !sigcorr::refine(&mut groups, &exit_values) {
+            break;
+        }
+    }
+    refute(
+        a,
+        b,
+        opts,
+        w,
+        "no inductive signal correspondence",
+        stats,
+        groups.len(),
+    )
+}
+
+fn po_classed(groups: &[crate::engine::Group], po: &[(NetId, NetId)]) -> bool {
+    use crate::engine::{Side, Sig};
+    po.iter().all(|&(na, nb)| {
+        groups.iter().any(|g| {
+            let find = |sig: Sig| g.members.iter().find(|m| m.sig == sig).map(|m| m.invert);
+            match (find(Sig::Net(Side::A, na)), find(Sig::Net(Side::B, nb))) {
+                (Some(ia), Some(ib)) => ia == ib,
+                _ => false,
+            }
+        })
+    })
+}

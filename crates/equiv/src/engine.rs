@@ -1,0 +1,548 @@
+//! The induction/BMC engine over a product of two symbolic designs.
+//!
+//! One engine serves both equivalence checks in the flow:
+//!
+//! * **conversion** (FF vs 3-phase): candidate state correspondences come
+//!   from the structural chain map ([`crate::chain`]) and the invariant is
+//!   proven by 1-step induction — assume the correspondence classes at a
+//!   cycle boundary, step both designs symbolically through one full
+//!   clock cycle with shared fresh inputs, and show every class (and
+//!   every output pair) still holds at the next boundary;
+//! * **retiming** (3-phase vs retimed 3-phase): candidate classes come
+//!   from concrete lockstep simulation ([`crate::sigcorr`]), refined van
+//!   Eijk-style on SAT counterexamples.
+//!
+//! Because both designs are expressed over one structurally hashed AIG
+//! with shared entry variables, a correct conversion collapses: golden
+//! and converted next-state/output functions reduce to the *same*
+//! literals, the violation miter folds to constant false, and the proof
+//! finishes without a single SAT call. The CDCL solver only runs on
+//! designs that genuinely differ (or on retimed designs, where logic is
+//! restructured around moved registers).
+
+use crate::aig::{Aig, Lit, FALSE};
+use crate::error::{Error, Result};
+use crate::solver::{CnfBuilder, Verdict as SatVerdict};
+use crate::sym::SymSim;
+use std::collections::HashSet;
+use triphase_netlist::{CellId, NetId, Netlist};
+
+/// Per-side input assignments handed to [`SymSim::step`].
+type NetAssigns = Vec<(NetId, Lit)>;
+
+/// Which of the two product designs a signal lives in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Side {
+    /// The reference design (golden / pre-retime).
+    A,
+    /// The design under verification.
+    B,
+}
+
+/// An atom of the correspondence invariant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Sig {
+    /// The constant-false signal.
+    Const,
+    /// A net's settled value at a cycle boundary.
+    Net(Side, NetId),
+    /// A clock gate's internal enable-latch state.
+    Icg(Side, CellId),
+}
+
+/// One signal inside an equivalence [`Group`].
+#[derive(Debug, Clone, Copy)]
+pub struct Member {
+    pub sig: Sig,
+    /// Signal corresponds to the complement of the group value.
+    pub invert: bool,
+    /// Assume equality at the entry boundary (part of the invariant).
+    pub assume: bool,
+    /// Check equality at the exit boundary (proof obligation).
+    pub check: bool,
+}
+
+impl Member {
+    /// An ordinary member: assumed at entry, checked at exit.
+    pub fn full(sig: Sig) -> Member {
+        Member {
+            sig,
+            invert: false,
+            assume: true,
+            check: true,
+        }
+    }
+
+    /// [`Member::full`] with an explicit polarity.
+    pub fn with_invert(sig: Sig, invert: bool) -> Member {
+        Member {
+            sig,
+            invert,
+            assume: true,
+            check: true,
+        }
+    }
+
+    /// A member whose raw state is substituted with the group variable
+    /// but that carries no entry assumption or exit obligation — used for
+    /// boundary-transparent `p3` leads, whose settled boundary value is
+    /// the *next* state, not the current one.
+    pub fn substitute_only(sig: Sig) -> Member {
+        Member {
+            sig,
+            invert: false,
+            assume: false,
+            check: false,
+        }
+    }
+}
+
+/// A candidate equivalence class of signals.
+#[derive(Debug, Clone, Default)]
+pub struct Group {
+    pub members: Vec<Member>,
+}
+
+/// A conditional exit obligation: unless `unless` holds at the exit
+/// boundary, `a` and `b` must agree there. Encodes the held value of a
+/// gated `p3` lead latch, which is only observable while its gate is off.
+#[derive(Debug, Clone, Copy)]
+pub struct GuardedCheck {
+    pub unless: Sig,
+    pub a: Sig,
+    pub b: Sig,
+}
+
+/// Initialise a B-side state element from an A-side *settled* entry
+/// literal instead of a fresh variable. Used for converted clock gates,
+/// whose enable state at a boundary is definitionally the golden gate's
+/// (recomputed) enable — substituting the very literal makes the two
+/// fabrics collapse structurally.
+#[derive(Debug, Clone, Copy)]
+pub struct CopyInit {
+    pub from_a: Sig,
+    pub to_b: Sig,
+}
+
+/// Everything the engine needs for one induction check.
+#[derive(Debug, Clone, Default)]
+pub struct Spec {
+    pub groups: Vec<Group>,
+    pub guarded: Vec<GuardedCheck>,
+    pub copies: Vec<CopyInit>,
+    /// Output-net pairs `(A, B)`, used for BMC refutation miters.
+    pub po_pairs: Vec<(NetId, NetId)>,
+}
+
+/// Cumulative solver/AIG statistics across an engine run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EngineStats {
+    pub aig_nodes: usize,
+    pub sat_calls: u32,
+    pub conflicts: u64,
+    pub refinements: u32,
+}
+
+/// Outcome of a 1-step induction check.
+pub(crate) enum Induction {
+    /// Every obligation holds; `structural` means the miter folded to
+    /// constant false and no SAT call was needed.
+    Proven { structural: bool },
+    /// A class (or guarded obligation) can be violated in one step from
+    /// some state satisfying the invariant. `exit_values` holds every
+    /// member's normalised exit value under the counterexample model,
+    /// parallel to `spec.groups`, for class refinement.
+    Violated { exit_values: Vec<Vec<bool>> },
+}
+
+/// Outcome of a base-case BMC check.
+pub(crate) enum Base {
+    Holds,
+    /// As [`Induction::Violated`], evaluated at the final frame.
+    Fails {
+        exit_values: Vec<Vec<bool>>,
+    },
+}
+
+/// A concrete refutation candidate from bounded model checking.
+pub(crate) struct Refutation {
+    /// Per-cycle input vectors in `data_inputs` (name-sorted) order.
+    pub vectors: Vec<Vec<bool>>,
+    pub frames: usize,
+}
+
+fn norm(l: Lit, invert: bool) -> Lit {
+    if invert {
+        l.not()
+    } else {
+        l
+    }
+}
+
+/// The symbolic product machine: both designs stepped over one shared AIG
+/// with shared input variables.
+pub(crate) struct Product<'n> {
+    pub aig: Aig,
+    pub a: SymSim<'n>,
+    pub b: SymSim<'n>,
+    /// Data-input net pairs, name-sorted (the shared-variable order).
+    in_pairs: Vec<(NetId, NetId)>,
+    state_nets_a: HashSet<NetId>,
+    state_nets_b: HashSet<NetId>,
+    input_nets_a: HashSet<NetId>,
+    input_nets_b: HashSet<NetId>,
+}
+
+impl<'n> Product<'n> {
+    pub fn new(a_nl: &'n Netlist, b_nl: &'n Netlist) -> Result<Product<'n>> {
+        let ia = triphase_sim::data_inputs(a_nl);
+        let ib = triphase_sim::data_inputs(b_nl);
+        let names = |nl: &Netlist, ps: &[triphase_netlist::PortId]| -> Vec<String> {
+            ps.iter().map(|&p| nl.port(p).name.clone()).collect()
+        };
+        if names(a_nl, &ia) != names(b_nl, &ib) {
+            return Err(Error::Unsupported("data input ports differ".into()));
+        }
+        let in_pairs = ia
+            .iter()
+            .zip(&ib)
+            .map(|(&pa, &pb)| (a_nl.port(pa).net, b_nl.port(pb).net))
+            .collect();
+        let storage_outs = |nl: &Netlist| -> HashSet<NetId> {
+            nl.cells()
+                .filter(|(_, c)| c.kind.is_storage())
+                .map(|(_, c)| c.output())
+                .collect()
+        };
+        Ok(Product {
+            aig: Aig::new(),
+            a: SymSim::new(a_nl)?,
+            b: SymSim::new(b_nl)?,
+            state_nets_a: storage_outs(a_nl),
+            state_nets_b: storage_outs(b_nl),
+            input_nets_a: ia.iter().map(|&p| a_nl.port(p).net).collect(),
+            input_nets_b: ib.iter().map(|&p| b_nl.port(p).net).collect(),
+            in_pairs,
+        })
+    }
+
+    pub fn lit(&self, s: Sig) -> Lit {
+        match s {
+            Sig::Const => FALSE,
+            Sig::Net(Side::A, n) => self.a.net_lit(n),
+            Sig::Net(Side::B, n) => self.b.net_lit(n),
+            Sig::Icg(Side::A, c) => self.a.icg_lit(c),
+            Sig::Icg(Side::B, c) => self.b.icg_lit(c),
+        }
+    }
+
+    fn set_raw(&mut self, s: Sig, l: Lit) {
+        match s {
+            Sig::Const => {}
+            Sig::Net(Side::A, n) => self.a.set_net_raw(n, l),
+            Sig::Net(Side::B, n) => self.b.set_net_raw(n, l),
+            Sig::Icg(Side::A, c) => self.a.set_icg_raw(c, l),
+            Sig::Icg(Side::B, c) => self.b.set_icg_raw(c, l),
+        }
+    }
+
+    /// A state element whose raw entry literal may be overwritten.
+    fn is_state(&self, s: Sig) -> bool {
+        match s {
+            Sig::Const => false,
+            Sig::Icg(..) => true,
+            Sig::Net(Side::A, n) => self.state_nets_a.contains(&n),
+            Sig::Net(Side::B, n) => self.state_nets_b.contains(&n),
+        }
+    }
+
+    /// A net whose raw literal is externally fixed (shared input var).
+    fn is_input(&self, s: Sig) -> bool {
+        match s {
+            Sig::Net(Side::A, n) => self.input_nets_a.contains(&n),
+            Sig::Net(Side::B, n) => self.input_nets_b.contains(&n),
+            _ => false,
+        }
+    }
+
+    /// One shared fresh variable per data-input pair; returns the
+    /// per-side `(net, literal)` assignments for [`SymSim::step`] and the
+    /// shared literals in name order.
+    fn fresh_inputs(&mut self) -> (NetAssigns, NetAssigns, Vec<Lit>) {
+        let mut ins_a = Vec::with_capacity(self.in_pairs.len());
+        let mut ins_b = Vec::with_capacity(self.in_pairs.len());
+        let mut vars = Vec::with_capacity(self.in_pairs.len());
+        for &(na, nb) in &self.in_pairs {
+            let v = self.aig.var();
+            ins_a.push((na, v));
+            ins_b.push((nb, v));
+            vars.push(v);
+        }
+        (ins_a, ins_b, vars)
+    }
+
+    /// Share one state variable across each group's state members (the
+    /// collapsing step): the group value comes from an input/const member
+    /// if present, else from the first state member's fresh variable;
+    /// every other state member's raw literal is overwritten with it.
+    fn apply_group_vars(&mut self, groups: &[Group]) {
+        for g in groups {
+            let mut val: Option<Lit> = None;
+            for m in &g.members {
+                if m.sig == Sig::Const || self.is_input(m.sig) {
+                    val = Some(norm(self.lit(m.sig), m.invert));
+                    break;
+                }
+            }
+            if val.is_none() {
+                for m in &g.members {
+                    if self.is_state(m.sig) {
+                        val = Some(norm(self.lit(m.sig), m.invert));
+                        break;
+                    }
+                }
+            }
+            let Some(val) = val else { continue };
+            for m in &g.members {
+                if self.is_state(m.sig) {
+                    let want = norm(val, m.invert);
+                    if self.lit(m.sig) != want {
+                        self.set_raw(m.sig, want);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Entry-equality pairs for assumed members whose settled literals
+    /// did not already collapse.
+    fn entry_assumptions(&self, groups: &[Group]) -> Vec<(Lit, Lit)> {
+        let mut pairs = Vec::new();
+        for g in groups {
+            let mut rep: Option<Lit> = None;
+            for m in &g.members {
+                if !m.assume {
+                    continue;
+                }
+                let l = norm(self.lit(m.sig), m.invert);
+                match rep {
+                    None => rep = Some(l),
+                    Some(r) if r != l => pairs.push((r, l)),
+                    Some(_) => {}
+                }
+            }
+        }
+        pairs
+    }
+
+    /// Per-member normalised exit literals, parallel to `groups`.
+    fn member_exit_lits(&self, groups: &[Group]) -> Vec<Vec<Lit>> {
+        groups
+            .iter()
+            .map(|g| {
+                g.members
+                    .iter()
+                    .map(|m| norm(self.lit(m.sig), m.invert))
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// OR of all exit-boundary violations: checked members differing from
+    /// their group plus triggered guarded obligations.
+    fn violation_miter(&mut self, spec: &Spec) -> Lit {
+        let mut miter = FALSE;
+        for g in &spec.groups {
+            let mut rep: Option<Lit> = None;
+            for m in &g.members {
+                if !m.check {
+                    continue;
+                }
+                let l = norm(self.lit(m.sig), m.invert);
+                match rep {
+                    None => rep = Some(l),
+                    Some(r) => {
+                        let x = self.aig.xor(r, l);
+                        miter = self.aig.or(miter, x);
+                    }
+                }
+            }
+        }
+        for gc in &spec.guarded {
+            let u = self.lit(gc.unless);
+            let x = {
+                let (la, lb) = (self.lit(gc.a), self.lit(gc.b));
+                self.aig.xor(la, lb)
+            };
+            let t = self.aig.and(u.not(), x);
+            miter = self.aig.or(miter, t);
+        }
+        miter
+    }
+}
+
+/// Decode normalised member exit values from a SAT model by evaluating
+/// the whole AIG under the model's variable assignment (unmapped
+/// variables default to false, a consistent extension).
+fn decode_exit_values(aig: &Aig, cnf: &CnfBuilder, exit_lits: &[Vec<Lit>]) -> Vec<Vec<bool>> {
+    let vals = aig.eval_all(&|n| cnf.model_lit(Lit(n << 1)));
+    exit_lits
+        .iter()
+        .map(|ls| ls.iter().map(|&l| Aig::lit_value(&vals, l)).collect())
+        .collect()
+}
+
+/// One-step induction: assume the invariant at an arbitrary boundary,
+/// step one cycle with shared fresh inputs, check every obligation.
+pub(crate) fn induction_step(
+    a_nl: &Netlist,
+    b_nl: &Netlist,
+    spec: &Spec,
+    stats: &mut EngineStats,
+) -> Result<Induction> {
+    let mut p = Product::new(a_nl, b_nl)?;
+    p.a.init_free(&mut p.aig);
+    p.b.init_free(&mut p.aig);
+    // Entry inputs: one shared variable per pair (the previous cycle's
+    // still-driven values).
+    let (ins_a, ins_b, _) = p.fresh_inputs();
+    for &(n, l) in &ins_a {
+        p.a.set_net_raw(n, l);
+    }
+    for &(n, l) in &ins_b {
+        p.b.set_net_raw(n, l);
+    }
+    p.apply_group_vars(&spec.groups);
+    p.a.presettle(&mut p.aig);
+    for c in &spec.copies {
+        let l = p.lit(c.from_a);
+        p.set_raw(c.to_b, l);
+    }
+    p.b.presettle(&mut p.aig);
+    let assumptions = p.entry_assumptions(&spec.groups);
+    let (step_a, step_b, _) = p.fresh_inputs();
+    p.a.step(&mut p.aig, &step_a);
+    p.b.step(&mut p.aig, &step_b);
+    let miter = p.violation_miter(spec);
+    stats.aig_nodes = stats.aig_nodes.max(p.aig.len());
+    if miter == FALSE {
+        return Ok(Induction::Proven { structural: true });
+    }
+    let mut cnf = CnfBuilder::new(&p.aig);
+    for &(x, y) in &assumptions {
+        cnf.assert_equal(&p.aig, x, y);
+    }
+    cnf.assert_true(&p.aig, miter);
+    stats.sat_calls += 1;
+    let verdict = cnf.solve();
+    stats.conflicts += cnf.solver.conflicts;
+    match verdict {
+        SatVerdict::Unsat => Ok(Induction::Proven { structural: false }),
+        SatVerdict::Sat => {
+            let exit_lits = p.member_exit_lits(&spec.groups);
+            Ok(Induction::Violated {
+                exit_values: decode_exit_values(&p.aig, &cnf, &exit_lits),
+            })
+        }
+    }
+}
+
+/// Base case: unroll `w + 1` cycles from the concrete all-zero reset
+/// with shared symbolic inputs and check every obligation at the final
+/// boundary (cycle `w`).
+pub(crate) fn bmc_base(
+    a_nl: &Netlist,
+    b_nl: &Netlist,
+    spec: &Spec,
+    w: usize,
+    stats: &mut EngineStats,
+) -> Result<Base> {
+    let mut p = Product::new(a_nl, b_nl)?;
+    p.a.reset_zero(&mut p.aig);
+    p.b.reset_zero(&mut p.aig);
+    for _ in 0..=w {
+        p.a.presettle(&mut p.aig);
+        p.b.presettle(&mut p.aig);
+        let (ins_a, ins_b, _) = p.fresh_inputs();
+        p.a.step(&mut p.aig, &ins_a);
+        p.b.step(&mut p.aig, &ins_b);
+    }
+    let miter = p.violation_miter(spec);
+    stats.aig_nodes = stats.aig_nodes.max(p.aig.len());
+    if miter == FALSE {
+        return Ok(Base::Holds);
+    }
+    let mut cnf = CnfBuilder::new(&p.aig);
+    cnf.assert_true(&p.aig, miter);
+    stats.sat_calls += 1;
+    let verdict = cnf.solve();
+    stats.conflicts += cnf.solver.conflicts;
+    match verdict {
+        SatVerdict::Unsat => Ok(Base::Holds),
+        SatVerdict::Sat => {
+            let exit_lits = p.member_exit_lits(&spec.groups);
+            Ok(Base::Fails {
+                exit_values: decode_exit_values(&p.aig, &cnf, &exit_lits),
+            })
+        }
+    }
+}
+
+/// Bounded refutation: unroll `depth` cycles from reset and ask SAT for
+/// any output mismatch at a cycle `>= warmup`. A model is decoded into
+/// concrete per-cycle input vectors for confirmation on the concrete
+/// simulator.
+pub(crate) fn bmc_refute(
+    a_nl: &Netlist,
+    b_nl: &Netlist,
+    po_pairs: &[(NetId, NetId)],
+    depth: usize,
+    warmup: usize,
+    stats: &mut EngineStats,
+) -> Result<Option<Refutation>> {
+    let mut p = Product::new(a_nl, b_nl)?;
+    p.a.reset_zero(&mut p.aig);
+    p.b.reset_zero(&mut p.aig);
+    let mut frame_vars: Vec<Vec<Lit>> = Vec::with_capacity(depth);
+    let mut miter = FALSE;
+    for frame in 0..depth {
+        p.a.presettle(&mut p.aig);
+        p.b.presettle(&mut p.aig);
+        let (ins_a, ins_b, vars) = p.fresh_inputs();
+        frame_vars.push(vars);
+        p.a.step(&mut p.aig, &ins_a);
+        p.b.step(&mut p.aig, &ins_b);
+        if frame < warmup {
+            continue;
+        }
+        for &(na, nb) in po_pairs {
+            let x = {
+                let (la, lb) = (p.a.net_lit(na), p.b.net_lit(nb));
+                p.aig.xor(la, lb)
+            };
+            miter = p.aig.or(miter, x);
+        }
+    }
+    stats.aig_nodes = stats.aig_nodes.max(p.aig.len());
+    if miter == FALSE {
+        return Ok(None);
+    }
+    let mut cnf = CnfBuilder::new(&p.aig);
+    cnf.assert_true(&p.aig, miter);
+    stats.sat_calls += 1;
+    let verdict = cnf.solve();
+    stats.conflicts += cnf.solver.conflicts;
+    match verdict {
+        SatVerdict::Unsat => Ok(None),
+        SatVerdict::Sat => {
+            let vectors = frame_vars
+                .iter()
+                .map(|vs| vs.iter().map(|&v| cnf.model_lit(v)).collect())
+                .collect();
+            Ok(Some(Refutation {
+                vectors,
+                frames: depth,
+            }))
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! Error type for the equivalence engines.
+
+use std::fmt;
+
+#[derive(Debug)]
+pub enum Error {
+    /// The design has no clock specification.
+    NoClock,
+    /// Structural netlist error (e.g. combinational loop).
+    Netlist(triphase_netlist::Error),
+    /// Concrete simulation error during seeding or replay.
+    Sim(triphase_sim::Error),
+    /// Timing analysis error (phase classification).
+    Timing(triphase_timing::Error),
+    /// The designs cannot be compared (port mismatch, unsupported cell).
+    Unsupported(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::NoClock => write!(f, "design has no clock specification"),
+            Error::Netlist(e) => write!(f, "netlist error: {e}"),
+            Error::Sim(e) => write!(f, "simulation error: {e}"),
+            Error::Timing(e) => write!(f, "timing error: {e}"),
+            Error::Unsupported(m) => write!(f, "unsupported comparison: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Netlist(e) => Some(e),
+            Error::Sim(e) => Some(e),
+            Error::Timing(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<triphase_netlist::Error> for Error {
+    fn from(e: triphase_netlist::Error) -> Self {
+        Error::Netlist(e)
+    }
+}
+
+impl From<triphase_sim::Error> for Error {
+    fn from(e: triphase_sim::Error) -> Self {
+        Error::Sim(e)
+    }
+}
+
+impl From<triphase_timing::Error> for Error {
+    fn from(e: triphase_timing::Error) -> Self {
+        Error::Timing(e)
+    }
+}
+
+pub type Result<T> = std::result::Result<T, Error>;

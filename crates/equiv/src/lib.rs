@@ -1,0 +1,44 @@
+//! `triphase-equiv`: SAT-based formal equivalence checking of flip-flop
+//! designs against their 3-phase latch-based conversions.
+//!
+//! The flow's streaming validation ([`triphase_sim::equiv_stream`])
+//! compares two designs on pseudo-random stimulus; this crate proves the
+//! property for *all* input sequences:
+//!
+//! 1. both designs are compiled into one shared, structurally hashed
+//!    And-Inverter Graph ([`aig`]) by a symbolic twin of the cycle
+//!    simulator ([`sym`]) — one symbolic step yields, per net, the exact
+//!    Boolean next-state/output function the simulator evaluates;
+//! 2. a **phase-collapsing chain map** ([`chain`]) maps each original FF
+//!    to its `p1`/`p2`/`p3` latch chain and each clock gate to its
+//!    converted twin, producing an induction invariant; for designs with
+//!    no chain map (retimed ones), candidate invariants are seeded from
+//!    lockstep simulation and refined van Eijk-style ([`sigcorr`]);
+//! 3. 1-step induction plus a reset-anchored base case discharge the
+//!    invariant; miters that fold to constant false in the hashed AIG
+//!    are proven *structurally*, with no SAT call — which is the common
+//!    case for correct conversions;
+//! 4. residual miters go to a from-scratch CDCL solver ([`solver`]:
+//!    watched literals, first-UIP learning, Luby restarts); a SAT answer
+//!    is decoded into concrete per-cycle input vectors and only reported
+//!    after [`triphase_sim::replay_vectors`] reproduces the mismatch on
+//!    the concrete simulator.
+//!
+//! Entry points: [`check_conversion`] (FF vs converted) and
+//! [`check_sequential`] (converted vs retimed); [`report::to_json`]
+//! renders outcomes for the `equiv` CLI.
+
+pub mod aig;
+pub mod chain;
+pub mod check;
+pub mod engine;
+pub mod error;
+pub mod report;
+pub mod sigcorr;
+pub mod solver;
+pub mod sym;
+
+pub use chain::{build_conversion_spec, ChainInfo};
+pub use check::{check_conversion, check_sequential, EquivOutcome, Method, Options, Verdict};
+pub use engine::EngineStats;
+pub use error::{Error, Result};

@@ -1,0 +1,102 @@
+//! JSON rendering of equivalence outcomes (hand-rolled, like the lint
+//! reports — the workspace carries no serialization dependency).
+//!
+//! Schema (one object per checked design):
+//!
+//! ```json
+//! {
+//!   "design": "s1423",
+//!   "check": "conversion",
+//!   "verdict": "equivalent" | "not_equivalent" | "unknown",
+//!   "method": "chain_induction" | "signal_correspondence" | null,
+//!   "structural": true,
+//!   "from_cycle": 0,
+//!   "groups": 123,
+//!   "stats": {"aig_nodes": 1, "sat_calls": 0, "conflicts": 0, "refinements": 0},
+//!   "mismatch": {"cycle": 3, "port": "q", "expected": "1", "actual": "0"} | null,
+//!   "reason": "..." | null
+//! }
+//! ```
+
+use crate::check::{EquivOutcome, Method, Verdict};
+
+/// Render one outcome as a JSON object.
+pub fn to_json(design: &str, check: &str, outcome: &EquivOutcome) -> String {
+    let mut out = String::from("{");
+    out.push_str(&format!("\"design\":{},", json_str(design)));
+    out.push_str(&format!("\"check\":{},", json_str(check)));
+    let (verdict, method, structural, from_cycle, mismatch, reason) = match &outcome.verdict {
+        Verdict::Equivalent {
+            method,
+            structural,
+            from_cycle,
+        } => (
+            "equivalent",
+            Some(*method),
+            *structural,
+            Some(*from_cycle),
+            None,
+            None,
+        ),
+        Verdict::NotEquivalent { mismatch, .. } => {
+            ("not_equivalent", None, false, None, Some(mismatch), None)
+        }
+        Verdict::Unknown { reason, .. } => ("unknown", None, false, None, None, Some(reason)),
+    };
+    out.push_str(&format!("\"verdict\":{},", json_str(verdict)));
+    out.push_str(&format!(
+        "\"method\":{},",
+        match method {
+            Some(Method::ChainInduction) => json_str("chain_induction"),
+            Some(Method::SignalCorrespondence) => json_str("signal_correspondence"),
+            None => "null".to_owned(),
+        }
+    ));
+    out.push_str(&format!("\"structural\":{structural},"));
+    out.push_str(&format!(
+        "\"from_cycle\":{},",
+        from_cycle.map_or("null".to_owned(), |c| c.to_string())
+    ));
+    out.push_str(&format!("\"groups\":{},", outcome.groups));
+    out.push_str(&format!(
+        "\"stats\":{{\"aig_nodes\":{},\"sat_calls\":{},\"conflicts\":{},\"refinements\":{}}},",
+        outcome.stats.aig_nodes,
+        outcome.stats.sat_calls,
+        outcome.stats.conflicts,
+        outcome.stats.refinements
+    ));
+    match mismatch {
+        Some(m) => out.push_str(&format!(
+            "\"mismatch\":{{\"cycle\":{},\"port\":{},\"expected\":{},\"actual\":{}}},",
+            m.cycle,
+            json_str(&m.port),
+            json_str(&format!("{:?}", m.expected)),
+            json_str(&format!("{:?}", m.actual))
+        )),
+        None => out.push_str("\"mismatch\":null,"),
+    }
+    out.push_str(&format!(
+        "\"reason\":{}",
+        reason.map_or("null".to_owned(), |r| json_str(r))
+    ));
+    out.push('}');
+    out
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}

@@ -1,0 +1,181 @@
+//! Simulation-seeded signal correspondence (van Eijk) for designs with
+//! no structural chain map — chiefly the converted design against its
+//! retimed version, where moved registers correspond to *combinational*
+//! nets of the other design at cycle boundaries.
+//!
+//! Candidate classes are seeded by concrete lockstep simulation: both
+//! designs are driven with identical pseudo-random input streams and
+//! every net (plus every clock-gate enable state) is sampled at each
+//! cycle boundary. Signals with identical sample vectors — up to
+//! complementation — form a candidate class; the constant-false signal
+//! participates, so stuck nets class with it. The induction engine then
+//! refines classes on SAT counterexamples until the invariant is
+//! inductive, and a bounded base check anchors it at the warmup boundary.
+
+use crate::engine::{Group, Member, Side, Sig};
+use crate::error::Result;
+use std::collections::HashMap;
+use triphase_cells::CellKind;
+use triphase_netlist::Netlist;
+use triphase_sim::{data_inputs, Logic, Simulator, Stream};
+
+/// Seeding parameters.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SeedOptions {
+    /// Independent pseudo-random runs.
+    pub seeds: u64,
+    /// Cycles per run.
+    pub cycles: usize,
+    /// Boundary index from which samples feed class construction;
+    /// earlier cycles only probe the flush depth `W`.
+    pub warmup_cap: usize,
+}
+
+impl Default for SeedOptions {
+    fn default() -> Self {
+        SeedOptions {
+            seeds: 4,
+            cycles: 96,
+            warmup_cap: 16,
+        }
+    }
+}
+
+fn sample_bool(v: Logic) -> bool {
+    v == Logic::One
+}
+
+/// Run lockstep simulations and build candidate classes plus the flush
+/// depth `W`: the first boundary from which every class held concretely
+/// in all runs.
+pub(crate) fn seed_classes(
+    a_nl: &Netlist,
+    b_nl: &Netlist,
+    opts: &SeedOptions,
+) -> Result<(Vec<Group>, usize)> {
+    let in_a = data_inputs(a_nl);
+    let in_b = data_inputs(b_nl);
+
+    // Atoms: the constant, every net, every stateful clock gate.
+    let mut atoms: Vec<Sig> = vec![Sig::Const];
+    for (side, nl) in [(Side::A, a_nl), (Side::B, b_nl)] {
+        for (id, _) in nl.nets() {
+            atoms.push(Sig::Net(side, id));
+        }
+        for (id, c) in nl.cells() {
+            if matches!(c.kind, CellKind::Icg | CellKind::IcgM1) {
+                atoms.push(Sig::Icg(side, id));
+            }
+        }
+    }
+
+    let samples_per_run = opts.cycles;
+    let total = samples_per_run * opts.seeds as usize;
+    let mut traces: Vec<Vec<bool>> = vec![Vec::with_capacity(total); atoms.len()];
+
+    for run in 0..opts.seeds {
+        let mut sa = Simulator::new(a_nl)?;
+        let mut sb = Simulator::new(b_nl)?;
+        sa.reset_zero();
+        sb.reset_zero();
+        let mut stream = Stream::new(0xE9_u64.wrapping_mul(run + 1) ^ 42);
+        for _ in 0..samples_per_run {
+            for (&pa, &pb) in in_a.iter().zip(&in_b) {
+                let v = Logic::from_bool(stream.next_bit());
+                sa.set_input(pa, v);
+                sb.set_input(pb, v);
+            }
+            sa.step_cycle();
+            sb.step_cycle();
+            for (t, &sig) in traces.iter_mut().zip(&atoms) {
+                let v = match sig {
+                    Sig::Const => Logic::Zero,
+                    Sig::Net(Side::A, n) => sa.net_value(n),
+                    Sig::Net(Side::B, n) => sb.net_value(n),
+                    Sig::Icg(Side::A, c) => sa.icg_state(c),
+                    Sig::Icg(Side::B, c) => sb.icg_state(c),
+                };
+                t.push(sample_bool(v));
+            }
+        }
+    }
+
+    // Class key: the post-warmup sample subvector, complemented to start
+    // with `false` so complementary signals share a class.
+    let post: Vec<usize> = (0..total)
+        .filter(|i| i % samples_per_run >= opts.warmup_cap.min(samples_per_run))
+        .collect();
+    let mut classes: HashMap<Vec<bool>, Vec<(Sig, bool)>> = HashMap::new();
+    for (t, &sig) in traces.iter().zip(&atoms) {
+        let invert = post.first().map(|&i| t[i]).unwrap_or(false);
+        let key: Vec<bool> = post.iter().map(|&i| t[i] ^ invert).collect();
+        classes.entry(key).or_default().push((sig, invert));
+    }
+
+    let sig_index: HashMap<Sig, usize> = atoms.iter().enumerate().map(|(i, &s)| (s, i)).collect();
+    let mut groups: Vec<Group> = classes
+        .into_values()
+        .filter(|ms| ms.len() >= 2)
+        .map(|ms| Group {
+            members: ms
+                .into_iter()
+                .map(|(sig, inv)| Member::with_invert(sig, inv))
+                .collect(),
+        })
+        .collect();
+    // Deterministic order regardless of hash iteration.
+    groups.sort_by_key(|g| g.members.iter().map(|m| sig_index[&m.sig]).min());
+
+    // Flush depth: the earliest boundary from which no class was ever
+    // violated concretely.
+    let mut w = 0usize;
+    for g in &groups {
+        // `s` indexes a sample column across several trace rows, so a
+        // plain index loop is the natural shape here.
+        #[allow(clippy::needless_range_loop)]
+        for s in 0..total {
+            let c = s % samples_per_run;
+            if c >= opts.warmup_cap || c < w {
+                continue;
+            }
+            let first = &g.members[0];
+            let v0 = traces[sig_index[&first.sig]][s] ^ first.invert;
+            if g.members
+                .iter()
+                .any(|m| traces[sig_index[&m.sig]][s] ^ m.invert != v0)
+            {
+                w = w.max(c + 1);
+            }
+        }
+    }
+    Ok((groups, w))
+}
+
+/// Refine classes against one counterexample: split every group by its
+/// members' normalised exit values under the model. Returns `true` if
+/// any group actually split (progress).
+pub(crate) fn refine(groups: &mut Vec<Group>, exit_values: &[Vec<bool>]) -> bool {
+    let mut next: Vec<Group> = Vec::with_capacity(groups.len());
+    let mut split = false;
+    for (g, vals) in groups.iter().zip(exit_values) {
+        let mut zero = Group::default();
+        let mut one = Group::default();
+        for (m, &v) in g.members.iter().zip(vals) {
+            if v {
+                one.members.push(*m);
+            } else {
+                zero.members.push(*m);
+            }
+        }
+        if !zero.members.is_empty() && !one.members.is_empty() {
+            split = true;
+        }
+        for part in [zero, one] {
+            if part.members.len() >= 2 {
+                next.push(part);
+            }
+        }
+    }
+    *groups = next;
+    split
+}

@@ -1,0 +1,767 @@
+//! A from-scratch CDCL SAT solver and a lazy Tseitin encoder for AIG cones.
+//!
+//! Features: two-literal watches, first-UIP conflict learning, VSIDS-style
+//! activity with an indexed max-heap, phase saving, and Luby restarts.
+//! There is no clause-database reduction: the instances produced by the
+//! equivalence engines are miter-shaped and either fold away structurally
+//! or stay small enough that deletion is not worth the bookkeeping.
+
+use crate::aig::{Aig, Lit as ALit, Node, FALSE, TRUE};
+
+/// Solver literal: `var << 1 | negated`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SLit(pub u32);
+
+impl SLit {
+    pub fn pos(v: u32) -> SLit {
+        SLit(v << 1)
+    }
+    pub fn neg(v: u32) -> SLit {
+        SLit(v << 1 | 1)
+    }
+    fn var(self) -> u32 {
+        self.0 >> 1
+    }
+    fn sign(self) -> bool {
+        self.0 & 1 == 1
+    }
+    fn not(self) -> SLit {
+        SLit(self.0 ^ 1)
+    }
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Verdict {
+    Sat,
+    Unsat,
+}
+
+const UNASSIGNED: i8 = 2;
+
+struct Clause {
+    lits: Vec<SLit>,
+}
+
+/// Indexed max-heap ordering variables by activity.
+struct VarHeap {
+    heap: Vec<u32>,
+    pos: Vec<i32>,
+}
+
+impl VarHeap {
+    fn new(n: usize) -> Self {
+        VarHeap {
+            heap: (0..n as u32).collect(),
+            pos: (0..n as i32).collect(),
+        }
+    }
+
+    fn contains(&self, v: u32) -> bool {
+        self.pos[v as usize] >= 0
+    }
+
+    fn up(&mut self, mut i: usize, act: &[f64]) {
+        while i > 0 {
+            let p = (i - 1) / 2;
+            if act[self.heap[i] as usize] <= act[self.heap[p] as usize] {
+                break;
+            }
+            self.swap(i, p);
+            i = p;
+        }
+    }
+
+    fn down(&mut self, mut i: usize, act: &[f64]) {
+        loop {
+            let l = 2 * i + 1;
+            if l >= self.heap.len() {
+                break;
+            }
+            let r = l + 1;
+            let c =
+                if r < self.heap.len() && act[self.heap[r] as usize] > act[self.heap[l] as usize] {
+                    r
+                } else {
+                    l
+                };
+            if act[self.heap[c] as usize] <= act[self.heap[i] as usize] {
+                break;
+            }
+            self.swap(i, c);
+            i = c;
+        }
+    }
+
+    fn swap(&mut self, a: usize, b: usize) {
+        self.heap.swap(a, b);
+        self.pos[self.heap[a] as usize] = a as i32;
+        self.pos[self.heap[b] as usize] = b as i32;
+    }
+
+    fn push(&mut self, v: u32, act: &[f64]) {
+        if self.contains(v) {
+            return;
+        }
+        self.pos[v as usize] = self.heap.len() as i32;
+        self.heap.push(v);
+        self.up(self.heap.len() - 1, act);
+    }
+
+    fn pop(&mut self, act: &[f64]) -> Option<u32> {
+        let top = *self.heap.first()?;
+        let last = self.heap.pop().unwrap();
+        self.pos[top as usize] = -1;
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.pos[last as usize] = 0;
+            self.down(0, act);
+        }
+        Some(top)
+    }
+
+    fn bumped(&mut self, v: u32, act: &[f64]) {
+        let p = self.pos[v as usize];
+        if p >= 0 {
+            self.up(p as usize, act);
+        }
+    }
+
+    /// Register a new variable (initial activity zero → appended as a leaf).
+    fn add_var(&mut self) {
+        let v = self.pos.len() as u32;
+        self.pos.push(self.heap.len() as i32);
+        self.heap.push(v);
+    }
+}
+
+pub struct Solver {
+    clauses: Vec<Clause>,
+    /// Watch lists: clause indices watching each literal.
+    watches: Vec<Vec<u32>>,
+    assign: Vec<i8>,
+    level: Vec<u32>,
+    reason: Vec<i32>,
+    trail: Vec<SLit>,
+    trail_lim: Vec<usize>,
+    prop_head: usize,
+    activity: Vec<f64>,
+    var_inc: f64,
+    heap: VarHeap,
+    saved_phase: Vec<bool>,
+    /// Set when an added clause is empty or conflicts at level 0.
+    unsat: bool,
+    pub conflicts: u64,
+    pub decisions: u64,
+    pub propagations: u64,
+}
+
+impl Solver {
+    pub fn new() -> Self {
+        Solver {
+            clauses: Vec::new(),
+            watches: Vec::new(),
+            assign: Vec::new(),
+            level: Vec::new(),
+            reason: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            prop_head: 0,
+            activity: Vec::new(),
+            var_inc: 1.0,
+            heap: VarHeap::new(0),
+            saved_phase: Vec::new(),
+            unsat: false,
+            conflicts: 0,
+            decisions: 0,
+            propagations: 0,
+        }
+    }
+
+    pub fn new_var(&mut self) -> u32 {
+        let v = self.assign.len() as u32;
+        self.assign.push(UNASSIGNED);
+        self.level.push(0);
+        self.reason.push(-1);
+        self.activity.push(0.0);
+        self.saved_phase.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.heap.add_var();
+        v
+    }
+
+    pub fn num_vars(&self) -> usize {
+        self.assign.len()
+    }
+
+    fn value(&self, l: SLit) -> i8 {
+        let a = self.assign[l.var() as usize];
+        if a == UNASSIGNED {
+            UNASSIGNED
+        } else {
+            a ^ i8::from(l.sign())
+        }
+    }
+
+    /// Add a clause. Literals must refer to existing variables.
+    pub fn add_clause(&mut self, lits: &[SLit]) {
+        if self.unsat {
+            return;
+        }
+        debug_assert!(self.trail_lim.is_empty());
+        // Deduplicate and drop clauses that are trivially true.
+        let mut c: Vec<SLit> = Vec::with_capacity(lits.len());
+        for &l in lits {
+            if self.value(l) == 1 {
+                return;
+            }
+            if self.value(l) == 0 {
+                continue; // falsified at level 0
+            }
+            if c.contains(&l.not()) {
+                return;
+            }
+            if !c.contains(&l) {
+                c.push(l);
+            }
+        }
+        match c.len() {
+            0 => self.unsat = true,
+            1 => {
+                self.enqueue(c[0], -1);
+                if self.propagate().is_some() {
+                    self.unsat = true;
+                }
+            }
+            _ => {
+                let idx = self.clauses.len() as u32;
+                self.watches[c[0].not().index()].push(idx);
+                self.watches[c[1].not().index()].push(idx);
+                self.clauses.push(Clause { lits: c });
+            }
+        }
+    }
+
+    fn enqueue(&mut self, l: SLit, reason: i32) {
+        debug_assert_eq!(self.value(l), UNASSIGNED);
+        let v = l.var() as usize;
+        self.assign[v] = i8::from(!l.sign());
+        self.level[v] = self.trail_lim.len() as u32;
+        self.reason[v] = reason;
+        self.saved_phase[v] = !l.sign();
+        self.trail.push(l);
+    }
+
+    /// Unit propagation; returns a conflicting clause index if any.
+    fn propagate(&mut self) -> Option<u32> {
+        while self.prop_head < self.trail.len() {
+            let l = self.trail[self.prop_head];
+            self.prop_head += 1;
+            self.propagations += 1;
+            // Clauses watching ¬l may become unit or conflicting.
+            let mut ws = std::mem::take(&mut self.watches[l.index()]);
+            let mut keep = 0;
+            'clauses: for wi in 0..ws.len() {
+                let ci = ws[wi];
+                let falsified = l.not();
+                // Ensure falsified literal sits at position 1.
+                {
+                    let cl = &mut self.clauses[ci as usize];
+                    if cl.lits[0] == falsified {
+                        cl.lits.swap(0, 1);
+                    }
+                }
+                let first = self.clauses[ci as usize].lits[0];
+                if self.value(first) == 1 {
+                    ws[keep] = ci;
+                    keep += 1;
+                    continue;
+                }
+                // Look for a replacement watch.
+                let len = self.clauses[ci as usize].lits.len();
+                for k in 2..len {
+                    let lk = self.clauses[ci as usize].lits[k];
+                    if self.value(lk) != 0 {
+                        self.clauses[ci as usize].lits.swap(1, k);
+                        self.watches[lk.not().index()].push(ci);
+                        continue 'clauses;
+                    }
+                }
+                // No replacement: clause is unit or conflicting.
+                ws[keep] = ci;
+                keep += 1;
+                if self.value(first) == 0 {
+                    for j in wi + 1..ws.len() {
+                        ws[keep] = ws[j];
+                        keep += 1;
+                    }
+                    ws.truncate(keep);
+                    self.watches[l.index()] = ws;
+                    return Some(ci);
+                }
+                self.enqueue(first, ci as i32);
+            }
+            ws.truncate(keep);
+            self.watches[l.index()] = ws;
+        }
+        None
+    }
+
+    fn bump_var(&mut self, v: u32) {
+        self.activity[v as usize] += self.var_inc;
+        if self.activity[v as usize] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        self.heap.bumped(v, &self.activity);
+    }
+
+    /// First-UIP conflict analysis. Returns (learnt clause, backtrack level).
+    fn analyze(&mut self, confl: u32) -> (Vec<SLit>, usize) {
+        let mut seen = vec![false; self.assign.len()];
+        let mut learnt: Vec<SLit> = vec![SLit(0)]; // slot 0 for the UIP
+        let mut counter = 0usize;
+        let mut clause = confl as i32;
+        let mut trail_idx = self.trail.len();
+        let cur_level = self.trail_lim.len() as u32;
+        let mut uip = None;
+        loop {
+            debug_assert!(clause >= 0);
+            let start = usize::from(uip.is_some());
+            let lits: Vec<SLit> = self.clauses[clause as usize].lits[start..].to_vec();
+            for q in lits {
+                let v = q.var();
+                if !seen[v as usize] && self.level[v as usize] > 0 {
+                    seen[v as usize] = true;
+                    self.bump_var(v);
+                    if self.level[v as usize] == cur_level {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Walk the trail back to the next marked literal.
+            loop {
+                trail_idx -= 1;
+                let l = self.trail[trail_idx];
+                if seen[l.var() as usize] {
+                    uip = Some(l);
+                    seen[l.var() as usize] = false;
+                    clause = self.reason[l.var() as usize];
+                    break;
+                }
+            }
+            counter -= 1;
+            if counter == 0 {
+                break;
+            }
+        }
+        learnt[0] = uip.unwrap().not();
+        // Backtrack to the second-highest level in the learnt clause.
+        let bt = learnt[1..]
+            .iter()
+            .map(|l| self.level[l.var() as usize] as usize)
+            .max()
+            .unwrap_or(0);
+        // Move a literal of the backtrack level into watch position 1.
+        if learnt.len() > 1 {
+            let pos = learnt[1..]
+                .iter()
+                .position(|l| self.level[l.var() as usize] as usize == bt)
+                .unwrap()
+                + 1;
+            learnt.swap(1, pos);
+        }
+        (learnt, bt)
+    }
+
+    fn backtrack(&mut self, level: usize) {
+        while self.trail_lim.len() > level {
+            let lim = self.trail_lim.pop().unwrap();
+            while self.trail.len() > lim {
+                let l = self.trail.pop().unwrap();
+                let v = l.var();
+                self.assign[v as usize] = UNASSIGNED;
+                self.reason[v as usize] = -1;
+                self.heap.push(v, &self.activity);
+            }
+        }
+        self.prop_head = self.trail.len();
+    }
+
+    fn decide(&mut self) -> bool {
+        while let Some(v) = self.heap.pop(&self.activity) {
+            if self.assign[v as usize] == UNASSIGNED {
+                self.decisions += 1;
+                self.trail_lim.push(self.trail.len());
+                let phase = self.saved_phase[v as usize];
+                let l = if phase { SLit::pos(v) } else { SLit::neg(v) };
+                self.enqueue(l, -1);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Luby sequence value (1-indexed).
+    fn luby(mut i: u64) -> u64 {
+        loop {
+            let mut k = 1u32;
+            while (1u64 << k) - 1 < i {
+                k += 1;
+            }
+            if (1u64 << k) - 1 == i {
+                return 1 << (k - 1);
+            }
+            i -= (1 << (k - 1)) - 1;
+        }
+    }
+
+    pub fn solve(&mut self) -> Verdict {
+        if self.unsat {
+            return Verdict::Unsat;
+        }
+        if self.propagate().is_some() {
+            self.unsat = true;
+            return Verdict::Unsat;
+        }
+        let mut restart_num = 1u64;
+        let mut budget = 64 * Self::luby(restart_num);
+        loop {
+            if let Some(confl) = self.propagate() {
+                self.conflicts += 1;
+                if self.trail_lim.is_empty() {
+                    self.unsat = true;
+                    return Verdict::Unsat;
+                }
+                let (learnt, bt) = self.analyze(confl);
+                self.backtrack(bt);
+                self.var_inc *= 1.0 / 0.95;
+                if learnt.len() == 1 {
+                    self.enqueue(learnt[0], -1);
+                } else {
+                    let idx = self.clauses.len() as u32;
+                    self.watches[learnt[0].not().index()].push(idx);
+                    self.watches[learnt[1].not().index()].push(idx);
+                    let unit = learnt[0];
+                    self.clauses.push(Clause { lits: learnt });
+                    self.enqueue(unit, idx as i32);
+                }
+                if budget > 0 {
+                    budget -= 1;
+                    if budget == 0 {
+                        restart_num += 1;
+                        budget = 64 * Self::luby(restart_num);
+                        self.backtrack(0);
+                    }
+                }
+            } else if !self.decide() {
+                return Verdict::Sat;
+            }
+        }
+    }
+
+    /// Model value of a variable after a `Sat` verdict.
+    pub fn model(&self, v: u32) -> bool {
+        self.assign[v as usize] == 1
+    }
+}
+
+impl Default for Solver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Lazy Tseitin encoder: maps only the AIG nodes reachable from asserted
+/// or constrained literals into solver variables.
+pub struct CnfBuilder {
+    pub solver: Solver,
+    node_var: Vec<i32>,
+}
+
+impl CnfBuilder {
+    pub fn new(aig: &Aig) -> Self {
+        CnfBuilder {
+            solver: Solver::new(),
+            node_var: vec![-1; aig.len()],
+        }
+    }
+
+    fn lit(&mut self, aig: &Aig, l: ALit) -> SLit {
+        let v = self.encode_node(aig, l.node());
+        if l.neg() {
+            SLit::neg(v)
+        } else {
+            SLit::pos(v)
+        }
+    }
+
+    fn encode_node(&mut self, aig: &Aig, root: u32) -> u32 {
+        if self.node_var[root as usize] >= 0 {
+            return self.node_var[root as usize] as u32;
+        }
+        // Iterative DFS so deep BMC unrollings cannot overflow the stack.
+        let mut stack = vec![(root, false)];
+        while let Some((n, expanded)) = stack.pop() {
+            if self.node_var[n as usize] >= 0 {
+                continue;
+            }
+            match aig.node(n) {
+                Node::Const => {
+                    let v = self.solver.new_var();
+                    self.node_var[n as usize] = v as i32;
+                    self.solver.add_clause(&[SLit::neg(v)]);
+                }
+                Node::Var => {
+                    let v = self.solver.new_var();
+                    self.node_var[n as usize] = v as i32;
+                }
+                Node::And(a, b) => {
+                    if expanded {
+                        let v = self.solver.new_var();
+                        self.node_var[n as usize] = v as i32;
+                        let la = self.slit_of(a);
+                        let lb = self.slit_of(b);
+                        self.solver.add_clause(&[SLit::neg(v), la]);
+                        self.solver.add_clause(&[SLit::neg(v), lb]);
+                        self.solver.add_clause(&[SLit::pos(v), la.not(), lb.not()]);
+                    } else {
+                        stack.push((n, true));
+                        stack.push((a.node(), false));
+                        stack.push((b.node(), false));
+                    }
+                }
+            }
+        }
+        self.node_var[root as usize] as u32
+    }
+
+    fn slit_of(&self, l: ALit) -> SLit {
+        let v = self.node_var[l.node() as usize] as u32;
+        if l.neg() {
+            SLit::neg(v)
+        } else {
+            SLit::pos(v)
+        }
+    }
+
+    /// Assert that `l` holds.
+    pub fn assert_true(&mut self, aig: &Aig, l: ALit) {
+        if l == TRUE {
+            return;
+        }
+        if l == FALSE {
+            self.solver.add_clause(&[]);
+            return;
+        }
+        let sl = self.lit(aig, l);
+        self.solver.add_clause(&[sl]);
+    }
+
+    /// Constrain `a == b` (used for entry-state equality assumptions).
+    pub fn assert_equal(&mut self, aig: &Aig, a: ALit, b: ALit) {
+        if a == b {
+            return;
+        }
+        if a == b.not() {
+            self.solver.add_clause(&[]);
+            return;
+        }
+        if a.is_const() {
+            let l = if a == TRUE { b } else { b.not() };
+            self.assert_true(aig, l);
+            return;
+        }
+        if b.is_const() {
+            let l = if b == TRUE { a } else { a.not() };
+            self.assert_true(aig, l);
+            return;
+        }
+        let sa = self.lit(aig, a);
+        let sb = self.lit(aig, b);
+        self.solver.add_clause(&[sa.not(), sb]);
+        self.solver.add_clause(&[sa, sb.not()]);
+    }
+
+    pub fn solve(&mut self) -> Verdict {
+        self.solver.solve()
+    }
+
+    /// Model value of an AIG literal; unmapped nodes default to false.
+    pub fn model_lit(&self, l: ALit) -> bool {
+        let mv = self.node_var[l.node() as usize];
+        // Unmapped nodes (including the constant node 0) default to false.
+        let base = mv >= 0 && self.solver.model(mv as u32);
+        base ^ l.neg()
+    }
+
+    /// Whether an AIG node was pulled into the CNF.
+    pub fn is_mapped(&self, node: u32) -> bool {
+        self.node_var[node as usize] >= 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use triphase_netlist::SplitMix64;
+
+    fn lits(spec: &[i32]) -> Vec<SLit> {
+        spec.iter()
+            .map(|&x| {
+                let v = x.unsigned_abs() - 1;
+                if x > 0 {
+                    SLit::pos(v)
+                } else {
+                    SLit::neg(v)
+                }
+            })
+            .collect()
+    }
+
+    fn solver_with(nvars: usize, cls: &[&[i32]]) -> Solver {
+        let mut s = Solver::new();
+        for _ in 0..nvars {
+            s.new_var();
+        }
+        for c in cls {
+            let c = lits(c);
+            s.add_clause(&c);
+        }
+        s
+    }
+
+    #[test]
+    fn trivial_sat_unsat() {
+        let mut s = solver_with(1, &[&[1]]);
+        assert_eq!(s.solve(), Verdict::Sat);
+        assert!(s.model(0));
+        let mut s = solver_with(1, &[&[1], &[-1]]);
+        assert_eq!(s.solve(), Verdict::Unsat);
+    }
+
+    #[test]
+    fn chain_implication() {
+        // x1 & (x1 -> x2) & ... & (x9 -> x10) & !x10 is UNSAT.
+        let mut s = Solver::new();
+        for _ in 0..10 {
+            s.new_var();
+        }
+        s.add_clause(&lits(&[1]));
+        for i in 1..10 {
+            s.add_clause(&lits(&[-i, i + 1]));
+        }
+        s.add_clause(&lits(&[-10]));
+        assert_eq!(s.solve(), Verdict::Unsat);
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_unsat() {
+        // Pigeon i in hole j is var p(i,j); 3 pigeons, 2 holes.
+        let p = |i: i32, j: i32| i * 2 + j + 1;
+        let mut cls: Vec<Vec<i32>> = (0..3).map(|i| vec![p(i, 0), p(i, 1)]).collect();
+        for j in 0..2 {
+            for a in 0..3 {
+                for b in a + 1..3 {
+                    cls.push(vec![-p(a, j), -p(b, j)]);
+                }
+            }
+        }
+        let refs: Vec<&[i32]> = cls.iter().map(|c| c.as_slice()).collect();
+        let mut s = solver_with(6, &refs);
+        assert_eq!(s.solve(), Verdict::Unsat);
+    }
+
+    #[test]
+    fn random_3sat_agrees_with_brute_force() {
+        let mut rng = SplitMix64(7);
+        for case in 0..40 {
+            let nvars = 3 + rng.range(0, 8);
+            let ncls = rng.range(1, 30);
+            let cls: Vec<Vec<i32>> = (0..ncls)
+                .map(|_| {
+                    (0..3)
+                        .map(|_| {
+                            let v = rng.range(0, nvars) as i32 + 1;
+                            if rng.next_bit() {
+                                v
+                            } else {
+                                -v
+                            }
+                        })
+                        .collect()
+                })
+                .collect();
+            let brute = (0..1u64 << nvars).any(|m| {
+                cls.iter().all(|c| {
+                    c.iter()
+                        .any(|&l| ((m >> (l.unsigned_abs() - 1)) & 1 == 1) == (l > 0))
+                })
+            });
+            let refs: Vec<&[i32]> = cls.iter().map(|c| c.as_slice()).collect();
+            let mut s = solver_with(nvars, &refs);
+            let got = s.solve() == Verdict::Sat;
+            assert_eq!(got, brute, "case {case}: {cls:?}");
+            if got {
+                // The reported model must satisfy every clause.
+                for c in &cls {
+                    assert!(
+                        c.iter().any(|&l| s.model(l.unsigned_abs() - 1) == (l > 0)),
+                        "case {case}: model violates {c:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tseitin_encodes_aig_miters() {
+        // xor(a,b) built two ways must be provably equivalent: miter UNSAT.
+        let mut g = Aig::new();
+        let a = g.var();
+        let b = g.var();
+        let x1 = g.xor(a, b);
+        let t0 = g.or(a, b);
+        let t1 = g.and(a, b);
+        let x2 = g.and(t0, t1.not());
+        let miter = g.xor(x1, x2);
+        // Structural hashing may already fold this; force the SAT path by
+        // asserting the miter when non-constant.
+        if miter != FALSE {
+            let mut c = CnfBuilder::new(&g);
+            c.assert_true(&g, miter);
+            assert_eq!(c.solve(), Verdict::Unsat);
+        }
+        // A genuinely satisfiable miter: xor(a,b) vs or(a,b) differ at a=b=1.
+        let bad = g.xor(x1, t0);
+        let mut c = CnfBuilder::new(&g);
+        c.assert_true(&g, bad);
+        assert_eq!(c.solve(), Verdict::Sat);
+        let va = c.model_lit(a);
+        let vb = c.model_lit(b);
+        assert_ne!(va ^ vb, va || vb);
+    }
+
+    #[test]
+    fn equality_assumptions_constrain_models() {
+        let mut g = Aig::new();
+        let a = g.var();
+        let b = g.var();
+        let c_var = g.var();
+        let f = g.and(a, b);
+        let mut c = CnfBuilder::new(&g);
+        // Assume a == c and assert f && !c: forces b=1, a=1, c=1 conflict? No:
+        // f=a&b true means a=1; a==c means c=1; !c contradicts. UNSAT.
+        c.assert_equal(&g, a, c_var);
+        c.assert_true(&g, f);
+        c.assert_true(&g, c_var.not());
+        assert_eq!(c.solve(), Verdict::Unsat);
+    }
+}

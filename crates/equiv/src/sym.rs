@@ -1,0 +1,579 @@
+//! Symbolic twin of the concrete cycle simulator.
+//!
+//! [`SymSim`] replays the exact event sequence of
+//! `triphase_sim::Simulator::step_cycle` — sub-cycle clock events in
+//! ascending time order, up to four gated-clock hazard rounds per event,
+//! FF capture on symbolic rising edges, and fixpoint settling of the
+//! combinational fabric and transparent latches — but over AIG literals
+//! instead of 3-valued logic. A cycle step therefore computes, for every
+//! net, the Boolean function of the entry state and inputs that the
+//! concrete simulator would evaluate pointwise. That function-level match
+//! is what lets SAT counterexamples found on the symbolic model be
+//! replayed and confirmed on the concrete simulator.
+//!
+//! The one structural liberty taken is latch settling: a transparent
+//! latch's output is expressed as `mux(gate, data, q_entry)` anchored at
+//! the value the latch held when the settle began, re-derived only when
+//! the gate or data literal changes. Without the anchor, each settle pass
+//! would wrap another mux around the last, and symbolic settling would
+//! never reach a structural fixpoint.
+
+use crate::aig::{Aig, Lit, FALSE, TRUE};
+use crate::error::{Error, Result};
+use triphase_cells::CellKind;
+use triphase_netlist::{graph, CellId, ConnIndex, NetId, Netlist, PortId};
+
+const MAX_SETTLE_PASSES: usize = 64;
+
+/// Symbolic state over one netlist: a literal per net plus a literal per
+/// clock-gate enable latch.
+pub struct SymSim<'a> {
+    nl: &'a Netlist,
+    comb_order: Vec<CellId>,
+    clock_order: Vec<CellId>,
+    storage: Vec<CellId>,
+    /// Enable-latch literal per clock-gate cell (indexed by cell index).
+    icg: Vec<Lit>,
+    /// Current literal per net (indexed by net index).
+    values: Vec<Lit>,
+    events: Vec<f64>,
+    clock_ports: Vec<(PortId, NetId, usize)>,
+    /// Latch output anchor for the current settle (indexed by cell index).
+    latch_entry: Vec<Lit>,
+    /// Memoised `(gate, data)` pair per latch for anchor re-derivation.
+    latch_memo: Vec<(Lit, Lit)>,
+}
+
+impl<'a> SymSim<'a> {
+    pub fn new(nl: &'a Netlist) -> Result<SymSim<'a>> {
+        let clock = nl.clock.as_ref().ok_or(Error::NoClock)?;
+        let idx = nl.index();
+        let comb_order = graph::comb_topo_order(nl, &idx).map_err(Error::Netlist)?;
+        let clock_order = clock_network_order(nl, &idx)?;
+        let storage: Vec<CellId> = nl
+            .cells()
+            .filter(|(_, c)| c.kind.is_storage())
+            .map(|(id, _)| id)
+            .collect();
+        let mut times: Vec<f64> = Vec::new();
+        for p in &clock.phases {
+            for t in [
+                p.rise_ps.rem_euclid(clock.period_ps),
+                p.fall_ps.rem_euclid(clock.period_ps),
+            ] {
+                if !times.iter().any(|&x| (x - t).abs() < 1e-9) {
+                    times.push(t);
+                }
+            }
+        }
+        times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let clock_ports = clock
+            .phases
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (p.port, nl.port(p.port).net, i))
+            .collect();
+        Ok(SymSim {
+            nl,
+            comb_order,
+            clock_order,
+            storage,
+            icg: vec![FALSE; nl.cell_capacity()],
+            values: vec![FALSE; nl.net_capacity()],
+            events: times,
+            clock_ports,
+            latch_entry: vec![FALSE; nl.cell_capacity()],
+            latch_memo: vec![(FALSE, FALSE); nl.cell_capacity()],
+        })
+    }
+
+    pub fn netlist(&self) -> &Netlist {
+        self.nl
+    }
+
+    /// Storage cells (FFs and latches) of the design.
+    pub fn storage_cells(&self) -> &[CellId] {
+        &self.storage
+    }
+
+    /// Clock-gate cells with internal enable-latch state.
+    pub fn icg_cells(&self) -> Vec<CellId> {
+        self.clock_order
+            .iter()
+            .copied()
+            .filter(|&c| {
+                matches!(
+                    self.nl.cell(c).kind,
+                    CellKind::Icg | CellKind::IcgM1 | CellKind::IcgM2
+                )
+            })
+            .collect()
+    }
+
+    pub fn net_lit(&self, net: NetId) -> Lit {
+        self.values[net.index()]
+    }
+
+    pub fn set_net_raw(&mut self, net: NetId, l: Lit) {
+        self.values[net.index()] = l;
+    }
+
+    pub fn icg_lit(&self, cell: CellId) -> Lit {
+        self.icg[cell.index()]
+    }
+
+    pub fn set_icg_raw(&mut self, cell: CellId, l: Lit) {
+        self.icg[cell.index()] = l;
+    }
+
+    /// Mirror of `Simulator::reset_zero`: all nets to constant false,
+    /// clock roots at end-of-cycle levels, and every `Icg`/`IcgM1` enable
+    /// latch loaded with its enable cone settled over the reset state (the
+    /// clocks ran during reset, so even a gate opaque at the release
+    /// boundary — e.g. `p3`-rooted — holds the settled enable, not zero).
+    pub fn reset_zero(&mut self, aig: &mut Aig) {
+        self.values.fill(FALSE);
+        self.icg.fill(FALSE);
+        self.drive_clock_roots_end_of_cycle();
+        self.eval_clock_network(aig);
+        self.settle_data(aig);
+        for c in self.icg_cells() {
+            let cell = self.nl.cell(c);
+            if matches!(cell.kind, CellKind::Icg | CellKind::IcgM1) {
+                self.icg[c.index()] = self.values[cell.pin(0).index()];
+            }
+        }
+        self.eval_clock_network(aig);
+        self.settle_data(aig);
+    }
+
+    /// Initialise every storage element (latch/FF output net) and enable
+    /// latch to a fresh AIG variable; combinational nets stay false until
+    /// the first settle. Clock roots are driven to end-of-cycle levels.
+    /// Returns nothing; callers override individual literals afterwards
+    /// via [`SymSim::set_net_raw`] / [`SymSim::set_icg_raw`].
+    pub fn init_free(&mut self, aig: &mut Aig) {
+        self.values.fill(FALSE);
+        self.icg.fill(FALSE);
+        for i in 0..self.storage.len() {
+            let c = self.storage[i];
+            let q = self.nl.cell(c).output();
+            let v = aig.var();
+            self.values[q.index()] = v;
+        }
+        for c in self.icg_cells() {
+            let v = aig.var();
+            self.icg[c.index()] = v;
+        }
+        self.drive_clock_roots_end_of_cycle();
+        // The clock network is evaluated during the pre-step settle, after
+        // callers finish overriding state literals.
+    }
+
+    fn drive_clock_roots_end_of_cycle(&mut self) {
+        let period = self.nl.clock.as_ref().expect("checked in new").period_ps;
+        for i in 0..self.clock_ports.len() {
+            let (_, net, phase) = self.clock_ports[i];
+            self.values[net.index()] = lit_of(self.clock_level(phase, period - 1e-6));
+        }
+    }
+
+    /// The initial `settle_data` of `step_cycle`: brings combinational
+    /// nets, clock network, and transparent latches to a fixpoint over the
+    /// raw entry state. Call once before reading "entry" literals.
+    pub fn presettle(&mut self, aig: &mut Aig) {
+        self.drive_clock_roots_end_of_cycle();
+        self.eval_clock_network(aig);
+        self.settle_data(aig);
+    }
+
+    /// Advance one full clock cycle. `inputs` are applied just after the
+    /// first clock event, exactly like `Simulator::set_input` +
+    /// `step_cycle` (so edge-triggered state captures the previous cycle's
+    /// values). [`SymSim::presettle`] must have run since the last state
+    /// override.
+    pub fn step(&mut self, aig: &mut Aig, inputs: &[(NetId, Lit)]) {
+        let events = self.events.clone();
+        for (i, &t) in events.iter().enumerate() {
+            self.process_clock_event(aig, t);
+            if i == 0 {
+                for &(net, l) in inputs {
+                    self.values[net.index()] = l;
+                }
+                self.settle_data(aig);
+            }
+        }
+    }
+
+    fn clock_level(&self, phase: usize, t: f64) -> bool {
+        let clock = self.nl.clock.as_ref().expect("checked in new");
+        let p = &clock.phases[phase];
+        let period = clock.period_ps;
+        let (r, f) = (p.rise_ps.rem_euclid(period), p.fall_ps.rem_euclid(period));
+        if r < f {
+            t >= r - 1e-9 && t < f - 1e-9
+        } else {
+            t >= r - 1e-9 || t < f - 1e-9
+        }
+    }
+
+    fn process_clock_event(&mut self, aig: &mut Aig, t: f64) {
+        for _ in 0..4 {
+            let before_ck: Vec<Lit> = self
+                .storage
+                .iter()
+                .map(|&c| {
+                    let cell = self.nl.cell(c);
+                    self.values[cell.pin(cell.kind.clock_pin().unwrap()).index()]
+                })
+                .collect();
+            for i in 0..self.clock_ports.len() {
+                let (_, net, phase) = self.clock_ports[i];
+                self.values[net.index()] = lit_of(self.clock_level(phase, t));
+            }
+            self.eval_clock_network(aig);
+
+            // Capture: FFs with a (possibly symbolic) rising edge.
+            let mut updates: Vec<(NetId, Lit)> = Vec::new();
+            for (si, &c) in self.storage.iter().enumerate() {
+                let cell = self.nl.cell(c);
+                if !cell.kind.is_ff() {
+                    continue;
+                }
+                let ck = self.values[cell.pin(cell.kind.clock_pin().unwrap()).index()];
+                let rose = aig.and(before_ck[si].not(), ck);
+                if rose == FALSE {
+                    continue;
+                }
+                let d = self.values[cell.pin(0).index()];
+                let q_net = cell.output();
+                let q = self.values[q_net.index()];
+                let captured = match cell.kind {
+                    CellKind::Dff => d,
+                    CellKind::DffEn => {
+                        let en = self.values[cell.pin(1).index()];
+                        aig.mux(en, d, q)
+                    }
+                    _ => unreachable!(),
+                };
+                updates.push((q_net, aig.mux(rose, captured, q)));
+            }
+            for (net, l) in updates {
+                self.values[net.index()] = l;
+            }
+            if !self.settle_data(aig) {
+                break;
+            }
+        }
+    }
+
+    fn eval_clock_network(&mut self, aig: &mut Aig) {
+        let order = std::mem::take(&mut self.clock_order);
+        for &c in &order {
+            self.eval_clock_cell(aig, c);
+        }
+        self.clock_order = order;
+    }
+
+    fn eval_clock_cell(&mut self, aig: &mut Aig, c: CellId) {
+        let cell = self.nl.cell(c);
+        let out = cell.output();
+        let v = match cell.kind {
+            CellKind::ClkBuf | CellKind::Buf => self.values[cell.pin(0).index()],
+            CellKind::Icg => {
+                let en = self.values[cell.pin(0).index()];
+                let ck = self.values[cell.pin(1).index()];
+                // Enable latch transparent while CK low.
+                let state = self.icg[c.index()];
+                let new_state = aig.mux(ck, state, en);
+                self.icg[c.index()] = new_state;
+                aig.and(ck, new_state)
+            }
+            CellKind::IcgM1 => {
+                let en = self.values[cell.pin(0).index()];
+                let p3 = self.values[cell.pin(1).index()];
+                let ck = self.values[cell.pin(2).index()];
+                let state = self.icg[c.index()];
+                let new_state = aig.mux(p3, en, state);
+                self.icg[c.index()] = new_state;
+                aig.and(ck, new_state)
+            }
+            CellKind::IcgM2 => {
+                let en = self.values[cell.pin(0).index()];
+                let ck = self.values[cell.pin(1).index()];
+                aig.and(ck, en)
+            }
+            _ => unreachable!("non-clock cell in clock order"),
+        };
+        self.values[out.index()] = v;
+    }
+
+    /// Settle combinational logic, clock gates, and transparent latches.
+    /// Returns `true` if any storage clock literal changed (the M2-style
+    /// hazard signal that triggers another capture round).
+    fn settle_data(&mut self, aig: &mut Aig) -> bool {
+        // Anchor every latch at the value it holds on entry to this settle.
+        let storage = std::mem::take(&mut self.storage);
+        for &c in &storage {
+            let cell = self.nl.cell(c);
+            if cell.kind.is_latch() {
+                self.latch_entry[c.index()] = self.values[cell.output().index()];
+                self.latch_memo[c.index()] = (FALSE, FALSE);
+            }
+        }
+        self.storage = storage;
+
+        let mut clock_changed = false;
+        let mut scratch: Vec<Lit> = Vec::with_capacity(8);
+        for _pass in 0..MAX_SETTLE_PASSES {
+            let mut changed = false;
+            let order = std::mem::take(&mut self.comb_order);
+            for &c in &order {
+                let cell = self.nl.cell(c);
+                scratch.clear();
+                scratch.extend(cell.inputs().iter().map(|&n| self.values[n.index()]));
+                let v = eval_lits(aig, cell.kind, &scratch);
+                let out = cell.output();
+                if self.values[out.index()] != v {
+                    changed = true;
+                    self.values[out.index()] = v;
+                }
+            }
+            self.comb_order = order;
+
+            let clk_snapshot: Vec<Lit> = self
+                .storage
+                .iter()
+                .map(|&c| {
+                    let cell = self.nl.cell(c);
+                    self.values[cell.pin(cell.kind.clock_pin().unwrap()).index()]
+                })
+                .collect();
+            self.eval_clock_network(aig);
+            for (si, &c) in self.storage.iter().enumerate() {
+                let cell = self.nl.cell(c);
+                let now = self.values[cell.pin(cell.kind.clock_pin().unwrap()).index()];
+                if clk_snapshot[si] != now {
+                    clock_changed = true;
+                    changed = true;
+                }
+            }
+
+            let storage = std::mem::take(&mut self.storage);
+            for &c in &storage {
+                let cell = self.nl.cell(c);
+                if !cell.kind.is_latch() {
+                    continue;
+                }
+                let g = self.values[cell.pin(1).index()];
+                let transparent = match cell.kind {
+                    CellKind::LatchH => g,
+                    CellKind::LatchL => g.not(),
+                    _ => unreachable!(),
+                };
+                let d = self.values[cell.pin(0).index()];
+                if self.latch_memo[c.index()] == (transparent, d) {
+                    continue;
+                }
+                self.latch_memo[c.index()] = (transparent, d);
+                let next = aig.mux(transparent, d, self.latch_entry[c.index()]);
+                let q_net = cell.output();
+                if self.values[q_net.index()] != next {
+                    changed = true;
+                    self.values[q_net.index()] = next;
+                }
+            }
+            self.storage = storage;
+            if !changed {
+                return clock_changed;
+            }
+        }
+        clock_changed
+    }
+}
+
+fn lit_of(b: bool) -> Lit {
+    if b {
+        TRUE
+    } else {
+        FALSE
+    }
+}
+
+/// Evaluate a combinational [`CellKind`] over literals; mirrors
+/// `triphase_sim::eval_kind` on the Boolean subdomain.
+fn eval_lits(aig: &mut Aig, kind: CellKind, ins: &[Lit]) -> Lit {
+    match kind {
+        CellKind::Const0 => FALSE,
+        CellKind::Const1 => TRUE,
+        CellKind::Buf | CellKind::ClkBuf => ins[0],
+        CellKind::Inv => ins[0].not(),
+        CellKind::And(_) => aig.and_many(ins),
+        CellKind::Or(_) => aig.or_many(ins),
+        CellKind::Nand(_) => aig.and_many(ins).not(),
+        CellKind::Nor(_) => aig.or_many(ins).not(),
+        CellKind::Xor(_) => aig.xor_many(ins),
+        CellKind::Xnor(_) => aig.xor_many(ins).not(),
+        CellKind::Mux2 => aig.mux(ins[2], ins[1], ins[0]),
+        _ => unreachable!("eval_lits on non-combinational {kind:?}"),
+    }
+}
+
+/// Topological order of the clock network; mirrors the concrete
+/// simulator's ordering exactly.
+fn clock_network_order(nl: &Netlist, idx: &ConnIndex) -> Result<Vec<CellId>> {
+    let is_clock_cell = |k: CellKind| k.is_clock_gate() || k == CellKind::ClkBuf;
+    let mut order = Vec::new();
+    let mut state: std::collections::HashMap<CellId, u8> = std::collections::HashMap::new();
+    let mut stack: Vec<(CellId, bool)> = nl
+        .cells()
+        .filter(|(_, c)| is_clock_cell(c.kind))
+        .map(|(id, _)| (id, false))
+        .collect();
+    while let Some((c, processed)) = stack.pop() {
+        if processed {
+            state.insert(c, 2);
+            order.push(c);
+            continue;
+        }
+        match state.get(&c) {
+            Some(2) => continue,
+            Some(1) => {
+                return Err(Error::Unsupported(format!(
+                    "clock network cycle at {}",
+                    nl.cell(c).name
+                )))
+            }
+            _ => {}
+        }
+        state.insert(c, 1);
+        stack.push((c, true));
+        let cell = nl.cell(c);
+        let dep_pins: Vec<usize> = match cell.kind {
+            CellKind::ClkBuf => vec![0],
+            CellKind::Icg | CellKind::IcgM2 => vec![1],
+            CellKind::IcgM1 => vec![1, 2],
+            _ => unreachable!(),
+        };
+        for pin in dep_pins {
+            if let Some(drv) = idx.driver(cell.pin(pin)) {
+                if is_clock_cell(nl.cell(drv.cell).kind) {
+                    match state.get(&drv.cell).copied() {
+                        Some(2) => {}
+                        Some(_) => {
+                            return Err(Error::Unsupported(format!(
+                                "clock network cycle at {}",
+                                nl.cell(drv.cell).name
+                            )))
+                        }
+                        None => stack.push((drv.cell, false)),
+                    }
+                }
+            }
+        }
+    }
+    Ok(order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aig::Aig;
+    use triphase_netlist::{Builder, ClockSpec};
+    use triphase_sim::{Logic, Simulator};
+
+    /// Cross-check: symbolic step from a concrete state must equal the
+    /// concrete simulator on a 3-bit FF counter.
+    #[test]
+    fn symbolic_step_matches_concrete_ff() {
+        let mut nl = Netlist::new("cnt");
+        let mut b = Builder::new(&mut nl, "u");
+        let (ckp, ck) = b.netlist().add_input("ck");
+        let q0 = b.net("q0");
+        let q1 = b.net("q1");
+        let q2 = b.net("q2");
+        let one = b.const1();
+        let q = triphase_netlist::Word(vec![q0, q1, q2]);
+        let one_w = triphase_netlist::Word(vec![one, b.const0(), b.const0()]);
+        let (next, _) = b.add(&q, &one_w, None);
+        for (i, (&qn, d)) in [q0, q1, q2].iter().zip(next.bits()).enumerate() {
+            let name = format!("ff{i}");
+            b.netlist().add_cell(name, CellKind::Dff, vec![*d, ck, qn]);
+        }
+        b.word_output("q", &q);
+        nl.clock = Some(ClockSpec::single(ckp, 1000.0));
+
+        let mut aig = Aig::new();
+        let mut sym = SymSim::new(&nl).unwrap();
+        sym.reset_zero(&mut aig);
+        let mut sim = Simulator::new(&nl).unwrap();
+        sim.reset_zero();
+        for cycle in 0..10 {
+            sym.presettle(&mut aig);
+            sym.step(&mut aig, &[]);
+            sim.step_cycle();
+            for (_, port) in nl
+                .output_ports()
+                .iter()
+                .map(|&p| (p, p))
+                .collect::<Vec<_>>()
+            {
+                let net = nl.port(port).net;
+                let want = sim.output(port);
+                let got = sym.net_lit(net);
+                assert!(got.is_const(), "cycle {cycle}: symbolic output not const");
+                let got_b = got == TRUE;
+                assert_eq!(Logic::from_bool(got_b), want, "cycle {cycle}");
+            }
+        }
+    }
+
+    /// Symbolic step with free input variables evaluates, under every
+    /// assignment, to what the concrete simulator produces for that input.
+    #[test]
+    fn symbolic_input_functions_match_concrete() {
+        // q <= d xor q, through a LatchH 3-phase-ish pipeline is overkill
+        // here; a single Dff with feedback exercises capture + settle.
+        let mut nl = Netlist::new("fb");
+        let (ckp, ck) = nl.add_input("ck");
+        let (dp, d) = nl.add_input("d");
+        let q = nl.add_net("q");
+        let x = nl.add_net("x");
+        nl.add_cell("g", CellKind::Xor(2), vec![d, q, x]);
+        nl.add_cell("ff", CellKind::Dff, vec![x, ck, q]);
+        nl.add_output("q", q);
+        nl.clock = Some(ClockSpec::single(ckp, 1000.0));
+        let qp = nl.find_port("q").unwrap();
+
+        for d0 in [false, true] {
+            for d1 in [false, true] {
+                // Concrete run.
+                let mut sim = Simulator::new(&nl).unwrap();
+                sim.reset_zero();
+                sim.set_input(dp, Logic::from_bool(d0));
+                sim.step_cycle();
+                sim.set_input(dp, Logic::from_bool(d1));
+                sim.step_cycle();
+                sim.step_cycle();
+                let want = sim.output(qp);
+
+                // Symbolic run with two free input variables.
+                let mut aig = Aig::new();
+                let mut sym = SymSim::new(&nl).unwrap();
+                sym.reset_zero(&mut aig);
+                let v0 = aig.var();
+                let v1 = aig.var();
+                sym.presettle(&mut aig);
+                sym.step(&mut aig, &[(d, v0)]);
+                sym.presettle(&mut aig);
+                sym.step(&mut aig, &[(d, v1)]);
+                sym.presettle(&mut aig);
+                sym.step(&mut aig, &[]);
+                let out = sym.net_lit(q);
+                let vals = aig.eval_all(&|n| (n == v0.node() && d0) || (n == v1.node() && d1));
+                let got = Aig::lit_value(&vals, out);
+                assert_eq!(Logic::from_bool(got), want, "d0={d0} d1={d1}");
+            }
+        }
+    }
+}

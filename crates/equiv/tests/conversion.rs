@@ -1,0 +1,193 @@
+//! End-to-end certification tests: the real conversion pipeline from
+//! `triphase-core` against the formal engines, plus deliberate
+//! corruptions that must be refuted with simulator-confirmed
+//! counterexamples.
+
+use triphase_cells::CellKind;
+use triphase_circuits::iscas::{generate_iscas, iscas_profiles, s27};
+use triphase_circuits::pipeline::linear_pipeline;
+use triphase_core::{
+    assign_phases, extract_ff_graph, gated_clock_style, retime_three_phase, to_three_phase,
+};
+use triphase_equiv::{check_conversion, check_sequential, Method, Options, Verdict};
+use triphase_ilp::PhaseConfig;
+use triphase_netlist::{Builder, ClockSpec, Netlist};
+
+/// The flow's preprocessing: lower enable FFs to ICG + plain DFF.
+fn preprocess(nl: &Netlist) -> Netlist {
+    let mut pre = nl.clone();
+    gated_clock_style(&mut pre, 32).unwrap();
+    pre.compact()
+}
+
+/// The flow's conversion step.
+fn convert(pre: &Netlist) -> Netlist {
+    let idx = pre.index();
+    let g = extract_ff_graph(pre, &idx).unwrap();
+    let a = assign_phases(&g, &PhaseConfig::default());
+    to_three_phase(pre, &a).unwrap().0
+}
+
+fn assert_proven_conversion(pre: &Netlist, tp: &Netlist) {
+    let out = check_conversion(pre, tp, &Options::default()).unwrap();
+    match out.verdict {
+        Verdict::Equivalent {
+            method, from_cycle, ..
+        } => {
+            assert_eq!(method, Method::ChainInduction);
+            assert_eq!(from_cycle, 0, "conversion must be cycle-exact");
+        }
+        other => panic!("expected proof, got {other:?}"),
+    }
+}
+
+#[test]
+fn pipeline_conversion_proven_structurally() {
+    let nl = linear_pipeline(3, 5, 1, 1000.0);
+    let pre = preprocess(&nl);
+    let tp = convert(&pre);
+    let out = check_conversion(&pre, &tp, &Options::default()).unwrap();
+    match out.verdict {
+        Verdict::Equivalent {
+            method, structural, ..
+        } => {
+            assert_eq!(method, Method::ChainInduction);
+            assert!(structural, "pipeline miters should fold in the AIG");
+            assert_eq!(out.stats.sat_calls, 0);
+        }
+        other => panic!("expected structural proof, got {other:?}"),
+    }
+}
+
+#[test]
+fn s27_conversion_proven() {
+    let nl = s27(1000.0);
+    let pre = preprocess(&nl);
+    let tp = convert(&pre);
+    assert_proven_conversion(&pre, &tp);
+}
+
+#[test]
+fn gated_iscas_conversion_proven() {
+    // A generated ISCAS circuit with enable FFs: preprocessing inserts
+    // real ICGs, exercising the clock-gate pairing and the guarded-p3
+    // obligations of the chain map.
+    let profile = iscas_profiles()
+        .into_iter()
+        .find(|p| p.name == "s1196")
+        .unwrap();
+    let nl = generate_iscas(&profile, 42);
+    let pre = preprocess(&nl);
+    assert!(
+        pre.cells().any(|(_, c)| c.kind == CellKind::Icg),
+        "test premise: the preprocessed design must contain clock gates"
+    );
+    let tp = convert(&pre);
+    assert_proven_conversion(&pre, &tp);
+}
+
+/// Swap one lead latch onto the wrong phase (`p1` -> `p2`): it becomes
+/// transparent in the same window as its producer's `p2` trail latch, so
+/// new data races through one stage early.
+#[test]
+fn swapped_latch_phase_is_refuted() {
+    let nl = linear_pipeline(3, 5, 1, 1000.0);
+    let pre = preprocess(&nl);
+    let mut tp = convert(&pre);
+    let p1 = tp.port(tp.find_port("p1").unwrap()).net;
+    let p2 = tp.port(tp.find_port("p2").unwrap()).net;
+    let victim = tp
+        .cells()
+        .find(|(_, c)| c.kind == CellKind::LatchH && !c.name.starts_with("lat_p") && c.pin(1) == p1)
+        .map(|(id, _)| id)
+        .expect("a p1 lead latch to corrupt");
+    tp.set_pin(victim, 1, p2);
+    let out = check_conversion(&pre, &tp, &Options::default()).unwrap();
+    match out.verdict {
+        Verdict::NotEquivalent {
+            mismatch, vectors, ..
+        } => {
+            // The counterexample was replayed through the cycle-accurate
+            // simulator and reproduced concretely.
+            assert!(!vectors.is_empty());
+            assert!(mismatch.port.starts_with("dout"), "{mismatch:?}");
+        }
+        other => panic!("expected refutation, got {other:?}"),
+    }
+}
+
+/// Corrupt one combinational gate (XOR -> AND): the chain map still
+/// matches, so the refutation comes from the induction engine via BMC.
+#[test]
+fn dropped_gate_is_refuted() {
+    let nl = linear_pipeline(2, 5, 1, 1000.0);
+    let pre = preprocess(&nl);
+    let mut tp = convert(&pre);
+    let victim = tp
+        .cells()
+        .find(|(_, c)| c.kind == CellKind::Xor(2))
+        .map(|(id, c)| (id, c.pins().to_vec()))
+        .expect("an XOR gate to corrupt");
+    tp.replace_cell(victim.0, CellKind::And(2), victim.1);
+    let out = check_conversion(&pre, &tp, &Options::default()).unwrap();
+    match out.verdict {
+        Verdict::NotEquivalent { mismatch, .. } => {
+            assert!(mismatch.port.starts_with("dout"), "{mismatch:?}");
+        }
+        other => panic!("expected refutation, got {other:?}"),
+    }
+}
+
+/// An unbalanced FF pipeline (deep stage 1, empty stage 2) whose
+/// converted form has movable p2 latches — the retiming benchmark shape.
+fn unbalanced_pipeline(depth1: usize) -> Netlist {
+    let mut nl = Netlist::new("unb");
+    let mut b = Builder::new(&mut nl, "u");
+    let (ckp, ck) = b.netlist().add_input("ck");
+    let d = b.word_input("d", 4);
+    let s0 = b.dff_word(&d, ck);
+    let mut x = s0;
+    for _ in 0..depth1 {
+        let r = x.rotl(1);
+        x = b.xor_word(&x, &r);
+    }
+    let s1 = b.dff_word(&x, ck);
+    let s2 = b.dff_word(&s1, ck);
+    b.word_output("q", &s2);
+    nl.clock = Some(ClockSpec::single(ckp, 900.0));
+    nl
+}
+
+#[test]
+fn retimed_design_proven_by_signal_correspondence() {
+    let lib = triphase_cells::Library::synthetic_28nm();
+    let nl = unbalanced_pipeline(8);
+    let pre = preprocess(&nl);
+    let tp = convert(&pre);
+    let (rt, report) = retime_three_phase(&tp, &lib, 0.5).unwrap();
+    assert!(report.ran, "test premise: retiming must actually run");
+    let out = check_sequential(&tp, &rt, &Options::default()).unwrap();
+    match out.verdict {
+        Verdict::Equivalent {
+            method, from_cycle, ..
+        } => {
+            assert_eq!(method, Method::SignalCorrespondence);
+            assert!(from_cycle <= 16, "flush depth bounded by warmup cap");
+        }
+        other => panic!("expected proof, got {other:?}"),
+    }
+    assert!(out.groups > 0);
+}
+
+#[test]
+fn json_report_round_trips_the_verdict() {
+    let nl = linear_pipeline(2, 5, 1, 1000.0);
+    let pre = preprocess(&nl);
+    let tp = convert(&pre);
+    let out = check_conversion(&pre, &tp, &Options::default()).unwrap();
+    let json = triphase_equiv::report::to_json("pipe", "conversion", &out);
+    assert!(json.contains("\"design\":\"pipe\""));
+    assert!(json.contains("\"verdict\":\"equivalent\""));
+    assert!(json.contains("\"method\":\"chain_induction\""));
+    assert!(json.contains("\"mismatch\":null"));
+}

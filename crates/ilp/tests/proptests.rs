@@ -3,23 +3,7 @@
 //! from a deterministic stream.
 
 use triphase_ilp::{IlpConfig, PhaseConfig, PhaseProblem};
-
-/// Deterministic splitmix64 stream for generating test instances.
-struct Rng(u64);
-
-impl Rng {
-    fn next_u64(&mut self) -> u64 {
-        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
-        let mut z = self.0;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
-        z ^ (z >> 31)
-    }
-
-    fn below(&mut self, lo: usize, hi: usize) -> usize {
-        lo + (self.next_u64() as usize) % (hi - lo)
-    }
-}
+use triphase_netlist::SplitMix64 as Rng;
 
 fn brute_force(p: &PhaseProblem) -> usize {
     let n = p.num_nodes();
@@ -36,13 +20,13 @@ fn brute_force(p: &PhaseProblem) -> usize {
 /// Random instance: `n` nodes, up to `max_edges` fan-out entries, up to
 /// `max_pis` primary inputs with small fan-out sets.
 fn random_problem(rng: &mut Rng, max_n: usize, max_edges: usize, max_pis: usize) -> PhaseProblem {
-    let n = rng.below(1, max_n);
+    let n = rng.range(1, max_n);
     let mut p = PhaseProblem::new(n);
-    for _ in 0..rng.below(0, max_edges) {
-        p.add_fanout(rng.below(0, n), rng.below(0, n));
+    for _ in 0..rng.range(0, max_edges) {
+        p.add_fanout(rng.range(0, n), rng.range(0, n));
     }
-    for _ in 0..rng.below(0, max_pis + 1) {
-        let fo: Vec<usize> = (0..rng.below(1, 5)).map(|_| rng.below(0, n)).collect();
+    for _ in 0..rng.range(0, max_pis + 1) {
+        let fo: Vec<usize> = (0..rng.range(1, 5)).map(|_| rng.range(0, n)).collect();
         if !fo.is_empty() {
             p.add_pi(fo);
         }
@@ -79,11 +63,11 @@ fn literal_ilp_agrees() {
 fn solution_satisfies_paper_constraints() {
     let mut rng = Rng(303);
     for case in 0..32 {
-        let n = rng.below(1, 10);
+        let n = rng.range(1, 10);
         let mut p = PhaseProblem::new(n);
         let mut fo = vec![vec![]; n];
-        for _ in 0..rng.below(0, 20) {
-            let (u, v) = (rng.below(0, n), rng.below(0, n));
+        for _ in 0..rng.range(0, 20) {
+            let (u, v) = (rng.range(0, n), rng.range(0, n));
             p.add_fanout(u, v);
             if !fo[u].contains(&v) {
                 fo[u].push(v);

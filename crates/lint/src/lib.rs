@@ -1,7 +1,7 @@
 //! Rule-based static analyzer for triphase netlists.
 //!
 //! The linter runs a registry of [`Rule`]s over a
-//! [`Netlist`](triphase_netlist::Netlist) and produces a structured
+//! [`triphase_netlist::Netlist`] and produces a structured
 //! [`Report`] of [`Diagnostic`]s (rule code, [`Severity`], [`Location`],
 //! message) that can be printed for humans or serialized to JSON.
 //!

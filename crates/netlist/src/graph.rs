@@ -458,4 +458,48 @@ mod tests {
         let idx = nl.index();
         assert_eq!(comb_depth(&nl, &idx).unwrap(), 1); // and -> inv
     }
+
+    #[test]
+    fn clock_cone_with_no_clock_loads_is_just_the_root() {
+        use crate::netlist::ClockSpec;
+        let mut nl = Netlist::new("lonely");
+        let (ckp, ck) = nl.add_input("ck");
+        let (_, a) = nl.add_input("a");
+        let y = nl.add_net("y");
+        nl.add_cell("u", CellKind::Inv, vec![a, y]);
+        nl.add_output("y", y);
+        nl.clock = Some(ClockSpec::single(ckp, 1000.0));
+        let idx = nl.index();
+        let cone = clock_cone(&nl, &idx);
+        assert_eq!(cone.iter().filter(|&&b| b).count(), 1);
+        assert!(cone[ck.index()]);
+    }
+
+    #[test]
+    fn clock_cone_stops_at_data_loads_of_the_clock_net() {
+        use crate::netlist::ClockSpec;
+        // `ck` feeds an FF clock pin, an ICG *enable* pin, and an
+        // inverter: only clock-network cells clocked *by* the net extend
+        // the cone, so none of those loads' outputs join it.
+        let mut nl = Netlist::new("mixed");
+        let (ckp, ck) = nl.add_input("ck");
+        let (_, ck2) = nl.add_input("ck2");
+        let (_, d) = nl.add_input("d");
+        let q = nl.add_net("q");
+        let gck = nl.add_net("gck");
+        let nck = nl.add_net("nck");
+        nl.add_cell("ff", CellKind::Dff, vec![d, ck, q]);
+        nl.add_cell("icg", CellKind::Icg, vec![ck, ck2, gck]); // ck as enable
+        nl.add_cell("inv", CellKind::Inv, vec![ck, nck]);
+        nl.add_output("q", q);
+        nl.add_output("nck", nck);
+        nl.add_output("gck", gck);
+        nl.clock = Some(ClockSpec::single(ckp, 1000.0));
+        let idx = nl.index();
+        let cone = clock_cone(&nl, &idx);
+        assert!(cone[ck.index()]);
+        assert!(!cone[q.index()]);
+        assert!(!cone[gck.index()], "enable load must not extend the cone");
+        assert!(!cone[nck.index()]);
+    }
 }

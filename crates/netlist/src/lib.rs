@@ -36,6 +36,7 @@ pub mod graph;
 mod id;
 mod netlist;
 pub mod opt;
+pub mod rng;
 
 pub mod bench_fmt;
 pub mod verilog;
@@ -46,4 +47,5 @@ pub use id::{CellId, NetId, PortId};
 pub use netlist::{
     Cell, ClockSpec, ConnIndex, Net, Netlist, NetlistStats, PhaseDef, Pin, Port, PortDir,
 };
+pub use rng::SplitMix64;
 pub use triphase_cells::CellKind;

@@ -707,6 +707,43 @@ mod tests {
     }
 
     #[test]
+    fn try_net_distinguishes_live_dead_and_out_of_range() {
+        let (mut nl, _, y) = tiny();
+        assert_eq!(nl.try_net(y).map(|n| n.name.as_str()), Some("y"));
+        let orphan = nl.add_net("orphan");
+        nl.remove_net(orphan);
+        assert!(nl.try_net(orphan).is_none(), "tombstone must read as dead");
+        let beyond = NetId::from_index(nl.net_capacity() + 7);
+        assert!(nl.try_net(beyond).is_none(), "out of range must not panic");
+        // The panicking accessor still works for live nets.
+        assert_eq!(nl.net(y).name, "y");
+    }
+
+    #[test]
+    fn remove_net_leaves_dangling_pins_for_validate() {
+        // Removing a *driven and used* net is legal mutation; the pins and
+        // port that referenced it are dangling until reconnected, which
+        // validation must report rather than panic on.
+        let (mut nl, g, y) = tiny();
+        nl.remove_net(y);
+        assert!(nl.try_net(y).is_none());
+        assert!(nl.try_cell(g).is_some(), "the cell itself stays alive");
+        let err = nl.validate().unwrap_err().to_string();
+        assert!(
+            err.contains("dead net") || err.contains("dangling"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "already removed")]
+    fn remove_net_twice_panics() {
+        let (mut nl, _, y) = tiny();
+        nl.remove_net(y);
+        nl.remove_net(y);
+    }
+
+    #[test]
     fn compact_drops_orphan_nets() {
         let (mut nl, _, _) = tiny();
         nl.add_net("orphan");

@@ -396,12 +396,53 @@ mod tests {
     fn parse_error_reports_line() {
         let text = "module m (a);\n  input a;\n  FROB_X1 u (.A(a));\nendmodule\n";
         let err = from_verilog(text).unwrap_err();
-        match err {
-            Error::Parse(line, msg) => {
-                assert_eq!(line, 3);
-                assert!(msg.contains("FROB"));
+        assert!(
+            matches!(&err, Error::Parse(3, msg) if msg.contains("FROB")),
+            "unexpected {err:?}"
+        );
+    }
+
+    /// The parser must reject malformed input with [`Error`], never by
+    /// aborting the process: every corpus entry is run under
+    /// `catch_unwind` so a panic in any parse path fails the test with
+    /// the offending source.
+    #[test]
+    fn malformed_corpus_errors_without_panicking() {
+        let corpus: &[&str] = &[
+            "",
+            "garbage",
+            "module",
+            "module m",
+            "module m (",
+            "module m (a, b",
+            "module m ();",
+            "module m ();\n  input ;",
+            "module m ();\n  input a\n  input b;",
+            "module m (a);\n  input a;",
+            "module m (a);\n  input a;\n  wire w,;",
+            "module m (a);\n  input a;\n  AND2_X1",
+            "module m (a);\n  input a;\n  AND2_X1 u",
+            "module m (a);\n  input a;\n  AND2_X1 u (",
+            "module m (a);\n  input a;\n  AND2_X1 u (.A0(a)",
+            "module m (a);\n  input a;\n  AND2_X1 u (.A0(a);\nendmodule",
+            "module m (a);\n  input a;\n  AND2_X1 u (.BOGUS(a));\nendmodule",
+            "module m (a);\n  input a;\n  AND99_X1 u (.A0(a));\nendmodule",
+            "module m (a);\n  input a;\n  AND2_X1 u (.A0(a) .A1(a));\nendmodule",
+            "module m (y);\n  output y;\nendmodule",
+            "module m (y);\n  output y;\n  assign y = nowhere;\nendmodule",
+            "module m (y);\n  output y;\n  wire w;\n  assign w;\nendmodule",
+            "module m (a);\n  input a;\n  DFF u (.D(a), .CK(a), .Q(a));\nendmodule",
+            "module m (a);\n  input a;\n  INV u (.A(a), .Y(a));\nendmodule",
+            "endmodule",
+            "module ; ( ) ;",
+            "module m (a);\n  input a;\n  . , ( ) ;\nendmodule",
+        ];
+        for src in corpus {
+            let got = std::panic::catch_unwind(|| from_verilog(src));
+            match got {
+                Ok(res) => assert!(res.is_err(), "accepted malformed input: {src:?}"),
+                Err(_) => panic!("parser panicked on {src:?}"),
             }
-            other => panic!("unexpected {other:?}"),
         }
     }
 

@@ -1,24 +1,7 @@
 //! Property-style tests: Verilog round-trips and structural invariants on
 //! randomly built netlists, driven by a deterministic recipe stream.
 
-use triphase_netlist::{verilog, Builder, ClockSpec, Netlist, Word};
-
-/// Deterministic splitmix64 stream for generating test recipes.
-struct Rng(u64);
-
-impl Rng {
-    fn next_u64(&mut self) -> u64 {
-        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
-        let mut z = self.0;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
-        z ^ (z >> 31)
-    }
-
-    fn below(&mut self, lo: usize, hi: usize) -> usize {
-        lo + (self.next_u64() as usize) % (hi - lo)
-    }
-}
+use triphase_netlist::{verilog, Builder, ClockSpec, Netlist, SplitMix64 as Rng, Word};
 
 /// Build a random netlist from a recipe of word operations.
 fn build(ops: &[u8], width: usize, seed: u64) -> Netlist {
@@ -60,10 +43,10 @@ fn recipes(tag: u64, cases: usize, max_ops: usize, max_width: usize) -> Vec<(Vec
     let mut rng = Rng(tag);
     (0..cases)
         .map(|_| {
-            let ops: Vec<u8> = (0..rng.below(1, max_ops))
+            let ops: Vec<u8> = (0..rng.range(1, max_ops))
                 .map(|_| rng.next_u64() as u8)
                 .collect();
-            (ops, rng.below(1, max_width), rng.next_u64() % 100)
+            (ops, rng.range(1, max_width), rng.next_u64() % 100)
         })
         .collect()
 }
@@ -107,9 +90,9 @@ fn compact_preserves_structure() {
 fn word_rotations_compose() {
     let mut rng = Rng(44);
     for _ in 0..32 {
-        let width = rng.below(1, 16);
-        let a = rng.below(0, 32);
-        let b = rng.below(0, 32);
+        let width = rng.range(1, 16);
+        let a = rng.range(0, 32);
+        let b = rng.range(0, 32);
         let mut nl = Netlist::new("rot");
         let mut bld = Builder::new(&mut nl, "u");
         let w = bld.word_input("w", width);

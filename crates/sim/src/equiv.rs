@@ -36,37 +36,10 @@ impl EquivReport {
     }
 }
 
-/// Deterministic stream generator (splitmix64), independent of any
-/// external RNG crate so results are stable forever.
-#[derive(Debug, Clone)]
-pub struct Stream {
-    state: u64,
-}
-
-impl Stream {
-    /// New stream from a seed.
-    pub fn new(seed: u64) -> Stream {
-        Stream { state: seed }
-    }
-
-    /// Next pseudo-random bit.
-    pub fn next_bit(&mut self) -> bool {
-        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
-        let mut z = self.state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
-        (z ^ (z >> 31)) & 1 == 1
-    }
-
-    /// Next pseudo-random u64.
-    pub fn next_u64(&mut self) -> u64 {
-        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
-        let mut z = self.state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
-        z ^ (z >> 31)
-    }
-}
+/// Deterministic stream generator: the workspace-wide splitmix64 from
+/// [`triphase_netlist::rng`], re-exported under the historical name so
+/// stream seeds keep producing the exact same sequences.
+pub use triphase_netlist::rng::SplitMix64 as Stream;
 
 /// Data ports of a design: inputs excluding clock phases, sorted by name.
 pub fn data_inputs(nl: &Netlist) -> Vec<PortId> {
@@ -171,6 +144,79 @@ pub fn equiv_stream_warmup(
     }
     Ok(EquivReport {
         cycles,
+        mismatch: None,
+    })
+}
+
+/// Replay explicit per-cycle input vectors through both designs and
+/// compare output streams — the confirmation step for SAT counterexamples
+/// from formal equivalence checking. `vectors[c]` holds one bool per data
+/// input port of the golden design, in [`data_inputs`] order (sorted by
+/// name); mismatches during the first `warmup` cycles are ignored.
+///
+/// # Errors
+///
+/// [`Error::PortMismatch`] if port names differ or a vector's length does
+/// not match the data-input count; simulator construction errors are
+/// propagated.
+pub fn replay_vectors(
+    golden: &Netlist,
+    dut: &Netlist,
+    vectors: &[Vec<bool>],
+    warmup: u64,
+) -> Result<EquivReport> {
+    let g_in = data_inputs(golden);
+    let d_in = data_inputs(dut);
+    let g_out = data_outputs(golden);
+    let d_out = data_outputs(dut);
+    let names = |nl: &Netlist, ps: &[PortId]| -> Vec<String> {
+        ps.iter().map(|&p| nl.port(p).name.clone()).collect()
+    };
+    if names(golden, &g_in) != names(dut, &d_in) {
+        return Err(Error::PortMismatch("input ports differ".into()));
+    }
+    if names(golden, &g_out) != names(dut, &d_out) {
+        return Err(Error::PortMismatch("output ports differ".into()));
+    }
+    let mut gsim = Simulator::new(golden)?;
+    let mut dsim = Simulator::new(dut)?;
+    gsim.reset_zero();
+    dsim.reset_zero();
+    for (cycle, vec) in vectors.iter().enumerate() {
+        if vec.len() != g_in.len() {
+            return Err(Error::PortMismatch(format!(
+                "cycle {cycle} vector has {} values for {} data inputs",
+                vec.len(),
+                g_in.len()
+            )));
+        }
+        for ((&gp, &dp), &bit) in g_in.iter().zip(&d_in).zip(vec) {
+            let v = Logic::from_bool(bit);
+            gsim.set_input(gp, v);
+            dsim.set_input(dp, v);
+        }
+        gsim.step_cycle();
+        dsim.step_cycle();
+        if (cycle as u64) < warmup {
+            continue;
+        }
+        for (&gp, &dp) in g_out.iter().zip(&d_out) {
+            let (e, a) = (gsim.output(gp), dsim.output(dp));
+            if e != a {
+                return Ok(EquivReport {
+                    cycles: cycle as u64 + 1,
+                    mismatch: Some(Mismatch {
+                        cycle: cycle as u64,
+                        port: golden.port(gp).name.clone(),
+                        expected: e,
+                        actual: a,
+                    }),
+                });
+            }
+        }
+    }
+    Ok(EquivReport {
+        cycles: vectors.len() as u64,
         mismatch: None,
     })
 }

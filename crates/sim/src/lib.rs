@@ -42,8 +42,8 @@ mod sim;
 mod vcd;
 
 pub use equiv::{
-    data_inputs, data_outputs, equiv_stream, equiv_stream_warmup, run_random, EquivReport,
-    Mismatch, Stream,
+    data_inputs, data_outputs, equiv_stream, equiv_stream_warmup, replay_vectors, run_random,
+    EquivReport, Mismatch, Stream,
 };
 pub use error::{Error, Result};
 pub use logic::{eval_kind, Logic};

@@ -127,6 +127,15 @@ impl<'a> Simulator<'a> {
     /// during cycle 0's pre-settle — matching an FF capturing
     /// reset-settled data at its first edge, which is what cycle-exact
     /// FF-vs-latch equivalence requires.
+    ///
+    /// For the same reason, clock-gate enable latches (`Icg`/`IcgM1`)
+    /// come out of reset holding the **settled** reset-state enable, not
+    /// a blanket zero: with the clocks running during reset every enable
+    /// latch saw a transparent window and tracked its enable cone. A
+    /// gate whose root clock is high at the release boundary (e.g. a
+    /// `p3`-rooted ICG) is opaque at that instant, so a stale zero would
+    /// never be corrected and would suppress the boundary capture that
+    /// the corresponding FF performs at its first edge.
     pub fn reset_zero(&mut self) {
         self.values.fill(Logic::Zero);
         self.icg_state.fill(Logic::Zero);
@@ -141,6 +150,20 @@ impl<'a> Simulator<'a> {
             self.values[net.index()] = v;
         }
         self.eval_clock_network();
+        // Settle the enable cones over the all-zero state, then load every
+        // enable latch as if its transparent window had just closed.
+        self.settle_data();
+        for ci in 0..self.nl.cell_capacity() {
+            let c = CellId::from_index(ci);
+            let Some(cell) = self.nl.try_cell(c) else {
+                continue;
+            };
+            if matches!(cell.kind, CellKind::Icg | CellKind::IcgM1) {
+                self.icg_state[ci] = self.values[cell.pin(0).index()];
+            }
+        }
+        self.eval_clock_network();
+        self.settle_data();
     }
 
     /// Queue an input value; applied at the start of the next cycle.
@@ -172,6 +195,13 @@ impl<'a> Simulator<'a> {
     /// Cycles simulated since the last reset.
     pub fn cycles(&self) -> u64 {
         self.cycles
+    }
+
+    /// Current enable-latch state of a clock-gate cell (`Icg`/`IcgM1`);
+    /// [`Logic::X`] for cells without internal state. Formal equivalence
+    /// checking samples this to seed candidate state correspondences.
+    pub fn icg_state(&self, cell: CellId) -> Logic {
+        self.icg_state[cell.index()]
     }
 
     fn set_net(&mut self, net: NetId, val: Logic) {
