@@ -1,11 +1,17 @@
 //! Gate-level simulation throughput (cycles/second) on an ISCAS-class
-//! circuit, FF-based vs converted 3-phase (three clock events per cycle).
+//! circuit, FF-based vs converted 3-phase (three clock events per cycle),
+//! scalar interpreter vs the 64-lane packed kernel.
+//!
+//! Besides the human summary lines, the measurements are merged into the
+//! `sim_throughput` section of `results/BENCH_sim.json`.
 
+use triphase_bench::json::Json;
 use triphase_bench::microbench::{samples, time_throughput};
+use triphase_bench::perf::{measurement_json, merge_section};
 use triphase_circuits::iscas::{generate_iscas, iscas_profiles};
 use triphase_core::{assign_phases, extract_ff_graph, gated_clock_style, to_three_phase};
 use triphase_ilp::PhaseConfig;
-use triphase_sim::run_random;
+use triphase_sim::{run_random, run_random_packed, LANES};
 
 fn main() {
     let profile = iscas_profiles()
@@ -21,10 +27,48 @@ fn main() {
 
     const CYCLES: u64 = 64;
     let n_samples = samples(10);
-    time_throughput("sim_s5378/ff_design", n_samples, CYCLES, || {
-        run_random(&ff_design, 1, CYCLES).unwrap().cycles()
-    });
-    time_throughput("sim_s5378/three_phase", n_samples, CYCLES, || {
-        run_random(&latch_design, 1, CYCLES).unwrap().cycles()
-    });
+    let mut measured = Vec::new();
+    for (label, nl) in [
+        ("sim_s5378/ff_design", &ff_design),
+        ("sim_s5378/three_phase", &latch_design),
+    ] {
+        let scalar = time_throughput(label, n_samples, CYCLES, || {
+            run_random(nl, 1, CYCLES).unwrap().cycles()
+        });
+        let packed = time_throughput(
+            &format!("{label} packed x{LANES}"),
+            n_samples,
+            CYCLES * LANES as u64,
+            || {
+                run_random_packed(nl, 1, CYCLES, LANES)
+                    .unwrap()
+                    .activity()
+                    .cycles
+            },
+        );
+        measured.push((scalar, packed));
+    }
+
+    let mut rows = Vec::new();
+    for (scalar, packed) in &measured {
+        let speedup = if packed.ns_per_element() > 0.0 {
+            scalar.ns_per_element() / packed.ns_per_element()
+        } else {
+            0.0
+        };
+        let mut rec = Json::obj();
+        rec.set("name", scalar.name.as_str().into());
+        rec.set("scalar", measurement_json(scalar));
+        rec.set("packed", measurement_json(packed));
+        rec.set("speedup", speedup.into());
+        rows.push(rec);
+    }
+    let mut section = Json::obj();
+    section.set("generated_by", "sim_throughput".into());
+    section.set("lanes", LANES.into());
+    section.set("rows", Json::Arr(rows));
+    match merge_section("sim_throughput", section) {
+        Ok(path) => println!("wrote section \"sim_throughput\" -> {}", path.display()),
+        Err(e) => eprintln!("sim_throughput section not written: {e}"),
+    }
 }

@@ -99,27 +99,36 @@ fn describe(outcome: &triphase_equiv::EquivOutcome) -> String {
     }
 }
 
-fn run_check(name: &str, check: &str, outcome: triphase_equiv::EquivOutcome, json: bool) -> bool {
+fn run_check(
+    out: &mut Vec<String>,
+    name: &str,
+    check: &str,
+    outcome: triphase_equiv::EquivOutcome,
+    json: bool,
+) -> bool {
     if json {
-        println!("{}", report::to_json(name, check, &outcome));
+        out.push(report::to_json(name, check, &outcome));
     } else {
-        println!("[{check:>10}] {name:>8}: {}", describe(&outcome));
+        out.push(format!("[{check:>10}] {name:>8}: {}", describe(&outcome)));
     }
     outcome.verdict.is_equivalent()
 }
 
-fn certify(b: &Benchmark, lib: &Library, opts: &CliOptions) -> Result<bool, String> {
+/// Certify one benchmark, buffering its report lines so certifications
+/// can run concurrently and still print in registry order.
+fn certify(b: &Benchmark, lib: &Library, opts: &CliOptions) -> Result<(Vec<String>, bool), String> {
+    let mut out = Vec::new();
     let nl = b.build();
     let (pre, tp) = prepare(&nl)?;
     let eq_opts = Options::default();
     let conv = check_conversion(&pre, &tp, &eq_opts).map_err(|e| e.to_string())?;
-    let mut ok = run_check(b.name, "conversion", conv, opts.json);
+    let mut ok = run_check(&mut out, b.name, "conversion", conv, opts.json);
     if opts.retime {
         let (rt, _) = retime_three_phase(&tp, lib, 0.5).map_err(|e| e.to_string())?;
         let seq = check_sequential(&tp, &rt, &eq_opts).map_err(|e| e.to_string())?;
-        ok &= run_check(b.name, "retime", seq, opts.json);
+        ok &= run_check(&mut out, b.name, "retime", seq, opts.json);
     }
-    Ok(ok)
+    Ok((out, ok))
 }
 
 fn run() -> Result<bool, String> {
@@ -143,9 +152,17 @@ fn run() -> Result<bool, String> {
             .collect::<Result<_, String>>()?
     };
     let lib = Library::synthetic_28nm();
+    // Fan the certifications out over the work-stealing pool; each one
+    // buffers its report lines, which are then printed in registry order
+    // so the output is identical to a sequential run.
+    let results = triphase_par::par_map(&selected, |b| certify(b, &lib, &opts));
     let mut all_ok = true;
-    for b in selected {
-        all_ok &= certify(b, &lib, &opts)?;
+    for result in results {
+        let (lines, ok) = result?;
+        for line in lines {
+            println!("{line}");
+        }
+        all_ok &= ok;
     }
     Ok(all_ok)
 }

@@ -66,14 +66,17 @@ fn convert(nl: &Netlist) -> Result<Netlist, String> {
     Ok(tp)
 }
 
-fn lint_one(nl: &Netlist, stage: LintStage, json: bool) -> Report {
+/// Lint one netlist, returning the report and the text it would print —
+/// buffered so benchmark lints can run concurrently and still print in
+/// registry order.
+fn lint_one(nl: &Netlist, stage: LintStage, json: bool) -> (Report, String) {
     let report = Linter::new().run(nl, stage);
-    if json {
-        println!("{}", report.to_json());
+    let text = if json {
+        format!("{}\n", report.to_json())
     } else {
-        print!("{report}");
-    }
-    report
+        format!("{report}")
+    };
+    (report, text)
 }
 
 fn run() -> Result<bool, String> {
@@ -87,7 +90,9 @@ fn run() -> Result<bool, String> {
         } else {
             LintStage::Input
         };
-        vec![lint_one(&nl, stage, opts.json)]
+        let (report, text) = lint_one(&nl, stage, opts.json);
+        print!("{text}");
+        vec![report]
     } else {
         let all = benchmarks();
         let selected: Vec<_> = if opts.names.is_empty() {
@@ -103,16 +108,23 @@ fn run() -> Result<bool, String> {
                 })
                 .collect::<Result<_, String>>()?
         };
-        selected
-            .iter()
-            .map(|b| {
-                let nl = b.build();
-                let (nl, stage) = if opts.three_phase {
-                    (convert(&nl)?, LintStage::Convert)
-                } else {
-                    (nl, LintStage::Input)
-                };
-                Ok(lint_one(&nl, stage, opts.json))
+        // Fan the per-benchmark lints out over the work-stealing pool and
+        // print the buffered reports in registry order afterwards.
+        let results = triphase_par::par_map(&selected, |b| {
+            let nl = b.build();
+            let (nl, stage) = if opts.three_phase {
+                (convert(&nl)?, LintStage::Convert)
+            } else {
+                (nl, LintStage::Input)
+            };
+            Ok(lint_one(&nl, stage, opts.json))
+        });
+        results
+            .into_iter()
+            .map(|r: Result<(Report, String), String>| {
+                let (report, text) = r?;
+                print!("{text}");
+                Ok(report)
             })
             .collect::<Result<_, String>>()?
     };

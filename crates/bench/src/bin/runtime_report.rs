@@ -4,6 +4,8 @@
 //! extra runtime (~3× CTS, ~35% more routing, 204%/44% more total runtime
 //! vs FF/M-S).
 
+use triphase_bench::json::Json;
+use triphase_bench::perf::merge_section;
 use triphase_bench::{mean, run_suite, Scale};
 
 fn main() {
@@ -59,4 +61,43 @@ fn main() {
         .map(|(_, r)| r.ilp_seconds)
         .fold(0.0f64, f64::max);
     println!("Max ILP solve time across the suite:    {max_ilp:.3} s");
+
+    // Machine-readable mirror of the table above, merged into the shared
+    // perf report next to the packed-kernel sections from `sim_perf`.
+    let mut benchmarks = Vec::new();
+    for (b, r) in &rows {
+        let mut rec = Json::obj();
+        rec.set("name", b.name.into());
+        rec.set("ilp_seconds", r.ilp_seconds.into());
+        rec.set("ilp_optimal", r.ilp_optimal.into());
+        rec.set("convert_seconds", r.convert_seconds.into());
+        rec.set("pnr_ff_seconds", r.ff.pnr_seconds.into());
+        rec.set("pnr_ms_seconds", r.ms.pnr_seconds.into());
+        rec.set("pnr_3p_seconds", r.three_phase.pnr_seconds.into());
+        rec.set("sim_ff_seconds", r.ff.sim_seconds.into());
+        rec.set("sim_ms_seconds", r.ms.sim_seconds.into());
+        rec.set("sim_3p_seconds", r.three_phase.sim_seconds.into());
+        benchmarks.push(rec);
+    }
+    let mut section = Json::obj();
+    section.set("generated_by", "runtime_report".into());
+    section.set(
+        "scale",
+        match scale {
+            Scale::Quick => "quick",
+            Scale::Full => "full",
+        }
+        .into(),
+    );
+    section.set("pnr_3p_over_ff_avg", mean(&ratios).into());
+    section.set("ilp_share_pct_avg", mean(&ilp_fracs).into());
+    section.set("ilp_seconds_max", max_ilp.into());
+    section.set("benchmarks", Json::Arr(benchmarks));
+    match merge_section("flow_runtime", section) {
+        Ok(path) => println!("wrote section \"flow_runtime\" -> {}", path.display()),
+        Err(e) => {
+            eprintln!("flow runtime report not written: {e}");
+            std::process::exit(1);
+        }
+    }
 }

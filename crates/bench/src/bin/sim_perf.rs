@@ -1,0 +1,199 @@
+//! Packed-kernel performance report: scalar vs 64-lane bit-parallel
+//! simulation throughput, thread-scaling of the work-stealing pool, and a
+//! determinism check (results must not depend on the thread count).
+//!
+//! Writes the `packed_kernel` and `thread_scaling` sections of
+//! `results/BENCH_sim.json` (see `triphase_bench::perf`); other sections
+//! of the file are preserved. `--quick` (or `TRIPHASE_SCALE=quick`) runs
+//! a reduced configuration.
+//!
+//! Exit codes (stable): `0` report written, `1` determinism check failed,
+//! `2` internal error (flow/simulation failure).
+
+use triphase_bench::json::Json;
+use triphase_bench::microbench::{samples, time_throughput, Measurement};
+use triphase_bench::perf::{measurement_json, merge_section};
+use triphase_circuits::iscas::{generate_iscas, iscas_profiles};
+use triphase_core::{assign_phases, extract_ff_graph, gated_clock_style, to_three_phase};
+use triphase_ilp::PhaseConfig;
+use triphase_netlist::Netlist;
+use triphase_par::ThreadPool;
+use triphase_sim::{run_random, run_random_packed, Activity, LANES};
+
+/// Build the s5378 FF design and its converted 3-phase twin — the same
+/// pair the `sim_throughput` bench times.
+fn build_s5378() -> (Netlist, Netlist) {
+    let profile = iscas_profiles()
+        .into_iter()
+        .find(|p| p.name == "s5378")
+        .expect("s5378 profile");
+    let mut ff_design = generate_iscas(&profile, 42);
+    gated_clock_style(&mut ff_design, 32).expect("clock gating");
+    let idx = ff_design.index();
+    let graph = extract_ff_graph(&ff_design, &idx).expect("FF graph");
+    let assignment = assign_phases(&graph, &PhaseConfig::default());
+    let (latch_design, _) = to_three_phase(&ff_design, &assignment).expect("conversion");
+    (ff_design, latch_design)
+}
+
+/// FNV-1a over an activity's cycle count and toggle vector: a stable
+/// fingerprint for the determinism check.
+fn activity_hash(a: &Activity) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut mix = |v: u64| {
+        for byte in v.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    mix(a.cycles);
+    for &t in &a.net_toggles {
+        mix(t);
+    }
+    h
+}
+
+/// Time scalar vs packed random simulation of `nl` and return the two
+/// measurements plus the packed-over-scalar speedup in cycles/sec.
+fn kernel_pair(
+    label: &str,
+    nl: &Netlist,
+    cycles: u64,
+    n_samples: usize,
+) -> (Measurement, Measurement, f64) {
+    let scalar = time_throughput(&format!("{label}/scalar"), n_samples, cycles, || {
+        run_random(nl, 1, cycles).expect("scalar run").cycles()
+    });
+    let packed_cycles = cycles * LANES as u64;
+    let packed = time_throughput(
+        &format!("{label}/packed x{LANES}"),
+        n_samples,
+        packed_cycles,
+        || {
+            run_random_packed(nl, 1, cycles, LANES)
+                .expect("packed run")
+                .activity()
+                .cycles
+        },
+    );
+    let speedup = if packed.ns_per_element() > 0.0 {
+        scalar.ns_per_element() / packed.ns_per_element()
+    } else {
+        0.0
+    };
+    println!("{label:<44} packed speedup {speedup:>7.1}x");
+    (scalar, packed, speedup)
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick")
+        || std::env::var("TRIPHASE_SCALE").is_ok_and(|v| v == "quick");
+    let cycles: u64 = if quick { 32 } else { 256 };
+    let n_samples = samples(5);
+
+    let (ff_design, latch_design) = build_s5378();
+
+    println!("== packed kernel vs scalar (per-lane cycles: {cycles}) ==");
+    let mut circuits = Vec::new();
+    for (label, nl) in [
+        ("s5378/ff_design", &ff_design),
+        ("s5378/three_phase", &latch_design),
+    ] {
+        let (scalar, packed, speedup) = kernel_pair(label, nl, cycles, n_samples);
+        let mut rec = Json::obj();
+        rec.set("name", label.into());
+        rec.set("scalar", measurement_json(&scalar));
+        rec.set("packed", measurement_json(&packed));
+        rec.set("lanes", LANES.into());
+        rec.set("speedup", speedup.into());
+        circuits.push(rec);
+    }
+    let mut kernel = Json::obj();
+    kernel.set("generated_by", "sim_perf".into());
+    kernel.set("per_lane_cycles", cycles.into());
+    kernel.set("circuits", Json::Arr(circuits));
+
+    // Thread scaling: independent packed activity collections fanned out
+    // through explicit pools of 1/2/4/8 workers. The fingerprints of the
+    // results must match across thread counts (deterministic scheduling-
+    // independent output); wall-clock per pool size gives the curve.
+    let tasks: u64 = if quick { 4 } else { 16 };
+    let task_cycles: u64 = if quick { 8 } else { 32 };
+    let seeds: Vec<u64> = (0..tasks).collect();
+    println!("== thread scaling ({tasks} tasks, {task_cycles} cycles x {LANES} lanes each) ==");
+    let run_tasks = |pool: &ThreadPool| -> Vec<u64> {
+        pool.par_map(&seeds, |&seed| {
+            let sim = run_random_packed(&ff_design, seed, task_cycles, LANES)
+                .expect("thread-scaling run");
+            activity_hash(&sim.activity())
+        })
+    };
+    let mut curve = Vec::new();
+    let mut baseline: Option<(f64, Vec<u64>)> = None;
+    let mut deterministic = true;
+    for threads in [1usize, 2, 4, 8] {
+        let pool = ThreadPool::new(threads);
+        let t0 = std::time::Instant::now();
+        let hashes = run_tasks(&pool);
+        let secs = t0.elapsed().as_secs_f64();
+        let speedup_vs_1t = match &baseline {
+            Some((base, base_hashes)) => {
+                if *base_hashes != hashes {
+                    deterministic = false;
+                }
+                if secs > 0.0 {
+                    base / secs
+                } else {
+                    0.0
+                }
+            }
+            None => {
+                baseline = Some((secs, hashes.clone()));
+                1.0
+            }
+        };
+        println!(
+            "threads {threads:>2}  {:>9.3} ms  speedup vs 1t {speedup_vs_1t:>6.2}x",
+            secs * 1e3
+        );
+        let mut point = Json::obj();
+        point.set("threads", threads.into());
+        point.set("secs", secs.into());
+        point.set("speedup_vs_1t", speedup_vs_1t.into());
+        curve.push(point);
+    }
+    let fingerprint = baseline
+        .as_ref()
+        .map(|(_, hashes)| {
+            hashes
+                .iter()
+                .fold(0xcbf2_9ce4_8422_2325u64, |h, &v| h.rotate_left(7) ^ v)
+        })
+        .unwrap_or(0);
+    println!(
+        "deterministic across thread counts: {deterministic}  (fingerprint {fingerprint:016x})"
+    );
+
+    let mut scaling = Json::obj();
+    scaling.set("tasks", tasks.into());
+    scaling.set("lanes", LANES.into());
+    scaling.set("per_task_cycles", task_cycles.into());
+    scaling.set("deterministic", deterministic.into());
+    scaling.set("fingerprint", format!("{fingerprint:016x}").into());
+    scaling.set("curve", Json::Arr(curve));
+
+    let write = |section: &str, value: Json| match merge_section(section, value) {
+        Ok(path) => println!("wrote section {section:?} -> {}", path.display()),
+        Err(e) => {
+            eprintln!("error: writing {section}: {e}");
+            std::process::exit(2);
+        }
+    };
+    write("packed_kernel", kernel);
+    write("thread_scaling", scaling);
+
+    if !deterministic {
+        eprintln!("error: results varied with thread count");
+        std::process::exit(1);
+    }
+}

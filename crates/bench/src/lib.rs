@@ -13,7 +13,9 @@
 //! reduced configuration for smoke testing; the full configuration is the
 //! EXPERIMENTS.md reference.
 
+pub mod json;
 pub mod microbench;
+pub mod perf;
 
 use triphase_cells::Library;
 use triphase_circuits::cpu::{self, CpuConfig, Workload};
@@ -22,7 +24,9 @@ use triphase_circuits::iscas::{generate_iscas, iscas_profiles, IscasProfile};
 use triphase_core::{run_flow_with, FlowConfig, FlowReport};
 use triphase_netlist::Netlist;
 use triphase_pnr::PnrOptions;
-use triphase_sim::{data_inputs, Activity, Logic, Simulator, Stream};
+use triphase_sim::{
+    data_inputs, lane_seeds, Activity, Logic, PackedLogic, PackedSim, Stream, LANES,
+};
 
 /// Benchmark grouping, mirroring the paper's table sections.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -191,8 +195,24 @@ pub enum Stimulus {
     Cpu(Workload),
 }
 
+/// One packed vector of fresh random bits, one per lane stream.
+fn draw(streams: &mut [Stream]) -> PackedLogic {
+    let mut bits = 0u64;
+    for (l, s) in streams.iter_mut().enumerate() {
+        bits |= u64::from(s.next_bit()) << l;
+    }
+    PackedLogic::from_bits(bits)
+}
+
 /// Drive a benchmark netlist with a stimulus style and return its
 /// activity profile.
+///
+/// Runs on the bit-parallel packed kernel: the requested `cycles` are
+/// split across up to 64 independent stimulus lanes (lane 0 replays the
+/// historical scalar stream for `seed`). Stimuli with temporal structure
+/// ([`Stimulus::SelfCheck`]) keep at least one full burst interval per
+/// lane so the compute/idle activity shape is preserved; purely random
+/// stimuli split down to one cycle per lane.
 ///
 /// # Errors
 ///
@@ -203,45 +223,54 @@ pub fn drive_stimulus(
     seed: u64,
     stim: Stimulus,
 ) -> triphase_sim::Result<Activity> {
+    let lanes = match stim {
+        Stimulus::SelfCheck { interval } => (cycles / interval.max(1)).clamp(1, LANES as u64),
+        Stimulus::Random | Stimulus::Cpu(_) => cycles.clamp(1, LANES as u64),
+    } as usize;
+    let per_lane = cycles.div_ceil(lanes as u64);
     let inputs = data_inputs(nl);
-    let mut sim = Simulator::new(nl)?;
+    let mut sim = PackedSim::new(nl, lanes)?;
     sim.reset_zero();
-    let mut stream = Stream::new(seed);
+    let mut streams: Vec<Stream> = lane_seeds(seed, lanes)
+        .into_iter()
+        .map(Stream::new)
+        .collect();
     match stim {
         Stimulus::Random => {
-            for _ in 0..cycles {
+            for _ in 0..per_lane {
                 for &p in &inputs {
-                    sim.set_input(p, Logic::from_bool(stream.next_bit()));
+                    sim.set_input(p, draw(&mut streams));
                 }
                 sim.step_cycle();
             }
         }
         Stimulus::SelfCheck { interval } => {
             let start = nl.find_port("load").or_else(|| nl.find_port("valid_in"));
-            for cycle in 0..cycles {
+            for cycle in 0..per_lane {
                 let pulse = cycle % interval.max(1) == 0;
                 if pulse {
                     for &p in &inputs {
                         if Some(p) == start {
                             continue;
                         }
-                        sim.set_input(p, Logic::from_bool(stream.next_bit()));
+                        sim.set_input(p, draw(&mut streams));
                     }
                 }
                 if let Some(p) = start {
-                    sim.set_input(p, Logic::from_bool(pulse));
+                    sim.set_input(p, PackedLogic::splat(Logic::from_bool(pulse)));
                 }
                 sim.step_cycle();
             }
         }
         Stimulus::Cpu(workload) => {
             let mode_port = nl.find_port("mode");
-            for _ in 0..cycles {
+            let mode = PackedLogic::splat(Logic::from_bool(workload.mode_bit()));
+            for _ in 0..per_lane {
                 for &p in &inputs {
                     let v = if Some(p) == mode_port {
-                        Logic::from_bool(workload.mode_bit())
+                        mode
                     } else {
-                        Logic::from_bool(stream.next_bit())
+                        draw(&mut streams)
                     };
                     sim.set_input(p, v);
                 }
@@ -249,7 +278,7 @@ pub fn drive_stimulus(
             }
         }
     }
-    Ok(sim.activity().clone())
+    Ok(sim.activity())
 }
 
 /// Back-compat wrapper used by the Fig. 4 binary: CPU workload or random.
@@ -358,27 +387,45 @@ pub fn mean(values: &[f64]) -> f64 {
 
 /// Run the whole suite at a scale, printing per-row progress to stderr.
 ///
+/// The rows fan out over the [`triphase_par`] work-stealing pool (worker
+/// count from `TRIPHASE_THREADS` or the machine); results come back in
+/// paper row order regardless of thread count, and each row's flow is
+/// itself deterministic, so the tables are thread-count independent.
+///
 /// # Errors
 ///
-/// Fails fast on the first benchmark whose flow fails validation.
+/// Fails on the first (in row order) benchmark whose flow fails
+/// validation.
 pub fn run_suite(scale: Scale) -> triphase_core::Result<Vec<(Benchmark, FlowReport)>> {
     let lib = Library::synthetic_28nm();
-    let mut out = Vec::new();
-    for b in suite(scale) {
+    let rows = suite(scale);
+    let results = triphase_par::par_map(&rows, |b| {
         let t0 = std::time::Instant::now();
-        eprint!("[{}] {:>8} ... ", b.group.label(), b.name);
-        let report = b.run(&lib, scale)?;
-        eprintln!(
-            "done in {:.1}s (equiv {})",
-            t0.elapsed().as_secs_f64(),
-            match (report.equiv_ms, report.equiv_3p) {
-                (Some(true), Some(true)) => "ok",
-                _ => "SKIPPED/FAILED",
-            }
-        );
-        out.push((b, report));
-    }
-    Ok(out)
+        let report = b.run(&lib, scale);
+        match &report {
+            Ok(r) => eprintln!(
+                "[{}] {:>8} ... done in {:.1}s (equiv {})",
+                b.group.label(),
+                b.name,
+                t0.elapsed().as_secs_f64(),
+                match (r.equiv_ms, r.equiv_3p) {
+                    (Some(true), Some(true)) => "ok",
+                    _ => "SKIPPED/FAILED",
+                }
+            ),
+            Err(e) => eprintln!(
+                "[{}] {:>8} ... FAILED in {:.1}s: {e}",
+                b.group.label(),
+                b.name,
+                t0.elapsed().as_secs_f64()
+            ),
+        }
+        report
+    });
+    rows.into_iter()
+        .zip(results)
+        .map(|(b, r)| r.map(|report| (b, report)))
+        .collect()
 }
 
 #[cfg(test)]

@@ -4,6 +4,10 @@
 //! targets are plain `harness = false` mains timed with `std::time`:
 //! median-of-N wall-clock samples after one warm-up iteration. Invoke via
 //! `cargo bench` (full samples) or with `--quick` for a single sample.
+//!
+//! [`time`]/[`time_throughput`] return the [`Measurement`] they printed,
+//! so machine-readable reports (`results/BENCH_sim.json`) and the human
+//! summary line always agree — both read the same median.
 
 use std::time::Instant;
 
@@ -18,42 +22,129 @@ pub fn samples(full: usize) -> usize {
     }
 }
 
+/// One timed micro-benchmark result. All derived figures (elements/sec,
+/// ns/element) come from the **median** sample — the stable summary
+/// statistic the harness reports everywhere.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Benchmark label.
+    pub name: String,
+    /// Median wall-clock seconds per iteration.
+    pub median_secs: f64,
+    /// Best (minimum) wall-clock seconds per iteration.
+    pub best_secs: f64,
+    /// Number of timed samples.
+    pub samples: usize,
+    /// Elements processed per iteration (throughput benches).
+    pub elements: Option<u64>,
+}
+
+impl Measurement {
+    /// Elements per second at the median sample (0 when not a
+    /// throughput measurement).
+    pub fn elements_per_sec(&self) -> f64 {
+        match self.elements {
+            Some(e) if self.median_secs > 0.0 => e as f64 / self.median_secs,
+            _ => 0.0,
+        }
+    }
+
+    /// Nanoseconds per element at the median sample (0 when not a
+    /// throughput measurement).
+    pub fn ns_per_element(&self) -> f64 {
+        match self.elements {
+            Some(e) if e > 0 => self.median_secs * 1e9 / e as f64,
+            _ => 0.0,
+        }
+    }
+}
+
+fn run_samples<T>(samples: usize, f: &mut impl FnMut() -> T) -> Vec<f64> {
+    let _ = std::hint::black_box(f());
+    let mut secs = Vec::with_capacity(samples.max(1));
+    for _ in 0..samples.max(1) {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        secs.push(t0.elapsed().as_secs_f64());
+    }
+    secs.sort_by(f64::total_cmp);
+    secs
+}
+
 /// Time `f` for `samples` iterations (after one warm-up) and print the
 /// median/best wall-clock time. The closure's result is black-boxed so
 /// the optimizer cannot elide the work.
-pub fn time<T>(name: &str, samples: usize, mut f: impl FnMut() -> T) {
-    let _ = std::hint::black_box(f());
-    let mut secs = Vec::with_capacity(samples.max(1));
-    for _ in 0..samples.max(1) {
-        let t0 = Instant::now();
-        std::hint::black_box(f());
-        secs.push(t0.elapsed().as_secs_f64());
-    }
-    secs.sort_by(f64::total_cmp);
-    let median = secs[secs.len() / 2];
+pub fn time<T>(name: &str, samples: usize, mut f: impl FnMut() -> T) -> Measurement {
+    let secs = run_samples(samples, &mut f);
+    let m = Measurement {
+        name: name.to_owned(),
+        median_secs: secs[secs.len() / 2],
+        best_secs: secs[0],
+        samples: secs.len(),
+        elements: None,
+    };
     println!(
         "{name:<44} median {:>9.3} ms  best {:>9.3} ms  ({} samples)",
-        median * 1e3,
-        secs[0] * 1e3,
-        secs.len()
+        m.median_secs * 1e3,
+        m.best_secs * 1e3,
+        m.samples
     );
+    m
 }
 
-/// [`time`] with a throughput annotation (elements per iteration).
-pub fn time_throughput<T>(name: &str, samples: usize, elements: u64, mut f: impl FnMut() -> T) {
-    let _ = std::hint::black_box(f());
-    let mut secs = Vec::with_capacity(samples.max(1));
-    for _ in 0..samples.max(1) {
-        let t0 = Instant::now();
-        std::hint::black_box(f());
-        secs.push(t0.elapsed().as_secs_f64());
-    }
-    secs.sort_by(f64::total_cmp);
-    let median = secs[secs.len() / 2];
+/// [`time`] with a throughput annotation: `elements` processed per
+/// iteration, summarized as median elements/sec.
+pub fn time_throughput<T>(
+    name: &str,
+    samples: usize,
+    elements: u64,
+    mut f: impl FnMut() -> T,
+) -> Measurement {
+    let secs = run_samples(samples, &mut f);
+    let m = Measurement {
+        name: name.to_owned(),
+        median_secs: secs[secs.len() / 2],
+        best_secs: secs[0],
+        samples: secs.len(),
+        elements: Some(elements),
+    };
     println!(
         "{name:<44} median {:>9.3} ms  {:>12.0} elem/s  ({} samples)",
-        median * 1e3,
-        elements as f64 / median,
-        secs.len()
+        m.median_secs * 1e3,
+        m.elements_per_sec(),
+        m.samples
     );
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measurement_derivations_use_median() {
+        let m = Measurement {
+            name: "t".into(),
+            median_secs: 0.5,
+            best_secs: 0.25,
+            samples: 3,
+            elements: Some(1000),
+        };
+        assert_eq!(m.elements_per_sec(), 2000.0);
+        assert_eq!(m.ns_per_element(), 0.5e9 / 1000.0);
+        let plain = Measurement {
+            elements: None,
+            ..m
+        };
+        assert_eq!(plain.elements_per_sec(), 0.0);
+        assert_eq!(plain.ns_per_element(), 0.0);
+    }
+
+    #[test]
+    fn time_returns_what_it_prints() {
+        let m = time_throughput("unit", 3, 64, || std::hint::black_box(17u64 * 3));
+        assert_eq!(m.samples, 3);
+        assert_eq!(m.elements, Some(64));
+        assert!(m.best_secs <= m.median_secs);
+    }
 }

@@ -237,12 +237,15 @@ pub fn apply_ddcg_placed(
     let idx = nl.index();
     let phases = storage_phases(nl, &idx)?;
 
-    let mut candidates: Vec<(CellId, f64)> = nl
-        .cells()
-        .filter(|(id, c)| c.kind.is_latch() && phases.get(id) == Some(&P2) && c.pin(1) == p2n)
-        .map(|(id, c)| (id, activity.toggle_rate(c.pin(0))))
-        .filter(|&(_, rate)| rate < threshold)
-        .collect();
+    let mut candidates: Vec<(CellId, f64)> = Vec::new();
+    for (id, c) in nl.cells() {
+        if c.kind.is_latch() && phases.get(&id) == Some(&P2) && c.pin(1) == p2n {
+            let rate = activity.toggle_rate(c.pin(0))?;
+            if rate < threshold {
+                candidates.push((id, rate));
+            }
+        }
+    }
     // Group by coarse toggle-rate bucket, then by spatial tile (when a
     // trial placement is available) or instance name: each gated subtree
     // must stay physically compact or its clock wiring erases the gating

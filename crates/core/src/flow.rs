@@ -16,13 +16,15 @@ use triphase_lint::{LintStage, Linter};
 use triphase_netlist::{Netlist, NetlistStats};
 use triphase_pnr::{place_and_route, Layout, PnrOptions};
 use triphase_power::{estimate_power, PowerReport};
-use triphase_sim::{equiv_stream_warmup, run_random, Activity};
+use triphase_sim::{collect_activity_packed, equiv_stream_warmup, Activity};
 use triphase_timing::analyze_smo;
 
 /// Stimulus provider: produces a switching-activity profile for a design
-/// variant. The default drives seeded pseudo-random inputs; CPU
-/// benchmarks substitute a closure that pins the workload-select input.
-pub type Drive<'a> = dyn Fn(&Netlist, u64) -> triphase_sim::Result<Activity> + 'a;
+/// variant. The default drives seeded pseudo-random inputs through the
+/// bit-parallel packed kernel; CPU benchmarks substitute a closure that
+/// pins the workload-select input. `Sync` because the flow evaluates its
+/// design variants on the [`triphase_par`] pool concurrently.
+pub type Drive<'a> = dyn Fn(&Netlist, u64) -> triphase_sim::Result<Activity> + Sync + 'a;
 
 /// How the per-stage static-analysis checkpoints behave during the flow.
 ///
@@ -266,6 +268,11 @@ impl FlowReport {
 
 /// Run the full three-variant flow with pseudo-random stimulus.
 ///
+/// Activity is gathered with the bit-parallel packed kernel
+/// ([`collect_activity_packed`]): `sim_cycles` total cycles split across
+/// up to 64 independent stimulus lanes, of which lane 0 replays the
+/// historical single-stream sequence for `seed`.
+///
 /// # Errors
 ///
 /// Propagates stage failures; [`Error::ValidationFailed`] if constraint
@@ -273,7 +280,7 @@ impl FlowReport {
 pub fn run_flow(nl: &Netlist, lib: &Library, cfg: &FlowConfig) -> Result<FlowReport> {
     let seed = cfg.seed;
     run_flow_with(nl, lib, cfg, &move |n: &Netlist, cycles: u64| {
-        run_random(n, seed, cycles).map(|s| s.activity().clone())
+        collect_activity_packed(n, seed, cycles)
     })
 }
 
@@ -416,9 +423,19 @@ pub fn run_flow_with(
         }
     }
 
-    let ff = evaluate(pre, lib, cfg, drive)?;
-    let ms = evaluate(ms_nl, lib, cfg, drive)?;
-    let three_phase = evaluate(tp, lib, cfg, drive)?;
+    // The three variant evaluations (P&R + simulation + power) are
+    // independent — fan them out on the work-stealing pool. Results land
+    // in fixed slots, so the report is identical at any thread count.
+    let mut variants = [Some(pre), Some(ms_nl), Some(tp)];
+    let mut evaluated: [Option<Result<VariantResult>>; 3] = [None, None, None];
+    triphase_par::scope(|s| {
+        for (slot, out) in variants.iter_mut().zip(evaluated.iter_mut()) {
+            let nl = slot.take().expect("variant present");
+            s.spawn(move || *out = Some(evaluate(nl, lib, cfg, drive)));
+        }
+    });
+    let [ff, ms, three_phase] = evaluated.map(|r| r.expect("scope joined all variants"));
+    let (ff, ms, three_phase) = (ff?, ms?, three_phase?);
 
     Ok(FlowReport {
         name: nl.name.clone(),

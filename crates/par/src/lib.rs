@@ -1,0 +1,57 @@
+//! `triphase-par` — std-only scoped work-stealing thread pool.
+//!
+//! The benchmark suite is embarrassingly parallel across circuits, and a
+//! single flow run fans out into independent evaluations (pre-conversion,
+//! master–slave, 3-phase). This crate supplies the parallel substrate for
+//! both without adding any dependency: Chase–Lev per-worker deques built
+//! on `std::thread` + atomics, a lifetime-scoped `spawn` API, and an
+//! order-preserving [`ThreadPool::par_map`].
+//!
+//! # Design
+//!
+//! - **Chase–Lev deques** (the private `deque` module): each worker owns
+//!   a deque;
+//!   it pushes/pops its own bottom end LIFO, idle workers steal FIFO from
+//!   the top with a CAS. Jobs spawned from non-worker threads land in a
+//!   mutex-protected global injector.
+//! - **Helping scopes**: [`ThreadPool::scope`] blocks until all spawned
+//!   tasks finish, and while blocked it executes pool work itself. Nested
+//!   scopes (parallel stages inside parallel benchmarks) therefore cannot
+//!   deadlock, even on a 1-worker pool.
+//! - **Determinism**: [`ThreadPool::par_map`] returns results in input
+//!   order. Any pipeline of pure per-item functions produces byte-
+//!   identical output regardless of `TRIPHASE_THREADS`.
+//! - **Panic safety**: task panics are captured and the first one is
+//!   re-raised from `scope` after every task has settled, so borrowed
+//!   environment data is never observed mid-write by the caller.
+//!
+//! # Example
+//!
+//! ```
+//! let pool = triphase_par::ThreadPool::new(4);
+//! let squares = pool.par_map(&[1u64, 2, 3, 4], |&x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//! ```
+
+mod deque;
+mod pool;
+
+pub use pool::{default_threads, Scope, ThreadPool, THREADS_ENV};
+
+/// Convenience: [`ThreadPool::par_map`] on the shared global pool.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    ThreadPool::global().par_map(items, f)
+}
+
+/// Convenience: [`ThreadPool::scope`] on the shared global pool.
+pub fn scope<'env, R>(f: impl FnOnce(&Scope<'env>) -> R) -> R
+where
+    R: 'env,
+{
+    ThreadPool::global().scope(f)
+}

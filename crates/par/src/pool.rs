@@ -1,0 +1,411 @@
+//! Scoped work-stealing thread pool over [`crate::deque`].
+//!
+//! Workers are plain `std::thread`s, one Chase–Lev deque each, plus one
+//! mutex-protected global injector for jobs spawned from outside the
+//! pool. A blocked [`ThreadPool::scope`] *helps*: while waiting for its
+//! tasks it pops/steals and runs pool work on its own stack, so nested
+//! scopes (a parallel flow inside a parallel benchmark suite) can never
+//! deadlock and a 1-worker pool still makes progress from the caller's
+//! thread.
+//!
+//! Determinism: execution *order* depends on thread interleaving, but
+//! [`ThreadPool::par_map`] always returns results in input order, so any
+//! pipeline built from pure per-item functions produces thread-count-
+//! independent output.
+
+use crate::deque::{Deque, Job, JobPtr};
+use std::any::Any;
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering::SeqCst};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Environment variable overriding the global pool's worker count.
+pub const THREADS_ENV: &str = "TRIPHASE_THREADS";
+
+struct Shared {
+    /// One deque per worker; index `i` is owned by worker thread `i`.
+    deques: Vec<Deque>,
+    /// Jobs injected from non-worker threads.
+    injector: Mutex<VecDeque<JobPtr>>,
+    /// Parking for idle workers.
+    idle: Mutex<usize>,
+    wake: Condvar,
+    shutdown: AtomicBool,
+}
+
+// The injector holds raw `JobPtr`s only because `Job` travels through the
+// deques as a pointer; each points at a uniquely-owned `Box<Job>` whose
+// closure is `Send`, so moving the pointer across threads is sound.
+unsafe impl Send for Shared {}
+unsafe impl Sync for Shared {}
+
+impl Shared {
+    /// Grab one job from anywhere: `prefer`'s own deque first (LIFO),
+    /// then the injector, then round-robin steals.
+    fn find_job(&self, prefer: Option<usize>) -> Option<JobPtr> {
+        if let Some(i) = prefer {
+            if let Some(job) = self.deques[i].pop() {
+                return Some(job);
+            }
+        }
+        if let Some(job) = self.injector.lock().unwrap().pop_front() {
+            return Some(job);
+        }
+        let n = self.deques.len();
+        let start = prefer.map_or(0, |i| i + 1);
+        for k in 0..n {
+            let victim = (start + k) % n;
+            if Some(victim) == prefer {
+                continue;
+            }
+            if let Some(job) = self.deques[victim].steal() {
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    fn wake_one(&self) {
+        let idle = self.idle.lock().unwrap();
+        if *idle > 0 {
+            self.wake.notify_one();
+        }
+    }
+}
+
+thread_local! {
+    /// `(pool identity, worker index)` for pool worker threads.
+    static CURRENT_WORKER: Cell<Option<(usize, usize)>> = const { Cell::new(None) };
+}
+
+fn run_job(ptr: JobPtr) {
+    let job = unsafe { Box::from_raw(ptr) };
+    (job.0)();
+}
+
+/// A scoped work-stealing thread pool (see module docs).
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Spawn a pool with `threads` workers (clamped to at least 1).
+    pub fn new(threads: usize) -> ThreadPool {
+        let threads = threads.max(1);
+        let shared = Arc::new(Shared {
+            deques: (0..threads).map(|_| Deque::new()).collect(),
+            injector: Mutex::new(VecDeque::new()),
+            idle: Mutex::new(0),
+            wake: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let ident = Arc::as_ptr(&shared) as usize;
+        let workers = (0..threads)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("triphase-par-{i}"))
+                    .spawn(move || worker_loop(&shared, ident, i))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        ThreadPool { shared, workers }
+    }
+
+    /// The global pool: `TRIPHASE_THREADS` workers if set, otherwise the
+    /// machine's available parallelism. Created on first use; lives for
+    /// the process.
+    pub fn global() -> &'static ThreadPool {
+        static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
+        GLOBAL.get_or_init(|| ThreadPool::new(default_threads()))
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.shared.deques.len()
+    }
+
+    /// Identity token used to recognise our own worker threads.
+    fn ident(&self) -> usize {
+        Arc::as_ptr(&self.shared) as usize
+    }
+
+    /// The calling thread's worker index in *this* pool, if any.
+    fn current_worker(&self) -> Option<usize> {
+        CURRENT_WORKER.with(|c| match c.get() {
+            Some((ident, i)) if ident == self.ident() => Some(i),
+            _ => None,
+        })
+    }
+
+    fn inject(&self, job: JobPtr) {
+        match self.current_worker() {
+            Some(i) => self.shared.deques[i].push(job),
+            None => self.shared.injector.lock().unwrap().push_back(job),
+        }
+        self.shared.wake_one();
+    }
+
+    /// Run `f` with a [`Scope`] on the calling thread, then block until
+    /// every task spawned on the scope has finished — helping to run pool
+    /// work while waiting. The first task panic is re-raised here after
+    /// all tasks have settled.
+    pub fn scope<'env, R>(&'env self, f: impl FnOnce(&Scope<'env>) -> R) -> R {
+        let scope = Scope {
+            pool: self,
+            state: Arc::new(ScopeState {
+                pending: AtomicUsize::new(0),
+                panic: Mutex::new(None),
+            }),
+            _env: PhantomData,
+        };
+        let result = f(&scope);
+        let prefer = self.current_worker();
+        let mut idle_spins = 0u32;
+        while scope.state.pending.load(SeqCst) > 0 {
+            match self.shared.find_job(prefer) {
+                Some(job) => {
+                    idle_spins = 0;
+                    run_job(job);
+                }
+                None => {
+                    // Our tasks are in flight on other threads; back off.
+                    idle_spins += 1;
+                    if idle_spins < 64 {
+                        std::thread::yield_now();
+                    } else {
+                        std::thread::sleep(Duration::from_micros(100));
+                    }
+                }
+            }
+        }
+        if let Some(payload) = scope.state.panic.lock().unwrap().take() {
+            resume_unwind(payload);
+        }
+        result
+    }
+
+    /// Apply `f` to every item in parallel, returning results in input
+    /// order (thread-count independent for pure `f`).
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the first panic from `f`.
+    pub fn par_map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        if items.len() <= 1 {
+            return items.iter().map(&f).collect();
+        }
+        let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+        self.scope(|s| {
+            for (item, slot) in items.iter().zip(&slots) {
+                let f = &f;
+                s.spawn(move || {
+                    *slot.lock().unwrap() = Some(f(item));
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|m| m.into_inner().unwrap().expect("scope waited for all tasks"))
+            .collect()
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, SeqCst);
+        {
+            let _idle = self.shared.idle.lock().unwrap();
+            self.shared.wake.notify_all();
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Worker count for the global pool (env override, else hardware).
+pub fn default_threads() -> usize {
+    if let Ok(v) = std::env::var(THREADS_ENV) {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+fn worker_loop(shared: &Shared, ident: usize, index: usize) {
+    CURRENT_WORKER.with(|c| c.set(Some((ident, index))));
+    loop {
+        match shared.find_job(Some(index)) {
+            Some(job) => run_job(job),
+            None => {
+                if shared.shutdown.load(SeqCst) {
+                    return;
+                }
+                let mut idle = shared.idle.lock().unwrap();
+                *idle += 1;
+                // Timeout backstops the (benign) lost-wakeup window
+                // between the failed find_job and this wait.
+                let (guard, _) = shared
+                    .wake
+                    .wait_timeout(idle, Duration::from_millis(10))
+                    .unwrap();
+                idle = guard;
+                *idle -= 1;
+            }
+        }
+    }
+}
+
+struct ScopeState {
+    pending: AtomicUsize,
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+/// Handle for spawning tasks that may borrow from the enclosing
+/// environment; all tasks are joined before [`ThreadPool::scope`]
+/// returns.
+pub struct Scope<'env> {
+    pool: &'env ThreadPool,
+    state: Arc<ScopeState>,
+    _env: PhantomData<&'env mut &'env ()>,
+}
+
+impl<'env> Scope<'env> {
+    /// Spawn a task onto the pool. The closure may borrow `'env` data;
+    /// the scope guarantees it finishes before those borrows expire.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'env,
+    {
+        self.state.pending.fetch_add(1, SeqCst);
+        let state = Arc::clone(&self.state);
+        let task: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(f)) {
+                let mut slot = state.panic.lock().unwrap();
+                if slot.is_none() {
+                    *slot = Some(payload);
+                }
+            }
+            state.pending.fetch_sub(1, SeqCst);
+        });
+        // SAFETY: the scope blocks until `pending` reaches zero, i.e.
+        // until this closure has run to completion, so every `'env`
+        // borrow it captures outlives its execution.
+        let task: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(task) };
+        self.pool.inject(Box::into_raw(Box::new(Job(task))));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let pool = ThreadPool::new(4);
+        let items: Vec<u64> = (0..100).collect();
+        let out = pool.par_map(&items, |&x| x * x);
+        assert_eq!(out, items.iter().map(|x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn results_independent_of_thread_count() {
+        let items: Vec<u64> = (0..64).collect();
+        let expect: Vec<u64> = items
+            .iter()
+            .map(|x| x.wrapping_mul(0x9E37).rotate_left(7))
+            .collect();
+        for threads in [1, 2, 4, 8] {
+            let pool = ThreadPool::new(threads);
+            let out = pool.par_map(&items, |&x| x.wrapping_mul(0x9E37).rotate_left(7));
+            assert_eq!(out, expect, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn scope_borrows_environment() {
+        let pool = ThreadPool::new(2);
+        let mut results = vec![0usize; 8];
+        pool.scope(|s| {
+            for (i, slot) in results.iter_mut().enumerate() {
+                s.spawn(move || *slot = i + 1);
+            }
+        });
+        assert_eq!(results, (1..=8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn nested_scopes_do_not_deadlock() {
+        // More outer tasks than workers, each opening an inner scope: the
+        // blocked outer tasks must help instead of starving the inner ones.
+        let pool = ThreadPool::new(2);
+        let items: Vec<usize> = (0..8).collect();
+        let out = pool.par_map(&items, |&i| {
+            let inner: Vec<usize> = (0..4).collect();
+            pool.par_map(&inner, |&j| i * 10 + j).iter().sum::<usize>()
+        });
+        let expect: Vec<usize> = (0..8).map(|i| (0..4).map(|j| i * 10 + j).sum()).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn panics_propagate_after_all_tasks_settle() {
+        let pool = ThreadPool::new(2);
+        let items: Vec<usize> = (0..6).collect();
+        let hit = AtomicUsize::new(0);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.par_map(&items, |&i| {
+                hit.fetch_add(1, SeqCst);
+                assert!(i != 3, "boom");
+                i
+            })
+        }));
+        assert!(result.is_err());
+        // The pool is still usable afterwards.
+        assert_eq!(pool.par_map(&items, |&i| i + 1).len(), 6);
+    }
+
+    #[test]
+    fn single_worker_pool_completes_via_helping() {
+        let pool = ThreadPool::new(1);
+        let items: Vec<usize> = (0..32).collect();
+        let out = pool.par_map(&items, |&i| i * 2);
+        assert_eq!(out[31], 62);
+    }
+
+    #[test]
+    fn global_pool_is_shared_and_sized() {
+        let a = ThreadPool::global();
+        let b = ThreadPool::global();
+        assert!(std::ptr::eq(a, b));
+        assert!(a.threads() >= 1);
+    }
+
+    #[test]
+    fn stress_many_small_tasks() {
+        let pool = ThreadPool::new(4);
+        let counter = AtomicUsize::new(0);
+        pool.scope(|s| {
+            for _ in 0..5_000 {
+                let counter = &counter;
+                s.spawn(move || {
+                    counter.fetch_add(1, SeqCst);
+                });
+            }
+        });
+        assert_eq!(counter.load(SeqCst), 5_000);
+    }
+}

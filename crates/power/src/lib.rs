@@ -365,6 +365,22 @@ mod tests {
     }
 
     #[test]
+    fn zero_cycle_activity_is_rejected() {
+        // Regression: estimating power over an activity with no simulated
+        // cycles must be a typed error, not a divide-by-zero NaN report.
+        let nl = ff_bank(4, false);
+        let lib = Library::synthetic_28nm();
+        let empty = triphase_sim::Activity {
+            cycles: 0,
+            net_toggles: vec![0; nl.net_capacity()],
+        };
+        assert!(matches!(
+            estimate_power(&nl, &lib, &empty, None),
+            Err(Error::NoActivity)
+        ));
+    }
+
+    #[test]
     fn groups_are_populated() {
         let nl = ff_bank(8, false);
         let lib = Library::synthetic_28nm();

@@ -4,6 +4,7 @@
 
 use crate::error::{Error, Result};
 use crate::logic::Logic;
+use crate::packed::{lane_seeds, PackedLogic, PackedSim, LANES};
 use crate::sim::Simulator;
 use triphase_netlist::{Netlist, PortId};
 
@@ -87,6 +88,14 @@ pub fn equiv_stream(
 /// reset values that flush through feed-forward logic within a few
 /// cycles.
 ///
+/// Runs on the bit-parallel packed kernel: every cycle streams **64**
+/// independent random vectors (lane 0 drawn from `seed`'s historical
+/// stream, the others from [`lane_seeds`]) through both designs at once,
+/// so one call now covers 64× the stimulus of the old scalar pass for
+/// roughly the scalar cost. `cycles` in the report stays the per-lane
+/// cycle count; a mismatch reports the earliest cycle, then the first
+/// port in name order, then the lowest diverging lane.
+///
 /// # Errors
 ///
 /// Same as [`equiv_stream`].
@@ -111,14 +120,21 @@ pub fn equiv_stream_warmup(
         return Err(Error::PortMismatch("output ports differ".into()));
     }
 
-    let mut gsim = Simulator::new(golden)?;
-    let mut dsim = Simulator::new(dut)?;
+    let mut gsim = PackedSim::new(golden, LANES)?;
+    let mut dsim = PackedSim::new(dut, LANES)?;
     gsim.reset_zero();
     dsim.reset_zero();
-    let mut stream = Stream::new(seed);
+    let mut streams: Vec<Stream> = lane_seeds(seed, LANES)
+        .into_iter()
+        .map(Stream::new)
+        .collect();
     for cycle in 0..cycles {
         for (&gp, &dp) in g_in.iter().zip(&d_in) {
-            let v = Logic::from_bool(stream.next_bit());
+            let mut bits = 0u64;
+            for (l, s) in streams.iter_mut().enumerate() {
+                bits |= u64::from(s.next_bit()) << l;
+            }
+            let v = PackedLogic::from_bits(bits);
             gsim.set_input(gp, v);
             dsim.set_input(dp, v);
         }
@@ -129,14 +145,16 @@ pub fn equiv_stream_warmup(
         }
         for (&gp, &dp) in g_out.iter().zip(&d_out) {
             let (e, a) = (gsim.output(gp), dsim.output(dp));
-            if e != a {
+            let diff = !e.eq_lanes(a);
+            if diff != 0 {
+                let lane = diff.trailing_zeros() as usize;
                 return Ok(EquivReport {
                     cycles: cycle + 1,
                     mismatch: Some(Mismatch {
                         cycle,
                         port: golden.port(gp).name.clone(),
-                        expected: e,
-                        actual: a,
+                        expected: e.get(lane),
+                        actual: a.get(lane),
                     }),
                 });
             }

@@ -14,6 +14,9 @@ pub enum Error {
     Netlist(triphase_netlist::Error),
     /// Equivalence streaming: the two designs' data ports differ.
     PortMismatch(String),
+    /// Toggle rates requested from an [`Activity`](crate::Activity) with
+    /// zero simulated cycles (the rate would be 0/0).
+    NoCycles,
 }
 
 impl fmt::Display for Error {
@@ -22,6 +25,7 @@ impl fmt::Display for Error {
             Error::NoClock => write!(f, "netlist has no clock specification"),
             Error::Netlist(e) => write!(f, "netlist error: {e}"),
             Error::PortMismatch(msg) => write!(f, "port mismatch: {msg}"),
+            Error::NoCycles => write!(f, "activity has zero simulated cycles"),
         }
     }
 }

@@ -38,6 +38,7 @@
 mod equiv;
 mod error;
 mod logic;
+mod packed;
 mod sim;
 mod vcd;
 
@@ -47,5 +48,8 @@ pub use equiv::{
 };
 pub use error::{Error, Result};
 pub use logic::{eval_kind, Logic};
+pub use packed::{
+    collect_activity_packed, lane_seeds, run_random_packed, PackedLogic, PackedSim, LANES,
+};
 pub use sim::{Activity, Simulator};
 pub use vcd::VcdWriter;

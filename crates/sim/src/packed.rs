@@ -1,0 +1,926 @@
+//! Bit-parallel (64-lane) simulation kernel.
+//!
+//! Classic word-level gate simulation: 64 independent stimulus vectors are
+//! packed into one machine word per net, so a gate evaluation becomes a
+//! handful of bitwise ops instead of 64 match statements. Three-valued
+//! logic uses a **two-plane encoding** per lane:
+//!
+//! | value | `hi` bit | `lo` bit |
+//! |-------|----------|----------|
+//! | 0     | 0        | 1        |
+//! | 1     | 1        | 0        |
+//! | X     | 1        | 1        |
+//!
+//! (`hi=lo=0` never occurs.) A lane is *known* iff `hi ^ lo`. NOT swaps
+//! the planes; AND/OR/XOR/MUX reduce to the plane formulas in
+//! [`PackedLogic`], each provably equal to [`Logic`]'s 3-valued tables —
+//! see the exhaustive cross-check in this module's tests.
+//!
+//! [`PackedSim`] is compiled once from a netlist: the combinational fabric
+//! is levelized into a flat op list (same topological order as the scalar
+//! [`Simulator`]), the clock network and storage cells into dedicated op
+//! lists. Every control-flow decision the scalar simulator makes per value
+//! (settle fixpoint, clock-event rounds, FF capture) is taken here on the
+//! *union* of lanes; because all per-lane updates are idempotent once a
+//! lane has settled, lane `l` of a packed run follows exactly the same
+//! trajectory as a scalar run with lane `l`'s stimulus. That makes the
+//! kernel bit-exact with [`Simulator`] per lane — values *and* toggle
+//! counts (for a single active lane the [`Activity`] is identical; for 64
+//! lanes, toggles sum over lanes and `cycles` scales by the lane count, so
+//! toggle *rates* are the per-lane average).
+//!
+//! [`Simulator`]: crate::Simulator
+
+use std::ops::Not;
+
+use crate::error::{Error, Result};
+use crate::logic::Logic;
+use crate::sim::{clock_network_order, Activity, MAX_SETTLE_PASSES};
+use triphase_cells::CellKind;
+use triphase_netlist::rng::SplitMix64;
+use triphase_netlist::{graph, Netlist, PortDir, PortId};
+
+/// Number of stimulus lanes in one packed word.
+pub const LANES: usize = 64;
+
+/// 64 lanes of 3-valued logic in two bit-planes (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PackedLogic {
+    /// Plane set for 1 and X.
+    pub hi: u64,
+    /// Plane set for 0 and X.
+    pub lo: u64,
+}
+
+impl PackedLogic {
+    /// All lanes 0.
+    pub const ZERO: PackedLogic = PackedLogic { hi: 0, lo: !0 };
+    /// All lanes 1.
+    pub const ONE: PackedLogic = PackedLogic { hi: !0, lo: 0 };
+    /// All lanes X.
+    pub const X: PackedLogic = PackedLogic { hi: !0, lo: !0 };
+
+    /// Same value in every lane.
+    pub fn splat(v: Logic) -> PackedLogic {
+        match v {
+            Logic::Zero => PackedLogic::ZERO,
+            Logic::One => PackedLogic::ONE,
+            Logic::X => PackedLogic::X,
+        }
+    }
+
+    /// Known (non-X) values from a bit vector: lane `l` = bit `l`.
+    pub fn from_bits(bits: u64) -> PackedLogic {
+        PackedLogic {
+            hi: bits,
+            lo: !bits,
+        }
+    }
+
+    /// Value in lane `l`.
+    pub fn get(self, lane: usize) -> Logic {
+        match ((self.hi >> lane) & 1, (self.lo >> lane) & 1) {
+            (0, _) => Logic::Zero,
+            (1, 0) => Logic::One,
+            _ => Logic::X,
+        }
+    }
+
+    /// Lanes holding a known value.
+    pub fn known(self) -> u64 {
+        self.hi ^ self.lo
+    }
+
+    /// Lanes holding exactly 1.
+    pub fn is_one(self) -> u64 {
+        self.hi & !self.lo
+    }
+
+    /// Lanes holding exactly 0.
+    pub fn is_zero(self) -> u64 {
+        self.lo & !self.hi
+    }
+
+    /// Lanes holding X.
+    pub fn is_x(self) -> u64 {
+        self.hi & self.lo
+    }
+
+    /// Lanes where `self` and `other` hold the same 3-valued value
+    /// (X == X, matching `Logic`'s `Eq`).
+    pub fn eq_lanes(self, other: PackedLogic) -> u64 {
+        !(self.hi ^ other.hi) & !(self.lo ^ other.lo)
+    }
+
+    /// Lane-wise 3-valued AND.
+    pub fn and(self, b: PackedLogic) -> PackedLogic {
+        PackedLogic {
+            hi: self.hi & b.hi,
+            lo: self.lo | b.lo,
+        }
+    }
+
+    /// Lane-wise 3-valued OR.
+    pub fn or(self, b: PackedLogic) -> PackedLogic {
+        PackedLogic {
+            hi: self.hi | b.hi,
+            lo: self.lo & b.lo,
+        }
+    }
+
+    /// Lane-wise 3-valued XOR.
+    pub fn xor(self, b: PackedLogic) -> PackedLogic {
+        PackedLogic {
+            hi: (self.hi & b.lo) | (self.lo & b.hi),
+            lo: (self.hi & b.hi) | (self.lo & b.lo),
+        }
+    }
+
+    /// Lane-wise 2:1 mux with `self` as select (0 → `d0`, 1 → `d1`,
+    /// X → `d0` if it equals `d1`, else X) — matches scalar `Mux2`.
+    pub fn mux(self, d0: PackedLogic, d1: PackedLogic) -> PackedLogic {
+        PackedLogic {
+            hi: (self.hi & d1.hi) | (self.lo & d0.hi),
+            lo: (self.hi & d1.lo) | (self.lo & d0.lo),
+        }
+    }
+
+    /// Per-lane select: lanes in `mask` take `a`, the rest take `b`.
+    pub fn merge(mask: u64, a: PackedLogic, b: PackedLogic) -> PackedLogic {
+        PackedLogic {
+            hi: (a.hi & mask) | (b.hi & !mask),
+            lo: (a.lo & mask) | (b.lo & !mask),
+        }
+    }
+}
+
+/// Lane-wise 3-valued NOT: swap the planes (X stays X).
+impl std::ops::Not for PackedLogic {
+    type Output = PackedLogic;
+
+    fn not(self) -> PackedLogic {
+        PackedLogic {
+            hi: self.lo,
+            lo: self.hi,
+        }
+    }
+}
+
+/// One compiled combinational cell: `kind` over `inputs[in_start..in_start
+/// + in_count]` (indices into the flat input arena) driving net `out`.
+#[derive(Debug, Clone, Copy)]
+struct Op {
+    kind: OpKind,
+    out: u32,
+    in_start: u32,
+    in_count: u32,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OpKind {
+    Const0,
+    Const1,
+    Buf,
+    Inv,
+    And,
+    Or,
+    Nand,
+    Nor,
+    Xor,
+    Xnor,
+    Mux2,
+}
+
+/// Compiled clock-network cell (dependency order preserved).
+#[derive(Debug, Clone, Copy)]
+enum ClockOp {
+    Buf {
+        inp: u32,
+        out: u32,
+    },
+    Icg {
+        en: u32,
+        ck: u32,
+        out: u32,
+        cell: u32,
+    },
+    IcgM1 {
+        en: u32,
+        p3: u32,
+        ck: u32,
+        out: u32,
+        cell: u32,
+    },
+    IcgM2 {
+        en: u32,
+        ck: u32,
+        out: u32,
+    },
+}
+
+/// Compiled storage cell. `ck` is the clocking net (CK for FFs, G for
+/// latches) — also what the event loop snapshots for edge detection.
+#[derive(Debug, Clone, Copy)]
+struct StorageOp {
+    kind: StorageKind,
+    d: u32,
+    ck: u32,
+    q: u32,
+    /// Enable net for `DffEn`; unused otherwise.
+    en: u32,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StorageKind {
+    Dff,
+    DffEn,
+    LatchH,
+    LatchL,
+}
+
+/// Bit-parallel twin of the scalar [`Simulator`](crate::Simulator):
+/// simulates up to [`LANES`] independent stimulus lanes per step.
+#[derive(Debug)]
+pub struct PackedSim<'a> {
+    nl: &'a Netlist,
+    ops: Vec<Op>,
+    op_inputs: Vec<u32>,
+    clock_ops: Vec<ClockOp>,
+    storage: Vec<StorageOp>,
+    icg_state: Vec<PackedLogic>,
+    values: Vec<PackedLogic>,
+    pending_inputs: Vec<(u32, PackedLogic)>,
+    net_toggles: Vec<u64>,
+    /// Cycles stepped per lane since reset.
+    per_lane_cycles: u64,
+    /// Clock-edge times within one cycle (ps, ascending).
+    events: Vec<f64>,
+    clock_ports: Vec<(u32, usize)>,
+    lanes: usize,
+    lane_mask: u64,
+}
+
+impl<'a> PackedSim<'a> {
+    /// Compile a packed simulator with `lanes` active lanes (1..=64).
+    /// All state starts at X.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::NoClock`] without a clock spec; [`Error::Netlist`] on
+    /// combinational loops or a lane count outside 1..=64.
+    pub fn new(nl: &'a Netlist, lanes: usize) -> Result<PackedSim<'a>> {
+        if lanes == 0 || lanes > LANES {
+            return Err(Error::Netlist(triphase_netlist::Error::Invalid(format!(
+                "packed lane count {lanes} outside 1..={LANES}"
+            ))));
+        }
+        let clock = nl.clock.as_ref().ok_or(Error::NoClock)?;
+        let idx = nl.index();
+        let comb_order = graph::comb_topo_order(nl, &idx).map_err(Error::Netlist)?;
+        let clock_order = clock_network_order(nl, &idx)?;
+
+        let mut ops = Vec::with_capacity(comb_order.len());
+        let mut op_inputs: Vec<u32> = Vec::new();
+        for &c in &comb_order {
+            let cell = nl.cell(c);
+            let kind = match cell.kind {
+                CellKind::Const0 => OpKind::Const0,
+                CellKind::Const1 => OpKind::Const1,
+                CellKind::Buf | CellKind::ClkBuf => OpKind::Buf,
+                CellKind::Inv => OpKind::Inv,
+                CellKind::And(_) => OpKind::And,
+                CellKind::Or(_) => OpKind::Or,
+                CellKind::Nand(_) => OpKind::Nand,
+                CellKind::Nor(_) => OpKind::Nor,
+                CellKind::Xor(_) => OpKind::Xor,
+                CellKind::Xnor(_) => OpKind::Xnor,
+                CellKind::Mux2 => OpKind::Mux2,
+                k => unreachable!("non-comb kind {k:?} in comb order"),
+            };
+            let in_start = op_inputs.len() as u32;
+            op_inputs.extend(cell.inputs().iter().map(|n| n.index() as u32));
+            ops.push(Op {
+                kind,
+                out: cell.output().index() as u32,
+                in_start,
+                in_count: (op_inputs.len() as u32) - in_start,
+            });
+        }
+
+        let clock_ops = clock_order
+            .iter()
+            .map(|&c| {
+                let cell = nl.cell(c);
+                let out = cell.output().index() as u32;
+                let pin = |i: usize| cell.pin(i).index() as u32;
+                match cell.kind {
+                    CellKind::ClkBuf | CellKind::Buf => ClockOp::Buf { inp: pin(0), out },
+                    CellKind::Icg => ClockOp::Icg {
+                        en: pin(0),
+                        ck: pin(1),
+                        out,
+                        cell: c.index() as u32,
+                    },
+                    CellKind::IcgM1 => ClockOp::IcgM1 {
+                        en: pin(0),
+                        p3: pin(1),
+                        ck: pin(2),
+                        out,
+                        cell: c.index() as u32,
+                    },
+                    CellKind::IcgM2 => ClockOp::IcgM2 {
+                        en: pin(0),
+                        ck: pin(1),
+                        out,
+                    },
+                    k => unreachable!("non-clock kind {k:?} in clock order"),
+                }
+            })
+            .collect();
+
+        let storage = nl
+            .cells()
+            .filter(|(_, c)| c.kind.is_storage())
+            .map(|(_, cell)| {
+                let pin = |i: usize| cell.pin(i).index() as u32;
+                let ck = pin(cell.kind.clock_pin().expect("storage has clock pin"));
+                let (kind, d, en) = match cell.kind {
+                    CellKind::Dff => (StorageKind::Dff, pin(0), 0),
+                    CellKind::DffEn => (StorageKind::DffEn, pin(0), pin(1)),
+                    CellKind::LatchH => (StorageKind::LatchH, pin(0), 0),
+                    CellKind::LatchL => (StorageKind::LatchL, pin(0), 0),
+                    k => unreachable!("non-storage kind {k:?}"),
+                };
+                StorageOp {
+                    kind,
+                    d,
+                    ck,
+                    q: cell.output().index() as u32,
+                    en,
+                }
+            })
+            .collect();
+
+        // Distinct edge times within the cycle, ascending (as scalar).
+        let mut times: Vec<f64> = Vec::new();
+        for p in &clock.phases {
+            for t in [
+                p.rise_ps.rem_euclid(clock.period_ps),
+                p.fall_ps.rem_euclid(clock.period_ps),
+            ] {
+                if !times.iter().any(|&x| (x - t).abs() < 1e-9) {
+                    times.push(t);
+                }
+            }
+        }
+        times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+
+        let clock_ports = clock
+            .phases
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (nl.port(p.port).net.index() as u32, i))
+            .collect();
+
+        Ok(PackedSim {
+            nl,
+            ops,
+            op_inputs,
+            clock_ops,
+            storage,
+            icg_state: vec![PackedLogic::X; nl.cell_capacity()],
+            values: vec![PackedLogic::X; nl.net_capacity()],
+            pending_inputs: Vec::new(),
+            net_toggles: vec![0; nl.net_capacity()],
+            per_lane_cycles: 0,
+            events: times,
+            clock_ports,
+            lanes,
+            lane_mask: if lanes == LANES {
+                !0
+            } else {
+                (1u64 << lanes) - 1
+            },
+        })
+    }
+
+    /// Active lane count.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Cycles stepped per lane since the last reset.
+    pub fn per_lane_cycles(&self) -> u64 {
+        self.per_lane_cycles
+    }
+
+    /// Reset every lane to the all-zero state with clocks at end-of-cycle
+    /// levels and ICG enable latches loaded from the settled reset state —
+    /// the exact packed twin of the scalar `reset_zero` (see its docs for
+    /// the rationale).
+    pub fn reset_zero(&mut self) {
+        self.values.fill(PackedLogic::ZERO);
+        self.icg_state.fill(PackedLogic::ZERO);
+        self.net_toggles.fill(0);
+        self.per_lane_cycles = 0;
+        self.pending_inputs.clear();
+        let period = self.nl.clock.as_ref().expect("checked in new").period_ps;
+        for i in 0..self.clock_ports.len() {
+            let (net, phase) = self.clock_ports[i];
+            // Direct write (no toggle count), matching scalar reset.
+            self.values[net as usize] = PackedLogic::splat(self.clock_level(phase, period - 1e-6));
+        }
+        self.eval_clock_network();
+        self.settle_data();
+        for op in &self.clock_ops {
+            match *op {
+                ClockOp::Icg { en, cell, .. } | ClockOp::IcgM1 { en, cell, .. } => {
+                    self.icg_state[cell as usize] = self.values[en as usize];
+                }
+                ClockOp::Buf { .. } | ClockOp::IcgM2 { .. } => {}
+            }
+        }
+        self.eval_clock_network();
+        self.settle_data();
+    }
+
+    /// Queue a packed input value; applied at the start of the next cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `port` is not an input port.
+    pub fn set_input(&mut self, port: PortId, value: PackedLogic) {
+        let p = self.nl.port(port);
+        assert_eq!(p.dir, PortDir::Input, "set_input on non-input");
+        self.pending_inputs.push((p.net.index() as u32, value));
+    }
+
+    /// Current packed value seen by an output port.
+    pub fn output(&self, port: PortId) -> PackedLogic {
+        self.values[self.nl.port(port).net.index()]
+    }
+
+    /// Current packed value of a net.
+    pub fn net_value(&self, net: triphase_netlist::NetId) -> PackedLogic {
+        self.values[net.index()]
+    }
+
+    /// Switching activity accumulated so far: toggles are summed over
+    /// active lanes and `cycles` is `per-lane cycles × lanes`, so
+    /// [`Activity::toggle_rate`] yields the per-lane average. With one
+    /// active lane this is bit-identical to the scalar simulator's
+    /// activity for the same stimulus.
+    pub fn activity(&self) -> Activity {
+        Activity {
+            cycles: self.per_lane_cycles * self.lanes as u64,
+            net_toggles: self.net_toggles.clone(),
+        }
+    }
+
+    /// Advance one full clock cycle for every lane (same input convention
+    /// as the scalar simulator: pending inputs land just after the first
+    /// clock event).
+    pub fn step_cycle(&mut self) {
+        self.settle_data();
+        for i in 0..self.events.len() {
+            let t = self.events[i];
+            self.process_clock_event(t);
+            if i == 0 {
+                let pending = std::mem::take(&mut self.pending_inputs);
+                for (net, v) in pending {
+                    self.set_net(net, v);
+                }
+                self.settle_data();
+            }
+        }
+        self.per_lane_cycles += 1;
+    }
+
+    fn clock_level(&self, phase: usize, t: f64) -> Logic {
+        let clock = self.nl.clock.as_ref().expect("checked in new");
+        let p = &clock.phases[phase];
+        let period = clock.period_ps;
+        let (r, f) = (p.rise_ps.rem_euclid(period), p.fall_ps.rem_euclid(period));
+        let high = if r < f {
+            t >= r - 1e-9 && t < f - 1e-9
+        } else {
+            t >= r - 1e-9 || t < f - 1e-9
+        };
+        Logic::from_bool(high)
+    }
+
+    #[inline]
+    fn set_net(&mut self, net: u32, val: PackedLogic) {
+        let old = self.values[net as usize];
+        // A lane toggles when both old and new are known and differ —
+        // for known lanes the value is the `hi` bit.
+        let toggled = old.known() & val.known() & (old.hi ^ val.hi) & self.lane_mask;
+        self.net_toggles[net as usize] += u64::from(toggled.count_ones());
+        self.values[net as usize] = val;
+    }
+
+    fn process_clock_event(&mut self, t: f64) {
+        // Up to a few rounds in case a gated clock rises as a result of
+        // data settling, exactly as the scalar event loop. Extra rounds
+        // are identities on lanes that already settled.
+        for _ in 0..4 {
+            let before_ck: Vec<PackedLogic> = self
+                .storage
+                .iter()
+                .map(|s| self.values[s.ck as usize])
+                .collect();
+
+            for i in 0..self.clock_ports.len() {
+                let (net, phase) = self.clock_ports[i];
+                let v = PackedLogic::splat(self.clock_level(phase, t));
+                self.set_net(net, v);
+            }
+            self.eval_clock_network();
+
+            // Capture: FF lanes whose clock rose latch pre-edge data.
+            // Updates are batched (reads see pre-update values).
+            let mut updates: Vec<(u32, PackedLogic)> = Vec::new();
+            for (si, s) in self.storage.iter().enumerate() {
+                if !matches!(s.kind, StorageKind::Dff | StorageKind::DffEn) {
+                    continue;
+                }
+                let ck = self.values[s.ck as usize];
+                let rose = !before_ck[si].is_one() & ck.is_one();
+                if rose == 0 {
+                    continue;
+                }
+                let d = self.values[s.d as usize];
+                let q = self.values[s.q as usize];
+                let next = match s.kind {
+                    StorageKind::Dff => d,
+                    StorageKind::DffEn => {
+                        let en = self.values[s.en as usize];
+                        // EN=1 → d; EN=0 → q; EN=X → d if d == q else X.
+                        let take_d = en.is_one() | (en.is_x() & d.eq_lanes(q));
+                        let go_x = en.is_x() & !d.eq_lanes(q);
+                        PackedLogic::merge(take_d, d, PackedLogic::merge(go_x, PackedLogic::X, q))
+                    }
+                    _ => unreachable!(),
+                };
+                updates.push((s.q, PackedLogic::merge(rose, next, q)));
+            }
+            for (net, v) in updates {
+                self.set_net(net, v);
+            }
+            if !self.settle_data() {
+                break;
+            }
+        }
+    }
+
+    fn eval_clock_network(&mut self) {
+        let ops = std::mem::take(&mut self.clock_ops);
+        for op in &ops {
+            match *op {
+                ClockOp::Buf { inp, out } => {
+                    let v = self.values[inp as usize];
+                    self.set_net(out, v);
+                }
+                ClockOp::Icg { en, ck, out, cell } => {
+                    let en = self.values[en as usize];
+                    let ck = self.values[ck as usize];
+                    // Enable latch transparent in lanes where CK != 1.
+                    let state = PackedLogic::merge(!ck.is_one(), en, self.icg_state[cell as usize]);
+                    self.icg_state[cell as usize] = state;
+                    self.set_net(out, ck.and(state));
+                }
+                ClockOp::IcgM1 {
+                    en,
+                    p3,
+                    ck,
+                    out,
+                    cell,
+                } => {
+                    let en = self.values[en as usize];
+                    let p3 = self.values[p3 as usize];
+                    let ck = self.values[ck as usize];
+                    let state = PackedLogic::merge(p3.is_one(), en, self.icg_state[cell as usize]);
+                    self.icg_state[cell as usize] = state;
+                    self.set_net(out, ck.and(state));
+                }
+                ClockOp::IcgM2 { en, ck, out } => {
+                    let v = self.values[ck as usize].and(self.values[en as usize]);
+                    self.set_net(out, v);
+                }
+            }
+        }
+        self.clock_ops = ops;
+    }
+
+    fn eval_op(&self, op: Op) -> PackedLogic {
+        let ins = &self.op_inputs[op.in_start as usize..(op.in_start + op.in_count) as usize];
+        let v = |i: usize| self.values[ins[i] as usize];
+        match op.kind {
+            OpKind::Const0 => PackedLogic::ZERO,
+            OpKind::Const1 => PackedLogic::ONE,
+            OpKind::Buf => v(0),
+            OpKind::Inv => v(0).not(),
+            OpKind::And => (1..ins.len()).fold(v(0), |a, i| a.and(v(i))),
+            OpKind::Or => (1..ins.len()).fold(v(0), |a, i| a.or(v(i))),
+            OpKind::Nand => (1..ins.len()).fold(v(0), |a, i| a.and(v(i))).not(),
+            OpKind::Nor => (1..ins.len()).fold(v(0), |a, i| a.or(v(i))).not(),
+            OpKind::Xor => (1..ins.len()).fold(v(0), |a, i| a.xor(v(i))),
+            OpKind::Xnor => (1..ins.len()).fold(v(0), |a, i| a.xor(v(i))).not(),
+            OpKind::Mux2 => v(2).mux(v(0), v(1)),
+        }
+    }
+
+    /// Settle combinational logic, transparent latches, and clock-gate
+    /// outputs to a fixpoint over all lanes. Returns `true` if any storage
+    /// clock net changed in any lane (mid-step gated-clock event).
+    fn settle_data(&mut self) -> bool {
+        let mut clock_changed = false;
+        for _pass in 0..MAX_SETTLE_PASSES {
+            let mut changed = false;
+            let ops = std::mem::take(&mut self.ops);
+            for &op in &ops {
+                let v = self.eval_op(op);
+                if self.values[op.out as usize] != v {
+                    changed = true;
+                    self.set_net(op.out, v);
+                }
+            }
+            self.ops = ops;
+
+            let clk_snapshot: Vec<PackedLogic> = self
+                .storage
+                .iter()
+                .map(|s| self.values[s.ck as usize])
+                .collect();
+            self.eval_clock_network();
+            for (si, s) in self.storage.iter().enumerate() {
+                if clk_snapshot[si] != self.values[s.ck as usize] {
+                    clock_changed = true;
+                    changed = true;
+                }
+            }
+
+            let storage = std::mem::take(&mut self.storage);
+            for s in &storage {
+                let (transparent_of, is_latch) = match s.kind {
+                    StorageKind::LatchH => (true, true),
+                    StorageKind::LatchL => (false, true),
+                    _ => (false, false),
+                };
+                if !is_latch {
+                    continue;
+                }
+                let g = self.values[s.ck as usize];
+                let transparent = if transparent_of {
+                    g.is_one()
+                } else {
+                    g.is_zero()
+                };
+                let unknown_gate = g.is_x();
+                let d = self.values[s.d as usize];
+                let q = self.values[s.q as usize];
+                // transparent → d; X gate with d != q → X; else hold q.
+                let go_x = unknown_gate & !d.eq_lanes(q);
+                let next =
+                    PackedLogic::merge(transparent, d, PackedLogic::merge(go_x, PackedLogic::X, q));
+                if next != q {
+                    changed = true;
+                    self.set_net(s.q, next);
+                }
+            }
+            self.storage = storage;
+            if !changed {
+                return clock_changed;
+            }
+        }
+        clock_changed
+    }
+}
+
+/// Per-lane stream seeds: lane 0 keeps `seed` verbatim (so lane 0
+/// reproduces the historical single-stream run exactly); lane `l > 0`
+/// draws an independent seed from `splitmix64(seed + l)`.
+pub fn lane_seeds(seed: u64, lanes: usize) -> Vec<u64> {
+    (0..lanes)
+        .map(|l| {
+            if l == 0 {
+                seed
+            } else {
+                SplitMix64::new(seed.wrapping_add(l as u64)).next_u64()
+            }
+        })
+        .collect()
+}
+
+/// Packed twin of [`run_random`](crate::run_random): drive `lanes`
+/// independent pseudo-random streams for `cycles` cycles each. Lane `l`'s
+/// stimulus equals a scalar `run_random` with seed `lane_seeds(seed,
+/// lanes)[l]` (same per-port draw order).
+///
+/// # Errors
+///
+/// Simulator construction errors.
+pub fn run_random_packed(
+    nl: &Netlist,
+    seed: u64,
+    cycles: u64,
+    lanes: usize,
+) -> Result<PackedSim<'_>> {
+    let inputs = crate::equiv::data_inputs(nl);
+    let mut sim = PackedSim::new(nl, lanes)?;
+    sim.reset_zero();
+    let mut streams: Vec<SplitMix64> = lane_seeds(seed, lanes)
+        .into_iter()
+        .map(SplitMix64::new)
+        .collect();
+    for _ in 0..cycles {
+        for &p in &inputs {
+            let mut bits = 0u64;
+            for (l, s) in streams.iter_mut().enumerate() {
+                bits |= u64::from(s.next_bit()) << l;
+            }
+            sim.set_input(p, PackedLogic::from_bits(bits));
+        }
+        sim.step_cycle();
+    }
+    Ok(sim)
+}
+
+/// Gather switching activity with the packed kernel: splits `cycles`
+/// total simulated cycles across up to 64 lanes (per-lane cycle count
+/// rounded up, so at least `cycles` are simulated). The drop-in fast
+/// replacement for scalar `run_random(..).activity()` in the power flow.
+///
+/// # Errors
+///
+/// Simulator construction errors.
+pub fn collect_activity_packed(nl: &Netlist, seed: u64, cycles: u64) -> Result<Activity> {
+    let lanes = cycles.clamp(1, LANES as u64) as usize;
+    let per_lane = cycles.div_ceil(lanes as u64);
+    Ok(run_random_packed(nl, seed, per_lane, lanes)?.activity())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::equiv::run_random;
+    use crate::sim::Simulator;
+    use triphase_cells::CellKind;
+    use triphase_netlist::{Builder, ClockSpec, Word};
+
+    const ALL: [Logic; 3] = [Logic::Zero, Logic::One, Logic::X];
+
+    /// `v` in lane 0, X everywhere else.
+    fn lane0(v: Logic) -> PackedLogic {
+        PackedLogic::merge(1, PackedLogic::splat(v), PackedLogic::X)
+    }
+
+    #[test]
+    fn plane_ops_match_scalar_tables() {
+        for a in ALL {
+            assert_eq!(lane0(a).not().get(0), a.not(), "not {a}");
+            for b in ALL {
+                assert_eq!(lane0(a).and(lane0(b)).get(0), a.and(b), "{a} and {b}");
+                assert_eq!(lane0(a).or(lane0(b)).get(0), a.or(b), "{a} or {b}");
+                assert_eq!(lane0(a).xor(lane0(b)).get(0), a.xor(b), "{a} xor {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn mux_matches_scalar_semantics() {
+        use crate::logic::eval_kind;
+        for s in ALL {
+            for d0 in ALL {
+                for d1 in ALL {
+                    let want = eval_kind(CellKind::Mux2, &[d0, d1, s]);
+                    let got = lane0(s).mux(lane0(d0), lane0(d1)).get(0);
+                    assert_eq!(got, want, "mux s={s} d0={d0} d1={d1}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn eq_lanes_treats_x_as_equal() {
+        for a in ALL {
+            for b in ALL {
+                let eq = lane0(a).eq_lanes(lane0(b)) & 1;
+                assert_eq!(eq == 1, a == b, "{a} eq {b}");
+            }
+        }
+    }
+
+    /// 3-bit counter (same as the scalar sim tests).
+    fn counter() -> triphase_netlist::Netlist {
+        let mut nl = triphase_netlist::Netlist::new("cnt");
+        let mut b = Builder::new(&mut nl, "u");
+        let (ckp, ck) = b.netlist().add_input("ck");
+        let q0 = b.net("q0");
+        let q1 = b.net("q1");
+        let q2 = b.net("q2");
+        let one = b.const1();
+        let q = Word(vec![q0, q1, q2]);
+        let one_w = Word(vec![one, b.const0(), b.const0()]);
+        let (next, _) = b.add(&q, &one_w, None);
+        for (i, (&qn, d)) in [q0, q1, q2].iter().zip(next.bits()).enumerate() {
+            let name = format!("ff{i}");
+            b.netlist().add_cell(name, CellKind::Dff, vec![*d, ck, qn]);
+        }
+        b.word_output("q", &q);
+        nl.clock = Some(ClockSpec::single(ckp, 1000.0));
+        nl
+    }
+
+    #[test]
+    fn packed_counter_counts_in_every_lane() {
+        let nl = counter();
+        let mut sim = PackedSim::new(&nl, 64).unwrap();
+        sim.reset_zero();
+        for expect in 1..=10u32 {
+            sim.step_cycle();
+            for lane in [0usize, 1, 31, 63] {
+                let got: u32 = (0..3)
+                    .map(|i| {
+                        let p = nl.find_port(&format!("q_{i}")).unwrap();
+                        match sim.output(p).get(lane) {
+                            Logic::One => 1 << i,
+                            _ => 0,
+                        }
+                    })
+                    .sum();
+                assert_eq!(got, expect % 8, "cycle {expect} lane {lane}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_lane_activity_identical_to_scalar() {
+        let nl = counter();
+        let scalar = {
+            let mut sim = Simulator::new(&nl).unwrap();
+            sim.reset_zero();
+            for _ in 0..8 {
+                sim.step_cycle();
+            }
+            sim.activity().clone()
+        };
+        let packed = {
+            let mut sim = PackedSim::new(&nl, 1).unwrap();
+            sim.reset_zero();
+            for _ in 0..8 {
+                sim.step_cycle();
+            }
+            sim.activity()
+        };
+        assert_eq!(packed.cycles, scalar.cycles);
+        assert_eq!(packed.net_toggles, scalar.net_toggles);
+    }
+
+    #[test]
+    fn packed_lane_matches_scalar_run_random() {
+        // A small mixed design: FF pipeline with an inverter.
+        let mut nl = triphase_netlist::Netlist::new("ff");
+        let mut b = Builder::new(&mut nl, "u");
+        let (ckp, ck) = b.netlist().add_input("ck");
+        let (_, din) = b.netlist().add_input("din");
+        let q0 = b.dff(din, ck);
+        let x = b.not(q0);
+        let q1 = b.dff(x, ck);
+        b.netlist().add_output("dout", q1);
+        nl.clock = Some(ClockSpec::single(ckp, 1000.0));
+
+        let seed = 42;
+        let lanes = 8;
+        let cycles = 40;
+        let packed = run_random_packed(&nl, seed, cycles, lanes).unwrap();
+        let dout = nl.find_port("dout").unwrap();
+        for (l, &ls) in lane_seeds(seed, lanes).iter().enumerate() {
+            let scalar = run_random(&nl, ls, cycles).unwrap();
+            assert_eq!(
+                packed.output(dout).get(l),
+                scalar.output(dout),
+                "lane {l} final output"
+            );
+        }
+    }
+
+    #[test]
+    fn packed_activity_cycles_scale_with_lanes() {
+        let nl = counter();
+        let act = collect_activity_packed(&nl, 7, 640).unwrap();
+        assert_eq!(act.cycles, 640);
+        let ck = nl.find_port("ck").unwrap();
+        let ck_net = nl.port(ck).net;
+        // The clock toggles twice per cycle in every lane.
+        assert_eq!(act.net_toggles[ck_net.index()], 2 * 640);
+    }
+
+    #[test]
+    fn lane_count_validated() {
+        let nl = counter();
+        assert!(PackedSim::new(&nl, 0).is_err());
+        assert!(PackedSim::new(&nl, 65).is_err());
+        assert!(PackedSim::new(&nl, 64).is_ok());
+    }
+}

@@ -25,11 +25,17 @@ pub struct Activity {
 
 impl Activity {
     /// Average toggles per cycle of `net`.
-    pub fn toggle_rate(&self, net: NetId) -> f64 {
+    ///
+    /// # Errors
+    ///
+    /// [`Error::NoCycles`] if no cycles were simulated — reachable e.g.
+    /// when a packed activity collection is asked for zero cycles; a
+    /// silent `0.0` (or NaN) here would corrupt downstream power numbers.
+    pub fn toggle_rate(&self, net: NetId) -> Result<f64> {
         if self.cycles == 0 {
-            0.0
+            Err(Error::NoCycles)
         } else {
-            self.net_toggles[net.index()] as f64 / self.cycles as f64
+            Ok(self.net_toggles[net.index()] as f64 / self.cycles as f64)
         }
     }
 }
@@ -57,7 +63,7 @@ pub struct Simulator<'a> {
     cycles: u64,
 }
 
-const MAX_SETTLE_PASSES: usize = 64;
+pub(crate) const MAX_SETTLE_PASSES: usize = 64;
 
 impl<'a> Simulator<'a> {
     /// Build a simulator; all state starts at `X`.
@@ -441,7 +447,9 @@ impl<'a> Simulator<'a> {
 }
 
 /// Topological order of the clock network (buffers driving gates etc.).
-fn clock_network_order(nl: &Netlist, idx: &ConnIndex) -> Result<Vec<CellId>> {
+/// Shared with the packed kernel, whose compiled clock ops must follow
+/// the exact same dependency order.
+pub(crate) fn clock_network_order(nl: &Netlist, idx: &ConnIndex) -> Result<Vec<CellId>> {
     let is_clock_cell = |k: CellKind| k.is_clock_gate() || k == CellKind::ClkBuf;
     let mut order = Vec::new();
     let mut state: HashMap<CellId, u8> = HashMap::new(); // 1=visiting, 2=done
@@ -500,6 +508,23 @@ fn clock_network_order(nl: &Netlist, idx: &ConnIndex) -> Result<Vec<CellId>> {
 mod tests {
     use super::*;
     use triphase_netlist::{Builder, ClockSpec};
+
+    #[test]
+    fn zero_cycle_activity_is_a_typed_error() {
+        // Regression: an empty activity used to yield NaN/undefined
+        // toggle rates; it must surface as Error::NoCycles instead.
+        let act = Activity {
+            cycles: 0,
+            net_toggles: vec![5],
+        };
+        let net = triphase_netlist::NetId::from_index(0);
+        assert!(matches!(act.toggle_rate(net), Err(Error::NoCycles)));
+        let nonzero = Activity {
+            cycles: 10,
+            net_toggles: vec![5],
+        };
+        assert_eq!(nonzero.toggle_rate(net).unwrap(), 0.5);
+    }
 
     /// 3-bit counter with plain FFs.
     fn counter() -> Netlist {
@@ -561,7 +586,7 @@ mod tests {
         let q0 = nl.find_port("q_0").unwrap();
         let q0_net = nl.port(q0).net;
         assert_eq!(act.net_toggles[q0_net.index()], 8);
-        assert!((act.toggle_rate(q0_net) - 1.0).abs() < 1e-9);
+        assert!((act.toggle_rate(q0_net).unwrap() - 1.0).abs() < 1e-9);
         // The clock toggles twice per cycle.
         let ck = nl.find_port("ck").unwrap();
         let ck_net = nl.port(ck).net;
