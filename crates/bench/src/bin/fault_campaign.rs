@@ -1,0 +1,379 @@
+//! Fault-injection campaign: certifies that the flow degrades, never
+//! crashes.
+//!
+//! Sweeps a set of injected faults over the benchmark suite — ILP
+//! node/time-budget exhaustion, solver numeric instability, empty
+//! simulation activity, task panics inside the parallel variant
+//! evaluation, and adversarially malformed netlists — and certifies that
+//! every single run ends in either a **typed error** or a
+//! **degraded-but-valid result** (fallback rung recorded, equivalence
+//! still proven). A panic escaping the flow, a wrong success, or a solver
+//! blowing through its wall-clock deadline is a certification violation.
+//!
+//! Also certifies the deadline contract directly: a dense synthetic phase
+//! problem solved under a tight `time_limit` must return within the
+//! budget ±10%.
+//!
+//! Output: `results/BENCH_fault.json` (section per benchmark, scenario
+//! rows with outcome/detail/seconds). Exit codes: `0` = all certified,
+//! `1` = at least one violation, `2` = usage error.
+//!
+//! Usage: `fault_campaign [--quick]` — `--quick` sweeps a 3-benchmark
+//! subset (the CI `fault-smoke` job); the default sweeps all 18 rows.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::{Duration, Instant};
+use triphase_bench::json::Json;
+use triphase_bench::{benchmarks, Benchmark, Scale};
+use triphase_cells::Library;
+use triphase_core::{Error, FlowReport};
+use triphase_fault::{Fault, FaultPlan};
+use triphase_ilp::{PhaseConfig, PhaseProblem, SolveRung};
+
+/// One injected-fault scenario.
+#[derive(Clone, Copy)]
+enum Scenario {
+    /// No fault: the control row (must succeed with proven equivalence).
+    Baseline,
+    /// `max_nodes = 0`: the exact solver must degrade in place.
+    IlpNodeBudget,
+    /// `time_limit = 0`: the exact solver must degrade in place.
+    IlpTimeBudget,
+    /// Numeric fault in every solver rung that honors one: the chain
+    /// must fall back to the greedy rung.
+    IlpNumeric,
+    /// Zero-cycle activity: downstream consumers must fail typed.
+    SimEmpty,
+    /// Panic inside the 3-phase variant evaluation task.
+    TaskPanic,
+    /// Input netlist with its clock specification stripped.
+    NetlistNoClock,
+    /// Input netlist with a net deleted (dangling pins).
+    NetlistDangling,
+}
+
+const SCENARIOS: [Scenario; 8] = [
+    Scenario::Baseline,
+    Scenario::IlpNodeBudget,
+    Scenario::IlpTimeBudget,
+    Scenario::IlpNumeric,
+    Scenario::SimEmpty,
+    Scenario::TaskPanic,
+    Scenario::NetlistNoClock,
+    Scenario::NetlistDangling,
+];
+
+impl Scenario {
+    fn name(self) -> &'static str {
+        match self {
+            Scenario::Baseline => "baseline",
+            Scenario::IlpNodeBudget => "ilp-node-budget",
+            Scenario::IlpTimeBudget => "ilp-time-budget",
+            Scenario::IlpNumeric => "ilp-numeric",
+            Scenario::SimEmpty => "sim-empty",
+            Scenario::TaskPanic => "task-panic",
+            Scenario::NetlistNoClock => "netlist-no-clock",
+            Scenario::NetlistDangling => "netlist-dangling",
+        }
+    }
+}
+
+/// Outcome classification of one scenario run.
+struct RunOutcome {
+    outcome: &'static str,
+    detail: String,
+    certified: bool,
+    seconds: f64,
+}
+
+fn classify(
+    scenario: Scenario,
+    result: Result<triphase_core::Result<FlowReport>, String>,
+) -> (&'static str, String, bool) {
+    let flow = match result {
+        // A panic escaped the flow: always a violation, for every scenario.
+        Err(msg) => return ("panic-escaped", msg, false),
+        Ok(flow) => flow,
+    };
+    match scenario {
+        Scenario::Baseline => match flow {
+            Ok(r) => {
+                let ok = r.equiv_3p == Some(true) && r.equiv_ms == Some(true);
+                (
+                    "ok",
+                    format!("rung {} status {}", r.ilp_rung, r.ilp_status.name()),
+                    ok,
+                )
+            }
+            Err(e) => ("typed-error", e.to_string(), false),
+        },
+        Scenario::IlpNodeBudget | Scenario::IlpTimeBudget => match flow {
+            // Budget exhaustion must degrade in place: the flow succeeds,
+            // the report carries a distinguishable limit status (or the
+            // instance was trivially closed before the budget mattered),
+            // and the degraded design still proves equivalent.
+            Ok(r) => {
+                let budget_visible = r.ilp_status.is_limit() || r.ilp_optimal;
+                let valid = r.equiv_3p == Some(true);
+                (
+                    if r.ilp_optimal { "ok" } else { "degraded" },
+                    format!(
+                        "rung {} status {} cost {}",
+                        r.ilp_rung,
+                        r.ilp_status.name(),
+                        r.ilp_cost
+                    ),
+                    budget_visible && valid,
+                )
+            }
+            Err(e) => ("typed-error", e.to_string(), false),
+        },
+        Scenario::IlpNumeric => match flow {
+            Ok(r) => (
+                "degraded",
+                format!(
+                    "rung {} status {} fallbacks {}",
+                    r.ilp_rung,
+                    r.ilp_status.name(),
+                    r.ilp_fallbacks
+                ),
+                r.ilp_rung == SolveRung::Greedy && r.ilp_fallbacks > 0 && r.equiv_3p == Some(true),
+            ),
+            Err(e) => ("typed-error", e.to_string(), false),
+        },
+        Scenario::SimEmpty => match flow {
+            Ok(_) => ("ok", "zero-cycle activity silently accepted".into(), false),
+            Err(e @ (Error::Sim(_) | Error::Power(_))) => ("typed-error", e.to_string(), true),
+            Err(e) => ("typed-error", format!("wrong error class: {e}"), false),
+        },
+        Scenario::TaskPanic => match flow {
+            Ok(_) => ("ok", "injected panic did not surface".into(), false),
+            Err(e @ Error::Panic(_)) => ("typed-error", e.to_string(), true),
+            Err(e) => ("typed-error", format!("wrong error class: {e}"), false),
+        },
+        Scenario::NetlistNoClock => match flow {
+            Ok(_) => ("ok", "clockless netlist accepted".into(), false),
+            Err(e @ Error::BadInput(_)) => ("typed-error", e.to_string(), true),
+            Err(e) => ("typed-error", format!("wrong error class: {e}"), false),
+        },
+        Scenario::NetlistDangling => match flow {
+            Ok(_) => ("ok", "dangling netlist accepted".into(), false),
+            Err(e @ Error::Netlist(_)) => ("typed-error", e.to_string(), true),
+            Err(e) => ("typed-error", format!("wrong error class: {e}"), false),
+        },
+    }
+}
+
+fn run_scenario(b: &Benchmark, lib: &Library, scale: Scale, scenario: Scenario) -> RunOutcome {
+    let mut nl = b.build();
+    let mut cfg = b.flow_config(scale);
+    match scenario {
+        Scenario::Baseline => {}
+        Scenario::IlpNodeBudget => cfg.phase_cfg.max_nodes = 0,
+        Scenario::IlpTimeBudget => cfg.phase_cfg.time_limit = Some(Duration::ZERO),
+        Scenario::IlpNumeric => {
+            cfg.phase_cfg.hook = Some(
+                FaultPlan::new(b.seed())
+                    .inject("phase.", Fault::Numeric)
+                    .shared(),
+            );
+        }
+        Scenario::SimEmpty => {
+            cfg.fault = Some(
+                FaultPlan::new(b.seed())
+                    .inject("flow.drive", Fault::EmptyActivity)
+                    .shared(),
+            );
+        }
+        Scenario::TaskPanic => {
+            cfg.fault = Some(
+                FaultPlan::new(b.seed())
+                    .inject("flow.variant.3p", Fault::Panic)
+                    .shared(),
+            );
+        }
+        Scenario::NetlistNoClock => nl.clock = None,
+        Scenario::NetlistDangling => {
+            let first = nl.nets().next().map(|(id, _)| id);
+            if let Some(id) = first {
+                nl.remove_net(id);
+            }
+        }
+    }
+    let t0 = Instant::now();
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        b.run_netlist_with_config(&nl, lib, &cfg)
+    }))
+    .map_err(|payload| {
+        Error::from_panic(&format!("{} {}", b.name, scenario.name()), payload).to_string()
+    });
+    let seconds = t0.elapsed().as_secs_f64();
+    let (outcome, detail, certified) = classify(scenario, result);
+    RunOutcome {
+        outcome,
+        detail,
+        certified,
+        seconds,
+    }
+}
+
+/// Certify the solver deadline contract on a dense synthetic instance:
+/// `solve_chain` under `time_limit` must return within budget +10%.
+fn certify_deadline() -> (Json, bool) {
+    // Dense pseudo-random fan-out graph, big enough that an unbudgeted
+    // exact solve would run far past the deadline.
+    let n = 2_000;
+    let mut p = PhaseProblem::new(n);
+    let mut s = 0x2545_f491_4f6c_dd1du64;
+    let mut rng = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s
+    };
+    for u in 0..n {
+        for _ in 0..6 {
+            p.add_fanout(u, (rng() as usize) % n);
+        }
+    }
+    let budget = Duration::from_millis(250);
+    let cfg = PhaseConfig {
+        time_limit: Some(budget),
+        ..PhaseConfig::default()
+    };
+    let t0 = Instant::now();
+    let outcome = p.solve_chain(&cfg);
+    let elapsed = t0.elapsed();
+    // ±10% of the budget, plus a small absolute allowance for scheduler
+    // noise on loaded CI machines.
+    let cap = budget.mul_f64(1.10) + Duration::from_millis(25);
+    let ok = elapsed <= cap;
+    let mut row = Json::obj();
+    row.set("budget_ms", Json::Num(budget.as_secs_f64() * 1e3));
+    row.set("elapsed_ms", Json::Num(elapsed.as_secs_f64() * 1e3));
+    row.set("cap_ms", Json::Num(cap.as_secs_f64() * 1e3));
+    row.set("status", Json::Str(outcome.status.name().into()));
+    row.set("rung", Json::Str(outcome.rung.name().into()));
+    row.set("certified", Json::Bool(ok));
+    (row, ok)
+}
+
+fn main() {
+    let mut quick = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            other => {
+                eprintln!("usage: fault_campaign [--quick] (unknown arg {other:?})");
+                std::process::exit(2);
+            }
+        }
+    }
+    // Injected panics are expected and contained; keep them out of the
+    // log so a real (escaped) panic stands out.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<String>()
+            .is_some_and(|m| m.starts_with("injected fault:"));
+        if !injected {
+            default_hook(info);
+        }
+    }));
+
+    let scale = if quick { Scale::Quick } else { Scale::Full };
+    // The quick sweep is the CI smoke subset: one row per table section.
+    let rows: Vec<Benchmark> = if quick {
+        benchmarks()
+            .into_iter()
+            .filter(|b| matches!(b.name, "s1488" | "SHA256" | "ArmM0"))
+            .collect()
+    } else {
+        benchmarks()
+    };
+
+    let lib = Library::synthetic_28nm();
+    let mut sections: Vec<(&str, Json)> = Vec::new();
+    let mut violations = 0usize;
+    let total = rows.len() * SCENARIOS.len();
+    let mut done = 0usize;
+    for b in &rows {
+        let mut scenarios = Vec::new();
+        for scenario in SCENARIOS {
+            let r = run_scenario(b, &lib, scale, scenario);
+            done += 1;
+            eprintln!(
+                "[{done:>3}/{total}] {:>8} {:<16} {:<12} {:5.1}s {} {}",
+                b.name,
+                scenario.name(),
+                r.outcome,
+                r.seconds,
+                if r.certified {
+                    "certified"
+                } else {
+                    "VIOLATION"
+                },
+                r.detail
+            );
+            if !r.certified {
+                violations += 1;
+            }
+            let mut row = Json::obj();
+            row.set("fault", Json::Str(scenario.name().into()));
+            row.set("outcome", Json::Str(r.outcome.into()));
+            row.set("detail", Json::Str(r.detail));
+            row.set("seconds", Json::Num(r.seconds));
+            row.set("certified", Json::Bool(r.certified));
+            scenarios.push(row);
+        }
+        let mut section = Json::obj();
+        section.set("group", Json::Str(b.group.label().into()));
+        section.set(
+            "certified",
+            Json::Bool(
+                scenarios
+                    .iter()
+                    .all(|s| s.get("certified") == Some(&Json::Bool(true))),
+            ),
+        );
+        section.set("scenarios", Json::Arr(scenarios));
+        sections.push((b.name, section));
+    }
+
+    let (deadline, deadline_ok) = certify_deadline();
+    eprintln!(
+        "deadline contract: {}",
+        if deadline_ok {
+            "certified"
+        } else {
+            "VIOLATION"
+        }
+    );
+    if !deadline_ok {
+        violations += 1;
+    }
+    sections.push(("deadline", deadline));
+    sections.push(("violations", Json::Num(violations as f64)));
+
+    // Read-merge-write (same convention as BENCH_sim.json): a quick run
+    // refreshes only its own benchmark sections, leaving full-campaign
+    // rows from other runs intact.
+    let path = triphase_bench::perf::report_path().with_file_name("BENCH_fault.json");
+    if let Some(parent) = path.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    for (key, value) in sections {
+        if let Err(e) = triphase_bench::perf::merge_section_at(&path, key, value) {
+            eprintln!("failed to write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+    println!(
+        "fault campaign: {} runs, {} violations -> {}",
+        total + 1,
+        violations,
+        path.display()
+    );
+    std::process::exit(if violations == 0 { 0 } else { 1 });
+}

@@ -160,6 +160,11 @@ impl Benchmark {
         }
     }
 
+    /// Stimulus seed of this benchmark row.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
     /// Run the full three-variant flow.
     ///
     /// # Errors
@@ -167,11 +172,26 @@ impl Benchmark {
     /// Propagates flow failures (equivalence or constraint violations are
     /// hard errors — a benchmark must not silently produce a wrong design).
     pub fn run(&self, lib: &Library, scale: Scale) -> triphase_core::Result<FlowReport> {
-        let nl = self.build();
-        let cfg = self.flow_config(scale);
+        self.run_netlist_with_config(&self.build(), lib, &self.flow_config(scale))
+    }
+
+    /// Run the flow on a caller-supplied netlist and configuration, with
+    /// this benchmark's own stimulus style. Fault-injection campaigns use
+    /// this to sweep budgets/faults (and adversarially mutated netlists)
+    /// while keeping the stimulus identical to the real row.
+    ///
+    /// # Errors
+    ///
+    /// See [`Benchmark::run`].
+    pub fn run_netlist_with_config(
+        &self,
+        nl: &Netlist,
+        lib: &Library,
+        cfg: &FlowConfig,
+    ) -> triphase_core::Result<FlowReport> {
         let seed = self.seed;
         let stim = self.stimulus();
-        run_flow_with(&nl, lib, &cfg, &move |n: &Netlist, cycles: u64| {
+        run_flow_with(nl, lib, cfg, &move |n: &Netlist, cycles: u64| {
             drive_stimulus(n, cycles, seed, stim)
         })
     }
@@ -397,11 +417,28 @@ pub fn mean(values: &[f64]) -> f64 {
 /// Fails on the first (in row order) benchmark whose flow fails
 /// validation.
 pub fn run_suite(scale: Scale) -> triphase_core::Result<Vec<(Benchmark, FlowReport)>> {
+    run_suite_results(scale)
+        .into_iter()
+        .map(|(b, r)| r.map(|report| (b, report)))
+        .collect()
+}
+
+/// Like [`run_suite`], but every row returns its own `Result`: one
+/// failing (or even panicking) benchmark never takes down the rest of
+/// the sweep. A panicking flow is contained per row and surfaced as
+/// [`triphase_core::Error::Panic`].
+pub fn run_suite_results(scale: Scale) -> Vec<(Benchmark, triphase_core::Result<FlowReport>)> {
     let lib = Library::synthetic_28nm();
     let rows = suite(scale);
     let results = triphase_par::par_map(&rows, |b| {
         let t0 = std::time::Instant::now();
-        let report = b.run(&lib, scale);
+        let report = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| b.run(&lib, scale)))
+            .unwrap_or_else(|payload| {
+                Err(triphase_core::Error::from_panic(
+                    &format!("benchmark {}", b.name),
+                    payload,
+                ))
+            });
         match &report {
             Ok(r) => eprintln!(
                 "[{}] {:>8} ... done in {:.1}s (equiv {})",
@@ -422,10 +459,7 @@ pub fn run_suite(scale: Scale) -> triphase_core::Result<Vec<(Benchmark, FlowRepo
         }
         report
     });
-    rows.into_iter()
-        .zip(results)
-        .map(|(b, r)| r.map(|report| (b, report)))
-        .collect()
+    rows.into_iter().zip(results).collect()
 }
 
 #[cfg(test)]

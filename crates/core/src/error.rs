@@ -32,6 +32,26 @@ pub enum Error {
     /// flow ran with [`crate::EquivPolicy::Deny`] (message carries the
     /// stage and verdict details).
     Equiv(String),
+    /// A task panicked and the panic was contained at a crate boundary
+    /// (variant evaluation, benchmark run). The message carries the task
+    /// name and, when downcastable, the panic payload.
+    Panic(String),
+    /// A stage checkpoint could not be written, read, or matched against
+    /// the current flow configuration.
+    Checkpoint(String),
+}
+
+impl Error {
+    /// Build an [`Error::Panic`] from a `catch_unwind` payload, keeping
+    /// the panic message when the payload is a string.
+    pub fn from_panic(task: &str, payload: Box<dyn std::any::Any + Send>) -> Error {
+        let msg = payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".into());
+        Error::Panic(format!("{task}: {msg}"))
+    }
 }
 
 impl fmt::Display for Error {
@@ -58,6 +78,8 @@ impl fmt::Display for Error {
                 Ok(())
             }
             Error::Equiv(m) => write!(f, "formal equivalence failed: {m}"),
+            Error::Panic(m) => write!(f, "task panicked: {m}"),
+            Error::Checkpoint(m) => write!(f, "checkpoint error: {m}"),
         }
     }
 }
@@ -105,6 +127,17 @@ mod tests {
         assert!(std::error::Error::source(&e).is_some());
         let e: Error = triphase_sim::Error::NoClock.into();
         assert!(e.to_string().contains("clock"));
+    }
+
+    #[test]
+    fn panic_payloads_become_typed_errors() {
+        let p = std::panic::catch_unwind(|| panic!("boom {}", 7)).unwrap_err();
+        let e = Error::from_panic("variant ff", p);
+        assert_eq!(e.to_string(), "task panicked: variant ff: boom 7");
+        let p = std::panic::catch_unwind(|| panic!("literal")).unwrap_err();
+        assert!(Error::from_panic("t", p).to_string().contains("literal"));
+        let e = Error::Checkpoint("bad header".into());
+        assert!(e.to_string().contains("checkpoint"), "{e}");
     }
 
     #[test]

@@ -6,7 +6,7 @@
 
 use crate::error::{Error, Result};
 use std::collections::HashMap;
-use triphase_ilp::{PhaseConfig, PhaseProblem, PhaseSolution};
+use triphase_ilp::{PhaseConfig, PhaseProblem, SolveRung, Status};
 use triphase_netlist::{graph, CellId, ConnIndex, Netlist, PortId};
 
 /// The FF fan-out graph of a design.
@@ -121,6 +121,12 @@ pub struct Assignment {
     pub optimal: bool,
     /// Seconds spent in the solver.
     pub solve_seconds: f64,
+    /// Which rung of the fallback chain produced the answer.
+    pub rung: SolveRung,
+    /// Solver termination status (budget hits are distinguishable).
+    pub status: Status,
+    /// Number of rungs that failed before `rung` answered.
+    pub fallbacks: usize,
 }
 
 impl Assignment {
@@ -131,11 +137,18 @@ impl Assignment {
 }
 
 /// Solve the phase-assignment ILP for a design.
+///
+/// Runs the full fallback chain ([`PhaseProblem::solve_chain`]): ILP
+/// (when enabled and small enough) → exact combinatorial → greedy. The
+/// answering rung, solver status, and fallback count are recorded on the
+/// returned [`Assignment`] so the flow report can surface degraded
+/// solves.
 pub fn assign_phases(graph: &FfGraph, cfg: &PhaseConfig) -> Assignment {
     let problem = graph.to_phase_problem();
     let t0 = std::time::Instant::now();
-    let sol: PhaseSolution = problem.solve(cfg);
+    let outcome = problem.solve_chain(cfg);
     let solve_seconds = t0.elapsed().as_secs_f64();
+    let sol = outcome.solution;
     let k = graph
         .ffs
         .iter()
@@ -167,6 +180,9 @@ pub fn assign_phases(graph: &FfGraph, cfg: &PhaseConfig) -> Assignment {
         cost: sol.cost,
         optimal: sol.optimal,
         solve_seconds,
+        rung: outcome.rung,
+        status: outcome.status,
+        fallbacks: outcome.fallbacks.len(),
     }
 }
 
@@ -241,6 +257,17 @@ mod tests {
         // PI penalty), so at least 3 back-to-back groups.
         assert!(a.singles() >= 3, "singles = {}", a.singles());
         assert!(a.cost <= 4, "cost = {}", a.cost);
+    }
+
+    #[test]
+    fn default_config_answers_from_exact_rung() {
+        let nl = linear_pipeline(4, 2, 1, 1000.0);
+        let idx = nl.index();
+        let g = extract_ff_graph(&nl, &idx).unwrap();
+        let a = assign_phases(&g, &PhaseConfig::default());
+        assert_eq!(a.rung, SolveRung::Exact);
+        assert_eq!(a.status, Status::Optimal);
+        assert_eq!(a.fallbacks, 0);
     }
 
     #[test]

@@ -3,15 +3,18 @@
 //! simulation-based validation, and grouped power estimation — for all
 //! three design styles (FF, master-slave, 3-phase).
 
+use crate::checkpoint::{self, CheckpointCfg, FlowState, IlpSummary, Stage};
 use crate::clockgate::{apply_m2, gate_p2_common_enable, CgReport};
 use crate::convert::{to_master_slave, to_three_phase, ConvertReport};
 use crate::error::{Error, Result};
 use crate::ffgraph::{assign_phases, extract_ff_graph};
 use crate::preprocess::{gated_clock_style, PreprocessReport};
 use crate::retiming::{retime_three_phase, RetimeReport};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 use triphase_cells::Library;
-use triphase_ilp::PhaseConfig;
+use triphase_fault::{fault_at, injected_panic, Fault, SharedInjector};
+use triphase_ilp::{PhaseConfig, SolveRung, Status};
 use triphase_lint::{LintStage, Linter};
 use triphase_netlist::{Netlist, NetlistStats};
 use triphase_pnr::{place_and_route, Layout, PnrOptions};
@@ -100,6 +103,12 @@ pub struct FlowConfig {
     pub lint: LintPolicy,
     /// Formal equivalence checkpoint policy.
     pub equiv: EquivPolicy,
+    /// Fault-injection hook for the flow's own sites (`"flow.drive"`,
+    /// `"flow.stage.<stage>"`, `"flow.variant.<name>"`). Note the ILP
+    /// sites live on [`PhaseConfig::hook`]; `None` in production.
+    pub fault: Option<SharedInjector>,
+    /// Stage checkpoint/resume configuration (`None` = no persistence).
+    pub checkpoint: Option<CheckpointCfg>,
 }
 
 impl Default for FlowConfig {
@@ -119,6 +128,8 @@ impl Default for FlowConfig {
             phase_cfg: PhaseConfig::default(),
             lint: LintPolicy::default(),
             equiv: EquivPolicy::default(),
+            fault: None,
+            checkpoint: None,
         }
     }
 }
@@ -217,6 +228,14 @@ pub struct FlowReport {
     pub ilp_optimal: bool,
     /// ILP runtime (s) — the paper reports this is a tiny flow fraction.
     pub ilp_seconds: f64,
+    /// Which rung of the solver fallback chain answered (ILP → exact →
+    /// greedy).
+    pub ilp_rung: SolveRung,
+    /// Solver termination status; budget exhaustion is distinguishable
+    /// ([`Status::NodeLimit`] / [`Status::TimeLimit`]).
+    pub ilp_status: Status,
+    /// Rungs that failed before `ilp_rung` produced the answer.
+    pub ilp_fallbacks: usize,
     /// Conversion statistics.
     pub convert: ConvertReport,
     /// Retiming statistics (if run).
@@ -295,14 +314,76 @@ pub fn run_flow_with(
     cfg: &FlowConfig,
     drive: &Drive<'_>,
 ) -> Result<FlowReport> {
-    // Shared preprocessing: the FF baseline also uses gated clocks (the
-    // paper lets the tool pick the best CG style for every variant).
+    // Input hardening: malformed or adversarial netlists become typed
+    // errors before any stage touches them.
+    nl.validate()?;
+    if nl.clock.is_none() {
+        return Err(Error::BadInput("design has no clock specification".into()));
+    }
+
+    // Fault site "flow.drive": EmptyActivity forces a zero-cycle
+    // simulation, which downstream toggle-rate consumers must surface as
+    // a typed error rather than silently-zero power numbers.
+    let inner_drive = drive;
+    let wrapped_drive = move |n: &Netlist, cycles: u64| match fault_at(&cfg.fault, "flow.drive") {
+        Some(Fault::Panic) => injected_panic("flow.drive"),
+        Some(Fault::EmptyActivity) => inner_drive(n, 0),
+        _ => inner_drive(n, cycles),
+    };
+    let drive: &Drive<'_> = &wrapped_drive;
+
+    // Checkpoint/resume: adopt the latest stage whose fingerprint matches
+    // this exact input netlist + configuration.
+    let ck = cfg.checkpoint.as_ref();
+    let fp = ck.map_or(0, |_| checkpoint::fingerprint(nl, cfg));
+    let restored: Option<FlowState> = ck
+        .filter(|c| c.resume)
+        .and_then(|c| checkpoint::load_latest(&c.dir, &nl.name, fp));
+    let have = |s: Stage| restored.as_ref().is_some_and(|st| st.stage >= s);
+    // Persist the cumulative state after a freshly computed stage, then
+    // honor the stage's injected-crash site (the worst place to die for
+    // an unprotected flow: artifacts just became durable).
+    let stage_mark = |stage: Stage, state: Option<&FlowState>| -> Result<()> {
+        if let (Some(c), Some(st)) = (ck, state) {
+            checkpoint::save(&c.dir, &nl.name, st)?;
+        }
+        let site = format!("flow.stage.{}", stage.name());
+        if matches!(fault_at(&cfg.fault, &site), Some(Fault::Panic)) {
+            injected_panic(&site);
+        }
+        Ok(())
+    };
+
+    // Lint and formal-equivalence checkpoints always re-run, even over
+    // restored stages: they are cheap, deterministic functions of the
+    // restored netlists, so a resumed report carries the same evidence.
     let linter = (cfg.lint != LintPolicy::Off).then(Linter::new);
     let mut lint_reports = Vec::new();
 
-    let mut pre = nl.clone();
-    let preprocess = gated_clock_style(&mut pre, cfg.cg_max_fanout)?;
-    let pre = pre.compact();
+    // Stage 1 — shared preprocessing: the FF baseline also uses gated
+    // clocks (the paper lets the tool pick the best CG style for every
+    // variant).
+    let (pre, preprocess) = match &restored {
+        Some(st) => (st.pre.clone(), st.preprocess.clone()),
+        None => {
+            let mut p = nl.clone();
+            let rep = gated_clock_style(&mut p, cfg.cg_max_fanout)?;
+            (p.compact(), rep)
+        }
+    };
+    let mut state = ck.map(|_| FlowState {
+        fingerprint: fp,
+        stage: Stage::Preprocess,
+        pre: pre.clone(),
+        preprocess: preprocess.clone(),
+        ilp: None,
+        convert: None,
+        retime: None,
+        clockgate: None,
+    });
+    if !have(Stage::Preprocess) {
+        stage_mark(Stage::Preprocess, state.as_ref())?;
+    }
     lint_checkpoint(
         linter.as_ref(),
         cfg.lint,
@@ -311,16 +392,42 @@ pub fn run_flow_with(
         &mut lint_reports,
     )?;
 
-    // Master-slave baseline.
+    // Master-slave baseline (cheap; recomputed even on resume).
     let ms_nl = to_master_slave(&pre)?;
 
-    // 3-phase: ILP → convert → retime → clock gating.
+    // Stage 2 — ILP phase assignment + conversion.
     let t0 = Instant::now();
-    let idx = pre.index();
-    let graph = extract_ff_graph(&pre, &idx)?;
-    let assignment = assign_phases(&graph, &cfg.phase_cfg);
-    let ilp_seconds = assignment.solve_seconds;
-    let (mut tp, convert_report) = to_three_phase(&pre, &assignment)?;
+    let restored_convert = restored
+        .as_ref()
+        .filter(|st| st.stage >= Stage::Convert)
+        .and_then(|st| Some((st.ilp.clone()?, st.convert.clone()?)));
+    let ilp_fresh = restored_convert.is_none();
+    let (ilp, mut tp, convert_report) = match restored_convert {
+        Some((ilp, (tp, cr))) => (ilp, tp, cr),
+        None => {
+            let idx = pre.index();
+            let graph = extract_ff_graph(&pre, &idx)?;
+            let a = assign_phases(&graph, &cfg.phase_cfg);
+            let ilp = IlpSummary {
+                cost: a.cost,
+                optimal: a.optimal,
+                seconds: a.solve_seconds,
+                rung: a.rung,
+                status: a.status,
+                fallbacks: a.fallbacks,
+            };
+            let (tp, cr) = to_three_phase(&pre, &a)?;
+            (ilp, tp, cr)
+        }
+    };
+    if let Some(st) = &mut state {
+        st.stage = Stage::Convert;
+        st.ilp = Some(ilp.clone());
+        st.convert = Some((tp.clone(), convert_report));
+    }
+    if !have(Stage::Convert) {
+        stage_mark(Stage::Convert, state.as_ref())?;
+    }
     lint_checkpoint(
         linter.as_ref(),
         cfg.lint,
@@ -338,12 +445,34 @@ pub fn run_flow_with(
         || triphase_equiv::check_conversion(&pre, &tp, &equiv_opts),
         &mut equiv_formal,
     )?;
+
+    // Stage 3 — modified retiming.
     let mut retime_report = None;
     if cfg.retime {
         let before = (cfg.equiv != EquivPolicy::Off).then(|| tp.clone());
-        let (rt, rr) = retime_three_phase(&tp, lib, cfg.retime_target_ratio)?;
-        tp = rt;
-        retime_report = Some(rr);
+        let restored_rt = restored
+            .as_ref()
+            .filter(|st| st.stage >= Stage::Retime)
+            .and_then(|st| st.retime.clone());
+        let rt_fresh = restored_rt.is_none();
+        match restored_rt {
+            Some((rt, rr)) => {
+                tp = rt;
+                retime_report = Some(rr);
+            }
+            None => {
+                let (rt, rr) = retime_three_phase(&tp, lib, cfg.retime_target_ratio)?;
+                tp = rt;
+                retime_report = Some(rr);
+            }
+        }
+        if let Some(st) = &mut state {
+            st.stage = Stage::Retime;
+            st.retime = retime_report.clone().map(|r| (tp.clone(), r));
+        }
+        if rt_fresh {
+            stage_mark(Stage::Retime, state.as_ref())?;
+        }
         lint_checkpoint(
             linter.as_ref(),
             cfg.lint,
@@ -360,31 +489,55 @@ pub fn run_flow_with(
             )?;
         }
     }
-    let mut cg = CgReport::default();
-    if cfg.common_enable_cg {
-        let r = gate_p2_common_enable(&mut tp, cfg.cg_max_fanout)?;
-        cg.common_enable_gated = r.common_enable_gated;
-        cg.m1_cells = r.m1_cells;
+
+    // Stage 4 — p2 clock gating.
+    let restored_cg = restored
+        .as_ref()
+        .filter(|st| st.stage >= Stage::ClockGate)
+        .and_then(|st| st.clockgate.clone());
+    let cg_fresh = restored_cg.is_none();
+    let (tp, cg, convert_seconds) = match restored_cg {
+        Some(section) => section,
+        None => {
+            let mut cg = CgReport::default();
+            if cfg.common_enable_cg {
+                let r = gate_p2_common_enable(&mut tp, cfg.cg_max_fanout)?;
+                cg.common_enable_gated = r.common_enable_gated;
+                cg.m1_cells = r.m1_cells;
+            }
+            if cfg.m2 {
+                cg.m2_replaced = apply_m2(&mut tp)?;
+            }
+            if cfg.ddcg {
+                let activity = drive(&tp, cfg.sim_cycles)?;
+                // Trial placement so DDCG groups can be formed spatially
+                // (each gated subtree must stay compact).
+                let trial = place_and_route(&tp, lib, &cfg.pnr)?;
+                let r = crate::clockgate::apply_ddcg_placed(
+                    &mut tp,
+                    &activity,
+                    cfg.ddcg_threshold,
+                    cfg.cg_max_fanout,
+                    Some(&trial.positions),
+                )?;
+                cg.ddcg_groups = r.ddcg_groups;
+                cg.ddcg_gated = r.ddcg_gated;
+            }
+            // Resumed stages did their solving in a previous process;
+            // only freshly spent ILP time is subtracted from this run's
+            // elapsed conversion time.
+            let ilp_in_elapsed = if ilp_fresh { ilp.seconds } else { 0.0 };
+            let secs = (t0.elapsed().as_secs_f64() - ilp_in_elapsed).max(0.0);
+            (tp.compact(), cg, secs)
+        }
+    };
+    if let Some(st) = &mut state {
+        st.stage = Stage::ClockGate;
+        st.clockgate = Some((tp.clone(), cg, convert_seconds));
     }
-    if cfg.m2 {
-        cg.m2_replaced = apply_m2(&mut tp)?;
+    if cg_fresh {
+        stage_mark(Stage::ClockGate, state.as_ref())?;
     }
-    if cfg.ddcg {
-        let activity = drive(&tp, cfg.sim_cycles)?;
-        // Trial placement so DDCG groups can be formed spatially (each
-        // gated subtree must stay compact).
-        let trial = place_and_route(&tp, lib, &cfg.pnr)?;
-        let r = crate::clockgate::apply_ddcg_placed(
-            &mut tp,
-            &activity,
-            cfg.ddcg_threshold,
-            cfg.cg_max_fanout,
-            Some(&trial.positions),
-        )?;
-        cg.ddcg_groups = r.ddcg_groups;
-        cg.ddcg_gated = r.ddcg_gated;
-    }
-    let tp = tp.compact();
     lint_checkpoint(
         linter.as_ref(),
         cfg.lint,
@@ -392,7 +545,7 @@ pub fn run_flow_with(
         LintStage::ClockGate,
         &mut lint_reports,
     )?;
-    let convert_seconds = t0.elapsed().as_secs_f64() - ilp_seconds;
+    let ilp_seconds = ilp.seconds;
 
     // Constraint C2 must hold structurally.
     let tp_idx = tp.index();
@@ -425,13 +578,31 @@ pub fn run_flow_with(
 
     // The three variant evaluations (P&R + simulation + power) are
     // independent — fan them out on the work-stealing pool. Results land
-    // in fixed slots, so the report is identical at any thread count.
+    // in fixed slots, so the report is identical at any thread count. A
+    // panicking evaluation (a bug, or an injected fault) is contained
+    // here: it becomes a typed `Error::Panic` for its own variant and
+    // never unwinds through — or poisons — the shared pool.
+    const VARIANT_NAMES: [&str; 3] = ["ff", "ms", "3p"];
     let mut variants = [Some(pre), Some(ms_nl), Some(tp)];
     let mut evaluated: [Option<Result<VariantResult>>; 3] = [None, None, None];
     triphase_par::scope(|s| {
-        for (slot, out) in variants.iter_mut().zip(evaluated.iter_mut()) {
+        for ((slot, out), vname) in variants
+            .iter_mut()
+            .zip(evaluated.iter_mut())
+            .zip(VARIANT_NAMES)
+        {
             let nl = slot.take().expect("variant present");
-            s.spawn(move || *out = Some(evaluate(nl, lib, cfg, drive)));
+            let fault = &cfg.fault;
+            s.spawn(move || {
+                let site = format!("flow.variant.{vname}");
+                let r = catch_unwind(AssertUnwindSafe(|| {
+                    if matches!(fault_at(fault, &site), Some(Fault::Panic)) {
+                        injected_panic(&site);
+                    }
+                    evaluate(nl, lib, cfg, drive)
+                }));
+                *out = Some(r.unwrap_or_else(|payload| Err(Error::from_panic(&site, payload))));
+            });
         }
     });
     let [ff, ms, three_phase] = evaluated.map(|r| r.expect("scope joined all variants"));
@@ -443,9 +614,12 @@ pub fn run_flow_with(
         ms,
         three_phase,
         preprocess,
-        ilp_cost: assignment.cost,
-        ilp_optimal: assignment.optimal,
+        ilp_cost: ilp.cost,
+        ilp_optimal: ilp.optimal,
         ilp_seconds,
+        ilp_rung: ilp.rung,
+        ilp_status: ilp.status,
+        ilp_fallbacks: ilp.fallbacks,
         convert: convert_report,
         retime: retime_report,
         cg,
@@ -643,6 +817,89 @@ mod tests {
         // Off (the default) skips the formal pass entirely.
         let report = run_flow(&nl, &lib, &quick_cfg()).unwrap();
         assert!(report.equiv_formal.is_empty());
+    }
+
+    #[test]
+    fn malformed_netlists_are_typed_errors_not_panics() {
+        let lib = Library::synthetic_28nm();
+        // No clock specification.
+        let mut nl = linear_pipeline(3, 2, 1, 900.0);
+        nl.clock = None;
+        assert!(matches!(
+            run_flow(&nl, &lib, &quick_cfg()),
+            Err(Error::BadInput(_))
+        ));
+        // Dangling pins after an adversarial net removal.
+        let mut nl = linear_pipeline(3, 2, 1, 900.0);
+        let net = nl.nets().next().expect("has nets").0;
+        nl.remove_net(net);
+        assert!(matches!(
+            run_flow(&nl, &lib, &quick_cfg()),
+            Err(Error::Netlist(_))
+        ));
+    }
+
+    #[test]
+    fn injected_variant_panic_is_contained_as_typed_error() {
+        use triphase_fault::{Fault, FaultPlan};
+        let lib = Library::synthetic_28nm();
+        let nl = linear_pipeline(3, 3, 1, 900.0);
+        let cfg = FlowConfig {
+            fault: Some(
+                FaultPlan::new(3)
+                    .inject("flow.variant.ms", Fault::Panic)
+                    .shared(),
+            ),
+            ..quick_cfg()
+        };
+        let err = run_flow(&nl, &lib, &cfg).unwrap_err();
+        assert!(matches!(err, Error::Panic(_)), "{err}");
+        assert!(err.to_string().contains("flow.variant.ms"), "{err}");
+        // The contained panic must not poison the pool: the same process
+        // immediately runs a clean flow to completion.
+        let report = run_flow(&nl, &lib, &quick_cfg()).unwrap();
+        assert_eq!(report.equiv_3p, Some(true));
+    }
+
+    #[test]
+    fn injected_empty_activity_surfaces_as_typed_error() {
+        use triphase_fault::{Fault, FaultPlan};
+        let lib = Library::synthetic_28nm();
+        let nl = linear_pipeline(3, 3, 1, 900.0);
+        let cfg = FlowConfig {
+            fault: Some(
+                FaultPlan::new(5)
+                    .inject("flow.drive", Fault::EmptyActivity)
+                    .shared(),
+            ),
+            ..quick_cfg()
+        };
+        let err = run_flow(&nl, &lib, &cfg).unwrap_err();
+        assert!(
+            matches!(err, Error::Sim(_) | Error::Power(_)),
+            "zero-cycle activity must become a typed error, got {err}"
+        );
+    }
+
+    #[test]
+    fn degraded_solver_budget_is_recorded_in_the_report() {
+        // A node budget of zero degrades the phase assignment to the
+        // greedy incumbent in place: the flow still completes and the
+        // report carries the distinguishable status.
+        let lib = Library::synthetic_28nm();
+        let nl = linear_pipeline(4, 4, 1, 900.0);
+        let cfg = FlowConfig {
+            phase_cfg: PhaseConfig {
+                max_nodes: 0,
+                ..PhaseConfig::default()
+            },
+            ..quick_cfg()
+        };
+        let report = run_flow(&nl, &lib, &cfg).unwrap();
+        assert!(!report.ilp_optimal);
+        assert_eq!(report.ilp_status, Status::NodeLimit);
+        assert_eq!(report.ilp_rung, SolveRung::Exact);
+        assert_eq!(report.equiv_3p, Some(true), "degraded result is valid");
     }
 
     #[test]

@@ -42,6 +42,7 @@
 //! # Ok::<(), triphase_core::Error>(())
 //! ```
 
+mod checkpoint;
 mod clockgate;
 mod convert;
 mod error;
@@ -50,6 +51,7 @@ mod flow;
 mod preprocess;
 mod retiming;
 
+pub use checkpoint::{CheckpointCfg, Stage};
 pub use clockgate::{apply_ddcg, apply_ddcg_placed, apply_m2, gate_p2_common_enable, CgReport};
 pub use convert::{latch_phases, phase_census, to_master_slave, to_three_phase, ConvertReport};
 pub use error::{Error, Result};

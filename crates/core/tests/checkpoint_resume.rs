@@ -1,0 +1,187 @@
+//! Kill-and-resume certification for the stage checkpoint system.
+//!
+//! The flow is killed (via an injected panic) right after the retime
+//! stage checkpoint becomes durable, then resumed in a fresh
+//! configuration. The resumed report must be bit-exact against an
+//! uninterrupted run — and the resume must actually *skip* the proven
+//! stages, which is proven by arming the phase solver with a numeric
+//! fault in the resume configuration: had the ILP stage re-run, the
+//! fallback chain would have answered from the greedy rung.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use triphase_cells::Library;
+use triphase_circuits::pipeline::linear_pipeline;
+use triphase_core::{run_flow, CheckpointCfg, FlowConfig, FlowReport};
+use triphase_fault::{Fault, FaultPlan};
+use triphase_ilp::{PhaseConfig, SolveRung};
+use triphase_pnr::PnrOptions;
+
+fn quick_cfg() -> FlowConfig {
+    FlowConfig {
+        sim_cycles: 48,
+        equiv_cycles: 96,
+        pnr: PnrOptions {
+            moves_per_cell: 4,
+            ..PnrOptions::default()
+        },
+        ..FlowConfig::default()
+    }
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("triphase_ckpt_{}_{tag}", std::process::id()))
+}
+
+fn assert_bit_exact(a: &FlowReport, b: &FlowReport) {
+    for (va, vb, name) in [
+        (&a.ff, &b.ff, "ff"),
+        (&a.ms, &b.ms, "ms"),
+        (&a.three_phase, &b.three_phase, "3p"),
+    ] {
+        assert_eq!(
+            va.power.total_mw().to_bits(),
+            vb.power.total_mw().to_bits(),
+            "{name} total power"
+        );
+        assert_eq!(
+            va.power.clock.total().to_bits(),
+            vb.power.clock.total().to_bits(),
+            "{name} clock power"
+        );
+        assert_eq!(va.area_um2.to_bits(), vb.area_um2.to_bits(), "{name} area");
+        assert_eq!(va.stats, vb.stats, "{name} stats");
+        assert_eq!(
+            va.wirelength_um.to_bits(),
+            vb.wirelength_um.to_bits(),
+            "{name} wirelength"
+        );
+    }
+    assert_eq!(a.ilp_cost, b.ilp_cost);
+    assert_eq!(a.ilp_optimal, b.ilp_optimal);
+    assert_eq!(a.convert, b.convert);
+    assert_eq!(a.cg, b.cg);
+    assert_eq!(a.equiv_3p, b.equiv_3p);
+    assert_eq!(a.equiv_ms, b.equiv_ms);
+}
+
+#[test]
+fn kill_after_retime_then_resume_reproduces_bit_exact_report() {
+    let lib = Library::synthetic_28nm();
+    let nl = linear_pipeline(4, 4, 1, 900.0);
+    let dir = tmp_dir("kill_retime");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Reference: uninterrupted run, no checkpointing at all.
+    let reference = run_flow(&nl, &lib, &quick_cfg()).unwrap();
+
+    // Crashing run: dies right after the retime checkpoint is durable.
+    let crash_cfg = FlowConfig {
+        checkpoint: Some(CheckpointCfg {
+            dir: dir.clone(),
+            resume: false,
+        }),
+        fault: Some(
+            FaultPlan::new(11)
+                .inject("flow.stage.retime", Fault::Panic)
+                .shared(),
+        ),
+        ..quick_cfg()
+    };
+    let crashed = catch_unwind(AssertUnwindSafe(|| run_flow(&nl, &lib, &crash_cfg)));
+    assert!(crashed.is_err(), "the injected crash must fire");
+    let written = std::fs::read_dir(&dir).unwrap().count();
+    assert!(
+        written >= 3,
+        "preprocess, convert, and retime checkpoints must be durable \
+         before the crash (found {written})"
+    );
+
+    // Resume run: the phase solver is armed with a numeric fault. If the
+    // ILP stage were re-executed, the fallback chain would degrade to
+    // the greedy rung — so an `Exact` rung in the resumed report proves
+    // the stage was genuinely skipped.
+    let resume_cfg = FlowConfig {
+        checkpoint: Some(CheckpointCfg::resume_in(dir.clone())),
+        phase_cfg: PhaseConfig {
+            hook: Some(FaultPlan::new(1).inject("phase.", Fault::Numeric).shared()),
+            ..PhaseConfig::default()
+        },
+        ..quick_cfg()
+    };
+    let resumed = run_flow(&nl, &lib, &resume_cfg).unwrap();
+    assert_eq!(
+        resumed.ilp_rung,
+        SolveRung::Exact,
+        "resume must skip the solved ILP stage (a re-run would have \
+         fallen back to the greedy rung under the armed numeric fault)"
+    );
+    assert_eq!(resumed.ilp_fallbacks, 0);
+    assert_bit_exact(&reference, &resumed);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn resume_with_stale_fingerprint_recomputes_from_scratch() {
+    let lib = Library::synthetic_28nm();
+    let nl = linear_pipeline(3, 3, 1, 900.0);
+    let dir = tmp_dir("stale_fp");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let cfg = FlowConfig {
+        checkpoint: Some(CheckpointCfg::resume_in(dir.clone())),
+        ..quick_cfg()
+    };
+    run_flow(&nl, &lib, &cfg).unwrap();
+
+    // Same directory, different seed: every stored stage is stale. The
+    // armed numeric fault proves the solver really re-ran.
+    let cfg2 = FlowConfig {
+        seed: 77,
+        checkpoint: Some(CheckpointCfg::resume_in(dir.clone())),
+        phase_cfg: PhaseConfig {
+            hook: Some(FaultPlan::new(1).inject("phase.", Fault::Numeric).shared()),
+            ..PhaseConfig::default()
+        },
+        ..quick_cfg()
+    };
+    let report = run_flow(&nl, &lib, &cfg2).unwrap();
+    assert_eq!(
+        report.ilp_rung,
+        SolveRung::Greedy,
+        "stale checkpoints must not be adopted"
+    );
+    assert_eq!(report.equiv_3p, Some(true), "greedy result is still valid");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn full_checkpoint_resume_skips_everything_and_stays_bit_exact() {
+    // Resume from a *complete* checkpoint set (all four stages durable):
+    // all transform stages skip, validation re-runs, report identical.
+    let lib = Library::synthetic_28nm();
+    let nl = linear_pipeline(3, 4, 1, 900.0);
+    let dir = tmp_dir("full");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let cfg = FlowConfig {
+        checkpoint: Some(CheckpointCfg {
+            dir: dir.clone(),
+            resume: false,
+        }),
+        ..quick_cfg()
+    };
+    let first = run_flow(&nl, &lib, &cfg).unwrap();
+
+    let resume_cfg = FlowConfig {
+        checkpoint: Some(CheckpointCfg::resume_in(dir.clone())),
+        ..quick_cfg()
+    };
+    let second = run_flow(&nl, &lib, &resume_cfg).unwrap();
+    assert_bit_exact(&first, &second);
+    assert_eq!(first.lint.len(), second.lint.len());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

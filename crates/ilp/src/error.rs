@@ -1,0 +1,61 @@
+//! Typed error taxonomy for the ILP solvers.
+
+use crate::model::Status;
+use std::fmt;
+
+/// Why a solve produced no usable assignment.
+///
+/// [`crate::try_solve`] and [`crate::PhaseProblem::solve_via_ilp`] return
+/// this instead of panicking or handing back an empty `values` vector;
+/// the phase-assignment fallback chain
+/// ([`crate::PhaseProblem::solve_chain`]) records one entry per failed
+/// rung.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolveError {
+    /// The model has no feasible point (proven at the root or by an
+    /// exhausted integer search).
+    Infeasible,
+    /// The objective is unbounded below.
+    Unbounded,
+    /// The search budget ran out before any incumbent was found. Carries
+    /// the limit that fired ([`Status::NodeLimit`] or
+    /// [`Status::TimeLimit`]).
+    NoIncumbent(Status),
+    /// Numeric instability (e.g. simplex cycling signals) or an injected
+    /// numeric fault aborted the search.
+    Numeric(String),
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::Infeasible => write!(f, "model is infeasible"),
+            SolveError::Unbounded => write!(f, "objective is unbounded below"),
+            SolveError::NoIncumbent(s) => {
+                write!(f, "search budget exhausted ({s:?}) with no incumbent")
+            }
+            SolveError::Numeric(msg) => write!(f, "numeric failure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_variants() {
+        let msgs = [
+            SolveError::Infeasible.to_string(),
+            SolveError::Unbounded.to_string(),
+            SolveError::NoIncumbent(Status::NodeLimit).to_string(),
+            SolveError::Numeric("pivot".into()).to_string(),
+        ];
+        assert!(msgs[0].contains("infeasible"));
+        assert!(msgs[1].contains("unbounded"));
+        assert!(msgs[2].contains("NodeLimit"));
+        assert!(msgs[3].contains("pivot"));
+    }
+}

@@ -9,6 +9,14 @@
 //!   ([`PhaseProblem::to_ilp_model`]) and via an exact combinatorial
 //!   solver ([`PhaseProblem::solve`]) that scales to the benchmark sizes.
 //!
+//! Robustness: solves take node *and* wall-clock budgets and report
+//! budget hits as distinguishable statuses ([`Status::NodeLimit`],
+//! [`Status::TimeLimit`]); [`try_solve`] and
+//! [`PhaseProblem::solve_via_ilp`] surface failures as typed
+//! [`SolveError`]s instead of panicking; and
+//! [`PhaseProblem::solve_chain`] degrades ILP → exact combinatorial →
+//! greedy feasible, recording the answering rung in a [`PhaseOutcome`].
+//!
 //! # Examples
 //!
 //! ```
@@ -26,10 +34,12 @@
 //! ```
 
 mod branch;
+mod error;
 mod model;
 mod phase;
 pub mod simplex;
 
-pub use branch::{solve, IlpConfig};
+pub use branch::{solve, try_solve, IlpConfig};
+pub use error::SolveError;
 pub use model::{Constraint, LinExpr, Model, Sense, Solution, Status, VarId};
-pub use phase::{PhaseConfig, PhaseProblem, PhaseSolution};
+pub use phase::{PhaseConfig, PhaseOutcome, PhaseProblem, PhaseSolution, SolveRung};

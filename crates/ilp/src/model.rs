@@ -162,20 +162,57 @@ impl Model {
 }
 
 /// Why a solve ended.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// Budget-style outcomes ([`Status::NodeLimit`], [`Status::TimeLimit`])
+/// are distinct from [`Status::Feasible`]: a limit status says exactly
+/// which budget stopped the search, while `Feasible` is reserved for
+/// searches that ended early for a non-budget reason (e.g. a fallback
+/// rung that performs no optimality proof at all).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Status {
-    /// Proven optimal.
+    /// Proven optimal: the search space was exhausted.
     Optimal,
-    /// Feasible but optimality not proven (node/time limit hit).
+    /// A feasible incumbent with no optimality proof and no budget hit
+    /// (early termination for a non-budget reason, or a heuristic rung).
     Feasible,
+    /// The node budget ran out. An incumbent may or may not exist — check
+    /// `Solution::values` (or use [`crate::try_solve`], which turns the
+    /// no-incumbent case into a typed error).
+    NodeLimit,
+    /// The wall-clock deadline expired. Incumbent presence as for
+    /// [`Status::NodeLimit`].
+    TimeLimit,
     /// No feasible point exists.
     Infeasible,
     /// Objective unbounded below.
     Unbounded,
+    /// The search aborted on numeric instability (or an injected numeric
+    /// fault) before producing a trustworthy answer.
+    Aborted,
+}
+
+impl Status {
+    /// `true` for the budget-exhaustion outcomes.
+    pub fn is_limit(self) -> bool {
+        matches!(self, Status::NodeLimit | Status::TimeLimit)
+    }
+
+    /// Stable lower-case name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Status::Optimal => "optimal",
+            Status::Feasible => "feasible",
+            Status::NodeLimit => "node-limit",
+            Status::TimeLimit => "time-limit",
+            Status::Infeasible => "infeasible",
+            Status::Unbounded => "unbounded",
+            Status::Aborted => "aborted",
+        }
+    }
 }
 
 /// Result of an (M)ILP solve.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Solution {
     /// Termination status.
     pub status: Status,

@@ -19,8 +19,11 @@
 //! incumbent. [`PhaseProblem::to_ilp_model`] emits the literal ILP instead,
 //! for cross-checking against the generic solver (our stand-in for Gurobi).
 
+use crate::error::SolveError;
 use crate::model::{LinExpr, Model, Sense, Status, VarId};
-use crate::{solve as ilp_solve, IlpConfig};
+use crate::{try_solve, IlpConfig};
+use std::time::{Duration, Instant};
+use triphase_fault::{fault_at, injected_panic, Fault, SharedInjector};
 
 /// Instance of the phase-assignment problem.
 #[derive(Debug, Clone, Default)]
@@ -51,19 +54,81 @@ pub struct PhaseSolution {
     pub optimal: bool,
 }
 
-/// Search budget.
-#[derive(Debug, Clone, Copy)]
+/// Search budget and fallback-chain knobs.
+#[derive(Debug, Clone)]
 pub struct PhaseConfig {
-    /// Maximum branch-and-bound nodes across all components.
+    /// Maximum branch-and-bound nodes across all components. Hitting the
+    /// budget degrades to the greedy incumbent (never fails): the result
+    /// carries `optimal = false` and [`Status::NodeLimit`].
     pub max_nodes: usize,
+    /// Optional wall-clock budget for the whole solve. Checked at every
+    /// search node; expiry degrades to the incumbent under
+    /// [`Status::TimeLimit`].
+    pub time_limit: Option<Duration>,
+    /// [`PhaseProblem::solve_chain`] first tries the literal-ILP rung
+    /// (the "Gurobi path") when the instance has at most this many ILP
+    /// variables (`2·|V| + |PI|`). `0` (the default) skips straight to
+    /// the exact combinatorial solver, which is bit-identical on every
+    /// instance the ILP rung can close.
+    pub ilp_max_vars: usize,
+    /// Fault-injection hook (sites `"phase.ilp"`, `"phase.exact"`,
+    /// `"phase.greedy"`). `None` in production.
+    pub hook: Option<SharedInjector>,
 }
 
 impl Default for PhaseConfig {
     fn default() -> Self {
         PhaseConfig {
             max_nodes: 2_000_000,
+            time_limit: None,
+            ilp_max_vars: 0,
+            hook: None,
         }
     }
+}
+
+/// Which rung of the fallback chain produced an answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SolveRung {
+    /// The literal §IV-A ILP through the generic branch-and-bound (the
+    /// paper's Gurobi path).
+    Ilp,
+    /// The exact combinatorial solver ([`PhaseProblem::solve`]).
+    Exact,
+    /// Greedy feasible assignment — always succeeds, no optimality
+    /// claim.
+    Greedy,
+}
+
+impl SolveRung {
+    /// Stable lower-case name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            SolveRung::Ilp => "ilp",
+            SolveRung::Exact => "exact",
+            SolveRung::Greedy => "greedy",
+        }
+    }
+}
+
+impl std::fmt::Display for SolveRung {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Result of [`PhaseProblem::solve_chain`]: the solution plus provenance
+/// (which rung answered, with what status, and which rungs failed first).
+#[derive(Debug, Clone)]
+pub struct PhaseOutcome {
+    /// The (possibly degraded) assignment. Always ILP-feasible.
+    pub solution: PhaseSolution,
+    /// The rung that produced [`PhaseOutcome::solution`].
+    pub rung: SolveRung,
+    /// Termination status of that rung.
+    pub status: Status,
+    /// Rungs that failed before the answering one, with their errors.
+    pub fallbacks: Vec<(SolveRung, SolveError)>,
 }
 
 impl PhaseProblem {
@@ -139,6 +204,22 @@ impl PhaseProblem {
 
     /// Solve using component decomposition + branch-and-bound.
     pub fn solve(&self, cfg: &PhaseConfig) -> PhaseSolution {
+        self.solve_with_status(cfg).0
+    }
+
+    /// [`PhaseProblem::solve`], also reporting how the search ended:
+    /// [`Status::Optimal`] when every component closed, otherwise the
+    /// budget that stopped it ([`Status::NodeLimit`] /
+    /// [`Status::TimeLimit`]) with the greedy-or-better incumbent.
+    pub fn solve_with_status(&self, cfg: &PhaseConfig) -> (PhaseSolution, Status) {
+        let mut max_nodes = cfg.max_nodes;
+        let mut deadline = cfg.time_limit.map(|d| Instant::now() + d);
+        match fault_at(&cfg.hook, "phase.exact") {
+            Some(Fault::ExhaustNodes) => max_nodes = 0,
+            Some(Fault::ExpireDeadline) => deadline = Some(Instant::now()),
+            Some(Fault::Panic) => injected_panic("phase.exact"),
+            _ => {}
+        }
         let cand: Vec<bool> = (0..self.n).map(|u| !self.self_loop[u]).collect();
 
         // Union components over edges and PI groups.
@@ -164,20 +245,42 @@ impl PhaseProblem {
 
         let mut in_t = vec![false; self.n];
         let mut optimal = true;
-        let mut budget = cfg.max_nodes;
+        let mut timed_out = false;
+        let mut budget = max_nodes;
         for comp in &comp_list {
             // Each search node costs O(|comp|) work; cap per-component
             // nodes so wall-clock stays bounded on huge components (the
             // greedy incumbent is still returned, flagged non-optimal).
             let per_comp = budget.min(50_000_000 / (comp.len() + 1));
-            let (t, opt, used) = self.solve_component(comp, per_comp);
+            let (t, opt, used, timeout) = self.solve_component(comp, per_comp, deadline);
             budget = budget.saturating_sub(used);
             optimal &= opt;
+            timed_out |= timeout;
             for u in t {
                 in_t[u] = true;
             }
         }
-        self.decode(&in_t, optimal)
+        let status = if optimal {
+            Status::Optimal
+        } else if timed_out {
+            Status::TimeLimit
+        } else {
+            Status::NodeLimit
+        };
+        (self.decode(&in_t, optimal), status)
+    }
+
+    /// Greedy feasible assignment: the last rung of the fallback chain.
+    /// Min-degree greedy maximum-independent-set on the augmented graph,
+    /// no search — always succeeds, never claims optimality.
+    pub fn solve_greedy(&self) -> PhaseSolution {
+        let cfg = PhaseConfig {
+            max_nodes: 0,
+            ..PhaseConfig::default()
+        };
+        let mut sol = self.solve_with_status(&cfg).0;
+        sol.optimal = false;
+        sol
     }
 
     fn decode(&self, in_t: &[bool], optimal: bool) -> PhaseSolution {
@@ -199,7 +302,7 @@ impl PhaseProblem {
     }
 
     /// Per-component exact search. Returns `(chosen, proven_optimal,
-    /// nodes_used)`.
+    /// nodes_used, deadline_expired)`.
     ///
     /// The PI penalties are folded into the graph: each primary input
     /// becomes a weight-1 *pseudo-vertex* adjacent to its fan-out nodes
@@ -207,7 +310,12 @@ impl PhaseProblem {
     /// problem on the augmented graph), so the matching bound accounts
     /// for penalties. Degree-0/1 reductions solve tree-like regions
     /// (e.g. pipelines) without branching.
-    fn solve_component(&self, comp: &[usize], budget: usize) -> (Vec<usize>, bool, usize) {
+    fn solve_component(
+        &self,
+        comp: &[usize],
+        budget: usize,
+        deadline: Option<Instant>,
+    ) -> (Vec<usize>, bool, usize, bool) {
         // Local index mapping for real nodes.
         let mut local_of = std::collections::HashMap::new();
         for (i, &u) in comp.iter().enumerate() {
@@ -270,6 +378,8 @@ impl PhaseProblem {
             nodes: usize,
             budget: usize,
             complete: bool,
+            deadline: Option<Instant>,
+            timed_out: bool,
         }
         fn greedy_matching(adj: &[Vec<usize>], alive: &[bool]) -> i64 {
             let mut matched = vec![false; adj.len()];
@@ -291,9 +401,20 @@ impl PhaseProblem {
         }
         fn bb(ctx: &mut Ctx, mut alive: Vec<bool>, mut chosen: Vec<bool>, mut score: i64) {
             ctx.nodes += 1;
-            if ctx.nodes > ctx.budget {
+            if ctx.timed_out || ctx.nodes > ctx.budget {
                 ctx.complete = false;
                 return;
+            }
+            // Wall-clock check every 16 nodes (and on the first node, so
+            // an already-expired deadline is seen immediately). Each node
+            // does O(V+E) reduction/bound work, so the syscall cost is
+            // negligible next to node work.
+            if let Some(d) = ctx.deadline {
+                if ctx.nodes % 16 == 1 && Instant::now() >= d {
+                    ctx.timed_out = true;
+                    ctx.complete = false;
+                    return;
+                }
             }
             // Reductions: take isolated vertices; take leaves (dominance:
             // a leaf is always at least as good as its only neighbour).
@@ -341,11 +462,16 @@ impl PhaseProblem {
             if ub <= ctx.best_score {
                 return;
             }
-            // Branch on the max-degree vertex.
-            let v = (0..alive.len())
+            // Branch on the max-degree vertex. `remaining > 0` guarantees
+            // a live vertex; if that invariant ever broke, give up on the
+            // optimality claim for this subtree instead of panicking.
+            let Some(v) = (0..alive.len())
                 .filter(|&u| alive[u])
                 .max_by_key(|&u| ctx.adj[u].iter().filter(|&&w| alive[w]).count())
-                .expect("nonempty");
+            else {
+                ctx.complete = false;
+                return;
+            };
             // Include v.
             {
                 let mut a2 = alive.clone();
@@ -369,6 +495,8 @@ impl PhaseProblem {
             nodes: 0,
             budget,
             complete: true,
+            deadline,
+            timed_out: false,
         };
         bb(&mut ctx, vec![true; n], vec![false; n], 0);
         best = ctx.best;
@@ -382,7 +510,7 @@ impl PhaseProblem {
             .filter(|(_, &b)| b)
             .map(|(i, _)| comp[i])
             .collect();
-        (chosen_global, ctx.complete, ctx.nodes)
+        (chosen_global, ctx.complete, ctx.nodes, ctx.timed_out)
     }
 
     /// Build the literal §IV-A ILP.
@@ -434,21 +562,126 @@ impl PhaseProblem {
         (m, k, g, pi_g)
     }
 
-    /// Solve via the generic branch-and-bound ILP (the "Gurobi path").
-    /// Practical only for small instances; used for cross-validation.
-    pub fn solve_via_ilp(&self, cfg: &IlpConfig) -> Option<PhaseSolution> {
-        let (model, k, g, pi_g) = self.to_ilp_model();
-        let sol = ilp_solve(&model, cfg);
-        if !matches!(sol.status, Status::Optimal | Status::Feasible) {
-            return None;
+    /// Canonical solution implied by a `K` assignment: `G` is derived at
+    /// its tightest feasible setting (`u` single iff `K(u)` and no
+    /// fan-out of `u` has `K`), PI bits likewise, so the cost equals
+    /// [`PhaseProblem::cost_of`] exactly.
+    fn solution_from_k(&self, k: &[bool], optimal: bool) -> PhaseSolution {
+        let g: Vec<bool> = (0..self.n)
+            .map(|u| !(k[u] && self.fo[u].iter().all(|&v| !k[v])))
+            .collect();
+        let pi_g: Vec<bool> = self
+            .pi_fanout
+            .iter()
+            .map(|fo| fo.iter().any(|&v| k[v]))
+            .collect();
+        let cost = g.iter().filter(|&&b| b).count() + pi_g.iter().filter(|&&b| b).count();
+        PhaseSolution {
+            k: k.to_vec(),
+            g,
+            pi_g,
+            cost,
+            optimal,
         }
-        Some(PhaseSolution {
-            k: k.iter().map(|&v| sol.bool_value(v)).collect(),
-            g: g.iter().map(|&v| sol.bool_value(v)).collect(),
-            pi_g: pi_g.iter().map(|&v| sol.bool_value(v)).collect(),
-            cost: sol.objective.round() as usize,
-            optimal: sol.status == Status::Optimal,
-        })
+    }
+
+    fn ilp_rung(&self, cfg: &IlpConfig) -> Result<(PhaseSolution, Status), SolveError> {
+        let (model, k, _g, _pi_g) = self.to_ilp_model();
+        let sol = try_solve(&model, cfg)?;
+        let kvec: Vec<bool> = k.iter().map(|&v| sol.bool_value(v)).collect();
+        Ok((
+            self.solution_from_k(&kvec, sol.status == Status::Optimal),
+            sol.status,
+        ))
+    }
+
+    /// Solve via the generic branch-and-bound ILP (the "Gurobi path").
+    /// Practical only for small instances; used for cross-validation and
+    /// as the first rung of [`PhaseProblem::solve_chain`].
+    ///
+    /// Non-optimal incumbents are re-canonicalized from their `K` bits,
+    /// so the returned solution's `cost` always equals
+    /// [`PhaseProblem::cost_of`] of its `k`.
+    pub fn solve_via_ilp(&self, cfg: &IlpConfig) -> Result<PhaseSolution, SolveError> {
+        self.ilp_rung(cfg).map(|(sol, _)| sol)
+    }
+
+    /// Degrading solve: literal ILP (on instances small enough per
+    /// `cfg.ilp_max_vars`) → exact combinatorial solver → greedy feasible
+    /// assignment. Never fails and never panics (absent an injected
+    /// panic fault): the weakest rung always produces a feasible
+    /// assignment. Provenance is recorded in the returned
+    /// [`PhaseOutcome`].
+    pub fn solve_chain(&self, cfg: &PhaseConfig) -> PhaseOutcome {
+        let started = Instant::now();
+        let remaining = |limit: Option<Duration>| {
+            limit.map(|d| d.checked_sub(started.elapsed()).unwrap_or(Duration::ZERO))
+        };
+        let mut fallbacks = Vec::new();
+
+        // Rung 1: the paper's Gurobi path, gated on instance size.
+        let nvars = 2 * self.n + self.pi_fanout.len();
+        if cfg.ilp_max_vars > 0 && nvars <= cfg.ilp_max_vars {
+            match fault_at(&cfg.hook, "phase.ilp") {
+                Some(Fault::Panic) => injected_panic("phase.ilp"),
+                Some(Fault::Numeric) => fallbacks.push((
+                    SolveRung::Ilp,
+                    SolveError::Numeric("injected numeric fault at phase.ilp".into()),
+                )),
+                _ => {
+                    let icfg = IlpConfig {
+                        max_nodes: cfg.max_nodes.min(200_000),
+                        time_limit: remaining(cfg.time_limit),
+                        hook: cfg.hook.clone(),
+                        ..IlpConfig::default()
+                    };
+                    match self.ilp_rung(&icfg) {
+                        Ok((solution, status)) => {
+                            return PhaseOutcome {
+                                solution,
+                                rung: SolveRung::Ilp,
+                                status,
+                                fallbacks,
+                            }
+                        }
+                        Err(e) => fallbacks.push((SolveRung::Ilp, e)),
+                    }
+                }
+            }
+        }
+
+        // Rung 2: exact combinatorial solver. Budget exhaustion degrades
+        // internally (greedy incumbent, limit status), so only a numeric
+        // fault can push past this rung.
+        if let Some(Fault::Numeric) = fault_at(&cfg.hook, "phase.exact.numeric") {
+            fallbacks.push((
+                SolveRung::Exact,
+                SolveError::Numeric("injected numeric fault at phase.exact".into()),
+            ));
+        } else {
+            let ecfg = PhaseConfig {
+                time_limit: remaining(cfg.time_limit),
+                ..cfg.clone()
+            };
+            let (solution, status) = self.solve_with_status(&ecfg);
+            return PhaseOutcome {
+                solution,
+                rung: SolveRung::Exact,
+                status,
+                fallbacks,
+            };
+        }
+
+        // Rung 3: greedy feasible assignment — cannot fail.
+        if let Some(Fault::Panic) = fault_at(&cfg.hook, "phase.greedy") {
+            injected_panic("phase.greedy");
+        }
+        PhaseOutcome {
+            solution: self.solve_greedy(),
+            rung: SolveRung::Greedy,
+            status: Status::Feasible,
+            fallbacks,
+        }
     }
 }
 
@@ -490,8 +723,7 @@ mod tests {
                 let k: Vec<bool> = (0..n).map(|i| (mask >> i) & 1 == 1).collect();
                 p.cost_of(&k)
             })
-            .min()
-            .unwrap()
+            .fold(usize::MAX, Ord::min)
     }
 
     #[test]
@@ -613,6 +845,156 @@ mod tests {
             values[pig[i].index()] = b as u8 as f64;
         }
         assert!(model.is_feasible(&values, 1e-9));
+    }
+
+    /// Dense pseudo-random instance that a tiny budget cannot close.
+    fn dense_instance(n: usize, avg_deg: usize, seed: u64) -> PhaseProblem {
+        let mut p = PhaseProblem::new(n);
+        let mut s = seed;
+        let mut rnd = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        for _ in 0..n * avg_deg / 2 {
+            let u = (rnd() % n as u64) as usize;
+            let v = (rnd() % n as u64) as usize;
+            if u != v {
+                p.add_fanout(u, v);
+            }
+        }
+        p
+    }
+
+    #[test]
+    fn node_budget_degrades_with_status() {
+        let p = dense_instance(120, 10, 0xDEADBEEF);
+        let (sol, status) = p.solve_with_status(&PhaseConfig {
+            max_nodes: 0,
+            ..PhaseConfig::default()
+        });
+        assert_eq!(status, Status::NodeLimit);
+        assert!(!sol.optimal);
+        // Degraded but valid: internally consistent with the reference
+        // evaluator.
+        assert_eq!(sol.cost, p.cost_of(&sol.k));
+    }
+
+    #[test]
+    fn time_budget_degrades_with_status() {
+        let p = dense_instance(200, 12, 0xABCD);
+        let (sol, status) = p.solve_with_status(&PhaseConfig {
+            time_limit: Some(std::time::Duration::ZERO),
+            ..PhaseConfig::default()
+        });
+        assert_eq!(status, Status::TimeLimit);
+        assert!(!sol.optimal);
+        assert_eq!(sol.cost, p.cost_of(&sol.k));
+    }
+
+    #[test]
+    fn greedy_rung_is_feasible_and_close() {
+        let p = dense_instance(60, 6, 0x5EED);
+        let greedy = p.solve_greedy();
+        assert!(!greedy.optimal);
+        assert_eq!(greedy.cost, p.cost_of(&greedy.k));
+        let exact = p.solve(&PhaseConfig::default());
+        assert!(greedy.cost >= exact.cost);
+    }
+
+    #[test]
+    fn chain_default_uses_exact_rung() {
+        let mut p = PhaseProblem::new(4);
+        p.add_fanout(0, 1);
+        p.add_fanout(1, 2);
+        p.add_fanout(2, 3);
+        let out = p.solve_chain(&PhaseConfig::default());
+        assert_eq!(out.rung, SolveRung::Exact);
+        assert_eq!(out.status, Status::Optimal);
+        assert!(out.fallbacks.is_empty());
+        assert!(out.solution.optimal);
+        assert_eq!(out.solution.cost, brute_force(&p));
+    }
+
+    #[test]
+    fn chain_ilp_rung_on_small_instances() {
+        let mut p = PhaseProblem::new(3);
+        p.add_fanout(0, 1);
+        p.add_fanout(1, 2);
+        p.add_pi(vec![0]);
+        let cfg = PhaseConfig {
+            ilp_max_vars: 64,
+            ..PhaseConfig::default()
+        };
+        let out = p.solve_chain(&cfg);
+        assert_eq!(out.rung, SolveRung::Ilp);
+        assert_eq!(out.status, Status::Optimal);
+        assert!(out.fallbacks.is_empty());
+        assert_eq!(out.solution.cost, brute_force(&p));
+        assert_eq!(out.solution.cost, p.cost_of(&out.solution.k));
+    }
+
+    #[test]
+    fn chain_falls_back_to_greedy_on_numeric_faults() {
+        use triphase_fault::{Fault, FaultPlan};
+        let p = dense_instance(40, 5, 7);
+        let cfg = PhaseConfig {
+            ilp_max_vars: 1_000_000,
+            hook: Some(FaultPlan::new(3).inject("phase.", Fault::Numeric).shared()),
+            ..PhaseConfig::default()
+        };
+        let out = p.solve_chain(&cfg);
+        assert_eq!(out.rung, SolveRung::Greedy);
+        assert_eq!(out.fallbacks.len(), 2);
+        assert!(matches!(
+            out.fallbacks[0],
+            (SolveRung::Ilp, SolveError::Numeric(_))
+        ));
+        assert!(matches!(
+            out.fallbacks[1],
+            (SolveRung::Exact, SolveError::Numeric(_))
+        ));
+        assert_eq!(out.solution.cost, p.cost_of(&out.solution.k));
+    }
+
+    #[test]
+    fn chain_injected_budget_faults_degrade_in_place() {
+        use triphase_fault::{Fault, FaultPlan};
+        let p = dense_instance(120, 10, 42);
+        let with = |fault: Fault| PhaseConfig {
+            hook: Some(FaultPlan::new(5).inject("phase.exact", fault).shared()),
+            ..PhaseConfig::default()
+        };
+        let out = p.solve_chain(&with(Fault::ExhaustNodes));
+        assert_eq!(out.rung, SolveRung::Exact);
+        assert_eq!(out.status, Status::NodeLimit);
+        assert_eq!(out.solution.cost, p.cost_of(&out.solution.k));
+        let out = p.solve_chain(&with(Fault::ExpireDeadline));
+        assert_eq!(out.rung, SolveRung::Exact);
+        assert_eq!(out.status, Status::TimeLimit);
+    }
+
+    #[test]
+    fn ilp_rung_incumbent_is_canonicalized() {
+        // Force a non-optimal ILP incumbent via a zero node budget (the
+        // rounding heuristic supplies it) and check the decoded solution
+        // is internally consistent.
+        let p = dense_instance(8, 3, 99);
+        let cfg = IlpConfig {
+            max_nodes: 0,
+            ..IlpConfig::default()
+        };
+        match p.solve_via_ilp(&cfg) {
+            Ok(sol) => {
+                assert!(!sol.optimal);
+                assert_eq!(sol.cost, p.cost_of(&sol.k));
+            }
+            Err(e) => assert!(
+                matches!(e, SolveError::NoIncumbent(_)),
+                "unexpected error {e}"
+            ),
+        }
     }
 
     #[test]

@@ -37,6 +37,7 @@ mod id;
 mod netlist;
 pub mod opt;
 pub mod rng;
+pub mod snapshot;
 
 pub mod bench_fmt;
 pub mod verilog;

@@ -21,7 +21,7 @@ pub struct Cell {
     pub name: String,
     /// The cell's kind (logic function + pin interface).
     pub kind: CellKind,
-    pins: Vec<NetId>,
+    pub(crate) pins: Vec<NetId>,
 }
 
 impl Cell {
@@ -134,12 +134,12 @@ impl ClockSpec {
 pub struct Netlist {
     /// Design name.
     pub name: String,
-    cells: Vec<Option<Cell>>,
-    nets: Vec<Option<Net>>,
-    ports: Vec<Port>,
+    pub(crate) cells: Vec<Option<Cell>>,
+    pub(crate) nets: Vec<Option<Net>>,
+    pub(crate) ports: Vec<Port>,
     /// Clock description, if the design is sequential.
     pub clock: Option<ClockSpec>,
-    live_cells: usize,
+    pub(crate) live_cells: usize,
 }
 
 impl Netlist {

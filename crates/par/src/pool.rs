@@ -379,6 +379,45 @@ mod tests {
     }
 
     #[test]
+    fn mid_scope_panic_does_not_poison_pool_for_later_work() {
+        // A task panicking in the middle of a scope (siblings before and
+        // after it) must leave the pool fully serviceable: the sibling
+        // tasks still settle, and subsequent scopes and par_maps on the
+        // very same pool run normally — across repeated rounds, so a
+        // worker wedged by an earlier panic would be caught.
+        let pool = ThreadPool::new(2);
+        let items: Vec<usize> = (0..16).collect();
+        for round in 0..3 {
+            let done = AtomicUsize::new(0);
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                pool.scope(|s| {
+                    for i in 0..8 {
+                        let done = &done;
+                        s.spawn(move || {
+                            if i == 4 {
+                                panic!("injected mid-scope panic");
+                            }
+                            done.fetch_add(1, SeqCst);
+                        });
+                    }
+                });
+            }));
+            assert!(result.is_err(), "round {round}: panic re-raised");
+            assert_eq!(done.load(SeqCst), 7, "round {round}: siblings settled");
+            // Fresh work on the same pool proceeds with correct results.
+            let out = pool.par_map(&items, |&x| x + round);
+            assert_eq!(out, items.iter().map(|&x| x + round).collect::<Vec<_>>());
+        }
+        // The global pool (the one the flow uses) shrugs off a panic too.
+        let g = ThreadPool::global();
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            g.scope(|s| s.spawn(|| panic!("global pool panic")));
+        }));
+        assert!(r.is_err());
+        assert_eq!(g.par_map(&items, |&x| x * 2)[15], 30);
+    }
+
+    #[test]
     fn single_worker_pool_completes_via_helping() {
         let pool = ThreadPool::new(1);
         let items: Vec<usize> = (0..32).collect();
