@@ -1,0 +1,92 @@
+//! Differential fuzz campaign CLI: generate, mutate, and sabotage random
+//! netlists to cross-check the simulator kernels, the Verilog
+//! writer/parser, and the FF → 3-phase conversion + SAT equivalence
+//! stack against each other.
+//!
+//! Three phases (see `triphase_bench::fuzz` for the oracles): generated
+//! netlists must pass every cross-check; adversarial mutants must end in
+//! a typed error or a valid conversion — never a panic; seeded semantic
+//! bugs in the converted design must be caught by the checker, and every
+//! caught bug is shrunk and persisted as a golden/mutant Verilog pair
+//! under `results/fuzz_corpus/`. Sabotage runs are counted in their own
+//! report section, never in the differential pass total.
+//!
+//! Output: the `fuzz_campaign` section of `results/BENCH_fuzz.json`
+//! (read-merge-write, same convention as `BENCH_sim.json` /
+//! `BENCH_fault.json`), with seed, config echo, commit id, per-phase
+//! timings, and a determinism fingerprint.
+//!
+//! Usage: `fuzz [--quick] [--seed N]` — `--quick` runs the reduced CI
+//! `fuzz-smoke` configuration. Exit codes: `0` = certified, `1` = at
+//! least one failure (or a campaign that never detected a seeded bug),
+//! `2` = usage error.
+
+use triphase_bench::fuzz::{run_campaign, FuzzConfig};
+
+/// Default master seed (the campaign is deterministic given the seed).
+const DEFAULT_SEED: u64 = 0xda7e_2020;
+
+fn main() {
+    let mut quick = false;
+    let mut seed = DEFAULT_SEED;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--seed" => {
+                seed = match args.next().map(|v| parse_seed(&v)) {
+                    Some(Ok(v)) => v,
+                    _ => {
+                        eprintln!("usage: fuzz [--quick] [--seed N]");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            other => {
+                eprintln!("usage: fuzz [--quick] [--seed N] (unknown arg {other:?})");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut cfg = if quick {
+        FuzzConfig::quick(seed)
+    } else {
+        FuzzConfig::full(seed)
+    };
+    let path = triphase_bench::perf::report_path().with_file_name("BENCH_fuzz.json");
+    cfg.corpus_dir = path.parent().map(|p| p.join("fuzz_corpus"));
+
+    let report = run_campaign(&cfg, true);
+    if let Err(e) = triphase_bench::perf::merge_section_at(&path, "fuzz_campaign", report.to_json())
+    {
+        eprintln!("failed to write {}: {e}", path.display());
+        std::process::exit(1);
+    }
+    println!(
+        "fuzz campaign: {}/{} differential, {} typed errors, {} sabotage detected \
+         ({} corpus files), {} failures -> {}",
+        report.passed,
+        report.config.cases,
+        report.typed_errors,
+        report.detected,
+        report.corpus_entries,
+        report.failures.len(),
+        path.display()
+    );
+    for f in &report.failures {
+        eprintln!(
+            "FAILURE [{}] case {}: {} ({})",
+            f.phase, f.case, f.detail, f.recipe
+        );
+    }
+    std::process::exit(if report.certified() { 0 } else { 1 });
+}
+
+/// Parse a decimal or `0x`-prefixed hex seed.
+fn parse_seed(text: &str) -> Result<u64, std::num::ParseIntError> {
+    match text.strip_prefix("0x") {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => text.parse(),
+    }
+}

@@ -13,6 +13,7 @@
 //! reduced configuration for smoke testing; the full configuration is the
 //! EXPERIMENTS.md reference.
 
+pub mod fuzz;
 pub mod json;
 pub mod microbench;
 pub mod perf;

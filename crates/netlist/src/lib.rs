@@ -11,7 +11,9 @@
 //! - [`graph`]: combinational topological order, storage-to-storage
 //!   reachability (the paper's `FO(u)`), fan-in cone and clock tracing;
 //! - [`verilog`]: structural Verilog writer/parser;
-//! - [`bench_fmt`]: ISCAS89 `.bench` parser.
+//! - [`bench_fmt`]: ISCAS89 `.bench` parser;
+//! - [`gen`]: deterministic recipe-driven random netlist generator
+//!   (property tests and the fuzz campaign).
 //!
 //! # Examples
 //!
@@ -32,6 +34,7 @@
 
 mod build;
 mod error;
+pub mod gen;
 pub mod graph;
 mod id;
 mod netlist;

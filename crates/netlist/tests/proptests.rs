@@ -1,53 +1,25 @@
 //! Property-style tests: Verilog round-trips and structural invariants on
 //! randomly built netlists, driven by a deterministic recipe stream.
 
-use triphase_netlist::{verilog, Builder, ClockSpec, Netlist, SplitMix64 as Rng, Word};
+use triphase_netlist::gen::Recipe;
+use triphase_netlist::{verilog, Builder, ClockSpec, Netlist, SplitMix64 as Rng};
 
-/// Build a random netlist from a recipe of word operations.
+/// Build a random netlist from a recipe of word operations (the shared
+/// generator also drives the `triphase-bench` fuzz campaign).
 fn build(ops: &[u8], width: usize, seed: u64) -> Netlist {
-    let mut nl = Netlist::new(format!("rand{seed}"));
-    let mut b = Builder::new(&mut nl, "u");
-    let (ckp, ck) = b.netlist().add_input("ck");
-    let mut w: Word = b.word_input("in", width.max(1));
-    for (i, &op) in ops.iter().enumerate() {
-        w = match op % 7 {
-            0 => {
-                let r = w.rotl(1 + i % 3);
-                b.xor_word(&w, &r)
-            }
-            1 => {
-                let r = w.rotr(1);
-                b.and_word(&w, &r)
-            }
-            2 => {
-                let r = w.rotl(2);
-                b.or_word(&w, &r)
-            }
-            3 => b.not_word(&w),
-            4 => b.add_const(&w, (op as u64).wrapping_mul(0x9E37) & 0xff),
-            5 => b.dff_word(&w, ck),
-            _ => {
-                let s = w.bit(0);
-                let r = w.rotl(1);
-                b.mux_word(&w, &r, s)
-            }
-        };
+    Recipe {
+        ops: ops.to_vec(),
+        width,
+        seed,
     }
-    b.word_output("out", &w);
-    nl.clock = Some(ClockSpec::single(ckp, 1000.0));
-    nl
+    .build()
 }
 
 /// Draw `(ops, width, seed)` recipes from a named stream.
 fn recipes(tag: u64, cases: usize, max_ops: usize, max_width: usize) -> Vec<(Vec<u8>, usize, u64)> {
-    let mut rng = Rng(tag);
-    (0..cases)
-        .map(|_| {
-            let ops: Vec<u8> = (0..rng.range(1, max_ops))
-                .map(|_| rng.next_u64() as u8)
-                .collect();
-            (ops, rng.range(1, max_width), rng.next_u64() % 100)
-        })
+    Recipe::stream(tag, cases, max_ops, max_width)
+        .into_iter()
+        .map(|r| (r.ops, r.width, r.seed))
         .collect()
 }
 

@@ -10,6 +10,9 @@ pub type Result<T> = std::result::Result<T, Error>;
 pub enum Error {
     /// The netlist has no clock specification.
     NoClock,
+    /// The clock specification is unusable (non-finite or non-positive
+    /// period, non-finite edge times).
+    BadClock(String),
     /// Underlying netlist problem (combinational loop etc.).
     Netlist(triphase_netlist::Error),
     /// Equivalence streaming: the two designs' data ports differ.
@@ -23,6 +26,7 @@ impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Error::NoClock => write!(f, "netlist has no clock specification"),
+            Error::BadClock(msg) => write!(f, "bad clock specification: {msg}"),
             Error::Netlist(e) => write!(f, "netlist error: {e}"),
             Error::PortMismatch(msg) => write!(f, "port mismatch: {msg}"),
             Error::NoCycles => write!(f, "activity has zero simulated cycles"),

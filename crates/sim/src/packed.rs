@@ -266,7 +266,8 @@ impl<'a> PackedSim<'a> {
     ///
     /// # Errors
     ///
-    /// [`Error::NoClock`] without a clock spec; [`Error::Netlist`] on
+    /// [`Error::NoClock`] without a clock spec; [`Error::BadClock`] on an
+    /// unusable one (zero/NaN period); [`Error::Netlist`] on
     /// combinational loops or a lane count outside 1..=64.
     pub fn new(nl: &'a Netlist, lanes: usize) -> Result<PackedSim<'a>> {
         if lanes == 0 || lanes > LANES {
@@ -275,6 +276,7 @@ impl<'a> PackedSim<'a> {
             ))));
         }
         let clock = nl.clock.as_ref().ok_or(Error::NoClock)?;
+        crate::sim::validate_clock(clock)?;
         let idx = nl.index();
         let comb_order = graph::comb_topo_order(nl, &idx).map_err(Error::Netlist)?;
         let clock_order = clock_network_order(nl, &idx)?;

@@ -14,6 +14,27 @@ use std::collections::HashMap;
 use triphase_cells::CellKind;
 use triphase_netlist::{graph, CellId, ConnIndex, NetId, Netlist, PortDir, PortId};
 
+/// Reject clock specifications the edge scheduler cannot order: a
+/// non-finite or non-positive period makes `rem_euclid` produce NaN edge
+/// times (which are unsortable), and non-finite edge times do the same.
+pub(crate) fn validate_clock(clock: &triphase_netlist::ClockSpec) -> Result<()> {
+    if !clock.period_ps.is_finite() || clock.period_ps <= 0.0 {
+        return Err(Error::BadClock(format!(
+            "period {} ps is not a positive finite time",
+            clock.period_ps
+        )));
+    }
+    for (i, p) in clock.phases.iter().enumerate() {
+        if !p.rise_ps.is_finite() || !p.fall_ps.is_finite() {
+            return Err(Error::BadClock(format!(
+                "phase {i} has non-finite edge times (rise {} ps, fall {} ps)",
+                p.rise_ps, p.fall_ps
+            )));
+        }
+    }
+    Ok(())
+}
+
 /// Per-net switching statistics.
 #[derive(Debug, Clone, Default)]
 pub struct Activity {
@@ -71,9 +92,11 @@ impl<'a> Simulator<'a> {
     /// # Errors
     ///
     /// [`Error::NoClock`] if the netlist has no clock spec;
-    /// [`Error::Netlist`] on combinational loops.
+    /// [`Error::BadClock`] on an unusable one (zero/NaN period or
+    /// non-finite edge times); [`Error::Netlist`] on combinational loops.
     pub fn new(nl: &'a Netlist) -> Result<Simulator<'a>> {
         let clock = nl.clock.as_ref().ok_or(Error::NoClock)?;
+        validate_clock(clock)?;
         let idx = nl.index();
         let comb_order = graph::comb_topo_order(nl, &idx).map_err(Error::Netlist)?;
         let clock_order = clock_network_order(nl, &idx)?;
@@ -524,6 +547,25 @@ mod tests {
             net_toggles: vec![5],
         };
         assert_eq!(nonzero.toggle_rate(net).unwrap(), 0.5);
+    }
+
+    #[test]
+    fn degenerate_clock_periods_are_typed_errors() {
+        // Regression (found by the fuzz campaign): a zero/NaN clock
+        // period made `rem_euclid` produce NaN edge times, and sorting
+        // them panicked inside both simulator constructors.
+        for period in [0.0, -1000.0, f64::NAN, f64::INFINITY] {
+            let mut nl = counter();
+            nl.clock.as_mut().unwrap().period_ps = period;
+            assert!(
+                matches!(Simulator::new(&nl), Err(Error::BadClock(_))),
+                "scalar accepted period {period}"
+            );
+            assert!(
+                matches!(crate::PackedSim::new(&nl, 1), Err(Error::BadClock(_))),
+                "packed accepted period {period}"
+            );
+        }
     }
 
     /// 3-bit counter with plain FFs.

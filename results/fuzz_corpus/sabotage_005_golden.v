@@ -1,0 +1,16 @@
+module rand30 (ck, in_0, in_1, out_0, out_1);
+  input ck;
+  input in_0;
+  input in_1;
+  output out_0;
+  output out_1;
+  wire ck;
+  wire in_0;
+  wire in_1;
+  wire u_w0;
+  wire u_w2;
+  assign out_0 = u_w0;
+  assign out_1 = u_w2;
+  AND2_X1 u_g1 (.A0(in_0), .A1(in_1), .Y(u_w0));
+  AND2_X1 u_g3 (.A0(in_1), .A1(in_0), .Y(u_w2));
+endmodule

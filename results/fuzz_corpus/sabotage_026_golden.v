@@ -1,0 +1,10 @@
+module rand75 (ck, in_0, out_0);
+  input ck;
+  input in_0;
+  output out_0;
+  wire ck;
+  wire in_0;
+  wire u_w0;
+  assign out_0 = u_w0;
+  INV_X1 u_g1 (.A(in_0), .Y(u_w0));
+endmodule

@@ -1,0 +1,14 @@
+module rand75 (in_0, out_0, p1, p2, p3);
+  input in_0;
+  output out_0;
+  input p1;
+  input p2;
+  input p3;
+  wire in_0;
+  wire u_w0;
+  wire p1;
+  wire p2;
+  wire p3;
+  assign out_0 = u_w0;
+  BUF_X1 u_g1 (.A(in_0), .Y(u_w0));
+endmodule
