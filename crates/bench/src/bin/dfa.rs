@@ -1,0 +1,368 @@
+//! Semantic static-analysis CLI: run the `triphase-dfa` analyses — the
+//! same four checkpoints the flow runs — over the registered benchmark
+//! generators.
+//!
+//! ```text
+//! dfa                 # analyze every registered benchmark (summary)
+//! dfa s5378           # analyze one benchmark by name
+//! dfa --json [...]    # print machine-readable JSON reports
+//! dfa --quick         # restrict to the quick suite
+//! dfa --certify       # golden sweep + seeded defects -> results/BENCH_static.json
+//! ```
+//!
+//! Per benchmark the netlist is converted exactly like the flow's front
+//! end (gated-clock style, compact, phase assignment, 3-phase conversion)
+//! and four reports run: `const` on the FF design, then `const`, `reset`
+//! (preservation against the FF design), and `race` on the converted
+//! design.
+//!
+//! `--certify` additionally checks the detectors themselves: every golden
+//! benchmark must report zero warning/error findings, and three seeded
+//! defects — a clock gate tied dead (`D102`), a register losing its
+//! reset initialization (`D201`), and a same-phase min-delay race
+//! (`D301`/`D302`) — must each be detected. The outcome is merged into
+//! `results/BENCH_static.json` (`golden`, `seeded`, `summary` sections).
+//!
+//! Exit codes (stable): `0` all reports clean / certification passed,
+//! `1` findings reported or certification failed, `2` usage error.
+
+use std::process::ExitCode;
+use triphase_bench::json::Json;
+use triphase_bench::report::ReportFile;
+use triphase_bench::{benchmarks, quick_benchmarks, Benchmark};
+use triphase_cells::{CellKind, Library};
+use triphase_core::{
+    assign_phases, extract_ff_graph, gated_clock_style, retime_three_phase, to_three_phase,
+};
+use triphase_dfa::{const_report, race_report, reset_report, DfaReport, DEFAULT_RESET_CYCLES};
+use triphase_ilp::PhaseConfig;
+use triphase_lint::Severity;
+use triphase_netlist::{Builder, ClockSpec, Netlist};
+
+struct Options {
+    json: bool,
+    quick: bool,
+    certify: bool,
+    names: Vec<String>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        json: false,
+        quick: false,
+        certify: false,
+        names: Vec::new(),
+    };
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => opts.json = true,
+            "--quick" => opts.quick = true,
+            "--certify" => opts.certify = true,
+            "--help" | "-h" => {
+                return Err("usage: dfa [--json] [--quick] [--certify] [NAME...]".to_owned())
+            }
+            name if name.starts_with('-') => return Err(format!("unknown flag {name:?}")),
+            name => opts.names.push(name.to_owned()),
+        }
+    }
+    Ok(opts)
+}
+
+/// The flow's preprocessing + conversion, in lockstep with the `lint` and
+/// `equiv` bins: gated-clock style, compact, phase assignment, 3-phase
+/// conversion. Returns the FF design and its converted twin.
+fn convert(nl: &Netlist) -> Result<(Netlist, Netlist), String> {
+    let mut pre = nl.clone();
+    gated_clock_style(&mut pre, 32).map_err(|e| e.to_string())?;
+    let pre = pre.compact();
+    let idx = pre.index();
+    let graph = extract_ff_graph(&pre, &idx).map_err(|e| e.to_string())?;
+    let assignment = assign_phases(&graph, &PhaseConfig::default());
+    let (tp, _) = to_three_phase(&pre, &assignment).map_err(|e| e.to_string())?;
+    Ok((pre, tp))
+}
+
+/// The four checkpoint analyses the flow runs, standalone. The race
+/// analysis runs on the *retimed* netlist, like the flow's post-retiming
+/// checkpoint: retiming balances the half-stages, so borrow chains on the
+/// raw conversion (where a whole FF stage's logic sits in one half) would
+/// report divergence the real flow never ships.
+fn analyze(pre: &Netlist, tp: &Netlist, lib: &Library) -> Result<Vec<DfaReport>, String> {
+    let e = |err: triphase_dfa::Error| err.to_string();
+    let pre_idx = pre.index();
+    let tp_idx = tp.index();
+    let (rt, _) = retime_three_phase(tp, lib, 0.5).map_err(|err| err.to_string())?;
+    Ok(vec![
+        const_report(pre, &pre_idx, Some("preprocess")).map_err(e)?,
+        const_report(tp, &tp_idx, Some("convert")).map_err(e)?,
+        reset_report(pre, tp, DEFAULT_RESET_CYCLES, Some("convert")).map_err(e)?,
+        race_report(&rt, lib, &rt.index(), Some("retime")).map_err(e)?,
+    ])
+}
+
+/// Severity-count record for one report.
+fn counts_json(r: &DfaReport) -> Json {
+    let mut c = Json::obj();
+    c.set("errors", r.count(Severity::Error).into());
+    c.set("warnings", r.count(Severity::Warn).into());
+    c.set("infos", r.count(Severity::Info).into());
+    c
+}
+
+/// Self-contained 2-bit counter used as the reset-seeding victim: its
+/// state loop never depends on inputs, so everything is reset-defined.
+fn counter2() -> Netlist {
+    let mut nl = Netlist::new("cnt2");
+    let mut b = Builder::new(&mut nl, "u");
+    let (ckp, ck) = b.netlist().add_input("ck");
+    let q0 = b.net("q0");
+    let q1 = b.net("q1");
+    let n0 = b.not(q0);
+    let t1 = b.gate(CellKind::Xor(2), &[q1, q0]);
+    b.netlist().add_cell("b0", CellKind::Dff, vec![n0, ck, q0]);
+    b.netlist().add_cell("b1", CellKind::Dff, vec![t1, ck, q1]);
+    b.netlist().add_output("c0", q0);
+    b.netlist().add_output("c1", q1);
+    nl.clock = Some(ClockSpec::single(ckp, 1000.0));
+    nl
+}
+
+/// Seeded defect 1 — stuck clock-gate enable: convert a real gated
+/// benchmark, then tie one ICG's enable to constant 0. The `const`
+/// analysis must report `D102` (gate never enabled).
+fn seed_stuck_enable(suite: &[Benchmark]) -> Result<DfaReport, String> {
+    for b in suite {
+        let (_, tp) = convert(&b.build())?;
+        let Some((icg, en_pin)) = tp
+            .cells()
+            .find(|(_, c)| c.kind.is_clock_gate())
+            .and_then(|(id, c)| c.kind.enable_pin().map(|p| (id, p)))
+        else {
+            continue;
+        };
+        let mut bad = tp.clone();
+        let zero = {
+            let mut bld = Builder::new(&mut bad, "dfa_seed");
+            bld.net("zero")
+        };
+        bad.add_cell("dfa_seed_tie0", CellKind::Const0, vec![zero]);
+        bad.set_pin(icg, en_pin, zero);
+        return const_report(&bad, &bad.index(), Some("seeded")).map_err(|e| e.to_string());
+    }
+    Err("no converted benchmark carries a clock gate".to_owned())
+}
+
+/// Seeded defect 2 — lost reset initialization: convert the counter, then
+/// XOR a fresh primary input into one converted register's data pin. The
+/// `reset` analysis must report `D201` (state X-reachable after
+/// conversion) against the FF source.
+fn seed_reset_loss() -> Result<DfaReport, String> {
+    let (pre, tp) = convert(&counter2())?;
+    let mut bad = tp.clone();
+    let victim = bad
+        .cells()
+        .find(|(_, c)| c.kind.is_storage() && c.name == "b1")
+        .map(|(id, c)| (id, c.kind.data_pin()))
+        .ok_or("converted counter lost register b1")?;
+    let (victim, Some(d_pin)) = victim else {
+        return Err("register b1 has no data pin".to_owned());
+    };
+    let old_d = bad.cell(victim).pin(d_pin);
+    let mixed = {
+        let mut bld = Builder::new(&mut bad, "dfa_seed");
+        let (_, noise) = bld.netlist().add_input("noise");
+        bld.gate(CellKind::Xor(2), &[old_d, noise])
+    };
+    bad.set_pin(victim, d_pin, mixed);
+    reset_report(&pre, &bad, DEFAULT_RESET_CYCLES, Some("seeded")).map_err(|e| e.to_string())
+}
+
+/// Seeded defect 3 — min-delay race: two transparent-high latches on the
+/// same phase, one inverter apart. The `race` analysis must report
+/// `D301` (min-delay race) and/or `D302` (co-transparent pair).
+fn seed_race(lib: &Library) -> Result<DfaReport, String> {
+    let mut nl = Netlist::new("seeded_race");
+    let mut b = Builder::new(&mut nl, "u");
+    let (p1, c1) = b.netlist().add_input("p1");
+    let (p2, _c2) = b.netlist().add_input("p2");
+    let (_, d) = b.netlist().add_input("d");
+    let q0 = b.net("q0");
+    let q1 = b.net("q1");
+    b.netlist()
+        .add_cell("l0", CellKind::LatchH, vec![d, c1, q0]);
+    let x = b.not(q0);
+    b.netlist()
+        .add_cell("l1", CellKind::LatchH, vec![x, c1, q1]);
+    b.netlist().add_output("q", q1);
+    nl.clock = Some(ClockSpec::equal_phases(&[p1, p2], 1000.0));
+    race_report(&nl, lib, &nl.index(), Some("seeded")).map_err(|e| e.to_string())
+}
+
+/// Golden sweep + seeded-defect detection, merged into
+/// `results/BENCH_static.json`. Returns `true` when certification passed.
+fn certify(suite: &[Benchmark], lib: &Library) -> Result<bool, String> {
+    let rows = triphase_par::par_map(&suite.iter().collect::<Vec<_>>(), |b| {
+        let t0 = std::time::Instant::now();
+        let result = convert(&b.build()).and_then(|(pre, tp)| analyze(&pre, &tp, lib));
+        match &result {
+            Ok(reports) => eprintln!(
+                "[golden] {:>8} ... {} finding(s) in {:.1}s",
+                b.name,
+                reports.iter().map(|r| r.findings()).sum::<usize>(),
+                t0.elapsed().as_secs_f64()
+            ),
+            Err(e) => eprintln!("[golden] {:>8} ... FAILED: {e}", b.name),
+        }
+        result
+    });
+
+    let mut golden = Json::obj();
+    let mut golden_clean = true;
+    let mut golden_failures = Vec::new();
+    for (b, result) in suite.iter().zip(rows) {
+        match result {
+            Ok(reports) => {
+                let mut row = Json::obj();
+                for r in &reports {
+                    let key = format!("{}_{}", r.analysis, r.stage.as_deref().unwrap_or("-"));
+                    row.set(&key, counts_json(r));
+                    if r.findings() > 0 {
+                        golden_clean = false;
+                        eprintln!("golden finding on {}:\n{r}", b.name);
+                    }
+                }
+                row.set("clean", reports.iter().all(|r| r.findings() == 0).into());
+                golden.set(b.name, row);
+            }
+            Err(e) => {
+                golden_clean = false;
+                golden_failures.push(format!("{}: {e}", b.name));
+            }
+        }
+    }
+
+    let seeded_cases: Vec<(&str, Vec<&str>, Result<DfaReport, String>)> = vec![
+        ("stuck_enable", vec!["D102"], seed_stuck_enable(suite)),
+        ("reset_init_lost", vec!["D201"], seed_reset_loss()),
+        ("min_delay_race", vec!["D301", "D302"], seed_race(lib)),
+    ];
+    let mut seeded = Json::obj();
+    let mut seeded_detected = 0usize;
+    for (name, codes, result) in &seeded_cases {
+        let mut row = Json::obj();
+        row.set(
+            "expected",
+            Json::Arr(codes.iter().map(|&c| c.into()).collect()),
+        );
+        let detected = match result {
+            Ok(r) => {
+                let hit: Vec<&str> = codes.iter().copied().filter(|c| r.has(c)).collect();
+                row.set(
+                    "reported",
+                    Json::Arr(hit.iter().map(|&c| c.into()).collect()),
+                );
+                !hit.is_empty()
+            }
+            Err(e) => {
+                row.set("error", e.as_str().into());
+                false
+            }
+        };
+        row.set("detected", detected.into());
+        seeded_detected += usize::from(detected);
+        eprintln!(
+            "[seeded] {name:>16} ... {}",
+            if detected { "detected" } else { "MISSED" }
+        );
+        seeded.set(name, row);
+    }
+
+    let certified = golden_clean && seeded_detected == seeded_cases.len();
+    let mut summary = Json::obj();
+    summary.set("benchmarks", suite.len().into());
+    summary.set("golden_clean", golden_clean.into());
+    summary.set("seeded_total", seeded_cases.len().into());
+    summary.set("seeded_detected", seeded_detected.into());
+    summary.set("certified", certified.into());
+    if !golden_failures.is_empty() {
+        summary.set(
+            "failures",
+            Json::Arr(golden_failures.iter().map(|f| f.as_str().into()).collect()),
+        );
+    }
+
+    let out = ReportFile::new("BENCH_static.json");
+    out.merge_or_exit("golden", golden);
+    out.merge_or_exit("seeded", seeded);
+    out.merge_or_exit("summary", summary);
+    println!(
+        "static analysis: {} benchmarks, golden {}, seeded {}/{} -> {}",
+        suite.len(),
+        if golden_clean { "clean" } else { "DIRTY" },
+        seeded_detected,
+        seeded_cases.len(),
+        out.path().display()
+    );
+    Ok(certified)
+}
+
+fn run() -> Result<bool, String> {
+    let opts = parse_args()?;
+    let lib = Library::synthetic_28nm();
+    let all = if opts.quick {
+        quick_benchmarks()
+    } else {
+        benchmarks()
+    };
+    let selected: Vec<Benchmark> = if opts.names.is_empty() {
+        all
+    } else {
+        opts.names
+            .iter()
+            .map(|n| {
+                all.iter().find(|b| b.name == n).cloned().ok_or_else(|| {
+                    let known: Vec<_> = all.iter().map(|b| b.name).collect();
+                    format!("unknown benchmark {n:?}; known: {known:?}")
+                })
+            })
+            .collect::<Result<_, String>>()?
+    };
+
+    if opts.certify {
+        return certify(&selected, &lib);
+    }
+
+    // Fan the per-benchmark analyses out and print in registry order.
+    let results = triphase_par::par_map(&selected, |b| {
+        let (pre, tp) = convert(&b.build())?;
+        let reports = analyze(&pre, &tp, &lib)?;
+        let mut text = String::new();
+        for r in &reports {
+            if opts.json {
+                text.push_str(&r.to_json());
+                text.push('\n');
+            } else {
+                text.push_str(&r.to_string());
+            }
+        }
+        Ok::<_, String>((reports, text))
+    });
+    let mut clean = true;
+    for r in results {
+        let (reports, text) = r?;
+        print!("{text}");
+        clean &= reports.iter().all(|r| r.findings() == 0);
+    }
+    Ok(clean)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -98,7 +98,10 @@ fn classify(
     match scenario {
         Scenario::Baseline => match flow {
             Ok(r) => {
-                let ok = r.equiv_3p == Some(true) && r.equiv_ms == Some(true);
+                // The default DfaPolicy::Warn collects the semantic
+                // checkpoints in the report; an empty list means they
+                // silently did not run — a certification violation.
+                let ok = r.equiv_3p == Some(true) && r.equiv_ms == Some(true) && !r.dfa.is_empty();
                 (
                     "ok",
                     format!("rung {} status {}", r.ilp_rung, r.ilp_status.name()),
@@ -359,21 +362,15 @@ fn main() {
     // Read-merge-write (same convention as BENCH_sim.json): a quick run
     // refreshes only its own benchmark sections, leaving full-campaign
     // rows from other runs intact.
-    let path = triphase_bench::perf::report_path().with_file_name("BENCH_fault.json");
-    if let Some(parent) = path.parent() {
-        let _ = std::fs::create_dir_all(parent);
-    }
+    let out = triphase_bench::report::ReportFile::new("BENCH_fault.json");
     for (key, value) in sections {
-        if let Err(e) = triphase_bench::perf::merge_section_at(&path, key, value) {
-            eprintln!("failed to write {}: {e}", path.display());
-            std::process::exit(1);
-        }
+        out.merge_or_exit(key, value);
     }
     println!(
         "fault campaign: {} runs, {} violations -> {}",
         total + 1,
         violations,
-        path.display()
+        out.path().display()
     );
     std::process::exit(if violations == 0 { 0 } else { 1 });
 }

@@ -54,15 +54,11 @@ fn main() {
     } else {
         FuzzConfig::full(seed)
     };
-    let path = triphase_bench::perf::report_path().with_file_name("BENCH_fuzz.json");
-    cfg.corpus_dir = path.parent().map(|p| p.join("fuzz_corpus"));
+    let out = triphase_bench::report::ReportFile::new("BENCH_fuzz.json");
+    cfg.corpus_dir = out.path().parent().map(|p| p.join("fuzz_corpus"));
 
     let report = run_campaign(&cfg, true);
-    if let Err(e) = triphase_bench::perf::merge_section_at(&path, "fuzz_campaign", report.to_json())
-    {
-        eprintln!("failed to write {}: {e}", path.display());
-        std::process::exit(1);
-    }
+    out.merge_or_exit("fuzz_campaign", report.to_json());
     println!(
         "fuzz campaign: {}/{} differential, {} typed errors, {} sabotage detected \
          ({} corpus files), {} failures -> {}",
@@ -72,7 +68,7 @@ fn main() {
         report.detected,
         report.corpus_entries,
         report.failures.len(),
-        path.display()
+        out.path().display()
     );
     for f in &report.failures {
         eprintln!(

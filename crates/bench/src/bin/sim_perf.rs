@@ -7,12 +7,13 @@
 //! of the file are preserved. `--quick` (or `TRIPHASE_SCALE=quick`) runs
 //! a reduced configuration.
 //!
-//! Exit codes (stable): `0` report written, `1` determinism check failed,
-//! `2` internal error (flow/simulation failure).
+//! Exit codes (stable): `0` report written, `1` determinism check or
+//! report write failed, `2` internal error (flow/simulation failure).
 
 use triphase_bench::json::Json;
 use triphase_bench::microbench::{samples, time_throughput, Measurement};
-use triphase_bench::perf::{measurement_json, merge_section};
+use triphase_bench::perf::measurement_json;
+use triphase_bench::report::ReportFile;
 use triphase_circuits::iscas::{generate_iscas, iscas_profiles};
 use triphase_core::{assign_phases, extract_ff_graph, gated_clock_style, to_three_phase};
 use triphase_ilp::PhaseConfig;
@@ -182,12 +183,10 @@ fn main() {
     scaling.set("fingerprint", format!("{fingerprint:016x}").into());
     scaling.set("curve", Json::Arr(curve));
 
-    let write = |section: &str, value: Json| match merge_section(section, value) {
-        Ok(path) => println!("wrote section {section:?} -> {}", path.display()),
-        Err(e) => {
-            eprintln!("error: writing {section}: {e}");
-            std::process::exit(2);
-        }
+    let out = ReportFile::new("BENCH_sim.json");
+    let write = |section: &str, value: Json| {
+        out.merge_or_exit(section, value);
+        println!("wrote section {section:?} -> {}", out.path().display());
     };
     write("packed_kernel", kernel);
     write("thread_scaling", scaling);

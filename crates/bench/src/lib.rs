@@ -17,6 +17,7 @@ pub mod fuzz;
 pub mod json;
 pub mod microbench;
 pub mod perf;
+pub mod report;
 
 use triphase_cells::Library;
 use triphase_circuits::cpu::{self, CpuConfig, Workload};

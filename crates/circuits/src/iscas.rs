@@ -214,17 +214,16 @@ pub fn generate_iscas(profile: &IscasProfile, seed: u64) -> Netlist {
     // Shared enables for the gated datapath FFs.
     let n_enabled = (n_data as f64 * profile.enable_frac).round() as usize;
     let n_en_groups = n_enabled.div_ceil(24).max(1);
-    // Enables are sparse (AND of two sources, ~25% duty under random
-    // stimulus) — idle-most-of-the-time registers are what makes clock
-    // gating worth the cells, in real circuits and here.
+    // Enables are sparse (AND of two primary inputs, ~25% duty under
+    // random stimulus) — idle-most-of-the-time registers are what makes
+    // clock gating worth the cells, in real circuits and here. Both
+    // sources are PIs: mixing in control state can AND with a bit whose
+    // FSM provably never leaves reset, producing a never-enabled gate
+    // (dead silicon the static analysis rightly flags).
     let enables: Vec<NetId> = (0..n_en_groups)
         .map(|_| {
             let a = pis[rng.below(pis.len().max(1))];
-            let c = if q_ctrl.is_empty() {
-                pis[rng.below(pis.len())]
-            } else {
-                q_ctrl[rng.below(q_ctrl.len())]
-            };
+            let c = pis[rng.below(pis.len().max(1))];
             b.gate(CellKind::And(2), &[a, c])
         })
         .collect();

@@ -32,6 +32,10 @@ pub enum Error {
     /// flow ran with [`crate::EquivPolicy::Deny`] (message carries the
     /// stage and verdict details).
     Equiv(String),
+    /// A dataflow-analysis checkpoint found error-severity violations
+    /// while the flow ran with [`crate::DfaPolicy::Deny`]. The full
+    /// report is attached.
+    Dfa(Box<triphase_dfa::DfaReport>),
     /// A task panicked and the panic was contained at a crate boundary
     /// (variant evaluation, benchmark run). The message carries the task
     /// name and, when downcastable, the panic payload.
@@ -78,6 +82,19 @@ impl fmt::Display for Error {
                 Ok(())
             }
             Error::Equiv(m) => write!(f, "formal equivalence failed: {m}"),
+            Error::Dfa(report) => {
+                let stage = report.stage.as_deref().unwrap_or("-");
+                write!(
+                    f,
+                    "dataflow analysis `{}` failed at stage {stage}: {} error(s)",
+                    report.analysis,
+                    report.errors().len()
+                )?;
+                if let Some(first) = report.errors().first() {
+                    write!(f, "; first: {first}")?;
+                }
+                Ok(())
+            }
             Error::Panic(m) => write!(f, "task panicked: {m}"),
             Error::Checkpoint(m) => write!(f, "checkpoint error: {m}"),
         }

@@ -71,6 +71,27 @@ pub enum EquivPolicy {
     Deny,
 }
 
+/// How the semantic dataflow-analysis checkpoints behave during the flow.
+///
+/// With [`DfaPolicy::Warn`] (the default) or [`DfaPolicy::Deny`], the
+/// [`triphase_dfa`] analyses run next to the lint checkpoints: constant /
+/// stuck-at propagation on the preprocessed FF design and on the final
+/// gated 3-phase netlist, reset-reachability preservation (FF vs 3-phase),
+/// and the static min-delay race check on the final netlist. Reports are
+/// collected in [`FlowReport::dfa`]; `Deny` additionally aborts the flow
+/// with [`Error::Dfa`] on any error-severity finding (warnings never fail
+/// a flow, matching [`LintPolicy`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DfaPolicy {
+    /// Skip the checkpoints entirely.
+    Off,
+    /// Run the checkpoints and collect reports; never fail.
+    #[default]
+    Warn,
+    /// Run the checkpoints and fail on any error-severity finding.
+    Deny,
+}
+
 /// Flow configuration.
 #[derive(Debug, Clone)]
 pub struct FlowConfig {
@@ -103,6 +124,8 @@ pub struct FlowConfig {
     pub lint: LintPolicy,
     /// Formal equivalence checkpoint policy.
     pub equiv: EquivPolicy,
+    /// Semantic dataflow-analysis checkpoint policy.
+    pub dfa: DfaPolicy,
     /// Fault-injection hook for the flow's own sites (`"flow.drive"`,
     /// `"flow.stage.<stage>"`, `"flow.variant.<name>"`). Note the ILP
     /// sites live on [`PhaseConfig::hook`]; `None` in production.
@@ -128,6 +151,7 @@ impl Default for FlowConfig {
             phase_cfg: PhaseConfig::default(),
             lint: LintPolicy::default(),
             equiv: EquivPolicy::default(),
+            dfa: DfaPolicy::default(),
             fault: None,
             checkpoint: None,
         }
@@ -150,6 +174,25 @@ fn lint_checkpoint(
     let deny = policy == LintPolicy::Deny && !report.is_clean();
     if deny {
         return Err(Error::Lint(Box::new(report)));
+    }
+    reports.push(report);
+    Ok(())
+}
+
+/// Run one dataflow-analysis checkpoint under `policy`, appending the
+/// report to `reports` and failing on error findings under
+/// [`DfaPolicy::Deny`].
+fn dfa_checkpoint(
+    policy: DfaPolicy,
+    run: impl FnOnce() -> triphase_dfa::Result<triphase_dfa::DfaReport>,
+    reports: &mut Vec<triphase_dfa::DfaReport>,
+) -> Result<()> {
+    if policy == DfaPolicy::Off {
+        return Ok(());
+    }
+    let report = run().map_err(|e| Error::BadInput(format!("dataflow analysis: {e}")))?;
+    if policy == DfaPolicy::Deny && !report.is_clean() {
+        return Err(Error::Dfa(Box::new(report)));
     }
     reports.push(report);
     Ok(())
@@ -257,6 +300,11 @@ pub struct FlowReport {
     /// order: `"conversion"` (FF vs pristine 3-phase), `"retime"`
     /// (pre- vs post-retiming, if retiming ran).
     pub equiv_formal: Vec<(String, triphase_equiv::EquivOutcome)>,
+    /// Dataflow-analysis reports (empty when [`FlowConfig::dfa`] is
+    /// [`DfaPolicy::Off`]), in checkpoint order: `const@preprocess`,
+    /// `const@clockgate`, `reset@clockgate` (FF vs final 3-phase
+    /// reset-initialization preservation), `race@clockgate`.
+    pub dfa: Vec<triphase_dfa::DfaReport>,
 }
 
 impl FlowReport {
@@ -390,6 +438,14 @@ pub fn run_flow_with(
         &pre,
         LintStage::Preprocess,
         &mut lint_reports,
+    )?;
+    // Semantic checkpoint: constness on the source design (stuck state
+    // and dead clock gates are input defects, caught before conversion).
+    let mut dfa_reports = Vec::new();
+    dfa_checkpoint(
+        cfg.dfa,
+        || triphase_dfa::const_report(&pre, &pre.index(), Some("preprocess")),
+        &mut dfa_reports,
     )?;
 
     // Master-slave baseline (cheap; recomputed even on resume).
@@ -557,6 +613,33 @@ pub fn run_flow_with(
         )));
     }
 
+    // Semantic checkpoints on the final gated 3-phase netlist: constness
+    // (clock gating just introduced the enables worth checking),
+    // reset-initialization preservation against the FF source, and the
+    // static min-delay race check across the latch windows.
+    dfa_checkpoint(
+        cfg.dfa,
+        || triphase_dfa::const_report(&tp, &tp_idx, Some("clockgate")),
+        &mut dfa_reports,
+    )?;
+    dfa_checkpoint(
+        cfg.dfa,
+        || {
+            triphase_dfa::reset_report(
+                &pre,
+                &tp,
+                triphase_dfa::DEFAULT_RESET_CYCLES,
+                Some("clockgate"),
+            )
+        },
+        &mut dfa_reports,
+    )?;
+    dfa_checkpoint(
+        cfg.dfa,
+        || triphase_dfa::race_report(&tp, lib, &tp_idx, Some("clockgate")),
+        &mut dfa_reports,
+    )?;
+
     // Equivalence validation (the paper's output-stream comparison).
     let (mut equiv_ms, mut equiv_3p) = (None, None);
     if cfg.equiv_cycles > 0 {
@@ -628,6 +711,7 @@ pub fn run_flow_with(
         equiv_3p,
         lint: lint_reports,
         equiv_formal,
+        dfa: dfa_reports,
     })
 }
 
@@ -817,6 +901,71 @@ mod tests {
         // Off (the default) skips the formal pass entirely.
         let report = run_flow(&nl, &lib, &quick_cfg()).unwrap();
         assert!(report.equiv_formal.is_empty());
+    }
+
+    #[test]
+    fn dfa_checkpoints_run_per_stage_and_deny_passes() {
+        let lib = Library::synthetic_28nm();
+        let nl = linear_pipeline(4, 4, 1, 900.0);
+        let cfg = FlowConfig {
+            dfa: DfaPolicy::Deny,
+            ..quick_cfg()
+        };
+        let report = run_flow(&nl, &lib, &cfg).unwrap();
+        let checkpoints: Vec<_> = report
+            .dfa
+            .iter()
+            .map(|r| (r.analysis, r.stage.as_deref()))
+            .collect();
+        assert_eq!(
+            checkpoints,
+            vec![
+                ("const", Some("preprocess")),
+                ("const", Some("clockgate")),
+                ("reset", Some("clockgate")),
+                ("race", Some("clockgate")),
+            ]
+        );
+        assert!(report.dfa.iter().all(|r| r.is_clean()));
+
+        let cfg = FlowConfig {
+            dfa: DfaPolicy::Off,
+            ..quick_cfg()
+        };
+        assert!(run_flow(&nl, &lib, &cfg).unwrap().dfa.is_empty());
+    }
+
+    #[test]
+    fn conversion_preserves_reset_defined_state() {
+        // Regression for the reset-reachability checkpoint on stateful
+        // designs: direct conversion (no P&R) keeps the test fast. The
+        // pipeline's registers are input-fed (trivially X after reset);
+        // the CPU keeps a PC/state loop that must stay reset-defined.
+        use triphase_circuits::cpu::{cpu_core, generate_program, m0_like};
+        for nl in [linear_pipeline(4, 4, 1, 900.0), {
+            let cpu = m0_like();
+            cpu_core(&cpu, &generate_program(&cpu, 11))
+        }] {
+            let mut pre = nl.clone();
+            gated_clock_style(&mut pre, 32).unwrap();
+            let pre = pre.compact();
+            let idx = pre.index();
+            let graph = extract_ff_graph(&pre, &idx).unwrap();
+            let assignment = assign_phases(&graph, &PhaseConfig::default());
+            let (tp, _) = to_three_phase(&pre, &assignment).unwrap();
+            let report = triphase_dfa::reset_report(
+                &pre,
+                &tp,
+                triphase_dfa::DEFAULT_RESET_CYCLES,
+                Some("convert"),
+            )
+            .unwrap();
+            assert!(
+                report.is_clean(),
+                "{}: conversion lost reset-defined state: {report}",
+                nl.name
+            );
+        }
     }
 
     #[test]

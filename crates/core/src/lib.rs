@@ -57,7 +57,8 @@ pub use convert::{latch_phases, phase_census, to_master_slave, to_three_phase, C
 pub use error::{Error, Result};
 pub use ffgraph::{assign_phases, extract_ff_graph, Assignment, FfGraph};
 pub use flow::{
-    run_flow, run_flow_with, Drive, EquivPolicy, FlowConfig, FlowReport, LintPolicy, VariantResult,
+    run_flow, run_flow_with, DfaPolicy, Drive, EquivPolicy, FlowConfig, FlowReport, LintPolicy,
+    VariantResult,
 };
 pub use preprocess::{gated_clock_style, PreprocessReport};
 pub use retiming::{retime_three_phase, RetimeReport};

@@ -1,0 +1,282 @@
+//! Ternary constant / stuck-at propagation.
+//!
+//! Abstract interpretation of the netlist over the [`Tern`] value-set
+//! lattice: primary inputs and clock phases can take any value (`Both`),
+//! storage starts at its reset value (`Zero`), and the sequential update
+//! joins every capturable data value into the state — a widening that
+//! over-approximates the set of reachable values per net. A net whose
+//! fixpoint value is still a single constant is provably stuck across all
+//! reachable states.
+//!
+//! Findings:
+//!
+//! - `D102` (error): a clock-gate enable provably 0 — the gated subtree
+//!   never sees a clock edge (always-gated);
+//! - `D103` (warn): a clock-gate enable provably 1 — the gate is a no-op
+//!   and pure overhead;
+//! - `D101`: a state element stuck at its reset value (or another
+//!   constant) in every reachable state — dead state, and a prime
+//!   clock-gating candidate (exported via [`ConstReport`]).
+
+use crate::engine::{fixpoint, Levelized, Tern};
+use crate::error::Result;
+use triphase_lint::{Diagnostic, Location, Severity};
+use triphase_netlist::{CellId, ConnIndex, NetId, Netlist};
+use triphase_sim::{eval_kind, Logic};
+
+/// Result of [`analyze_const`]: diagnostics plus the raw constness facts,
+/// exported for gating-candidate selection.
+#[derive(Debug, Clone)]
+pub struct ConstReport {
+    /// Fixpoint sweeps used.
+    pub sweeps: usize,
+    /// Per-net fixpoint value, indexed by [`NetId::index`].
+    pub values: Vec<Tern>,
+    /// Combinationally-driven nets that are provably constant (dead
+    /// logic), excluding explicit constant cells.
+    pub stuck_nets: Vec<(NetId, Tern)>,
+    /// Storage cells whose output is provably constant.
+    pub stuck_storage: Vec<(CellId, Tern)>,
+    /// Clock gates whose enable is provably constant.
+    pub const_enables: Vec<(CellId, Tern)>,
+    /// Findings (see module docs for codes).
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+/// Run ternary constant propagation to a fixpoint.
+///
+/// # Errors
+///
+/// [`crate::Error::Netlist`] on a combinational loop.
+pub fn analyze_const(nl: &Netlist, idx: &ConnIndex) -> Result<ConstReport> {
+    let lv = Levelized::new(nl, idx)?;
+    let mut values = vec![Tern::Bot; nl.net_capacity()];
+
+    // Seeds: data inputs and clock phases take any value; storage wakes up
+    // at its reset value.
+    for p in nl.input_ports() {
+        values[nl.port(p).net.index()] = Tern::Both;
+    }
+    for &id in &lv.storage {
+        values[nl.cell(id).output().index()] = Tern::Zero;
+    }
+
+    let mut inbuf: Vec<Logic> = Vec::new();
+    let sweeps = fixpoint(nl, &lv, &mut values, |_, cell, vals| {
+        let kind = cell.kind;
+        if kind.is_comb() {
+            inbuf.clear();
+            for &n in cell.inputs() {
+                inbuf.push(vals[n.index()].to_logic()?);
+            }
+            return Some(Tern::from_logic(eval_kind(kind, &inbuf)));
+        }
+        if kind.is_clock_gate() {
+            // GCK = CK & EN: the internal enable latch only subsamples the
+            // enable, so its value set is contained in EN's.
+            let en = vals[cell.pin(kind.enable_pin()?).index()].to_logic()?;
+            let ck = vals[cell.pin(kind.clock_pin()?).index()].to_logic()?;
+            return Some(Tern::from_logic(ck.and(en)));
+        }
+        // Storage: join the data value whenever a capture is possible.
+        let d = vals[cell.pin(kind.data_pin()?).index()];
+        if d == Tern::Bot {
+            return None;
+        }
+        let ck = vals[cell.pin(kind.clock_pin()?).index()];
+        let captures = match kind {
+            triphase_cells::CellKind::Dff => ck.can_be_one(),
+            triphase_cells::CellKind::DffEn => {
+                let en = vals[cell.pin(kind.enable_pin()?).index()];
+                ck.can_be_one() && en.can_be_one()
+            }
+            triphase_cells::CellKind::LatchH => ck.can_be_one(),
+            triphase_cells::CellKind::LatchL => ck.can_be_zero(),
+            _ => false,
+        };
+        captures.then_some(d)
+    });
+
+    // Harvest facts and findings.
+    let mut stuck_nets = Vec::new();
+    let mut stuck_storage = Vec::new();
+    let mut const_enables = Vec::new();
+    let mut diagnostics = Vec::new();
+    for (id, cell) in nl.cells() {
+        let kind = cell.kind;
+        if kind.is_comb()
+            && !matches!(
+                kind,
+                triphase_cells::CellKind::Const0 | triphase_cells::CellKind::Const1
+            )
+        {
+            let out = cell.output();
+            let v = values[out.index()];
+            if v.is_const() {
+                stuck_nets.push((out, v));
+            }
+        }
+        if kind.is_storage() {
+            let v = values[cell.output().index()];
+            if v.is_const() {
+                stuck_storage.push((id, v));
+                diagnostics.push(Diagnostic {
+                    code: "D101",
+                    rule: "stuck-state",
+                    severity: Severity::Info,
+                    location: Location::Cell {
+                        id,
+                        name: cell.name.clone(),
+                    },
+                    message: format!(
+                        "state element is provably stuck at {} in every reachable state",
+                        tern_str(v)
+                    ),
+                });
+            }
+        }
+        if kind.is_clock_gate() {
+            let Some(en_pin) = kind.enable_pin() else {
+                continue;
+            };
+            let en = values[cell.pin(en_pin).index()];
+            if en.is_const() {
+                const_enables.push((id, en));
+            }
+            if en == Tern::Zero {
+                diagnostics.push(Diagnostic {
+                    code: "D102",
+                    rule: "gate-never-enabled",
+                    severity: Severity::Error,
+                    location: Location::Cell {
+                        id,
+                        name: cell.name.clone(),
+                    },
+                    message: "clock-gate enable is provably 0: the gated subtree never clocks"
+                        .to_owned(),
+                });
+            } else if en == Tern::One {
+                diagnostics.push(Diagnostic {
+                    code: "D103",
+                    rule: "gate-always-enabled",
+                    severity: Severity::Warn,
+                    location: Location::Cell {
+                        id,
+                        name: cell.name.clone(),
+                    },
+                    message: "clock-gate enable is provably 1: gating is a no-op".to_owned(),
+                });
+            }
+        }
+    }
+
+    Ok(ConstReport {
+        sweeps,
+        values,
+        stuck_nets,
+        stuck_storage,
+        const_enables,
+        diagnostics,
+    })
+}
+
+fn tern_str(v: Tern) -> &'static str {
+    match v {
+        Tern::Zero => "0",
+        Tern::One => "1",
+        Tern::Both => "0/1",
+        Tern::Bot => "unreachable",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use triphase_cells::CellKind;
+    use triphase_netlist::{Builder, ClockSpec};
+
+    /// FF pipeline with live data: nothing is stuck.
+    #[test]
+    fn clean_pipeline_has_no_findings() {
+        let mut nl = Netlist::new("clean");
+        let mut b = Builder::new(&mut nl, "u");
+        let (ckp, ck) = b.netlist().add_input("ck");
+        let (_, d) = b.netlist().add_input("d");
+        let q0 = b.dff(d, ck);
+        let x = b.not(q0);
+        let q1 = b.dff(x, ck);
+        b.netlist().add_output("q", q1);
+        nl.clock = Some(ClockSpec::single(ckp, 1000.0));
+        let r = analyze_const(&nl, &nl.index()).unwrap();
+        assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
+        assert!(r.stuck_storage.is_empty());
+    }
+
+    /// An ICG whose enable is tied to constant 0 is always-gated, and the
+    /// storage behind it is stuck at reset.
+    #[test]
+    fn stuck_enable_flagged() {
+        let mut nl = Netlist::new("gated");
+        let mut b = Builder::new(&mut nl, "u");
+        let (ckp, ck) = b.netlist().add_input("ck");
+        let (_, d) = b.netlist().add_input("d");
+        let zero = b.net("zero");
+        b.netlist().add_cell("tie0", CellKind::Const0, vec![zero]);
+        let gck = b.net("gck");
+        b.netlist()
+            .add_cell("icg", CellKind::Icg, vec![zero, ck, gck]);
+        let q = b.net("q");
+        b.netlist().add_cell("ff", CellKind::Dff, vec![d, gck, q]);
+        b.netlist().add_output("q", q);
+        nl.clock = Some(ClockSpec::single(ckp, 1000.0));
+        let r = analyze_const(&nl, &nl.index()).unwrap();
+        let codes: Vec<_> = r.diagnostics.iter().map(|d| d.code).collect();
+        assert!(codes.contains(&"D102"), "{codes:?}");
+        assert!(codes.contains(&"D101"), "stuck FF behind dead gate");
+        assert_eq!(r.const_enables.len(), 1);
+    }
+
+    /// An enable tied to 1 makes the gate a no-op.
+    #[test]
+    fn noop_enable_flagged() {
+        let mut nl = Netlist::new("noop");
+        let mut b = Builder::new(&mut nl, "u");
+        let (ckp, ck) = b.netlist().add_input("ck");
+        let (_, d) = b.netlist().add_input("d");
+        let one = b.net("one");
+        b.netlist().add_cell("tie1", CellKind::Const1, vec![one]);
+        let gck = b.net("gck");
+        b.netlist()
+            .add_cell("icg", CellKind::IcgM2, vec![one, ck, gck]);
+        let q = b.net("q");
+        b.netlist().add_cell("ff", CellKind::Dff, vec![d, gck, q]);
+        b.netlist().add_output("q", q);
+        nl.clock = Some(ClockSpec::single(ckp, 1000.0));
+        let r = analyze_const(&nl, &nl.index()).unwrap();
+        assert!(r.diagnostics.iter().any(|d| d.code == "D103"));
+        // The FF itself still sees live data: not stuck.
+        assert!(!r.diagnostics.iter().any(|d| d.code == "D101"));
+    }
+
+    /// Dead comb logic (a constant-fed AND) shows up in the exported
+    /// stuck nets, and the register fed by it is stuck too.
+    #[test]
+    fn dead_logic_exported() {
+        let mut nl = Netlist::new("dead");
+        let mut b = Builder::new(&mut nl, "u");
+        let (ckp, ck) = b.netlist().add_input("ck");
+        let (_, d) = b.netlist().add_input("d");
+        let zero = b.net("zero");
+        b.netlist().add_cell("tie0", CellKind::Const0, vec![zero]);
+        let never = b.gate(CellKind::And(2), &[zero, d]);
+        let q = b.dff(never, ck);
+        b.netlist().add_output("q", q);
+        nl.clock = Some(ClockSpec::single(ckp, 1000.0));
+        let r = analyze_const(&nl, &nl.index()).unwrap();
+        assert!(
+            r.stuck_nets.iter().any(|&(_, v)| v == Tern::Zero),
+            "0 AND x is constant 0"
+        );
+        assert_eq!(r.stuck_storage.len(), 1);
+    }
+}

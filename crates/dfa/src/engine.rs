@@ -1,0 +1,263 @@
+//! Generic fixpoint machinery: the ternary value lattice, the levelized
+//! cell schedule (shared with `triphase-sim`'s levelization), a monotone
+//! worklist fixpoint over net values, and a cycle-detecting sequential
+//! iteration harness.
+
+use crate::error::{Error, Result};
+use std::collections::HashMap;
+use std::hash::Hash;
+use triphase_netlist::{graph, Cell, CellId, ConnIndex, Netlist};
+use triphase_sim::Logic;
+
+/// A join-semilattice of abstract values.
+pub trait Lattice: Copy + PartialEq {
+    /// Least upper bound.
+    fn join(self, other: Self) -> Self;
+}
+
+/// Ternary value-set lattice: `Bot < {Zero, One} < Both`.
+///
+/// `Bot` means "no value observed yet" (unreachable); `Zero`/`One` mean the
+/// net provably holds that constant in every reachable state; `Both` means
+/// the net can take either value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Tern {
+    /// Unreachable / not yet computed.
+    #[default]
+    Bot,
+    /// Provably constant 0.
+    Zero,
+    /// Provably constant 1.
+    One,
+    /// May be 0 or 1.
+    Both,
+}
+
+impl Tern {
+    /// `true` when the set contains logic 1.
+    pub fn can_be_one(self) -> bool {
+        matches!(self, Tern::One | Tern::Both)
+    }
+
+    /// `true` when the set contains logic 0.
+    pub fn can_be_zero(self) -> bool {
+        matches!(self, Tern::Zero | Tern::Both)
+    }
+
+    /// `true` when the set is a single known constant.
+    pub fn is_const(self) -> bool {
+        matches!(self, Tern::Zero | Tern::One)
+    }
+
+    /// The 3-valued view used for gate evaluation (`Both` maps to `X`).
+    /// Returns `None` for `Bot`.
+    pub fn to_logic(self) -> Option<Logic> {
+        match self {
+            Tern::Bot => None,
+            Tern::Zero => Some(Logic::Zero),
+            Tern::One => Some(Logic::One),
+            Tern::Both => Some(Logic::X),
+        }
+    }
+
+    /// Inverse of [`Tern::to_logic`] (`X` maps to `Both`).
+    pub fn from_logic(l: Logic) -> Tern {
+        match l {
+            Logic::Zero => Tern::Zero,
+            Logic::One => Tern::One,
+            Logic::X => Tern::Both,
+        }
+    }
+}
+
+impl Lattice for Tern {
+    fn join(self, other: Self) -> Self {
+        match (self, other) {
+            (Tern::Bot, v) | (v, Tern::Bot) => v,
+            (a, b) if a == b => a,
+            _ => Tern::Both,
+        }
+    }
+}
+
+/// The levelized cell schedule used by every analysis: the combinational
+/// fabric in topological order (the same levelization `triphase-sim` uses),
+/// then the clock network, then storage.
+#[derive(Debug, Clone)]
+pub struct Levelized {
+    /// Combinational cells in topological order.
+    pub comb: Vec<CellId>,
+    /// Clock-network cells (clock buffers and clock gates), unordered —
+    /// the fixpoint sweeps absorb their shallow dependencies.
+    pub clock: Vec<CellId>,
+    /// Storage cells (FFs and latches).
+    pub storage: Vec<CellId>,
+}
+
+impl Levelized {
+    /// Levelize `nl`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Netlist`] on a combinational loop.
+    pub fn new(nl: &Netlist, idx: &ConnIndex) -> Result<Levelized> {
+        let comb = graph::comb_topo_order(nl, idx).map_err(Error::Netlist)?;
+        let mut clock = Vec::new();
+        let mut storage = Vec::new();
+        for (id, cell) in nl.cells() {
+            if cell.kind.is_clock_gate() || cell.kind == triphase_cells::CellKind::ClkBuf {
+                clock.push(id);
+            } else if cell.kind.is_storage() {
+                storage.push(id);
+            }
+        }
+        Ok(Levelized {
+            comb,
+            clock,
+            storage,
+        })
+    }
+
+    /// All scheduled cells in sweep order (comb, clock, storage).
+    pub fn sweep_order(&self) -> impl Iterator<Item = CellId> + '_ {
+        self.comb
+            .iter()
+            .chain(self.clock.iter())
+            .chain(self.storage.iter())
+            .copied()
+    }
+}
+
+/// Monotone worklist fixpoint over per-net abstract values.
+///
+/// Sweeps the levelized schedule, calling `transfer` per cell; a `Some`
+/// result is **joined** into the cell's output-net value (so any monotone
+/// transfer terminates on a finite lattice). Returns the number of sweeps
+/// used; the cap is generous (`2 * cells + 16`) and only guards against a
+/// non-monotone transfer.
+pub fn fixpoint<V: Lattice>(
+    nl: &Netlist,
+    lv: &Levelized,
+    values: &mut [V],
+    mut transfer: impl FnMut(CellId, &Cell, &[V]) -> Option<V>,
+) -> usize {
+    let cap = 2 * nl.cell_count() + 16;
+    let mut sweeps = 0;
+    while sweeps < cap {
+        sweeps += 1;
+        let mut changed = false;
+        for id in lv.sweep_order() {
+            let cell = nl.cell(id);
+            let Some(v) = transfer(id, cell, values) else {
+                continue;
+            };
+            let out = cell.output().index();
+            let joined = values[out].join(v);
+            if joined != values[out] {
+                values[out] = joined;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    sweeps
+}
+
+/// Result of [`iterate_to_cycle`]: the observed state trace and, when a
+/// previously-seen state recurred, the index where the loop starts.
+#[derive(Debug, Clone)]
+pub struct CycleResult<S> {
+    /// States in visit order, `states[0]` being the initial state.
+    pub states: Vec<S>,
+    /// Index into `states` of the first state of the detected loop
+    /// (`None` when the step cap was hit first).
+    pub loop_start: Option<usize>,
+}
+
+impl<S> CycleResult<S> {
+    /// The states of the steady-state loop (empty when none was found).
+    pub fn loop_states(&self) -> &[S] {
+        match self.loop_start {
+            Some(i) => &self.states[i..],
+            None => &[],
+        }
+    }
+}
+
+/// Drive a sequential system until its state signature repeats.
+///
+/// `next` advances the system one cycle and returns the new signature;
+/// iteration stops when a signature recurs or after `cap` steps.
+pub fn iterate_to_cycle<S: Eq + Hash + Clone>(
+    initial: S,
+    mut next: impl FnMut() -> S,
+    cap: usize,
+) -> CycleResult<S> {
+    let mut seen: HashMap<S, usize> = HashMap::new();
+    let mut states = vec![initial.clone()];
+    seen.insert(initial, 0);
+    for _ in 0..cap {
+        let s = next();
+        if let Some(&at) = seen.get(&s) {
+            return CycleResult {
+                states,
+                loop_start: Some(at),
+            };
+        }
+        seen.insert(s.clone(), states.len());
+        states.push(s);
+    }
+    CycleResult {
+        states,
+        loop_start: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tern_join_is_a_lattice() {
+        use Tern::{Bot, Both, One, Zero};
+        assert_eq!(Bot.join(One), One);
+        assert_eq!(Zero.join(Zero), Zero);
+        assert_eq!(Zero.join(One), Both);
+        assert_eq!(Both.join(Zero), Both);
+        assert_eq!(Tern::from_logic(Logic::X), Both);
+        assert_eq!(One.to_logic(), Some(Logic::One));
+        assert_eq!(Bot.to_logic(), None);
+    }
+
+    #[test]
+    fn cycle_detected_in_modular_counter() {
+        let mut x = 0u32;
+        let r = iterate_to_cycle(
+            x,
+            || {
+                x = (x + 3) % 7;
+                x
+            },
+            100,
+        );
+        assert_eq!(r.loop_start, Some(0), "mod-7 counter loops to start");
+        assert_eq!(r.loop_states().len(), 7);
+    }
+
+    #[test]
+    fn cycle_cap_respected() {
+        let mut x = 0u64;
+        let r = iterate_to_cycle(
+            x,
+            || {
+                x += 1;
+                x
+            },
+            10,
+        );
+        assert_eq!(r.loop_start, None);
+        assert_eq!(r.states.len(), 11);
+    }
+}

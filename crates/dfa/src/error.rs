@@ -1,0 +1,37 @@
+//! Error type for the dataflow analyses.
+
+use std::fmt;
+
+/// Errors from the dataflow analyses.
+#[derive(Debug)]
+pub enum Error {
+    /// Netlist-level failure (validation, combinational loop, clock trace).
+    Netlist(triphase_netlist::Error),
+    /// Simulation failure (reset-reachability uses the 3-valued simulator).
+    Sim(triphase_sim::Error),
+    /// Timing failure (race analysis uses the sequential timing graph).
+    Timing(triphase_timing::Error),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Netlist(e) => write!(f, "netlist: {e}"),
+            Error::Sim(e) => write!(f, "sim: {e}"),
+            Error::Timing(e) => write!(f, "timing: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Netlist(e) => Some(e),
+            Error::Sim(e) => Some(e),
+            Error::Timing(e) => Some(e),
+        }
+    }
+}
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, Error>;

@@ -1,0 +1,109 @@
+//! Lattice-based dataflow analyses for the `triphase` toolkit.
+//!
+//! A small abstract-interpretation framework over the netlist — a generic
+//! worklist fixpoint across the levelized combinational graph with
+//! sequential feedback ([`engine`]) — instantiated with three analyses
+//! aimed at the hazards the FF-to-3-phase-latch conversion introduces:
+//!
+//! | analysis | module | catches |
+//! |----------|--------|---------|
+//! | `const`  | [`constprop`] | stuck nets, dead state, clock-gate enables provably 0/1 |
+//! | `reset`  | [`xprop`] | state/outputs that lose reset-definedness through conversion |
+//! | `race`   | [`race`] | min-delay races through open latch windows, co-transparency, runaway time borrowing |
+//!
+//! Diagnostics reuse `triphase-lint`'s types and JSON schema, so the `dfa`
+//! CLI bin and flow checkpoints behave exactly like their lint
+//! counterparts. Diagnostic codes are `D1xx` (const), `D2xx` (reset),
+//! `D3xx` (race); see each module's docs.
+//!
+//! # Examples
+//!
+//! ```
+//! use triphase_netlist::{Netlist, Builder, ClockSpec};
+//! use triphase_dfa::analyze_const;
+//!
+//! let mut nl = Netlist::new("d");
+//! let mut b = Builder::new(&mut nl, "u");
+//! let (ckp, ck) = b.netlist().add_input("ck");
+//! let (_, d) = b.netlist().add_input("d");
+//! let q = b.dff(d, ck);
+//! b.netlist().add_output("q", q);
+//! nl.clock = Some(ClockSpec::single(ckp, 1000.0));
+//! let r = analyze_const(&nl, &nl.index())?;
+//! assert!(r.diagnostics.is_empty());
+//! # Ok::<(), triphase_dfa::Error>(())
+//! ```
+
+pub mod constprop;
+pub mod engine;
+mod error;
+pub mod race;
+mod report;
+pub mod xprop;
+
+pub use constprop::{analyze_const, ConstReport};
+pub use engine::{fixpoint, iterate_to_cycle, CycleResult, Lattice, Levelized, Tern};
+pub use error::{Error, Result};
+pub use race::{analyze_races, RaceSummary};
+pub use report::DfaReport;
+pub use xprop::{analyze_reset, check_reset_preserved, ResetReport, DEFAULT_RESET_CYCLES};
+
+use triphase_cells::Library;
+use triphase_netlist::{ConnIndex, Netlist};
+
+/// Run constant/stuck-at propagation and package the findings.
+///
+/// # Errors
+///
+/// Propagates [`analyze_const`] errors.
+pub fn const_report(nl: &Netlist, idx: &ConnIndex, stage: Option<&str>) -> Result<DfaReport> {
+    let r = analyze_const(nl, idx)?;
+    Ok(DfaReport {
+        design: nl.name.clone(),
+        analysis: "const",
+        stage: stage.map(str::to_owned),
+        diagnostics: r.diagnostics,
+    })
+}
+
+/// Run reset-reachability on the source (`pre`) and converted (`post`)
+/// designs and package the preservation findings.
+///
+/// # Errors
+///
+/// Propagates [`analyze_reset`] errors.
+pub fn reset_report(
+    pre: &Netlist,
+    post: &Netlist,
+    max_cycles: usize,
+    stage: Option<&str>,
+) -> Result<DfaReport> {
+    let pre_r = analyze_reset(pre, max_cycles)?;
+    let post_r = analyze_reset(post, max_cycles)?;
+    Ok(DfaReport {
+        design: post.name.clone(),
+        analysis: "reset",
+        stage: stage.map(str::to_owned),
+        diagnostics: check_reset_preserved(post, &pre_r, &post_r),
+    })
+}
+
+/// Run the min-delay race analysis and package the findings.
+///
+/// # Errors
+///
+/// Propagates [`analyze_races`] errors.
+pub fn race_report(
+    nl: &Netlist,
+    lib: &Library,
+    idx: &ConnIndex,
+    stage: Option<&str>,
+) -> Result<DfaReport> {
+    let (_, diagnostics) = analyze_races(nl, lib, idx)?;
+    Ok(DfaReport {
+        design: nl.name.clone(),
+        analysis: "race",
+        stage: stage.map(str::to_owned),
+        diagnostics,
+    })
+}

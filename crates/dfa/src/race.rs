@@ -1,0 +1,217 @@
+//! Diagnostic wrapper around the static min-delay race checker
+//! (`triphase_timing::check_min_delay`).
+//!
+//! Findings:
+//!
+//! - `D301` (error): the earliest arrival launched through an upstream
+//!   transparent latch lands inside the downstream latch's still-open
+//!   window (negative hold margin in the SMO local frame);
+//! - `D302` (error): an adjacent latch pair is co-transparent — their
+//!   windows overlap on the clock circle, so the pair can race at *any*
+//!   delay (conversion constraint C2);
+//! - `D303`: time-borrowing chains — warning when the worst chain's
+//!   cumulative borrow exceeds the clock period, info for steady-state
+//!   borrowing cycles (a converged fixpoint proves the cyclic borrow is
+//!   bounded — legitimate latch operation, but with no recovery edge on
+//!   the loop) and for a diverged setup-side fixed point (min-delay
+//!   checking still completed on the min-only fixed point; the setup
+//!   failure itself is the SMO slack report's responsibility).
+
+use crate::error::{Error, Result};
+use triphase_cells::Library;
+use triphase_lint::{Diagnostic, Location, Severity};
+use triphase_netlist::{ConnIndex, Netlist};
+use triphase_timing::check_min_delay;
+
+/// Aggregate numbers from the race check (exported to BENCH reports).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RaceSummary {
+    /// Storage-to-storage pairs analyzed.
+    pub pairs: usize,
+    /// Pairs that race (negative margin or co-transparent).
+    pub races: usize,
+    /// Worst pair margin (ps; infinite when there are no pairs).
+    pub worst_margin_ps: f64,
+    /// Latches on the worst time-borrowing chain.
+    pub worst_chain_len: usize,
+    /// Cumulative borrow of that chain (ps).
+    pub worst_chain_borrow_ps: f64,
+}
+
+/// Run the min-delay race analysis and turn violations into diagnostics.
+///
+/// A diverging setup-side fixpoint does not abort the analysis: the
+/// checker falls back to a min-only fixed point (see
+/// [`RaceReport::setup_diverged`](triphase_timing::RaceReport)) and the
+/// divergence is surfaced as an advisory `D303` info — setup failures are
+/// the SMO slack report's responsibility, not the race checker's.
+///
+/// # Errors
+///
+/// [`Error::Timing`] on structural failures (no clock spec, clock trace,
+/// combinational loop).
+pub fn analyze_races(
+    nl: &Netlist,
+    lib: &Library,
+    idx: &ConnIndex,
+) -> Result<(RaceSummary, Vec<Diagnostic>)> {
+    let report = check_min_delay(nl, lib, idx, None).map_err(Error::Timing)?;
+
+    let mut diagnostics = Vec::new();
+    if report.setup_diverged {
+        diagnostics.push(Diagnostic {
+            code: "D303",
+            rule: "borrow-chain",
+            severity: Severity::Info,
+            location: Location::Design,
+            message: "time borrowing diverges around a transparent latch loop; \
+                      min-delay checks completed on the min-only fixed point \
+                      (see the setup slack report for the borrowing pathology)"
+                .into(),
+        });
+    }
+    let name = |c: triphase_netlist::CellId| nl.cell(c).name.clone();
+    for p in report.races() {
+        if p.margin_ps < 0.0 {
+            diagnostics.push(Diagnostic {
+                code: "D301",
+                rule: "min-delay-race",
+                severity: Severity::Error,
+                location: Location::Cell {
+                    id: p.to,
+                    name: name(p.to),
+                },
+                message: format!(
+                    "min-delay race: data from `{}` arrives {:.1} ps before the \
+                     hold requirement of `{}`",
+                    name(p.from),
+                    -p.margin_ps,
+                    name(p.to)
+                ),
+            });
+        }
+        if p.co_transparent {
+            diagnostics.push(Diagnostic {
+                code: "D302",
+                rule: "co-transparent",
+                severity: Severity::Error,
+                location: Location::Cell {
+                    id: p.to,
+                    name: name(p.to),
+                },
+                message: format!(
+                    "latches `{}` and `{}` have overlapping transparency windows (C2)",
+                    name(p.from),
+                    name(p.to)
+                ),
+            });
+        }
+    }
+
+    let mut summary = RaceSummary {
+        pairs: report.pairs.len(),
+        races: report.races().count(),
+        worst_margin_ps: report.worst_margin_ps,
+        ..RaceSummary::default()
+    };
+    if let Some(chain) = &report.worst_chain {
+        summary.worst_chain_len = chain.cells.len();
+        summary.worst_chain_borrow_ps = chain.borrowed_ps;
+        if chain.cyclic {
+            // The fixpoint converged, so the cyclic borrow is bounded —
+            // steady-state borrowing around a loop is legitimate latch
+            // operation (unbounded growth is caught as setup divergence).
+            // Still worth surfacing: no edge on the loop has recovery
+            // margin, so any delay increase propagates around the cycle.
+            diagnostics.push(Diagnostic {
+                code: "D303",
+                rule: "borrow-chain",
+                severity: Severity::Info,
+                location: Location::Design,
+                message: format!(
+                    "a cycle of {} latches borrows time in steady state — \
+                     no recovery edge on the loop",
+                    chain.cells.len()
+                ),
+            });
+        } else if chain.borrowed_ps > report.period_ps {
+            diagnostics.push(Diagnostic {
+                code: "D303",
+                rule: "borrow-chain",
+                severity: Severity::Warn,
+                location: Location::Design,
+                message: format!(
+                    "worst time-borrowing chain spans {} latches and borrows {:.1} ps \
+                     (more than the {:.0} ps period)",
+                    chain.cells.len(),
+                    chain.borrowed_ps,
+                    report.period_ps
+                ),
+            });
+        }
+    }
+    Ok((summary, diagnostics))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use triphase_cells::CellKind;
+    use triphase_netlist::{Builder, ClockSpec};
+
+    fn latch3(period: f64, inv_per_stage: usize) -> Netlist {
+        let mut nl = Netlist::new("l3");
+        let mut b = Builder::new(&mut nl, "u");
+        let (p1, c1) = b.netlist().add_input("p1");
+        let (p2, c2) = b.netlist().add_input("p2");
+        let (p3, c3) = b.netlist().add_input("p3");
+        let (_, d) = b.netlist().add_input("d");
+        let mut x = d;
+        for (i, g) in [c1, c2, c3].iter().enumerate() {
+            let q = b.net(&format!("q{i}"));
+            b.netlist()
+                .add_cell(format!("lat{i}"), CellKind::LatchH, vec![x, *g, q]);
+            x = q;
+            for _ in 0..inv_per_stage {
+                x = b.not(x);
+            }
+        }
+        b.netlist().add_output("q", x);
+        nl.clock = Some(ClockSpec::equal_phases(&[p1, p2, p3], period));
+        nl
+    }
+
+    #[test]
+    fn proper_3_phase_is_clean() {
+        let lib = Library::synthetic_28nm();
+        let nl = latch3(900.0, 2);
+        let idx = nl.index();
+        let (summary, diags) = analyze_races(&nl, &lib, &idx).unwrap();
+        assert!(diags.is_empty(), "{diags:?}");
+        assert!(summary.pairs > 0);
+        assert_eq!(summary.races, 0);
+    }
+
+    #[test]
+    fn same_phase_pair_flagged() {
+        let lib = Library::synthetic_28nm();
+        let mut nl = Netlist::new("bad");
+        let mut b = Builder::new(&mut nl, "u");
+        let (p1, c1) = b.netlist().add_input("p1");
+        let (p2, _) = b.netlist().add_input("p2");
+        let (_, d) = b.netlist().add_input("d");
+        let q0 = b.net("q0");
+        let q1 = b.net("q1");
+        b.netlist()
+            .add_cell("l0", CellKind::LatchH, vec![d, c1, q0]);
+        let x = b.not(q0);
+        b.netlist()
+            .add_cell("l1", CellKind::LatchH, vec![x, c1, q1]);
+        b.netlist().add_output("q", q1);
+        nl.clock = Some(ClockSpec::equal_phases(&[p1, p2], 1000.0));
+        let idx = nl.index();
+        let (summary, diags) = analyze_races(&nl, &lib, &idx).unwrap();
+        assert!(summary.races > 0);
+        assert!(diags.iter().any(|d| d.code == "D302"), "{diags:?}");
+    }
+}

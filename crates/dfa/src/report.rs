@@ -1,0 +1,163 @@
+//! Per-analysis report with the same JSON schema and severity model as
+//! `triphase-lint` (the `stage` field is replaced by `analysis`/`stage`).
+
+use triphase_lint::{json_str, Diagnostic, Severity};
+
+/// One dataflow analysis pass over one design.
+#[derive(Debug, Clone)]
+pub struct DfaReport {
+    /// Design name.
+    pub design: String,
+    /// Analysis id: `const`, `reset`, or `race`.
+    pub analysis: &'static str,
+    /// Flow stage the analysis ran at (`None` for standalone runs).
+    pub stage: Option<String>,
+    /// Findings.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl DfaReport {
+    /// Error-severity findings.
+    pub fn errors(&self) -> Vec<&Diagnostic> {
+        self.with_severity(Severity::Error)
+    }
+
+    /// Warning-severity findings.
+    pub fn warnings(&self) -> Vec<&Diagnostic> {
+        self.with_severity(Severity::Warn)
+    }
+
+    fn with_severity(&self, s: Severity) -> Vec<&Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == s)
+            .collect()
+    }
+
+    /// Number of findings at `severity`.
+    pub fn count(&self, severity: Severity) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == severity)
+            .count()
+    }
+
+    /// `true` when the report has no error-severity findings (the same
+    /// convention as `triphase_lint::Report::is_clean`).
+    pub fn is_clean(&self) -> bool {
+        self.count(Severity::Error) == 0
+    }
+
+    /// Number of findings that count against a golden design (warnings
+    /// and errors; infos are advisory exports).
+    pub fn findings(&self) -> usize {
+        self.count(Severity::Error) + self.count(Severity::Warn)
+    }
+
+    /// `true` when a diagnostic with `code` is present.
+    pub fn has(&self, code: &str) -> bool {
+        self.diagnostics.iter().any(|d| d.code == code)
+    }
+
+    /// Serialize as a machine-readable JSON object (same schema as the
+    /// lint reports, with `analysis` + `stage` in place of `stage`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!("\"design\":{},", json_str(&self.design)));
+        out.push_str(&format!("\"analysis\":{},", json_str(self.analysis)));
+        out.push_str(&format!(
+            "\"stage\":{},",
+            self.stage.as_deref().map_or("null".to_owned(), json_str)
+        ));
+        out.push_str(&format!(
+            "\"summary\":{{\"errors\":{},\"warnings\":{},\"infos\":{}}},",
+            self.count(Severity::Error),
+            self.count(Severity::Warn),
+            self.count(Severity::Info)
+        ));
+        out.push_str("\"diagnostics\":[");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"code\":{},\"rule\":{},\"severity\":{},\"location\":{{\"kind\":{},\"name\":{}}},\"message\":{}}}",
+                json_str(d.code),
+                json_str(d.rule),
+                json_str(d.severity.as_str()),
+                json_str(d.location.kind()),
+                json_str(d.location.name()),
+                json_str(&d.message)
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+impl std::fmt::Display for DfaReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stage = self.stage.as_deref().unwrap_or("-");
+        writeln!(
+            f,
+            "dfa {} [{}] @{stage}: {} error(s), {} warning(s)",
+            self.design,
+            self.analysis,
+            self.count(Severity::Error),
+            self.count(Severity::Warn)
+        )?;
+        for d in &self.diagnostics {
+            writeln!(f, "  {d}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use triphase_lint::Location;
+
+    fn sample() -> DfaReport {
+        DfaReport {
+            design: "d".into(),
+            analysis: "const",
+            stage: Some("preprocess".into()),
+            diagnostics: vec![
+                Diagnostic {
+                    code: "D102",
+                    rule: "gate-never-enabled",
+                    severity: Severity::Error,
+                    location: Location::Design,
+                    message: "m\"1".into(),
+                },
+                Diagnostic {
+                    code: "D101",
+                    rule: "stuck-state",
+                    severity: Severity::Info,
+                    location: Location::Design,
+                    message: "m2".into(),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn counts_and_cleanliness() {
+        let r = sample();
+        assert_eq!(r.count(Severity::Error), 1);
+        assert_eq!(r.count(Severity::Info), 1);
+        assert_eq!(r.findings(), 1, "infos are advisory");
+        assert!(!r.is_clean());
+        assert!(r.has("D102"));
+    }
+
+    #[test]
+    fn json_matches_lint_schema() {
+        let j = sample().to_json();
+        assert!(j.contains("\"analysis\":\"const\""));
+        assert!(j.contains("\"stage\":\"preprocess\""));
+        assert!(j.contains("\"summary\":{\"errors\":1,\"warnings\":0,\"infos\":1}"));
+        assert!(j.contains("\\\"1"), "escaped message");
+    }
+}

@@ -1,0 +1,287 @@
+//! X-propagation / reset-reachability analysis.
+//!
+//! Drives the design's own 3-valued simulator (`triphase-sim`, the same
+//! levelized engine the flow validates with) from the all-zero reset state
+//! with every data input held at `X`, and iterates cycles until the
+//! sequential state signature (storage outputs plus clock-gate enable
+//! latches) revisits a previous state. The states of that steady loop are
+//! the input-independent behavior of the design; a state element (or
+//! output port) whose value is *known* in every loop state is **defined
+//! after reset** regardless of inputs.
+//!
+//! [`check_reset_preserved`] compares two reports — the FF design and its
+//! 3-phase conversion — and flags every element that loses definedness:
+//!
+//! - `D201` (error): a state element was reset-defined in the source
+//!   design but is X-reachable after conversion;
+//! - `D202` (error): an output port was reset-defined but now floats to X.
+
+use crate::engine::iterate_to_cycle;
+use crate::error::{Error, Result};
+use std::collections::BTreeSet;
+use triphase_lint::{Diagnostic, Location, Severity};
+use triphase_netlist::Netlist;
+use triphase_sim::{data_inputs, data_outputs, Logic, Simulator};
+
+/// Default cycle cap for loop detection: generous for the pipeline depths
+/// in this repo while keeping the analysis O(hundreds) of scalar cycles.
+pub const DEFAULT_RESET_CYCLES: usize = 192;
+
+/// Result of [`analyze_reset`].
+#[derive(Debug, Clone)]
+pub struct ResetReport {
+    /// Cycles stepped until the loop closed (or the cap).
+    pub cycles: usize,
+    /// Length of the detected steady-state loop (0 when none found).
+    pub loop_len: usize,
+    /// `true` when a steady-state loop was found within the cap.
+    pub converged: bool,
+    /// Total number of state elements (storage cells).
+    pub total_state: usize,
+    /// Names of state elements with a known value in every loop state.
+    pub defined_state: BTreeSet<String>,
+    /// Names of output ports with a known value in every loop state.
+    pub defined_outputs: BTreeSet<String>,
+}
+
+/// Run the reset-reachability analysis with at most `max_cycles` steps.
+///
+/// # Errors
+///
+/// [`Error::Sim`] when the simulator rejects the netlist.
+pub fn analyze_reset(nl: &Netlist, max_cycles: usize) -> Result<ResetReport> {
+    let mut sim = Simulator::new(nl).map_err(Error::Sim)?;
+    sim.reset_zero();
+    let inputs = data_inputs(nl);
+    let outputs = data_outputs(nl);
+    let storage: Vec<_> = nl
+        .cells()
+        .filter(|(_, c)| c.kind.is_storage())
+        .map(|(id, c)| (id, c.output(), c.name.clone()))
+        .collect();
+    let gates: Vec<_> = nl
+        .cells()
+        .filter(|(_, c)| c.kind.is_clock_gate())
+        .map(|(id, _)| id)
+        .collect();
+
+    let signature = |sim: &Simulator| -> Vec<Logic> {
+        storage
+            .iter()
+            .map(|&(_, q, _)| sim.net_value(q))
+            .chain(gates.iter().map(|&g| sim.icg_state(g)))
+            .chain(outputs.iter().map(|&p| sim.output(p)))
+            .collect()
+    };
+
+    // Warm up until the X inputs are in effect: `set_input` latches one
+    // cycle later, and the loop signature assumes stationary inputs.
+    let step = |sim: &mut Simulator| {
+        for &p in &inputs {
+            sim.set_input(p, Logic::X);
+        }
+        sim.step_cycle();
+    };
+    const WARMUP: usize = 2;
+    for _ in 0..WARMUP {
+        step(&mut sim);
+    }
+
+    let initial = signature(&sim);
+    let result = iterate_to_cycle(
+        initial,
+        || {
+            step(&mut sim);
+            signature(&sim)
+        },
+        max_cycles,
+    );
+
+    let loop_states = result.loop_states();
+    let converged = result.loop_start.is_some();
+    let mut defined_state = BTreeSet::new();
+    let mut defined_outputs = BTreeSet::new();
+    if converged {
+        for (i, (_, _, name)) in storage.iter().enumerate() {
+            if loop_states.iter().all(|s| s[i].is_known()) {
+                defined_state.insert(name.clone());
+            }
+        }
+        let out_base = storage.len() + gates.len();
+        for (k, &p) in outputs.iter().enumerate() {
+            if loop_states.iter().all(|s| s[out_base + k].is_known()) {
+                defined_outputs.insert(nl.port(p).name.clone());
+            }
+        }
+    }
+    Ok(ResetReport {
+        cycles: WARMUP + result.states.len() - 1,
+        loop_len: loop_states.len(),
+        converged,
+        total_state: storage.len(),
+        defined_state,
+        defined_outputs,
+    })
+}
+
+/// Verify that conversion preserved the reset-initialized set: everything
+/// reset-defined in `pre` (the FF design) must still be reset-defined in
+/// `post` (the converted design). State elements are matched by instance
+/// name — conversion keeps the original register names — and only names
+/// present in both designs are compared; output ports always correspond.
+///
+/// Comparison is skipped (no diagnostics) unless both reports converged.
+pub fn check_reset_preserved(
+    post_nl: &Netlist,
+    pre: &ResetReport,
+    post: &ResetReport,
+) -> Vec<Diagnostic> {
+    let mut diagnostics = Vec::new();
+    if !pre.converged || !post.converged {
+        return diagnostics;
+    }
+    let post_names: BTreeSet<&str> = post_nl
+        .cells()
+        .filter(|(_, c)| c.kind.is_storage())
+        .map(|(_, c)| c.name.as_str())
+        .collect();
+    for name in &pre.defined_state {
+        if post_names.contains(name.as_str()) && !post.defined_state.contains(name) {
+            let location = post_nl
+                .cells()
+                .find(|(_, c)| &c.name == name)
+                .map(|(id, c)| Location::Cell {
+                    id,
+                    name: c.name.clone(),
+                })
+                .unwrap_or(Location::Design);
+            diagnostics.push(Diagnostic {
+                code: "D201",
+                rule: "reset-init-lost",
+                severity: Severity::Error,
+                location,
+                message: format!(
+                    "state element `{name}` settles after reset in the source design \
+                     but is X-reachable after conversion"
+                ),
+            });
+        }
+    }
+    for name in &pre.defined_outputs {
+        if !post.defined_outputs.contains(name) {
+            let location = post_nl
+                .find_port(name)
+                .map(|p| Location::Port {
+                    id: p,
+                    name: name.clone(),
+                })
+                .unwrap_or(Location::Design);
+            diagnostics.push(Diagnostic {
+                code: "D202",
+                rule: "reset-output-lost",
+                severity: Severity::Error,
+                location,
+                message: format!(
+                    "output `{name}` is reset-defined in the source design \
+                     but floats to X after conversion"
+                ),
+            });
+        }
+    }
+    diagnostics
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use triphase_cells::CellKind;
+    use triphase_netlist::{Builder, ClockSpec};
+
+    /// Self-contained 2-bit counter: all state is reset-defined (its loop
+    /// never depends on inputs).
+    fn counter2() -> Netlist {
+        let mut nl = Netlist::new("cnt2");
+        let mut b = Builder::new(&mut nl, "u");
+        let (ckp, ck) = b.netlist().add_input("ck");
+        let q0 = b.net("q0");
+        let q1 = b.net("q1");
+        let n0 = b.not(q0);
+        let t1 = b.gate(CellKind::Xor(2), &[q1, q0]);
+        b.netlist().add_cell("b0", CellKind::Dff, vec![n0, ck, q0]);
+        b.netlist().add_cell("b1", CellKind::Dff, vec![t1, ck, q1]);
+        b.netlist().add_output("c0", q0);
+        b.netlist().add_output("c1", q1);
+        nl.clock = Some(ClockSpec::single(ckp, 1000.0));
+        nl
+    }
+
+    #[test]
+    fn counter_state_is_defined() {
+        let nl = counter2();
+        let r = analyze_reset(&nl, DEFAULT_RESET_CYCLES).unwrap();
+        assert!(r.converged);
+        assert_eq!(r.loop_len, 4, "2-bit counter has a period-4 loop");
+        assert_eq!(r.defined_state.len(), 2);
+        assert_eq!(r.defined_outputs.len(), 2);
+    }
+
+    #[test]
+    fn input_fed_pipeline_goes_x() {
+        let mut nl = Netlist::new("pipe");
+        let mut b = Builder::new(&mut nl, "u");
+        let (ckp, ck) = b.netlist().add_input("ck");
+        let (_, d) = b.netlist().add_input("d");
+        let q0 = b.dff(d, ck);
+        let q1 = b.dff(q0, ck);
+        b.netlist().add_output("q", q1);
+        nl.clock = Some(ClockSpec::single(ckp, 1000.0));
+        let r = analyze_reset(&nl, DEFAULT_RESET_CYCLES).unwrap();
+        assert!(r.converged);
+        assert!(
+            r.defined_state.is_empty(),
+            "X inputs flood the pipeline: {:?}",
+            r.defined_state
+        );
+        assert!(r.defined_outputs.is_empty());
+    }
+
+    #[test]
+    fn lost_definedness_flagged() {
+        let pre_nl = counter2();
+        let pre = analyze_reset(&pre_nl, DEFAULT_RESET_CYCLES).unwrap();
+        // Sabotage: XOR an input into bit 1's next-state function — its
+        // loop value now depends on the (unknown) input.
+        let mut post_nl = counter2();
+        {
+            let mut b = Builder::new(&mut post_nl, "v");
+            let (_, noise) = b.netlist().add_input("noise");
+            let b1 = b
+                .netlist()
+                .cells()
+                .find(|(_, c)| c.name == "b1")
+                .map(|(id, _)| id)
+                .unwrap();
+            let old_d = b.netlist().cell(b1).pin(0);
+            let mixed = b.gate(CellKind::Xor(2), &[old_d, noise]);
+            b.netlist().set_pin(b1, 0, mixed);
+        }
+        let post = analyze_reset(&post_nl, DEFAULT_RESET_CYCLES).unwrap();
+        let diags = check_reset_preserved(&post_nl, &pre, &post);
+        assert!(
+            diags.iter().any(|d| d.code == "D201"),
+            "lost state init must be flagged: {diags:?}"
+        );
+        assert!(
+            diags.iter().any(|d| d.code == "D202"),
+            "lost output init must be flagged: {diags:?}"
+        );
+    }
+
+    #[test]
+    fn preserved_conversion_is_clean() {
+        let nl = counter2();
+        let pre = analyze_reset(&nl, DEFAULT_RESET_CYCLES).unwrap();
+        let post = analyze_reset(&nl, DEFAULT_RESET_CYCLES).unwrap();
+        assert!(check_reset_preserved(&nl, &pre, &post).is_empty());
+    }
+}

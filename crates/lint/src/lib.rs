@@ -43,7 +43,7 @@ pub mod structural;
 use std::collections::HashMap;
 use triphase_netlist::{graph, CellId, ConnIndex, Netlist};
 
-pub use report::{Diagnostic, Location, Report, Severity};
+pub use report::{json_str, Diagnostic, Location, Report, Severity};
 
 /// The flow stage a netlist is linted at. Rules can opt out of stages
 /// where their invariant is not yet (or no longer) meaningful.

@@ -106,7 +106,10 @@ impl Rule for PhaseOrder {
             let Some(&pv) = cx.phases.get(&id) else {
                 continue; // P003 reports unassigned latches
             };
-            let d = cell.pin(cell.kind.data_pin().expect("latch has D"));
+            let Some(dp) = cell.kind.data_pin() else {
+                continue;
+            };
+            let d = cell.pin(dp);
             let arriving = mask[d.index()];
             for (ps, &legal) in LEGAL_SUCCESSORS.iter().enumerate() {
                 if arriving & (1 << ps) == 0 {
@@ -159,7 +162,10 @@ impl Rule for IcgPhase {
             if !cell.kind.is_clock_gate() {
                 continue;
             }
-            let ck = cell.pin(cell.kind.clock_pin().expect("icg has CK"));
+            let Some(ckp) = cell.kind.clock_pin() else {
+                continue;
+            };
+            let ck = cell.pin(ckp);
             let ck_phase = match graph::trace_clock_root(cx.nl, &cx.idx, ck) {
                 Err(e) => {
                     out.push(self.diag(cx.nl, id, format!("clock pin untraceable: {e}")));

@@ -227,7 +227,8 @@ impl fmt::Display for Report {
 }
 
 /// Minimal JSON string encoder (the toolkit has no serializer dependency).
-fn json_str(s: &str) -> String {
+/// Shared with `triphase-dfa`, whose reports use the same JSON schema.
+pub fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {

@@ -312,14 +312,22 @@ impl<'a> Simulator<'a> {
                     continue;
                 }
                 let ck = self.values[cell.pin(cell.kind.clock_pin().unwrap()).index()];
-                let rose = before_ck[si] != Logic::One && ck == Logic::One;
-                if !rose {
+                // A definite rise captures; an X on either side of the
+                // transition is a *maybe*-edge (e.g. a gate enable cone
+                // fed by unknown inputs): the FF may or may not have
+                // captured, so the result merges to X unless D == Q —
+                // mirroring the conservative unknown-gate latch model.
+                // Binary clock waveforms never take the maybe path.
+                let rose = before_ck[si] == Logic::Zero && ck == Logic::One;
+                let maybe =
+                    !rose && (ck == Logic::X || (before_ck[si] == Logic::X && ck == Logic::One));
+                if !rose && !maybe {
                     continue;
                 }
                 let d = self.values[cell.pin(0).index()];
                 let q_net = cell.output();
                 let q = self.values[q_net.index()];
-                let next = match cell.kind {
+                let captured = match cell.kind {
                     CellKind::Dff => d,
                     CellKind::DffEn => {
                         let en = self.values[cell.pin(1).index()];
@@ -336,6 +344,11 @@ impl<'a> Simulator<'a> {
                         }
                     }
                     _ => unreachable!(),
+                };
+                let next = if rose || captured == q {
+                    captured
+                } else {
+                    Logic::X
                 };
                 updates.push((q_net, next));
             }

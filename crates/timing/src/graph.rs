@@ -249,7 +249,10 @@ pub fn storage_phases(nl: &Netlist, idx: &ConnIndex) -> Result<HashMap<CellId, u
         if !cell.kind.is_storage() {
             continue;
         }
-        let ck_pin = cell.kind.clock_pin().expect("storage has clock pin");
+        // Every storage kind defines a clock pin; skip defensively if not.
+        let Some(ck_pin) = cell.kind.clock_pin() else {
+            continue;
+        };
         let trace = graph::trace_clock_root(nl, idx, cell.pin(ck_pin)).map_err(Error::Netlist)?;
         let phase = clock.phase_of_port(trace.root).ok_or_else(|| {
             Error::Netlist(triphase_netlist::Error::Invalid(format!(

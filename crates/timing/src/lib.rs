@@ -35,12 +35,14 @@ mod error;
 mod ff;
 pub mod graph;
 mod paths;
+mod race;
 mod smo;
 
 pub use error::{Error, Result};
 pub use ff::{analyze_ff, FfReport};
 pub use graph::{extract_seq_graph, net_load, storage_phases, SeqEdge, SeqGraph, SeqNode};
 pub use paths::{worst_path, CriticalPath, PathStep};
+pub use race::{attribute_races, check_min_delay, BorrowChain, RacePair, RaceReport};
 pub use smo::{
     analyze_smo, analyze_smo_with_clock, check_c2, min_period_smo, scale_clock, NodeTiming,
     SmoReport,

@@ -1,0 +1,494 @@
+//! Static min-delay race analysis for latch-based designs.
+//!
+//! While [`analyze_smo`](crate::analyze_smo) reports the *worst* hold slack
+//! per capturing node, latch conversion needs the race attributed to the
+//! *pair*: which upstream transparent latch can launch data early enough to
+//! shoot through the downstream latch's still-open window. This module
+//! re-derives the per-edge earliest arrival from the SMO fixed point and
+//! checks, per storage-to-storage edge:
+//!
+//! - **min-delay race**: earliest arrival at the capturing node (its local
+//!   frame) vs. the library hold requirement — a negative margin means data
+//!   launched through the upstream latch races through the still-open
+//!   downstream window;
+//! - **co-transparency**: both latch windows overlap on the clock circle
+//!   (structural constraint C2 — any overlap makes the pair rate-unsafe
+//!   regardless of delays);
+//! - **time-borrowing chains**: runs of consecutively borrowing latches
+//!   across the phases; a chain whose cumulative borrow approaches the
+//!   period (or a borrowing cycle) means the design leans on transparency
+//!   end-to-end with no recovery edge.
+
+use crate::error::{Error, Result};
+use crate::graph::{extract_seq_graph, storage_phases, SeqGraph, SeqNode};
+use crate::smo::{analyze_smo, circular_overlap, node_clocks, phase_shift, NodeClock};
+use crate::SmoReport;
+use triphase_cells::{CellKind, Library};
+use triphase_netlist::{CellId, ConnIndex, Netlist};
+
+/// Min-delay data for one storage-to-storage edge.
+#[derive(Debug, Clone, Copy)]
+pub struct RacePair {
+    /// Launching storage cell.
+    pub from: CellId,
+    /// Capturing storage cell.
+    pub to: CellId,
+    /// Earliest arrival at the capturing node contributed by this edge
+    /// (ps, capturing node's local frame; previous capture at 0).
+    pub arrival_min_ps: f64,
+    /// Library hold requirement of the capturing cell (ps).
+    pub hold_ps: f64,
+    /// `arrival_min_ps - hold_ps`; negative means a min-delay race.
+    pub margin_ps: f64,
+    /// Both endpoints are latches with overlapping transparency windows.
+    pub co_transparent: bool,
+}
+
+impl RacePair {
+    /// `true` when this pair violates either the hold margin or C2.
+    pub fn racing(&self) -> bool {
+        self.margin_ps < 0.0 || self.co_transparent
+    }
+}
+
+/// A maximal run of consecutively borrowing latches.
+#[derive(Debug, Clone)]
+pub struct BorrowChain {
+    /// The latches on the chain, upstream first.
+    pub cells: Vec<CellId>,
+    /// Cumulative time borrowed along the chain (ps).
+    pub borrowed_ps: f64,
+    /// The chain closes on itself (a cycle of borrowing latches).
+    pub cyclic: bool,
+}
+
+/// Result of [`check_min_delay`].
+#[derive(Debug, Clone)]
+pub struct RaceReport {
+    /// Cycle time analyzed (ps).
+    pub period_ps: f64,
+    /// All storage-to-storage edges with min-delay attribution.
+    pub pairs: Vec<RacePair>,
+    /// Worst pair margin (ps; `+inf` when there are no pairs).
+    pub worst_margin_ps: f64,
+    /// The worst time-borrowing chain, if any latch borrows.
+    pub worst_chain: Option<BorrowChain>,
+    /// The setup-side (max-arrival) fixed point diverged and the pairs were
+    /// attributed from a min-only fixed point. Earliest departures are
+    /// floored at the window opening, so the min side always converges;
+    /// borrow chains are unavailable (`worst_chain` is `None`) and the
+    /// setup failure is the slack report's responsibility.
+    pub setup_diverged: bool,
+}
+
+impl RaceReport {
+    /// Pairs that race (negative margin or co-transparent).
+    pub fn races(&self) -> impl Iterator<Item = &RacePair> {
+        self.pairs.iter().filter(|p| p.racing())
+    }
+
+    /// `true` when no pair races.
+    pub fn clean(&self) -> bool {
+        self.races().next().is_none()
+    }
+}
+
+/// Run the SMO analysis and attribute min-delay races per latch pair.
+///
+/// When the SMO fixed point diverges (a transparent loop borrows
+/// unboundedly — a *setup*-side pathology), the hold side is still
+/// checkable: earliest departures are floored at the window opening, so
+/// the min-arrival recurrence converges on its own. In that case the
+/// pairs are attributed from a min-only fixed point and the report is
+/// flagged [`setup_diverged`](RaceReport::setup_diverged).
+///
+/// # Errors
+///
+/// Propagates structural [`analyze_smo`] errors (no clock spec, clock
+/// trace, combinational loop).
+pub fn check_min_delay(
+    nl: &Netlist,
+    lib: &Library,
+    idx: &ConnIndex,
+    wire_cap: Option<&[f64]>,
+) -> Result<RaceReport> {
+    match analyze_smo(nl, lib, idx, wire_cap) {
+        Ok(smo) => attribute_races(nl, lib, idx, &smo),
+        Err(Error::NoConvergence { .. }) => min_only_races(nl, lib, idx, wire_cap),
+        Err(e) => Err(e),
+    }
+}
+
+/// Fallback attribution when the setup side diverges: iterate only the
+/// earliest-arrival recurrence (same conventions as the SMO fixed point)
+/// and build the pairs from it. Min departures are bounded below by the
+/// window-opening floor, so this always reaches a fixed point.
+fn min_only_races(
+    nl: &Netlist,
+    lib: &Library,
+    idx: &ConnIndex,
+    wire_cap: Option<&[f64]>,
+) -> Result<RaceReport> {
+    let clock = nl.clock.as_ref().ok_or(Error::NoClock)?;
+    let t = clock.period_ps;
+    let graph = extract_seq_graph(nl, lib, idx, wire_cap)?;
+    let phases = storage_phases(nl, idx)?;
+    let clocks = node_clocks(nl, lib, clock, &graph, &phases)?;
+    let n = graph.nodes.len();
+    let in_edges = graph.in_edges();
+
+    let mut arr_min = vec![f64::INFINITY; n];
+    let max_iters = 2 * n + 16;
+    for _ in 0..max_iters {
+        let q_min = min_departures(t, &clocks, &arr_min);
+        let mut changed = false;
+        for i in 0..n {
+            let mut mn = f64::INFINITY;
+            for &ei in &in_edges[i] {
+                let e = &graph.edges[ei];
+                let shift = phase_shift(t, clocks[e.from].chi, clocks[i].chi);
+                // PI-launched paths carry no hold obligation, as in SMO.
+                if !matches!(graph.nodes[e.from], SeqNode::Input(_)) {
+                    mn = mn.min(q_min[e.from] + e.min_ps - shift);
+                }
+            }
+            if (mn - arr_min[i]).abs() > 1e-6 && mn.is_finite() {
+                changed = true;
+            }
+            arr_min[i] = mn;
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let q_min = min_departures(t, &clocks, &arr_min);
+    let (pairs, worst) = attribute_pairs(nl, &graph, &clocks, t, &q_min);
+    Ok(RaceReport {
+        period_ps: t,
+        pairs,
+        worst_margin_ps: worst,
+        worst_chain: None,
+        setup_diverged: true,
+    })
+}
+
+/// Earliest departures from earliest arrivals (the SMO `q_min` rule).
+fn min_departures(t: f64, clocks: &[NodeClock], arr_min: &[f64]) -> Vec<f64> {
+    clocks
+        .iter()
+        .zip(arr_min)
+        .map(|(c, &a)| {
+            if c.width <= 0.0 {
+                t + c.clk_to_q
+            } else if a <= t - c.width {
+                (t - c.width) + c.clk_to_q
+            } else {
+                a + c.d_to_q
+            }
+        })
+        .collect()
+}
+
+/// Per-edge pair attribution shared by the converged and min-only paths.
+fn attribute_pairs(
+    nl: &Netlist,
+    graph: &SeqGraph,
+    clocks: &[NodeClock],
+    t: f64,
+    q_min: &[f64],
+) -> (Vec<RacePair>, f64) {
+    let is_latch = |node: usize| -> bool {
+        matches!(graph.nodes[node], SeqNode::Storage(c)
+            if matches!(nl.cell(c).kind, CellKind::LatchH | CellKind::LatchL))
+    };
+    // Transparency window on the clock circle: (open, close) with
+    // close ≡ chi and width from the node clock.
+    let window = |node: usize| -> (f64, f64) {
+        let c = &clocks[node];
+        (c.chi - c.width, c.chi)
+    };
+
+    let mut pairs = Vec::new();
+    let mut worst = f64::INFINITY;
+    for e in &graph.edges {
+        let (SeqNode::Storage(a), SeqNode::Storage(b)) = (graph.nodes[e.from], graph.nodes[e.to])
+        else {
+            continue;
+        };
+        let shift = phase_shift(t, clocks[e.from].chi, clocks[e.to].chi);
+        let arrival_min = q_min[e.from] + e.min_ps - shift;
+        let hold = clocks[e.to].hold;
+        let co_transparent =
+            is_latch(e.from) && is_latch(e.to) && circular_overlap(t, window(e.from), window(e.to));
+        let margin = arrival_min - hold;
+        worst = worst.min(margin);
+        pairs.push(RacePair {
+            from: a,
+            to: b,
+            arrival_min_ps: arrival_min,
+            hold_ps: hold,
+            margin_ps: margin,
+            co_transparent,
+        });
+    }
+    (pairs, worst)
+}
+
+/// Pair-level attribution from an existing [`SmoReport`] (avoids re-running
+/// the fixed point when the caller already has one).
+pub fn attribute_races(
+    nl: &Netlist,
+    lib: &Library,
+    idx: &ConnIndex,
+    smo: &SmoReport,
+) -> Result<RaceReport> {
+    let clock = nl.clock.as_ref().ok_or(Error::NoClock)?;
+    let t = clock.period_ps;
+    let graph = &smo.graph;
+    let phases = storage_phases(nl, idx)?;
+    let clocks = node_clocks(nl, lib, clock, graph, &phases)?;
+
+    // Earliest departures from the converged arrivals (same convention as
+    // the SMO fixed point).
+    let arr_min: Vec<f64> = smo.per_node.iter().map(|p| p.arrival_min_ps).collect();
+    let q_min = min_departures(t, &clocks, &arr_min);
+    let (pairs, worst) = attribute_pairs(nl, graph, &clocks, t, &q_min);
+
+    let worst_chain = worst_borrow_chain(graph, smo);
+    Ok(RaceReport {
+        period_ps: t,
+        pairs,
+        worst_margin_ps: worst,
+        worst_chain,
+        setup_diverged: false,
+    })
+}
+
+/// Longest cumulative-borrow run over the subgraph of borrowing latches;
+/// a cycle of borrowing latches is reported as a cyclic chain.
+fn worst_borrow_chain(graph: &crate::SeqGraph, smo: &SmoReport) -> Option<BorrowChain> {
+    const TOL: f64 = 1e-6;
+    let n = graph.nodes.len();
+    let borrowing: Vec<bool> = (0..n).map(|i| smo.per_node[i].borrowed_ps > TOL).collect();
+    if !borrowing.iter().any(|&b| b) {
+        return None;
+    }
+    // Adjacency restricted to borrowing storage nodes.
+    let mut succ = vec![Vec::new(); n];
+    let mut indeg = vec![0usize; n];
+    for e in &graph.edges {
+        if borrowing[e.from]
+            && borrowing[e.to]
+            && e.from != e.to
+            && matches!(graph.nodes[e.from], SeqNode::Storage(_))
+            && matches!(graph.nodes[e.to], SeqNode::Storage(_))
+        {
+            succ[e.from].push(e.to);
+            indeg[e.to] += 1;
+        }
+    }
+    // Kahn topological order; leftovers are on a borrowing cycle.
+    let mut order = Vec::new();
+    let mut queue: Vec<usize> = (0..n).filter(|&i| borrowing[i] && indeg[i] == 0).collect();
+    while let Some(i) = queue.pop() {
+        order.push(i);
+        for &j in &succ[i] {
+            indeg[j] -= 1;
+            if indeg[j] == 0 {
+                queue.push(j);
+            }
+        }
+    }
+    let on_cycle: Vec<usize> = (0..n).filter(|&i| borrowing[i] && indeg[i] > 0).collect();
+    if !on_cycle.is_empty() {
+        let cells = on_cycle
+            .iter()
+            .filter_map(|&i| match graph.nodes[i] {
+                SeqNode::Storage(c) => Some(c),
+                _ => None,
+            })
+            .collect::<Vec<_>>();
+        let borrowed = on_cycle.iter().map(|&i| smo.per_node[i].borrowed_ps).sum();
+        return Some(BorrowChain {
+            cells,
+            borrowed_ps: borrowed,
+            cyclic: true,
+        });
+    }
+    // Acyclic: DP for the maximum cumulative borrow path.
+    let mut best = vec![0.0f64; n];
+    let mut prev = vec![usize::MAX; n];
+    for &i in &order {
+        if best[i] == 0.0 {
+            best[i] = smo.per_node[i].borrowed_ps;
+        }
+        for &j in &succ[i] {
+            let cand = best[i] + smo.per_node[j].borrowed_ps;
+            if cand > best[j] {
+                best[j] = cand;
+                prev[j] = i;
+            }
+        }
+    }
+    let end = order
+        .iter()
+        .copied()
+        .max_by(|&a, &b| best[a].total_cmp(&best[b]))?;
+    let mut path = Vec::new();
+    let mut cur = end;
+    loop {
+        path.push(cur);
+        if prev[cur] == usize::MAX {
+            break;
+        }
+        cur = prev[cur];
+    }
+    path.reverse();
+    let cells = path
+        .iter()
+        .filter_map(|&i| match graph.nodes[i] {
+            SeqNode::Storage(c) => Some(c),
+            _ => None,
+        })
+        .collect();
+    Some(BorrowChain {
+        cells,
+        borrowed_ps: best[end],
+        cyclic: false,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use triphase_netlist::{Builder, ClockSpec, Netlist};
+
+    /// 3-phase latch pipeline (same shape as the SMO tests).
+    fn latch3(period: f64, inv_per_stage: usize) -> Netlist {
+        let mut nl = Netlist::new("l3");
+        let mut b = Builder::new(&mut nl, "u");
+        let (p1, c1) = b.netlist().add_input("p1");
+        let (p2, c2) = b.netlist().add_input("p2");
+        let (p3, c3) = b.netlist().add_input("p3");
+        let (_, d) = b.netlist().add_input("d");
+        let mut x = d;
+        for (i, g) in [c1, c2, c3, c1].iter().enumerate() {
+            let q = b.net(&format!("q{i}"));
+            let name = format!("lat{i}");
+            b.netlist().add_cell(name, CellKind::LatchH, vec![x, *g, q]);
+            x = q;
+            for _ in 0..inv_per_stage {
+                x = b.not(x);
+            }
+        }
+        b.netlist().add_output("q", x);
+        nl.clock = Some(ClockSpec::equal_phases(&[p1, p2, p3], period));
+        nl
+    }
+
+    #[test]
+    fn staggered_phases_have_margin() {
+        let lib = Library::synthetic_28nm();
+        let nl = latch3(900.0, 2);
+        let idx = nl.index();
+        let r = check_min_delay(&nl, &lib, &idx, None).unwrap();
+        assert!(!r.pairs.is_empty());
+        assert!(r.clean(), "worst margin {}", r.worst_margin_ps);
+        // The non-overlap of adjacent phases gives roughly a phase of slack.
+        assert!(r.worst_margin_ps > 100.0, "margin {}", r.worst_margin_ps);
+    }
+
+    #[test]
+    fn same_phase_pair_races() {
+        let lib = Library::synthetic_28nm();
+        let mut nl = Netlist::new("bad");
+        let mut b = Builder::new(&mut nl, "u");
+        let (p1, c1) = b.netlist().add_input("p1");
+        let (p2, _c2) = b.netlist().add_input("p2");
+        let (_, d) = b.netlist().add_input("d");
+        let q0 = b.net("q0");
+        let q1 = b.net("q1");
+        b.netlist()
+            .add_cell("l0", CellKind::LatchH, vec![d, c1, q0]);
+        let x = b.not(q0);
+        b.netlist()
+            .add_cell("l1", CellKind::LatchH, vec![x, c1, q1]);
+        b.netlist().add_output("q", q1);
+        nl.clock = Some(ClockSpec::equal_phases(&[p1, p2], 1000.0));
+        let idx = nl.index();
+        let r = check_min_delay(&nl, &lib, &idx, None).unwrap();
+        assert!(!r.clean(), "same-phase latch pair must race");
+        let racing: Vec<_> = r.races().collect();
+        assert!(racing.iter().any(|p| p.co_transparent));
+    }
+
+    #[test]
+    fn borrowing_chain_reported() {
+        let lib = Library::synthetic_28nm();
+        // Deep logic in every stage: consecutive latches borrow.
+        let nl = latch3(900.0, 22);
+        let idx = nl.index();
+        let r = check_min_delay(&nl, &lib, &idx, None).unwrap();
+        let chain = r.worst_chain.expect("expected borrowing");
+        assert!(chain.borrowed_ps > 0.0);
+        assert!(!chain.cells.is_empty());
+    }
+
+    #[test]
+    fn diverging_setup_still_yields_min_delay_pairs() {
+        let lib = Library::synthetic_28nm();
+        // Ring of 3 latches with deep logic in every stage: the loop's
+        // total delay exceeds the period, so borrowing never recovers and
+        // the max-arrival fixed point diverges.
+        let mut nl = Netlist::new("ring");
+        let mut b = Builder::new(&mut nl, "u");
+        let (p1, c1) = b.netlist().add_input("p1");
+        let (p2, c2) = b.netlist().add_input("p2");
+        let (p3, c3) = b.netlist().add_input("p3");
+        let qs: Vec<_> = (0..3).map(|i| b.net(&format!("q{i}"))).collect();
+        let mut d = qs[2];
+        for (i, g) in [c1, c2, c3].iter().enumerate() {
+            let mut x = d;
+            for _ in 0..40 {
+                x = b.not(x);
+            }
+            b.netlist()
+                .add_cell(format!("lat{i}"), CellKind::LatchH, vec![x, *g, qs[i]]);
+            d = qs[i];
+        }
+        b.netlist().add_output("q", qs[2]);
+        nl.clock = Some(ClockSpec::equal_phases(&[p1, p2, p3], 900.0));
+        let idx = nl.index();
+        assert!(matches!(
+            analyze_smo(&nl, &lib, &idx, None),
+            Err(Error::NoConvergence { .. })
+        ));
+        // The min-only fallback still attributes every latch pair.
+        let r = check_min_delay(&nl, &lib, &idx, None).unwrap();
+        assert!(r.setup_diverged);
+        assert_eq!(r.pairs.len(), 3);
+        assert!(r.worst_chain.is_none());
+    }
+
+    #[test]
+    fn ff_design_reduces_to_hold_check() {
+        let lib = Library::synthetic_28nm();
+        let mut nl = Netlist::new("ff");
+        let mut b = Builder::new(&mut nl, "u");
+        let (ckp, ck) = b.netlist().add_input("ck");
+        let (_, d) = b.netlist().add_input("d");
+        let q0 = b.dff(d, ck);
+        let x = b.not(q0);
+        let q1 = b.dff(x, ck);
+        b.netlist().add_output("q", q1);
+        nl.clock = Some(ClockSpec::single(ckp, 1000.0));
+        let idx = nl.index();
+        let r = check_min_delay(&nl, &lib, &idx, None).unwrap();
+        assert_eq!(r.pairs.len(), 1);
+        let p = &r.pairs[0];
+        assert!(!p.co_transparent);
+        // clk-to-q + one inverter comfortably beats the hold time.
+        assert!(p.margin_ps > 0.0, "margin {}", p.margin_ps);
+    }
+}

@@ -60,19 +60,19 @@ impl SmoReport {
 
 /// Per-node clocking view derived from the clock spec.
 #[derive(Debug, Clone, Copy)]
-struct NodeClock {
+pub(crate) struct NodeClock {
     /// Transparency width (ps); 0 for edge-triggered capture.
-    width: f64,
+    pub(crate) width: f64,
     /// Capture instant within the cycle, in `[0, T)`.
-    chi: f64,
-    setup: f64,
-    hold: f64,
-    clk_to_q: f64,
-    d_to_q: f64,
-    checked: bool,
+    pub(crate) chi: f64,
+    pub(crate) setup: f64,
+    pub(crate) hold: f64,
+    pub(crate) clk_to_q: f64,
+    pub(crate) d_to_q: f64,
+    pub(crate) checked: bool,
 }
 
-fn node_clocks(
+pub(crate) fn node_clocks(
     nl: &Netlist,
     lib: &Library,
     clock: &ClockSpec,
@@ -120,7 +120,7 @@ fn node_clocks(
 
 /// Forward phase shift `E` from node `j`'s capture to node `i`'s capture
 /// (Eq. 1 generalized to capture instants): in `(0, T]`.
-fn phase_shift(t: f64, chi_j: f64, chi_i: f64) -> f64 {
+pub(crate) fn phase_shift(t: f64, chi_j: f64, chi_i: f64) -> f64 {
     let d = (chi_i - chi_j).rem_euclid(t);
     if d <= 1e-9 {
         t
@@ -364,7 +364,7 @@ pub fn check_c2(nl: &Netlist, lib: &Library, idx: &ConnIndex) -> Result<Vec<(Cel
 }
 
 /// Do two half-open intervals on a circle of circumference `t` overlap?
-fn circular_overlap(t: f64, (o1, c1): (f64, f64), (o2, c2): (f64, f64)) -> bool {
+pub(crate) fn circular_overlap(t: f64, (o1, c1): (f64, f64), (o2, c2): (f64, f64)) -> bool {
     for k in [-1.0, 0.0, 1.0] {
         let (a, b) = (o2 + k * t, c2 + k * t);
         if o1 < b - 1e-9 && a < c1 - 1e-9 {

@@ -23,6 +23,7 @@
 //! | [`power`] | `triphase-power` | grouped Clock/Seq/Comb power model |
 //! | [`circuits`] | `triphase-circuits` | ISCAS/CEP/CPU benchmark generators |
 //! | [`lint`] | `triphase-lint` | structural & phase-legality static analyzer |
+//! | [`dfa`] | `triphase-dfa` | semantic dataflow analyses: const prop, reset X-prop, races |
 //! | [`core`] | `triphase-core` | **the paper's flow**: ILP → convert → retime → CG |
 //!
 //! # Quickstart
@@ -54,6 +55,7 @@
 pub use triphase_cells as cells;
 pub use triphase_circuits as circuits;
 pub use triphase_core as core;
+pub use triphase_dfa as dfa;
 pub use triphase_ilp as ilp;
 pub use triphase_lint as lint;
 pub use triphase_netlist as netlist;
@@ -78,8 +80,9 @@ pub mod prelude {
     pub use triphase_core::{
         apply_ddcg, apply_m2, assign_phases, extract_ff_graph, gate_p2_common_enable,
         gated_clock_style, retime_three_phase, run_flow, run_flow_with, to_master_slave,
-        to_three_phase, FlowConfig, FlowReport, LintPolicy,
+        to_three_phase, DfaPolicy, FlowConfig, FlowReport, LintPolicy,
     };
+    pub use triphase_dfa::{const_report, race_report, reset_report, DfaReport};
     pub use triphase_ilp::{PhaseConfig, PhaseProblem};
     pub use triphase_lint::{LintStage, Linter};
     pub use triphase_netlist::{Builder, ClockSpec, Netlist, Word};
