@@ -1,0 +1,884 @@
+//! Static switching-activity analysis: signal probability and transition
+//! density propagation (Najm-style) over the netlist, with no simulation.
+//!
+//! For every net the analysis computes
+//!
+//! - **signal probability** `P(net = 1)` under stationary inputs,
+//! - **transition density** — expected toggles per clock cycle in the
+//!   zero-delay (glitch-free) model, the quantity a cycle-accurate
+//!   simulator measures, and
+//! - a **topological upper bound** on density (every input transition
+//!   may propagate), bracketing the glitching regime from above.
+//!
+//! Values start at primary inputs (default `p = 0.5`, `d = 0.5`
+//! toggles/cycle for random stimulus, overridable per net) and at state
+//! elements, and flow through the combinational fabric in
+//! `comb_topo_order`. Three mechanisms keep the numbers honest:
+//!
+//! 1. **Supergate collapsing** — each net carries its Boolean function as
+//!    a truth table over a bounded *support* of independent sources
+//!    (inputs, state outputs, cut points). Reconvergent fan-out inside
+//!    the support is evaluated exactly: `XOR(a, a)` has probability
+//!    exactly `0`, not the `0.5` the naive independence rule yields.
+//!    When a support union would exceed [`AnalysisOptions::cut_budget`],
+//!    the fan-ins are cut into fresh independent sources; if the cut
+//!    separates overlapping supports the net (and everything downstream)
+//!    is tagged with a **correlation-error flag** instead of silently
+//!    assuming independence.
+//! 2. **Sequential fixpoint** — storage outputs are pseudo-primary
+//!    sources; their statistics (`p_Q = p_D`, `d_Q = d_D`, exact in the
+//!    zero-delay model) are iterated with the combinational pass until
+//!    convergence. Storage elements that feed themselves combinationally
+//!    (counters, FSM state) carry *temporal* correlation a stationary
+//!    model cannot see, so their outputs are correlation-flagged.
+//! 3. **3-phase clock awareness** — clock phase roots get `p = duty`,
+//!    `d = 2/cycle`; ICGs attenuate downstream clock density by their
+//!    enable probability, and a gated storage element's output density is
+//!    scaled by the product of enable probabilities on its clock path.
+//!
+//! The result feeds three consumers: the DDCG gating-efficacy scorer
+//! ([`gating_scores`]), per-FF weights on the phase-assignment ILP
+//! objective, and the zero-simulation fast path of
+//! `triphase_power::estimate_power`.
+//!
+//! # Examples
+//!
+//! ```
+//! use triphase_netlist::{Netlist, CellKind};
+//! use triphase_activity::{analyze, AnalysisOptions};
+//!
+//! let mut nl = Netlist::new("reconv");
+//! let (_, a) = nl.add_input("a");
+//! let x = nl.add_net("x");
+//! nl.add_cell("u_xor", CellKind::Xor(2), vec![a, a, x]);
+//! nl.add_output("x", x);
+//! let model = analyze(&nl, &AnalysisOptions::default()).unwrap();
+//! let s = model.net(x);
+//! assert_eq!(s.probability, 0.0); // exact, not 0.5 · independence
+//! assert_eq!(s.density, 0.0);
+//! ```
+
+use std::collections::VecDeque;
+use std::fmt;
+use triphase_cells::CellKind;
+use triphase_netlist::graph::{comb_topo_order, fanin_cone_starts, trace_clock_root, ConeStart};
+use triphase_netlist::{CellId, ConnIndex, NetId, Netlist, PortDir, PortId};
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by the analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// The combinational fabric contains a cycle (no topological order).
+    CombLoop(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::CombLoop(name) => write!(f, "combinational loop at {name}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Hard cap on supergate support size (truth tables are dense bitsets).
+const MAX_BUDGET: usize = 12;
+
+/// Analysis options.
+#[derive(Debug, Clone)]
+pub struct AnalysisOptions {
+    /// Maximum supergate support size before fan-ins are cut into fresh
+    /// independent sources (clamped to `1..=12`). Larger budgets resolve
+    /// more reconvergence exactly at exponential truth-table cost.
+    pub cut_budget: usize,
+    /// Maximum sequential fixpoint iterations.
+    pub max_iterations: usize,
+    /// Convergence tolerance on per-net probability/density deltas.
+    pub tolerance: f64,
+    /// Default signal probability of primary data inputs.
+    pub input_probability: f64,
+    /// Default transition density (toggles/cycle) of primary data inputs.
+    pub input_density: f64,
+    /// Per-net `(probability, density)` overrides for source nets —
+    /// typically primary inputs seeded from a measured profile.
+    pub overrides: Vec<(NetId, f64, f64)>,
+}
+
+impl Default for AnalysisOptions {
+    fn default() -> Self {
+        AnalysisOptions {
+            cut_budget: 6,
+            max_iterations: 24,
+            tolerance: 1e-9,
+            input_probability: 0.5,
+            input_density: 0.5,
+            overrides: Vec::new(),
+        }
+    }
+}
+
+/// Static statistics of one net.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct NetStats {
+    /// Stationary probability the net is logic 1.
+    pub probability: f64,
+    /// Expected toggles per cycle, zero-delay (glitch-free lower bound).
+    pub density: f64,
+    /// Topological upper bound on toggles per cycle (worst-case glitching).
+    pub density_upper: f64,
+    /// Independence was assumed across overlapping supports somewhere in
+    /// this net's sequential fan-in (or temporal correlation at a
+    /// self-feeding register) — `density` is an estimate, not exact.
+    pub correlated: bool,
+}
+
+/// Result of [`analyze`]: per-net statistics plus model provenance.
+#[derive(Debug, Clone)]
+pub struct ActivityModel {
+    stats: Vec<NetStats>,
+    /// Nets driven by combinational cells (correlation-rate denominator).
+    pub comb_nets: usize,
+    /// Combinational nets carrying the correlation-error flag.
+    pub flagged_nets: usize,
+    /// Sequential fixpoint iterations performed.
+    pub iterations: usize,
+    /// Whether the fixpoint converged within the iteration budget.
+    pub converged: bool,
+}
+
+impl ActivityModel {
+    /// Statistics of `net`.
+    pub fn net(&self, net: NetId) -> NetStats {
+        self.stats.get(net.index()).copied().unwrap_or_default()
+    }
+
+    /// Transition density (toggles/cycle) of `net`.
+    pub fn density(&self, net: NetId) -> f64 {
+        self.net(net).density
+    }
+
+    /// Signal probability of `net`.
+    pub fn probability(&self, net: NetId) -> f64 {
+        self.net(net).probability
+    }
+
+    /// Whether `net` carries the correlation-error flag.
+    pub fn correlated(&self, net: NetId) -> bool {
+        self.net(net).correlated
+    }
+
+    /// Per-net statistics indexed by [`NetId::index`].
+    pub fn stats(&self) -> &[NetStats] {
+        &self.stats
+    }
+
+    /// Fraction of combinational nets whose density is correlation-flagged.
+    pub fn correlation_rate(&self) -> f64 {
+        if self.comb_nets == 0 {
+            0.0
+        } else {
+            self.flagged_nets as f64 / self.comb_nets as f64
+        }
+    }
+
+    /// Per-net densities indexed by [`NetId::index`] — the layout
+    /// `triphase_power`'s static fast path consumes.
+    pub fn densities(&self) -> Vec<f64> {
+        self.stats.iter().map(|s| s.density).collect()
+    }
+
+    /// Synthesize per-net toggle counts for a virtual run of `cycles`
+    /// cycles (rounded), for consumers that expect a measured-activity
+    /// shape (e.g. the DDCG pass).
+    pub fn pseudo_toggles(&self, cycles: u64) -> Vec<u64> {
+        self.stats
+            .iter()
+            .map(|s| (s.density * cycles as f64).round() as u64)
+            .collect()
+    }
+}
+
+/// A net's Boolean function as a truth table over a support of
+/// independent source variables (sorted source ids; `tt` is a dense
+/// little-endian bitset of `2^support.len()` rows).
+#[derive(Debug, Clone)]
+struct Gate {
+    support: Vec<u32>,
+    tt: Vec<u64>,
+}
+
+impl Gate {
+    fn identity(source: u32) -> Gate {
+        Gate {
+            support: vec![source],
+            tt: vec![0b10],
+        }
+    }
+
+    fn bit(&self, row: usize) -> bool {
+        (self.tt.get(row >> 6).copied().unwrap_or(0) >> (row & 63)) & 1 == 1
+    }
+}
+
+/// One storage element with its data net, output net, and the enable
+/// nets that attenuate its update rate (own `EN` pin plus the `EN` of
+/// every ICG on its clock path).
+struct StorageInfo {
+    dnet: NetId,
+    qnet: NetId,
+    en_nets: Vec<NetId>,
+    /// The element's data cone reaches its own output combinationally
+    /// (counter/FSM bit): temporal correlation the model cannot see.
+    self_loop: bool,
+}
+
+/// Run the static analysis. See the crate docs for the model.
+///
+/// # Errors
+///
+/// [`Error::CombLoop`] if the combinational fabric is cyclic.
+pub fn analyze(nl: &Netlist, opts: &AnalysisOptions) -> Result<ActivityModel> {
+    let idx = nl.index();
+    let order = match comb_topo_order(nl, &idx) {
+        Ok(order) => order,
+        Err(e) => return Err(Error::CombLoop(e.to_string())),
+    };
+    let ncap = nl.net_capacity();
+    let budget = opts.cut_budget.clamp(1, MAX_BUDGET);
+
+    let mut p = vec![0.5f64; ncap];
+    let mut d = vec![0.0f64; ncap];
+    let mut up = vec![0.0f64; ncap];
+    let mut flag = vec![false; ncap];
+
+    // Structural prep: storage elements, clock roots, input seeds.
+    let storages = collect_storage(nl, &idx);
+    let phase_roots = phase_root_stats(nl);
+    let is_phase_root: Vec<bool> = {
+        let mut mask = vec![false; ncap];
+        for &(net, _) in &phase_roots {
+            mask[net.index()] = true;
+        }
+        mask
+    };
+    let mut seed: Vec<Option<(f64, f64)>> = vec![None; ncap];
+    for i in 0..nl.ports().len() {
+        let port = nl.port(PortId::from_index(i));
+        if port.dir == PortDir::Input && !is_phase_root[port.net.index()] {
+            seed[port.net.index()] = Some((opts.input_probability, opts.input_density));
+        }
+    }
+    for &(net, po, de) in &opts.overrides {
+        if net.index() < ncap {
+            seed[net.index()] = Some((po.clamp(0.0, 1.0), de.clamp(0.0, 2.0)));
+        }
+    }
+
+    // Storage outputs start at the uninformative fixpoint seed.
+    for s in &storages {
+        p[s.qnet.index()] = 0.5;
+        d[s.qnet.index()] = 0.5;
+        up[s.qnet.index()] = 0.5;
+    }
+
+    let mut gates: Vec<Option<Gate>> = vec![None; ncap];
+    let mut source_of: Vec<Option<u32>> = vec![None; ncap];
+    let mut sources: Vec<(f64, f64)> = Vec::new();
+
+    let mut iterations = 0usize;
+    let mut converged = false;
+    for iter in 0..opts.max_iterations.max(1) {
+        iterations = iter + 1;
+
+        // Primary-input and clock-network seeds.
+        for (i, s) in seed.iter().enumerate() {
+            if let Some((po, de)) = s {
+                p[i] = *po;
+                d[i] = *de;
+                up[i] = *de;
+                flag[i] = false;
+            }
+        }
+        propagate_clock(nl, &idx, &phase_roots, &mut p, &mut d, &mut up, &mut flag);
+
+        // Fresh source/supergate tables for this pass.
+        gates.iter_mut().for_each(|g| *g = None);
+        source_of.iter_mut().for_each(|s| *s = None);
+        sources.clear();
+
+        // Combinational pass in topological order.
+        for &id in &order {
+            step_cell(
+                nl,
+                id,
+                budget,
+                &mut p,
+                &mut d,
+                &mut up,
+                &mut flag,
+                &mut gates,
+                &mut source_of,
+                &mut sources,
+            );
+        }
+
+        // Storage update (Gauss-Seidel) and convergence test.
+        let mut delta = 0.0f64;
+        for s in &storages {
+            let mut en = 1.0f64;
+            let mut f = flag[s.dnet.index()] || s.self_loop;
+            for &e in &s.en_nets {
+                en *= p[e.index()].clamp(0.0, 1.0);
+                f |= flag[e.index()];
+            }
+            let qi = s.qnet.index();
+            let pq = p[s.dnet.index()].clamp(0.0, 1.0);
+            let dq = (d[s.dnet.index()] * en).clamp(0.0, 1.0);
+            delta = delta.max((p[qi] - pq).abs()).max((d[qi] - dq).abs());
+            p[qi] = pq;
+            d[qi] = dq;
+            up[qi] = dq;
+            flag[qi] = flag[qi] || f;
+        }
+        if delta < opts.tolerance {
+            converged = true;
+            break;
+        }
+    }
+
+    // Assemble per-net stats; count combinational nets for the rate.
+    let mut stats = vec![NetStats::default(); ncap];
+    for (i, s) in stats.iter_mut().enumerate() {
+        s.probability = p[i].clamp(0.0, 1.0);
+        s.density = d[i].clamp(0.0, 2.0);
+        s.density_upper = up[i].max(s.density);
+        s.correlated = flag[i];
+    }
+    let mut comb_nets = 0usize;
+    let mut flagged_nets = 0usize;
+    for &id in &order {
+        let out = nl.cell(id).output().index();
+        comb_nets += 1;
+        if flag[out] {
+            flagged_nets += 1;
+        }
+    }
+    Ok(ActivityModel {
+        stats,
+        comb_nets,
+        flagged_nets,
+        iterations,
+        converged,
+    })
+}
+
+/// Phase-root nets with their duty cycles.
+fn phase_root_stats(nl: &Netlist) -> Vec<(NetId, f64)> {
+    let Some(clock) = &nl.clock else {
+        return Vec::new();
+    };
+    let period = clock.period_ps;
+    clock
+        .phases
+        .iter()
+        .map(|ph| {
+            let width = if ph.fall_ps >= ph.rise_ps {
+                ph.fall_ps - ph.rise_ps
+            } else {
+                period - ph.rise_ps + ph.fall_ps
+            };
+            let duty = if period > 0.0 && width.is_finite() {
+                (width / period).clamp(0.0, 1.0)
+            } else {
+                0.5
+            };
+            (nl.port(ph.port).net, duty)
+        })
+        .collect()
+}
+
+/// Propagate clock-network statistics: phase roots (`p = duty`,
+/// `d = 2/cycle`), clock buffers copy, ICGs attenuate by their enable
+/// probability. Mirrors `graph::clock_cone`'s expansion rule.
+#[allow(clippy::too_many_arguments)]
+fn propagate_clock(
+    nl: &Netlist,
+    idx: &ConnIndex,
+    phase_roots: &[(NetId, f64)],
+    p: &mut [f64],
+    d: &mut [f64],
+    up: &mut [f64],
+    flag: &mut [bool],
+) {
+    let mut queue: VecDeque<NetId> = VecDeque::new();
+    let mut visited = vec![false; nl.net_capacity()];
+    for &(net, duty) in phase_roots {
+        p[net.index()] = duty;
+        d[net.index()] = 2.0;
+        up[net.index()] = 2.0;
+        flag[net.index()] = false;
+        if !visited[net.index()] {
+            visited[net.index()] = true;
+            queue.push_back(net);
+        }
+    }
+    while let Some(n) = queue.pop_front() {
+        for load in idx.loads(n) {
+            let cell = nl.cell(load.cell);
+            let out = match cell.kind {
+                CellKind::ClkBuf => {
+                    let out = cell.output();
+                    p[out.index()] = p[n.index()];
+                    d[out.index()] = d[n.index()];
+                    flag[out.index()] = flag[n.index()];
+                    out
+                }
+                k if k.is_clock_gate() && Some(load.pin) == k.clock_pin() => {
+                    let out = cell.output();
+                    let pe = k
+                        .enable_pin()
+                        .map(|ep| p[cell.pin(ep).index()].clamp(0.0, 1.0))
+                        .unwrap_or(1.0);
+                    p[out.index()] = p[n.index()] * pe;
+                    d[out.index()] = d[n.index()] * pe;
+                    flag[out.index()] = flag[n.index()]
+                        || k.enable_pin()
+                            .map(|ep| flag[cell.pin(ep).index()])
+                            .unwrap_or(false);
+                    out
+                }
+                _ => continue,
+            };
+            up[out.index()] = d[out.index()];
+            if !visited[out.index()] {
+                visited[out.index()] = true;
+                queue.push_back(out);
+            }
+        }
+    }
+    // Clock buffers outside the declared clock cone still copy their
+    // input (e.g. clockless test netlists).
+    for (_, cell) in nl.cells() {
+        if cell.kind == CellKind::ClkBuf && !visited[cell.output().index()] {
+            let input = cell.pin(0);
+            let out = cell.output();
+            p[out.index()] = p[input.index()];
+            d[out.index()] = d[input.index()];
+            up[out.index()] = up[input.index()];
+            flag[out.index()] = flag[input.index()];
+        }
+    }
+}
+
+/// Storage elements with their enable chains and self-loop tags.
+fn collect_storage(nl: &Netlist, idx: &ConnIndex) -> Vec<StorageInfo> {
+    let mut out = Vec::new();
+    for (id, cell) in nl.cells() {
+        if !cell.kind.is_storage() {
+            continue;
+        }
+        let Some(dpin) = cell.kind.data_pin() else {
+            continue;
+        };
+        let dnet = cell.pin(dpin);
+        let qnet = cell.output();
+        let mut en_nets = Vec::new();
+        if let Some(ep) = cell.kind.enable_pin() {
+            en_nets.push(cell.pin(ep));
+        }
+        if let Some(ckpin) = cell.kind.clock_pin() {
+            if let Ok(trace) = trace_clock_root(nl, idx, cell.pin(ckpin)) {
+                for gate in trace.gates {
+                    let gcell = nl.cell(gate);
+                    if let Some(ep) = gcell.kind.enable_pin() {
+                        en_nets.push(gcell.pin(ep));
+                    }
+                }
+            }
+        }
+        let self_loop = fanin_cone_starts(nl, idx, dnet)
+            .iter()
+            .any(|s| matches!(s, ConeStart::Storage(c) if *c == id));
+        out.push(StorageInfo {
+            dnet,
+            qnet,
+            en_nets,
+            self_loop,
+        });
+    }
+    out
+}
+
+/// Process one combinational cell: build the output supergate (cutting
+/// fan-ins into fresh sources beyond the budget) and compute the output
+/// net's probability, zero-delay density, upper bound, and flag.
+#[allow(clippy::too_many_arguments)]
+fn step_cell(
+    nl: &Netlist,
+    id: CellId,
+    budget: usize,
+    p: &mut [f64],
+    d: &mut [f64],
+    up: &mut [f64],
+    flag: &mut [bool],
+    gates: &mut [Option<Gate>],
+    source_of: &mut [Option<u32>],
+    sources: &mut Vec<(f64, f64)>,
+) {
+    let cell = nl.cell(id);
+    let out = cell.output().index();
+    let ins = cell.inputs();
+
+    // Every fan-in needs a gate; gateless nets (inputs, storage outputs,
+    // clock-derived or undriven nets) become fresh sources.
+    for &inet in ins {
+        if gates[inet.index()].is_none() {
+            let sid = materialize_source(inet, p, d, source_of, sources);
+            gates[inet.index()] = Some(Gate::identity(sid));
+        }
+    }
+
+    // Union of fan-in supports; cut to per-net sources beyond the budget.
+    let mut union: Vec<u32> = Vec::new();
+    for &inet in ins {
+        if let Some(g) = &gates[inet.index()] {
+            for &s in &g.support {
+                if let Err(pos) = union.binary_search(&s) {
+                    union.insert(pos, s);
+                }
+            }
+        }
+    }
+    let mut lossy_cut = false;
+    let mut cut_gates: Vec<Option<Gate>> = Vec::new();
+    if union.len() > budget {
+        // Does the cut separate overlapping supports? (A source shared
+        // by two *different* fan-in nets is correlation we now discard;
+        // the same net used twice keeps its sharing through the common
+        // cut source, so it stays exact.)
+        let mut seen_in: Vec<(u32, NetId)> = Vec::new();
+        'outer: for &inet in ins {
+            if let Some(g) = &gates[inet.index()] {
+                for &s in &g.support {
+                    if let Some(&(_, first)) = seen_in.iter().find(|(sid, _)| *sid == s) {
+                        if first != inet {
+                            lossy_cut = true;
+                            break 'outer;
+                        }
+                    } else {
+                        seen_in.push((s, inet));
+                    }
+                }
+            }
+        }
+        union.clear();
+        cut_gates = ins
+            .iter()
+            .map(|&inet| {
+                let sid = materialize_source(inet, p, d, source_of, sources);
+                if let Err(pos) = union.binary_search(&sid) {
+                    union.insert(pos, sid);
+                }
+                Some(Gate::identity(sid))
+            })
+            .collect();
+    }
+
+    // Truth table over the union support.
+    let k = union.len();
+    let rows = 1usize << k;
+    let mut tt = vec![0u64; rows.div_ceil(64)];
+    // Per-input projection: positions of its support bits in the union.
+    let projections: Vec<(Vec<usize>, &Gate)> = ins
+        .iter()
+        .enumerate()
+        .filter_map(|(j, &inet)| {
+            let g = if cut_gates.is_empty() {
+                gates[inet.index()].as_ref()
+            } else {
+                cut_gates.get(j).and_then(|g| g.as_ref())
+            }?;
+            let pos: Vec<usize> = g
+                .support
+                .iter()
+                .map(|s| union.binary_search(s).unwrap_or(0))
+                .collect();
+            Some((pos, g))
+        })
+        .collect();
+    let mut vals = vec![false; projections.len()];
+    for row in 0..rows {
+        for (v, (pos, g)) in vals.iter_mut().zip(&projections) {
+            let mut local = 0usize;
+            for (j, &up_pos) in pos.iter().enumerate() {
+                local |= ((row >> up_pos) & 1) << j;
+            }
+            *v = g.bit(local);
+        }
+        if cell.kind.eval_comb(&vals) {
+            tt[row >> 6] |= 1u64 << (row & 63);
+        }
+    }
+
+    let gate = Gate { support: union, tt };
+    let (po, de) = eval_stats(&gate, sources);
+    p[out] = po;
+    d[out] = de;
+    up[out] = ins
+        .iter()
+        .map(|n| up[n.index()])
+        .sum::<f64>()
+        .max(de)
+        .min(2.0 * ins.len().max(1) as f64);
+    flag[out] = lossy_cut || ins.iter().any(|n| flag[n.index()]);
+    gates[out] = Some(gate);
+}
+
+/// Intern `net` as an independent source with its current statistics.
+fn materialize_source(
+    net: NetId,
+    p: &[f64],
+    d: &[f64],
+    source_of: &mut [Option<u32>],
+    sources: &mut Vec<(f64, f64)>,
+) -> u32 {
+    if let Some(sid) = source_of[net.index()] {
+        return sid;
+    }
+    let sid = sources.len() as u32;
+    sources.push((
+        p[net.index()].clamp(0.0, 1.0),
+        d[net.index()].clamp(0.0, 2.0),
+    ));
+    source_of[net.index()] = Some(sid);
+    sid
+}
+
+/// Probability and zero-delay density of a supergate over independent
+/// sources.
+///
+/// Probability is the weighted ON-set mass. Density uses each source's
+/// stationary 2×2 cycle-transition matrix `M_i` (`P01 = P10 = d_i/2`):
+/// the joint ON–ON mass across consecutive cycles is
+/// `J = f^T (⊗_i M_i) f`, computed by contracting one axis at a time,
+/// and `P(toggle) = P(prev=1) + P(cur=1) − 2J = 2p − 2J`.
+fn eval_stats(gate: &Gate, sources: &[(f64, f64)]) -> (f64, f64) {
+    let k = gate.support.len();
+    let rows = 1usize << k;
+
+    // ON-set probability.
+    let mut prob = 0.0f64;
+    for row in 0..rows {
+        if !gate.bit(row) {
+            continue;
+        }
+        let mut w = 1.0f64;
+        for (i, &s) in gate.support.iter().enumerate() {
+            let pi = sources.get(s as usize).map(|&(pi, _)| pi).unwrap_or(0.5);
+            w *= if (row >> i) & 1 == 1 { pi } else { 1.0 - pi };
+        }
+        prob += w;
+    }
+    let prob = prob.clamp(0.0, 1.0);
+
+    // v = (⊗ M_i) f, axis by axis; J = f · v.
+    let mut v: Vec<f64> = (0..rows)
+        .map(|row| f64::from(gate.bit(row) as u8))
+        .collect();
+    for (i, &s) in gate.support.iter().enumerate() {
+        let (pi, di) = sources.get(s as usize).copied().unwrap_or((0.5, 0.5));
+        let half = (di / 2.0).min(pi).min(1.0 - pi).max(0.0);
+        let m00 = 1.0 - pi - half;
+        let m11 = pi - half;
+        let stride = 1usize << i;
+        let mut base = 0usize;
+        while base < rows {
+            for m in base..base + stride {
+                let a = v[m];
+                let b = v[m + stride];
+                v[m] = m00 * a + half * b;
+                v[m + stride] = half * a + m11 * b;
+            }
+            base += stride << 1;
+        }
+    }
+    let mut joint = 0.0f64;
+    for (row, w) in v.iter().enumerate() {
+        if gate.bit(row) {
+            joint += *w;
+        }
+    }
+    let density = (2.0 * prob - 2.0 * joint).clamp(0.0, 2.0);
+    (prob, density)
+}
+
+/// Expected clock-pin toggles saved per cycle by data-driven gating of
+/// one storage element.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GateScore {
+    /// The candidate storage cell.
+    pub cell: CellId,
+    /// Static density of its data input (toggles/cycle).
+    pub data_density: f64,
+    /// Static density of its clock pin (toggles/cycle).
+    pub clock_density: f64,
+    /// Expected clock toggles saved per cycle if the element is gated on
+    /// data change: `clock_density × (1 − data_density)`.
+    pub saved_per_cycle: f64,
+    /// The data density is correlation-flagged (estimate, not exact).
+    pub correlated: bool,
+}
+
+/// Rank storage cells by expected toggles saved when data-driven clock
+/// gating is applied, best first (ties broken by cell id for
+/// determinism). Cells without data/clock pins score zero.
+pub fn gating_scores(nl: &Netlist, model: &ActivityModel, candidates: &[CellId]) -> Vec<GateScore> {
+    let mut scores: Vec<GateScore> = candidates
+        .iter()
+        .map(|&id| {
+            let cell = nl.cell(id);
+            let data = cell.kind.data_pin().map(|pin| cell.pin(pin));
+            let clock = cell.kind.clock_pin().map(|pin| cell.pin(pin));
+            let dd = data.map(|n| model.density(n).min(1.0)).unwrap_or(1.0);
+            let cd = clock.map(|n| model.density(n)).unwrap_or(0.0);
+            GateScore {
+                cell: id,
+                data_density: dd,
+                clock_density: cd,
+                saved_per_cycle: cd * (1.0 - dd).max(0.0),
+                correlated: data.map(|n| model.correlated(n)).unwrap_or(false),
+            }
+        })
+        .collect();
+    scores.sort_by(|a, b| {
+        b.saved_per_cycle
+            .partial_cmp(&a.saved_per_cycle)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.cell.index().cmp(&b.cell.index()))
+    });
+    scores
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use triphase_netlist::ClockSpec;
+
+    #[test]
+    fn independent_and_gate() {
+        let mut nl = Netlist::new("and");
+        let (_, a) = nl.add_input("a");
+        let (_, b) = nl.add_input("b");
+        let x = nl.add_net("x");
+        nl.add_cell("u", CellKind::And(2), vec![a, b, x]);
+        nl.add_output("x", x);
+        let m = analyze(&nl, &AnalysisOptions::default()).unwrap();
+        let s = m.net(x);
+        assert!((s.probability - 0.25).abs() < 1e-12);
+        assert!(!s.correlated);
+        assert!(s.density > 0.0 && s.density <= s.density_upper);
+    }
+
+    #[test]
+    fn buffer_chain_preserves_density() {
+        let mut nl = Netlist::new("chain");
+        let (_, a) = nl.add_input("a");
+        let mut prev = a;
+        let mut last = a;
+        for i in 0..8 {
+            let n = nl.add_net(format!("n{i}"));
+            let kind = if i % 2 == 0 {
+                CellKind::Buf
+            } else {
+                CellKind::Inv
+            };
+            nl.add_cell(format!("u{i}"), kind, vec![prev, n]);
+            prev = n;
+            last = n;
+        }
+        nl.add_output("y", last);
+        let opts = AnalysisOptions {
+            overrides: vec![(a, 0.5, 0.375)],
+            ..AnalysisOptions::default()
+        };
+        let m = analyze(&nl, &opts).unwrap();
+        assert_eq!(m.net(last).density, 0.375);
+        assert!(!m.net(last).correlated);
+    }
+
+    #[test]
+    fn clock_density_and_icg_attenuation() {
+        let mut nl = Netlist::new("clk");
+        let (ckp, ck) = nl.add_input("ck");
+        let (_, en) = nl.add_input("en");
+        let (_, dn) = nl.add_input("d");
+        let gck = nl.add_net("gck");
+        let q = nl.add_net("q");
+        nl.add_cell("icg", CellKind::Icg, vec![en, ck, gck]);
+        nl.add_cell("ff", CellKind::Dff, vec![dn, gck, q]);
+        nl.add_output("q", q);
+        nl.clock = Some(ClockSpec::single(ckp, 1000.0));
+        let m = analyze(&nl, &AnalysisOptions::default()).unwrap();
+        assert_eq!(m.density(ck), 2.0);
+        assert!((m.density(gck) - 1.0).abs() < 1e-12, "2.0 × P(en)=0.5");
+        // Gated FF output density: d_D × P(en) = 0.5 × 0.5.
+        assert!((m.density(q) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn self_loop_register_is_flagged() {
+        let mut nl = Netlist::new("tflop");
+        let (ckp, ck) = nl.add_input("ck");
+        let q = nl.add_net("q");
+        let dn = nl.add_net("d");
+        nl.add_cell("u_inv", CellKind::Inv, vec![q, dn]);
+        nl.add_cell("ff", CellKind::Dff, vec![dn, ck, q]);
+        nl.add_output("q", q);
+        nl.clock = Some(ClockSpec::single(ckp, 1000.0));
+        let m = analyze(&nl, &AnalysisOptions::default()).unwrap();
+        assert!(m.net(q).correlated, "temporal self-loop must be flagged");
+    }
+
+    #[test]
+    fn pipeline_register_is_not_flagged() {
+        let mut nl = Netlist::new("pipe");
+        let (ckp, ck) = nl.add_input("ck");
+        let (_, a) = nl.add_input("a");
+        let q1 = nl.add_net("q1");
+        let q2 = nl.add_net("q2");
+        nl.add_cell("f1", CellKind::Dff, vec![a, ck, q1]);
+        nl.add_cell("f2", CellKind::Dff, vec![q1, ck, q2]);
+        nl.add_output("q", q2);
+        nl.clock = Some(ClockSpec::single(ckp, 1000.0));
+        let m = analyze(&nl, &AnalysisOptions::default()).unwrap();
+        assert!(!m.net(q2).correlated);
+        assert_eq!(m.net(q2).density, 0.5);
+        assert!(m.converged);
+    }
+
+    #[test]
+    fn gating_scores_rank_quiet_data_first() {
+        let mut nl = Netlist::new("rank");
+        let (ckp, ck) = nl.add_input("ck");
+        let (_, a) = nl.add_input("a");
+        let (_, b) = nl.add_input("b");
+        let busy = nl.add_net("busy");
+        let quiet = nl.add_net("quiet");
+        let q1 = nl.add_net("q1");
+        let q2 = nl.add_net("q2");
+        nl.add_cell("u_buf", CellKind::Buf, vec![a, busy]);
+        nl.add_cell("u_and", CellKind::And(2), vec![a, b, quiet]);
+        let f1 = nl.add_cell("f1", CellKind::Dff, vec![busy, ck, q1]);
+        let f2 = nl.add_cell("f2", CellKind::Dff, vec![quiet, ck, q2]);
+        nl.add_output("q1", q1);
+        nl.add_output("q2", q2);
+        nl.clock = Some(ClockSpec::single(ckp, 1000.0));
+        let m = analyze(&nl, &AnalysisOptions::default()).unwrap();
+        let scores = gating_scores(&nl, &m, &[f1, f2]);
+        assert_eq!(scores[0].cell, f2, "AND output toggles less than buffer");
+        assert!(scores[0].saved_per_cycle > scores[1].saved_per_cycle);
+    }
+}

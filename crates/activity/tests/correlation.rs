@@ -1,0 +1,120 @@
+//! Regression tests for correlation handling: reconvergent fan-out
+//! inside the cut budget must be exact, and beyond-budget cuts must be
+//! flagged — never silently assumed independent.
+
+use triphase_activity::{analyze, AnalysisOptions};
+use triphase_netlist::{CellKind, Netlist};
+
+#[test]
+fn xor_of_a_net_with_itself_is_exactly_zero() {
+    let mut nl = Netlist::new("xaa");
+    let (_, a) = nl.add_input("a");
+    let x = nl.add_net("x");
+    nl.add_cell("u", CellKind::Xor(2), vec![a, a, x]);
+    nl.add_output("x", x);
+    let m = analyze(&nl, &AnalysisOptions::default()).unwrap();
+    let s = m.net(x);
+    assert_eq!(s.probability, 0.0, "XOR(a,a) is constant 0, not 0.5");
+    assert_eq!(s.density, 0.0);
+    assert!(!s.correlated, "resolved exactly, no correlation error");
+}
+
+#[test]
+fn and_of_a_net_with_its_complement_is_exactly_zero() {
+    let mut nl = Netlist::new("ana");
+    let (_, a) = nl.add_input("a");
+    let na = nl.add_net("na");
+    let x = nl.add_net("x");
+    nl.add_cell("u_inv", CellKind::Inv, vec![a, na]);
+    nl.add_cell("u_and", CellKind::And(2), vec![a, na, x]);
+    nl.add_output("x", x);
+    let m = analyze(&nl, &AnalysisOptions::default()).unwrap();
+    let s = m.net(x);
+    assert_eq!(s.probability, 0.0, "AND(a,!a) is constant 0");
+    assert_eq!(s.density, 0.0);
+    assert!(!s.correlated);
+}
+
+#[test]
+fn reconvergence_survives_deeper_supergates() {
+    // XNOR(a, a) via two inverter branches: still exactly constant 1.
+    let mut nl = Netlist::new("deep");
+    let (_, a) = nl.add_input("a");
+    let n1 = nl.add_net("n1");
+    let n2 = nl.add_net("n2");
+    let x = nl.add_net("x");
+    nl.add_cell("i1", CellKind::Inv, vec![a, n1]);
+    nl.add_cell("i2", CellKind::Inv, vec![a, n2]);
+    nl.add_cell("u", CellKind::Xnor(2), vec![n1, n2, x]);
+    nl.add_output("x", x);
+    let m = analyze(&nl, &AnalysisOptions::default()).unwrap();
+    assert_eq!(m.net(x).probability, 1.0);
+    assert_eq!(m.net(x).density, 0.0);
+}
+
+/// x = AND(a,b), y = OR(b,c), z = XOR(x,y): with `cut_budget = 2` the
+/// union {a,b,c} exceeds the budget and the cut separates the shared
+/// `b` — the flag must be set rather than silently assuming
+/// independence.
+#[test]
+fn beyond_budget_overlapping_cut_sets_the_flag() {
+    let mut nl = Netlist::new("cut");
+    let (_, a) = nl.add_input("a");
+    let (_, b) = nl.add_input("b");
+    let (_, c) = nl.add_input("c");
+    let x = nl.add_net("x");
+    let y = nl.add_net("y");
+    let z = nl.add_net("z");
+    nl.add_cell("u_and", CellKind::And(2), vec![a, b, x]);
+    nl.add_cell("u_or", CellKind::Or(2), vec![b, c, y]);
+    nl.add_cell("u_xor", CellKind::Xor(2), vec![x, y, z]);
+    nl.add_output("z", z);
+    let opts = AnalysisOptions {
+        cut_budget: 2,
+        ..AnalysisOptions::default()
+    };
+    let m = analyze(&nl, &opts).unwrap();
+    assert!(m.net(z).correlated, "lossy cut must set the flag");
+    assert!(!m.net(x).correlated, "fan-ins inside budget stay exact");
+    assert!(!m.net(y).correlated);
+    assert!(m.correlation_rate() > 0.0);
+    // With the default budget the same cone resolves exactly: no flag,
+    // and the truth-table probability differs from the naive
+    // independence estimate.
+    let exact = analyze(&nl, &AnalysisOptions::default()).unwrap();
+    assert!(!exact.net(z).correlated);
+    assert!(
+        (exact.net(z).probability - 0.5).abs() < 1e-12,
+        "by symmetry"
+    );
+}
+
+/// Disjoint supports cut losslessly: no flag, probability unchanged vs
+/// the exact supergate.
+#[test]
+fn beyond_budget_disjoint_cut_is_clean() {
+    let mut nl = Netlist::new("disjoint");
+    let (_, a) = nl.add_input("a");
+    let (_, b) = nl.add_input("b");
+    let (_, c) = nl.add_input("c");
+    let (_, e) = nl.add_input("e");
+    let x = nl.add_net("x");
+    let y = nl.add_net("y");
+    let z = nl.add_net("z");
+    nl.add_cell("u_and", CellKind::And(2), vec![a, b, x]);
+    nl.add_cell("u_or", CellKind::Or(2), vec![c, e, y]);
+    nl.add_cell("u_xor", CellKind::Xor(2), vec![x, y, z]);
+    nl.add_output("z", z);
+    let cut = analyze(
+        &nl,
+        &AnalysisOptions {
+            cut_budget: 2,
+            ..AnalysisOptions::default()
+        },
+    )
+    .unwrap();
+    let exact = analyze(&nl, &AnalysisOptions::default()).unwrap();
+    assert!(!cut.net(z).correlated, "disjoint cut is lossless");
+    assert!((cut.net(z).probability - exact.net(z).probability).abs() < 1e-12);
+    assert!((cut.net(z).density - exact.net(z).density).abs() < 1e-12);
+}

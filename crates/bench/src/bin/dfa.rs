@@ -28,7 +28,7 @@
 
 use std::process::ExitCode;
 use triphase_bench::json::Json;
-use triphase_bench::report::ReportFile;
+use triphase_bench::report::{section, ReportFile};
 use triphase_bench::{benchmarks, quick_benchmarks, Benchmark};
 use triphase_cells::{CellKind, Library};
 use triphase_core::{
@@ -216,7 +216,7 @@ fn certify(suite: &[Benchmark], lib: &Library) -> Result<bool, String> {
         result
     });
 
-    let mut golden = Json::obj();
+    let mut golden = section();
     let mut golden_clean = true;
     let mut golden_failures = Vec::new();
     for (b, result) in suite.iter().zip(rows) {
@@ -246,7 +246,7 @@ fn certify(suite: &[Benchmark], lib: &Library) -> Result<bool, String> {
         ("reset_init_lost", vec!["D201"], seed_reset_loss()),
         ("min_delay_race", vec!["D301", "D302"], seed_race(lib)),
     ];
-    let mut seeded = Json::obj();
+    let mut seeded = section();
     let mut seeded_detected = 0usize;
     for (name, codes, result) in &seeded_cases {
         let mut row = Json::obj();
@@ -278,7 +278,7 @@ fn certify(suite: &[Benchmark], lib: &Library) -> Result<bool, String> {
     }
 
     let certified = golden_clean && seeded_detected == seeded_cases.len();
-    let mut summary = Json::obj();
+    let mut summary = section();
     summary.set("benchmarks", suite.len().into());
     summary.set("golden_clean", golden_clean.into());
     summary.set("seeded_total", seeded_cases.len().into());

@@ -251,7 +251,7 @@ fn certify_deadline() -> (Json, bool) {
     // noise on loaded CI machines.
     let cap = budget.mul_f64(1.10) + Duration::from_millis(25);
     let ok = elapsed <= cap;
-    let mut row = Json::obj();
+    let mut row = triphase_bench::report::section();
     row.set("budget_ms", Json::Num(budget.as_secs_f64() * 1e3));
     row.set("elapsed_ms", Json::Num(elapsed.as_secs_f64() * 1e3));
     row.set("cap_ms", Json::Num(cap.as_secs_f64() * 1e3));
@@ -330,7 +330,7 @@ fn main() {
             row.set("certified", Json::Bool(r.certified));
             scenarios.push(row);
         }
-        let mut section = Json::obj();
+        let mut section = triphase_bench::report::section();
         section.set("group", Json::Str(b.group.label().into()));
         section.set(
             "certified",

@@ -6,6 +6,7 @@
 
 use triphase_bench::json::Json;
 use triphase_bench::perf::merge_section;
+use triphase_bench::report::section as report_section;
 use triphase_bench::{mean, run_suite, Scale};
 
 fn main() {
@@ -79,7 +80,7 @@ fn main() {
         rec.set("sim_3p_seconds", r.three_phase.sim_seconds.into());
         benchmarks.push(rec);
     }
-    let mut section = Json::obj();
+    let mut section = report_section();
     section.set("generated_by", "runtime_report".into());
     section.set(
         "scale",

@@ -13,7 +13,7 @@
 use triphase_bench::json::Json;
 use triphase_bench::microbench::{samples, time_throughput, Measurement};
 use triphase_bench::perf::measurement_json;
-use triphase_bench::report::ReportFile;
+use triphase_bench::report::{section, ReportFile};
 use triphase_circuits::iscas::{generate_iscas, iscas_profiles};
 use triphase_core::{assign_phases, extract_ff_graph, gated_clock_style, to_three_phase};
 use triphase_ilp::PhaseConfig;
@@ -109,7 +109,7 @@ fn main() {
         rec.set("speedup", speedup.into());
         circuits.push(rec);
     }
-    let mut kernel = Json::obj();
+    let mut kernel = section();
     kernel.set("generated_by", "sim_perf".into());
     kernel.set("per_lane_cycles", cycles.into());
     kernel.set("circuits", Json::Arr(circuits));
@@ -175,7 +175,7 @@ fn main() {
         "deterministic across thread counts: {deterministic}  (fingerprint {fingerprint:016x})"
     );
 
-    let mut scaling = Json::obj();
+    let mut scaling = section();
     scaling.set("tasks", tasks.into());
     scaling.set("lanes", LANES.into());
     scaling.set("per_task_cycles", task_cycles.into());

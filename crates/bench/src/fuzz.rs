@@ -170,7 +170,7 @@ impl CampaignReport {
 
     /// Render the `fuzz_campaign` report section.
     pub fn to_json(&self) -> Json {
-        let mut doc = Json::obj();
+        let mut doc = crate::report::section();
         doc.set("generated_by", "fuzz".into());
         doc.set(
             "commit",

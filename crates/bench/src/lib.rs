@@ -245,6 +245,77 @@ pub fn drive_stimulus(
     seed: u64,
     stim: Stimulus,
 ) -> triphase_sim::Result<Activity> {
+    run_stimulus(nl, cycles, seed, stim, |_| {})
+}
+
+/// Measured per-net profile: toggle counts plus the cycles each net
+/// spent at logic one, the empirical (probability, density) pair the
+/// static activity model is cross-validated against.
+#[derive(Debug, Clone)]
+pub struct StimulusProfile {
+    /// Toggle counts, as [`drive_stimulus`] returns them.
+    pub activity: Activity,
+    /// Per-net count of observed-one samples (net index → count); the
+    /// empirical signal probability is `ones[net] / activity.cycles`.
+    pub ones: Vec<u64>,
+}
+
+impl StimulusProfile {
+    /// Empirical signal probability of `net`.
+    pub fn probability(&self, net: triphase_netlist::NetId) -> f64 {
+        if self.activity.cycles == 0 {
+            0.5
+        } else {
+            self.ones[net.index()] as f64 / self.activity.cycles as f64
+        }
+    }
+
+    /// Empirical transition density (toggles/cycle) of `net`.
+    pub fn density(&self, net: triphase_netlist::NetId) -> f64 {
+        if self.activity.cycles == 0 {
+            0.0
+        } else {
+            self.activity.net_toggles[net.index()] as f64 / self.activity.cycles as f64
+        }
+    }
+}
+
+/// [`drive_stimulus`], additionally sampling every net's value once per
+/// cycle to accumulate empirical signal probabilities.
+///
+/// # Errors
+///
+/// Simulator construction errors.
+pub fn profile_stimulus(
+    nl: &Netlist,
+    cycles: u64,
+    seed: u64,
+    stim: Stimulus,
+) -> triphase_sim::Result<StimulusProfile> {
+    let mut ones = vec![0u64; nl.net_capacity()];
+    let activity = run_stimulus(nl, cycles, seed, stim, |sim| {
+        let mask = if sim.lanes() == 64 {
+            !0u64
+        } else {
+            (1u64 << sim.lanes()) - 1
+        };
+        for (i, count) in ones.iter_mut().enumerate() {
+            let word = sim.net_value(triphase_netlist::NetId::from_index(i));
+            *count += u64::from((word.is_one() & mask).count_ones());
+        }
+    })?;
+    Ok(StimulusProfile { activity, ones })
+}
+
+/// Shared packed-kernel stimulus loop behind [`drive_stimulus`] and
+/// [`profile_stimulus`]; `observe` runs after every stepped cycle.
+fn run_stimulus(
+    nl: &Netlist,
+    cycles: u64,
+    seed: u64,
+    stim: Stimulus,
+    mut observe: impl FnMut(&PackedSim),
+) -> triphase_sim::Result<Activity> {
     let lanes = match stim {
         Stimulus::SelfCheck { interval } => (cycles / interval.max(1)).clamp(1, LANES as u64),
         Stimulus::Random | Stimulus::Cpu(_) => cycles.clamp(1, LANES as u64),
@@ -264,6 +335,7 @@ pub fn drive_stimulus(
                     sim.set_input(p, draw(&mut streams));
                 }
                 sim.step_cycle();
+                observe(&sim);
             }
         }
         Stimulus::SelfCheck { interval } => {
@@ -282,6 +354,7 @@ pub fn drive_stimulus(
                     sim.set_input(p, PackedLogic::splat(Logic::from_bool(pulse)));
                 }
                 sim.step_cycle();
+                observe(&sim);
             }
         }
         Stimulus::Cpu(workload) => {
@@ -297,6 +370,7 @@ pub fn drive_stimulus(
                     sim.set_input(p, v);
                 }
                 sim.step_cycle();
+                observe(&sim);
             }
         }
     }

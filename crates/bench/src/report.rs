@@ -14,6 +14,21 @@ use std::path::{Path, PathBuf};
 use crate::json::Json;
 use crate::perf;
 
+/// Version of the section shapes the campaign binaries write, stamped
+/// as a `schema_version` field into every top-level object section (via
+/// [`section`]) so downstream consumers of `results/BENCH_*.json` can
+/// detect format drift. Bump when any binary changes a section's shape.
+pub const SCHEMA_VERSION: u64 = 2;
+
+/// A fresh section object pre-stamped with [`SCHEMA_VERSION`]. The
+/// campaign binaries build their top-level sections from this instead
+/// of a bare [`Json::obj`].
+pub fn section() -> Json {
+    let mut o = Json::obj();
+    o.set("schema_version", SCHEMA_VERSION.into());
+    o
+}
+
 /// Handle on one `results/BENCH_*.json` report file.
 #[derive(Debug, Clone)]
 pub struct ReportFile {
@@ -74,6 +89,15 @@ mod tests {
             Some("BENCH_static.json")
         );
         assert_eq!(f.path().parent(), perf::report_path().parent());
+    }
+
+    #[test]
+    fn section_is_stamped_with_the_schema_version() {
+        let s = section();
+        assert_eq!(
+            s.get("schema_version").and_then(Json::as_f64),
+            Some(SCHEMA_VERSION as f64)
+        );
     }
 
     #[test]

@@ -136,7 +136,7 @@ pub(crate) fn fingerprint(nl: &Netlist, cfg: &FlowConfig) -> u64 {
     let time_ns = cfg.phase_cfg.time_limit.map_or(u128::MAX, |d| d.as_nanos());
     let _ = write!(
         s,
-        "cfg {} {} {} {:016x} {} {} {} {:016x} {} {} {} {:016x} {} {:016x} {:016x} {} {} {:032x}",
+        "cfg {} {} {} {:016x} {} {} {} {:016x} {} {} {} {:016x} {} {:016x} {:016x} {} {} {:032x} {} {} {:016x}",
         cfg.seed,
         cfg.sim_cycles,
         cfg.retime as u8,
@@ -155,6 +155,9 @@ pub(crate) fn fingerprint(nl: &Netlist, cfg: &FlowConfig) -> u64 {
         cfg.phase_cfg.max_nodes,
         cfg.phase_cfg.ilp_max_vars,
         time_ns,
+        cfg.activity.enabled as u8,
+        cfg.activity.cut_budget,
+        cfg.activity.max_correlation_rate.to_bits(),
     );
     fnv1a64(s.as_bytes())
 }

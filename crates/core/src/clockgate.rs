@@ -251,10 +251,81 @@ pub fn apply_ddcg_placed(
     // must stay physically compact or its clock wiring erases the gating
     // benefit — the paper's observation that grouped latches should be
     // "low and highly correlated".
-    let tile = |c: CellId| -> u64 {
+    let tile = spatial_tile(positions);
+    candidates.sort_by(|a, b| {
+        let bucket = |r: f64| (r / 0.01) as u64;
+        bucket(a.1)
+            .cmp(&bucket(b.1))
+            .then_with(|| tile(a.0).cmp(&tile(b.0)))
+            .then_with(|| nl.cell(a.0).name.cmp(&nl.cell(b.0).name))
+    });
+
+    let ordered: Vec<CellId> = candidates.into_iter().map(|(c, _)| c).collect();
+    let report = build_ddcg_groups(nl, &ordered, p2n, max_fanout);
+    let _ = p3n;
+    Ok(report)
+}
+
+/// [`apply_ddcg_placed`] driven by the static activity model instead of
+/// a measured profile — the zero-simulation DDCG path. Candidates are
+/// ungated `p2` latches whose D-net static transition density is below
+/// `threshold`; they are ranked by the gating-efficacy score
+/// ([`triphase_activity::gating_scores`]: expected gated clock toggles ×
+/// idle probability, replacing the raw toggle-rate heuristic) so the
+/// highest-saving groups form first, then tiled spatially like the
+/// measured path.
+///
+/// # Errors
+///
+/// [`Error::BadInput`] on non-3-phase designs.
+pub fn apply_ddcg_static(
+    nl: &mut Netlist,
+    model: &triphase_activity::ActivityModel,
+    threshold: f64,
+    max_fanout: usize,
+    positions: Option<&[Option<(f64, f64)>]>,
+) -> Result<CgReport> {
+    let p2n = p2_port_net(nl)?;
+    let idx = nl.index();
+    let phases = storage_phases(nl, &idx)?;
+
+    let cells: Vec<CellId> = nl
+        .cells()
+        .filter(|(id, c)| {
+            c.kind.is_latch()
+                && phases.get(id) == Some(&P2)
+                && c.pin(1) == p2n
+                // Gate only when the model is *confident* the data is
+                // quiet: a correlation-flagged D-net's density is
+                // untrusted, and gating an actually-active register
+                // costs XOR-tree power without saving clock toggles.
+                && model.density(c.pin(0)) < threshold
+                && !model.correlated(c.pin(0))
+        })
+        .map(|(id, _)| id)
+        .collect();
+    // Rank by expected saving, then keep each group spatially compact:
+    // bucket the score so the tile ordering still groups neighbours.
+    let scores = triphase_activity::gating_scores(nl, model, &cells);
+    let tile = spatial_tile(positions);
+    let mut ranked: Vec<(CellId, f64)> =
+        scores.iter().map(|s| (s.cell, s.saved_per_cycle)).collect();
+    ranked.sort_by(|a, b| {
+        let bucket = |s: f64| (s / 0.01) as i64;
+        bucket(b.1)
+            .cmp(&bucket(a.1))
+            .then_with(|| tile(a.0).cmp(&tile(b.0)))
+            .then_with(|| nl.cell(a.0).name.cmp(&nl.cell(b.0).name))
+    });
+    let ordered: Vec<CellId> = ranked.into_iter().map(|(c, _)| c).collect();
+    Ok(build_ddcg_groups(nl, &ordered, p2n, max_fanout))
+}
+
+/// Morton-ish 16 µm tile key over an optional trial placement.
+fn spatial_tile<'a>(positions: Option<&'a [Option<(f64, f64)>]>) -> impl Fn(CellId) -> u64 + 'a {
+    move |c: CellId| -> u64 {
         match positions.and_then(|p| p.get(c.index()).copied().flatten()) {
             Some((x, y)) => {
-                // Interleave 16 µm tile coordinates (Morton-ish order).
                 let (tx, ty) = ((x / 16.0) as u64 & 0xffff, (y / 16.0) as u64 & 0xffff);
                 let mut z = 0u64;
                 for i in 0..16 {
@@ -264,24 +335,27 @@ pub fn apply_ddcg_placed(
             }
             None => 0,
         }
-    };
-    candidates.sort_by(|a, b| {
-        let bucket = |r: f64| (r / 0.01) as u64;
-        bucket(a.1)
-            .cmp(&bucket(b.1))
-            .then_with(|| tile(a.0).cmp(&tile(b.0)))
-            .then_with(|| nl.cell(a.0).name.cmp(&nl.cell(b.0).name))
-    });
+    }
+}
 
+/// Shared DDCG group construction: chunk the ordered candidates, build
+/// `EN = OR(XOR(D_i, Q_i))` per chunk into a conventional ICG, and
+/// repoint the latches' clock pins.
+fn build_ddcg_groups(
+    nl: &mut Netlist,
+    ordered: &[CellId],
+    p2n: NetId,
+    max_fanout: usize,
+) -> CgReport {
     let mut report = CgReport::default();
     let mut counter = 0usize;
-    for chunk in candidates.chunks(max_fanout.max(1)) {
+    for chunk in ordered.chunks(max_fanout.max(1)) {
         if chunk.is_empty() {
             continue;
         }
         // EN = OR of per-latch D!=Q comparators.
         let mut xor_nets = Vec::with_capacity(chunk.len());
-        for &(latch, _) in chunk {
+        for &latch in chunk {
             let (d, q) = {
                 let c = nl.cell(latch);
                 (c.pin(0), c.output())
@@ -303,14 +377,13 @@ pub fn apply_ddcg_placed(
             vec![en, p2n, gck],
         );
         counter += 1;
-        for &(latch, _) in chunk {
+        for &latch in chunk {
             nl.set_pin(latch, 1, gck);
         }
         report.ddcg_groups += 1;
         report.ddcg_gated += chunk.len();
     }
-    let _ = p3n;
-    Ok(report)
+    report
 }
 
 fn or_tree(nl: &mut Netlist, nets: &[NetId], counter: &mut usize) -> NetId {
@@ -437,6 +510,49 @@ mod tests {
         // Equivalence under *active* inputs (gating must be data-driven,
         // not just "off").
         let r = equiv_stream(&nl, &tp, 17, 400).unwrap();
+        assert!(r.equivalent(), "{:?}", r.mismatch);
+    }
+
+    #[test]
+    fn static_ddcg_gates_without_simulation_and_preserves_function() {
+        // Same quiet pipeline as the measured DDCG test, but candidates
+        // come from the static activity model — no simulation at all.
+        let mut nl = Netlist::new("squiet");
+        let mut b = Builder::new(&mut nl, "u");
+        let (ckp, ck) = b.netlist().add_input("ck");
+        let d = b.word_input("d", 6);
+        let s0 = b.dff_word(&d, ck);
+        let s1 = b.dff_word(&s0, ck);
+        b.word_output("q", &s1);
+        nl.clock = Some(triphase_netlist::ClockSpec::single(ckp, 900.0));
+
+        let mut tp = convert(&nl);
+        // Quiet inputs: override the data PIs to near-zero density so
+        // the static model sees gating-worthy latches.
+        let clock_ports: Vec<_> = tp
+            .clock
+            .as_ref()
+            .unwrap()
+            .phases
+            .iter()
+            .map(|p| p.port)
+            .collect();
+        let opts = triphase_activity::AnalysisOptions {
+            overrides: tp
+                .input_ports()
+                .into_iter()
+                .filter(|p| !clock_ports.contains(p))
+                .map(|p| (tp.port(p).net, 0.5, 0.001))
+                .collect(),
+            ..triphase_activity::AnalysisOptions::default()
+        };
+        let model = triphase_activity::analyze(&tp, &opts).unwrap();
+        let report = apply_ddcg_static(&mut tp, &model, 0.02, 4, None).unwrap();
+        assert!(report.ddcg_gated > 0, "{report:?}");
+        tp.validate().unwrap();
+        // Equivalence under *active* inputs: the gate must be
+        // data-driven, not merely off.
+        let r = equiv_stream(&nl, &tp, 29, 400).unwrap();
         assert!(r.equivalent(), "{:?}", r.mismatch);
     }
 

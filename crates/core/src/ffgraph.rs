@@ -6,6 +6,7 @@
 
 use crate::error::{Error, Result};
 use std::collections::HashMap;
+use triphase_activity::ActivityModel;
 use triphase_ilp::{PhaseConfig, PhaseProblem, SolveRung, Status};
 use triphase_netlist::{graph, CellId, ConnIndex, Netlist, PortId};
 
@@ -48,6 +49,32 @@ impl FfGraph {
                 p.add_pi(fo.clone());
             }
         }
+        p
+    }
+
+    /// [`FfGraph::to_phase_problem`] with an activity-weighted objective:
+    /// inserting a `p2` latch behind FF `u` costs
+    /// `1 + min(density(Q_u), 2)/2 ∈ [1, 2]` instead of 1 (likewise per
+    /// PI from its port net's density), biasing insertion toward quiet
+    /// nets — an inserted latch on a busy net burns data-pin and internal
+    /// energy every toggle. The `[1, 2]` range bounds the latch-*count*
+    /// distortion of the weighted optimum to at most 2x.
+    pub fn to_phase_problem_weighted(&self, nl: &Netlist, model: &ActivityModel) -> PhaseProblem {
+        let weight = |d: f64| 1.0 + (d / 2.0).clamp(0.0, 1.0);
+        let mut p = self.to_phase_problem();
+        p.set_node_weights(
+            self.ffs
+                .iter()
+                .map(|&c| weight(model.density(nl.cell(c).output())))
+                .collect(),
+        );
+        p.set_pi_weights(
+            self.pi_fanout
+                .iter()
+                .filter(|(_, fo)| !fo.is_empty())
+                .map(|(port, _)| weight(model.density(nl.port(*port).net)))
+                .collect(),
+        );
         p
     }
 }
@@ -117,6 +144,10 @@ pub struct Assignment {
     pub pi_g: HashMap<PortId, bool>,
     /// ILP objective value (number of `p2` insertions).
     pub cost: usize,
+    /// Weighted objective value (equals `cost as f64` when unweighted).
+    pub weighted_cost: f64,
+    /// Whether an activity-weighted objective drove the solve.
+    pub weighted: bool,
     /// Whether the solver proved optimality.
     pub optimal: bool,
     /// Seconds spent in the solver.
@@ -144,7 +175,24 @@ impl Assignment {
 /// returned [`Assignment`] so the flow report can surface degraded
 /// solves.
 pub fn assign_phases(graph: &FfGraph, cfg: &PhaseConfig) -> Assignment {
-    let problem = graph.to_phase_problem();
+    solve_assignment(graph, graph.to_phase_problem(), cfg)
+}
+
+/// [`assign_phases`] with the static-activity-weighted objective
+/// ([`FfGraph::to_phase_problem_weighted`]): `p2` insertions are biased
+/// away from high-transition-density nets. Count-based fields
+/// ([`Assignment::cost`]) remain plain counts; the weighted objective
+/// value lands in [`Assignment::weighted_cost`].
+pub fn assign_phases_weighted(
+    graph: &FfGraph,
+    cfg: &PhaseConfig,
+    nl: &Netlist,
+    model: &ActivityModel,
+) -> Assignment {
+    solve_assignment(graph, graph.to_phase_problem_weighted(nl, model), cfg)
+}
+
+fn solve_assignment(graph: &FfGraph, problem: PhaseProblem, cfg: &PhaseConfig) -> Assignment {
     let t0 = std::time::Instant::now();
     let outcome = problem.solve_chain(cfg);
     let solve_seconds = t0.elapsed().as_secs_f64();
@@ -178,6 +226,8 @@ pub fn assign_phases(graph: &FfGraph, cfg: &PhaseConfig) -> Assignment {
         g,
         pi_g,
         cost: sol.cost,
+        weighted_cost: sol.weighted_cost,
+        weighted: problem.is_weighted(),
         optimal: sol.optimal,
         solve_seconds,
         rung: outcome.rung,
@@ -257,6 +307,29 @@ mod tests {
         // PI penalty), so at least 3 back-to-back groups.
         assert!(a.singles() >= 3, "singles = {}", a.singles());
         assert!(a.cost <= 4, "cost = {}", a.cost);
+    }
+
+    #[test]
+    fn weighted_assignment_is_consistent_and_flagged() {
+        let nl = linear_pipeline(5, 3, 1, 1000.0);
+        let idx = nl.index();
+        let g = extract_ff_graph(&nl, &idx).unwrap();
+        let model = triphase_activity::analyze(&nl, &triphase_activity::AnalysisOptions::default())
+            .unwrap();
+        let a = assign_phases_weighted(&g, &PhaseConfig::default(), &nl, &model);
+        assert!(a.weighted);
+        assert!(a.optimal);
+        // Weighted cost is bounded by the weight range [1, 2] times the
+        // insertion count, and every FF still satisfies G + K >= 1.
+        assert!(a.weighted_cost >= a.cost as f64);
+        assert!(a.weighted_cost <= 2.0 * a.cost as f64 + 1e-9);
+        for &ff in &g.ffs {
+            assert!(a.g[&ff] || a.k[&ff]);
+        }
+        // The unweighted path stays unweighted.
+        let u = assign_phases(&g, &PhaseConfig::default());
+        assert!(!u.weighted);
+        assert_eq!(u.weighted_cost, u.cost as f64);
     }
 
     #[test]

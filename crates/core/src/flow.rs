@@ -4,10 +4,10 @@
 //! three design styles (FF, master-slave, 3-phase).
 
 use crate::checkpoint::{self, CheckpointCfg, FlowState, IlpSummary, Stage};
-use crate::clockgate::{apply_m2, gate_p2_common_enable, CgReport};
+use crate::clockgate::{apply_ddcg_static, apply_m2, gate_p2_common_enable, CgReport};
 use crate::convert::{to_master_slave, to_three_phase, ConvertReport};
 use crate::error::{Error, Result};
-use crate::ffgraph::{assign_phases, extract_ff_graph};
+use crate::ffgraph::{assign_phases, assign_phases_weighted, extract_ff_graph};
 use crate::preprocess::{gated_clock_style, PreprocessReport};
 use crate::retiming::{retime_three_phase, RetimeReport};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -92,6 +92,37 @@ pub enum DfaPolicy {
     Deny,
 }
 
+/// Static switching-activity configuration: whether (and how) the flow
+/// derives the ILP objective weights and the DDCG candidate ranking from
+/// the zero-simulation static model ([`triphase_activity::analyze`])
+/// instead of measured toggle counts.
+///
+/// The policy is Warn-style: when the analysis fails, does not converge,
+/// or flags more than [`ActivityCfg::max_correlation_rate`] of the
+/// combinational nets as correlation-afflicted, the flow silently falls
+/// back to the measured path and records `"measured"` in
+/// [`FlowReport::activity_source`] — it never aborts.
+#[derive(Debug, Clone)]
+pub struct ActivityCfg {
+    /// Use the static model when it is healthy (default `true`).
+    pub enabled: bool,
+    /// Reconvergence supergate cut budget forwarded to the analyzer.
+    pub cut_budget: usize,
+    /// Fall back to measured activity when the correlation-flagged
+    /// fraction of combinational nets exceeds this rate.
+    pub max_correlation_rate: f64,
+}
+
+impl Default for ActivityCfg {
+    fn default() -> Self {
+        ActivityCfg {
+            enabled: true,
+            cut_budget: triphase_activity::AnalysisOptions::default().cut_budget,
+            max_correlation_rate: 0.95,
+        }
+    }
+}
+
 /// Flow configuration.
 #[derive(Debug, Clone)]
 pub struct FlowConfig {
@@ -126,6 +157,8 @@ pub struct FlowConfig {
     pub equiv: EquivPolicy,
     /// Semantic dataflow-analysis checkpoint policy.
     pub dfa: DfaPolicy,
+    /// Static switching-activity source policy.
+    pub activity: ActivityCfg,
     /// Fault-injection hook for the flow's own sites (`"flow.drive"`,
     /// `"flow.stage.<stage>"`, `"flow.variant.<name>"`). Note the ILP
     /// sites live on [`PhaseConfig::hook`]; `None` in production.
@@ -152,6 +185,7 @@ impl Default for FlowConfig {
             lint: LintPolicy::default(),
             equiv: EquivPolicy::default(),
             dfa: DfaPolicy::default(),
+            activity: ActivityCfg::default(),
             fault: None,
             checkpoint: None,
         }
@@ -279,6 +313,15 @@ pub struct FlowReport {
     pub ilp_status: Status,
     /// Rungs that failed before `ilp_rung` produced the answer.
     pub ilp_fallbacks: usize,
+    /// Activity source that drove the ILP objective weights and the DDCG
+    /// candidate ranking: `"static"` (zero-simulation model) or
+    /// `"measured"` (simulation toggle counts, including every fallback
+    /// case and [`ActivityCfg::enabled`] `= false`).
+    pub activity_source: &'static str,
+    /// Correlation-flagged fraction of combinational nets reported by
+    /// the static model on the preprocessed design (`None` when the
+    /// analysis was disabled or failed).
+    pub activity_correlation_rate: Option<f64>,
     /// Conversion statistics.
     pub convert: ConvertReport,
     /// Retiming statistics (if run).
@@ -451,6 +494,24 @@ pub fn run_flow_with(
     // Master-slave baseline (cheap; recomputed even on resume).
     let ms_nl = to_master_slave(&pre)?;
 
+    // Static switching-activity model on the preprocessed design. Like
+    // the lint checkpoints, it is a cheap deterministic function of the
+    // stage netlist and re-runs even over restored stages so the report
+    // carries the same provenance either way.
+    let activity_opts = triphase_activity::AnalysisOptions {
+        cut_budget: cfg.activity.cut_budget,
+        ..triphase_activity::AnalysisOptions::default()
+    };
+    let static_pre = (cfg.activity.enabled)
+        .then(|| triphase_activity::analyze(&pre, &activity_opts).ok())
+        .flatten()
+        .filter(|m| m.converged);
+    let activity_correlation_rate = static_pre.as_ref().map(|m| m.correlation_rate());
+    let static_ok = static_pre
+        .as_ref()
+        .is_some_and(|m| m.correlation_rate() <= cfg.activity.max_correlation_rate);
+    let activity_source = if static_ok { "static" } else { "measured" };
+
     // Stage 2 — ILP phase assignment + conversion.
     let t0 = Instant::now();
     let restored_convert = restored
@@ -463,7 +524,10 @@ pub fn run_flow_with(
         None => {
             let idx = pre.index();
             let graph = extract_ff_graph(&pre, &idx)?;
-            let a = assign_phases(&graph, &cfg.phase_cfg);
+            let a = match static_pre.as_ref().filter(|_| static_ok) {
+                Some(model) => assign_phases_weighted(&graph, &cfg.phase_cfg, &pre, model),
+                None => assign_phases(&graph, &cfg.phase_cfg),
+            };
             let ilp = IlpSummary {
                 cost: a.cost,
                 optimal: a.optimal,
@@ -565,17 +629,37 @@ pub fn run_flow_with(
                 cg.m2_replaced = apply_m2(&mut tp)?;
             }
             if cfg.ddcg {
-                let activity = drive(&tp, cfg.sim_cycles)?;
                 // Trial placement so DDCG groups can be formed spatially
                 // (each gated subtree must stay compact).
                 let trial = place_and_route(&tp, lib, &cfg.pnr)?;
-                let r = crate::clockgate::apply_ddcg_placed(
-                    &mut tp,
-                    &activity,
-                    cfg.ddcg_threshold,
-                    cfg.cg_max_fanout,
-                    Some(&trial.positions),
-                )?;
+                // Zero-simulation candidate ranking from the static
+                // model, re-analyzed on the converted netlist; same
+                // Warn-style fallback to a measured profile.
+                let static_tp = (static_ok)
+                    .then(|| triphase_activity::analyze(&tp, &activity_opts).ok())
+                    .flatten()
+                    .filter(|m| {
+                        m.converged && m.correlation_rate() <= cfg.activity.max_correlation_rate
+                    });
+                let r = match &static_tp {
+                    Some(model) => apply_ddcg_static(
+                        &mut tp,
+                        model,
+                        cfg.ddcg_threshold,
+                        cfg.cg_max_fanout,
+                        Some(&trial.positions),
+                    )?,
+                    None => {
+                        let activity = drive(&tp, cfg.sim_cycles)?;
+                        crate::clockgate::apply_ddcg_placed(
+                            &mut tp,
+                            &activity,
+                            cfg.ddcg_threshold,
+                            cfg.cg_max_fanout,
+                            Some(&trial.positions),
+                        )?
+                    }
+                };
                 cg.ddcg_groups = r.ddcg_groups;
                 cg.ddcg_gated = r.ddcg_gated;
             }
@@ -703,6 +787,8 @@ pub fn run_flow_with(
         ilp_rung: ilp.rung,
         ilp_status: ilp.status,
         ilp_fallbacks: ilp.fallbacks,
+        activity_source,
+        activity_correlation_rate,
         convert: convert_report,
         retime: retime_report,
         cg,
@@ -1049,6 +1135,46 @@ mod tests {
         assert_eq!(report.ilp_status, Status::NodeLimit);
         assert_eq!(report.ilp_rung, SolveRung::Exact);
         assert_eq!(report.equiv_3p, Some(true), "degraded result is valid");
+    }
+
+    #[test]
+    fn static_activity_drives_flow_by_default_and_ablates_cleanly() {
+        let lib = Library::synthetic_28nm();
+        let nl = linear_pipeline(4, 4, 1, 900.0);
+        // Default: static source, correlation rate recorded, still
+        // cycle-exact equivalent.
+        let report = run_flow(&nl, &lib, &quick_cfg()).unwrap();
+        assert_eq!(report.activity_source, "static");
+        let rate = report.activity_correlation_rate.unwrap();
+        assert!((0.0..=1.0).contains(&rate), "rate {rate}");
+        assert_eq!(report.equiv_3p, Some(true));
+
+        // Disabled: measured path, no model, same functional outcome.
+        let cfg = FlowConfig {
+            activity: crate::flow::ActivityCfg {
+                enabled: false,
+                ..Default::default()
+            },
+            ..quick_cfg()
+        };
+        let measured = run_flow(&nl, &lib, &cfg).unwrap();
+        assert_eq!(measured.activity_source, "measured");
+        assert_eq!(measured.activity_correlation_rate, None);
+        assert_eq!(measured.equiv_3p, Some(true));
+
+        // An impossible correlation ceiling forces the Warn-style
+        // fallback while still reporting the measured rate.
+        let cfg = FlowConfig {
+            activity: crate::flow::ActivityCfg {
+                max_correlation_rate: -1.0,
+                ..Default::default()
+            },
+            ..quick_cfg()
+        };
+        let fell_back = run_flow(&nl, &lib, &cfg).unwrap();
+        assert_eq!(fell_back.activity_source, "measured");
+        assert!(fell_back.activity_correlation_rate.is_some());
+        assert_eq!(fell_back.equiv_3p, Some(true));
     }
 
     #[test]

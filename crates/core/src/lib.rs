@@ -8,7 +8,10 @@
 //!    feedback and "unduly constrain the optimization problem";
 //! 2. [`extract_ff_graph`] + [`assign_phases`] (§IV-A) — the FF fan-out
 //!    graph `FO(u)` is extracted and the paper's ILP assigns every FF a
-//!    phase bit `K` and group bit `G`, minimizing `p2` insertions;
+//!    phase bit `K` and group bit `G`, minimizing `p2` insertions — by
+//!    default weighted by the static switching-activity model
+//!    ([`assign_phases_weighted`], [`ActivityCfg`]) so insertions land
+//!    on quiet nets;
 //! 3. [`to_three_phase`] (§IV-B) — FFs become `p1`/`p3` transparent
 //!    latches, back-to-back FFs get a `p2` latch at their output, flagged
 //!    primary inputs get boundary latches, and clock gates are re-rooted
@@ -52,13 +55,15 @@ mod preprocess;
 mod retiming;
 
 pub use checkpoint::{CheckpointCfg, Stage};
-pub use clockgate::{apply_ddcg, apply_ddcg_placed, apply_m2, gate_p2_common_enable, CgReport};
+pub use clockgate::{
+    apply_ddcg, apply_ddcg_placed, apply_ddcg_static, apply_m2, gate_p2_common_enable, CgReport,
+};
 pub use convert::{latch_phases, phase_census, to_master_slave, to_three_phase, ConvertReport};
 pub use error::{Error, Result};
-pub use ffgraph::{assign_phases, extract_ff_graph, Assignment, FfGraph};
+pub use ffgraph::{assign_phases, assign_phases_weighted, extract_ff_graph, Assignment, FfGraph};
 pub use flow::{
-    run_flow, run_flow_with, DfaPolicy, Drive, EquivPolicy, FlowConfig, FlowReport, LintPolicy,
-    VariantResult,
+    run_flow, run_flow_with, ActivityCfg, DfaPolicy, Drive, EquivPolicy, FlowConfig, FlowReport,
+    LintPolicy, VariantResult,
 };
 pub use preprocess::{gated_clock_style, PreprocessReport};
 pub use retiming::{retime_three_phase, RetimeReport};

@@ -18,6 +18,12 @@
 //! greedy-matching upper bound, warm-started by a greedy + local-search
 //! incumbent. [`PhaseProblem::to_ilp_model`] emits the literal ILP instead,
 //! for cross-checking against the generic solver (our stand-in for Gurobi).
+//!
+//! The objective generalizes to weighted form `Σ w(u)·G(u)` via
+//! [`PhaseProblem::set_node_weights`] / [`PhaseProblem::set_pi_weights`]
+//! (the activity-weighted flow uses `1 + density/2`, biasing `p2`
+//! insertion away from high-activity nets); the unweighted default is
+//! bit-identical to the historical count objective.
 
 use crate::error::SolveError;
 use crate::model::{LinExpr, Model, Sense, Status, VarId};
@@ -36,10 +42,18 @@ pub struct PhaseProblem {
     self_loop: Vec<bool>,
     /// Per primary input: FF nodes in its combinational fan-out.
     pi_fanout: Vec<Vec<usize>>,
+    /// Optional per-node objective weights (cost of `G(u) = 1`). Empty
+    /// means uniform 1.0 — the paper's latch-count objective.
+    node_weight: Vec<f64>,
+    /// Optional per-PI objective weights, parallel to `pi_fanout`.
+    pi_weight: Vec<f64>,
 }
 
+/// Weights below this are clamped so dominance reductions stay sound.
+const MIN_WEIGHT: f64 = 1e-9;
+
 /// Result of a phase-assignment solve.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PhaseSolution {
     /// Phase bit per FF: `true` = `p1`, `false` = `p3`.
     pub k: Vec<bool>,
@@ -48,8 +62,13 @@ pub struct PhaseSolution {
     /// Group bit per primary input: `true` = a `p2` latch is inserted on
     /// the input's fan-out boundary.
     pub pi_g: Vec<bool>,
-    /// Objective value `Σ G` (FFs plus PI insertions).
+    /// Objective value `Σ G` (FFs plus PI insertions), always the plain
+    /// *count* regardless of attached weights, so it stays comparable to
+    /// [`PhaseProblem::cost_of`].
     pub cost: usize,
+    /// Weighted objective `Σ w·G` under the problem's attached weights.
+    /// Equal to `cost as f64` on unweighted problems.
+    pub weighted_cost: f64,
     /// Whether optimality was proven within the node budget.
     pub optimal: bool,
 }
@@ -140,6 +159,8 @@ impl PhaseProblem {
             fo: vec![Vec::new(); n],
             self_loop: vec![false; n],
             pi_fanout: Vec::new(),
+            node_weight: Vec::new(),
+            pi_weight: Vec::new(),
         }
     }
 
@@ -175,6 +196,76 @@ impl PhaseProblem {
         self.self_loop[u]
     }
 
+    /// Attach per-node objective weights: inserting a `p2` latch behind
+    /// FF `u` costs `weights[u]` instead of 1. Weights must be positive
+    /// and finite (non-finite or tiny values are clamped). The
+    /// activity-weighted flow uses `1 + density(Q_u) / 2 ∈ [1, 2]`, so
+    /// the weighted optimum's latch *count* is within 2x of the
+    /// unweighted optimum. An empty vector restores the unweighted
+    /// objective.
+    pub fn set_node_weights(&mut self, weights: Vec<f64>) {
+        assert!(
+            weights.is_empty() || weights.len() == self.n,
+            "weight vector length mismatch"
+        );
+        self.node_weight = weights;
+    }
+
+    /// Attach per-PI objective weights, parallel to the
+    /// [`PhaseProblem::add_pi`] call order. Call after all PIs are added.
+    pub fn set_pi_weights(&mut self, weights: Vec<f64>) {
+        assert!(
+            weights.is_empty() || weights.len() == self.pi_fanout.len(),
+            "PI weight vector length mismatch"
+        );
+        self.pi_weight = weights;
+    }
+
+    /// Number of primary-input groups recorded via
+    /// [`PhaseProblem::add_pi`].
+    pub fn num_pis(&self) -> usize {
+        self.pi_fanout.len()
+    }
+
+    /// `true` when a non-uniform objective is attached.
+    pub fn is_weighted(&self) -> bool {
+        !self.node_weight.is_empty() || !self.pi_weight.is_empty()
+    }
+
+    fn w(&self, u: usize) -> f64 {
+        let w = self.node_weight.get(u).copied().unwrap_or(1.0);
+        if w.is_finite() {
+            w.max(MIN_WEIGHT)
+        } else {
+            1.0
+        }
+    }
+
+    fn pw(&self, p: usize) -> f64 {
+        let w = self.pi_weight.get(p).copied().unwrap_or(1.0);
+        if w.is_finite() {
+            w.max(MIN_WEIGHT)
+        } else {
+            1.0
+        }
+    }
+
+    fn weighted_cost_bits(&self, g: &[bool], pi_g: &[bool]) -> f64 {
+        let nodes: f64 = g
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b)
+            .map(|(u, _)| self.w(u))
+            .sum();
+        let pis: f64 = pi_g
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b)
+            .map(|(p, _)| self.pw(p))
+            .sum();
+        nodes + pis
+    }
+
     /// Reference objective evaluator: cost of an arbitrary `K` assignment
     /// with the implied optimal `G`, following the ILP literally (`u` is
     /// single iff `K(u)=1` and no `v ∈ FO(u)` has `K(v)=1`). Used by tests
@@ -197,6 +288,26 @@ impl PhaseProblem {
         for fo in &self.pi_fanout {
             if fo.iter().any(|&v| k[v]) {
                 cost += 1;
+            }
+        }
+        cost
+    }
+
+    /// Weighted counterpart of [`PhaseProblem::cost_of`] under the
+    /// attached weights. Identical to `cost_of(k) as f64` on unweighted
+    /// problems.
+    pub fn weighted_cost_of(&self, k: &[bool]) -> f64 {
+        assert_eq!(k.len(), self.n);
+        let mut cost = 0.0;
+        for u in 0..self.n {
+            let single = k[u] && self.fo[u].iter().all(|&v| !k[v]);
+            if !single {
+                cost += self.w(u);
+            }
+        }
+        for (p, fo) in self.pi_fanout.iter().enumerate() {
+            if fo.iter().any(|&v| k[v]) {
+                cost += self.pw(p);
             }
         }
         cost
@@ -292,11 +403,13 @@ impl PhaseProblem {
             .map(|fo| fo.iter().any(|&v| in_t[v]))
             .collect();
         let cost = g.iter().filter(|&&b| b).count() + pi_g.iter().filter(|&&b| b).count();
+        let weighted_cost = self.weighted_cost_bits(&g, &pi_g);
         PhaseSolution {
             k,
             g,
             pi_g,
             cost,
+            weighted_cost,
             optimal,
         }
     }
@@ -305,11 +418,14 @@ impl PhaseProblem {
     /// nodes_used, deadline_expired)`.
     ///
     /// The PI penalties are folded into the graph: each primary input
-    /// becomes a weight-1 *pseudo-vertex* adjacent to its fan-out nodes
-    /// (maximizing `|T| + #unhit PIs` is a pure maximum-independent-set
-    /// problem on the augmented graph), so the matching bound accounts
-    /// for penalties. Degree-0/1 reductions solve tree-like regions
-    /// (e.g. pipelines) without branching.
+    /// becomes a *pseudo-vertex* adjacent to its fan-out nodes, carrying
+    /// its PI weight (maximizing the weight of `T` plus unhit PIs is a
+    /// pure maximum-weight-independent-set problem on the augmented
+    /// graph), so the matching bound accounts for penalties. Degree-0/1
+    /// reductions solve tree-like regions (e.g. pipelines) without
+    /// branching; the leaf-dominance reduction is gated on the leaf
+    /// carrying at least its neighbour's weight, which is vacuous on
+    /// unweighted problems.
     fn solve_component(
         &self,
         comp: &[usize],
@@ -333,7 +449,8 @@ impl PhaseProblem {
                     .collect()
             })
             .collect();
-        for fo in &self.pi_fanout {
+        let mut wt: Vec<f64> = comp.iter().map(|&u| self.w(u)).collect();
+        for (p, fo) in self.pi_fanout.iter().enumerate() {
             let members: Vec<usize> = fo
                 .iter()
                 .filter_map(|v| local_of.get(v).copied())
@@ -347,15 +464,27 @@ impl PhaseProblem {
             }
             let pv = adj.len();
             adj.push(members.clone());
+            wt.push(self.pw(p));
             for v in members {
                 adj[v].push(pv);
             }
         }
         let n = adj.len();
 
-        // Greedy MIS incumbent (min-degree order) + add-pass.
+        // Greedy MWIS incumbent + add-pass: min-degree order when
+        // unweighted (the historical behaviour, bit-for-bit), otherwise
+        // highest weight-per-blocked-vertex first. On uniform weights the
+        // two orders coincide, ties included (stable sorts both ways).
         let mut order: Vec<usize> = (0..n).collect();
-        order.sort_by_key(|&u| adj[u].len());
+        if self.is_weighted() {
+            order.sort_by(|&a, &b| {
+                let ra = wt[a] / (adj[a].len() + 1) as f64;
+                let rb = wt[b] / (adj[b].len() + 1) as f64;
+                rb.partial_cmp(&ra).unwrap_or(std::cmp::Ordering::Equal)
+            });
+        } else {
+            order.sort_by_key(|&u| adj[u].len());
+        }
         let mut chosen = vec![false; n];
         let mut blocked = vec![false; n];
         for &u in &order {
@@ -368,12 +497,21 @@ impl PhaseProblem {
             }
         }
         let mut best: Vec<bool> = chosen;
-        let mut best_score = best.iter().filter(|&&b| b).count() as i64;
+        let mut best_score: f64 = best
+            .iter()
+            .zip(&wt)
+            .filter(|(&b, _)| b)
+            .map(|(_, &w)| w)
+            .sum();
 
-        // Branch and bound on the augmented graph.
+        // Branch and bound on the augmented graph. Scores are weight
+        // sums (f64); on unweighted problems every weight is exactly 1.0
+        // so the arithmetic — and hence the search — is identical to an
+        // integer count.
         struct Ctx<'a> {
             adj: &'a [Vec<usize>],
-            best_score: i64,
+            wt: &'a [f64],
+            best_score: f64,
             best: Vec<bool>,
             nodes: usize,
             budget: usize,
@@ -381,9 +519,11 @@ impl PhaseProblem {
             deadline: Option<Instant>,
             timed_out: bool,
         }
-        fn greedy_matching(adj: &[Vec<usize>], alive: &[bool]) -> i64 {
+        // Any independent set excludes at least one endpoint of every
+        // matched edge, losing at least the lighter endpoint's weight.
+        fn matching_loss(adj: &[Vec<usize>], wt: &[f64], alive: &[bool]) -> f64 {
             let mut matched = vec![false; adj.len()];
-            let mut m = 0i64;
+            let mut loss = 0.0;
             for u in 0..adj.len() {
                 if !alive[u] || matched[u] {
                     continue;
@@ -392,14 +532,14 @@ impl PhaseProblem {
                     if alive[v] && !matched[v] && v != u {
                         matched[u] = true;
                         matched[v] = true;
-                        m += 1;
+                        loss += wt[u].min(wt[v]);
                         break;
                     }
                 }
             }
-            m
+            loss
         }
-        fn bb(ctx: &mut Ctx, mut alive: Vec<bool>, mut chosen: Vec<bool>, mut score: i64) {
+        fn bb(ctx: &mut Ctx, mut alive: Vec<bool>, mut chosen: Vec<bool>, mut score: f64) {
             ctx.nodes += 1;
             if ctx.timed_out || ctx.nodes > ctx.budget {
                 ctx.complete = false;
@@ -416,8 +556,9 @@ impl PhaseProblem {
                     return;
                 }
             }
-            // Reductions: take isolated vertices; take leaves (dominance:
-            // a leaf is always at least as good as its only neighbour).
+            // Reductions: take isolated vertices; take leaves whose
+            // weight covers their only neighbour's (dominance: swapping
+            // the neighbour for the leaf never loses weight).
             loop {
                 let mut changed = false;
                 for v in 0..alive.len() {
@@ -435,13 +576,13 @@ impl PhaseProblem {
                     if deg == 0 {
                         alive[v] = false;
                         chosen[v] = true;
-                        score += 1;
+                        score += ctx.wt[v];
                         changed = true;
-                    } else if deg == 1 {
+                    } else if deg == 1 && ctx.wt[v] >= ctx.wt[nb] {
                         alive[v] = false;
                         alive[nb] = false;
                         chosen[v] = true;
-                        score += 1;
+                        score += ctx.wt[v];
                         changed = true;
                     }
                 }
@@ -449,7 +590,14 @@ impl PhaseProblem {
                     break;
                 }
             }
-            let remaining = alive.iter().filter(|&&a| a).count() as i64;
+            let mut remaining = 0usize;
+            let mut rem_w = 0.0;
+            for (u, &a) in alive.iter().enumerate() {
+                if a {
+                    remaining += 1;
+                    rem_w += ctx.wt[u];
+                }
+            }
             if remaining == 0 {
                 if score > ctx.best_score {
                     ctx.best_score = score;
@@ -457,8 +605,8 @@ impl PhaseProblem {
                 }
                 return;
             }
-            // Matching bound: α(P) ≤ |P| − |M|.
-            let ub = score + remaining - greedy_matching(ctx.adj, &alive);
+            // Matching bound: w(α) ≤ w(P) − Σ min-endpoint over M.
+            let ub = score + rem_w - matching_loss(ctx.adj, ctx.wt, &alive);
             if ub <= ctx.best_score {
                 return;
             }
@@ -481,7 +629,8 @@ impl PhaseProblem {
                     a2[w] = false;
                 }
                 c2[v] = true;
-                bb(ctx, a2, c2, score + 1);
+                let sv = score + ctx.wt[v];
+                bb(ctx, a2, c2, sv);
             }
             // Exclude v.
             alive[v] = false;
@@ -490,6 +639,7 @@ impl PhaseProblem {
 
         let mut ctx = Ctx {
             adj: &adj,
+            wt: &wt,
             best_score,
             best: best.clone(),
             nodes: 0,
@@ -498,7 +648,7 @@ impl PhaseProblem {
             deadline,
             timed_out: false,
         };
-        bb(&mut ctx, vec![true; n], vec![false; n], 0);
+        bb(&mut ctx, vec![true; n], vec![false; n], 0.0);
         best = ctx.best;
         best_score = ctx.best_score;
         let _ = best_score;
@@ -555,8 +705,11 @@ impl PhaseProblem {
             }
         }
         let mut obj = LinExpr::new();
-        for &gv in g.iter().chain(pi_g.iter()) {
-            obj = obj.plus(gv, 1.0);
+        for (u, &gv) in g.iter().enumerate() {
+            obj = obj.plus(gv, self.w(u));
+        }
+        for (p, &gv) in pi_g.iter().enumerate() {
+            obj = obj.plus(gv, self.pw(p));
         }
         m.set_objective(obj);
         (m, k, g, pi_g)
@@ -576,11 +729,13 @@ impl PhaseProblem {
             .map(|fo| fo.iter().any(|&v| k[v]))
             .collect();
         let cost = g.iter().filter(|&&b| b).count() + pi_g.iter().filter(|&&b| b).count();
+        let weighted_cost = self.weighted_cost_bits(&g, &pi_g);
         PhaseSolution {
             k: k.to_vec(),
             g,
             pi_g,
             cost,
+            weighted_cost,
             optimal,
         }
     }
@@ -845,6 +1000,119 @@ mod tests {
             values[pig[i].index()] = b as u8 as f64;
         }
         assert!(model.is_feasible(&values, 1e-9));
+    }
+
+    /// Exhaustive weighted reference: minimum weighted cost over all
+    /// `2^n` K assignments.
+    fn brute_force_weighted(p: &PhaseProblem) -> f64 {
+        let n = p.num_nodes();
+        assert!(n <= 16);
+        (0..1u32 << n)
+            .map(|mask| {
+                let k: Vec<bool> = (0..n).map(|i| (mask >> i) & 1 == 1).collect();
+                p.weighted_cost_of(&k)
+            })
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    #[test]
+    fn weighted_objective_prefers_heavy_registers_single() {
+        // Path 0-1-2: unweighted optimum inserts one latch (behind 1).
+        // With node 1 carrying weight 5 the optimum flips: keep 1 single
+        // and pay for latches behind 0 and 2 (2.0 < 5.0).
+        let mut p = PhaseProblem::new(3);
+        p.add_fanout(0, 1);
+        p.add_fanout(1, 2);
+        let unweighted = p.solve(&PhaseConfig::default());
+        assert_eq!(unweighted.cost, 1);
+        assert_eq!(unweighted.weighted_cost, 1.0);
+        p.set_node_weights(vec![1.0, 5.0, 1.0]);
+        let sol = p.solve(&PhaseConfig::default());
+        assert!(sol.optimal);
+        assert!(sol.k[1] && !sol.g[1], "heavy register must stay single");
+        assert_eq!(sol.cost, 2, "count objective pays for the weighted win");
+        assert_eq!(sol.weighted_cost, 2.0);
+        assert_eq!(sol.weighted_cost, p.weighted_cost_of(&sol.k));
+        assert_eq!(sol.weighted_cost, brute_force_weighted(&p));
+    }
+
+    #[test]
+    fn weighted_pi_penalty_tips_the_balance() {
+        // One FF fed by one PI: single costs the PI weight, back-to-back
+        // costs the node weight.
+        let mut p = PhaseProblem::new(1);
+        p.add_pi(vec![0]);
+        p.set_node_weights(vec![1.0]);
+        p.set_pi_weights(vec![3.0]);
+        let heavy_pi = p.solve(&PhaseConfig::default());
+        assert!(heavy_pi.g[0] && !heavy_pi.pi_g[0]);
+        assert_eq!(heavy_pi.weighted_cost, 1.0);
+        assert_eq!(heavy_pi.weighted_cost, brute_force_weighted(&p));
+        p.set_node_weights(vec![3.0]);
+        p.set_pi_weights(vec![1.0]);
+        let heavy_node = p.solve(&PhaseConfig::default());
+        assert!(!heavy_node.g[0] && heavy_node.pi_g[0]);
+        assert_eq!(heavy_node.weighted_cost, 1.0);
+        assert_eq!(heavy_node.weighted_cost, brute_force_weighted(&p));
+    }
+
+    #[test]
+    fn weighted_matches_brute_force_and_generic_ilp() {
+        let mut seed = 0x0C0FFEE123456789u64;
+        let mut rnd = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for trial in 0..8 {
+            let n = 3 + (rnd() % 7) as usize;
+            let mut p = PhaseProblem::new(n);
+            for u in 0..n {
+                for v in 0..n {
+                    if rnd() % 100 < 22 {
+                        p.add_fanout(u, v);
+                    }
+                }
+            }
+            for _ in 0..(rnd() % 3) as usize {
+                let fo: Vec<usize> = (0..n).filter(|_| rnd() % 100 < 30).collect();
+                if !fo.is_empty() {
+                    p.add_pi(fo);
+                }
+            }
+            // Activity-style weights in [1, 2].
+            let wn: Vec<f64> = (0..n).map(|_| 1.0 + (rnd() % 101) as f64 / 100.0).collect();
+            let wp: Vec<f64> = (0..p.num_pis())
+                .map(|_| 1.0 + (rnd() % 101) as f64 / 100.0)
+                .collect();
+            p.set_node_weights(wn);
+            p.set_pi_weights(wp);
+            assert!(p.is_weighted());
+            let want = brute_force_weighted(&p);
+            let fast = p.solve(&PhaseConfig::default());
+            assert!(fast.optimal, "trial {trial}");
+            assert!(
+                (fast.weighted_cost - want).abs() < 1e-9,
+                "trial {trial}: exact {} vs brute {want}",
+                fast.weighted_cost
+            );
+            assert!((fast.weighted_cost - p.weighted_cost_of(&fast.k)).abs() < 1e-12);
+            let ilp = p.solve_via_ilp(&IlpConfig::default()).unwrap();
+            assert!(
+                (ilp.weighted_cost - want).abs() < 1e-6,
+                "trial {trial}: ilp {} vs brute {want}",
+                ilp.weighted_cost
+            );
+        }
+    }
+
+    #[test]
+    fn unweighted_solution_weighted_cost_equals_count() {
+        let p = dense_instance(30, 4, 0xFEED);
+        let sol = p.solve(&PhaseConfig::default());
+        assert_eq!(sol.weighted_cost, sol.cost as f64);
+        assert_eq!(sol.weighted_cost, p.weighted_cost_of(&sol.k));
     }
 
     /// Dense pseudo-random instance that a tiny budget cannot close.

@@ -140,6 +140,22 @@ enum Group {
     Comb,
 }
 
+/// Per-net toggle-rate source for the dynamic power term.
+///
+/// [`ActivitySource::Measured`] is the classic simulation-backed path.
+/// [`ActivitySource::Static`] is the zero-simulation fast path: a per-net
+/// transition-density vector (toggles/cycle, indexed by `NetId`), e.g.
+/// `ActivityModel::densities()` from `triphase-activity`. Leakage and
+/// capacitance terms are identical either way; only where `α` comes from
+/// differs.
+#[derive(Debug, Clone, Copy)]
+pub enum ActivitySource<'a> {
+    /// Toggle counts from a (packed) simulation.
+    Measured(&'a Activity),
+    /// Static per-net transition densities (toggles/cycle).
+    Static(&'a [f64]),
+}
+
 /// Power-model options.
 #[derive(Debug, Clone, Copy)]
 pub struct PowerOptions {
@@ -190,9 +206,29 @@ pub fn estimate_power_with(
     layout: Option<&Layout>,
     opts: &PowerOptions,
 ) -> Result<PowerReport> {
+    estimate_power_from(nl, lib, ActivitySource::Measured(activity), layout, opts)
+}
+
+/// [`estimate_power_with`] over an explicit [`ActivitySource`]: the
+/// entry point that selects between measured toggle counts and the
+/// static zero-simulation density vector.
+///
+/// # Errors
+///
+/// [`Error::NoClock`] without a clock spec; [`Error::NoActivity`] for a
+/// zero-cycle measured profile or an empty static density vector.
+pub fn estimate_power_from(
+    nl: &Netlist,
+    lib: &Library,
+    source: ActivitySource<'_>,
+    layout: Option<&Layout>,
+    opts: &PowerOptions,
+) -> Result<PowerReport> {
     let clock = nl.clock.as_ref().ok_or(Error::NoClock)?;
-    if activity.cycles == 0 {
-        return Err(Error::NoActivity);
+    match source {
+        ActivitySource::Measured(a) if a.cycles == 0 => return Err(Error::NoActivity),
+        ActivitySource::Static([]) => return Err(Error::NoActivity),
+        _ => {}
     }
     let period_ps = clock.period_ps;
     let idx = nl.index();
@@ -219,7 +255,12 @@ pub fn estimate_power_with(
     };
 
     let toggles = |net: NetId| -> f64 {
-        activity.net_toggles.get(net.index()).copied().unwrap_or(0) as f64 / activity.cycles as f64
+        match source {
+            ActivitySource::Measured(a) => {
+                a.net_toggles.get(net.index()).copied().unwrap_or(0) as f64 / a.cycles as f64
+            }
+            ActivitySource::Static(d) => d.get(net.index()).copied().unwrap_or(0.0),
+        }
     };
 
     let mut report = PowerReport::default();
@@ -481,6 +522,32 @@ mod tests {
             p_lat.clock.total(),
             p_ff.clock.total()
         );
+    }
+
+    #[test]
+    fn static_source_matches_measured_on_identical_rates() {
+        // The static fast path must reproduce the measured estimate
+        // exactly when fed the same per-net rates — only the source of
+        // alpha differs, never the model.
+        let nl = ff_bank(8, false);
+        let lib = Library::synthetic_28nm();
+        let sim = run_random(&nl, 5, 64).unwrap();
+        let a = sim.activity();
+        let rates: Vec<f64> = a
+            .net_toggles
+            .iter()
+            .map(|&t| t as f64 / a.cycles as f64)
+            .collect();
+        let measured = estimate_power(&nl, &lib, a, None).unwrap();
+        let opts = PowerOptions::default();
+        let statics =
+            estimate_power_from(&nl, &lib, ActivitySource::Static(&rates), None, &opts).unwrap();
+        assert!((measured.total_mw() - statics.total_mw()).abs() < 1e-12);
+        assert!((measured.clock.total() - statics.clock.total()).abs() < 1e-12);
+        assert!(matches!(
+            estimate_power_from(&nl, &lib, ActivitySource::Static(&[]), None, &opts),
+            Err(Error::NoActivity)
+        ));
     }
 
     #[test]

@@ -23,6 +23,7 @@
 //! | [`power`] | `triphase-power` | grouped Clock/Seq/Comb power model |
 //! | [`circuits`] | `triphase-circuits` | ISCAS/CEP/CPU benchmark generators |
 //! | [`lint`] | `triphase-lint` | structural & phase-legality static analyzer |
+//! | [`activity`] | `triphase-activity` | static switching-activity analysis (probability/density) |
 //! | [`dfa`] | `triphase-dfa` | semantic dataflow analyses: const prop, reset X-prop, races |
 //! | [`core`] | `triphase-core` | **the paper's flow**: ILP → convert → retime → CG |
 //!
@@ -52,6 +53,7 @@
 //! # Ok::<(), triphase::core::Error>(())
 //! ```
 
+pub use triphase_activity as activity;
 pub use triphase_cells as cells;
 pub use triphase_circuits as circuits;
 pub use triphase_core as core;
@@ -67,6 +69,7 @@ pub use triphase_timing as timing;
 
 /// Commonly used items in one import.
 pub mod prelude {
+    pub use triphase_activity::{analyze, ActivityModel, AnalysisOptions};
     pub use triphase_cells::{CellKind, Library};
     pub use triphase_circuits::cpu::{
         build_cpu, m0_like, plasma_like, rocket_lite, CpuConfig, Workload,

@@ -1,15 +1,23 @@
 //! Zero-panic policy gate for the analysis crates.
 //!
-//! The lint, timing, ILP, and dataflow crates are run by the flow as
-//! checkpoints over arbitrary (possibly seeded-defective) netlists — an
-//! analysis must report findings or return `Err`, never abort the
-//! process. This test scans their non-test sources for panicking
-//! constructs so a regression fails CI instead of a fuzz campaign.
+//! The lint, timing, ILP, dataflow, activity, and power crates are run
+//! by the flow as checkpoints/estimators over arbitrary (possibly
+//! seeded-defective) netlists — an analysis must report findings or
+//! return `Err`, never abort the process. This test scans their
+//! non-test sources for panicking constructs so a regression fails CI
+//! instead of a fuzz campaign.
 
 use std::fs;
 use std::path::Path;
 
-const CRATES: &[&str] = &["crates/lint", "crates/timing", "crates/ilp", "crates/dfa"];
+const CRATES: &[&str] = &[
+    "crates/lint",
+    "crates/timing",
+    "crates/ilp",
+    "crates/dfa",
+    "crates/activity",
+    "crates/power",
+];
 const FORBIDDEN: &[&str] = &[
     ".unwrap()",
     ".expect(",
