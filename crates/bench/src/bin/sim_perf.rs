@@ -1,14 +1,17 @@
-//! Packed-kernel performance report: scalar vs 64-lane bit-parallel
-//! simulation throughput, thread-scaling of the work-stealing pool, and a
-//! determinism check (results must not depend on the thread count).
+//! Simulation-backend performance report: scalar vs 64-lane packed vs
+//! compiled bytecode VM throughput (with a lane-width sweep W=1/2/4/8),
+//! thread-scaling of the work-stealing pool, and determinism checks
+//! (results must not depend on the thread count, and the compiled VM
+//! must fingerprint-match the packed kernel).
 //!
-//! Writes the `packed_kernel` and `thread_scaling` sections of
-//! `results/BENCH_sim.json` (see `triphase_bench::perf`); other sections
-//! of the file are preserved. `--quick` (or `TRIPHASE_SCALE=quick`) runs
-//! a reduced configuration.
+//! Writes the `packed_kernel`, `compiled_vm`, and `thread_scaling`
+//! sections of `results/BENCH_sim.json` (see `triphase_bench::perf`);
+//! other sections of the file are preserved. `--quick` (or
+//! `TRIPHASE_SCALE=quick`) runs a reduced configuration.
 //!
-//! Exit codes (stable): `0` report written, `1` determinism check or
-//! report write failed, `2` internal error (flow/simulation failure).
+//! Exit codes (stable): `0` report written, `1` determinism /
+//! certification / speedup-floor check or report write failed, `2`
+//! internal error (flow/simulation failure).
 
 use triphase_bench::json::Json;
 use triphase_bench::microbench::{samples, time_throughput, Measurement};
@@ -19,7 +22,14 @@ use triphase_core::{assign_phases, extract_ff_graph, gated_clock_style, to_three
 use triphase_ilp::PhaseConfig;
 use triphase_netlist::Netlist;
 use triphase_par::ThreadPool;
-use triphase_sim::{run_random, run_random_packed, Activity, LANES};
+use triphase_sim::{
+    run_random, run_random_compiled, run_random_packed, Activity, CompiledAny, LANES,
+};
+
+/// Regression floor for compiled-vs-packed per-cycle throughput at the
+/// widest lane count on the smoke circuit. Deliberately conservative
+/// (the acceptance target is 3×; CI machines are noisy).
+const COMPILED_SPEEDUP_FLOOR: f64 = 1.5;
 
 /// Build the s5378 FF design and its converted 3-phase twin — the same
 /// pair the `sim_throughput` bench times.
@@ -96,6 +106,7 @@ fn main() {
 
     println!("== packed kernel vs scalar (per-lane cycles: {cycles}) ==");
     let mut circuits = Vec::new();
+    let mut ff_baseline: Option<(Measurement, Measurement)> = None;
     for (label, nl) in [
         ("s5378/ff_design", &ff_design),
         ("s5378/three_phase", &latch_design),
@@ -108,11 +119,122 @@ fn main() {
         rec.set("lanes", LANES.into());
         rec.set("speedup", speedup.into());
         circuits.push(rec);
+        if label == "s5378/ff_design" {
+            ff_baseline = Some((scalar, packed));
+        }
     }
+    let (scalar_base, packed_base) = ff_baseline.expect("ff_design measured");
     let mut kernel = section();
     kernel.set("generated_by", "sim_perf".into());
     kernel.set("per_lane_cycles", cycles.into());
     kernel.set("circuits", Json::Arr(circuits));
+
+    // Compiled VM: lane-width sweep W=1/2/4/8 (64..512 streams/pass) on
+    // the FF design, per-cycle speedups against both baselines.
+    println!("== compiled VM lane sweep (per-lane cycles: {cycles}) ==");
+    let mut sweep = Vec::new();
+    let mut widest_vs_packed = 0.0f64;
+    let mut widest_vs_scalar = 0.0f64;
+    for width in [1usize, 2, 4, 8] {
+        let lanes = 64 * width;
+        let total = cycles * lanes as u64;
+        let m = time_throughput(
+            &format!("s5378/compiled x{lanes}"),
+            n_samples,
+            total,
+            || {
+                run_random_compiled(&ff_design, 1, cycles, lanes)
+                    .expect("compiled run")
+                    .activity()
+                    .cycles
+            },
+        );
+        let vs_scalar = scalar_base.ns_per_element() / m.ns_per_element();
+        let vs_packed = packed_base.ns_per_element() / m.ns_per_element();
+        println!(
+            "compiled W={width} ({lanes:>3} streams)   vs scalar {vs_scalar:>8.1}x   vs packed {vs_packed:>6.2}x"
+        );
+        let mut rec = Json::obj();
+        rec.set("width_words", width.into());
+        rec.set("lanes", lanes.into());
+        rec.set("compiled", measurement_json(&m));
+        rec.set("speedup_vs_scalar", vs_scalar.into());
+        rec.set("speedup_vs_packed", vs_packed.into());
+        sweep.push(rec);
+        if width == 8 {
+            widest_vs_packed = vs_packed;
+            widest_vs_scalar = vs_scalar;
+        }
+    }
+
+    // Certification: the compiled VM must fingerprint-match the packed
+    // kernel (values feed toggles, so matching toggle vectors over both
+    // circuits is a deep trajectory check), and its own wide run must be
+    // reproducible.
+    let mut certified = true;
+    let mut cert_fps = Vec::new();
+    for (label, nl) in [
+        ("s5378/ff_design", &ff_design),
+        ("s5378/three_phase", &latch_design),
+    ] {
+        let p = activity_hash(
+            &run_random_packed(nl, 11, cycles, LANES)
+                .expect("packed cert run")
+                .activity(),
+        );
+        let c = activity_hash(
+            &run_random_compiled(nl, 11, cycles, LANES)
+                .expect("compiled cert run")
+                .activity(),
+        );
+        let w1 = activity_hash(
+            &run_random_compiled(nl, 11, cycles, 512)
+                .expect("compiled wide run")
+                .activity(),
+        );
+        let w2 = activity_hash(
+            &run_random_compiled(nl, 11, cycles, 512)
+                .expect("compiled wide rerun")
+                .activity(),
+        );
+        let ok = p == c && w1 == w2;
+        certified &= ok;
+        println!(
+            "certify {label:<22} packed=={}compiled {:016x}  wide deterministic: {}",
+            if p == c { "" } else { "!" },
+            c,
+            w1 == w2
+        );
+        let mut rec = Json::obj();
+        rec.set("name", label.into());
+        rec.set("fingerprint_x64", format!("{c:016x}").into());
+        rec.set("fingerprint_x512", format!("{w1:016x}").into());
+        rec.set("matches_packed", (p == c).into());
+        cert_fps.push(rec);
+    }
+
+    let stats = CompiledAny::new(&ff_design, 512)
+        .expect("compiled build")
+        .lower_stats();
+    let mut lower = Json::obj();
+    lower.set("gates", stats.gates.into());
+    lower.set("serial_words", stats.serial_words.into());
+    lower.set("const_folded", stats.const_folded.into());
+    lower.set("chains_collapsed", stats.chains_collapsed.into());
+    lower.set("deduped", stats.deduped.into());
+    lower.set("fused_pairs", stats.fused_pairs.into());
+    lower.set("levels", stats.levels.into());
+
+    let mut compiled_section = section();
+    compiled_section.set("generated_by", "sim_perf".into());
+    compiled_section.set("per_lane_cycles", cycles.into());
+    compiled_section.set("lane_sweep", Json::Arr(sweep));
+    compiled_section.set("certification", Json::Arr(cert_fps));
+    compiled_section.set("certified", certified.into());
+    compiled_section.set("speedup_floor_vs_packed", COMPILED_SPEEDUP_FLOOR.into());
+    compiled_section.set("widest_speedup_vs_packed", widest_vs_packed.into());
+    compiled_section.set("widest_speedup_vs_scalar", widest_vs_scalar.into());
+    compiled_section.set("lower_stats", lower);
 
     // Thread scaling: independent packed activity collections fanned out
     // through explicit pools of 1/2/4/8 workers. The fingerprints of the
@@ -189,10 +311,22 @@ fn main() {
         println!("wrote section {section:?} -> {}", out.path().display());
     };
     write("packed_kernel", kernel);
+    write("compiled_vm", compiled_section);
     write("thread_scaling", scaling);
 
     if !deterministic {
         eprintln!("error: results varied with thread count");
+        std::process::exit(1);
+    }
+    if !certified {
+        eprintln!("error: compiled VM fingerprints diverged from the packed kernel");
+        std::process::exit(1);
+    }
+    if widest_vs_packed < COMPILED_SPEEDUP_FLOOR {
+        eprintln!(
+            "error: compiled x512 speedup vs packed {widest_vs_packed:.2}x \
+             below floor {COMPILED_SPEEDUP_FLOOR}x"
+        );
         std::process::exit(1);
     }
 }

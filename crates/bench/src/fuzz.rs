@@ -35,7 +35,7 @@ use triphase_equiv::{check_conversion, Options, Verdict};
 use triphase_ilp::PhaseConfig;
 use triphase_netlist::gen::Recipe;
 use triphase_netlist::{verilog, CellKind, Netlist, SplitMix64};
-use triphase_sim::{equiv_stream, run_random, run_random_packed};
+use triphase_sim::{equiv_stream, run_random, run_random_compiled, run_random_packed};
 
 use crate::json::Json;
 
@@ -308,6 +308,24 @@ fn differential_case(r: &Recipe) -> Result<(), String> {
     let packed = run_random_packed(&nl, r.seed, 24, 1).map_err(|e| format!("packed sim: {e}"))?;
     if packed.activity().net_toggles != scalar.activity().net_toggles {
         return Err("packed kernel toggles diverge from scalar interpreter".into());
+    }
+
+    // Compiled bytecode VM (fourth oracle): single-lane toggles bit-exact
+    // with the scalar interpreter, and the multi-word path's lane 0 must
+    // replay the identical trajectory value for value.
+    let compiled =
+        run_random_compiled(&nl, r.seed, 24, 1).map_err(|e| format!("compiled sim: {e}"))?;
+    if compiled.activity().net_toggles != scalar.activity().net_toggles {
+        return Err("compiled VM toggles diverge from scalar interpreter".into());
+    }
+    let wide =
+        run_random_compiled(&nl, r.seed, 24, 96).map_err(|e| format!("compiled wide sim: {e}"))?;
+    for (net, _) in nl.nets() {
+        if wide.net_value_lane(net, 0) != scalar.net_value(net) {
+            return Err(format!(
+                "compiled multi-word lane 0 diverges from scalar on net {net:?}"
+            ));
+        }
     }
 
     // FF -> 3-phase conversion: streamed and SAT-proven equivalent.

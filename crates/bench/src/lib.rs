@@ -26,9 +26,7 @@ use triphase_circuits::iscas::{generate_iscas, iscas_profiles, IscasProfile};
 use triphase_core::{run_flow_with, FlowConfig, FlowReport};
 use triphase_netlist::Netlist;
 use triphase_pnr::PnrOptions;
-use triphase_sim::{
-    data_inputs, lane_seeds, Activity, Logic, PackedLogic, PackedSim, Stream, LANES,
-};
+use triphase_sim::{data_inputs, lane_seeds, Activity, CompiledSim, Lanes, Logic, Stream, LANES};
 
 /// Benchmark grouping, mirroring the paper's table sections.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -218,20 +216,22 @@ pub enum Stimulus {
 }
 
 /// One packed vector of fresh random bits, one per lane stream.
-fn draw(streams: &mut [Stream]) -> PackedLogic {
+fn draw(streams: &mut [Stream]) -> Lanes<1> {
     let mut bits = 0u64;
     for (l, s) in streams.iter_mut().enumerate() {
         bits |= u64::from(s.next_bit()) << l;
     }
-    PackedLogic::from_bits(bits)
+    Lanes::from_bits([bits])
 }
 
 /// Drive a benchmark netlist with a stimulus style and return its
 /// activity profile.
 ///
-/// Runs on the bit-parallel packed kernel: the requested `cycles` are
-/// split across up to 64 independent stimulus lanes (lane 0 replays the
-/// historical scalar stream for `seed`). Stimuli with temporal structure
+/// Runs on the compiled bytecode kernel (a certified bit-exact twin of
+/// the packed one, so toggle counts are unchanged from the packed era):
+/// the requested `cycles` are split across up to 64 independent stimulus
+/// lanes (lane 0 replays the historical scalar stream for `seed`).
+/// Stimuli with temporal structure
 /// ([`Stimulus::SelfCheck`]) keep at least one full burst interval per
 /// lane so the compute/idle activity shape is preserved; purely random
 /// stimuli split down to one cycle per lane.
@@ -294,27 +294,25 @@ pub fn profile_stimulus(
 ) -> triphase_sim::Result<StimulusProfile> {
     let mut ones = vec![0u64; nl.net_capacity()];
     let activity = run_stimulus(nl, cycles, seed, stim, |sim| {
-        let mask = if sim.lanes() == 64 {
-            !0u64
-        } else {
-            (1u64 << sim.lanes()) - 1
-        };
+        let mask = triphase_sim::Mask::first(sim.lanes());
         for (i, count) in ones.iter_mut().enumerate() {
             let word = sim.net_value(triphase_netlist::NetId::from_index(i));
-            *count += u64::from((word.is_one() & mask).count_ones());
+            *count += word.ones(mask);
         }
     })?;
     Ok(StimulusProfile { activity, ones })
 }
 
-/// Shared packed-kernel stimulus loop behind [`drive_stimulus`] and
-/// [`profile_stimulus`]; `observe` runs after every stepped cycle.
+/// Shared compiled-kernel stimulus loop behind [`drive_stimulus`] and
+/// [`profile_stimulus`]; `observe` runs after every stepped cycle. Lane
+/// counts keep the packed-era ≤64 formulas so activity certification
+/// thresholds (and every recorded toggle count) are bit-for-bit stable.
 fn run_stimulus(
     nl: &Netlist,
     cycles: u64,
     seed: u64,
     stim: Stimulus,
-    mut observe: impl FnMut(&PackedSim),
+    mut observe: impl FnMut(&CompiledSim<'_, 1>),
 ) -> triphase_sim::Result<Activity> {
     let lanes = match stim {
         Stimulus::SelfCheck { interval } => (cycles / interval.max(1)).clamp(1, LANES as u64),
@@ -322,7 +320,7 @@ fn run_stimulus(
     } as usize;
     let per_lane = cycles.div_ceil(lanes as u64);
     let inputs = data_inputs(nl);
-    let mut sim = PackedSim::new(nl, lanes)?;
+    let mut sim = CompiledSim::<1>::new(nl, lanes)?;
     sim.reset_zero();
     let mut streams: Vec<Stream> = lane_seeds(seed, lanes)
         .into_iter()
@@ -351,7 +349,7 @@ fn run_stimulus(
                     }
                 }
                 if let Some(p) = start {
-                    sim.set_input(p, PackedLogic::splat(Logic::from_bool(pulse)));
+                    sim.set_input(p, Lanes::splat(Logic::from_bool(pulse)));
                 }
                 sim.step_cycle();
                 observe(&sim);
@@ -359,7 +357,7 @@ fn run_stimulus(
         }
         Stimulus::Cpu(workload) => {
             let mode_port = nl.find_port("mode");
-            let mode = PackedLogic::splat(Logic::from_bool(workload.mode_bit()));
+            let mode = Lanes::splat(Logic::from_bool(workload.mode_bit()));
             for _ in 0..per_lane {
                 for &p in &inputs {
                     let v = if Some(p) == mode_port {

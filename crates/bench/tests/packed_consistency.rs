@@ -1,18 +1,26 @@
-//! Lane-consistency certification of the packed 64-lane kernel: for every
-//! registered benchmark, the packed simulator must be **bit-exact** with
-//! the scalar interpreter — identical per-net values and identical toggle
-//! counts — over seeded random stimulus starting from `reset_zero` (which
+//! Three-way consistency certification of the simulation backends: for
+//! every registered benchmark, the packed 64-lane kernel **and** the
+//! compiled bytecode VM must be **bit-exact** with the scalar
+//! interpreter — identical per-net values and identical toggle counts —
+//! over seeded random stimulus starting from `reset_zero` (which
 //! exercises X-propagation out of the all-X reset state).
 //!
 //! Coverage:
-//! - single-lane packed vs scalar on all 18 benchmarks: full net-value
-//!   sweep and full per-net toggle-count vector equality;
+//! - single-lane packed vs scalar AND single-lane compiled vs scalar on
+//!   all 18 benchmarks: full net-value sweep and full per-net
+//!   toggle-count vector equality;
 //! - 64-lane packed vs per-lane-seeded scalar runs on sampled lanes
-//!   (0 / 17 / 63): every net value equal lane-by-lane;
-//! - 64-lane toggle totals = sum of all 64 scalar runs (smallest ISCAS
-//!   circuit, where 64 scalar runs stay cheap);
-//! - clock-gated (`Icg`) and converted 3-phase (`IcgM1` + latch) variants
-//!   of s5378, covering gated-clock X and enable-latch semantics.
+//!   (0 / 17 / 63): every net value equal lane-by-lane, with the
+//!   compiled VM checked against the same references and its 64-lane
+//!   toggle vector against the packed one;
+//! - multi-word compiled lanes (`W > 1`, 320 streams) vs per-seed scalar
+//!   runs on lanes above 64 (`lane_seeds` is count-independent);
+//! - 64-lane toggle totals = sum of all 64 scalar runs, and 128-lane
+//!   compiled totals = sum of 128 scalar runs (smallest ISCAS circuit,
+//!   where scalar reruns stay cheap);
+//! - clock-gated (`Icg`) and converted 3-phase (`IcgM1` + latch)
+//!   variants of s5378, covering gated-clock X and enable-latch
+//!   semantics in all three kernels.
 //!
 //! `TRIPHASE_SCALE=quick` trims cycle counts for smoke runs.
 
@@ -20,15 +28,17 @@ use triphase_bench::benchmarks;
 use triphase_core::{assign_phases, extract_ff_graph, gated_clock_style, to_three_phase};
 use triphase_ilp::PhaseConfig;
 use triphase_netlist::Netlist;
-use triphase_sim::{lane_seeds, run_random, run_random_packed, LANES};
+use triphase_sim::{lane_seeds, run_random, run_random_compiled, run_random_packed, LANES};
 
 fn quick() -> bool {
     std::env::var("TRIPHASE_SCALE").is_ok_and(|v| v == "quick")
 }
 
-/// Assert packed and scalar agree on every net value and every toggle
-/// count for the same seed/cycles, with packed at `lanes` lanes and the
-/// scalar reference re-run once per sampled lane.
+/// Assert scalar, packed, and compiled agree on every net value and
+/// every toggle count for the same seed/cycles: packed/compiled run
+/// single-lane against the scalar activity vector, then at `LANES` lanes
+/// against per-lane-seeded scalar references (and each other), then the
+/// compiled VM alone at a multi-word width on lanes past 64.
 fn assert_consistent(name: &str, nl: &Netlist, seed: u64, cycles: u64) {
     // Single lane: bit-identical activity (cycles + full toggle vector)
     // and values.
@@ -41,17 +51,41 @@ fn assert_consistent(name: &str, nl: &Netlist, seed: u64, cycles: u64) {
         scalar.activity().net_toggles,
         "{name}: single-lane toggle counts diverge"
     );
+    let compiled1 = run_random_compiled(nl, seed, cycles, 1).unwrap();
+    let ca = compiled1.activity();
+    assert_eq!(
+        ca.cycles,
+        scalar.activity().cycles,
+        "{name}: compiled cycles"
+    );
+    assert_eq!(
+        ca.net_toggles,
+        scalar.activity().net_toggles,
+        "{name}: compiled single-lane toggle counts diverge"
+    );
     for (net, _) in nl.nets() {
         assert_eq!(
             packed1.net_value(net).get(0),
             scalar.net_value(net),
             "{name}: single-lane value of net {net:?}"
         );
+        assert_eq!(
+            compiled1.net_value_lane(net, 0),
+            scalar.net_value(net),
+            "{name}: compiled single-lane value of net {net:?}"
+        );
     }
 
     // 64 lanes: sampled lanes must match a scalar run with that lane's
-    // seed (lane 0 is the historical stream).
+    // seed (lane 0 is the historical stream); the compiled VM must match
+    // the same references and the packed toggle vector exactly.
     let packed = run_random_packed(nl, seed, cycles, LANES).unwrap();
+    let compiled = run_random_compiled(nl, seed, cycles, LANES).unwrap();
+    assert_eq!(
+        compiled.activity().net_toggles,
+        packed.activity().net_toggles,
+        "{name}: compiled vs packed 64-lane toggle vectors diverge"
+    );
     let seeds = lane_seeds(seed, LANES);
     for lane in [0usize, 17, LANES - 1] {
         let reference = run_random(nl, seeds[lane], cycles).unwrap();
@@ -60,6 +94,27 @@ fn assert_consistent(name: &str, nl: &Netlist, seed: u64, cycles: u64) {
                 packed.net_value(net).get(lane),
                 reference.net_value(net),
                 "{name}: lane {lane} value of net {net:?}"
+            );
+            assert_eq!(
+                compiled.net_value_lane(net, lane),
+                reference.net_value(net),
+                "{name}: compiled lane {lane} value of net {net:?}"
+            );
+        }
+    }
+
+    // Multi-word width (W = 8, 320 streams): lanes beyond the packed
+    // kernel's reach still replay their per-seed scalar run exactly.
+    let wide_lanes = 320;
+    let wide = run_random_compiled(nl, seed, cycles, wide_lanes).unwrap();
+    let wide_seeds = lane_seeds(seed, wide_lanes);
+    for lane in [64usize, 200, wide_lanes - 1] {
+        let reference = run_random(nl, wide_seeds[lane], cycles).unwrap();
+        for (net, _) in nl.nets() {
+            assert_eq!(
+                wide.net_value_lane(net, lane),
+                reference.net_value(net),
+                "{name}: compiled wide lane {lane} value of net {net:?}"
             );
         }
     }
@@ -92,8 +147,36 @@ fn packed_toggle_totals_sum_over_lanes() {
     );
 }
 
+/// Multi-word compiled toggle totals (128 lanes, W = 2) equal the sum of
+/// 128 per-seed scalar runs on the cheapest circuit.
 #[test]
-fn packed_matches_scalar_on_all_benchmarks() {
+fn compiled_toggle_totals_sum_over_multiword_lanes() {
+    let all = benchmarks();
+    let smallest = all
+        .iter()
+        .min_by_key(|b| b.build().net_count())
+        .expect("non-empty registry");
+    let nl = smallest.build();
+    let cycles = if quick() { 8 } else { 24 };
+    let lanes = 128;
+    let compiled = run_random_compiled(&nl, 7, cycles, lanes).unwrap();
+    let mut summed = vec![0u64; compiled.activity().net_toggles.len()];
+    for lane_seed in lane_seeds(7, lanes) {
+        let scalar = run_random(&nl, lane_seed, cycles).unwrap();
+        for (total, t) in summed.iter_mut().zip(&scalar.activity().net_toggles) {
+            *total += t;
+        }
+    }
+    assert_eq!(
+        compiled.activity().net_toggles,
+        summed,
+        "{}: compiled 128-lane toggle totals != sum of scalar lanes",
+        smallest.name
+    );
+}
+
+#[test]
+fn backends_match_scalar_on_all_benchmarks() {
     let q = quick();
     for b in benchmarks() {
         let nl = b.build();
@@ -111,9 +194,9 @@ fn packed_matches_scalar_on_all_benchmarks() {
 
 /// Clock-gated and converted 3-phase variants: `Icg` enable latches,
 /// `IcgM1` gating of the P3 clock, and transparent-latch storage all go
-/// through the packed kernel's clock-network path.
+/// through every kernel's clock-network path.
 #[test]
-fn packed_matches_scalar_on_gated_and_three_phase() {
+fn backends_match_scalar_on_gated_and_three_phase() {
     let all = benchmarks();
     let b = all.iter().find(|b| b.name == "s5378").expect("s5378 row");
     let mut pre = b.build();

@@ -123,11 +123,57 @@ impl Default for ActivityCfg {
     }
 }
 
+/// Which simulation kernel gathers switching activity in [`run_flow`].
+///
+/// All three are certified bit-exact against each other (values and
+/// toggle counts), so the choice only affects throughput: the compiled
+/// bytecode VM simulates up to 512 stimulus streams per pass, packed 64,
+/// scalar 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SimBackend {
+    /// Reference scalar simulator (one stream).
+    Scalar,
+    /// 64-lane bit-parallel kernel.
+    Packed,
+    /// Fused bytecode VM, up to 512 lanes (default).
+    #[default]
+    Compiled,
+}
+
+impl SimBackend {
+    /// Stable label recorded in [`FlowReport::sim_backend`].
+    pub fn label(self) -> &'static str {
+        match self {
+            SimBackend::Scalar => "scalar",
+            SimBackend::Packed => "packed",
+            SimBackend::Compiled => "compiled",
+        }
+    }
+
+    /// Collect `cycles` total cycles of pseudo-random activity with this
+    /// backend (multi-lane kernels split them across stimulus streams).
+    ///
+    /// # Errors
+    ///
+    /// Simulator construction/driving errors.
+    pub fn collect(self, nl: &Netlist, seed: u64, cycles: u64) -> triphase_sim::Result<Activity> {
+        match self {
+            SimBackend::Scalar => {
+                triphase_sim::run_random(nl, seed, cycles).map(|s| s.activity().clone())
+            }
+            SimBackend::Packed => collect_activity_packed(nl, seed, cycles),
+            SimBackend::Compiled => triphase_sim::collect_activity_compiled(nl, seed, cycles),
+        }
+    }
+}
+
 /// Flow configuration.
 #[derive(Debug, Clone)]
 pub struct FlowConfig {
     /// Master seed (stimulus, P&R).
     pub seed: u64,
+    /// Simulation kernel for activity collection (default: compiled).
+    pub sim_backend: SimBackend,
     /// Cycles of stimulus for activity/power.
     pub sim_cycles: u64,
     /// Cycles of equivalence streaming (0 = skip validation).
@@ -171,6 +217,7 @@ impl Default for FlowConfig {
     fn default() -> Self {
         FlowConfig {
             seed: 1,
+            sim_backend: SimBackend::default(),
             sim_cycles: 200,
             equiv_cycles: 200,
             retime: true,
@@ -313,6 +360,10 @@ pub struct FlowReport {
     pub ilp_status: Status,
     /// Rungs that failed before `ilp_rung` produced the answer.
     pub ilp_fallbacks: usize,
+    /// Simulation kernel that gathered measured activity:
+    /// [`SimBackend::label`] for [`run_flow`], `"custom"` when a caller
+    /// supplied its own drive via [`run_flow_with`].
+    pub sim_backend: &'static str,
     /// Activity source that drove the ILP objective weights and the DDCG
     /// candidate ranking: `"static"` (zero-simulation model) or
     /// `"measured"` (simulation toggle counts, including every fallback
@@ -378,10 +429,12 @@ impl FlowReport {
 
 /// Run the full three-variant flow with pseudo-random stimulus.
 ///
-/// Activity is gathered with the bit-parallel packed kernel
-/// ([`collect_activity_packed`]): `sim_cycles` total cycles split across
-/// up to 64 independent stimulus lanes, of which lane 0 replays the
-/// historical single-stream sequence for `seed`.
+/// Activity is gathered with the kernel selected by
+/// [`FlowConfig::sim_backend`] (default: the compiled bytecode VM,
+/// `sim_cycles` total cycles split across up to 512 independent stimulus
+/// lanes, of which lane 0 replays the historical single-stream sequence
+/// for `seed`). All backends are toggle-exact twins, so the report's
+/// power numbers are independent of the choice.
 ///
 /// # Errors
 ///
@@ -389,12 +442,18 @@ impl FlowReport {
 /// C2 is violated or equivalence streaming finds a mismatch.
 pub fn run_flow(nl: &Netlist, lib: &Library, cfg: &FlowConfig) -> Result<FlowReport> {
     let seed = cfg.seed;
-    run_flow_with(nl, lib, cfg, &move |n: &Netlist, cycles: u64| {
-        collect_activity_packed(n, seed, cycles)
-    })
+    let backend = cfg.sim_backend;
+    run_flow_inner(
+        nl,
+        lib,
+        cfg,
+        &move |n: &Netlist, cycles: u64| backend.collect(n, seed, cycles),
+        backend.label(),
+    )
 }
 
 /// [`run_flow`] with custom stimulus (e.g. CPU workload selection).
+/// [`FlowReport::sim_backend`] records `"custom"`.
 ///
 /// # Errors
 ///
@@ -404,6 +463,16 @@ pub fn run_flow_with(
     lib: &Library,
     cfg: &FlowConfig,
     drive: &Drive<'_>,
+) -> Result<FlowReport> {
+    run_flow_inner(nl, lib, cfg, drive, "custom")
+}
+
+fn run_flow_inner(
+    nl: &Netlist,
+    lib: &Library,
+    cfg: &FlowConfig,
+    drive: &Drive<'_>,
+    sim_backend: &'static str,
 ) -> Result<FlowReport> {
     // Input hardening: malformed or adversarial netlists become typed
     // errors before any stage touches them.
@@ -787,6 +856,7 @@ pub fn run_flow_with(
         ilp_rung: ilp.rung,
         ilp_status: ilp.status,
         ilp_fallbacks: ilp.fallbacks,
+        sim_backend,
         activity_source,
         activity_correlation_rate,
         convert: convert_report,

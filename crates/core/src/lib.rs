@@ -63,7 +63,7 @@ pub use error::{Error, Result};
 pub use ffgraph::{assign_phases, assign_phases_weighted, extract_ff_graph, Assignment, FfGraph};
 pub use flow::{
     run_flow, run_flow_with, ActivityCfg, DfaPolicy, Drive, EquivPolicy, FlowConfig, FlowReport,
-    LintPolicy, VariantResult,
+    LintPolicy, SimBackend, VariantResult,
 };
 pub use preprocess::{gated_clock_style, PreprocessReport};
 pub use retiming::{retime_three_phase, RetimeReport};

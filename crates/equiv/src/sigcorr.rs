@@ -17,7 +17,7 @@ use crate::error::Result;
 use std::collections::HashMap;
 use triphase_cells::CellKind;
 use triphase_netlist::Netlist;
-use triphase_sim::{data_inputs, Logic, Simulator, Stream};
+use triphase_sim::{data_inputs, CompiledSim, Logic, Stream};
 
 /// Seeding parameters.
 #[derive(Debug, Clone, Copy)]
@@ -71,17 +71,28 @@ pub(crate) fn seed_classes(
 
     let samples_per_run = opts.cycles;
     let total = samples_per_run * opts.seeds as usize;
-    let mut traces: Vec<Vec<bool>> = vec![Vec::with_capacity(total); atoms.len()];
+    let mut traces: Vec<Vec<bool>> = vec![vec![false; total]; atoms.len()];
 
-    for run in 0..opts.seeds {
-        let mut sa = Simulator::new(a_nl)?;
-        let mut sb = Simulator::new(b_nl)?;
+    // All runs advance in lockstep as lanes of one compiled simulation
+    // per design (chunked at the 64-lane width); lane `r` draws from the
+    // same per-run stream the old scalar loop used, so traces — indexed
+    // `run * cycles + cycle` — are unchanged bit for bit.
+    for chunk in (0..opts.seeds).step_by(64) {
+        let lanes = (opts.seeds - chunk).min(64) as usize;
+        let mut sa = CompiledSim::<1>::new(a_nl, lanes)?;
+        let mut sb = CompiledSim::<1>::new(b_nl, lanes)?;
         sa.reset_zero();
         sb.reset_zero();
-        let mut stream = Stream::new(0xE9_u64.wrapping_mul(run + 1) ^ 42);
-        for _ in 0..samples_per_run {
+        let mut streams: Vec<Stream> = (0..lanes)
+            .map(|l| Stream::new(0xE9_u64.wrapping_mul(chunk + l as u64 + 1) ^ 42))
+            .collect();
+        for cycle in 0..samples_per_run {
             for (&pa, &pb) in in_a.iter().zip(&in_b) {
-                let v = Logic::from_bool(stream.next_bit());
+                let mut bits = 0u64;
+                for (l, s) in streams.iter_mut().enumerate() {
+                    bits |= u64::from(s.next_bit()) << l;
+                }
+                let v = triphase_sim::Lanes::from_bits([bits]);
                 sa.set_input(pa, v);
                 sb.set_input(pb, v);
             }
@@ -89,13 +100,16 @@ pub(crate) fn seed_classes(
             sb.step_cycle();
             for (t, &sig) in traces.iter_mut().zip(&atoms) {
                 let v = match sig {
-                    Sig::Const => Logic::Zero,
+                    Sig::Const => triphase_sim::Lanes::ZERO,
                     Sig::Net(Side::A, n) => sa.net_value(n),
                     Sig::Net(Side::B, n) => sb.net_value(n),
                     Sig::Icg(Side::A, c) => sa.icg_state(c),
                     Sig::Icg(Side::B, c) => sb.icg_state(c),
                 };
-                t.push(sample_bool(v));
+                for l in 0..lanes {
+                    let run = chunk as usize + l;
+                    t[run * samples_per_run + cycle] = sample_bool(v.get(l));
+                }
             }
         }
     }

@@ -2,9 +2,10 @@
 //! methodology: "streaming inputs to the FF-based and latch-based designs
 //! and compare output streams").
 
+use crate::compile::{CompiledSim, Lanes};
 use crate::error::{Error, Result};
 use crate::logic::Logic;
-use crate::packed::{lane_seeds, PackedLogic, PackedSim, LANES};
+use crate::packed::{lane_seeds, LANES};
 use crate::sim::Simulator;
 use triphase_netlist::{Netlist, PortId};
 
@@ -88,13 +89,15 @@ pub fn equiv_stream(
 /// reset values that flush through feed-forward logic within a few
 /// cycles.
 ///
-/// Runs on the bit-parallel packed kernel: every cycle streams **64**
+/// Runs on the compiled bytecode backend: every cycle streams **64**
 /// independent random vectors (lane 0 drawn from `seed`'s historical
 /// stream, the others from [`lane_seeds`]) through both designs at once,
 /// so one call now covers 64× the stimulus of the old scalar pass for
-/// roughly the scalar cost. `cycles` in the report stays the per-lane
-/// cycle count; a mismatch reports the earliest cycle, then the first
-/// port in name order, then the lowest diverging lane.
+/// well under the scalar cost. The compiled kernel is a certified
+/// bit-exact twin of the packed one, so reports are unchanged from the
+/// packed era. `cycles` in the report stays the per-lane cycle count; a
+/// mismatch reports the earliest cycle, then the first port in name
+/// order, then the lowest diverging lane.
 ///
 /// # Errors
 ///
@@ -120,8 +123,8 @@ pub fn equiv_stream_warmup(
         return Err(Error::PortMismatch("output ports differ".into()));
     }
 
-    let mut gsim = PackedSim::new(golden, LANES)?;
-    let mut dsim = PackedSim::new(dut, LANES)?;
+    let mut gsim = CompiledSim::<1>::new(golden, LANES)?;
+    let mut dsim = CompiledSim::<1>::new(dut, LANES)?;
     gsim.reset_zero();
     dsim.reset_zero();
     let mut streams: Vec<Stream> = lane_seeds(seed, LANES)
@@ -134,7 +137,7 @@ pub fn equiv_stream_warmup(
             for (l, s) in streams.iter_mut().enumerate() {
                 bits |= u64::from(s.next_bit()) << l;
             }
-            let v = PackedLogic::from_bits(bits);
+            let v = Lanes::from_bits([bits]);
             gsim.set_input(gp, v);
             dsim.set_input(dp, v);
         }
@@ -145,9 +148,8 @@ pub fn equiv_stream_warmup(
         }
         for (&gp, &dp) in g_out.iter().zip(&d_out) {
             let (e, a) = (gsim.output(gp), dsim.output(dp));
-            let diff = !e.eq_lanes(a);
-            if diff != 0 {
-                let lane = diff.trailing_zeros() as usize;
+            let diff = e.eq_lanes(a).not();
+            if let Some(lane) = diff.lowest() {
                 return Ok(EquivReport {
                     cycles: cycle + 1,
                     mismatch: Some(Mismatch {

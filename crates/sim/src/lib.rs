@@ -35,6 +35,7 @@
 //! # Ok::<(), triphase_sim::Error>(())
 //! ```
 
+mod compile;
 mod equiv;
 mod error;
 mod logic;
@@ -42,6 +43,10 @@ mod packed;
 mod sim;
 mod vcd;
 
+pub use compile::{
+    collect_activity_compiled, run_random_compiled, CompiledAny, CompiledSim, Lanes, LowerStats,
+    Mask, MAX_STREAMS,
+};
 pub use equiv::{
     data_inputs, data_outputs, equiv_stream, equiv_stream_warmup, replay_vectors, run_random,
     EquivReport, Mismatch, Stream,

@@ -258,6 +258,12 @@ pub struct PackedSim<'a> {
     clock_ports: Vec<(u32, usize)>,
     lanes: usize,
     lane_mask: u64,
+    // Reused per-pass scratch: clock snapshots and batched FF updates
+    // were reallocated every settle pass / event round before the
+    // compiled-backend PR's audit of inner-loop copies.
+    before_ck: Vec<PackedLogic>,
+    clk_snapshot: Vec<PackedLogic>,
+    updates: Vec<(u32, PackedLogic)>,
 }
 
 impl<'a> PackedSim<'a> {
@@ -340,7 +346,7 @@ impl<'a> PackedSim<'a> {
             })
             .collect();
 
-        let storage = nl
+        let storage: Vec<StorageOp> = nl
             .cells()
             .filter(|(_, c)| c.kind.is_storage())
             .map(|(_, cell)| {
@@ -384,6 +390,7 @@ impl<'a> PackedSim<'a> {
             .map(|(i, p)| (nl.port(p.port).net.index() as u32, i))
             .collect();
 
+        let n_storage = storage.len();
         Ok(PackedSim {
             nl,
             ops,
@@ -403,6 +410,9 @@ impl<'a> PackedSim<'a> {
             } else {
                 (1u64 << lanes) - 1
             },
+            before_ck: vec![PackedLogic::X; n_storage],
+            clk_snapshot: vec![PackedLogic::X; n_storage],
+            updates: Vec::new(),
         })
     }
 
@@ -526,11 +536,9 @@ impl<'a> PackedSim<'a> {
         // data settling, exactly as the scalar event loop. Extra rounds
         // are identities on lanes that already settled.
         for _ in 0..4 {
-            let before_ck: Vec<PackedLogic> = self
-                .storage
-                .iter()
-                .map(|s| self.values[s.ck as usize])
-                .collect();
+            for i in 0..self.storage.len() {
+                self.before_ck[i] = self.values[self.storage[i].ck as usize];
+            }
 
             for i in 0..self.clock_ports.len() {
                 let (net, phase) = self.clock_ports[i];
@@ -541,13 +549,14 @@ impl<'a> PackedSim<'a> {
 
             // Capture: FF lanes whose clock rose latch pre-edge data.
             // Updates are batched (reads see pre-update values).
-            let mut updates: Vec<(u32, PackedLogic)> = Vec::new();
+            let mut updates = std::mem::take(&mut self.updates);
+            updates.clear();
             for (si, s) in self.storage.iter().enumerate() {
                 if !matches!(s.kind, StorageKind::Dff | StorageKind::DffEn) {
                     continue;
                 }
                 let ck = self.values[s.ck as usize];
-                let rose = !before_ck[si].is_one() & ck.is_one();
+                let rose = !self.before_ck[si].is_one() & ck.is_one();
                 if rose == 0 {
                     continue;
                 }
@@ -566,9 +575,10 @@ impl<'a> PackedSim<'a> {
                 };
                 updates.push((s.q, PackedLogic::merge(rose, next, q)));
             }
-            for (net, v) in updates {
+            for &(net, v) in &updates {
                 self.set_net(net, v);
             }
+            self.updates = updates;
             if !self.settle_data() {
                 break;
             }
@@ -614,7 +624,7 @@ impl<'a> PackedSim<'a> {
         self.clock_ops = ops;
     }
 
-    fn eval_op(&self, op: Op) -> PackedLogic {
+    fn eval_op(&self, op: &Op) -> PackedLogic {
         let ins = &self.op_inputs[op.in_start as usize..(op.in_start + op.in_count) as usize];
         let v = |i: usize| self.values[ins[i] as usize];
         match op.kind {
@@ -640,7 +650,7 @@ impl<'a> PackedSim<'a> {
         for _pass in 0..MAX_SETTLE_PASSES {
             let mut changed = false;
             let ops = std::mem::take(&mut self.ops);
-            for &op in &ops {
+            for op in &ops {
                 let v = self.eval_op(op);
                 if self.values[op.out as usize] != v {
                     changed = true;
@@ -649,14 +659,12 @@ impl<'a> PackedSim<'a> {
             }
             self.ops = ops;
 
-            let clk_snapshot: Vec<PackedLogic> = self
-                .storage
-                .iter()
-                .map(|s| self.values[s.ck as usize])
-                .collect();
+            for i in 0..self.storage.len() {
+                self.clk_snapshot[i] = self.values[self.storage[i].ck as usize];
+            }
             self.eval_clock_network();
             for (si, s) in self.storage.iter().enumerate() {
-                if clk_snapshot[si] != self.values[s.ck as usize] {
+                if self.clk_snapshot[si] != self.values[s.ck as usize] {
                     clock_changed = true;
                     changed = true;
                 }

@@ -96,6 +96,26 @@ fn scan_dir(dir: &Path, violations: &mut Vec<String>) {
     }
 }
 
+/// The compiled-simulation subtree (`triphase-sim`'s lowering passes and
+/// bytecode VM) is held to the same standard: it executes machine-built
+/// programs over arbitrary netlists inside the flow's hot path, so any
+/// invariant violation must surface as a typed error or an `assert`
+/// with a message — never an `unwrap`/`expect`/`panic!`. (The rest of
+/// the sim crate predates the policy and keeps its documented asserts.)
+#[test]
+fn compiled_sim_module_has_no_panicking_constructs() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let src = root.join("crates/sim/src/compile");
+    assert!(src.is_dir(), "missing {}", src.display());
+    let mut violations = Vec::new();
+    scan_dir(&src, &mut violations);
+    assert!(
+        violations.is_empty(),
+        "panicking constructs in the compiled-sim module:\n{}",
+        violations.join("\n")
+    );
+}
+
 #[test]
 fn analysis_crates_have_no_panicking_constructs() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR"));
