@@ -1,0 +1,473 @@
+//! Load generator for the conversion service: an open-loop arrival
+//! schedule over a seeded [`Recipe`] netlist mix, run twice — a cold
+//! phase of unique jobs, then a warm phase resubmitting the identical
+//! jobs against the now-populated memo store.
+//!
+//! ```text
+//! loadgen --quick             # reduced mix, CI smoke configuration
+//! loadgen --jobs 64 --rate 20 # 64 unique jobs at 20 arrivals/sec
+//! loadgen --addr HOST:PORT    # drive an external daemon (default:
+//!                             # spawn an in-process server)
+//! loadgen --json              # print the report section to stdout
+//! ```
+//!
+//! Measures sustained conversions/sec and open-loop p50/p99 latency per
+//! phase (latency is charged from the *scheduled* arrival instant, so a
+//! lagging submitter counts against the server, as in a real open-loop
+//! harness), plus the warm-phase report-cache hit rate and per-job cache
+//! provenance. Persists a `serve` section into `results/BENCH_serve.json`
+//! via the shared read-merge-write [`ReportFile`] path.
+//!
+//! Exit codes (stable): `0` all gates met, `1` a gate failed (warm hit
+//! rate `< 0.9`, warm/cold median speedup `< 5`, or warm p99 over
+//! `--p99-bound-ms`), `2` usage error.
+
+use std::collections::HashMap;
+use std::io::{BufWriter, Write as _};
+use std::net::TcpStream;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+use triphase_bench::json::Json;
+use triphase_bench::report::{section, ReportFile};
+use triphase_core::FlowConfig;
+use triphase_netlist::gen::Recipe;
+use triphase_netlist::{snapshot, Netlist};
+use triphase_serve::{read_frame, write_frame, Server, ServerOptions, MAX_FRAME_DEFAULT};
+
+struct Options {
+    quick: bool,
+    jobs: usize,
+    rate: f64,
+    workers: usize,
+    addr: Option<String>,
+    json: bool,
+    p99_bound_ms: f64,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        quick: std::env::var("TRIPHASE_SCALE").as_deref() == Ok("quick"),
+        jobs: 0,
+        rate: 0.0,
+        workers: 0,
+        addr: None,
+        json: false,
+        p99_bound_ms: 1000.0,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        match arg.as_str() {
+            "--quick" => opts.quick = true,
+            "--json" => opts.json = true,
+            "--jobs" => {
+                opts.jobs = value("--jobs")?
+                    .parse()
+                    .map_err(|_| "--jobs requires an integer".to_owned())?;
+            }
+            "--rate" => {
+                opts.rate = value("--rate")?
+                    .parse()
+                    .map_err(|_| "--rate requires a number".to_owned())?;
+            }
+            "--workers" => {
+                opts.workers = value("--workers")?
+                    .parse()
+                    .map_err(|_| "--workers requires an integer".to_owned())?;
+            }
+            "--p99-bound-ms" => {
+                opts.p99_bound_ms = value("--p99-bound-ms")?
+                    .parse()
+                    .map_err(|_| "--p99-bound-ms requires a number".to_owned())?;
+            }
+            "--addr" => opts.addr = Some(value("--addr")?),
+            "--help" | "-h" => {
+                return Err("usage: loadgen [--quick] [--jobs N] [--rate PER_SEC] \
+                            [--workers N] [--addr HOST:PORT] [--p99-bound-ms MS] [--json]"
+                    .to_owned())
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    if opts.jobs == 0 {
+        opts.jobs = if opts.quick { 24 } else { 64 };
+    }
+    if opts.rate <= 0.0 {
+        opts.rate = if opts.quick { 30.0 } else { 20.0 };
+    }
+    Ok(opts)
+}
+
+/// The seeded job mix: recipe-generated netlists with at least one FF
+/// (so conversion has work to do), each paired with a per-job flow
+/// config seeded from the recipe.
+fn job_mix(opts: &Options) -> Vec<(Netlist, FlowConfig)> {
+    // Heavy enough that a cold flow is compute-bound (a few ms even in
+    // release) — otherwise the warm-phase speedup would only measure
+    // wire overhead.
+    let (max_ops, max_width) = if opts.quick { (16, 6) } else { (20, 8) };
+    let mut jobs = Vec::with_capacity(opts.jobs);
+    let mut tag = 0x10adu64;
+    while jobs.len() < opts.jobs {
+        for recipe in Recipe::stream(tag, opts.jobs * 2, max_ops, max_width) {
+            let nl = recipe.build();
+            if nl.validate().is_err() || nl.stats().ffs == 0 {
+                continue;
+            }
+            let mut cfg = FlowConfig {
+                seed: recipe.seed + 1,
+                sim_cycles: if opts.quick { 64 } else { 128 },
+                equiv_cycles: if opts.quick { 128 } else { 256 },
+                ..FlowConfig::default()
+            };
+            cfg.pnr.moves_per_cell = 2;
+            jobs.push((nl, cfg));
+            if jobs.len() == opts.jobs {
+                break;
+            }
+        }
+        tag = tag.wrapping_add(1);
+    }
+    jobs
+}
+
+fn config_wire(cfg: &FlowConfig) -> Json {
+    triphase_serve::proto::config_json(cfg)
+}
+
+/// Per-job outcome collected by the drain thread.
+#[derive(Default, Clone)]
+struct DoneRec {
+    ok: bool,
+    cached_report: bool,
+    stage_hits: u64,
+    stage_misses: u64,
+    done_at_ms: f64,
+    code: String,
+}
+
+/// Per-job records keyed by name plus each job's scheduled arrival
+/// (ms from phase start).
+type PhaseOutcome = (HashMap<String, DoneRec>, Vec<(String, f64)>);
+
+/// One phase: submit every job on the open-loop schedule over a fresh
+/// connection, drain until all done events arrive.
+fn run_phase(
+    addr: &std::net::SocketAddr,
+    phase: &str,
+    jobs: &[(Netlist, FlowConfig)],
+    rate: f64,
+) -> Result<PhaseOutcome, String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    stream.set_nodelay(true).ok();
+    let read_half = stream.try_clone().map_err(|e| format!("clone: {e}"))?;
+    let n = jobs.len();
+    let t0 = Instant::now();
+
+    // Drain thread: count stage provenance and stamp done instants.
+    let drain = std::thread::spawn(move || -> Result<HashMap<String, DoneRec>, String> {
+        let mut read_half = read_half;
+        let mut recs: HashMap<String, DoneRec> = HashMap::new();
+        let mut per_job: HashMap<u64, (u64, u64)> = HashMap::new();
+        let mut done = 0usize;
+        while done < n {
+            let text =
+                read_frame(&mut read_half, MAX_FRAME_DEFAULT).map_err(|e| format!("recv: {e}"))?;
+            let ev = Json::parse(&text).map_err(|e| format!("bad frame: {e}"))?;
+            let id = ev.get("job").and_then(Json::as_f64).unwrap_or(-1.0) as u64;
+            match ev.get("event").and_then(Json::as_str) {
+                Some("stage") => {
+                    let slot = per_job.entry(id).or_default();
+                    if ev.get("cache").and_then(Json::as_str) == Some("hit") {
+                        slot.0 += 1;
+                    } else {
+                        slot.1 += 1;
+                    }
+                }
+                Some("done") => {
+                    done += 1;
+                    let name = ev
+                        .get("name")
+                        .and_then(Json::as_str)
+                        .unwrap_or("?")
+                        .to_owned();
+                    let (stage_hits, stage_misses) = per_job.remove(&id).unwrap_or_default();
+                    recs.insert(
+                        name,
+                        DoneRec {
+                            ok: ev.get("ok") == Some(&Json::Bool(true)),
+                            cached_report: ev.get("cached_report") == Some(&Json::Bool(true)),
+                            stage_hits,
+                            stage_misses,
+                            done_at_ms: t0.elapsed().as_secs_f64() * 1e3,
+                            code: ev
+                                .get("code")
+                                .and_then(Json::as_str)
+                                .unwrap_or("")
+                                .to_owned(),
+                        },
+                    );
+                }
+                Some("error") => return Err(format!("protocol error: {text}")),
+                _ => {}
+            }
+        }
+        Ok(recs)
+    });
+
+    // Open-loop submitter: one single-job submit frame per scheduled
+    // arrival; a job's latency clock starts at its *scheduled* instant.
+    let mut writer = BufWriter::new(stream);
+    let mut schedule = Vec::with_capacity(n);
+    for (i, (nl, cfg)) in jobs.iter().enumerate() {
+        let name = format!("{phase}-{i}");
+        let sched = Duration::from_secs_f64(i as f64 / rate);
+        if let Some(wait) = sched.checked_sub(t0.elapsed()) {
+            std::thread::sleep(wait);
+        }
+        let mut job = Json::obj();
+        job.set("name", Json::Str(name.clone()));
+        job.set("netlist", Json::Str(snapshot::to_text(nl)));
+        job.set("config", config_wire(cfg));
+        let mut req = Json::obj();
+        req.set("kind", "submit".into());
+        req.set("jobs", Json::Arr(vec![job]));
+        write_frame(&mut writer, &req.to_pretty()).map_err(|e| format!("send: {e}"))?;
+        schedule.push((name, sched.as_secs_f64() * 1e3));
+    }
+    writer.flush().ok();
+
+    let recs = drain
+        .join()
+        .map_err(|_| "drain thread panicked".to_owned())??;
+    Ok((recs, schedule))
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return f64::NAN;
+    }
+    // Nearest-rank.
+    let rank = ((p / 100.0) * sorted_ms.len() as f64).ceil() as usize;
+    sorted_ms[rank.clamp(1, sorted_ms.len()) - 1]
+}
+
+struct PhaseStats {
+    latencies_ms: Vec<f64>,
+    p50_ms: f64,
+    p99_ms: f64,
+    conversions_per_s: f64,
+    hit_rate: f64,
+}
+
+/// Latency per job (done − scheduled arrival), restricted to `keep`.
+fn phase_stats(
+    recs: &HashMap<String, DoneRec>,
+    schedule: &[(String, f64)],
+    keep: &dyn Fn(&str) -> bool,
+) -> PhaseStats {
+    let mut latencies_ms = Vec::new();
+    let mut last_done = 0.0f64;
+    let mut hits = 0usize;
+    let mut kept = 0usize;
+    for (name, sched_ms) in schedule {
+        if !keep(name) {
+            continue;
+        }
+        let Some(rec) = recs.get(name) else { continue };
+        kept += 1;
+        latencies_ms.push((rec.done_at_ms - sched_ms).max(0.0));
+        last_done = last_done.max(rec.done_at_ms);
+        hits += usize::from(rec.cached_report);
+    }
+    let mut sorted = latencies_ms.clone();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    PhaseStats {
+        p50_ms: percentile(&sorted, 50.0),
+        p99_ms: percentile(&sorted, 99.0),
+        conversions_per_s: if last_done > 0.0 {
+            latencies_ms.len() as f64 / (last_done / 1e3)
+        } else {
+            0.0
+        },
+        hit_rate: if kept > 0 {
+            hits as f64 / kept as f64
+        } else {
+            0.0
+        },
+        latencies_ms,
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let jobs = job_mix(&opts);
+
+    // In-process daemon unless an external one was named.
+    let (addr, local) = match &opts.addr {
+        Some(addr) => match addr.parse() {
+            Ok(addr) => (addr, None),
+            Err(e) => {
+                eprintln!("bad --addr: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        None => {
+            let server = match Server::start(ServerOptions {
+                workers: opts.workers,
+                ..ServerOptions::default()
+            }) {
+                Ok(server) => server,
+                Err(e) => {
+                    eprintln!("bind failed: {e}");
+                    return ExitCode::from(1);
+                }
+            };
+            (server.addr(), Some(server))
+        }
+    };
+
+    // Cold phase: every job is unique, the cache is empty.
+    let (cold_recs, cold_sched) = match run_phase(&addr, "cold", &jobs, opts.rate) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("cold phase failed: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    // Warm phase: identical resubmission of the same jobs.
+    let (warm_recs, warm_sched) = match run_phase(&addr, "warm", &jobs, opts.rate) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("warm phase failed: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    if let Some(server) = local {
+        server.stop();
+        server.wait();
+    }
+
+    // A deterministic flow failure repeats identically in both phases
+    // and is never cached; gate the latency stats on cold successes so
+    // the cache comparison is like-for-like.
+    let cold_ok: std::collections::HashSet<usize> = cold_recs
+        .iter()
+        .filter(|(_, r)| r.ok)
+        .filter_map(|(name, _)| name.strip_prefix("cold-")?.parse().ok())
+        .collect();
+    let failures = jobs.len() - cold_ok.len();
+    let keep_cold = |name: &str| -> bool {
+        name.strip_prefix("cold-")
+            .and_then(|i| i.parse().ok())
+            .is_some_and(|i: usize| cold_ok.contains(&i))
+    };
+    let keep_warm = |name: &str| -> bool {
+        name.strip_prefix("warm-")
+            .and_then(|i| i.parse().ok())
+            .is_some_and(|i: usize| cold_ok.contains(&i))
+    };
+    let cold = phase_stats(&cold_recs, &cold_sched, &keep_cold);
+    let warm = phase_stats(&warm_recs, &warm_sched, &keep_warm);
+    let speedup = if warm.p50_ms > 0.0 {
+        cold.p50_ms / warm.p50_ms
+    } else {
+        f64::INFINITY
+    };
+
+    // Per-job cache provenance rows (the acceptance criterion's
+    // "provenance recorded per job").
+    let per_job = Json::Arr(
+        warm_sched
+            .iter()
+            .filter_map(|(name, _)| {
+                let rec = warm_recs.get(name)?;
+                let mut row = Json::obj();
+                row.set("job", Json::Str(name.clone()));
+                row.set("ok", rec.ok.into());
+                row.set("cached_report", rec.cached_report.into());
+                row.set("stage_hits", rec.stage_hits.into());
+                row.set("stage_misses", rec.stage_misses.into());
+                if !rec.code.is_empty() {
+                    row.set("code", Json::Str(rec.code.clone()));
+                }
+                Some(row)
+            })
+            .collect(),
+    );
+
+    let phase_json = |s: &PhaseStats| {
+        let mut o = Json::obj();
+        o.set("jobs", s.latencies_ms.len().into());
+        o.set("p50_ms", s.p50_ms.into());
+        o.set("p99_ms", s.p99_ms.into());
+        o.set("conversions_per_s", s.conversions_per_s.into());
+        o.set("report_cache_hit_rate", s.hit_rate.into());
+        o
+    };
+    let mut out = section();
+    out.set("quick", opts.quick.into());
+    out.set("jobs", jobs.len().into());
+    out.set("arrival_rate_per_s", opts.rate.into());
+    out.set("flow_failures", failures.into());
+    out.set("cold", phase_json(&cold));
+    out.set("warm", phase_json(&warm));
+    out.set("warm_over_cold_median_speedup", speedup.into());
+    out.set("per_job_warm_provenance", per_job);
+
+    let file = ReportFile::new("BENCH_serve.json");
+    file.merge_or_exit("serve", out.clone());
+    if opts.json {
+        println!("{}", out.to_pretty());
+    }
+    eprintln!(
+        "cold: p50 {:.1} ms, p99 {:.1} ms, {:.1} conv/s | warm: p50 {:.2} ms, p99 {:.2} ms, \
+         {:.1} conv/s, hit rate {:.2} | median speedup {:.1}x | {} flow failures | {}",
+        cold.p50_ms,
+        cold.p99_ms,
+        cold.conversions_per_s,
+        warm.p50_ms,
+        warm.p99_ms,
+        warm.conversions_per_s,
+        warm.hit_rate,
+        speedup,
+        failures,
+        file.path().display()
+    );
+
+    // Gates: the service contract the CI smoke run asserts.
+    let mut failed = false;
+    if warm.hit_rate < 0.9 {
+        eprintln!(
+            "GATE: warm report-cache hit rate {:.2} < 0.90",
+            warm.hit_rate
+        );
+        failed = true;
+    }
+    if speedup < 5.0 {
+        eprintln!("GATE: warm/cold median speedup {speedup:.1}x < 5x");
+        failed = true;
+    }
+    if warm.p99_ms > opts.p99_bound_ms {
+        eprintln!(
+            "GATE: warm p99 {:.1} ms exceeds the {:.1} ms bound",
+            warm.p99_ms, opts.p99_bound_ms
+        );
+        failed = true;
+    }
+    if failed {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

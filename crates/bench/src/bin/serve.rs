@@ -1,0 +1,90 @@
+//! Conversion-as-a-service daemon: bind, print the address, serve until
+//! a client sends `{"kind": "shutdown"}`.
+//!
+//! ```text
+//! serve                       # bind 127.0.0.1:0 (ephemeral), serve
+//! serve --addr 0.0.0.0:7070   # explicit bind address
+//! serve --workers 4           # runner threads (default: CPU count)
+//! serve --memo-capacity 8192  # cache entries per tier
+//! serve --max-frame 16777216  # per-frame payload cap (bytes)
+//! ```
+//!
+//! The bound address is printed to stdout as `listening <addr>` so
+//! scripts (and the load generator) can discover the ephemeral port.
+//!
+//! Exit codes (stable): `0` clean shutdown, `1` bind failure, `2` usage
+//! error. `--quick` is accepted for the suite-wide convention but has no
+//! effect on a daemon.
+
+use std::process::ExitCode;
+use triphase_serve::{Server, ServerOptions};
+
+struct Options {
+    serve: ServerOptions,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut serve = ServerOptions::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        match arg.as_str() {
+            "--addr" => serve.addr = value("--addr")?,
+            "--workers" => {
+                serve.workers = value("--workers")?
+                    .parse()
+                    .map_err(|_| "--workers requires an integer".to_owned())?;
+            }
+            "--memo-capacity" => {
+                serve.memo_capacity = value("--memo-capacity")?
+                    .parse()
+                    .map_err(|_| "--memo-capacity requires an integer".to_owned())?;
+            }
+            "--max-frame" => {
+                serve.max_frame = value("--max-frame")?
+                    .parse()
+                    .map_err(|_| "--max-frame requires an integer".to_owned())?;
+            }
+            "--quick" => {}
+            "--help" | "-h" => {
+                return Err(
+                    "usage: serve [--addr HOST:PORT] [--workers N] [--memo-capacity N] \
+                     [--max-frame BYTES]"
+                        .to_owned(),
+                )
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(Options { serve })
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let server = match Server::start(opts.serve) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("bind failed: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    println!("listening {}", server.addr());
+    let (stage, report) = server.wait();
+    eprintln!(
+        "shutdown: stage cache {}/{} hit, report cache {}/{} hit",
+        stage.hits,
+        stage.hits + stage.misses,
+        report.hits,
+        report.hits + report.misses
+    );
+    ExitCode::SUCCESS
+}

@@ -14,10 +14,13 @@
 //! EXPERIMENTS.md reference.
 
 pub mod fuzz;
-pub mod json;
 pub mod microbench;
 pub mod perf;
 pub mod report;
+
+/// Hand-rolled JSON tree (re-exported from the service crate, which
+/// owns it as its wire format; the report writers predate the move).
+pub use triphase_serve::json;
 
 use triphase_cells::Library;
 use triphase_circuits::cpu::{self, CpuConfig, Workload};

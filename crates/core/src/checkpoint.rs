@@ -100,14 +100,24 @@ impl Stage {
     ];
 }
 
-/// Summary of the phase-assignment solve carried by the convert stage.
+/// Summary of the phase-assignment solve carried by the convert stage —
+/// in checkpoint files, and across processes in
+/// [`crate::StageData::Convert`] memoization entries (which is why the
+/// type is public).
 #[derive(Debug, Clone)]
-pub(crate) struct IlpSummary {
+pub struct IlpOutcome {
+    /// ILP objective value (p2 insertions).
     pub cost: usize,
+    /// Whether the solve reached proven optimality.
     pub optimal: bool,
+    /// Solve wall-clock (s) — replayed verbatim on resume/memo hits so
+    /// the reported solver time is the time actually spent solving.
     pub seconds: f64,
+    /// Which rung of the ILP → exact → greedy chain answered.
     pub rung: SolveRung,
+    /// Solver termination status.
     pub status: Status,
+    /// Rungs that failed before `rung` produced the answer.
     pub fallbacks: usize,
 }
 
@@ -118,7 +128,7 @@ pub(crate) struct FlowState {
     pub stage: Stage,
     pub pre: Netlist,
     pub preprocess: PreprocessReport,
-    pub ilp: Option<IlpSummary>,
+    pub ilp: Option<IlpOutcome>,
     pub convert: Option<(Netlist, ConvertReport)>,
     pub retime: Option<(Netlist, RetimeReport)>,
     pub clockgate: Option<(Netlist, CgReport, f64)>,
@@ -130,7 +140,12 @@ pub(crate) struct FlowState {
 /// deliberately excluded — they never change stage artifacts, and a
 /// resume run routinely uses a different fault plan than the run that
 /// crashed.
-pub(crate) fn fingerprint(nl: &Netlist, cfg: &FlowConfig) -> u64 {
+///
+/// Exported as `flow_fingerprint`: it doubles as the whole-flow
+/// memoization key for services caching conversion results, exactly
+/// because two runs with equal fingerprints produce bit-identical stage
+/// artifacts.
+pub fn fingerprint(nl: &Netlist, cfg: &FlowConfig) -> u64 {
     use std::fmt::Write;
     let mut s = snapshot::to_text(nl);
     let time_ns = cfg.phase_cfg.time_limit.map_or(u128::MAX, |d| d.as_nanos());
@@ -159,6 +174,80 @@ pub(crate) fn fingerprint(nl: &Netlist, cfg: &FlowConfig) -> u64 {
         cfg.activity.cut_budget,
         cfg.activity.max_correlation_rate.to_bits(),
     );
+    fnv1a64(s.as_bytes())
+}
+
+/// Memoization key for one flow stage: the exact snapshot of the stage's
+/// *input* netlist plus only the configuration fields that stage reads.
+///
+/// This is deliberately finer-grained than [`fingerprint`]: an edit that
+/// only perturbs downstream logic leaves upstream stage keys unchanged,
+/// so an incremental (ECO-style) resubmission re-runs exactly the stages
+/// at/after the first divergent key. The per-stage field subsets:
+///
+/// - **Preprocess** (input: the source netlist): `cg_max_fanout` — the
+///   ICG fan-out cap used when rewriting enable muxes to gated clocks.
+/// - **Convert** (input: the preprocessed netlist): the ILP budget
+///   (`phase_cfg.max_nodes` / `ilp_max_vars` / `time_limit`) and the
+///   static-activity knobs that select and parameterize the weighted
+///   objective (`activity.*`).
+/// - **Retime** (input: the pristine 3-phase netlist):
+///   `retime_target_ratio`.
+/// - **ClockGate** (input: the retimed netlist): every gating flag and
+///   threshold, the P&R options (DDCG runs a trial placement), the
+///   stimulus seed + cycle count (the measured-activity fallback), the
+///   `activity.*` knobs, and `extra` — the caller passes the flow's
+///   `static_ok` decision bit, which is computed on the *preprocessed*
+///   netlist and therefore not derivable from this stage's input alone.
+///
+/// `extra` is reserved-zero for the other three stages.
+pub fn stage_key(stage: Stage, input: &Netlist, cfg: &FlowConfig, extra: u64) -> u64 {
+    use std::fmt::Write;
+    let mut s = snapshot::to_text(input);
+    let _ = write!(s, "stage {} extra {:016x} ", stage.name(), extra);
+    match stage {
+        Stage::Preprocess => {
+            let _ = write!(s, "{}", cfg.cg_max_fanout);
+        }
+        Stage::Convert => {
+            let time_ns = cfg.phase_cfg.time_limit.map_or(u128::MAX, |d| d.as_nanos());
+            let _ = write!(
+                s,
+                "{} {} {:032x} {} {} {:016x}",
+                cfg.phase_cfg.max_nodes,
+                cfg.phase_cfg.ilp_max_vars,
+                time_ns,
+                cfg.activity.enabled as u8,
+                cfg.activity.cut_budget,
+                cfg.activity.max_correlation_rate.to_bits(),
+            );
+        }
+        Stage::Retime => {
+            let _ = write!(s, "{:016x}", cfg.retime_target_ratio.to_bits());
+        }
+        Stage::ClockGate => {
+            let _ = write!(
+                s,
+                "{} {} {} {:016x} {} {} {} {:016x} {} {:016x} {:016x} {} {} {} {} {:016x}",
+                cfg.common_enable_cg as u8,
+                cfg.m2 as u8,
+                cfg.ddcg as u8,
+                cfg.ddcg_threshold.to_bits(),
+                cfg.cg_max_fanout,
+                cfg.pnr.seed,
+                cfg.pnr.moves_per_cell,
+                cfg.pnr.utilization.to_bits(),
+                cfg.pnr.cts_max_fanout,
+                cfg.pnr.wire_cap_per_um.to_bits(),
+                cfg.pnr.clock_wire_cap_per_um.to_bits(),
+                cfg.seed,
+                cfg.sim_cycles,
+                cfg.activity.enabled as u8,
+                cfg.activity.cut_budget,
+                cfg.activity.max_correlation_rate.to_bits(),
+            );
+        }
+    }
     fnv1a64(s.as_bytes())
 }
 
@@ -296,7 +385,7 @@ fn parse(text: &str) -> Option<FlowState> {
         }
         if let Some(rest) = line.strip_prefix("ilp ") {
             let mut f = rest.split(' ');
-            ilp = Some(IlpSummary {
+            ilp = Some(IlpOutcome {
                 cost: f.next()?.parse().ok()?,
                 optimal: parse_bool(f.next()?)?,
                 seconds: parse_f64(f.next()?)?,
@@ -448,7 +537,7 @@ mod tests {
                 converted_ffs: 3,
                 icgs_inserted: 1,
             },
-            ilp: (stage >= Stage::Convert).then_some(IlpSummary {
+            ilp: (stage >= Stage::Convert).then_some(IlpOutcome {
                 cost: 4,
                 optimal: true,
                 seconds: 0.125,

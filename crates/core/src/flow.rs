@@ -3,7 +3,7 @@
 //! simulation-based validation, and grouped power estimation — for all
 //! three design styles (FF, master-slave, 3-phase).
 
-use crate::checkpoint::{self, CheckpointCfg, FlowState, IlpSummary, Stage};
+use crate::checkpoint::{self, CheckpointCfg, FlowState, IlpOutcome, Stage};
 use crate::clockgate::{apply_ddcg_static, apply_m2, gate_p2_common_enable, CgReport};
 use crate::convert::{to_master_slave, to_three_phase, ConvertReport};
 use crate::error::{Error, Result};
@@ -300,7 +300,7 @@ fn equiv_checkpoint(
 }
 
 /// Evaluation of one design variant after P&R.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct VariantResult {
     /// The final netlist.
     pub netlist: Netlist,
@@ -333,8 +333,9 @@ impl VariantResult {
     }
 }
 
-/// Full flow output: the three variants plus stage reports.
-#[derive(Debug)]
+/// Full flow output: the three variants plus stage reports. `Clone` so a
+/// caching service can hand out shared copies of a memoized report.
+#[derive(Debug, Clone)]
 pub struct FlowReport {
     /// Design name.
     pub name: String,
@@ -449,6 +450,8 @@ pub fn run_flow(nl: &Netlist, lib: &Library, cfg: &FlowConfig) -> Result<FlowRep
         cfg,
         &move |n: &Netlist, cycles: u64| backend.collect(n, seed, cycles),
         backend.label(),
+        None,
+        None,
     )
 }
 
@@ -464,7 +467,111 @@ pub fn run_flow_with(
     cfg: &FlowConfig,
     drive: &Drive<'_>,
 ) -> Result<FlowReport> {
-    run_flow_inner(nl, lib, cfg, drive, "custom")
+    // Custom stimulus is opaque to the memoization keys, so this entry
+    // point never consults a stage cache.
+    run_flow_inner(nl, lib, cfg, drive, "custom", None, None)
+}
+
+/// The artifacts one flow stage produces, as stored in (and replayed
+/// from) a [`StageMemo`]. Each variant carries exactly what the flow
+/// would have computed fresh: the stage's output netlist plus its report
+/// scalars, so a memo hit is indistinguishable from a checkpoint resume.
+#[derive(Debug, Clone)]
+pub enum StageData {
+    /// Gated-clock preprocessing: the `pre` netlist and its report.
+    Preprocess(Netlist, PreprocessReport),
+    /// Phase assignment + conversion.
+    Convert {
+        /// Solver summary (cost, rung, status, solve seconds).
+        ilp: IlpOutcome,
+        /// The pristine 3-phase netlist.
+        netlist: Netlist,
+        /// Conversion statistics.
+        report: ConvertReport,
+    },
+    /// Modified retiming: the retimed netlist and its report.
+    Retime(Netlist, RetimeReport),
+    /// Clock gating: the final netlist, the merged gating report, and
+    /// the conversion-seconds figure the original run measured.
+    ClockGate(Netlist, CgReport, f64),
+}
+
+impl StageData {
+    /// Which stage this data belongs to.
+    pub fn stage(&self) -> Stage {
+        match self {
+            StageData::Preprocess(..) => Stage::Preprocess,
+            StageData::Convert { .. } => Stage::Convert,
+            StageData::Retime(..) => Stage::Retime,
+            StageData::ClockGate(..) => Stage::ClockGate,
+        }
+    }
+}
+
+/// A stage-result cache consulted by [`run_flow_memo`].
+///
+/// Keys come from [`crate::stage_key`]: the stage's input netlist
+/// snapshot plus the configuration fields that stage reads. The flow
+/// looks a stage up before computing it and records every freshly
+/// computed stage; a hit whose [`StageData`] variant does not match the
+/// requested stage is treated as a miss. `Sync` because a server shares
+/// one store across its worker threads.
+pub trait StageMemo: Sync {
+    /// Return the cached artifacts for `(stage, key)`, if any.
+    fn lookup(&self, stage: Stage, key: u64) -> Option<StageData>;
+    /// Store freshly computed artifacts under `(stage, key)`.
+    fn record(&self, stage: Stage, key: u64, data: &StageData);
+}
+
+/// One per-stage cache-provenance event streamed by [`run_flow_memo`],
+/// in stage execution order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageObservation {
+    /// The stage that just resolved.
+    pub stage: Stage,
+    /// Its memoization key ([`crate::stage_key`]).
+    pub key: u64,
+    /// `true` when the stage was replayed from the memo (or a matching
+    /// checkpoint) instead of computed fresh.
+    pub hit: bool,
+}
+
+/// [`run_flow`] with a stage-result cache and a per-stage provenance
+/// observer — the service entry point for memoized incremental
+/// conversion.
+///
+/// Before computing each of the four checkpointed stages the flow asks
+/// `memo` for the stage's key; on a hit the cached netlist + report are
+/// adopted verbatim and the stage is skipped, on a miss the stage runs
+/// and its artifacts are recorded. Because the lookup is threaded
+/// through the *same* `run_flow` body (lint/equiv/dfa checkpoints,
+/// validation, and variant evaluation all still run), a replayed flow
+/// returns a [`FlowReport`] bit-identical to an uninterrupted run in
+/// everything but wall-clock timings — the same argument the
+/// checkpoint/resume layer makes. `observe` receives one
+/// [`StageObservation`] per executed stage, in order.
+///
+/// # Errors
+///
+/// See [`run_flow`].
+pub fn run_flow_memo(
+    nl: &Netlist,
+    lib: &Library,
+    cfg: &FlowConfig,
+    memo: &dyn StageMemo,
+    observe: &mut dyn FnMut(StageObservation),
+) -> Result<FlowReport> {
+    let seed = cfg.seed;
+    let backend = cfg.sim_backend;
+    run_flow_inner(
+        nl,
+        lib,
+        cfg,
+        &move |n: &Netlist, cycles: u64| backend.collect(n, seed, cycles),
+        backend.label(),
+        Some(memo),
+        Some(observe),
+    )
 }
 
 fn run_flow_inner(
@@ -473,6 +580,8 @@ fn run_flow_inner(
     cfg: &FlowConfig,
     drive: &Drive<'_>,
     sim_backend: &'static str,
+    memo: Option<&dyn StageMemo>,
+    mut observe: Option<&mut dyn FnMut(StageObservation)>,
 ) -> Result<FlowReport> {
     // Input hardening: malformed or adversarial netlists become typed
     // errors before any stage touches them.
@@ -500,19 +609,35 @@ fn run_flow_inner(
         .filter(|c| c.resume)
         .and_then(|c| checkpoint::load_latest(&c.dir, &nl.name, fp));
     let have = |s: Stage| restored.as_ref().is_some_and(|st| st.stage >= s);
-    // Persist the cumulative state after a freshly computed stage, then
-    // honor the stage's injected-crash site (the worst place to die for
-    // an unprotected flow: artifacts just became durable).
-    let stage_mark = |stage: Stage, state: Option<&FlowState>| -> Result<()> {
-        if let (Some(c), Some(st)) = (ck, state) {
-            checkpoint::save(&c.dir, &nl.name, st)?;
-        }
-        let site = format!("flow.stage.{}", stage.name());
-        if matches!(fault_at(&cfg.fault, &site), Some(Fault::Panic)) {
-            injected_panic(&site);
-        }
-        Ok(())
+    // Stage memoization keys serialize the stage's input netlist, so
+    // they are only computed when someone consumes them (a memo store or
+    // a provenance observer).
+    let keyed = memo.is_some() || observe.is_some();
+    let memo_get = |stage: Stage, key: Option<u64>| -> Option<StageData> {
+        let data = memo?.lookup(stage, key?)?;
+        // A store returning the wrong variant is treated as a miss.
+        (data.stage() == stage).then_some(data)
     };
+    // Persist the cumulative state after a freshly computed stage and
+    // record its artifacts in the memo store, then honor the stage's
+    // injected-crash site (the worst place to die for an unprotected
+    // flow: artifacts just became durable). Replayed stages — from a
+    // checkpoint or the memo — skip all three, which is what lets a
+    // resubmitted job sail past a fault that killed its first run.
+    let stage_mark =
+        |stage: Stage, state: Option<&FlowState>, entry: Option<(u64, StageData)>| -> Result<()> {
+            if let (Some(c), Some(st)) = (ck, state) {
+                checkpoint::save(&c.dir, &nl.name, st)?;
+            }
+            if let (Some(m), Some((key, data))) = (memo, entry) {
+                m.record(stage, key, &data);
+            }
+            let site = format!("flow.stage.{}", stage.name());
+            if matches!(fault_at(&cfg.fault, &site), Some(Fault::Panic)) {
+                injected_panic(&site);
+            }
+            Ok(())
+        };
 
     // Lint and formal-equivalence checkpoints always re-run, even over
     // restored stages: they are cheap, deterministic functions of the
@@ -523,14 +648,30 @@ fn run_flow_inner(
     // Stage 1 — shared preprocessing: the FF baseline also uses gated
     // clocks (the paper lets the tool pick the best CG style for every
     // variant).
+    let k_pre = keyed.then(|| checkpoint::stage_key(Stage::Preprocess, nl, cfg, 0));
+    let mut memo_pre = false;
     let (pre, preprocess) = match &restored {
         Some(st) => (st.pre.clone(), st.preprocess.clone()),
-        None => {
-            let mut p = nl.clone();
-            let rep = gated_clock_style(&mut p, cfg.cg_max_fanout)?;
-            (p.compact(), rep)
-        }
+        None => match memo_get(Stage::Preprocess, k_pre) {
+            Some(StageData::Preprocess(p, rep)) => {
+                memo_pre = true;
+                (p, rep)
+            }
+            _ => {
+                let mut p = nl.clone();
+                let rep = gated_clock_style(&mut p, cfg.cg_max_fanout)?;
+                (p.compact(), rep)
+            }
+        },
     };
+    let pre_fresh = !have(Stage::Preprocess) && !memo_pre;
+    if let (Some(o), Some(key)) = (observe.as_mut(), k_pre) {
+        o(StageObservation {
+            stage: Stage::Preprocess,
+            key,
+            hit: !pre_fresh,
+        });
+    }
     let mut state = ck.map(|_| FlowState {
         fingerprint: fp,
         stage: Stage::Preprocess,
@@ -541,8 +682,11 @@ fn run_flow_inner(
         retime: None,
         clockgate: None,
     });
-    if !have(Stage::Preprocess) {
-        stage_mark(Stage::Preprocess, state.as_ref())?;
+    if pre_fresh {
+        let entry = memo
+            .and(k_pre)
+            .map(|k| (k, StageData::Preprocess(pre.clone(), preprocess.clone())));
+        stage_mark(Stage::Preprocess, state.as_ref(), entry)?;
     }
     lint_checkpoint(
         linter.as_ref(),
@@ -583,39 +727,69 @@ fn run_flow_inner(
 
     // Stage 2 — ILP phase assignment + conversion.
     let t0 = Instant::now();
+    let k_conv = keyed.then(|| checkpoint::stage_key(Stage::Convert, &pre, cfg, 0));
     let restored_convert = restored
         .as_ref()
         .filter(|st| st.stage >= Stage::Convert)
         .and_then(|st| Some((st.ilp.clone()?, st.convert.clone()?)));
-    let ilp_fresh = restored_convert.is_none();
+    let mut memo_conv = false;
+    let restored_conv = restored_convert.is_some();
     let (ilp, mut tp, convert_report) = match restored_convert {
         Some((ilp, (tp, cr))) => (ilp, tp, cr),
-        None => {
-            let idx = pre.index();
-            let graph = extract_ff_graph(&pre, &idx)?;
-            let a = match static_pre.as_ref().filter(|_| static_ok) {
-                Some(model) => assign_phases_weighted(&graph, &cfg.phase_cfg, &pre, model),
-                None => assign_phases(&graph, &cfg.phase_cfg),
-            };
-            let ilp = IlpSummary {
-                cost: a.cost,
-                optimal: a.optimal,
-                seconds: a.solve_seconds,
-                rung: a.rung,
-                status: a.status,
-                fallbacks: a.fallbacks,
-            };
-            let (tp, cr) = to_three_phase(&pre, &a)?;
-            (ilp, tp, cr)
-        }
+        None => match memo_get(Stage::Convert, k_conv) {
+            Some(StageData::Convert {
+                ilp,
+                netlist,
+                report,
+            }) => {
+                memo_conv = true;
+                (ilp, netlist, report)
+            }
+            _ => {
+                let idx = pre.index();
+                let graph = extract_ff_graph(&pre, &idx)?;
+                let a = match static_pre.as_ref().filter(|_| static_ok) {
+                    Some(model) => assign_phases_weighted(&graph, &cfg.phase_cfg, &pre, model),
+                    None => assign_phases(&graph, &cfg.phase_cfg),
+                };
+                let ilp = IlpOutcome {
+                    cost: a.cost,
+                    optimal: a.optimal,
+                    seconds: a.solve_seconds,
+                    rung: a.rung,
+                    status: a.status,
+                    fallbacks: a.fallbacks,
+                };
+                let (tp, cr) = to_three_phase(&pre, &a)?;
+                (ilp, tp, cr)
+            }
+        },
     };
+    let ilp_fresh = !restored_conv && !memo_conv;
+    if let (Some(o), Some(key)) = (observe.as_mut(), k_conv) {
+        o(StageObservation {
+            stage: Stage::Convert,
+            key,
+            hit: !ilp_fresh,
+        });
+    }
     if let Some(st) = &mut state {
         st.stage = Stage::Convert;
         st.ilp = Some(ilp.clone());
         st.convert = Some((tp.clone(), convert_report));
     }
-    if !have(Stage::Convert) {
-        stage_mark(Stage::Convert, state.as_ref())?;
+    if ilp_fresh {
+        let entry = memo.and(k_conv).map(|k| {
+            (
+                k,
+                StageData::Convert {
+                    ilp: ilp.clone(),
+                    netlist: tp.clone(),
+                    report: convert_report,
+                },
+            )
+        });
+        stage_mark(Stage::Convert, state.as_ref(), entry)?;
     }
     lint_checkpoint(
         linter.as_ref(),
@@ -639,28 +813,47 @@ fn run_flow_inner(
     let mut retime_report = None;
     if cfg.retime {
         let before = (cfg.equiv != EquivPolicy::Off).then(|| tp.clone());
+        let k_rt = keyed.then(|| checkpoint::stage_key(Stage::Retime, &tp, cfg, 0));
         let restored_rt = restored
             .as_ref()
             .filter(|st| st.stage >= Stage::Retime)
             .and_then(|st| st.retime.clone());
-        let rt_fresh = restored_rt.is_none();
+        let mut rt_fresh = restored_rt.is_none();
         match restored_rt {
             Some((rt, rr)) => {
                 tp = rt;
                 retime_report = Some(rr);
             }
-            None => {
-                let (rt, rr) = retime_three_phase(&tp, lib, cfg.retime_target_ratio)?;
-                tp = rt;
-                retime_report = Some(rr);
-            }
+            None => match memo_get(Stage::Retime, k_rt) {
+                Some(StageData::Retime(rt, rr)) => {
+                    rt_fresh = false;
+                    tp = rt;
+                    retime_report = Some(rr);
+                }
+                _ => {
+                    let (rt, rr) = retime_three_phase(&tp, lib, cfg.retime_target_ratio)?;
+                    tp = rt;
+                    retime_report = Some(rr);
+                }
+            },
+        }
+        if let (Some(o), Some(key)) = (observe.as_mut(), k_rt) {
+            o(StageObservation {
+                stage: Stage::Retime,
+                key,
+                hit: !rt_fresh,
+            });
         }
         if let Some(st) = &mut state {
             st.stage = Stage::Retime;
             st.retime = retime_report.clone().map(|r| (tp.clone(), r));
         }
         if rt_fresh {
-            stage_mark(Stage::Retime, state.as_ref())?;
+            let entry = match (memo.and(k_rt), &retime_report) {
+                (Some(k), Some(r)) => Some((k, StageData::Retime(tp.clone(), r.clone()))),
+                _ => None,
+            };
+            stage_mark(Stage::Retime, state.as_ref(), entry)?;
         }
         lint_checkpoint(
             linter.as_ref(),
@@ -679,73 +872,94 @@ fn run_flow_inner(
         }
     }
 
-    // Stage 4 — p2 clock gating.
+    // Stage 4 — p2 clock gating. The key folds in the flow's `static_ok`
+    // decision bit: it is computed on the *preprocessed* netlist, so two
+    // submissions whose gating inputs match but whose activity decisions
+    // differ must not share cache entries.
+    let k_cg =
+        keyed.then(|| checkpoint::stage_key(Stage::ClockGate, &tp, cfg, u64::from(static_ok)));
     let restored_cg = restored
         .as_ref()
         .filter(|st| st.stage >= Stage::ClockGate)
         .and_then(|st| st.clockgate.clone());
-    let cg_fresh = restored_cg.is_none();
+    let mut cg_fresh = restored_cg.is_none();
     let (tp, cg, convert_seconds) = match restored_cg {
         Some(section) => section,
-        None => {
-            let mut cg = CgReport::default();
-            if cfg.common_enable_cg {
-                let r = gate_p2_common_enable(&mut tp, cfg.cg_max_fanout)?;
-                cg.common_enable_gated = r.common_enable_gated;
-                cg.m1_cells = r.m1_cells;
+        None => match memo_get(Stage::ClockGate, k_cg) {
+            Some(StageData::ClockGate(gated, cg, secs)) => {
+                cg_fresh = false;
+                (gated, cg, secs)
             }
-            if cfg.m2 {
-                cg.m2_replaced = apply_m2(&mut tp)?;
-            }
-            if cfg.ddcg {
-                // Trial placement so DDCG groups can be formed spatially
-                // (each gated subtree must stay compact).
-                let trial = place_and_route(&tp, lib, &cfg.pnr)?;
-                // Zero-simulation candidate ranking from the static
-                // model, re-analyzed on the converted netlist; same
-                // Warn-style fallback to a measured profile.
-                let static_tp = (static_ok)
-                    .then(|| triphase_activity::analyze(&tp, &activity_opts).ok())
-                    .flatten()
-                    .filter(|m| {
-                        m.converged && m.correlation_rate() <= cfg.activity.max_correlation_rate
-                    });
-                let r = match &static_tp {
-                    Some(model) => apply_ddcg_static(
-                        &mut tp,
-                        model,
-                        cfg.ddcg_threshold,
-                        cfg.cg_max_fanout,
-                        Some(&trial.positions),
-                    )?,
-                    None => {
-                        let activity = drive(&tp, cfg.sim_cycles)?;
-                        crate::clockgate::apply_ddcg_placed(
+            _ => {
+                let mut cg = CgReport::default();
+                if cfg.common_enable_cg {
+                    let r = gate_p2_common_enable(&mut tp, cfg.cg_max_fanout)?;
+                    cg.common_enable_gated = r.common_enable_gated;
+                    cg.m1_cells = r.m1_cells;
+                }
+                if cfg.m2 {
+                    cg.m2_replaced = apply_m2(&mut tp)?;
+                }
+                if cfg.ddcg {
+                    // Trial placement so DDCG groups can be formed spatially
+                    // (each gated subtree must stay compact).
+                    let trial = place_and_route(&tp, lib, &cfg.pnr)?;
+                    // Zero-simulation candidate ranking from the static
+                    // model, re-analyzed on the converted netlist; same
+                    // Warn-style fallback to a measured profile.
+                    let static_tp = (static_ok)
+                        .then(|| triphase_activity::analyze(&tp, &activity_opts).ok())
+                        .flatten()
+                        .filter(|m| {
+                            m.converged && m.correlation_rate() <= cfg.activity.max_correlation_rate
+                        });
+                    let r = match &static_tp {
+                        Some(model) => apply_ddcg_static(
                             &mut tp,
-                            &activity,
+                            model,
                             cfg.ddcg_threshold,
                             cfg.cg_max_fanout,
                             Some(&trial.positions),
-                        )?
-                    }
-                };
-                cg.ddcg_groups = r.ddcg_groups;
-                cg.ddcg_gated = r.ddcg_gated;
+                        )?,
+                        None => {
+                            let activity = drive(&tp, cfg.sim_cycles)?;
+                            crate::clockgate::apply_ddcg_placed(
+                                &mut tp,
+                                &activity,
+                                cfg.ddcg_threshold,
+                                cfg.cg_max_fanout,
+                                Some(&trial.positions),
+                            )?
+                        }
+                    };
+                    cg.ddcg_groups = r.ddcg_groups;
+                    cg.ddcg_gated = r.ddcg_gated;
+                }
+                // Resumed stages did their solving in a previous process;
+                // only freshly spent ILP time is subtracted from this run's
+                // elapsed conversion time.
+                let ilp_in_elapsed = if ilp_fresh { ilp.seconds } else { 0.0 };
+                let secs = (t0.elapsed().as_secs_f64() - ilp_in_elapsed).max(0.0);
+                (tp.compact(), cg, secs)
             }
-            // Resumed stages did their solving in a previous process;
-            // only freshly spent ILP time is subtracted from this run's
-            // elapsed conversion time.
-            let ilp_in_elapsed = if ilp_fresh { ilp.seconds } else { 0.0 };
-            let secs = (t0.elapsed().as_secs_f64() - ilp_in_elapsed).max(0.0);
-            (tp.compact(), cg, secs)
-        }
+        },
     };
+    if let (Some(o), Some(key)) = (observe.as_mut(), k_cg) {
+        o(StageObservation {
+            stage: Stage::ClockGate,
+            key,
+            hit: !cg_fresh,
+        });
+    }
     if let Some(st) = &mut state {
         st.stage = Stage::ClockGate;
         st.clockgate = Some((tp.clone(), cg, convert_seconds));
     }
     if cg_fresh {
-        stage_mark(Stage::ClockGate, state.as_ref())?;
+        let entry = memo
+            .and(k_cg)
+            .map(|k| (k, StageData::ClockGate(tp.clone(), cg, convert_seconds)));
+        stage_mark(Stage::ClockGate, state.as_ref(), entry)?;
     }
     lint_checkpoint(
         linter.as_ref(),

@@ -54,7 +54,9 @@ mod flow;
 mod preprocess;
 mod retiming;
 
-pub use checkpoint::{CheckpointCfg, Stage};
+pub use checkpoint::{
+    fingerprint as flow_fingerprint, stage_key, CheckpointCfg, IlpOutcome, Stage,
+};
 pub use clockgate::{
     apply_ddcg, apply_ddcg_placed, apply_ddcg_static, apply_m2, gate_p2_common_enable, CgReport,
 };
@@ -62,8 +64,8 @@ pub use convert::{latch_phases, phase_census, to_master_slave, to_three_phase, C
 pub use error::{Error, Result};
 pub use ffgraph::{assign_phases, assign_phases_weighted, extract_ff_graph, Assignment, FfGraph};
 pub use flow::{
-    run_flow, run_flow_with, ActivityCfg, DfaPolicy, Drive, EquivPolicy, FlowConfig, FlowReport,
-    LintPolicy, SimBackend, VariantResult,
+    run_flow, run_flow_memo, run_flow_with, ActivityCfg, DfaPolicy, Drive, EquivPolicy, FlowConfig,
+    FlowReport, LintPolicy, SimBackend, StageData, StageMemo, StageObservation, VariantResult,
 };
 pub use preprocess::{gated_clock_style, PreprocessReport};
 pub use retiming::{retime_three_phase, RetimeReport};

@@ -1,0 +1,140 @@
+//! Blocking client for the daemon: frame-level connect/send/recv plus
+//! submit helpers. Used by the load generator and the integration
+//! tests; thin enough to double as wire documentation.
+
+use std::net::TcpStream;
+
+use triphase_core::FlowConfig;
+use triphase_netlist::{snapshot, Netlist};
+
+use crate::frame::{read_frame, write_frame, FrameError, MAX_FRAME_DEFAULT};
+use crate::json::Json;
+use crate::proto::config_json;
+
+/// A blocking connection to the daemon.
+pub struct Client {
+    stream: TcpStream,
+    max_frame: usize,
+}
+
+/// Client-side failure: a frame/transport error or an unparseable
+/// server frame.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport/framing failure.
+    Frame(FrameError),
+    /// The server sent a frame that is not valid JSON.
+    BadFrame(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Frame(e) => write!(f, "{e}"),
+            ClientError::BadFrame(e) => write!(f, "unparseable server frame: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> ClientError {
+        ClientError::Frame(e)
+    }
+}
+
+impl Client {
+    /// Connect to `addr` (e.g. the value of [`crate::Server::addr`]).
+    ///
+    /// # Errors
+    ///
+    /// Connection failure.
+    pub fn connect(addr: impl std::net::ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        Ok(Client {
+            stream,
+            max_frame: MAX_FRAME_DEFAULT,
+        })
+    }
+
+    /// Send one JSON frame.
+    ///
+    /// # Errors
+    ///
+    /// Transport failure.
+    pub fn send(&mut self, v: &Json) -> Result<(), ClientError> {
+        Ok(write_frame(&mut self.stream, &v.to_pretty())?)
+    }
+
+    /// Send one raw (possibly malformed) payload — negative tests.
+    ///
+    /// # Errors
+    ///
+    /// Transport failure.
+    pub fn send_raw(&mut self, payload: &str) -> Result<(), ClientError> {
+        Ok(write_frame(&mut self.stream, payload)?)
+    }
+
+    /// Receive one event frame.
+    ///
+    /// # Errors
+    ///
+    /// Transport failure or an unparseable frame.
+    pub fn recv(&mut self) -> Result<Json, ClientError> {
+        let text = read_frame(&mut self.stream, self.max_frame)?;
+        Json::parse(&text).map_err(ClientError::BadFrame)
+    }
+
+    /// Build the `submit` request frame for a batch of
+    /// (name, netlist, config) jobs.
+    pub fn submit_request(jobs: &[(&str, &Netlist, &FlowConfig)]) -> Json {
+        let mut req = Json::obj();
+        req.set("kind", Json::Str("submit".into()));
+        req.set(
+            "jobs",
+            Json::Arr(
+                jobs.iter()
+                    .map(|(name, nl, cfg)| {
+                        let mut j = Json::obj();
+                        j.set("name", Json::Str((*name).into()));
+                        j.set("netlist", Json::Str(snapshot::to_text(nl)));
+                        j.set("config", config_json(cfg));
+                        j
+                    })
+                    .collect(),
+            ),
+        );
+        req
+    }
+
+    /// Submit one job and block until its `done` event, returning the
+    /// streamed `stage` events and the `done` event.
+    ///
+    /// # Errors
+    ///
+    /// Transport failure, an unparseable frame, or a server-side
+    /// protocol error (`error` event) surfaced as [`ClientError::BadFrame`].
+    pub fn convert(
+        &mut self,
+        name: &str,
+        nl: &Netlist,
+        cfg: &FlowConfig,
+    ) -> Result<(Vec<Json>, Json), ClientError> {
+        self.send(&Client::submit_request(&[(name, nl, cfg)]))?;
+        let mut stages = Vec::new();
+        loop {
+            let event = self.recv()?;
+            match event.get("event").and_then(Json::as_str) {
+                Some("ack") => {}
+                Some("stage") => stages.push(event),
+                Some("done") => return Ok((stages, event)),
+                Some("error") => {
+                    return Err(ClientError::BadFrame(event.to_pretty()));
+                }
+                _ => {}
+            }
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! The conversion engine a worker runs per job: report-cache check,
+//! then the memoized flow, with per-stage cache provenance emitted as
+//! the stages resolve.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use triphase_cells::Library;
+use triphase_core::{run_flow_memo, FlowConfig, FlowReport};
+use triphase_netlist::Netlist;
+
+use crate::memo::{report_key, MemoStore};
+
+/// Provenance of one resolved unit of work: a flow stage, or the
+/// whole-report tier (`stage == "report"`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageProv {
+    /// `"preprocess"`, `"convert"`, `"retime"`, `"clockgate"`, or
+    /// `"report"` for the whole-report cache tier.
+    pub stage: &'static str,
+    /// The memoization key that was looked up.
+    pub key: u64,
+    /// Whether the lookup was answered from the cache.
+    pub hit: bool,
+    /// Wall-clock milliseconds until this unit resolved.
+    pub millis: u64,
+}
+
+/// A shared, thread-safe conversion engine: one cell library plus the
+/// two-tier [`MemoStore`]. Workers call [`Engine::run`] concurrently.
+pub struct Engine {
+    lib: Library,
+    memo: MemoStore,
+    fault: Option<triphase_fault::SharedInjector>,
+}
+
+impl Engine {
+    /// Create an engine with the synthetic 28 nm library and a memo
+    /// store holding `memo_capacity` entries per tier.
+    pub fn new(memo_capacity: usize) -> Engine {
+        Engine {
+            lib: Library::synthetic_28nm(),
+            memo: MemoStore::new(memo_capacity),
+            fault: None,
+        }
+    }
+
+    /// Install a fault-injection plan forced into every job's flow
+    /// (test-only: lets integration tests kill a worker mid-job).
+    pub fn with_fault(mut self, fault: triphase_fault::SharedInjector) -> Engine {
+        self.fault = Some(fault);
+        self
+    }
+
+    /// The shared memo store (for status counters).
+    pub fn memo(&self) -> &MemoStore {
+        &self.memo
+    }
+
+    /// Convert one design. The request's config is taken as-is except
+    /// that the fault and checkpoint hooks are forced from the engine —
+    /// the wire cannot reach them. `emit` receives cache provenance in
+    /// resolution order: the `"report"` tier first, then (on a report
+    /// miss) each flow stage as it resolves.
+    ///
+    /// # Errors
+    ///
+    /// Any flow error ([`triphase_core::Error`]); the caller maps it to
+    /// a typed `done` event via [`crate::proto::error_code`].
+    pub fn run(
+        &self,
+        nl: &Netlist,
+        cfg: &FlowConfig,
+        emit: &mut dyn FnMut(&StageProv),
+    ) -> triphase_core::Result<Arc<FlowReport>> {
+        let mut cfg = cfg.clone();
+        cfg.fault = self.fault.clone();
+        cfg.checkpoint = None;
+        let start = Instant::now();
+        let rkey = report_key(nl, &cfg);
+        if let Some(report) = self.memo.get_report(rkey) {
+            emit(&StageProv {
+                stage: "report",
+                key: rkey,
+                hit: true,
+                millis: start.elapsed().as_millis() as u64,
+            });
+            return Ok(report);
+        }
+        emit(&StageProv {
+            stage: "report",
+            key: rkey,
+            hit: false,
+            millis: start.elapsed().as_millis() as u64,
+        });
+        let mut last = Instant::now();
+        let mut observe = |obs: triphase_core::StageObservation| {
+            emit(&StageProv {
+                stage: obs.stage.name(),
+                key: obs.key,
+                hit: obs.hit,
+                millis: last.elapsed().as_millis() as u64,
+            });
+            last = Instant::now();
+        };
+        let report = Arc::new(run_flow_memo(
+            nl,
+            &self.lib,
+            &cfg,
+            &self.memo,
+            &mut observe,
+        )?);
+        self.memo.put_report(rkey, Arc::clone(&report));
+        Ok(report)
+    }
+}

@@ -1,0 +1,191 @@
+//! Length-framed wire format: every message is a 4-byte big-endian
+//! payload length followed by that many bytes of UTF-8 JSON.
+//!
+//! Framing errors are typed so the server can distinguish a cleanly
+//! closed connection ([`FrameError::Closed`]) from a torn one
+//! ([`FrameError::Truncated`]) and from an oversized frame it refuses to
+//! buffer ([`FrameError::TooLarge`] — answered with a protocol error
+//! before the connection closes). Nothing in this module panics on
+//! malformed input.
+
+use std::io::{ErrorKind, Read, Write};
+
+/// Default per-frame payload cap (16 MiB): large enough for a
+/// million-gate netlist snapshot, small enough that a hostile length
+/// prefix cannot balloon server memory.
+pub const MAX_FRAME_DEFAULT: usize = 16 * 1024 * 1024;
+
+/// Why a frame could not be read or written.
+#[derive(Debug)]
+pub enum FrameError {
+    /// Underlying transport error.
+    Io(std::io::Error),
+    /// The peer closed the connection at a frame boundary (normal EOF).
+    Closed,
+    /// The connection died mid-frame: `got` of `expected` bytes arrived.
+    Truncated {
+        /// Bytes the frame header promised (or 4, for the header itself).
+        expected: usize,
+        /// Bytes actually received before EOF.
+        got: usize,
+    },
+    /// The length prefix exceeds the configured cap.
+    TooLarge {
+        /// Announced payload length.
+        len: usize,
+        /// Configured maximum.
+        max: usize,
+    },
+    /// The payload is not valid UTF-8.
+    Utf8(std::string::FromUtf8Error),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "frame i/o: {e}"),
+            FrameError::Closed => write!(f, "connection closed"),
+            FrameError::Truncated { expected, got } => {
+                write!(f, "truncated frame: got {got} of {expected} bytes")
+            }
+            FrameError::TooLarge { len, max } => {
+                write!(f, "frame of {len} bytes exceeds the {max}-byte cap")
+            }
+            FrameError::Utf8(e) => write!(f, "frame is not UTF-8: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Write one frame (length prefix + payload) and flush.
+///
+/// # Errors
+///
+/// [`FrameError::TooLarge`] when the payload exceeds `u32::MAX` bytes;
+/// [`FrameError::Io`] on transport failure.
+pub fn write_frame(w: &mut impl Write, payload: &str) -> Result<(), FrameError> {
+    let Ok(len) = u32::try_from(payload.len()) else {
+        return Err(FrameError::TooLarge {
+            len: payload.len(),
+            max: u32::MAX as usize,
+        });
+    };
+    w.write_all(&len.to_be_bytes()).map_err(FrameError::Io)?;
+    w.write_all(payload.as_bytes()).map_err(FrameError::Io)?;
+    w.flush().map_err(FrameError::Io)
+}
+
+/// Read exactly `buf.len()` bytes, reporting clean EOF at offset 0 as
+/// `Closed` and EOF anywhere later as `Truncated`.
+fn read_exact_or(r: &mut impl Read, buf: &mut [u8]) -> Result<(), FrameError> {
+    let expected = buf.len();
+    let mut got = 0;
+    while got < expected {
+        match r.read(&mut buf[got..]) {
+            Ok(0) => {
+                return Err(if got == 0 {
+                    FrameError::Closed
+                } else {
+                    FrameError::Truncated { expected, got }
+                })
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    Ok(())
+}
+
+/// Read one frame, enforcing the `max` payload cap before allocating.
+///
+/// # Errors
+///
+/// See [`FrameError`]; a `TooLarge` error leaves the unread payload in
+/// the stream, so callers should close the connection after answering.
+pub fn read_frame(r: &mut impl Read, max: usize) -> Result<String, FrameError> {
+    let mut header = [0u8; 4];
+    read_exact_or(r, &mut header)?;
+    let len = u32::from_be_bytes(header) as usize;
+    if len > max {
+        return Err(FrameError::TooLarge { len, max });
+    }
+    let mut payload = vec![0u8; len];
+    match read_exact_or(r, &mut payload) {
+        Ok(()) => {}
+        // EOF at payload offset 0 is still mid-frame: the header arrived.
+        Err(FrameError::Closed) => {
+            return Err(FrameError::Truncated {
+                expected: len,
+                got: 0,
+            })
+        }
+        Err(e) => return Err(e),
+    }
+    String::from_utf8(payload).map_err(FrameError::Utf8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn framed(payload: &str) -> Vec<u8> {
+        let mut out = Vec::new();
+        write_frame(&mut out, payload).expect("write");
+        out
+    }
+
+    #[test]
+    fn round_trip() {
+        let bytes = framed("{\"kind\":\"status\"}");
+        let mut cur = Cursor::new(bytes);
+        assert_eq!(
+            read_frame(&mut cur, MAX_FRAME_DEFAULT).expect("read"),
+            "{\"kind\":\"status\"}"
+        );
+        // The stream is now at a frame boundary: clean EOF.
+        assert!(matches!(
+            read_frame(&mut cur, MAX_FRAME_DEFAULT),
+            Err(FrameError::Closed)
+        ));
+    }
+
+    #[test]
+    fn truncation_is_typed_at_every_cut() {
+        let bytes = framed("hello frames");
+        for cut in 1..bytes.len() {
+            let mut cur = Cursor::new(bytes[..cut].to_vec());
+            assert!(
+                matches!(
+                    read_frame(&mut cur, MAX_FRAME_DEFAULT),
+                    Err(FrameError::Truncated { .. })
+                ),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_header_is_rejected_before_allocation() {
+        let mut bytes = u32::MAX.to_be_bytes().to_vec();
+        bytes.extend_from_slice(b"x");
+        let mut cur = Cursor::new(bytes);
+        assert!(matches!(
+            read_frame(&mut cur, 1024),
+            Err(FrameError::TooLarge { len, max: 1024 }) if len == u32::MAX as usize
+        ));
+    }
+
+    #[test]
+    fn non_utf8_payload_is_typed() {
+        let mut bytes = 2u32.to_be_bytes().to_vec();
+        bytes.extend_from_slice(&[0xff, 0xfe]);
+        let mut cur = Cursor::new(bytes);
+        assert!(matches!(
+            read_frame(&mut cur, 1024),
+            Err(FrameError::Utf8(_))
+        ));
+    }
+}

@@ -1,0 +1,217 @@
+//! Two-tier memoization store shared by all workers.
+//!
+//! Tier 1 — **stage cache**: keyed on [`triphase_core::stage_key`]
+//! (fingerprint of the stage's *input* netlist plus exactly the config
+//! fields that stage reads). An edited netlist resubmission therefore
+//! replays cached results up to the first divergent stage and only
+//! recomputes from there; an untouched prefix is bit-exact because the
+//! cached [`StageData`] *is* the value the fresh computation would have
+//! produced (the flow is deterministic given seed).
+//!
+//! Tier 2 — **report cache**: keyed on [`report_key`], the whole-flow
+//! fingerprint extended with the fields the flow fingerprint
+//! deliberately ignores (check policies, equivalence depth, simulation
+//! backend). An identical resubmission skips the flow entirely —
+//! including the three variant evaluations the stage cache cannot
+//! cover — which is what makes a warm-cache resubmission an order of
+//! magnitude faster than a cold run.
+//!
+//! Both tiers evict in insertion order once over capacity, and both
+//! count hits/misses for the `status` event.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Mutex};
+
+use triphase_core::{FlowConfig, FlowReport, Stage, StageData, StageMemo};
+use triphase_fault::fnv1a64;
+use triphase_netlist::Netlist;
+
+/// Whole-report cache key: the flow fingerprint (netlist + every
+/// result-shaping config field) extended with the knobs the fingerprint
+/// excludes because they only *check* rather than shape the netlist —
+/// they still shape the `FlowReport`, so the report cache must key on
+/// them.
+pub fn report_key(nl: &Netlist, cfg: &FlowConfig) -> u64 {
+    let base = triphase_core::flow_fingerprint(nl, cfg);
+    let mut s = format!("report {base:016x} ");
+    use std::fmt::Write;
+    let _ = write!(
+        s,
+        "lint {:?} equiv {:?} dfa {:?} cycles {} backend {}",
+        cfg.lint,
+        cfg.equiv,
+        cfg.dfa,
+        cfg.equiv_cycles,
+        cfg.sim_backend.label()
+    );
+    fnv1a64(s.as_bytes())
+}
+
+/// Hit/miss counters for one cache tier.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TierStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to computation.
+    pub misses: u64,
+    /// Entries currently held.
+    pub entries: usize,
+}
+
+struct Tier<V> {
+    map: HashMap<u64, V>,
+    order: VecDeque<u64>,
+    hits: u64,
+    misses: u64,
+}
+
+impl<V> Default for Tier<V> {
+    fn default() -> Self {
+        Tier {
+            map: HashMap::new(),
+            order: VecDeque::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+}
+
+impl<V: Clone> Tier<V> {
+    fn get(&mut self, key: u64) -> Option<V> {
+        let v = self.map.get(&key).cloned();
+        if v.is_some() {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+        }
+        v
+    }
+
+    fn put(&mut self, key: u64, value: V, capacity: usize) {
+        if self.map.insert(key, value).is_none() {
+            self.order.push_back(key);
+        }
+        while self.order.len() > capacity {
+            if let Some(old) = self.order.pop_front() {
+                self.map.remove(&old);
+            }
+        }
+    }
+
+    fn stats(&self) -> TierStats {
+        TierStats {
+            hits: self.hits,
+            misses: self.misses,
+            entries: self.map.len(),
+        }
+    }
+}
+
+struct Inner {
+    stages: Tier<StageData>,
+    reports: Tier<Arc<FlowReport>>,
+}
+
+/// The shared store. Cheap to clone ([`Arc`] inside); implements
+/// [`StageMemo`] so it can be handed straight to
+/// [`triphase_core::run_flow_memo`].
+#[derive(Clone)]
+pub struct MemoStore {
+    inner: Arc<Mutex<Inner>>,
+    capacity: usize,
+}
+
+impl MemoStore {
+    /// Create a store holding at most `capacity` entries per tier.
+    pub fn new(capacity: usize) -> MemoStore {
+        MemoStore {
+            inner: Arc::new(Mutex::new(Inner {
+                stages: Tier::default(),
+                reports: Tier::default(),
+            })),
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        // A poisoned lock only means another worker panicked mid-insert;
+        // the map itself is never left in a torn state by Tier's methods.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Look up a whole cached report.
+    pub fn get_report(&self, key: u64) -> Option<Arc<FlowReport>> {
+        self.lock().reports.get(key)
+    }
+
+    /// Record a finished report.
+    pub fn put_report(&self, key: u64, report: Arc<FlowReport>) {
+        let capacity = self.capacity;
+        self.lock().reports.put(key, report, capacity);
+    }
+
+    /// Current counters: (stage tier, report tier).
+    pub fn stats(&self) -> (TierStats, TierStats) {
+        let inner = self.lock();
+        (inner.stages.stats(), inner.reports.stats())
+    }
+}
+
+impl StageMemo for MemoStore {
+    fn lookup(&self, _stage: Stage, key: u64) -> Option<StageData> {
+        self.lock().stages.get(key)
+    }
+
+    fn record(&self, _stage: Stage, key: u64, data: &StageData) {
+        let capacity = self.capacity;
+        self.lock().stages.put(key, data.clone(), capacity);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use triphase_core::{DfaPolicy, LintPolicy};
+
+    #[test]
+    fn report_key_sees_policy_fields_the_flow_fingerprint_ignores() {
+        let nl = Netlist::new("k");
+        let base = FlowConfig::default();
+        let lint = FlowConfig {
+            lint: LintPolicy::Deny,
+            ..base.clone()
+        };
+        let dfa = FlowConfig {
+            dfa: DfaPolicy::Off,
+            ..base.clone()
+        };
+        let cycles = FlowConfig {
+            equiv_cycles: base.equiv_cycles + 1,
+            ..base.clone()
+        };
+        assert_eq!(
+            triphase_core::flow_fingerprint(&nl, &base),
+            triphase_core::flow_fingerprint(&nl, &lint),
+            "precondition: flow fingerprint ignores lint policy"
+        );
+        let k0 = report_key(&nl, &base);
+        assert_ne!(k0, report_key(&nl, &lint));
+        assert_ne!(k0, report_key(&nl, &dfa));
+        assert_ne!(k0, report_key(&nl, &cycles));
+        assert_eq!(k0, report_key(&nl, &base.clone()));
+    }
+
+    #[test]
+    fn tiers_evict_in_insertion_order() {
+        let mut t: Tier<u32> = Tier::default();
+        for k in 0..4 {
+            t.put(k, k as u32, 2);
+        }
+        assert_eq!(t.get(0), None);
+        assert_eq!(t.get(1), None);
+        assert_eq!(t.get(2), Some(2));
+        assert_eq!(t.get(3), Some(3));
+        let s = t.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (2, 2, 2));
+    }
+}

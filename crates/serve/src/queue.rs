@@ -1,0 +1,105 @@
+//! Async job queue: submissions enqueue here, the worker pool pops.
+//!
+//! A plain FIFO under a mutex + condvar. Workers block in [`JobQueue::pop`]
+//! until a job arrives or the queue is stopped; stopping wakes everyone
+//! and drains to `None` so the pool can join.
+
+use std::collections::VecDeque;
+use std::sync::mpsc::Sender;
+use std::sync::{Arc, Condvar, Mutex};
+
+use triphase_core::FlowConfig;
+use triphase_netlist::Netlist;
+
+/// One unit of queued work: a parsed job plus the channel its progress
+/// and completion events are streamed to (the submitting connection's
+/// writer).
+pub struct Job {
+    /// Server-assigned id, unique per daemon lifetime.
+    pub id: u64,
+    /// Client-chosen display name.
+    pub name: String,
+    /// The design to convert.
+    pub netlist: Netlist,
+    /// Flow configuration.
+    pub cfg: FlowConfig,
+    /// Echo the final 3-phase snapshot in the `done` event.
+    pub return_netlist: bool,
+    /// Serialized event frames go here; a closed receiver (client went
+    /// away) silently drops the job's remaining events.
+    pub reply: Sender<String>,
+}
+
+struct State {
+    jobs: VecDeque<Job>,
+    stopped: bool,
+}
+
+/// The shared FIFO. Cheap to clone.
+#[derive(Clone)]
+pub struct JobQueue {
+    state: Arc<(Mutex<State>, Condvar)>,
+}
+
+impl JobQueue {
+    /// Create an empty queue.
+    pub fn new() -> JobQueue {
+        JobQueue {
+            state: Arc::new((
+                Mutex::new(State {
+                    jobs: VecDeque::new(),
+                    stopped: false,
+                }),
+                Condvar::new(),
+            )),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, State> {
+        self.state.0.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Enqueue a job; returns `false` (job dropped) after [`JobQueue::stop`].
+    pub fn push(&self, job: Job) -> bool {
+        let mut st = self.lock();
+        if st.stopped {
+            return false;
+        }
+        st.jobs.push_back(job);
+        drop(st);
+        self.state.1.notify_one();
+        true
+    }
+
+    /// Block until a job is available; `None` once stopped and drained.
+    pub fn pop(&self) -> Option<Job> {
+        let mut st = self.lock();
+        loop {
+            if let Some(job) = st.jobs.pop_front() {
+                return Some(job);
+            }
+            if st.stopped {
+                return None;
+            }
+            st = self.state.1.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Jobs currently waiting (excludes jobs already on a worker).
+    pub fn depth(&self) -> usize {
+        self.lock().jobs.len()
+    }
+
+    /// Stop the queue: queued jobs still drain, new pushes are refused,
+    /// and blocked workers wake with `None` once the FIFO empties.
+    pub fn stop(&self) {
+        self.lock().stopped = true;
+        self.state.1.notify_all();
+    }
+}
+
+impl Default for JobQueue {
+    fn default() -> Self {
+        JobQueue::new()
+    }
+}

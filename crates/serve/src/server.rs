@@ -1,0 +1,303 @@
+//! The TCP daemon: accept loop, per-connection reader/writer threads,
+//! and the runner pool draining the [`JobQueue`].
+//!
+//! Threading model:
+//!
+//! - one **accept** thread polls the listener until [`Server::stop`];
+//! - each connection gets a **reader** thread (parses request frames,
+//!   answers control requests inline, enqueues submit jobs) and a
+//!   **writer** thread draining an `mpsc` channel of serialized event
+//!   frames — so runners stream progress to a client without ever
+//!   touching its socket directly, and interleaved jobs from one
+//!   connection cannot tear each other's frames;
+//! - `workers` **runner** threads pop jobs and run the conversion
+//!   engine. Each flow run internally fans its three variant
+//!   evaluations onto the shared [`triphase_par`] work-stealing pool,
+//!   so a large batch shards across every core even when `workers` is
+//!   small, and a single job still parallelizes on an idle server.
+//!
+//! Runner panics are contained per job: the panic is caught, reported
+//! as a typed `done` event (`code: "panic"`), and the runner moves on.
+//! Because memo-hit stages are recorded *before* a stage's fault site
+//! fires, a job killed mid-flow can be resubmitted and will replay the
+//! completed prefix from the stage cache, resuming from where it died.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use triphase_netlist::snapshot;
+
+use crate::engine::{Engine, StageProv};
+use crate::frame::{read_frame, write_frame, FrameError, MAX_FRAME_DEFAULT};
+use crate::json::Json;
+use crate::proto::{self, ProtoError, Request};
+use crate::queue::{Job, JobQueue};
+
+/// Daemon configuration.
+pub struct ServerOptions {
+    /// Bind address; port 0 picks an ephemeral port (see [`Server::addr`]).
+    pub addr: String,
+    /// Runner threads; 0 means [`triphase_par::default_threads`].
+    pub workers: usize,
+    /// Per-frame payload cap in bytes.
+    pub max_frame: usize,
+    /// Memo-store capacity per cache tier.
+    pub memo_capacity: usize,
+    /// Fault-injection plan forced into every job (test-only).
+    pub fault: Option<triphase_fault::SharedInjector>,
+}
+
+impl Default for ServerOptions {
+    fn default() -> Self {
+        ServerOptions {
+            addr: "127.0.0.1:0".into(),
+            workers: 0,
+            max_frame: MAX_FRAME_DEFAULT,
+            memo_capacity: 4096,
+            fault: None,
+        }
+    }
+}
+
+struct Ctx {
+    queue: JobQueue,
+    engine: Engine,
+    stop: AtomicBool,
+    next_id: AtomicU64,
+    jobs_done: AtomicU64,
+    workers: usize,
+    max_frame: usize,
+}
+
+/// A running daemon. Dropping the handle does not stop the server;
+/// call [`Server::stop`] then [`Server::wait`].
+pub struct Server {
+    addr: SocketAddr,
+    ctx: Arc<Ctx>,
+    handles: Vec<thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind, spawn the accept thread and the runner pool, and return.
+    ///
+    /// # Errors
+    ///
+    /// Bind/listen failures.
+    pub fn start(opts: ServerOptions) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&opts.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let workers = if opts.workers == 0 {
+            triphase_par::default_threads()
+        } else {
+            opts.workers
+        };
+        let mut engine = Engine::new(opts.memo_capacity);
+        if let Some(fault) = opts.fault {
+            engine = engine.with_fault(fault);
+        }
+        let ctx = Arc::new(Ctx {
+            queue: JobQueue::new(),
+            engine,
+            stop: AtomicBool::new(false),
+            next_id: AtomicU64::new(1),
+            jobs_done: AtomicU64::new(0),
+            workers,
+            max_frame: opts.max_frame,
+        });
+        let mut handles = Vec::with_capacity(workers + 1);
+        for _ in 0..workers {
+            let ctx = Arc::clone(&ctx);
+            handles.push(thread::spawn(move || runner_loop(&ctx)));
+        }
+        {
+            let ctx = Arc::clone(&ctx);
+            handles.push(thread::spawn(move || accept_loop(&listener, &ctx)));
+        }
+        Ok(Server { addr, ctx, handles })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Shared memo-store counters: (stage tier, report tier).
+    pub fn memo_stats(&self) -> (crate::memo::TierStats, crate::memo::TierStats) {
+        self.ctx.engine.memo().stats()
+    }
+
+    /// Signal shutdown: the accept loop exits, queued jobs drain, and
+    /// runners stop once the queue empties.
+    pub fn stop(&self) {
+        self.ctx.stop.store(true, Ordering::SeqCst);
+        self.ctx.queue.stop();
+    }
+
+    /// Join the accept thread and the runner pool, returning the final
+    /// cache counters. Connection threads are not joined — they exit
+    /// when their client disconnects.
+    pub fn wait(self) -> (crate::memo::TierStats, crate::memo::TierStats) {
+        for h in self.handles {
+            let _ = h.join();
+        }
+        self.ctx.engine.memo().stats()
+    }
+}
+
+fn accept_loop(listener: &TcpListener, ctx: &Arc<Ctx>) {
+    while !ctx.stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let ctx = Arc::clone(ctx);
+                thread::spawn(move || connection(stream, &ctx));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+fn send_json(tx: &Sender<String>, v: &Json) {
+    // A closed receiver means the client went away; drop silently.
+    let _ = tx.send(v.to_pretty());
+}
+
+fn connection(stream: TcpStream, ctx: &Arc<Ctx>) {
+    let _ = stream.set_nodelay(true);
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let (tx, rx) = channel::<String>();
+    let writer = thread::spawn(move || {
+        let mut w = std::io::BufWriter::new(write_half);
+        for frame in rx {
+            if write_frame(&mut w, &frame).is_err() {
+                break;
+            }
+        }
+    });
+    reader_loop(stream, ctx, &tx);
+    drop(tx);
+    let _ = writer.join();
+}
+
+fn reader_loop(mut stream: TcpStream, ctx: &Arc<Ctx>, tx: &Sender<String>) {
+    loop {
+        let text = match read_frame(&mut stream, ctx.max_frame) {
+            Ok(text) => text,
+            Err(FrameError::TooLarge { len, max }) => {
+                // The oversized payload is still in flight: answer, then
+                // close — the stream can no longer be framed.
+                let e = ProtoError {
+                    code: "frame_too_large",
+                    message: format!("frame of {len} bytes exceeds the {max}-byte cap"),
+                };
+                send_json(tx, &e.event());
+                return;
+            }
+            Err(FrameError::Utf8(e)) => {
+                // Payload fully consumed, stream still frame-aligned.
+                let e = ProtoError {
+                    code: "bad_frame",
+                    message: format!("frame is not UTF-8: {e}"),
+                };
+                send_json(tx, &e.event());
+                continue;
+            }
+            Err(_) => return,
+        };
+        match proto::parse_request(&text) {
+            Ok(Request::Submit(jobs)) => {
+                let ids: Vec<u64> = jobs
+                    .iter()
+                    .map(|_| ctx.next_id.fetch_add(1, Ordering::SeqCst))
+                    .collect();
+                send_json(tx, &proto::ack_event(&ids));
+                for (id, j) in ids.into_iter().zip(jobs) {
+                    let queued = ctx.queue.push(Job {
+                        id,
+                        name: j.name.clone(),
+                        netlist: j.netlist,
+                        cfg: j.cfg,
+                        return_netlist: j.return_netlist,
+                        reply: tx.clone(),
+                    });
+                    if !queued {
+                        send_json(
+                            tx,
+                            &proto::done_err(id, &j.name, "shutdown", "server is stopping"),
+                        );
+                    }
+                }
+            }
+            Ok(Request::Status) => {
+                let (stage, report) = ctx.engine.memo().stats();
+                send_json(
+                    tx,
+                    &proto::status_event(
+                        ctx.queue.depth(),
+                        ctx.workers,
+                        ctx.jobs_done.load(Ordering::SeqCst),
+                        stage,
+                        report,
+                    ),
+                );
+            }
+            Ok(Request::Ping) => send_json(tx, &proto::pong_event()),
+            Ok(Request::Shutdown) => {
+                send_json(tx, &proto::bye_event());
+                ctx.stop.store(true, Ordering::SeqCst);
+                ctx.queue.stop();
+                return;
+            }
+            Err(e) => send_json(tx, &e.event()),
+        }
+    }
+}
+
+fn runner_loop(ctx: &Arc<Ctx>) {
+    while let Some(job) = ctx.queue.pop() {
+        run_job(ctx, &job);
+        ctx.jobs_done.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+fn run_job(ctx: &Arc<Ctx>, job: &Job) {
+    let mut prov: Vec<StageProv> = Vec::new();
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let mut emit = |p: &StageProv| {
+            prov.push(p.clone());
+            send_json(
+                &job.reply,
+                &proto::stage_event(job.id, p.stage, p.key, p.hit, p.millis),
+            );
+        };
+        ctx.engine.run(&job.netlist, &job.cfg, &mut emit)
+    }));
+    let done = match result {
+        Ok(Ok(report)) => {
+            let text = job
+                .return_netlist
+                .then(|| snapshot::to_text(&report.three_phase.netlist));
+            proto::done_ok(job.id, &job.name, &report, &prov, text.as_deref())
+        }
+        Ok(Err(e)) => proto::done_err(job.id, &job.name, proto::error_code(&e), &e.to_string()),
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+                .unwrap_or_else(|| "worker panicked".into());
+            proto::done_err(job.id, &job.name, "panic", &msg)
+        }
+    };
+    send_json(&job.reply, &done);
+}

@@ -1,0 +1,260 @@
+//! Property tests for the memoization keys.
+//!
+//! The cache is only sound if a key collision implies an identical
+//! stage result and only useful if irrelevant edits don't shift keys:
+//!
+//! - keys are invariant under re-serialization and whitespace-
+//!   equivalent Verilog (the key hashes the canonical snapshot, not the
+//!   bytes the client happened to send);
+//! - every config field a stage reads moves that stage's key — and
+//!   only that stage's;
+//! - any netlist content change moves every key;
+//! - over the wire, a config edit re-runs only stages at/after the
+//!   first divergent fingerprint, asserted via stage-replay provenance.
+
+use triphase_circuits::pipeline::linear_pipeline;
+use triphase_core::{stage_key, FlowConfig, Stage};
+use triphase_netlist::{snapshot, verilog, Netlist};
+use triphase_serve::{report_key, Client, Json, Server, ServerOptions};
+
+const STAGES: [Stage; 4] = [
+    Stage::Preprocess,
+    Stage::Convert,
+    Stage::Retime,
+    Stage::ClockGate,
+];
+
+fn all_keys(nl: &Netlist, cfg: &FlowConfig) -> Vec<(Stage, u64)> {
+    STAGES
+        .iter()
+        .map(|&s| (s, stage_key(s, nl, cfg, 0)))
+        .collect()
+}
+
+#[test]
+fn keys_invariant_under_reserialization_and_whitespace() {
+    let nl = linear_pipeline(3, 4, 1, 900.0);
+    let cfg = FlowConfig::default();
+
+    // Snapshot round-trip: parse(to_text(nl)) is the wire path.
+    let rt = snapshot::from_text(&snapshot::to_text(&nl)).expect("snapshot round-trip");
+    assert_eq!(all_keys(&nl, &cfg), all_keys(&rt, &cfg));
+    assert_eq!(report_key(&nl, &cfg), report_key(&rt, &cfg));
+
+    // Whitespace-equivalent Verilog: same design, different bytes.
+    let v = verilog::to_verilog(&nl);
+    let spaced = v
+        .replace(";\n", ";\n\n")
+        .replace(", ", ",  ")
+        .replace(" (", "  (");
+    assert_ne!(v, spaced, "the reformat must actually change the text");
+    let a = verilog::from_verilog(&v).expect("verilog parses");
+    let b = verilog::from_verilog(&spaced).expect("spaced verilog parses");
+    assert_eq!(all_keys(&a, &cfg), all_keys(&b, &cfg));
+}
+
+#[test]
+fn each_config_field_moves_exactly_the_stages_that_read_it() {
+    let nl = linear_pipeline(3, 4, 1, 900.0);
+    let base = FlowConfig::default();
+    let base_keys = all_keys(&nl, &base);
+
+    // (edited config, stages whose key must move)
+    let cases: Vec<(&str, FlowConfig, Vec<Stage>)> = vec![
+        (
+            "ddcg_threshold",
+            FlowConfig {
+                ddcg_threshold: 0.5,
+                ..base.clone()
+            },
+            vec![Stage::ClockGate],
+        ),
+        (
+            "retime_target_ratio",
+            FlowConfig {
+                retime_target_ratio: 0.75,
+                ..base.clone()
+            },
+            vec![Stage::Retime],
+        ),
+        (
+            "cg_max_fanout",
+            FlowConfig {
+                cg_max_fanout: 8,
+                ..base.clone()
+            },
+            vec![Stage::Preprocess, Stage::ClockGate],
+        ),
+        (
+            "seed",
+            FlowConfig {
+                seed: 99,
+                ..base.clone()
+            },
+            vec![Stage::ClockGate],
+        ),
+        (
+            "ilp_max_vars",
+            {
+                let mut c = base.clone();
+                c.phase_cfg.ilp_max_vars = 7;
+                c
+            },
+            vec![Stage::Convert],
+        ),
+        (
+            "activity.cut_budget",
+            {
+                let mut c = base.clone();
+                c.activity.cut_budget += 1;
+                c
+            },
+            vec![Stage::Convert, Stage::ClockGate],
+        ),
+    ];
+    for (field, cfg, moved) in cases {
+        let keys = all_keys(&nl, &cfg);
+        for ((stage, k0), (_, k1)) in base_keys.iter().zip(&keys) {
+            if moved.contains(stage) {
+                assert_ne!(k0, k1, "{field} must move the {} key", stage.name());
+            } else {
+                assert_eq!(k0, k1, "{field} must not move the {} key", stage.name());
+            }
+        }
+    }
+
+    // Policy knobs shape the report but not the netlist artifacts: they
+    // move the report key while every stage key stays put.
+    let policy = FlowConfig {
+        lint: triphase_core::LintPolicy::Deny,
+        equiv_cycles: base.equiv_cycles + 8,
+        ..base.clone()
+    };
+    assert_eq!(base_keys, all_keys(&nl, &policy));
+    assert_ne!(report_key(&nl, &base), report_key(&nl, &policy));
+}
+
+#[test]
+fn any_netlist_edit_moves_every_key() {
+    let cfg = FlowConfig::default();
+    let a = linear_pipeline(3, 4, 1, 900.0);
+    let b = linear_pipeline(3, 5, 1, 900.0);
+    for ((stage, ka), (_, kb)) in all_keys(&a, &cfg).iter().zip(&all_keys(&b, &cfg)) {
+        assert_ne!(ka, kb, "content edit must move the {} key", stage.name());
+    }
+    assert_ne!(report_key(&a, &cfg), report_key(&b, &cfg));
+
+    // The `extra` discriminator (ClockGate folds in the static-activity
+    // health bit) separates otherwise-identical inputs.
+    assert_ne!(
+        stage_key(Stage::ClockGate, &a, &cfg, 0),
+        stage_key(Stage::ClockGate, &a, &cfg, 1)
+    );
+}
+
+/// Over the wire: a config edit re-runs only stages at/after the first
+/// divergent fingerprint; everything before replays from the memo.
+#[test]
+fn edited_resubmission_reruns_only_from_first_divergent_stage() {
+    let design = linear_pipeline(3, 4, 1, 900.0);
+    let mut cfg = FlowConfig {
+        sim_cycles: 16,
+        equiv_cycles: 32,
+        ..FlowConfig::default()
+    };
+    cfg.pnr.moves_per_cell = 2;
+
+    let server = Server::start(ServerOptions::default()).expect("bind");
+    let mut client = Client::connect(server.addr()).expect("connect");
+
+    let provenance = |stages: &[Json]| -> Vec<(String, String)> {
+        stages
+            .iter()
+            .map(|e| {
+                (
+                    e.get("stage")
+                        .and_then(Json::as_str)
+                        .unwrap_or("?")
+                        .to_owned(),
+                    e.get("cache")
+                        .and_then(Json::as_str)
+                        .unwrap_or("?")
+                        .to_owned(),
+                )
+            })
+            .collect()
+    };
+    let hit = |s: &str| (s.to_owned(), "hit".to_owned());
+    let miss = |s: &str| (s.to_owned(), "miss".to_owned());
+
+    // Cold run: everything misses.
+    let (stages, done) = client.convert("cold", &design, &cfg).expect("cold");
+    assert_eq!(done.get("ok"), Some(&Json::Bool(true)));
+    assert_eq!(
+        provenance(&stages),
+        [
+            miss("report"),
+            miss("preprocess"),
+            miss("convert"),
+            miss("retime"),
+            miss("clockgate")
+        ]
+    );
+
+    // Edit a clockgate-only knob: divergence begins at the last stage.
+    let late = FlowConfig {
+        ddcg_threshold: 0.5,
+        ..cfg.clone()
+    };
+    let (stages, done) = client.convert("late-edit", &design, &late).expect("late");
+    assert_eq!(done.get("ok"), Some(&Json::Bool(true)));
+    assert_eq!(
+        provenance(&stages),
+        [
+            miss("report"),
+            hit("preprocess"),
+            hit("convert"),
+            hit("retime"),
+            miss("clockgate")
+        ]
+    );
+
+    // Edit a retime knob: divergence begins one stage earlier; the
+    // clockgate verdict depends on what the re-run retime produces, so
+    // only the prefix is asserted.
+    let mid = FlowConfig {
+        retime_target_ratio: 0.75,
+        ..cfg.clone()
+    };
+    let (stages, done) = client.convert("mid-edit", &design, &mid).expect("mid");
+    assert_eq!(done.get("ok"), Some(&Json::Bool(true)));
+    let p = provenance(&stages);
+    assert_eq!(
+        p[..4],
+        [
+            miss("report"),
+            hit("preprocess"),
+            hit("convert"),
+            miss("retime")
+        ]
+    );
+
+    // Edit the netlist itself: the first fingerprint diverges, nothing
+    // replays.
+    let edited = linear_pipeline(3, 4, 2, 900.0);
+    let (stages, done) = client.convert("nl-edit", &edited, &cfg).expect("edited");
+    assert_eq!(done.get("ok"), Some(&Json::Bool(true)));
+    assert_eq!(
+        provenance(&stages),
+        [
+            miss("report"),
+            miss("preprocess"),
+            miss("convert"),
+            miss("retime"),
+            miss("clockgate")
+        ]
+    );
+
+    server.stop();
+    server.wait();
+}

@@ -1,0 +1,205 @@
+//! Socket-level integration tests: a daemon spawned in-process on an
+//! ephemeral port, exercised through real TCP connections.
+//!
+//! Certifies the ISSUE's service contract: served reports bit-match a
+//! direct [`run_flow`] call, streamed progress events arrive in stage
+//! order with cache provenance, batches shard across the queue, and a
+//! job killed mid-flow resumes from its last memoized stage when
+//! resubmitted.
+
+use triphase_cells::Library;
+use triphase_circuits::pipeline::linear_pipeline;
+use triphase_core::{run_flow, FlowConfig};
+use triphase_fault::{Fault, FaultPlan};
+use triphase_serve::{report_json, strip_timings, Client, Json, Server, ServerOptions};
+
+fn quick_cfg() -> FlowConfig {
+    let mut cfg = FlowConfig {
+        sim_cycles: 16,
+        equiv_cycles: 32,
+        ..FlowConfig::default()
+    };
+    cfg.pnr.moves_per_cell = 2;
+    cfg
+}
+
+fn stage_names(events: &[Json]) -> Vec<String> {
+    events
+        .iter()
+        .filter_map(|e| e.get("stage").and_then(Json::as_str).map(str::to_owned))
+        .collect()
+}
+
+fn cache_of(event: &Json) -> &str {
+    event.get("cache").and_then(Json::as_str).unwrap_or("?")
+}
+
+#[test]
+fn served_report_bit_matches_direct_run_flow() {
+    let design = linear_pipeline(3, 4, 1, 900.0);
+    let cfg = quick_cfg();
+    let direct = run_flow(&design, &Library::synthetic_28nm(), &cfg).expect("direct flow");
+
+    let server = Server::start(ServerOptions::default()).expect("bind");
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let (stages, done) = client.convert("pipe", &design, &cfg).expect("served flow");
+
+    assert_eq!(done.get("ok"), Some(&Json::Bool(true)));
+    assert_eq!(done.get("cached_report"), Some(&Json::Bool(false)));
+
+    // Streamed progress: report-tier miss first, then the four flow
+    // stages in pipeline order, all misses on a cold cache.
+    assert_eq!(
+        stage_names(&stages),
+        ["report", "preprocess", "convert", "retime", "clockgate"]
+    );
+    for ev in &stages {
+        assert_eq!(
+            cache_of(ev),
+            "miss",
+            "cold run must miss: {}",
+            ev.to_pretty()
+        );
+    }
+
+    // The served report (modulo wall-clock fields) is bit-identical to
+    // the direct in-process run: same JSON tree, f64s and all.
+    let mut served = done.get("report").cloned().expect("report in done event");
+    let mut expected = report_json(&direct);
+    strip_timings(&mut served);
+    strip_timings(&mut expected);
+    assert_eq!(served, expected);
+
+    // Identical resubmission: answered entirely from the report cache,
+    // with single-entry provenance and the same stripped report.
+    let (stages2, done2) = client.convert("pipe", &design, &cfg).expect("warm flow");
+    assert_eq!(stage_names(&stages2), ["report"]);
+    assert_eq!(cache_of(&stages2[0]), "hit");
+    assert_eq!(done2.get("cached_report"), Some(&Json::Bool(true)));
+    let mut served2 = done2.get("report").cloned().expect("cached report");
+    strip_timings(&mut served2);
+    assert_eq!(served2, expected);
+
+    server.stop();
+    server.wait();
+}
+
+#[test]
+fn batch_submission_acks_then_completes_every_job() {
+    let cfg = quick_cfg();
+    let designs = [
+        linear_pipeline(3, 4, 1, 900.0),
+        linear_pipeline(4, 3, 1, 900.0),
+        linear_pipeline(2, 5, 1, 900.0),
+    ];
+    let server = Server::start(ServerOptions {
+        workers: 2,
+        ..ServerOptions::default()
+    })
+    .expect("bind");
+    let mut client = Client::connect(server.addr()).expect("connect");
+
+    let jobs: Vec<(&str, &triphase_netlist::Netlist, &FlowConfig)> =
+        designs.iter().map(|nl| ("batch", nl, &cfg)).collect();
+    client.send(&Client::submit_request(&jobs)).expect("submit");
+
+    // First frame is the ack carrying one id per job, in order.
+    let ack = client.recv().expect("ack");
+    assert_eq!(ack.get("event").and_then(Json::as_str), Some("ack"));
+    let Some(Json::Arr(ids)) = ack.get("jobs") else {
+        panic!("ack without job ids: {}", ack.to_pretty());
+    };
+    assert_eq!(ids.len(), designs.len());
+
+    // Then a done event per job (stage events interleave freely across
+    // the two workers; per-job ordering is covered elsewhere).
+    let mut done_ids = Vec::new();
+    while done_ids.len() < designs.len() {
+        let ev = client.recv().expect("event");
+        if ev.get("event").and_then(Json::as_str) == Some("done") {
+            assert_eq!(ev.get("ok"), Some(&Json::Bool(true)), "{}", ev.to_pretty());
+            done_ids.push(ev.get("job").and_then(Json::as_f64).expect("job id") as u64);
+        }
+    }
+    let mut acked: Vec<u64> = ids
+        .iter()
+        .filter_map(Json::as_f64)
+        .map(|f| f as u64)
+        .collect();
+    acked.sort_unstable();
+    done_ids.sort_unstable();
+    assert_eq!(done_ids, acked);
+
+    server.stop();
+    server.wait();
+}
+
+#[test]
+fn killed_job_resumes_from_last_memoized_stage_on_resubmit() {
+    let design = linear_pipeline(3, 4, 1, 900.0);
+    let cfg = quick_cfg();
+
+    // Arm a deterministic panic at the retime stage's fault site. The
+    // site fires *after* the stage result is recorded in the memo store,
+    // so the first run dies having banked preprocess/convert/retime.
+    let fault = FaultPlan::new(1)
+        .inject("flow.stage.retime", Fault::Panic)
+        .shared();
+    let server = Server::start(ServerOptions {
+        workers: 1,
+        fault: Some(fault),
+        ..ServerOptions::default()
+    })
+    .expect("bind");
+    let mut client = Client::connect(server.addr()).expect("connect");
+
+    let (stages, done) = client.convert("victim", &design, &cfg).expect("frames");
+    assert_eq!(done.get("ok"), Some(&Json::Bool(false)));
+    assert_eq!(done.get("code").and_then(Json::as_str), Some("panic"));
+    // Progress up to and including the killed stage was streamed.
+    assert_eq!(
+        stage_names(&stages),
+        ["report", "preprocess", "convert", "retime"]
+    );
+
+    // Resubmission: the banked stages replay from the memo (their fault
+    // sites are skipped with the recompute), so the job now completes —
+    // resuming at clockgate, the first stage after the kill point.
+    let (stages2, done2) = client.convert("victim", &design, &cfg).expect("frames");
+    assert_eq!(
+        done2.get("ok"),
+        Some(&Json::Bool(true)),
+        "{}",
+        done2.to_pretty()
+    );
+    let per_stage: Vec<(String, String)> = stages2
+        .iter()
+        .map(|e| {
+            (
+                stage_names(std::slice::from_ref(e)).remove(0),
+                cache_of(e).to_owned(),
+            )
+        })
+        .collect();
+    assert_eq!(
+        per_stage,
+        [
+            ("report".to_owned(), "miss".to_owned()),
+            ("preprocess".to_owned(), "hit".to_owned()),
+            ("convert".to_owned(), "hit".to_owned()),
+            ("retime".to_owned(), "hit".to_owned()),
+            ("clockgate".to_owned(), "miss".to_owned()),
+        ]
+    );
+
+    // And the resumed report is still bit-exact vs a clean direct run.
+    let direct = run_flow(&design, &Library::synthetic_28nm(), &cfg).expect("direct flow");
+    let mut served = done2.get("report").cloned().expect("report");
+    let mut expected = report_json(&direct);
+    strip_timings(&mut served);
+    strip_timings(&mut expected);
+    assert_eq!(served, expected);
+
+    server.stop();
+    server.wait();
+}

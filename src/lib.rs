@@ -26,6 +26,7 @@
 //! | [`activity`] | `triphase-activity` | static switching-activity analysis (probability/density) |
 //! | [`dfa`] | `triphase-dfa` | semantic dataflow analyses: const prop, reset X-prop, races |
 //! | [`core`] | `triphase-core` | **the paper's flow**: ILP → convert → retime → CG |
+//! | [`serve`] | `triphase-serve` | conversion-as-a-service daemon with memoized incremental flow |
 //!
 //! # Quickstart
 //!
@@ -64,6 +65,7 @@ pub use triphase_netlist as netlist;
 pub use triphase_pnr as pnr;
 pub use triphase_power as power;
 pub use triphase_retime as retime;
+pub use triphase_serve as serve;
 pub use triphase_sim as sim;
 pub use triphase_timing as timing;
 

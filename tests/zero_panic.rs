@@ -17,6 +17,7 @@ const CRATES: &[&str] = &[
     "crates/dfa",
     "crates/activity",
     "crates/power",
+    "crates/serve",
 ];
 const FORBIDDEN: &[&str] = &[
     ".unwrap()",
