@@ -1,0 +1,606 @@
+//! Kill-9 chaos harness for the conversion daemon: seeded rounds of
+//! open-loop load with the daemon SIGKILL'd mid-flight, restarted on
+//! the same journal, and audited for the resilience contract:
+//!
+//! 1. **Zero lost acknowledged jobs** — after the final restart, every
+//!    job in the round's mix is driven to a successful `done` (jobs the
+//!    dead daemon had acknowledged resume from the journal; the rest
+//!    are resubmitted by the retrying client).
+//! 2. **Zero non-bit-exact reports** — every served report matches an
+//!    in-process [`run_flow`] of the same job, timings stripped.
+//! 3. **Bounded recovery** — spawn-to-`listening` latency of every
+//!    restart stays under `--recovery-bound-ms` at p99.
+//! 4. **Bounded shedding** — a burst at ~2x queue capacity sheds
+//!    deterministically, under the shed-rate bound, every shed carrying
+//!    a usable `retry_after_ms` hint; a drain shutdown then exits 0.
+//!
+//! ```text
+//! chaos --quick               # 5 rounds, small mix (CI smoke)
+//! chaos --rounds 8 --kills 2  # more rounds, two kills per round
+//! chaos --json                # print the report section to stdout
+//! ```
+//!
+//! Persists a `chaos` section into `results/BENCH_chaos.json`. Exit
+//! codes (stable): `0` all gates met, `1` a gate failed (or the daemon
+//! binary misbehaved), `2` usage error.
+
+use std::io::{BufRead, BufReader};
+use std::net::{SocketAddr, TcpListener};
+use std::process::{Child, Command, ExitCode, Stdio};
+use std::sync::mpsc::{channel, Receiver};
+use std::time::{Duration, Instant};
+
+use triphase_bench::json::Json;
+use triphase_bench::report::{section, ReportFile};
+use triphase_cells::Library;
+use triphase_circuits::pipeline::linear_pipeline;
+use triphase_core::{run_flow, FlowConfig};
+use triphase_netlist::{Netlist, SplitMix64};
+use triphase_serve::{report_json, strip_timings, Backoff, Client, ClientError};
+
+struct Options {
+    quick: bool,
+    rounds: u64,
+    kills: u64,
+    jobs: usize,
+    seed: u64,
+    recovery_bound_ms: f64,
+    shed_rate_bound: f64,
+    json: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        quick: std::env::var("TRIPHASE_SCALE").as_deref() == Ok("quick"),
+        rounds: 5,
+        kills: 1,
+        jobs: 0,
+        seed: 0xc4a05,
+        recovery_bound_ms: 15_000.0,
+        shed_rate_bound: 0.9,
+        json: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        let int = |flag: &str, v: String| {
+            v.parse::<u64>()
+                .map_err(|_| format!("{flag} requires an integer"))
+        };
+        match arg.as_str() {
+            "--quick" => opts.quick = true,
+            "--json" => opts.json = true,
+            "--rounds" => opts.rounds = int("--rounds", value("--rounds")?)?,
+            "--kills" => opts.kills = int("--kills", value("--kills")?)?,
+            "--jobs" => opts.jobs = int("--jobs", value("--jobs")?)? as usize,
+            "--seed" => opts.seed = int("--seed", value("--seed")?)?,
+            "--recovery-bound-ms" => {
+                opts.recovery_bound_ms = value("--recovery-bound-ms")?
+                    .parse()
+                    .map_err(|_| "--recovery-bound-ms requires a number".to_owned())?;
+            }
+            "--shed-rate-bound" => {
+                opts.shed_rate_bound = value("--shed-rate-bound")?
+                    .parse()
+                    .map_err(|_| "--shed-rate-bound requires a number".to_owned())?;
+            }
+            "--help" | "-h" => {
+                return Err(
+                    "usage: chaos [--quick] [--rounds N] [--kills N] [--jobs N] \
+                            [--seed N] [--recovery-bound-ms MS] [--shed-rate-bound R] [--json]"
+                        .to_owned(),
+                )
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    if opts.jobs == 0 {
+        opts.jobs = if opts.quick { 6 } else { 10 };
+    }
+    if opts.rounds == 0 || opts.kills == 0 {
+        return Err("--rounds and --kills must be at least 1".to_owned());
+    }
+    Ok(opts)
+}
+
+/// The daemon binary ships next to this harness in the target dir.
+fn serve_binary() -> Result<std::path::PathBuf, String> {
+    let me = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    let dir = me
+        .parent()
+        .ok_or_else(|| "current_exe has no parent".to_owned())?;
+    let bin = dir.join(if cfg!(windows) { "serve.exe" } else { "serve" });
+    if !bin.exists() {
+        return Err(format!(
+            "daemon binary not found at {} — build it first (cargo build -p triphase-bench --bins)",
+            bin.display()
+        ));
+    }
+    Ok(bin)
+}
+
+/// Reserve a concrete port so every daemon incarnation of a round can
+/// bind the *same* address (clients reconnect across restarts).
+fn reserve_addr() -> Result<SocketAddr, String> {
+    let l = TcpListener::bind("127.0.0.1:0").map_err(|e| format!("reserve port: {e}"))?;
+    l.local_addr().map_err(|e| format!("local_addr: {e}"))
+}
+
+/// One running daemon incarnation plus its boot latency.
+struct Daemon {
+    child: Child,
+    boot_ms: f64,
+    stderr: Receiver<String>,
+}
+
+fn spawn_daemon(
+    bin: &std::path::Path,
+    addr: &SocketAddr,
+    journal: &std::path::Path,
+) -> Result<Daemon, String> {
+    let t0 = Instant::now();
+    let mut child = Command::new(bin)
+        .args(["--addr", &addr.to_string(), "--workers", "2"])
+        .arg("--journal")
+        .arg(journal)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .map_err(|e| format!("spawn daemon: {e}"))?;
+    let stdout = child.stdout.take().ok_or("no stdout")?;
+    let (tx, rx) = channel::<String>();
+    std::thread::spawn(move || {
+        for line in BufReader::new(stdout).lines() {
+            let Ok(line) = line else { break };
+            if tx.send(line).is_err() {
+                break;
+            }
+        }
+    });
+    let stderr = child.stderr.take().ok_or("no stderr")?;
+    let (etx, erx) = channel::<String>();
+    std::thread::spawn(move || {
+        for line in BufReader::new(stderr).lines() {
+            let Ok(line) = line else { break };
+            if etx.send(line).is_err() {
+                break;
+            }
+        }
+    });
+    // Wait for the `listening <addr>` banner: that instant bounds the
+    // outage window a restart inflicts on clients.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        match rx.recv_timeout(Duration::from_millis(100)) {
+            Ok(line) if line.starts_with("listening ") => break,
+            Ok(_) => {}
+            Err(_) => {
+                if Instant::now() > deadline {
+                    let _ = child.kill();
+                    return Err("daemon never printed `listening`".to_owned());
+                }
+            }
+        }
+    }
+    Ok(Daemon {
+        child,
+        boot_ms: t0.elapsed().as_secs_f64() * 1e3,
+        stderr: erx,
+    })
+}
+
+impl Daemon {
+    /// SIGKILL — no drain, no flush, the crash the journal exists for.
+    fn kill9(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+
+    /// Journaled jobs this incarnation resumed at boot (from its
+    /// `resumed N journaled jobs` stderr banner).
+    fn resumed(&self) -> u64 {
+        self.stderr
+            .try_iter()
+            .filter_map(|line| {
+                line.strip_prefix("resumed ")?
+                    .split_whitespace()
+                    .next()?
+                    .parse::<u64>()
+                    .ok()
+            })
+            .sum()
+    }
+}
+
+/// The seeded per-round job mix: small pipelines varied in shape and
+/// flow seed, heavy enough that a SIGKILL lands mid-flow.
+fn job_mix(seed: u64, n: usize) -> Vec<(String, Netlist, FlowConfig)> {
+    let mut rng = SplitMix64::new(seed);
+    (0..n)
+        .map(|i| {
+            // Heavy enough (tens of ms cold, even in release) that the
+            // seeded SIGKILL usually lands *inside* a flow, exercising
+            // the journal-resume path rather than restart-at-idle.
+            let stages = 5 + (rng.next_u64() % 4) as usize;
+            let width = 6 + (rng.next_u64() % 4) as usize;
+            let nl = linear_pipeline(stages, width, 1, 900.0);
+            let mut cfg = FlowConfig {
+                seed: seed ^ i as u64,
+                sim_cycles: 256,
+                equiv_cycles: 512,
+                ..FlowConfig::default()
+            };
+            cfg.pnr.moves_per_cell = 4;
+            (format!("chaos-{seed:x}-{i}"), nl, cfg)
+        })
+        .collect()
+}
+
+struct RoundOutcome {
+    recoveries_ms: Vec<f64>,
+    resumed: u64,
+    lost: u64,
+    mismatches: u64,
+}
+
+/// One chaos round: boot a daemon on a fresh journal, submit the mix
+/// under a seeded killer, restart after each kill, then verify every
+/// job completes with a bit-exact report.
+fn chaos_round(
+    bin: &std::path::Path,
+    opts: &Options,
+    round: u64,
+    lib: &Library,
+) -> Result<RoundOutcome, String> {
+    let addr = reserve_addr()?;
+    let dir = std::env::temp_dir().join(format!("triphase_chaos_{}_{round}", opts.seed));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).map_err(|e| format!("mkdir: {e}"))?;
+    let journal = dir.join("jobs.journal");
+    let mix = job_mix(opts.seed.wrapping_add(round), opts.jobs);
+
+    let mut out = RoundOutcome {
+        recoveries_ms: Vec::new(),
+        resumed: 0,
+        lost: 0,
+        mismatches: 0,
+    };
+    let mut daemon = spawn_daemon(bin, &addr, &journal)?;
+    let mut rng = SplitMix64::new(opts.seed ^ (round << 32) ^ 0x9e3779b97f4a7c15);
+    let mut client = Client::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    let mut backoff = Backoff::new(opts.seed ^ round);
+    let mut next_job = 0usize;
+
+    for _ in 0..opts.kills {
+        // The killer fires at a seeded point inside the submission
+        // window, so the SIGKILL lands between, inside, or after jobs
+        // depending on the seed — that spread is the test.
+        let kill_after = Duration::from_millis(5 + rng.below(150) as u64);
+        let (ktx, krx) = channel::<()>();
+        let mut victim_child = daemon;
+        let killer = std::thread::spawn(move || {
+            // Fire at the scheduled instant unless the round's jobs all
+            // finished first (then fire immediately — a kill at idle
+            // still exercises restart).
+            let _ = krx.recv_timeout(kill_after);
+            victim_child.kill9();
+            victim_child
+        });
+
+        // Open-loop submission until the daemon dies under us.
+        while next_job < mix.len() {
+            let (name, nl, cfg) = &mix[next_job];
+            match client.convert_resilient(name, nl, cfg, &mut backoff, 3) {
+                Ok((_, done)) => {
+                    if done.get("ok") != Some(&Json::Bool(true)) {
+                        return Err(format!("job {name} failed outright: {}", done.to_pretty()));
+                    }
+                    next_job += 1;
+                }
+                Err(ClientError::RetriesExhausted(_) | ClientError::Frame(_)) => break,
+                Err(e) => return Err(format!("job {name}: {e}")),
+            }
+        }
+        drop(ktx); // all jobs done (or daemon dead): release the killer
+        daemon = killer.join().map_err(|_| "killer thread panicked")?;
+        daemon.kill9(); // idempotent; reaps if the timeout path lost the race
+
+        // Restart on the same journal and let the client back in.
+        daemon = spawn_daemon(bin, &addr, &journal)?;
+        out.recoveries_ms.push(daemon.boot_ms);
+        out.resumed += daemon.resumed();
+        client.reconnect().map_err(|e| format!("reconnect: {e}"))?;
+        // `next_job` still points at the job the kill interrupted (if
+        // any): the next pass resubmits it, and the journal makes that
+        // resubmission resume rather than recompute.
+    }
+
+    // Verification pass: EVERY job in the mix must now complete and
+    // bit-match an in-process flow. Anything acknowledged before a kill
+    // resumes from the journal; anything else is computed fresh here.
+    for (name, nl, cfg) in &mix {
+        match client.convert_resilient(name, nl, cfg, &mut backoff, 8) {
+            Ok((_, done)) => {
+                if done.get("ok") != Some(&Json::Bool(true)) {
+                    out.lost += 1;
+                    continue;
+                }
+                let direct = match run_flow(nl, lib, cfg) {
+                    Ok(report) => report,
+                    Err(e) => return Err(format!("direct flow for {name}: {e}")),
+                };
+                let mut served = done
+                    .get("report")
+                    .cloned()
+                    .ok_or_else(|| format!("done without report for {name}"))?;
+                let mut expected = report_json(&direct);
+                strip_timings(&mut served);
+                strip_timings(&mut expected);
+                if served != expected {
+                    out.mismatches += 1;
+                }
+            }
+            Err(_) => out.lost += 1,
+        }
+    }
+
+    daemon.kill9();
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(out)
+}
+
+struct ShedOutcome {
+    submitted: u64,
+    shed: u64,
+    min_hint_ms: u64,
+    drained_ok: bool,
+}
+
+/// Overload phase: a deliberately tiny daemon (1 worker, depth-2
+/// queue) takes a burst at ~2x its capacity; the excess must shed with
+/// usable hints, the survivors and retries must all complete, and a
+/// drain shutdown must exit 0.
+fn overload_phase(bin: &std::path::Path, opts: &Options) -> Result<ShedOutcome, String> {
+    let addr = reserve_addr()?;
+    let mut child = Command::new(bin)
+        .args([
+            "--addr",
+            &addr.to_string(),
+            "--workers",
+            "1",
+            "--queue-depth",
+            "2",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .map_err(|e| format!("spawn daemon: {e}"))?;
+    {
+        let stdout = child.stdout.take().ok_or("no stdout")?;
+        let mut lines = BufReader::new(stdout).lines();
+        let deadline = Instant::now() + Duration::from_secs(60);
+        loop {
+            match lines.next() {
+                Some(Ok(line)) if line.starts_with("listening ") => break,
+                Some(_) => {}
+                None => return Err("daemon exited before listening".to_owned()),
+            }
+            if Instant::now() > deadline {
+                let _ = child.kill();
+                return Err("daemon never printed `listening`".to_owned());
+            }
+        }
+    }
+
+    let mix = job_mix(opts.seed ^ 0x5ed, 8);
+    let mut client = Client::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    // One batch frame: all reservations race no one, so with a depth-2
+    // queue exactly two jobs are admitted and the rest shed.
+    let jobs: Vec<(&str, &Netlist, &FlowConfig)> = mix
+        .iter()
+        .map(|(name, nl, cfg)| (name.as_str(), nl, cfg))
+        .collect();
+    client
+        .send(&Client::submit_request(&jobs))
+        .map_err(|e| format!("burst submit: {e}"))?;
+    let mut shed_names = Vec::new();
+    let mut done = 0usize;
+    let mut min_hint_ms = u64::MAX;
+    while done < mix.len() {
+        let ev = client.recv().map_err(|e| format!("recv: {e}"))?;
+        if ev.get("event").and_then(Json::as_str) != Some("done") {
+            continue;
+        }
+        done += 1;
+        if ev.get("code").and_then(Json::as_str) == Some("overloaded") {
+            let hint = ev
+                .get("retry_after_ms")
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0) as u64;
+            min_hint_ms = min_hint_ms.min(hint);
+            let name = ev
+                .get("name")
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .to_owned();
+            shed_names.push(name);
+        } else if ev.get("ok") != Some(&Json::Bool(true)) {
+            return Err(format!("burst job failed: {}", ev.to_pretty()));
+        }
+    }
+
+    // Every shed job retries to completion under backoff.
+    let mut backoff = Backoff::new(opts.seed ^ 0xbac0ff);
+    for name in &shed_names {
+        let (_, nl, cfg) = mix
+            .iter()
+            .find(|(n, _, _)| n == name)
+            .ok_or_else(|| format!("shed done for unknown job {name}"))?;
+        let (_, done) = client
+            .convert_resilient(name, nl, cfg, &mut backoff, 16)
+            .map_err(|e| format!("retry of shed {name}: {e}"))?;
+        if done.get("ok") != Some(&Json::Bool(true)) {
+            return Err(format!("shed {name} never completed: {}", done.to_pretty()));
+        }
+    }
+
+    // Drain shutdown: daemon exits 0 on its own.
+    client
+        .send(&Json::parse("{\"kind\": \"shutdown\", \"mode\": \"drain\"}").expect("static json"))
+        .map_err(|e| format!("shutdown: {e}"))?;
+    let bye = client.recv().map_err(|e| format!("bye: {e}"))?;
+    if bye.get("event").and_then(Json::as_str) != Some("bye") {
+        return Err(format!("expected bye, got {}", bye.to_pretty()));
+    }
+    let status = child.wait().map_err(|e| format!("wait: {e}"))?;
+    Ok(ShedOutcome {
+        submitted: mix.len() as u64,
+        shed: shed_names.len() as u64,
+        min_hint_ms: if shed_names.is_empty() {
+            0
+        } else {
+            min_hint_ms
+        },
+        drained_ok: status.success(),
+    })
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let bin = match serve_binary() {
+        Ok(bin) => bin,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(1);
+        }
+    };
+    let lib = Library::synthetic_28nm();
+
+    let mut recoveries_ms = Vec::new();
+    let (mut lost, mut mismatches, mut resumed) = (0u64, 0u64, 0u64);
+    for round in 0..opts.rounds {
+        match chaos_round(&bin, &opts, round, &lib) {
+            Ok(outcome) => {
+                eprintln!(
+                    "round {round}: {} restarts, {} resumed, {} lost, {} mismatched",
+                    outcome.recoveries_ms.len(),
+                    outcome.resumed,
+                    outcome.lost,
+                    outcome.mismatches
+                );
+                recoveries_ms.extend(outcome.recoveries_ms);
+                lost += outcome.lost;
+                mismatches += outcome.mismatches;
+                resumed += outcome.resumed;
+            }
+            Err(e) => {
+                eprintln!("round {round} failed: {e}");
+                return ExitCode::from(1);
+            }
+        }
+    }
+    let shed = match overload_phase(&bin, &opts) {
+        Ok(shed) => shed,
+        Err(e) => {
+            eprintln!("overload phase failed: {e}");
+            return ExitCode::from(1);
+        }
+    };
+
+    let mut sorted = recoveries_ms.clone();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let recovery_p99_ms = percentile(&sorted, 99.0);
+    let shed_rate = shed.shed as f64 / shed.submitted as f64;
+
+    let mut out = section();
+    out.set("quick", opts.quick.into());
+    out.set("rounds", opts.rounds.into());
+    out.set("kills_per_round", opts.kills.into());
+    out.set("jobs_per_round", opts.jobs.into());
+    out.set("seed", opts.seed.into());
+    out.set("restarts", recoveries_ms.len().into());
+    out.set("resumed_jobs", resumed.into());
+    out.set("lost_acknowledged_jobs", lost.into());
+    out.set("report_mismatches", mismatches.into());
+    out.set("recovery_p99_ms", recovery_p99_ms.into());
+    let mut s = Json::obj();
+    s.set("submitted", shed.submitted.into());
+    s.set("shed", shed.shed.into());
+    s.set("shed_rate", shed_rate.into());
+    s.set("min_retry_hint_ms", shed.min_hint_ms.into());
+    s.set("drain_exit_ok", shed.drained_ok.into());
+    out.set("overload", s);
+
+    let file = ReportFile::new("BENCH_chaos.json");
+    file.merge_or_exit("chaos", out.clone());
+    if opts.json {
+        println!("{}", out.to_pretty());
+    }
+    eprintln!(
+        "chaos: {} rounds x {} kills, {} restarts, {} resumed, lost {lost}, mismatched \
+         {mismatches}, recovery p99 {recovery_p99_ms:.0} ms, shed rate {shed_rate:.2} \
+         (min hint {} ms), drain ok {} | {}",
+        opts.rounds,
+        opts.kills,
+        recoveries_ms.len(),
+        resumed,
+        shed.min_hint_ms,
+        shed.drained_ok,
+        file.path().display()
+    );
+
+    // Gates: the resilience contract, as hard numbers.
+    let mut failed = false;
+    if lost > 0 {
+        eprintln!("GATE: {lost} acknowledged jobs lost after restarts");
+        failed = true;
+    }
+    if mismatches > 0 {
+        eprintln!("GATE: {mismatches} reports diverged from the direct flow");
+        failed = true;
+    }
+    if recovery_p99_ms.is_nan() || recovery_p99_ms > opts.recovery_bound_ms {
+        eprintln!(
+            "GATE: recovery p99 {recovery_p99_ms:.0} ms exceeds {:.0} ms",
+            opts.recovery_bound_ms
+        );
+        failed = true;
+    }
+    if shed.shed == 0 || shed_rate > opts.shed_rate_bound {
+        eprintln!(
+            "GATE: shed rate {shed_rate:.2} outside (0, {:.2}] under 2x overload",
+            opts.shed_rate_bound
+        );
+        failed = true;
+    }
+    if shed.min_hint_ms < 1 {
+        eprintln!("GATE: an overloaded shed carried no usable retry_after_ms hint");
+        failed = true;
+    }
+    if !shed.drained_ok {
+        eprintln!("GATE: drain shutdown did not exit 0");
+        failed = true;
+    }
+    if failed {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

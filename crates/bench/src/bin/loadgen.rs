@@ -33,7 +33,9 @@ use triphase_bench::report::{section, ReportFile};
 use triphase_core::FlowConfig;
 use triphase_netlist::gen::Recipe;
 use triphase_netlist::{snapshot, Netlist};
-use triphase_serve::{read_frame, write_frame, Server, ServerOptions, MAX_FRAME_DEFAULT};
+use triphase_serve::{
+    read_frame, write_frame, Backoff, Client, Server, ServerOptions, MAX_FRAME_DEFAULT,
+};
 
 struct Options {
     quick: bool,
@@ -241,9 +243,55 @@ fn run_phase(
     }
     writer.flush().ok();
 
-    let recs = drain
+    let mut recs = drain
         .join()
         .map_err(|_| "drain thread panicked".to_owned())??;
+
+    // Retry pass: jobs shed by admission control come back as typed
+    // `overloaded` dones; resubmit each under seeded-jittered backoff
+    // (honoring the server's `retry_after_ms` hint) on a fresh
+    // connection. The open-loop clock keeps running, so a shed job's
+    // latency includes its whole retry wait — overload shows up in the
+    // percentiles instead of silently vanishing from them.
+    let shed: Vec<String> = recs
+        .iter()
+        .filter(|(_, r)| r.code == "overloaded")
+        .map(|(name, _)| name.clone())
+        .collect();
+    if !shed.is_empty() {
+        let mut client = Client::connect(addr).map_err(|e| format!("retry connect: {e}"))?;
+        let mut backoff = Backoff::new(0x10ad);
+        for name in shed {
+            let idx: usize = name
+                .strip_prefix(phase)
+                .and_then(|s| s.strip_prefix('-'))
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| format!("unparseable shed job name {name}"))?;
+            let (nl, cfg) = &jobs[idx];
+            let (stages, done) = client
+                .convert_resilient(&name, nl, cfg, &mut backoff, 16)
+                .map_err(|e| format!("retry of {name}: {e}"))?;
+            let hits = stages
+                .iter()
+                .filter(|s| s.get("cache").and_then(Json::as_str) == Some("hit"))
+                .count() as u64;
+            recs.insert(
+                name,
+                DoneRec {
+                    ok: done.get("ok") == Some(&Json::Bool(true)),
+                    cached_report: done.get("cached_report") == Some(&Json::Bool(true)),
+                    stage_hits: hits,
+                    stage_misses: stages.len() as u64 - hits,
+                    done_at_ms: t0.elapsed().as_secs_f64() * 1e3,
+                    code: done
+                        .get("code")
+                        .and_then(Json::as_str)
+                        .unwrap_or("")
+                        .to_owned(),
+                },
+            );
+        }
+    }
     Ok((recs, schedule))
 }
 

@@ -6,7 +6,11 @@
 //! serve --addr 0.0.0.0:7070   # explicit bind address
 //! serve --workers 4           # runner threads (default: CPU count)
 //! serve --memo-capacity 8192  # cache entries per tier
+//! serve --memo-bytes 1000000  # cache byte budget per tier
 //! serve --max-frame 16777216  # per-frame payload cap (bytes)
+//! serve --queue-depth 64      # admission bound: queued jobs
+//! serve --queue-bytes 1000000 # admission bound: queued netlist bytes
+//! serve --journal PATH        # durable job journal (resume on restart)
 //! ```
 //!
 //! The bound address is printed to stdout as `listening <addr>` so
@@ -43,16 +47,35 @@ fn parse_args() -> Result<Options, String> {
                     .parse()
                     .map_err(|_| "--memo-capacity requires an integer".to_owned())?;
             }
+            "--memo-bytes" => {
+                serve.memo_bytes = value("--memo-bytes")?
+                    .parse()
+                    .map_err(|_| "--memo-bytes requires an integer".to_owned())?;
+            }
             "--max-frame" => {
                 serve.max_frame = value("--max-frame")?
                     .parse()
                     .map_err(|_| "--max-frame requires an integer".to_owned())?;
             }
+            "--queue-depth" => {
+                serve.queue_depth = value("--queue-depth")?
+                    .parse()
+                    .map_err(|_| "--queue-depth requires an integer".to_owned())?;
+            }
+            "--queue-bytes" => {
+                serve.queue_bytes = value("--queue-bytes")?
+                    .parse()
+                    .map_err(|_| "--queue-bytes requires an integer".to_owned())?;
+            }
+            "--journal" => {
+                serve.journal = Some(value("--journal")?.into());
+            }
             "--quick" => {}
             "--help" | "-h" => {
                 return Err(
                     "usage: serve [--addr HOST:PORT] [--workers N] [--memo-capacity N] \
-                     [--max-frame BYTES]"
+                     [--memo-bytes BYTES] [--max-frame BYTES] [--queue-depth N] \
+                     [--queue-bytes BYTES] [--journal PATH]"
                         .to_owned(),
                 )
             }
@@ -77,6 +100,9 @@ fn main() -> ExitCode {
             return ExitCode::from(1);
         }
     };
+    if server.resumed_jobs() > 0 {
+        eprintln!("resumed {} journaled jobs", server.resumed_jobs());
+    }
     println!("listening {}", server.addr());
     let (stage, report) = server.wait();
     eprintln!(

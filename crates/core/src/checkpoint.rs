@@ -82,7 +82,9 @@ impl Stage {
         }
     }
 
-    fn from_name(s: &str) -> Option<Stage> {
+    /// Inverse of [`Stage::name`] (used when parsing journaled stage
+    /// records back into typed entries).
+    pub fn from_name(s: &str) -> Option<Stage> {
         Some(match s {
             "preprocess" => Stage::Preprocess,
             "convert" => Stage::Convert,
@@ -502,6 +504,149 @@ fn status_from(s: &str) -> Option<Status> {
     })
 }
 
+/// Serialize one memoized stage entry ([`crate::StageData`]) to the
+/// checkpoint text format — the building block of `triphase-serve`'s
+/// durable job journal. The payload reuses the exact per-stage field
+/// encodings of the whole-flow checkpoint (bit-patterned floats, exact
+/// snapshot text), so a replayed entry is byte-identical to the value
+/// the original run recorded.
+pub fn stage_data_to_text(data: &crate::StageData) -> String {
+    use crate::StageData;
+    let mut s = String::new();
+    s.push_str("triphase stagedata v1\n");
+    match data {
+        StageData::Preprocess(nl, rep) => {
+            s.push_str(&format!(
+                "preprocess {} {}\n",
+                rep.converted_ffs, rep.icgs_inserted
+            ));
+            push_netlist(&mut s, "data", nl);
+        }
+        StageData::Convert {
+            ilp,
+            netlist,
+            report,
+        } => {
+            s.push_str(&format!(
+                "ilp {} {} {:016x} {} {} {}\n",
+                ilp.cost,
+                ilp.optimal as u8,
+                ilp.seconds.to_bits(),
+                ilp.rung.name(),
+                ilp.status.name(),
+                ilp.fallbacks
+            ));
+            s.push_str(&format!(
+                "convert {} {} {} {}\n",
+                report.singles, report.back_to_back, report.pi_latches, report.icgs_duplicated
+            ));
+            push_netlist(&mut s, "data", netlist);
+        }
+        StageData::Retime(nl, rep) => {
+            s.push_str(&format!(
+                "retime {} {} {:016x} {:016x} {} {} {} {}\n",
+                rep.ran as u8,
+                rep.fell_back as u8,
+                rep.original_ps.to_bits(),
+                rep.achieved_ps.to_bits(),
+                rep.met_target as u8,
+                rep.movable,
+                rep.pinned,
+                rep.p2_after
+            ));
+            push_netlist(&mut s, "data", nl);
+        }
+        StageData::ClockGate(nl, rep, secs) => {
+            s.push_str(&format!(
+                "clockgate {} {} {} {} {} {:016x}\n",
+                rep.common_enable_gated,
+                rep.m1_cells,
+                rep.m2_replaced,
+                rep.ddcg_groups,
+                rep.ddcg_gated,
+                secs.to_bits()
+            ));
+            push_netlist(&mut s, "data", nl);
+        }
+    }
+    s.push_str("end\n");
+    s
+}
+
+/// Parse a [`stage_data_to_text`] payload. Returns `None` on any
+/// truncation or field corruption — a journal replaying entries through
+/// this function silently drops torn records instead of adopting them.
+pub fn stage_data_from_text(text: &str) -> Option<crate::StageData> {
+    use crate::StageData;
+    let mut r = Reader {
+        lines: text.lines(),
+    };
+    if r.next()? != "triphase stagedata v1" {
+        return None;
+    }
+    let head = r.next()?;
+    let data = if let Some(rest) = head.strip_prefix("preprocess ") {
+        let mut f = rest.split(' ');
+        let rep = PreprocessReport {
+            converted_ffs: f.next()?.parse().ok()?,
+            icgs_inserted: f.next()?.parse().ok()?,
+        };
+        StageData::Preprocess(parse_netlist(&mut r, "data")?, rep)
+    } else if let Some(rest) = head.strip_prefix("ilp ") {
+        let mut f = rest.split(' ');
+        let ilp = IlpOutcome {
+            cost: f.next()?.parse().ok()?,
+            optimal: parse_bool(f.next()?)?,
+            seconds: parse_f64(f.next()?)?,
+            rung: rung_from(f.next()?)?,
+            status: status_from(f.next()?)?,
+            fallbacks: f.next()?.parse().ok()?,
+        };
+        let mut c = r.next()?.strip_prefix("convert ")?.split(' ');
+        let report = ConvertReport {
+            singles: c.next()?.parse().ok()?,
+            back_to_back: c.next()?.parse().ok()?,
+            pi_latches: c.next()?.parse().ok()?,
+            icgs_duplicated: c.next()?.parse().ok()?,
+        };
+        StageData::Convert {
+            ilp,
+            netlist: parse_netlist(&mut r, "data")?,
+            report,
+        }
+    } else if let Some(rest) = head.strip_prefix("retime ") {
+        let mut f = rest.split(' ');
+        let rep = RetimeReport {
+            ran: parse_bool(f.next()?)?,
+            fell_back: parse_bool(f.next()?)?,
+            original_ps: parse_f64(f.next()?)?,
+            achieved_ps: parse_f64(f.next()?)?,
+            met_target: parse_bool(f.next()?)?,
+            movable: f.next()?.parse().ok()?,
+            pinned: f.next()?.parse().ok()?,
+            p2_after: f.next()?.parse().ok()?,
+        };
+        StageData::Retime(parse_netlist(&mut r, "data")?, rep)
+    } else if let Some(rest) = head.strip_prefix("clockgate ") {
+        let mut f = rest.split(' ');
+        let rep = CgReport {
+            common_enable_gated: f.next()?.parse().ok()?,
+            m1_cells: f.next()?.parse().ok()?,
+            m2_replaced: f.next()?.parse().ok()?,
+            ddcg_groups: f.next()?.parse().ok()?,
+            ddcg_gated: f.next()?.parse().ok()?,
+        };
+        let secs = parse_f64(f.next()?)?;
+        StageData::ClockGate(parse_netlist(&mut r, "data")?, rep, secs)
+    } else {
+        return None;
+    };
+    if r.next()? != "end" {
+        return None;
+    }
+    Some(data)
+}
+
 /// Load the latest-stage checkpoint for `design` whose fingerprint is
 /// `fp`. Torn, malformed, or mismatched files are skipped silently —
 /// resume falls back to the most recent trustworthy stage (or a fresh
@@ -651,6 +796,77 @@ mod tests {
         let got = load_latest(&dir, "d1", early.fingerprint).expect("falls back");
         assert_eq!(got.stage, Stage::Preprocess);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stage_data_round_trips_and_rejects_truncation() {
+        use crate::StageData;
+        let nl = linear_pipeline(3, 2, 1, 900.0);
+        let entries = [
+            StageData::Preprocess(
+                nl.clone(),
+                PreprocessReport {
+                    converted_ffs: 3,
+                    icgs_inserted: 1,
+                },
+            ),
+            StageData::Convert {
+                ilp: IlpOutcome {
+                    cost: 4,
+                    optimal: false,
+                    seconds: 0.25,
+                    rung: SolveRung::Ilp,
+                    status: Status::Feasible,
+                    fallbacks: 0,
+                },
+                netlist: nl.clone(),
+                report: ConvertReport {
+                    singles: 2,
+                    back_to_back: 1,
+                    pi_latches: 0,
+                    icgs_duplicated: 1,
+                },
+            },
+            StageData::Retime(
+                nl.clone(),
+                RetimeReport {
+                    ran: true,
+                    fell_back: false,
+                    original_ps: 612.5,
+                    achieved_ps: 450.0,
+                    met_target: true,
+                    movable: 2,
+                    pinned: 1,
+                    p2_after: 3,
+                },
+            ),
+            StageData::ClockGate(
+                nl.clone(),
+                CgReport {
+                    common_enable_gated: 1,
+                    m1_cells: 1,
+                    m2_replaced: 0,
+                    ddcg_groups: 1,
+                    ddcg_gated: 2,
+                },
+                1.5,
+            ),
+        ];
+        for entry in &entries {
+            let text = stage_data_to_text(entry);
+            let back = stage_data_from_text(&text).expect("round-trips");
+            assert_eq!(back.stage(), entry.stage());
+            assert_eq!(stage_data_to_text(&back), text, "byte-identical replay");
+            // Any truncation must be rejected, never half-adopted.
+            for frac in [10, 40, 70, 95] {
+                let cut = text.len() * frac / 100;
+                assert!(
+                    stage_data_from_text(&text[..cut]).is_none(),
+                    "{} cut at {frac}%",
+                    entry.stage().name()
+                );
+            }
+        }
     }
 
     #[test]

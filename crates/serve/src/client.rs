@@ -1,11 +1,19 @@
 //! Blocking client for the daemon: frame-level connect/send/recv plus
 //! submit helpers. Used by the load generator and the integration
 //! tests; thin enough to double as wire documentation.
+//!
+//! [`Client::convert_resilient`] is the crash-tolerant entry point: it
+//! honors the server's `retry_after_ms` hint on `overloaded` sheds,
+//! reconnects and resubmits on transport loss (a SIGKILL'd daemon drops
+//! every socket), and spaces attempts with seeded-jittered exponential
+//! [`Backoff`] so a fleet of retrying clients doesn't stampede the
+//! restarted daemon in lockstep.
 
-use std::net::TcpStream;
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
 
 use triphase_core::FlowConfig;
-use triphase_netlist::{snapshot, Netlist};
+use triphase_netlist::{snapshot, Netlist, SplitMix64};
 
 use crate::frame::{read_frame, write_frame, FrameError, MAX_FRAME_DEFAULT};
 use crate::json::Json;
@@ -14,17 +22,20 @@ use crate::proto::config_json;
 /// A blocking connection to the daemon.
 pub struct Client {
     stream: TcpStream,
+    addr: SocketAddr,
     max_frame: usize,
 }
 
-/// Client-side failure: a frame/transport error or an unparseable
-/// server frame.
+/// Client-side failure: a frame/transport error, an unparseable server
+/// frame, or a retry budget exhausted.
 #[derive(Debug)]
 pub enum ClientError {
     /// Transport/framing failure.
     Frame(FrameError),
     /// The server sent a frame that is not valid JSON.
     BadFrame(String),
+    /// [`Client::convert_resilient`] gave up after this many attempts.
+    RetriesExhausted(u32),
 }
 
 impl std::fmt::Display for ClientError {
@@ -32,6 +43,7 @@ impl std::fmt::Display for ClientError {
         match self {
             ClientError::Frame(e) => write!(f, "{e}"),
             ClientError::BadFrame(e) => write!(f, "unparseable server frame: {e}"),
+            ClientError::RetriesExhausted(n) => write!(f, "gave up after {n} attempts"),
         }
     }
 }
@@ -44,6 +56,53 @@ impl From<FrameError> for ClientError {
     }
 }
 
+/// Seeded-jittered exponential backoff: delay doubles per consecutive
+/// failure (base 50 ms, cap 5 s), a server `retry_after_ms` hint raises
+/// the floor, and the final delay is jittered into `[0.5, 1.0)` of the
+/// target so retrying clients decorrelate. Deterministic per seed —
+/// the chaos harness replays identical schedules.
+pub struct Backoff {
+    rng: SplitMix64,
+    attempt: u32,
+}
+
+impl Backoff {
+    const BASE_MS: u64 = 50;
+    const CAP_MS: u64 = 5_000;
+
+    /// A backoff schedule seeded for reproducibility.
+    pub fn new(seed: u64) -> Backoff {
+        Backoff {
+            rng: SplitMix64::new(seed),
+            attempt: 0,
+        }
+    }
+
+    /// Consecutive failures so far (reset on success).
+    pub fn attempts(&self) -> u32 {
+        self.attempt
+    }
+
+    /// Note a success: the next failure starts the schedule over.
+    pub fn reset(&mut self) {
+        self.attempt = 0;
+    }
+
+    /// The next delay: exponential in consecutive failures, floored at
+    /// the server's hint when one was given, jittered to `[0.5, 1.0)`.
+    pub fn delay(&mut self, hint_ms: Option<u64>) -> Duration {
+        let exp = Backoff::BASE_MS
+            .saturating_mul(1 << self.attempt.min(10))
+            .min(Backoff::CAP_MS);
+        // The hint is the server's own drain estimate — trust it even
+        // past our cap (it is already clamped server-side).
+        let target = exp.max(hint_ms.unwrap_or(0));
+        self.attempt = self.attempt.saturating_add(1);
+        let unit = (self.rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        Duration::from_millis(((0.5 + 0.5 * unit) * target as f64) as u64)
+    }
+}
+
 impl Client {
     /// Connect to `addr` (e.g. the value of [`crate::Server::addr`]).
     ///
@@ -53,10 +112,25 @@ impl Client {
     pub fn connect(addr: impl std::net::ToSocketAddrs) -> std::io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
         let _ = stream.set_nodelay(true);
+        let addr = stream.peer_addr()?;
         Ok(Client {
             stream,
+            addr,
             max_frame: MAX_FRAME_DEFAULT,
         })
+    }
+
+    /// Drop the current stream and dial the same address again (the
+    /// daemon may have restarted in between).
+    ///
+    /// # Errors
+    ///
+    /// Connection failure (e.g. the daemon is still down).
+    pub fn reconnect(&mut self) -> std::io::Result<()> {
+        let stream = TcpStream::connect(self.addr)?;
+        let _ = stream.set_nodelay(true);
+        self.stream = stream;
+        Ok(())
     }
 
     /// Send one JSON frame.
@@ -136,5 +210,90 @@ impl Client {
                 _ => {}
             }
         }
+    }
+
+    /// [`Client::convert`] with retry: an `overloaded` shed waits out
+    /// the server's `retry_after_ms` hint and resubmits; a transport
+    /// failure (daemon killed, connection reset) reconnects and
+    /// resubmits. Both paths sleep a jittered [`Backoff`] delay first.
+    /// Resubmission after a crash is safe by design: the flow is
+    /// deterministic and memoized, so a replayed job returns the
+    /// bit-exact report, from cache wherever the first attempt banked
+    /// stages.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::RetriesExhausted`] after `max_attempts`;
+    /// [`ClientError::BadFrame`] on a server-side protocol error
+    /// (not retried — resending a malformed request cannot help).
+    pub fn convert_resilient(
+        &mut self,
+        name: &str,
+        nl: &Netlist,
+        cfg: &FlowConfig,
+        backoff: &mut Backoff,
+        max_attempts: u32,
+    ) -> Result<(Vec<Json>, Json), ClientError> {
+        let mut attempts = 0;
+        loop {
+            attempts += 1;
+            if attempts > max_attempts.max(1) {
+                return Err(ClientError::RetriesExhausted(attempts - 1));
+            }
+            match self.convert(name, nl, cfg) {
+                Ok((stages, done)) => {
+                    let code = done.get("code").and_then(Json::as_str);
+                    if code == Some("overloaded") {
+                        let hint = done
+                            .get("retry_after_ms")
+                            .and_then(Json::as_f64)
+                            .map(|v| v as u64);
+                        std::thread::sleep(backoff.delay(hint));
+                        continue;
+                    }
+                    backoff.reset();
+                    return Ok((stages, done));
+                }
+                Err(ClientError::Frame(_)) => {
+                    // The daemon (or just the socket) went away. Keep
+                    // reconnecting under backoff until it returns.
+                    std::thread::sleep(backoff.delay(None));
+                    let _ = self.reconnect();
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_honors_hints_and_replays_per_seed() {
+        let mut b = Backoff::new(42);
+        let d1 = b.delay(None);
+        let d2 = b.delay(None);
+        let d3 = b.delay(None);
+        // Jitter is [0.5, 1.0) of an exponentially growing target.
+        assert!((25..50).contains(&(d1.as_millis() as u64)), "{d1:?}");
+        assert!((50..100).contains(&(d2.as_millis() as u64)), "{d2:?}");
+        assert!((100..200).contains(&(d3.as_millis() as u64)), "{d3:?}");
+        // A server hint raises the floor above the exponential target.
+        let mut h = Backoff::new(42);
+        let hinted = h.delay(Some(2_000));
+        assert!(hinted >= Duration::from_millis(1_000), "{hinted:?}");
+        // Deterministic per seed; different seeds decorrelate.
+        let (mut x, mut y, mut z) = (Backoff::new(7), Backoff::new(7), Backoff::new(8));
+        let xs: Vec<_> = (0..8).map(|_| x.delay(None)).collect();
+        let ys: Vec<_> = (0..8).map(|_| y.delay(None)).collect();
+        let zs: Vec<_> = (0..8).map(|_| z.delay(None)).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+        // Reset restarts the schedule.
+        x.reset();
+        assert_eq!(x.attempts(), 0);
+        assert!(x.delay(None) < Duration::from_millis(50));
     }
 }

@@ -37,17 +37,19 @@
 pub mod client;
 pub mod engine;
 pub mod frame;
+pub mod journal;
 pub mod json;
 pub mod memo;
 pub mod proto;
 pub mod queue;
 pub mod server;
 
-pub use client::{Client, ClientError};
-pub use engine::{Engine, StageProv};
+pub use client::{Backoff, Client, ClientError};
+pub use engine::{CancelToken, CancelUnwind, Engine, StageProv};
 pub use frame::{read_frame, write_frame, FrameError, MAX_FRAME_DEFAULT};
+pub use journal::{AcceptRecord, Journal, Replay};
 pub use json::Json;
 pub use memo::{report_key, MemoStore, TierStats};
 pub use proto::{parse_request, report_json, strip_timings, ProtoError, Request, PROTOCOL_VERSION};
-pub use queue::{Job, JobQueue};
+pub use queue::{AdmitError, Job, JobQueue, QueueLimits};
 pub use server::{Server, ServerOptions};

@@ -2,12 +2,17 @@
 //! builders — the JSON schema of the service.
 //!
 //! Every frame is one JSON document. Requests carry a `"kind"`
-//! discriminator (`submit`, `status`, `ping`, `shutdown`); every server
-//! frame carries an `"event"` discriminator (`ack`, `stage`, `done`,
-//! `status`, `pong`, `bye`, `error`). The schema is versioned
-//! ([`PROTOCOL_VERSION`], echoed in `ack`/`status`/`pong`) and error
+//! discriminator (`submit`, `cancel`, `status`, `ping`, `shutdown`);
+//! every server frame carries an `"event"` discriminator (`ack`,
+//! `queued`, `stage`, `done`, `cancelled`, `status`, `pong`, `bye`,
+//! `error`). The schema is versioned ([`PROTOCOL_VERSION`], echoed in
+//! `ack`/`status`/`pong`): a request may carry a `"proto"` field, and a
+//! mismatch is answered with a typed `bad_request` naming the supported
+//! version — never a frame error — so old clients fail cleanly. Error
 //! codes are stable strings in the lint/equiv/dfa CLI style — clients
-//! match on `code`, never on message text.
+//! match on `code`, never on message text. The resilience additions
+//! bring three more codes: `overloaded` (shed at admission, with a
+//! `retry_after_ms` hint), `deadline_exceeded`, and `cancelled`.
 //!
 //! Like those CLIs, malformed input is answered with a typed error, not
 //! a panic: every parser in this module returns [`ProtoError`].
@@ -20,7 +25,10 @@ use triphase_core::{
 use triphase_netlist::{snapshot, Netlist};
 
 /// Wire-schema version, echoed in `ack`, `status`, and `pong` events.
-pub const PROTOCOL_VERSION: u64 = 1;
+/// v2 added admission control (`overloaded` + `retry_after_ms`,
+/// `queued` position events), per-job deadlines and cancellation, and
+/// drain-mode shutdown.
+pub const PROTOCOL_VERSION: u64 = 2;
 
 /// A typed protocol error: a stable machine-matchable `code` plus a
 /// human-readable message, serialized as an `error` event.
@@ -61,6 +69,13 @@ pub struct JobRequest {
     pub cfg: FlowConfig,
     /// Echo the final 3-phase netlist snapshot in the `done` event.
     pub return_netlist: bool,
+    /// Approximate queued footprint (snapshot text length), charged
+    /// against the queue's byte budget at admission.
+    pub est_bytes: usize,
+    /// Client deadline. Already folded into `cfg.phase_cfg.time_limit`
+    /// (deterministically, at parse time — so memo keys stay stable);
+    /// the server also arms a cancellation token with it.
+    pub deadline_ms: Option<u64>,
 }
 
 /// A parsed request frame.
@@ -68,35 +83,79 @@ pub struct JobRequest {
 pub enum Request {
     /// Convert one or more designs (batch submission).
     Submit(Vec<JobRequest>),
+    /// Kill a queued or running job by id.
+    Cancel {
+        /// Server-assigned job id (from the `ack` event).
+        job: u64,
+    },
     /// Queue/cache/worker statistics.
     Status,
     /// Liveness probe.
     Ping,
-    /// Drain the connection and stop the server.
-    Shutdown,
+    /// Stop the server. `drain: true` (the default) finishes queued and
+    /// running jobs first; `false` journals queued jobs for the next
+    /// daemon life and stops after running jobs finish.
+    Shutdown {
+        /// Finish queued work before exiting.
+        drain: bool,
+    },
 }
 
 /// Parse one request frame.
 ///
 /// # Errors
 ///
-/// `bad_json` (not a JSON document), `bad_request` (not an object, or a
-/// missing/ill-typed field), `unknown_kind`, `bad_netlist` (snapshot
-/// text does not parse), `bad_config` (unknown or ill-typed config key).
+/// `bad_json` (not a JSON document), `bad_request` (not an object, a
+/// missing/ill-typed field, or an unsupported `proto` version),
+/// `unknown_kind`, `bad_netlist` (snapshot text does not parse),
+/// `bad_config` (unknown or ill-typed config key).
 pub fn parse_request(text: &str) -> Result<Request, ProtoError> {
     let doc = Json::parse(text).map_err(|e| ProtoError::new("bad_json", e))?;
     let Json::Obj(_) = &doc else {
         return Err(ProtoError::new("bad_request", "request must be an object"));
     };
+    if let Some(v) = doc.get("proto") {
+        let requested = v.as_f64();
+        if requested != Some(PROTOCOL_VERSION as f64) {
+            return Err(ProtoError::new(
+                "bad_request",
+                format!(
+                    "unsupported protocol version {}; this server speaks version {PROTOCOL_VERSION}",
+                    requested.map_or_else(|| "?".to_owned(), |v| format!("{v}"))
+                ),
+            ));
+        }
+    }
     let kind = doc
         .get("kind")
         .and_then(Json::as_str)
         .ok_or_else(|| ProtoError::new("bad_request", "missing string field `kind`"))?;
     match kind {
         "submit" => parse_submit(&doc),
+        "cancel" => {
+            let job = doc
+                .get("job")
+                .ok_or_else(|| ProtoError::new("bad_request", "cancel requires a `job` id"))
+                .and_then(|v| {
+                    want_u64(v, "job").map_err(|e| ProtoError::new("bad_request", e.message))
+                })?;
+            Ok(Request::Cancel { job })
+        }
         "status" => Ok(Request::Status),
         "ping" => Ok(Request::Ping),
-        "shutdown" => Ok(Request::Shutdown),
+        "shutdown" => {
+            let drain = match doc.get("mode").and_then(Json::as_str) {
+                None | Some("drain") => true,
+                Some("now") => false,
+                Some(other) => {
+                    return Err(ProtoError::new(
+                        "bad_request",
+                        format!("shutdown `mode` must be drain|now, got `{other}`"),
+                    ))
+                }
+            };
+            Ok(Request::Shutdown { drain })
+        }
         other => Err(ProtoError::new(
             "unknown_kind",
             format!("unknown request kind `{other}`"),
@@ -129,6 +188,33 @@ fn parse_submit(doc: &Json) -> Result<Request, ProtoError> {
                 .map_err(|e| ProtoError::new(e.code, format!("job {i}: {}", e.message)))?,
             None => FlowConfig::default(),
         };
+        let mut cfg = cfg;
+        let deadline_ms = match job.get("deadline_ms") {
+            None => None,
+            Some(v) => {
+                let ms = want_u64(v, "deadline_ms").map_err(|e| {
+                    ProtoError::new("bad_request", format!("job {i}: {}", e.message))
+                })?;
+                if ms == 0 {
+                    return Err(ProtoError::new(
+                        "bad_request",
+                        format!("job {i}: `deadline_ms` must be positive"),
+                    ));
+                }
+                Some(ms)
+            }
+        };
+        if let Some(ms) = deadline_ms {
+            // Fold the deadline into the ILP wall-clock budget here, at
+            // parse time: the budget is a fingerprinted field, so it
+            // must be a deterministic function of the request — never of
+            // the wall clock remaining when the job reaches a worker.
+            let budget = std::time::Duration::from_millis(ms);
+            cfg.phase_cfg.time_limit = Some(match cfg.phase_cfg.time_limit {
+                Some(existing) => existing.min(budget),
+                None => budget,
+            });
+        }
         let name = job
             .get("name")
             .and_then(Json::as_str)
@@ -140,6 +226,8 @@ fn parse_submit(doc: &Json) -> Result<Request, ProtoError> {
             netlist,
             cfg,
             return_netlist,
+            est_bytes: text.len(),
+            deadline_ms,
         });
     }
     Ok(Request::Submit(parsed))
@@ -564,9 +652,28 @@ pub fn ack_event(ids: &[u64]) -> Json {
     e
 }
 
+/// `queued` event: the job's current position in the admission queue
+/// (0 = next to run). Emitted at admission and re-emitted as the queue
+/// drains, so a waiting client watches itself advance.
+pub fn queued_event(job: u64, position: usize) -> String {
+    let mut e = Json::obj();
+    e.set("event", Json::Str("queued".into()));
+    e.set("job", Json::Num(job as f64));
+    e.set("position", Json::Num(position as f64));
+    e.to_pretty()
+}
+
 /// `stage` progress event: one flow stage of `job` resolved, with its
-/// cache key and hit/miss provenance.
-pub fn stage_event(job: u64, stage: &str, key: u64, hit: bool, millis: u64) -> Json {
+/// cache key, hit/miss provenance, and how many memo entries this
+/// stage's insert evicted (cache-pressure provenance).
+pub fn stage_event(
+    job: u64,
+    stage: &str,
+    key: u64,
+    hit: bool,
+    millis: u64,
+    evictions: u64,
+) -> Json {
     let mut e = Json::obj();
     e.set("event", Json::Str("stage".into()));
     e.set("job", Json::Num(job as f64));
@@ -574,6 +681,7 @@ pub fn stage_event(job: u64, stage: &str, key: u64, hit: bool, millis: u64) -> J
     e.set("key", Json::Str(format!("{key:016x}")));
     e.set("cache", Json::Str(if hit { "hit" } else { "miss" }.into()));
     e.set("millis", Json::Num(millis as f64));
+    e.set("evictions", Json::Num(evictions as f64));
     e
 }
 
@@ -632,10 +740,38 @@ pub fn done_err(job: u64, name: &str, code: &str, message: &str) -> Json {
     e
 }
 
-/// `status` event: queue depth, worker count, completed-job count, and
-/// the two cache tiers' hit/miss/entry counters.
+/// `done` event for a job shed at admission: code `overloaded` plus the
+/// queue depth at shed time and a backoff hint a well-behaved client
+/// honors before resubmitting.
+pub fn done_overloaded(job: u64, name: &str, queued: usize, retry_after_ms: u64) -> Json {
+    let mut e = done_err(
+        job,
+        name,
+        "overloaded",
+        &format!("queue full ({queued} jobs waiting); retry after the hinted backoff"),
+    );
+    e.set("queued", Json::Num(queued as f64));
+    e.set("retry_after_ms", Json::Num(retry_after_ms as f64));
+    e
+}
+
+/// `cancelled` event: answer to a `cancel` request, naming what the
+/// cancel actually hit (`queued`, `running`, or `unknown` if the id
+/// never existed or already finished).
+pub fn cancelled_event(job: u64, state: &str) -> Json {
+    let mut e = Json::obj();
+    e.set("event", Json::Str("cancelled".into()));
+    e.set("job", Json::Num(job as f64));
+    e.set("state", Json::Str(state.into()));
+    e
+}
+
+/// `status` event: queue depth (and parked bytes), worker count,
+/// completed-job count, and the two cache tiers'
+/// hit/miss/entry/byte/eviction counters.
 pub fn status_event(
     queued: usize,
+    queued_bytes: usize,
     workers: usize,
     done: u64,
     stage: crate::memo::TierStats,
@@ -645,6 +781,7 @@ pub fn status_event(
     e.set("event", Json::Str("status".into()));
     e.set("proto", Json::Num(PROTOCOL_VERSION as f64));
     e.set("queued", Json::Num(queued as f64));
+    e.set("queued_bytes", Json::Num(queued_bytes as f64));
     e.set("workers", Json::Num(workers as f64));
     e.set("jobs_done", Json::Num(done as f64));
     for (tier, s) in [("stage_cache", stage), ("report_cache", report)] {
@@ -652,6 +789,8 @@ pub fn status_event(
         t.set("hits", Json::Num(s.hits as f64));
         t.set("misses", Json::Num(s.misses as f64));
         t.set("entries", Json::Num(s.entries as f64));
+        t.set("bytes", Json::Num(s.bytes as f64));
+        t.set("evictions", Json::Num(s.evictions as f64));
         e.set(tier, t);
     }
     e
@@ -665,10 +804,12 @@ pub fn pong_event() -> Json {
     e
 }
 
-/// `bye` event, acknowledging a shutdown request.
-pub fn bye_event() -> Json {
+/// `bye` event, acknowledging a shutdown request and echoing the mode
+/// the server will honor (`drain` or `now`).
+pub fn bye_event(mode: &str) -> Json {
     let mut e = Json::obj();
     e.set("event", Json::Str("bye".into()));
+    e.set("mode", Json::Str(mode.into()));
     e
 }
 
@@ -723,6 +864,83 @@ mod tests {
         assert_eq!(
             parse_request("{nope").expect_err("rejects").code,
             "bad_json"
+        );
+    }
+
+    #[test]
+    fn protocol_mismatch_is_a_typed_bad_request_naming_the_version() {
+        let err = parse_request("{\"proto\": 1, \"kind\": \"ping\"}").expect_err("v1 rejected");
+        assert_eq!(err.code, "bad_request");
+        assert!(
+            err.message.contains("version 1") && err.message.contains("version 2"),
+            "names both versions: {}",
+            err.message
+        );
+        // The current version, and no version at all, both pass.
+        assert!(parse_request("{\"proto\": 2, \"kind\": \"ping\"}").is_ok());
+        assert!(parse_request("{\"kind\": \"ping\"}").is_ok());
+        // A non-numeric version is still a typed error.
+        let err = parse_request("{\"proto\": \"two\", \"kind\": \"ping\"}").expect_err("rejected");
+        assert_eq!(err.code, "bad_request");
+    }
+
+    #[test]
+    fn shutdown_modes_and_cancel_parse() {
+        assert!(matches!(
+            parse_request("{\"kind\": \"shutdown\"}"),
+            Ok(Request::Shutdown { drain: true })
+        ));
+        assert!(matches!(
+            parse_request("{\"kind\": \"shutdown\", \"mode\": \"now\"}"),
+            Ok(Request::Shutdown { drain: false })
+        ));
+        assert_eq!(
+            parse_request("{\"kind\": \"shutdown\", \"mode\": \"later\"}")
+                .expect_err("rejects")
+                .code,
+            "bad_request"
+        );
+        assert!(matches!(
+            parse_request("{\"kind\": \"cancel\", \"job\": 7}"),
+            Ok(Request::Cancel { job: 7 })
+        ));
+        assert_eq!(
+            parse_request("{\"kind\": \"cancel\"}")
+                .expect_err("rejects")
+                .code,
+            "bad_request"
+        );
+    }
+
+    #[test]
+    fn deadline_folds_into_the_ilp_budget_at_parse_time() {
+        let nl = triphase_netlist::Netlist::new("d");
+        let text = triphase_netlist::snapshot::to_text(&nl);
+        let mut req = Json::obj();
+        req.set("kind", Json::Str("submit".into()));
+        let mut job = Json::obj();
+        job.set("netlist", Json::Str(text.clone()));
+        job.set("deadline_ms", Json::Num(250.0));
+        req.set("jobs", Json::Arr(vec![job]));
+        let Ok(Request::Submit(jobs)) = parse_request(&req.to_pretty()) else {
+            unreachable!("submit parses")
+        };
+        assert_eq!(jobs[0].deadline_ms, Some(250));
+        assert_eq!(
+            jobs[0].cfg.phase_cfg.time_limit,
+            Some(std::time::Duration::from_millis(250))
+        );
+        assert_eq!(jobs[0].est_bytes, text.len());
+        // A zero deadline is rejected, not silently ignored.
+        let mut req0 = Json::obj();
+        req0.set("kind", Json::Str("submit".into()));
+        let mut job0 = Json::obj();
+        job0.set("netlist", Json::Str(text));
+        job0.set("deadline_ms", Json::Num(0.0));
+        req0.set("jobs", Json::Arr(vec![job0]));
+        assert_eq!(
+            parse_request(&req0.to_pretty()).expect_err("rejects").code,
+            "bad_request"
         );
     }
 

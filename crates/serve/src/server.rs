@@ -5,7 +5,7 @@
 //!
 //! - one **accept** thread polls the listener until [`Server::stop`];
 //! - each connection gets a **reader** thread (parses request frames,
-//!   answers control requests inline, enqueues submit jobs) and a
+//!   answers control requests inline, admits submit jobs) and a
 //!   **writer** thread draining an `mpsc` channel of serialized event
 //!   frames — so runners stream progress to a client without ever
 //!   touching its socket directly, and interleaved jobs from one
@@ -16,27 +16,52 @@
 //!   so a large batch shards across every core even when `workers` is
 //!   small, and a single job still parallelizes on an idle server.
 //!
+//! Resilience model (the PR-10 hardening):
+//!
+//! - **Admission**: submits pass through the bounded queue's two-phase
+//!   `reserve`/`commit`. The durability invariant is *reserve → journal
+//!   the accept (fsync) → ack → commit*: an acknowledged job is always
+//!   on disk before the client hears about it, so a SIGKILL at any
+//!   instant loses nothing that was acknowledged. Shed jobs get a typed
+//!   `overloaded` done with a `retry_after_ms` hint.
+//! - **Recovery**: with a journal configured, startup replays it —
+//!   stage records re-seed the memo store, and accepted-but-unfinished
+//!   jobs are re-enqueued (bypassing admission: they were already
+//!   admitted in a previous life) and run to a journaled terminal state.
+//! - **Cancellation**: `cancel` removes a queued job outright or fires
+//!   the running job's [`CancelToken`]; the engine aborts at the next
+//!   stage boundary, keeping every banked stage.
+//! - **Drain**: `shutdown` defaults to drain mode (finish queued and
+//!   running jobs, then exit); `mode: "now"` re-journals queued jobs as
+//!   pending for the next daemon life and exits after running jobs
+//!   finish.
+//!
 //! Runner panics are contained per job: the panic is caught, reported
 //! as a typed `done` event (`code: "panic"`), and the runner moves on.
 //! Because memo-hit stages are recorded *before* a stage's fault site
 //! fires, a job killed mid-flow can be resubmitted and will replay the
-//! completed prefix from the stage cache, resuming from where it died.
+//! completed prefix from the stage cache, resuming from where it died —
+//! and with the journal, that replay survives a full daemon restart.
 
+use std::collections::HashMap;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Sender};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use triphase_netlist::snapshot;
 
-use crate::engine::{Engine, StageProv};
+use crate::engine::{CancelToken, CancelUnwind, Engine, StageProv};
 use crate::frame::{read_frame, write_frame, FrameError, MAX_FRAME_DEFAULT};
+use crate::journal::{AcceptRecord, Journal};
 use crate::json::Json;
+use crate::memo::MemoStore;
 use crate::proto::{self, ProtoError, Request};
-use crate::queue::{Job, JobQueue};
+use crate::queue::{AdmitError, Job, JobQueue, QueueLimits};
 
 /// Daemon configuration.
 pub struct ServerOptions {
@@ -46,8 +71,16 @@ pub struct ServerOptions {
     pub workers: usize,
     /// Per-frame payload cap in bytes.
     pub max_frame: usize,
-    /// Memo-store capacity per cache tier.
+    /// Memo-store capacity per cache tier (entries).
     pub memo_capacity: usize,
+    /// Memo-store byte budget per cache tier.
+    pub memo_bytes: usize,
+    /// Admission bound: maximum queued jobs.
+    pub queue_depth: usize,
+    /// Admission bound: maximum estimated queued bytes.
+    pub queue_bytes: usize,
+    /// Durable job journal path. `None` runs memory-only (no recovery).
+    pub journal: Option<PathBuf>,
     /// Fault-injection plan forced into every job (test-only).
     pub fault: Option<triphase_fault::SharedInjector>,
 }
@@ -59,6 +92,10 @@ impl Default for ServerOptions {
             workers: 0,
             max_frame: MAX_FRAME_DEFAULT,
             memo_capacity: 4096,
+            memo_bytes: 512 << 20,
+            queue_depth: 256,
+            queue_bytes: 256 << 20,
+            journal: None,
             fault: None,
         }
     }
@@ -67,11 +104,26 @@ impl Default for ServerOptions {
 struct Ctx {
     queue: JobQueue,
     engine: Engine,
+    journal: Option<Arc<Journal>>,
+    /// Cancellation tokens for every admitted-but-unfinished job.
+    tokens: Mutex<HashMap<u64, CancelToken>>,
     stop: AtomicBool,
     next_id: AtomicU64,
     jobs_done: AtomicU64,
     workers: usize,
     max_frame: usize,
+}
+
+impl Ctx {
+    fn tokens(&self) -> std::sync::MutexGuard<'_, HashMap<u64, CancelToken>> {
+        self.tokens.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn journal_done(&self, id: u64, code: &str) {
+        if let Some(j) = &self.journal {
+            let _ = j.append_done(id, code);
+        }
+    }
 }
 
 /// A running daemon. Dropping the handle does not stop the server;
@@ -80,14 +132,17 @@ pub struct Server {
     addr: SocketAddr,
     ctx: Arc<Ctx>,
     handles: Vec<thread::JoinHandle<()>>,
+    /// Jobs recovered from the journal at startup (for observability).
+    resumed: usize,
 }
 
 impl Server {
-    /// Bind, spawn the accept thread and the runner pool, and return.
+    /// Bind, replay the journal (when configured), spawn the accept
+    /// thread and the runner pool, and return.
     ///
     /// # Errors
     ///
-    /// Bind/listen failures.
+    /// Bind/listen failures, or journal open/replay I/O failures.
     pub fn start(opts: ServerOptions) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&opts.addr)?;
         listener.set_nonblocking(true)?;
@@ -97,19 +152,50 @@ impl Server {
         } else {
             opts.workers
         };
-        let mut engine = Engine::new(opts.memo_capacity);
+        let memo = MemoStore::bounded(opts.memo_capacity, opts.memo_bytes);
+        let mut journal = None;
+        let mut pending = Vec::new();
+        let mut next_id = 1;
+        if let Some(path) = &opts.journal {
+            let (j, replay) = Journal::open_replay(path)?;
+            for (key, data) in replay.stages {
+                memo.seed_stage(key, data);
+            }
+            next_id = replay.next_id;
+            pending = replay.pending;
+            journal = Some(Arc::new(j));
+        }
+        let mut engine = Engine::with_memo(memo);
+        if let Some(j) = &journal {
+            engine = engine.with_journal(Arc::clone(j));
+        }
         if let Some(fault) = opts.fault {
             engine = engine.with_fault(fault);
         }
         let ctx = Arc::new(Ctx {
-            queue: JobQueue::new(),
+            queue: JobQueue::bounded(
+                QueueLimits {
+                    depth: opts.queue_depth,
+                    bytes: opts.queue_bytes,
+                },
+                workers,
+            ),
             engine,
+            journal,
+            tokens: Mutex::new(HashMap::new()),
             stop: AtomicBool::new(false),
-            next_id: AtomicU64::new(1),
+            next_id: AtomicU64::new(next_id),
             jobs_done: AtomicU64::new(0),
             workers,
             max_frame: opts.max_frame,
         });
+        // Re-enqueue recovered jobs before any worker or connection
+        // exists: they were acknowledged in a previous daemon life and
+        // must reach a terminal state in this one. Their submitter is
+        // gone, so events go to a closed channel (dropped silently); the
+        // terminal state still lands in the journal, and the report in
+        // the cache — a reconnecting client's resubmit is a cache hit.
+        let resumed = resume_pending(&ctx, pending);
         let mut handles = Vec::with_capacity(workers + 1);
         for _ in 0..workers {
             let ctx = Arc::clone(&ctx);
@@ -119,7 +205,12 @@ impl Server {
             let ctx = Arc::clone(&ctx);
             handles.push(thread::spawn(move || accept_loop(&listener, &ctx)));
         }
-        Ok(Server { addr, ctx, handles })
+        Ok(Server {
+            addr,
+            ctx,
+            handles,
+            resumed,
+        })
     }
 
     /// The bound address (resolves port 0).
@@ -127,13 +218,18 @@ impl Server {
         self.addr
     }
 
+    /// Jobs recovered from the journal and re-enqueued at startup.
+    pub fn resumed_jobs(&self) -> usize {
+        self.resumed
+    }
+
     /// Shared memo-store counters: (stage tier, report tier).
     pub fn memo_stats(&self) -> (crate::memo::TierStats, crate::memo::TierStats) {
         self.ctx.engine.memo().stats()
     }
 
-    /// Signal shutdown: the accept loop exits, queued jobs drain, and
-    /// runners stop once the queue empties.
+    /// Signal drain shutdown: the accept loop exits, queued jobs drain,
+    /// and runners stop once the queue empties.
     pub fn stop(&self) {
         self.ctx.stop.store(true, Ordering::SeqCst);
         self.ctx.queue.stop();
@@ -148,6 +244,62 @@ impl Server {
         }
         self.ctx.engine.memo().stats()
     }
+}
+
+/// Rebuild [`Job`]s from replayed accept records and force them onto
+/// the queue (admission was already granted in a previous daemon life).
+/// Returns how many were resumed; unparseable records are journaled as
+/// terminally failed so they are not replayed forever.
+fn resume_pending(ctx: &Arc<Ctx>, pending: Vec<AcceptRecord>) -> usize {
+    let mut resumed = 0;
+    for rec in pending {
+        let netlist = match snapshot::from_text(&rec.netlist_text) {
+            Ok(nl) => nl,
+            Err(_) => {
+                ctx.journal_done(rec.id, "bad_netlist");
+                continue;
+            }
+        };
+        let cfg = match proto::parse_config(&rec.config) {
+            Ok(cfg) => cfg,
+            Err(_) => {
+                ctx.journal_done(rec.id, "bad_config");
+                continue;
+            }
+        };
+        // Re-fold the deadline into the ILP budget exactly as
+        // `parse_submit` did: `config_json` round-trips every wire-
+        // settable field, and the deadline (not wire-settable) is the
+        // only other `time_limit` source — so the rebuilt config is
+        // fingerprint-identical and the journaled stages hit.
+        let mut cfg = cfg;
+        if let Some(ms) = rec.deadline_ms {
+            let budget = Duration::from_millis(ms);
+            cfg.phase_cfg.time_limit = Some(match cfg.phase_cfg.time_limit {
+                Some(existing) => existing.min(budget),
+                None => budget,
+            });
+        }
+        let est_bytes = rec.netlist_text.len();
+        // The submitter's connection died with the previous daemon: a
+        // pre-closed channel swallows the job's events.
+        let (reply, _) = channel::<String>();
+        ctx.tokens()
+            .insert(rec.id, CancelToken::new(rec.deadline_ms));
+        if ctx.queue.force_push(Job {
+            id: rec.id,
+            name: rec.name,
+            netlist,
+            cfg,
+            return_netlist: rec.return_netlist,
+            est_bytes,
+            deadline_ms: rec.deadline_ms,
+            reply,
+        }) {
+            resumed += 1;
+        }
+    }
+    resumed
 }
 
 fn accept_loop(listener: &TcpListener, ctx: &Arc<Ctx>) {
@@ -189,6 +341,75 @@ fn connection(stream: TcpStream, ctx: &Arc<Ctx>) {
     let _ = writer.join();
 }
 
+/// Outcome of the pre-ack half of admitting one job of a submit batch.
+enum Admitted {
+    /// Reserved and journaled; committed to the queue after the ack.
+    Reserved,
+    /// Shed: queue depth and retry hint for the `overloaded` done.
+    Shed { queued: usize, retry_after_ms: u64 },
+    /// The server is stopping.
+    Stopped,
+    /// The accept record could not be made durable.
+    JournalFailed(String),
+}
+
+/// The pre-ack half of admission: reserve → journal (fsync) → token.
+/// The caller sends the ack and only then commits — so no worker can
+/// emit events for a job before its ack frame is on the wire, while
+/// durability is already settled when the client hears the id.
+fn admit(ctx: &Arc<Ctx>, id: u64, j: &proto::JobRequest) -> Admitted {
+    match ctx.queue.reserve(j.est_bytes) {
+        Err(AdmitError::Overloaded {
+            queued,
+            retry_after_ms,
+        }) => {
+            return Admitted::Shed {
+                queued,
+                retry_after_ms,
+            }
+        }
+        Err(AdmitError::Stopped) => return Admitted::Stopped,
+        Ok(()) => {}
+    }
+    if let Some(journal) = &ctx.journal {
+        let rec = AcceptRecord {
+            id,
+            name: j.name.clone(),
+            netlist_text: snapshot::to_text(&j.netlist),
+            config: proto::config_json(&j.cfg),
+            return_netlist: j.return_netlist,
+            deadline_ms: j.deadline_ms,
+        };
+        if let Err(e) = journal.append_accept(&rec) {
+            ctx.queue.release(j.est_bytes);
+            return Admitted::JournalFailed(e.to_string());
+        }
+    }
+    ctx.tokens().insert(id, CancelToken::new(j.deadline_ms));
+    Admitted::Reserved
+}
+
+/// The post-ack half: commit the reserved job to the queue.
+fn commit(ctx: &Arc<Ctx>, id: u64, j: proto::JobRequest, tx: &Sender<String>) -> Option<usize> {
+    match ctx.queue.commit(Job {
+        id,
+        name: j.name,
+        netlist: j.netlist,
+        cfg: j.cfg,
+        return_netlist: j.return_netlist,
+        est_bytes: j.est_bytes,
+        deadline_ms: j.deadline_ms,
+        reply: tx.clone(),
+    }) {
+        Ok(position) => Some(position),
+        Err(_) => {
+            ctx.tokens().remove(&id);
+            ctx.journal_done(id, "shutdown");
+            None
+        }
+    }
+}
+
 fn reader_loop(mut stream: TcpStream, ctx: &Arc<Ctx>, tx: &Sender<String>) {
     loop {
         let text = match read_frame(&mut stream, ctx.max_frame) {
@@ -220,22 +441,68 @@ fn reader_loop(mut stream: TcpStream, ctx: &Arc<Ctx>, tx: &Sender<String>) {
                     .iter()
                     .map(|_| ctx.next_id.fetch_add(1, Ordering::SeqCst))
                     .collect();
+                // Admit (reserve + journal) every job *before* the ack:
+                // once the client sees an id without a following
+                // `overloaded`/`shutdown` done, the job is durable. Jobs
+                // become runnable (commit) only *after* the ack, so the
+                // ack is always the submit's first event on the wire.
+                let outcomes: Vec<Admitted> = ids
+                    .iter()
+                    .zip(&jobs)
+                    .map(|(&id, j)| admit(ctx, id, j))
+                    .collect();
                 send_json(tx, &proto::ack_event(&ids));
-                for (id, j) in ids.into_iter().zip(jobs) {
-                    let queued = ctx.queue.push(Job {
-                        id,
-                        name: j.name.clone(),
-                        netlist: j.netlist,
-                        cfg: j.cfg,
-                        return_netlist: j.return_netlist,
-                        reply: tx.clone(),
-                    });
-                    if !queued {
-                        send_json(
+                for ((id, j), outcome) in ids.iter().zip(jobs).zip(outcomes) {
+                    match outcome {
+                        Admitted::Reserved => {
+                            let name = j.name.clone();
+                            match commit(ctx, *id, j, tx) {
+                                Some(position) => {
+                                    let _ = tx.send(proto::queued_event(*id, position));
+                                }
+                                None => send_json(
+                                    tx,
+                                    &proto::done_err(*id, &name, "shutdown", "server is stopping"),
+                                ),
+                            }
+                        }
+                        Admitted::Shed {
+                            queued,
+                            retry_after_ms,
+                        } => send_json(
                             tx,
-                            &proto::done_err(id, &j.name, "shutdown", "server is stopping"),
-                        );
+                            &proto::done_overloaded(*id, &j.name, queued, retry_after_ms),
+                        ),
+                        Admitted::Stopped => send_json(
+                            tx,
+                            &proto::done_err(*id, &j.name, "shutdown", "server is stopping"),
+                        ),
+                        Admitted::JournalFailed(e) => send_json(
+                            tx,
+                            &proto::done_err(
+                                *id,
+                                &j.name,
+                                "journal_failed",
+                                &format!("could not journal the accept: {e}"),
+                            ),
+                        ),
                     }
+                }
+            }
+            Ok(Request::Cancel { job }) => {
+                if let Some(queued) = ctx.queue.remove(job) {
+                    ctx.tokens().remove(&job);
+                    ctx.journal_done(job, "cancelled");
+                    send_json(tx, &proto::cancelled_event(job, "queued"));
+                    send_json(
+                        &queued.reply,
+                        &proto::done_err(job, &queued.name, "cancelled", "cancelled while queued"),
+                    );
+                } else if let Some(token) = ctx.tokens().get(&job) {
+                    token.cancel();
+                    send_json(tx, &proto::cancelled_event(job, "running"));
+                } else {
+                    send_json(tx, &proto::cancelled_event(job, "unknown"));
                 }
             }
             Ok(Request::Status) => {
@@ -244,6 +511,7 @@ fn reader_loop(mut stream: TcpStream, ctx: &Arc<Ctx>, tx: &Sender<String>) {
                     tx,
                     &proto::status_event(
                         ctx.queue.depth(),
+                        ctx.queue.queued_bytes(),
                         ctx.workers,
                         ctx.jobs_done.load(Ordering::SeqCst),
                         stage,
@@ -252,10 +520,27 @@ fn reader_loop(mut stream: TcpStream, ctx: &Arc<Ctx>, tx: &Sender<String>) {
                 );
             }
             Ok(Request::Ping) => send_json(tx, &proto::pong_event()),
-            Ok(Request::Shutdown) => {
-                send_json(tx, &proto::bye_event());
+            Ok(Request::Shutdown { drain }) => {
+                send_json(tx, &proto::bye_event(if drain { "drain" } else { "now" }));
                 ctx.stop.store(true, Ordering::SeqCst);
-                ctx.queue.stop();
+                if drain {
+                    ctx.queue.stop();
+                } else {
+                    // Queued jobs stay journaled as pending: the next
+                    // daemon life resumes them. Tell their submitters.
+                    for job in ctx.queue.stop_discard() {
+                        ctx.tokens().remove(&job.id);
+                        send_json(
+                            &job.reply,
+                            &proto::done_err(
+                                job.id,
+                                &job.name,
+                                "shutdown",
+                                "server stopping; job stays journaled and resumes on restart",
+                            ),
+                        );
+                    }
+                }
                 return;
             }
             Err(e) => send_json(tx, &e.event()),
@@ -271,33 +556,62 @@ fn runner_loop(ctx: &Arc<Ctx>) {
 }
 
 fn run_job(ctx: &Arc<Ctx>, job: &Job) {
+    let started = Instant::now();
+    let token = ctx.tokens().get(&job.id).cloned();
     let mut prov: Vec<StageProv> = Vec::new();
     let result = catch_unwind(AssertUnwindSafe(|| {
         let mut emit = |p: &StageProv| {
             prov.push(p.clone());
             send_json(
                 &job.reply,
-                &proto::stage_event(job.id, p.stage, p.key, p.hit, p.millis),
+                &proto::stage_event(job.id, p.stage, p.key, p.hit, p.millis, p.evictions),
             );
         };
-        ctx.engine.run(&job.netlist, &job.cfg, &mut emit)
+        ctx.engine
+            .run(&job.netlist, &job.cfg, token.as_ref(), &mut emit)
     }));
-    let done = match result {
+    let (done, code) = match result {
         Ok(Ok(report)) => {
             let text = job
                 .return_netlist
                 .then(|| snapshot::to_text(&report.three_phase.netlist));
-            proto::done_ok(job.id, &job.name, &report, &prov, text.as_deref())
+            (
+                proto::done_ok(job.id, &job.name, &report, &prov, text.as_deref()),
+                "ok",
+            )
         }
-        Ok(Err(e)) => proto::done_err(job.id, &job.name, proto::error_code(&e), &e.to_string()),
-        Err(payload) => {
-            let msg = payload
-                .downcast_ref::<String>()
-                .cloned()
-                .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
-                .unwrap_or_else(|| "worker panicked".into());
-            proto::done_err(job.id, &job.name, "panic", &msg)
+        Ok(Err(e)) => {
+            let code = proto::error_code(&e);
+            (
+                proto::done_err(job.id, &job.name, code, &e.to_string()),
+                code,
+            )
         }
+        Err(payload) => match payload.downcast_ref::<CancelUnwind>() {
+            Some(c) => (
+                proto::done_err(
+                    job.id,
+                    &job.name,
+                    c.reason,
+                    &format!(
+                        "aborted at a stage boundary; last banked stage: {}",
+                        c.last_banked
+                    ),
+                ),
+                c.reason,
+            ),
+            None => {
+                let msg = payload
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+                    .unwrap_or_else(|| "worker panicked".into());
+                (proto::done_err(job.id, &job.name, "panic", &msg), "panic")
+            }
+        },
     };
+    ctx.tokens().remove(&job.id);
+    ctx.journal_done(job.id, code);
+    ctx.queue.note_job_ms(started.elapsed().as_secs_f64() * 1e3);
     send_json(&job.reply, &done);
 }

@@ -50,6 +50,10 @@ fn malformed_request_corpus_returns_typed_errors_and_keeps_serving() {
         ("{}", "bad_request"),
         ("{\"kind\": 7}", "bad_request"),
         ("{\"kind\": \"warp\"}", "unknown_kind"),
+        (
+            "{\"kind\": \"shutdown\", \"mode\": \"eventually\"}",
+            "bad_request",
+        ),
         ("{\"kind\": \"submit\"}", "bad_request"),
         ("{\"kind\": \"submit\", \"jobs\": []}", "bad_request"),
         ("{\"kind\": \"submit\", \"jobs\": [{}]}", "bad_request"),
@@ -92,6 +96,60 @@ fn malformed_request_corpus_returns_typed_errors_and_keeps_serving() {
         // The error is per-frame: the same connection keeps working.
         assert_alive(&mut client);
     }
+
+    server.stop();
+    server.wait();
+}
+
+/// A pathologically nested payload trips the parser's depth cap as a
+/// typed `bad_json` instead of blowing the reader thread's stack.
+#[test]
+fn deeply_nested_payload_is_rejected_by_the_depth_cap() {
+    let server = Server::start(ServerOptions::default()).expect("bind");
+    let mut client = Client::connect(server.addr()).expect("connect");
+
+    // 4096 nesting levels — far past the cap of 128, far short of any
+    // frame-size limit (8 KiB of brackets).
+    let bomb = format!("{}{}", "[".repeat(4096), "]".repeat(4096));
+    expect_error(&mut client, &bomb, "bad_json");
+    assert_alive(&mut client);
+
+    // The object-form bomb takes the other recursion path.
+    let bomb = format!("{}1{}", "{\"a\": ".repeat(4096), "}".repeat(4096));
+    expect_error(&mut client, &bomb, "bad_json");
+    assert_alive(&mut client);
+
+    server.stop();
+    server.wait();
+}
+
+/// A client speaking a different protocol version gets a typed
+/// `bad_request` that names the version the server does speak, and the
+/// connection survives to renegotiate.
+#[test]
+fn protocol_version_mismatch_names_the_supported_version() {
+    let server = Server::start(ServerOptions::default()).expect("bind");
+    let mut client = Client::connect(server.addr()).expect("connect");
+
+    client
+        .send_raw("{\"kind\": \"ping\", \"proto\": 1}")
+        .expect("send v1 ping");
+    let ev = client.recv().expect("error frame");
+    assert_eq!(ev.get("event").and_then(Json::as_str), Some("error"));
+    assert_eq!(ev.get("code").and_then(Json::as_str), Some("bad_request"));
+    let msg = ev.get("message").and_then(Json::as_str).expect("message");
+    assert!(
+        msg.contains("version 1") && msg.contains("version 2"),
+        "names both versions: {msg}"
+    );
+
+    // Matching version (and the implicit no-version form) still served.
+    client
+        .send_raw("{\"kind\": \"ping\", \"proto\": 2}")
+        .expect("send v2 ping");
+    let ev = client.recv().expect("pong");
+    assert_eq!(ev.get("event").and_then(Json::as_str), Some("pong"));
+    assert_alive(&mut client);
 
     server.stop();
     server.wait();
